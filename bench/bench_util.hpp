@@ -1,0 +1,90 @@
+/// \file bench_util.hpp
+/// \brief Shared plumbing for the per-figure benchmark harnesses: workload
+///        construction at paper scale, deadlock-tolerant runs, and the
+///        paper's reference numbers for side-by-side printing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "sim/check.hpp"
+#include "stats/report.hpp"
+#include "workloads/bitcnt.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/mmul.hpp"
+#include "workloads/zoom.hpp"
+
+namespace dta::bench {
+
+/// Paper-scale workload parameters (Section 4.2).
+inline workloads::MatMul::Params mmul_params(std::uint16_t spes) {
+    workloads::MatMul::Params p;
+    p.n = 32;
+    p.threads = workloads::MatMul::threads_for(spes);
+    return p;
+}
+
+inline workloads::Zoom::Params zoom_params(std::uint16_t spes) {
+    workloads::Zoom::Params p;
+    p.n = 32;
+    p.factor = 8;
+    p.threads = workloads::Zoom::threads_for(spes);
+    return p;
+}
+
+inline workloads::BitCount::Params bitcnt_params(std::uint32_t iterations) {
+    workloads::BitCount::Params p;
+    p.iterations = iterations;
+    return p;
+}
+
+/// `--iterations N` style override so CI can run benches at reduced scale.
+inline std::uint32_t arg_u32(int argc, char** argv, const char* flag,
+                             std::uint32_t fallback) {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == flag) {
+            return static_cast<std::uint32_t>(std::atoi(argv[i + 1]));
+        }
+    }
+    return fallback;
+}
+
+/// A run that may legitimately deadlock (frame-starvation ablations).
+struct MaybeRun {
+    std::optional<workloads::RunOutcome> outcome;
+    std::string error;
+    [[nodiscard]] bool ok() const { return outcome.has_value(); }
+    [[nodiscard]] std::uint64_t cycles() const {
+        return outcome ? outcome->result.cycles : 0;
+    }
+};
+
+template <typename W>
+MaybeRun try_run(const W& wl, const core::MachineConfig& cfg, bool prefetch) {
+    MaybeRun r;
+    try {
+        r.outcome = workloads::run_workload(wl, cfg, prefetch);
+        if (!r.outcome->correct) {
+            std::fprintf(stderr, "WARNING: incorrect result: %s\n",
+                         r.outcome->detail.c_str());
+        }
+    } catch (const sim::SimError& e) {
+        r.error = e.what();
+    }
+    return r;
+}
+
+/// Prints a header naming the experiment and the paper artefact it mirrors.
+inline void banner(const char* exp_id, const char* description) {
+    std::printf("=== %s — %s ===\n", exp_id, description);
+}
+
+/// Prints a "paper vs measured" line for a headline number.
+inline void compare(const char* what, double paper, double measured) {
+    std::printf("  %-34s paper: %8.2f   measured: %8.2f\n", what, paper,
+                measured);
+}
+
+}  // namespace dta::bench

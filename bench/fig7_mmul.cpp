@@ -1,0 +1,39 @@
+/// \file fig7_mmul.cpp
+/// \brief Regenerates Figure 7: mmul(32) execution time (a) and scalability
+///        (b) at memory latency 150, for 1/2/4/8 SPEs, with and without
+///        prefetching.  The thread count follows the paper's power-of-two
+///        sizing per configuration.
+///
+/// Usage: fig7_mmul
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace dta;
+using namespace dta::bench;
+
+int main() {
+    banner("FIG7", "mmul(32) execution time & scalability, latency 150");
+
+    std::vector<stats::SeriesPoint> pts;
+    for (std::uint16_t spes : {1, 2, 4, 8}) {
+        const workloads::MatMul wl(mmul_params(spes));
+        const auto cfg = workloads::MatMul::machine_config(spes);
+        const auto orig = workloads::run_workload(wl, cfg, false);
+        const auto pf = workloads::run_workload(wl, cfg, true);
+        if (!orig.correct || !pf.correct) {
+            std::fprintf(stderr, "mmul@%u SPEs: INCORRECT RESULT\n", spes);
+        }
+        pts.push_back({spes, orig.result.cycles, pf.result.cycles});
+    }
+    std::fputs(stats::exec_time_table("\nmmul(32)", pts).c_str(), stdout);
+    std::puts("\ncsv:");
+    std::fputs(stats::exec_time_csv(pts).c_str(), stdout);
+
+    const double measured = static_cast<double>(pts.back().cycles_noprefetch) /
+                            static_cast<double>(pts.back().cycles_prefetch);
+    std::puts("");
+    compare("prefetch speedup at 8 SPEs", 11.18, measured);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/// \file lat1_perfect_cache.cpp
+/// \brief Regenerates the Section 4.3 text experiment: every memory latency
+///        in the system set to one cycle — the "cache always hits" extreme
+///        — and the prefetch speedups re-measured.  Paper: 1.01x for mmul,
+///        1.34x for zoom, and a slowdown for bitcnt (overhead 34 %).
+///
+/// Usage: lat1_perfect_cache [--iterations N]
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace dta;
+using namespace dta::bench;
+
+int main(int argc, char** argv) {
+    const std::uint32_t iters = arg_u32(argc, argv, "--iterations", 10000);
+    banner("LAT1", "all memory latencies = 1 (perfect-cache extreme)");
+
+    const auto cfg_for = [](const sched::LseConfig& lse) {
+        auto cfg = core::MachineConfig::perfect_cache(8);
+        cfg.lse = lse;
+        return cfg;
+    };
+
+    double measured[3]{};
+    std::vector<stats::BreakdownRow> rows;
+    const auto go = [&](const auto& wl, const core::MachineConfig& cfg,
+                        const char* name, int idx) {
+        const auto orig = workloads::run_workload(wl, cfg, false);
+        const auto pf = workloads::run_workload(wl, cfg, true);
+        measured[idx] = static_cast<double>(orig.result.cycles) /
+                        static_cast<double>(pf.result.cycles);
+        std::printf("%-8s latency-1: %10llu vs %10llu cycles  (usage %s -> %s)\n",
+                    name,
+                    static_cast<unsigned long long>(orig.result.cycles),
+                    static_cast<unsigned long long>(pf.result.cycles),
+                    stats::pct(orig.result.pipeline_usage()).c_str(),
+                    stats::pct(pf.result.pipeline_usage()).c_str());
+        rows.push_back({std::string(name) + "+pf",
+                        pf.result.total_breakdown()});
+    };
+
+    const workloads::MatMul mm(mmul_params(8));
+    const workloads::Zoom zm(zoom_params(8));
+    const workloads::BitCount bc(bitcnt_params(iters));
+    go(mm, cfg_for(workloads::MatMul::lse_config()), "mmul", 0);
+    go(zm, cfg_for(workloads::Zoom::lse_config()), "zoom", 1);
+    go(bc, cfg_for(workloads::BitCount::lse_config()), "bitcnt", 2);
+
+    std::puts("\nprefetch-variant breakdown at latency 1:");
+    std::fputs(stats::breakdown_table(rows).c_str(), stdout);
+
+    std::puts("\npaper-vs-measured speedups at latency 1:");
+    compare("mmul", 1.01, measured[0]);
+    compare("zoom", 1.34, measured[1]);
+    compare("bitcnt (paper: slowdown, <1)", 0.9, measured[2]);
+    std::puts(
+        "\nnote: the shape to check is the collapse of the latency-150 wins\n"
+        "(11x for mmul/zoom, ~2x for bitcnt) to near parity once memory is\n"
+        "ideal — 'this prefetching scheme can almost eliminate the need for\n"
+        "caches' cuts both ways.");
+    return 0;
+}

@@ -1,0 +1,134 @@
+/// \file microbench.cpp
+/// \brief google-benchmark microbenchmarks of the simulator itself:
+///        component tick rates and whole-machine simulation speed.  These
+///        guard against performance regressions of the simulator (host
+///        cycles per simulated cycle), not of the simulated architecture.
+
+#include <benchmark/benchmark.h>
+
+#include "core/machine.hpp"
+#include "dma/mfc.hpp"
+#include "mem/local_store.hpp"
+#include "mem/main_memory.hpp"
+#include "noc/interconnect.hpp"
+#include "workloads/mmul.hpp"
+#include "workloads/zoom.hpp"
+
+namespace {
+
+using namespace dta;
+
+void BM_InterconnectTick(benchmark::State& state) {
+    noc::Interconnect fabric(noc::InterconnectConfig{}, 11);
+    sim::Cycle now = 0;
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        // Keep modest load on the fabric.
+        noc::Packet p;
+        p.dst = static_cast<noc::EndpointId>(seq % 11);
+        p.dst_final = p.dst;
+        p.size_bytes = 16;
+        (void)fabric.try_inject(static_cast<noc::EndpointId>((seq + 1) % 11),
+                                std::move(p));
+        fabric.tick(now++);
+        noc::Packet out;
+        for (noc::EndpointId ep = 0; ep < 11; ++ep) {
+            while (fabric.pop_delivered(ep, out)) {
+            }
+        }
+        ++seq;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InterconnectTick);
+
+void BM_LocalStoreTick(benchmark::State& state) {
+    mem::LocalStore ls(mem::LocalStoreConfig{});
+    sim::Cycle now = 0;
+    for (auto _ : state) {
+        mem::LsRequest rq;
+        rq.id = now;
+        rq.addr = static_cast<sim::LsAddr>((now * 64) % (128 * 1024));
+        rq.size = 8;
+        ls.enqueue(mem::LsClient::kSpu, std::move(rq));
+        ls.tick(now++);
+        mem::LsResponse resp;
+        while (ls.pop_response(mem::LsClient::kSpu, resp)) {
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LocalStoreTick);
+
+void BM_MainMemoryTick(benchmark::State& state) {
+    mem::MainMemory mm(mem::MainMemoryConfig{});
+    sim::Cycle now = 0;
+    for (auto _ : state) {
+        if ((now & 3) == 0) {
+            mem::MemRequest rq;
+            rq.addr = (now * 128) % (1 << 20);
+            rq.size = 128;
+            mm.enqueue(std::move(rq));
+        }
+        mm.tick(now++);
+        mem::MemResponse resp;
+        while (mm.pop_response(resp)) {
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MainMemoryTick);
+
+void BM_MachineCyclesPerSecond_MmulPrefetch(benchmark::State& state) {
+    workloads::MatMul::Params p;
+    p.n = 16;
+    p.threads = 8;
+    const workloads::MatMul wl(p);
+    std::uint64_t sim_cycles = 0;
+    for (auto _ : state) {
+        core::Machine m(workloads::MatMul::machine_config(8),
+                        wl.prefetch_program());
+        wl.init_memory(m.memory());
+        m.launch({});
+        const auto res = m.run();
+        sim_cycles += res.cycles;
+        benchmark::DoNotOptimize(res.cycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(sim_cycles));
+    state.counters["sim_cycles_per_run"] = static_cast<double>(
+        sim_cycles / std::max<std::uint64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_MachineCyclesPerSecond_MmulPrefetch)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MachineCyclesPerSecond_ZoomOriginal(benchmark::State& state) {
+    workloads::Zoom::Params p;
+    p.n = 16;
+    p.factor = 4;
+    p.threads = 8;
+    const workloads::Zoom wl(p);
+    std::uint64_t sim_cycles = 0;
+    for (auto _ : state) {
+        core::Machine m(workloads::Zoom::machine_config(8), wl.program());
+        wl.init_memory(m.memory());
+        m.launch({});
+        const auto res = m.run();
+        sim_cycles += res.cycles;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(sim_cycles));
+}
+BENCHMARK(BM_MachineCyclesPerSecond_ZoomOriginal)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ProgramConstruction(benchmark::State& state) {
+    for (auto _ : state) {
+        workloads::MatMul::Params p;
+        p.n = 16;
+        p.threads = 8;
+        const workloads::MatMul wl(p);
+        benchmark::DoNotOptimize(wl.prefetch_program().codes.size());
+    }
+}
+BENCHMARK(BM_ProgramConstruction);
+
+}  // namespace

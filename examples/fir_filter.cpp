@@ -1,0 +1,52 @@
+/// \file fir_filter.cpp
+/// \brief A signal-processing application on DTA: FIR-filter a signal with
+///        and without DMA prefetching and print the before/after timing —
+///        demonstrating the public API on a workload the paper never ran.
+///
+/// Usage: fir_filter [samples] [taps] [spes]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "stats/report.hpp"
+#include "workloads/fir.hpp"
+#include "workloads/harness.hpp"
+
+using namespace dta;
+
+int main(int argc, char** argv) {
+    workloads::Fir::Params params;
+    std::uint16_t spes = 8;
+    if (argc > 1) {
+        params.samples = static_cast<std::uint32_t>(std::atoi(argv[1]));
+    }
+    if (argc > 2) params.taps = static_cast<std::uint32_t>(std::atoi(argv[2]));
+    if (argc > 3) spes = static_cast<std::uint16_t>(std::atoi(argv[3]));
+    params.threads = workloads::Fir::threads_for(spes);
+    if (params.samples % params.threads != 0) {
+        params.threads = 1;
+    }
+
+    const workloads::Fir wl(params);
+    const auto cfg = workloads::Fir::machine_config(spes);
+    std::printf("FIR: %u samples, %u taps, %u workers on %u SPEs\n\n",
+                params.samples, params.taps, params.threads, spes);
+
+    const auto orig = workloads::run_workload(wl, cfg, false);
+    const auto pf = workloads::run_workload(wl, cfg, true);
+    std::printf("original DTA : %llu cycles (%s)\n",
+                static_cast<unsigned long long>(orig.result.cycles),
+                orig.correct ? "OK" : orig.detail.c_str());
+    std::printf("with prefetch: %llu cycles (%s)\n",
+                static_cast<unsigned long long>(pf.result.cycles),
+                pf.correct ? "OK" : pf.detail.c_str());
+    std::printf("speedup      : %s\n\n",
+                stats::speedup_str(orig.result.cycles, pf.result.cycles)
+                    .c_str());
+    std::fputs(stats::breakdown_table(
+                   {{"fir orig", orig.result.total_breakdown()},
+                    {"fir prefetch", pf.result.total_breakdown()}})
+                   .c_str(),
+               stdout);
+    return (orig.correct && pf.correct) ? 0 : 1;
+}

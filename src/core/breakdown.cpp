@@ -1,0 +1,58 @@
+#include "core/breakdown.hpp"
+
+namespace dta::core {
+
+std::uint64_t Breakdown::total() const {
+    std::uint64_t t = 0;
+    for (const auto c : cycles) {
+        t += c;
+    }
+    return t;
+}
+
+Breakdown& Breakdown::operator+=(const Breakdown& o) {
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        cycles[i] += o.cycles[i];
+    }
+    return *this;
+}
+
+std::array<std::uint64_t, 6> Breakdown::paper_view() const {
+    std::array<std::uint64_t, 6> v{};
+    for (std::size_t i = 0; i < 6; ++i) {
+        v[i] = cycles[i];
+    }
+    v[static_cast<std::size_t>(CycleBucket::kWorking)] +=
+        cycles[static_cast<std::size_t>(CycleBucket::kPipeStall)];
+    return v;
+}
+
+double Breakdown::fraction(CycleBucket b) const {
+    const std::uint64_t t = total();
+    if (t == 0) {
+        return 0.0;
+    }
+    const auto v = paper_view();
+    const auto idx = static_cast<std::size_t>(b);
+    if (idx >= v.size()) {
+        return 0.0;
+    }
+    return static_cast<double>(v[idx]) / static_cast<double>(t);
+}
+
+std::uint64_t InstrStats::total() const {
+    std::uint64_t t = 0;
+    for (const auto c : by_opcode) {
+        t += c;
+    }
+    return t;
+}
+
+InstrStats& InstrStats::operator+=(const InstrStats& o) {
+    for (std::size_t i = 0; i < by_opcode.size(); ++i) {
+        by_opcode[i] += o.by_opcode[i];
+    }
+    return *this;
+}
+
+}  // namespace dta::core

@@ -1,0 +1,92 @@
+/// \file breakdown.hpp
+/// \brief Per-SPU cycle accounting (the Fig. 5 categories) and dynamic
+///        instruction statistics (the Table 5 columns).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "isa/opcode.hpp"
+#include "sim/types.hpp"
+
+namespace dta::core {
+
+/// Exactly one bucket is charged per SPU per cycle.  The first six are the
+/// paper's Fig. 5 categories; kPipeStall (intra-thread hazards: long-latency
+/// ALU results, taken-branch flushes) has no category of its own in the
+/// paper and is folded into Working by \ref Breakdown::paper_view.
+enum class CycleBucket : std::uint8_t {
+    kWorking,    ///< issued at least one non-PF instruction
+    kIdle,       ///< no ready thread anywhere
+    kMemStall,   ///< waiting on a main-memory READ/WRITE
+    kLsStall,    ///< waiting on a local-store access (frame LOAD, LSLOAD)
+    kLseStall,   ///< waiting on the LSE (FALLOC, dispatch handshake)
+    kPrefetch,   ///< PF-block work, DMA programming, unoverlapped DMA waits
+    kPipeStall,  ///< ALU-latency / branch-flush hazard cycles
+};
+inline constexpr std::size_t kNumBuckets = 7;
+
+[[nodiscard]] constexpr std::string_view bucket_name(CycleBucket b) {
+    switch (b) {
+        case CycleBucket::kWorking: return "Working";
+        case CycleBucket::kIdle: return "Idle";
+        case CycleBucket::kMemStall: return "MemoryStalls";
+        case CycleBucket::kLsStall: return "LSStalls";
+        case CycleBucket::kLseStall: return "LSEStalls";
+        case CycleBucket::kPrefetch: return "Prefetching";
+        case CycleBucket::kPipeStall: return "PipelineStalls";
+    }
+    return "?";
+}
+
+/// Cycle-bucket histogram of one SPU (or an aggregate of several).
+struct Breakdown {
+    std::array<std::uint64_t, kNumBuckets> cycles{};
+
+    void charge(CycleBucket b) { ++cycles[static_cast<std::size_t>(b)]; }
+    [[nodiscard]] std::uint64_t operator[](CycleBucket b) const {
+        return cycles[static_cast<std::size_t>(b)];
+    }
+    [[nodiscard]] std::uint64_t total() const;
+    Breakdown& operator+=(const Breakdown& o);
+
+    /// The paper's six-way view: pipeline-hazard cycles count as Working.
+    [[nodiscard]] std::array<std::uint64_t, 6> paper_view() const;
+    /// Fraction (0..1) of \p b in the paper view.
+    [[nodiscard]] double fraction(CycleBucket b) const;
+};
+
+/// Dynamic instruction counters of one SPU (or aggregate).
+struct InstrStats {
+    std::array<std::uint64_t, 64> by_opcode{};  ///< indexed by Opcode value
+
+    void count(isa::Opcode op) {
+        ++by_opcode[static_cast<std::size_t>(op)];
+    }
+    [[nodiscard]] std::uint64_t of(isa::Opcode op) const {
+        return by_opcode[static_cast<std::size_t>(op)];
+    }
+    [[nodiscard]] std::uint64_t total() const;
+    InstrStats& operator+=(const InstrStats& o);
+
+    // Table 5 columns.  The paper's LOAD column is frame reads, STORE is
+    // frame writes; prefetched local-store accesses are reported separately
+    // so the prefetch variant can be compared.
+    [[nodiscard]] std::uint64_t loads() const {
+        return of(isa::Opcode::kLoad) + of(isa::Opcode::kLoadX);
+    }
+    [[nodiscard]] std::uint64_t stores() const {
+        return of(isa::Opcode::kStore) + of(isa::Opcode::kStoreX);
+    }
+    [[nodiscard]] std::uint64_t reads() const { return of(isa::Opcode::kRead); }
+    [[nodiscard]] std::uint64_t writes() const { return of(isa::Opcode::kWrite); }
+    [[nodiscard]] std::uint64_t ls_accesses() const {
+        return of(isa::Opcode::kLsLoad) + of(isa::Opcode::kLsStore);
+    }
+    [[nodiscard]] std::uint64_t dma_commands() const {
+        return of(isa::Opcode::kDmaGet);
+    }
+};
+
+}  // namespace dta::core

@@ -1,0 +1,308 @@
+#include "core/interpreter.hpp"
+
+#include <string>
+#include <utility>
+
+#include <array>
+
+#include "isa/alu.hpp"
+#include "isa/validate.hpp"
+#include "sched/lse.hpp"
+#include "sim/check.hpp"
+
+namespace dta::core {
+
+using isa::Instruction;
+using isa::Opcode;
+
+Interpreter::Interpreter(isa::Program prog, const mem::MainMemoryConfig& cfg)
+    : prog_(std::move(prog)), mem_(cfg) {
+    isa::validate_program(prog_);
+}
+
+std::uint64_t Interpreter::create_thread(sim::ThreadCodeId code,
+                                         std::uint32_t sc) {
+    const std::uint64_t handle = next_handle_++;
+    Thread t;
+    t.code = code;
+    t.sc = sc;
+    t.frame.assign(64, 0);  // generous functional frame
+    if (sc == 0) {
+        ready_.push_back(handle);
+    }
+    threads_.emplace(handle, std::move(t));
+    return handle;
+}
+
+void Interpreter::store_to(std::uint64_t handle, std::uint32_t word,
+                           std::uint64_t value) {
+    const auto it = threads_.find(handle);
+    DTA_SIM_REQUIRE(it != threads_.end(),
+                    "STORE to an unknown or finished thread");
+    Thread& t = it->second;
+    DTA_SIM_REQUIRE(t.sc > 0, "more STOREs than the SC expects");
+    DTA_SIM_REQUIRE(word < t.frame.size(), "frame STORE offset out of range");
+    t.frame[word] = value;
+    if (--t.sc == 0) {
+        ready_.push_back(handle);
+    }
+}
+
+void Interpreter::launch(std::span<const std::uint64_t> args) {
+    DTA_SIM_REQUIRE(!launched_, "launch() called twice");
+    const std::uint64_t handle = create_thread(prog_.entry, 0);
+    Thread& t = threads_.at(handle);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        t.frame[i] = args[i];
+    }
+    launched_ = true;
+}
+
+InterpStats Interpreter::run(std::uint64_t max_instructions) {
+    DTA_SIM_REQUIRE(launched_, "run() before launch()");
+    InterpStats stats;
+    while (!ready_.empty()) {
+        const std::uint64_t handle = ready_.front();
+        ready_.pop_front();
+        exec_thread(handle, stats, max_instructions);
+        ++stats.threads;
+    }
+    if (!threads_.empty()) {
+        DTA_SIM_ERROR("dataflow deadlock: " +
+                      std::to_string(threads_.size()) +
+                      " threads still waiting for stores");
+    }
+    return stats;
+}
+
+void Interpreter::exec_thread(std::uint64_t handle, InterpStats& stats,
+                              std::uint64_t max_instructions) {
+    const auto it = threads_.find(handle);
+    DTA_CHECK(it != threads_.end());
+    Thread thread = std::move(it->second);
+    // The frame stays resident (stores to a ready thread are illegal and
+    // store_to would report them); erase at the end.
+    const isa::ThreadCode& tc = prog_.at(thread.code);
+
+    std::array<std::uint64_t, isa::kNumRegs> regs{};
+    std::array<Region, sched::kNumRegions> regions{};
+    bool freed = false;
+    std::uint32_t ip = 0;
+    const auto reg = [&](std::uint8_t r) -> std::uint64_t {
+        return r == 0 ? 0 : regs[r];
+    };
+    const auto set = [&](std::uint8_t r, std::uint64_t v) {
+        if (r != 0) {
+            regs[r] = v;
+        }
+    };
+
+    while (true) {
+        DTA_SIM_REQUIRE(stats.instructions < max_instructions,
+                        "interpreter exceeded max_instructions");
+        DTA_CHECK_MSG(ip < tc.size(), "interpreter ran off code");
+        const Instruction& ins = tc.code[ip];
+        ++stats.instructions;
+        switch (ins.op) {
+            case Opcode::kStop:
+                threads_.erase(handle);
+                return;
+            case Opcode::kFfree:
+                DTA_SIM_REQUIRE(!freed, "FFREE executed twice");
+                freed = true;
+                ++ip;
+                break;
+            case Opcode::kBeq:
+            case Opcode::kBne:
+            case Opcode::kBlt:
+            case Opcode::kBge:
+            case Opcode::kJmp:
+                ip = isa::eval_branch(ins, reg(ins.ra), reg(ins.rb))
+                         ? static_cast<std::uint32_t>(ins.imm)
+                         : ip + 1;
+                break;
+            case Opcode::kLoad:
+                set(ins.rd, thread.frame.at(static_cast<std::size_t>(ins.imm)));
+                ++ip;
+                break;
+            case Opcode::kLoadX:
+                set(ins.rd,
+                    thread.frame.at(static_cast<std::size_t>(
+                        reg(ins.ra) + static_cast<std::uint64_t>(ins.imm))));
+                ++ip;
+                break;
+            case Opcode::kStore:
+                store_to(reg(ins.rb), static_cast<std::uint32_t>(ins.imm),
+                         reg(ins.ra));
+                ++stats.frame_stores;
+                ++ip;
+                break;
+            case Opcode::kStoreX:
+                store_to(reg(ins.rb),
+                         static_cast<std::uint32_t>(reg(ins.rd) +
+                                                    static_cast<std::uint64_t>(
+                                                        ins.imm)),
+                         reg(ins.ra));
+                ++stats.frame_stores;
+                ++ip;
+                break;
+            case Opcode::kRead:
+                set(ins.rd, mem_.read_u32(reg(ins.ra) +
+                                          static_cast<std::uint64_t>(ins.imm)));
+                ++ip;
+                break;
+            case Opcode::kWrite:
+                mem_.write_u32(reg(ins.rb) +
+                                   static_cast<std::uint64_t>(ins.imm),
+                               static_cast<std::uint32_t>(reg(ins.ra)));
+                ++ip;
+                break;
+            case Opcode::kFalloc:
+                set(ins.rd,
+                    create_thread(
+                        static_cast<sim::ThreadCodeId>(ins.imm),
+                        prog_.at(static_cast<sim::ThreadCodeId>(ins.imm))
+                            .num_inputs));
+                ++ip;
+                break;
+            case Opcode::kFallocN:
+                set(ins.rd,
+                    create_thread(static_cast<sim::ThreadCodeId>(ins.imm),
+                                  static_cast<std::uint32_t>(reg(ins.ra))));
+                ++ip;
+                break;
+            case Opcode::kDmaGet: {
+                DTA_CHECK(ins.dma.has_value());
+                const isa::DmaArgs& args = *ins.dma;
+                Region& r = regions[args.region];
+                r.valid = true;
+                r.mem_base = reg(ins.ra);
+                r.stride = args.stride;
+                r.elem_bytes = args.elem_bytes;
+                r.bytes = args.bytes;
+                // Snapshot semantics: copy the bytes the MFC would move.
+                r.snapshot.resize(args.bytes);
+                if (args.stride == 0) {
+                    mem_.read_bytes(r.mem_base, r.snapshot);
+                } else {
+                    const std::uint32_t count = args.element_count();
+                    for (std::uint32_t i = 0; i < count; ++i) {
+                        mem_.read_bytes(
+                            r.mem_base +
+                                static_cast<std::uint64_t>(i) * args.stride,
+                            std::span<std::uint8_t>(
+                                r.snapshot.data() +
+                                    static_cast<std::size_t>(i) *
+                                        args.elem_bytes,
+                                args.elem_bytes));
+                    }
+                }
+                ++stats.dma_commands;
+                ++ip;
+                break;
+            }
+            case Opcode::kDmaWait:
+                ++ip;  // functional: transfers are instantaneous
+                break;
+            case Opcode::kRegSet: {
+                DTA_CHECK(ins.dma.has_value());
+                const isa::DmaArgs& args = *ins.dma;
+                Region& r = regions[args.region];
+                r.valid = true;
+                r.mem_base = reg(ins.ra);
+                r.stride = args.stride;
+                r.elem_bytes = args.elem_bytes;
+                r.bytes = args.bytes;
+                // Output staging: starts zeroed; the program must write
+                // before it reads (reading unwritten staging is undefined
+                // in the timed machine, where the LS may hold stale data).
+                r.snapshot.assign(args.bytes, 0);
+                ++ip;
+                break;
+            }
+            case Opcode::kDmaPut: {
+                DTA_CHECK(ins.dma.has_value());
+                const isa::DmaArgs& args = *ins.dma;
+                // The put ships whatever region covers this staging window;
+                // by convention (and in the workloads) the same region id
+                // was REGSET with identical geometry, so its snapshot *is*
+                // the staged data.
+                Region& r = regions[args.region];
+                DTA_SIM_REQUIRE(r.valid && r.bytes == args.bytes,
+                                "DMAPUT without a matching REGSET region");
+                const std::uint64_t base = reg(ins.ra);
+                if (args.stride == 0) {
+                    mem_.write_bytes(base, r.snapshot);
+                } else {
+                    const std::uint32_t count = args.element_count();
+                    for (std::uint32_t i = 0; i < count; ++i) {
+                        mem_.write_bytes(
+                            base + static_cast<std::uint64_t>(i) * args.stride,
+                            std::span<const std::uint8_t>(
+                                r.snapshot.data() +
+                                    static_cast<std::size_t>(i) *
+                                        args.elem_bytes,
+                                args.elem_bytes));
+                    }
+                }
+                ++stats.dma_commands;
+                ++ip;
+                break;
+            }
+            case Opcode::kLsLoad:
+            case Opcode::kLsStore: {
+                const std::uint8_t addr_reg =
+                    ins.op == Opcode::kLsStore ? ins.rb : ins.ra;
+                const std::uint64_t vaddr =
+                    reg(addr_reg) + static_cast<std::uint64_t>(ins.imm);
+                DTA_SIM_REQUIRE(ins.region >= 0,
+                                "interpreter supports region-translated LS "
+                                "access only (raw LS addresses are a timing-"
+                                "model concept)");
+                Region& r = regions[static_cast<std::size_t>(ins.region)];
+                DTA_SIM_REQUIRE(r.valid, "LS access through unfilled region");
+                DTA_SIM_REQUIRE(vaddr >= r.mem_base,
+                                "LS access below region base");
+                const std::uint64_t delta = vaddr - r.mem_base;
+                std::uint64_t off;
+                if (r.stride == 0) {
+                    DTA_SIM_REQUIRE(delta + 4 <= r.bytes,
+                                    "LS access past region end");
+                    off = delta;
+                } else {
+                    const std::uint64_t elem = delta / r.stride;
+                    const std::uint64_t within = delta % r.stride;
+                    DTA_SIM_REQUIRE(within + 4 <= r.elem_bytes,
+                                    "strided LS access crosses element");
+                    DTA_SIM_REQUIRE(elem < r.bytes / r.elem_bytes,
+                                    "strided LS access past last element");
+                    off = elem * r.elem_bytes + within;
+                }
+                if (ins.op == Opcode::kLsLoad) {
+                    std::uint32_t v = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        v |= static_cast<std::uint32_t>(
+                                 r.snapshot[off + static_cast<std::size_t>(i)])
+                             << (8 * i);
+                    }
+                    set(ins.rd, v);
+                } else {
+                    const auto v = static_cast<std::uint32_t>(reg(ins.ra));
+                    for (int i = 0; i < 4; ++i) {
+                        r.snapshot[off + static_cast<std::size_t>(i)] =
+                            static_cast<std::uint8_t>(v >> (8 * i));
+                    }
+                }
+                ++ip;
+                break;
+            }
+            default:
+                set(ins.rd,
+                    isa::eval_compute(ins, reg(ins.ra), reg(ins.rb), handle));
+                ++ip;
+                break;
+        }
+    }
+}
+
+}  // namespace dta::core

@@ -1,0 +1,518 @@
+#include "core/machine.hpp"
+
+#include <string>
+#include <utility>
+
+#include "core/wire.hpp"
+#include "isa/validate.hpp"
+#include "sim/check.hpp"
+
+namespace dta::core {
+
+namespace {
+constexpr std::uint64_t kNoResponse = ~0ull;
+}
+
+// ---------------------------------------------------------------------------
+// RunResult helpers
+// ---------------------------------------------------------------------------
+
+Breakdown RunResult::total_breakdown() const {
+    Breakdown b;
+    for (const auto& pe : pes) {
+        b += pe.breakdown;
+    }
+    return b;
+}
+
+InstrStats RunResult::total_instrs() const {
+    InstrStats s;
+    for (const auto& pe : pes) {
+        s += pe.instrs;
+    }
+    return s;
+}
+
+double RunResult::pipeline_usage() const {
+    if (cycles == 0 || pes.empty()) {
+        return 0.0;
+    }
+    std::uint64_t with_issue = 0;
+    for (const auto& pe : pes) {
+        with_issue += pe.cycles_with_issue;
+    }
+    return static_cast<double>(with_issue) /
+           (static_cast<double>(cycles) * static_cast<double>(pes.size()));
+}
+
+double RunResult::slot_utilisation() const {
+    if (cycles == 0 || pes.empty()) {
+        return 0.0;
+    }
+    std::uint64_t slots = 0;
+    for (const auto& pe : pes) {
+        slots += pe.issue_slots_used;
+    }
+    return static_cast<double>(slots) /
+           (2.0 * static_cast<double>(cycles) * static_cast<double>(pes.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Machine::Machine(MachineConfig cfg, isa::Program prog)
+    : cfg_(std::move(cfg)),
+      prog_(std::move(prog)),
+      topo_{cfg_.nodes, cfg_.spes_per_node},
+      layout_{cfg_.spes_per_node, cfg_.nodes > 1},
+      mem_(cfg_.memory) {
+    DTA_SIM_REQUIRE(cfg_.nodes > 0 && cfg_.spes_per_node > 0,
+                    "machine needs at least one node and one SPE");
+    isa::validate_program(prog_);
+
+    fabrics_.reserve(cfg_.nodes);
+    for (std::uint16_t n = 0; n < cfg_.nodes; ++n) {
+        fabrics_.emplace_back(cfg_.noc, layout_.endpoint_count());
+        dses_.emplace_back(topo_, n, cfg_.lse.frames,
+                           cfg_.lse.virtual_frames);
+    }
+    if (cfg_.nodes > 1) {
+        links_.reserve(cfg_.nodes);
+        for (std::uint16_t n = 0; n < cfg_.nodes; ++n) {
+            links_.emplace_back(cfg_.link);
+        }
+    }
+    bridge_out_.resize(cfg_.nodes);
+    link_arrivals_.resize(cfg_.nodes);
+    pes_.reserve(cfg_.total_pes());
+    for (sim::GlobalPeId id = 0; id < cfg_.total_pes(); ++id) {
+        pes_.push_back(std::make_unique<Pe>(cfg_, topo_, id, prog_, logger_));
+        if (cfg_.capture_spans) {
+            pes_.back()->set_span_sink(&spans_);
+        }
+    }
+}
+
+void Machine::launch(std::span<const std::uint64_t> args) {
+    DTA_SIM_REQUIRE(!launched_, "launch() called twice");
+    const isa::ThreadCode& entry = prog_.at(prog_.entry);
+    DTA_SIM_REQUIRE(args.size() <= cfg_.lse.frame_words,
+                    "entry arguments do not fit in a frame");
+    Pe& pe0 = *pes_[0];
+    const std::uint32_t slot = pe0.lse().bootstrap_frame(prog_.entry, 0);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        pe0.lse().write_frame_word(slot, static_cast<std::uint32_t>(i),
+                                   args[i]);
+    }
+    dses_[0].steal_frame(0);
+    launched_ = true;
+    logger_.log(sim::LogLevel::kInfo, 0, "machine",
+                "launched entry thread '" + entry.name + "' with " +
+                    std::to_string(args.size()) + " args");
+}
+
+// ---------------------------------------------------------------------------
+// Memory interface (node 0)
+// ---------------------------------------------------------------------------
+
+std::size_t Machine::alloc_mem_ctx(const MemCtx& ctx) {
+    std::size_t idx;
+    if (!mem_ctx_free_.empty()) {
+        idx = mem_ctx_free_.front();
+        mem_ctx_free_.pop_front();
+        mem_ctx_[idx] = ctx;
+    } else {
+        idx = mem_ctx_.size();
+        mem_ctx_.push_back(ctx);
+    }
+    mem_ctx_[idx].in_use = true;
+    ++mem_ctx_outstanding_;
+    return idx;
+}
+
+void Machine::handle_memif_packet(const noc::Packet& pkt) {
+    switch (static_cast<sched::MsgKind>(pkt.kind)) {
+        case sched::MsgKind::kMemReadReq: {
+            const auto req = sched::GlobalEndpoint::unpack(pkt.b);
+            MemCtx ctx;
+            ctx.resp_kind = sched::MsgKind::kMemReadResp;
+            ctx.node = req.node;
+            ctx.ep = req.ep;
+            ctx.x = pkt.c;  // destination register
+            mem::MemRequest mr;
+            mr.op = mem::MemOp::kRead;
+            mr.addr = pkt.a;
+            mr.size = 4;
+            mr.meta = alloc_mem_ctx(ctx);
+            mem_.enqueue(std::move(mr));
+            break;
+        }
+        case sched::MsgKind::kMemWriteReq: {
+            mem::MemRequest mr;
+            mr.op = mem::MemOp::kWrite;
+            mr.addr = pkt.a;
+            mr.size = 4;
+            const auto v = static_cast<std::uint32_t>(pkt.b);
+            mr.data = {static_cast<std::uint8_t>(v),
+                       static_cast<std::uint8_t>(v >> 8),
+                       static_cast<std::uint8_t>(v >> 16),
+                       static_cast<std::uint8_t>(v >> 24)};
+            mr.meta = kNoResponse;
+            mem_.enqueue(std::move(mr));
+            break;
+        }
+        case sched::MsgKind::kDmaLineReq: {
+            const DmaWireCtx wire = DmaWireCtx::unpack(pkt.c);
+            MemCtx ctx;
+            ctx.resp_kind = sched::MsgKind::kDmaLineResp;
+            ctx.node = wire.node;
+            ctx.ep = wire.ep;
+            ctx.x = pkt.b;  // line id
+            mem::MemRequest mr;
+            mr.op = mem::MemOp::kRead;
+            mr.addr = pkt.a;
+            mr.size = wire.bytes;
+            mr.meta = alloc_mem_ctx(ctx);
+            mem_.enqueue(std::move(mr));
+            break;
+        }
+        case sched::MsgKind::kDmaPutReq: {
+            const DmaWireCtx wire = DmaWireCtx::unpack(pkt.c);
+            MemCtx ctx;
+            ctx.resp_kind = sched::MsgKind::kDmaPutAck;
+            ctx.node = wire.node;
+            ctx.ep = wire.ep;
+            ctx.x = pkt.b;  // line id
+            mem::MemRequest mr;
+            mr.op = mem::MemOp::kWrite;
+            mr.addr = pkt.a;
+            mr.size = wire.bytes;
+            mr.data = pkt.data;
+            mr.meta = alloc_mem_ctx(ctx);
+            mem_.enqueue(std::move(mr));
+            break;
+        }
+        default:
+            DTA_CHECK_MSG(false, "memory interface got unexpected packet kind " +
+                                     std::to_string(pkt.kind));
+    }
+}
+
+void Machine::drain_memory_responses() {
+    mem::MemResponse resp;
+    while (mem_.pop_response(resp)) {
+        if (resp.meta == kNoResponse) {
+            continue;  // posted SPU WRITE
+        }
+        DTA_CHECK(resp.meta < mem_ctx_.size());
+        MemCtx& ctx = mem_ctx_[resp.meta];
+        DTA_CHECK_MSG(ctx.in_use, "memory response without a live context");
+        noc::Packet pkt;
+        pkt.kind = static_cast<std::uint16_t>(ctx.resp_kind);
+        pkt.dst_node = ctx.node;
+        pkt.dst_final = ctx.ep;
+        switch (ctx.resp_kind) {
+            case sched::MsgKind::kMemReadResp:
+                pkt.a = resp.addr;
+                pkt.b = decode_le(resp.data, 4);
+                pkt.c = ctx.x;
+                pkt.size_bytes = sched::kMemReadRespBytes;
+                break;
+            case sched::MsgKind::kDmaLineResp:
+                pkt.a = ctx.x;
+                pkt.size_bytes =
+                    8 + static_cast<std::uint32_t>(resp.data.size());
+                pkt.data = std::move(resp.data);
+                break;
+            case sched::MsgKind::kDmaPutAck:
+                pkt.a = ctx.x;
+                pkt.size_bytes = 8;
+                break;
+            default:
+                DTA_CHECK_MSG(false, "bad memory context kind");
+        }
+        ctx.in_use = false;
+        mem_ctx_free_.push_back(resp.meta);
+        DTA_CHECK(mem_ctx_outstanding_ > 0);
+        --mem_ctx_outstanding_;
+        memif_outbox_.push_back(std::move(pkt));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+void Machine::handle_dse_packet(std::uint16_t node, const noc::Packet& pkt) {
+    switch (static_cast<sched::MsgKind>(pkt.kind)) {
+        case sched::MsgKind::kFallocReq:
+            dses_[node].on_falloc_req(static_cast<sim::ThreadCodeId>(pkt.a),
+                                      static_cast<std::uint32_t>(pkt.b),
+                                      sched::FallocCtx::unpack(pkt.c));
+            break;
+        case sched::MsgKind::kFrameFree:
+            dses_[node].on_frame_free(static_cast<sim::GlobalPeId>(pkt.a));
+            break;
+        default:
+            DTA_CHECK_MSG(false, "DSE got unexpected packet kind " +
+                                     std::to_string(pkt.kind));
+    }
+}
+
+void Machine::route_fabric_deliveries(sim::Cycle) {
+    for (std::uint16_t node = 0; node < cfg_.nodes; ++node) {
+        noc::Interconnect& fab = fabrics_[node];
+        for (noc::EndpointId ep = 0; ep < layout_.endpoint_count(); ++ep) {
+            noc::Packet pkt;
+            while (fab.pop_delivered(ep, pkt)) {
+                if (layout_.is_spe(ep)) {
+                    pes_[topo_.global_pe(node, static_cast<std::uint16_t>(ep))]
+                        ->deliver(std::move(pkt));
+                } else if (ep == layout_.dse_ep()) {
+                    handle_dse_packet(node, pkt);
+                } else if (ep == layout_.mem_ep()) {
+                    DTA_CHECK_MSG(node == kMemoryNode,
+                                  "memory packet on a memory-less node");
+                    handle_memif_packet(pkt);
+                } else {  // bridge
+                    bridge_out_[node].push_back(std::move(pkt));
+                }
+            }
+        }
+    }
+}
+
+bool Machine::inject(std::uint16_t node, noc::EndpointId src,
+                     noc::Packet pkt) {
+    pkt.dst = pkt.dst_node == node ? pkt.dst_final : layout_.bridge_ep();
+    DTA_CHECK_MSG(pkt.dst_node == node || cfg_.nodes > 1,
+                  "cross-node packet in a single-node machine");
+    return fabrics_[node].try_inject(src, std::move(pkt));
+}
+
+void Machine::injection_phase(sim::Cycle now) {
+    for (std::uint16_t node = 0; node < cfg_.nodes; ++node) {
+        // (a) packets that arrived over the inbound link
+        auto& arrivals = link_arrivals_[node];
+        while (!arrivals.empty()) {
+            if (arrivals.front().dst_node == node) {
+                if (!inject(node, layout_.bridge_ep(), arrivals.front())) {
+                    break;
+                }
+                arrivals.pop_front();
+            } else {
+                // keep circling the ring
+                bridge_out_[node].push_back(std::move(arrivals.front()));
+                arrivals.pop_front();
+            }
+        }
+        // (b) memory responses (node 0 only)
+        if (node == kMemoryNode) {
+            while (!memif_outbox_.empty()) {
+                if (!inject(node, layout_.mem_ep(), memif_outbox_.front())) {
+                    break;
+                }
+                memif_outbox_.pop_front();
+            }
+        }
+        // (c) DSE messages
+        {
+            sched::SchedMsg msg;
+            while (fabrics_[node].can_inject(layout_.dse_ep()) &&
+                   dses_[node].pop_outgoing(msg)) {
+                noc::Packet pkt;
+                pkt.kind = static_cast<std::uint16_t>(msg.kind);
+                pkt.dst_node = msg.dst_node;
+                pkt.dst_final = msg.dst_is_dse
+                                    ? layout_.dse_ep()
+                                    : layout_.spe_ep(msg.dst_pe);
+                pkt.size_bytes = sched::kCtrlMsgBytes;
+                pkt.a = msg.a;
+                pkt.b = msg.b;
+                pkt.c = msg.c;
+                const bool ok = inject(node, layout_.dse_ep(), std::move(pkt));
+                DTA_CHECK(ok);  // can_inject was checked
+            }
+        }
+        // (d) PE traffic
+        for (std::uint16_t local = 0; local < cfg_.spes_per_node; ++local) {
+            Pe& pe = *pes_[topo_.global_pe(node, local)];
+            noc::Packet pkt;
+            while (fabrics_[node].can_inject(layout_.spe_ep(local)) &&
+                   pe.pop_outgoing(pkt)) {
+                const bool ok =
+                    inject(node, layout_.spe_ep(local), std::move(pkt));
+                DTA_CHECK(ok);
+            }
+        }
+        // (e) bridge -> outbound ring link
+        if (cfg_.nodes > 1) {
+            auto& out = bridge_out_[node];
+            while (!out.empty() && links_[node].can_send()) {
+                const bool ok = links_[node].try_send(std::move(out.front()));
+                DTA_CHECK(ok);
+                out.pop_front();
+            }
+            links_[node].tick(now);
+            noc::Packet pkt;
+            const std::uint16_t next =
+                static_cast<std::uint16_t>((node + 1) % cfg_.nodes);
+            while (links_[node].pop_delivered(pkt)) {
+                link_arrivals_[next].push_back(std::move(pkt));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------------------
+
+void Machine::tick_cycle(sim::Cycle now) {
+    for (auto& fab : fabrics_) {
+        fab.tick(now);
+    }
+    route_fabric_deliveries(now);
+    mem_.tick(now);
+    drain_memory_responses();
+    for (auto& pe : pes_) {
+        pe->tick_local_store(now);
+    }
+    for (auto& pe : pes_) {
+        pe->tick_units(now);
+    }
+    for (auto& pe : pes_) {
+        pe->tick_spu(now);
+    }
+    injection_phase(now);
+}
+
+bool Machine::check_quiescent() const {
+    for (const auto& fab : fabrics_) {
+        if (!fab.quiescent()) return false;
+    }
+    for (const auto& link : links_) {
+        if (!link.quiescent()) return false;
+    }
+    if (!mem_.quiescent() || !memif_outbox_.empty() ||
+        mem_ctx_outstanding_ != 0) {
+        return false;
+    }
+    for (const auto& q : bridge_out_) {
+        if (!q.empty()) return false;
+    }
+    for (const auto& q : link_arrivals_) {
+        if (!q.empty()) return false;
+    }
+    for (const auto& dse : dses_) {
+        if (!dse.quiescent()) return false;
+    }
+    for (const auto& pe : pes_) {
+        if (!pe->quiescent()) return false;
+    }
+    return true;
+}
+
+RunResult Machine::run() {
+    DTA_SIM_REQUIRE(launched_, "run() before launch()");
+    DTA_SIM_REQUIRE(!ran_, "run() called twice");
+    ran_ = true;
+    sim::Cycle now = 0;
+    std::uint64_t last_fp = ~0ull;
+    sim::Cycle last_progress = 0;
+    for (; now < cfg_.max_cycles; ++now) {
+        tick_cycle(now);
+        if (check_quiescent()) {
+            logger_.log(sim::LogLevel::kInfo, now, "machine",
+                        "quiescent; simulation complete");
+            return gather(now + 1);
+        }
+        // No-progress (deadlock) detection.  A live machine issues
+        // instructions, delivers packets or completes memory accesses; if
+        // the activity fingerprint freezes for longer than any
+        // architectural latency, the run is stuck — typically FALLOCs
+        // blocking a pipeline while every free-able frame needs that
+        // pipeline to finish.
+        if ((now & 0xfff) == 0xfff) {
+            std::uint64_t fp = mem_.reads_served() + mem_.writes_served();
+            for (const auto& fab : fabrics_) {
+                fp += fab.stats().packets_delivered;
+            }
+            for (const auto& pe : pes_) {
+                fp += pe->issue_slots_used() + pe->lse().stats().dispatches;
+            }
+            if (fp != last_fp) {
+                last_fp = fp;
+                last_progress = now;
+            } else if (now - last_progress > cfg_.no_progress_limit) {
+                std::uint64_t parked = 0;
+                for (const auto& dse : dses_) {
+                    parked += dse.pending();
+                }
+                DTA_SIM_ERROR(
+                    "deadlock: no progress for " +
+                    std::to_string(now - last_progress) + " cycles (" +
+                    std::to_string(parked) +
+                    " FALLOCs parked at DSEs; the program's live-thread "
+                    "peak likely exceeds the frame supply)");
+            }
+        }
+    }
+    DTA_SIM_ERROR("simulation exceeded max_cycles (" +
+                  std::to_string(cfg_.max_cycles) + ")");
+}
+
+RunResult Machine::gather(sim::Cycle cycles) const {
+    RunResult r;
+    r.cycles = cycles;
+    r.pes.reserve(pes_.size());
+    for (const auto& pe : pes_) {
+        PeReport pr;
+        pr.breakdown = pe->breakdown();
+        pr.instrs = pe->instr_stats();
+        pr.issue_slots_used = pe->issue_slots_used();
+        pr.cycles_with_issue = pe->cycles_with_issue();
+        pr.threads_executed = pe->threads_executed();
+        pr.lse = pe->lse().stats();
+        r.pes.push_back(pr);
+        r.dma_commands += pe->mfc().commands_completed();
+        r.dma_bytes += pe->mfc().bytes_transferred();
+    }
+    for (const auto& fab : fabrics_) {
+        const auto& s = fab.stats();
+        r.noc.packets_injected += s.packets_injected;
+        r.noc.packets_delivered += s.packets_delivered;
+        r.noc.bytes_transferred += s.bytes_transferred;
+        r.noc.bus_busy_cycles += s.bus_busy_cycles;
+        r.noc.inject_stall_events += s.inject_stall_events;
+    }
+    r.mem_reads = mem_.reads_served();
+    r.mem_writes = mem_.writes_served();
+    r.mem_bytes_read = mem_.bytes_read();
+    r.mem_bytes_written = mem_.bytes_written();
+    r.mem_peak_queue = mem_.peak_queue_depth();
+    for (const auto& dse : dses_) {
+        r.dse_requests += dse.stats().requests;
+        r.dse_queued += dse.stats().queued;
+        r.dse_peak_pending =
+            std::max(r.dse_peak_pending, dse.stats().peak_pending);
+    }
+    // Per-thread-code profile, aggregated over every PE.
+    r.profile.resize(prog_.codes.size());
+    r.code_names.reserve(prog_.codes.size());
+    for (std::size_t c = 0; c < prog_.codes.size(); ++c) {
+        r.profile[c].name = prog_.codes[c].name;
+        r.code_names.push_back(prog_.codes[c].name);
+        for (const auto& pe : pes_) {
+            r.profile[c].threads_started += pe->code_starts()[c];
+            r.profile[c].dispatches += pe->code_dispatches()[c];
+            r.profile[c].pipeline_cycles += pe->code_cycles()[c];
+            r.profile[c].instructions += pe->code_instrs()[c];
+        }
+    }
+    r.spans = spans_;
+    return r;
+}
+
+}  // namespace dta::core

@@ -1,0 +1,156 @@
+/// \file machine.hpp
+/// \brief The whole simulated machine: nodes of PEs, the distributed
+///        scheduler, the bus fabric(s), the memory controller, and the run
+///        loop (Fig. 2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/breakdown.hpp"
+#include "core/config.hpp"
+#include "core/pe.hpp"
+#include "core/trace.hpp"
+#include "core/topology.hpp"
+#include "isa/program.hpp"
+#include "mem/main_memory.hpp"
+#include "noc/interconnect.hpp"
+#include "noc/link.hpp"
+#include "sched/dse.hpp"
+#include "sim/log.hpp"
+
+namespace dta::core {
+
+/// Per-PE slice of a run's results.
+struct PeReport {
+    Breakdown breakdown;
+    InstrStats instrs;
+    std::uint64_t issue_slots_used = 0;
+    std::uint64_t cycles_with_issue = 0;
+    std::uint64_t threads_executed = 0;
+    sched::LseStats lse;
+};
+
+/// Everything a finished simulation reports.
+struct RunResult {
+    sim::Cycle cycles = 0;
+    std::vector<PeReport> pes;
+
+    // fabric / memory / scheduler aggregates
+    noc::InterconnectStats noc;
+    std::uint64_t mem_reads = 0;
+    std::uint64_t mem_writes = 0;
+    std::uint64_t mem_bytes_read = 0;
+    std::uint64_t mem_bytes_written = 0;
+    std::size_t mem_peak_queue = 0;
+    std::uint64_t dma_commands = 0;
+    std::uint64_t dma_bytes = 0;
+    std::uint64_t dse_requests = 0;
+    std::uint64_t dse_queued = 0;
+    std::size_t dse_peak_pending = 0;
+
+    /// Per-thread-code profile (always collected; cheap counters).
+    std::vector<CodeProfile> profile;
+    /// SPU occupancy spans (only when MachineConfig::capture_spans).
+    std::vector<ThreadSpan> spans;
+    /// Thread-code names, aligned with span code ids (for trace rendering).
+    std::vector<std::string> code_names;
+
+    [[nodiscard]] Breakdown total_breakdown() const;
+    [[nodiscard]] InstrStats total_instrs() const;
+    /// Fig. 9 metric: fraction of SPU cycles with at least one issue.
+    [[nodiscard]] double pipeline_usage() const;
+    /// Stricter usage: issue slots used over 2-wide capacity.
+    [[nodiscard]] double slot_utilisation() const;
+};
+
+/// A complete DTA machine.
+class Machine {
+public:
+    /// Validates \p prog and builds the machine; both are copied so the
+    /// caller's objects may go away.
+    Machine(MachineConfig cfg, isa::Program prog);
+
+    Machine(const Machine&) = delete;
+    Machine& operator=(const Machine&) = delete;
+
+    /// Functional access to main memory for input/output data.
+    [[nodiscard]] mem::MainMemory& memory() { return mem_; }
+    [[nodiscard]] const mem::MainMemory& memory() const { return mem_; }
+    [[nodiscard]] const isa::Program& program() const { return prog_; }
+    [[nodiscard]] const MachineConfig& config() const { return cfg_; }
+
+    /// Installs a trace sink (optional; default off).
+    void set_log_sink(sim::LogLevel level, sim::Logger::Sink sink) {
+        logger_.configure(level, std::move(sink));
+    }
+
+    /// Seeds the entry thread (the TLP activity the PPE offloads): a frame
+    /// on PE 0 pre-filled with \p args, immediately ready.
+    void launch(std::span<const std::uint64_t> args);
+
+    /// Runs the simulation to completion and returns the statistics.
+    /// Throws sim::SimError on deadlock or when max_cycles is exceeded.
+    [[nodiscard]] RunResult run();
+
+    /// Component access for tests.
+    [[nodiscard]] Pe& pe(sim::GlobalPeId id) { return *pes_[id]; }
+    [[nodiscard]] std::uint32_t num_pes() const {
+        return static_cast<std::uint32_t>(pes_.size());
+    }
+    [[nodiscard]] sched::Dse& dse(std::uint16_t node) { return dses_[node]; }
+
+private:
+    /// Bookkeeping for one outstanding timed memory access.
+    struct MemCtx {
+        sched::MsgKind resp_kind = sched::MsgKind::kInvalid;
+        std::uint16_t node = 0;
+        std::uint32_t ep = 0;
+        std::uint64_t x = 0;  ///< rd (reads) or DMA line id
+        bool in_use = false;
+    };
+
+    void tick_cycle(sim::Cycle now);
+    void route_fabric_deliveries(sim::Cycle now);
+    void handle_dse_packet(std::uint16_t node, const noc::Packet& pkt);
+    void handle_memif_packet(const noc::Packet& pkt);
+    void drain_memory_responses();
+    void injection_phase(sim::Cycle now);
+    [[nodiscard]] bool inject(std::uint16_t node, noc::EndpointId src,
+                              noc::Packet pkt);
+    [[nodiscard]] bool check_quiescent() const;
+    [[nodiscard]] std::size_t alloc_mem_ctx(const MemCtx& ctx);
+    [[nodiscard]] RunResult gather(sim::Cycle cycles) const;
+
+    MachineConfig cfg_;
+    isa::Program prog_;
+    sched::Topology topo_;
+    FabricLayout layout_;
+    sim::Logger logger_;
+
+    mem::MainMemory mem_;
+    std::vector<noc::Interconnect> fabrics_;  ///< one per node
+    std::vector<noc::Link> links_;            ///< ring: node i -> (i+1)%n
+    std::vector<std::unique_ptr<Pe>> pes_;
+    std::vector<sched::Dse> dses_;
+
+    // memory-interface glue (node 0)
+    std::vector<MemCtx> mem_ctx_;
+    std::deque<std::size_t> mem_ctx_free_;
+    std::size_t mem_ctx_outstanding_ = 0;
+    std::deque<noc::Packet> memif_outbox_;
+
+    // inter-node glue
+    std::vector<std::deque<noc::Packet>> bridge_out_;   ///< to my ring link
+    std::vector<std::deque<noc::Packet>> link_arrivals_; ///< from my inbound link
+
+    std::vector<ThreadSpan> spans_;  ///< filled when cfg_.capture_spans
+
+    bool launched_ = false;
+    bool ran_ = false;
+};
+
+}  // namespace dta::core

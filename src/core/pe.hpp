@@ -1,0 +1,214 @@
+/// \file pe.hpp
+/// \brief One processing element: the SPU pipeline plus its local store,
+///        LSE and MFC, and the glue that speaks the NoC protocol.
+///
+/// The SPU is the simple core DTA assumes (Section 1: "in-order pipelines,
+/// no branch predictors, no ROBs"), modelled after the Cell SPU: dual issue
+/// with one compute pipe and one memory pipe per cycle, a register
+/// scoreboard with per-register ready times, fixed ALU/MUL/DIV latencies, a
+/// flush penalty on taken branches, and no caches — only the local store.
+///
+/// Every SPU cycle is charged to exactly one CycleBucket, reproducing the
+/// Fig. 5 accounting; the mapping is documented on \ref CycleBucket.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "core/breakdown.hpp"
+#include "core/trace.hpp"
+#include "core/config.hpp"
+#include "core/topology.hpp"
+#include "dma/mfc.hpp"
+#include "isa/program.hpp"
+#include "mem/local_store.hpp"
+#include "noc/packet.hpp"
+#include "sched/lse.hpp"
+#include "sim/log.hpp"
+
+namespace dta::core {
+
+/// One SPE of the machine.
+class Pe {
+public:
+    Pe(const MachineConfig& cfg, const sched::Topology& topo,
+       sim::GlobalPeId self, const isa::Program& prog,
+       const sim::Logger& log);
+
+    Pe(const Pe&) = delete;
+    Pe& operator=(const Pe&) = delete;
+
+    // ---- packet I/O (machine glue) --------------------------------------
+    /// Fabric delivered a packet addressed to this PE.
+    void deliver(noc::Packet pkt);
+    /// Pops the next packet this PE wants to inject, if any.
+    [[nodiscard]] bool pop_outgoing(noc::Packet& out);
+    [[nodiscard]] bool has_outgoing() const { return !outgoing_.empty(); }
+
+    // ---- per-cycle phases (called by the Machine in this order) ----------
+    /// Services the local store's ports.
+    void tick_local_store(sim::Cycle now);
+    /// Decodes inbox packets, advances the MFC and LSE, applies completions.
+    void tick_units(sim::Cycle now);
+    /// Advances the SPU pipeline by one cycle (issue + accounting).
+    void tick_spu(sim::Cycle now);
+
+    // ---- component access (bootstrap, stats, tests) -----------------------
+    [[nodiscard]] sched::Lse& lse() { return lse_; }
+    [[nodiscard]] const sched::Lse& lse() const { return lse_; }
+    [[nodiscard]] mem::LocalStore& local_store() { return ls_; }
+    [[nodiscard]] const mem::LocalStore& local_store() const { return ls_; }
+    [[nodiscard]] dma::Mfc& mfc() { return mfc_; }
+    [[nodiscard]] const dma::Mfc& mfc() const { return mfc_; }
+
+    [[nodiscard]] const Breakdown& breakdown() const { return breakdown_; }
+    [[nodiscard]] const InstrStats& instr_stats() const { return instrs_; }
+    /// Issue slots actually used (for the Fig. 9 pipeline-usage metric; the
+    /// SPU has two slots per cycle).
+    [[nodiscard]] std::uint64_t issue_slots_used() const { return slots_used_; }
+    [[nodiscard]] std::uint64_t cycles_with_issue() const {
+        return cycles_with_issue_;
+    }
+    [[nodiscard]] std::uint64_t threads_executed() const {
+        return threads_executed_;
+    }
+    /// Per-thread-code counters (indexed by ThreadCodeId).
+    [[nodiscard]] const std::vector<std::uint64_t>& code_cycles() const {
+        return code_cycles_;
+    }
+    [[nodiscard]] const std::vector<std::uint64_t>& code_instrs() const {
+        return code_instrs_;
+    }
+    [[nodiscard]] const std::vector<std::uint64_t>& code_starts() const {
+        return code_starts_;
+    }
+    [[nodiscard]] const std::vector<std::uint64_t>& code_dispatches() const {
+        return code_dispatches_;
+    }
+    /// Installs a sink that receives one ThreadSpan per SPU occupancy.
+    void set_span_sink(std::vector<ThreadSpan>* sink) { spans_ = sink; }
+
+    [[nodiscard]] bool spu_bound() const { return bound_; }
+    /// True when nothing on this PE is live or in flight.
+    [[nodiscard]] bool quiescent() const;
+
+private:
+    /// Why the pipeline's front is blocked this cycle.
+    enum class RegSrc : std::uint8_t { kNone, kAlu, kMul, kMem, kLs, kLse };
+    /// Why busy_until_ is in the future.
+    enum class BusyReason : std::uint8_t {
+        kNone,
+        kThreadStart,
+        kBranch,
+        kDmaProgram
+    };
+
+    struct IssueCheck {
+        bool ok = false;
+        CycleBucket stall = CycleBucket::kWorking;
+    };
+
+    // pipeline steps
+    void handle_dispatch(sim::Cycle now);
+    void bind_thread(const sched::Dispatch& d, sim::Cycle now);
+    void unbind(sim::Cycle now);
+    [[nodiscard]] IssueCheck can_issue(const isa::Instruction& ins,
+                                       sim::Cycle now) const;
+    /// Executes \p ins; returns false when the pipeline must not look at a
+    /// second slot this cycle (branch taken, control op, thread unbound).
+    bool execute(const isa::Instruction& ins, sim::Cycle now);
+    [[nodiscard]] CycleBucket stall_bucket(RegSrc src) const;
+    [[nodiscard]] std::optional<CycleBucket> operand_block(
+        const isa::Instruction& ins, sim::Cycle now) const;
+
+    // execution helpers
+    void exec_compute(const isa::Instruction& ins, sim::Cycle now);
+    void exec_branch(const isa::Instruction& ins);
+    void exec_load(const isa::Instruction& ins);
+    void exec_lsload(const isa::Instruction& ins);
+    void exec_lsstore(const isa::Instruction& ins);
+    void exec_store(const isa::Instruction& ins);
+    void exec_read(const isa::Instruction& ins);
+    void exec_write(const isa::Instruction& ins);
+    void exec_falloc(const isa::Instruction& ins);
+    /// Handles both DMAGET and DMAPUT (direction from the opcode).
+    void exec_dmaget(const isa::Instruction& ins, sim::Cycle now);
+    void exec_regset(const isa::Instruction& ins);
+    /// Returns false when the thread suspended (pipeline released).
+    bool exec_dmawait(sim::Cycle now);
+    void exec_stop(sim::Cycle now);
+
+    void set_reg(std::uint8_t rd, std::uint64_t value, sim::Cycle ready_at,
+                 RegSrc src);
+    [[nodiscard]] std::uint64_t reg(std::uint8_t r) const {
+        return r == 0 ? 0 : regs_[r];
+    }
+    /// Resolves an LSLOAD/LSSTORE address: region translation or raw LS.
+    [[nodiscard]] std::uint32_t resolve_ls_addr(const isa::Instruction& ins,
+                                                std::uint32_t access_bytes) const;
+
+    // packet plumbing
+    void push_packet(noc::Packet pkt);
+    void send_sched_msg(const sched::SchedMsg& msg);
+    void pump_outgoing_producers();
+    void apply_read_response(std::uint8_t rd, std::uint64_t value,
+                             sim::Cycle now);
+
+    // configuration / identity
+    SpuConfig cfg_;
+    sched::LseConfig lse_cfg_;
+    sched::Topology topo_;
+    FabricLayout layout_;
+    sim::GlobalPeId self_;
+    const isa::Program& prog_;
+    const sim::Logger& log_;
+
+    // components
+    mem::LocalStore ls_;
+    sched::Lse lse_;
+    dma::Mfc mfc_;
+
+    // packet queues
+    std::deque<noc::Packet> inbox_;
+    std::deque<noc::Packet> outgoing_;
+    static constexpr std::size_t kOutgoingPullCap = 16;
+
+    // SPU architectural state
+    bool bound_ = false;
+    std::uint32_t slot_ = 0;
+    sim::ThreadCodeId code_id_ = 0;
+    const isa::ThreadCode* code_ = nullptr;
+    std::uint32_t ip_ = 0;
+    bool freed_ = false;  ///< FFREE already executed by this thread
+    std::array<std::uint64_t, isa::kNumRegs> regs_{};
+    std::array<sched::RegionEntry, sched::kNumRegions> regions_{};
+
+    // scoreboard
+    std::array<sim::Cycle, isa::kNumRegs> reg_ready_{};
+    std::array<RegSrc, isa::kNumRegs> reg_src_{};
+    std::uint32_t outstanding_reads_ = 0;
+    std::uint32_t outstanding_lsloads_ = 0;
+    std::uint32_t outstanding_fallocs_ = 0;
+
+    // pipeline control
+    sim::Cycle busy_until_ = 0;
+    BusyReason busy_reason_ = BusyReason::kNone;
+    std::uint64_t ls_req_seq_ = 1;
+
+    // statistics
+    Breakdown breakdown_;
+    InstrStats instrs_;
+    std::uint64_t slots_used_ = 0;
+    std::uint64_t cycles_with_issue_ = 0;
+    std::uint64_t threads_executed_ = 0;
+    std::vector<std::uint64_t> code_cycles_;
+    std::vector<std::uint64_t> code_instrs_;
+    std::vector<std::uint64_t> code_starts_;
+    std::vector<std::uint64_t> code_dispatches_;
+    std::vector<ThreadSpan>* spans_ = nullptr;  ///< optional, machine-owned
+    ThreadSpan open_span_;                      ///< valid while bound_
+};
+
+}  // namespace dta::core

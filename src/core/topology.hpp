@@ -1,0 +1,38 @@
+/// \file topology.hpp
+/// \brief Fabric endpoint layout shared by the PEs and the Machine.
+///
+/// Each node's bus fabric carries, in this order: the node's SPEs, the
+/// node's DSE, the memory interface (only node 0's is backed by the real
+/// memory controller; remote nodes reach memory through their bridge), and
+/// — in multi-node machines — the inter-node bridge.
+#pragma once
+
+#include <cstdint>
+
+#include "noc/packet.hpp"
+#include "sched/messages.hpp"
+
+namespace dta::core {
+
+/// Endpoint numbering on one node's fabric.
+struct FabricLayout {
+    std::uint16_t spes = 8;
+    bool multi_node = false;
+
+    [[nodiscard]] noc::EndpointId spe_ep(std::uint16_t local_pe) const {
+        return local_pe;
+    }
+    [[nodiscard]] noc::EndpointId dse_ep() const { return spes; }
+    [[nodiscard]] noc::EndpointId mem_ep() const { return spes + 1u; }
+    [[nodiscard]] noc::EndpointId bridge_ep() const { return spes + 2u; }
+    [[nodiscard]] std::uint32_t endpoint_count() const {
+        return spes + 2u + (multi_node ? 1u : 0u);
+    }
+    /// True when \p ep addresses an SPE.
+    [[nodiscard]] bool is_spe(noc::EndpointId ep) const { return ep < spes; }
+};
+
+/// Node that hosts the (single) main-memory controller.
+inline constexpr std::uint16_t kMemoryNode = 0;
+
+}  // namespace dta::core

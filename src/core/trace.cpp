@@ -1,0 +1,29 @@
+#include "core/trace.hpp"
+
+#include <sstream>
+
+namespace dta::core {
+
+std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
+                              const std::vector<std::string>& code_names) {
+    std::ostringstream os;
+    os << "[\n";
+    bool first = true;
+    for (const ThreadSpan& s : spans) {
+        if (!first) {
+            os << ",\n";
+        }
+        first = false;
+        const std::string name =
+            s.code < code_names.size() ? code_names[s.code]
+                                       : "code" + std::to_string(s.code);
+        os << R"(  {"name": ")" << name << (s.resumed ? " (resume)" : "")
+           << R"(", "cat": "thread", "ph": "X", "ts": )" << s.begin
+           << R"(, "dur": )" << (s.end - s.begin) << R"(, "pid": 0, "tid": )"
+           << s.pe << R"(, "args": {"slot": )" << s.slot << "}}";
+    }
+    os << "\n]\n";
+    return os.str();
+}
+
+}  // namespace dta::core

@@ -1,0 +1,40 @@
+/// \file trace.hpp
+/// \brief Execution-trace records: which thread ran where, when — the raw
+///        material for per-code profiles and Chrome-trace timelines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace dta::core {
+
+/// One contiguous occupancy of an SPU by a thread (bind to unbind).
+struct ThreadSpan {
+    sim::GlobalPeId pe = 0;
+    sim::Cycle begin = 0;
+    sim::Cycle end = 0;           ///< exclusive
+    sim::ThreadCodeId code = 0;
+    std::uint32_t slot = 0;
+    bool resumed = false;         ///< continuation after Wait-for-DMA
+};
+
+/// Aggregate per-thread-code profile over a run.
+struct CodeProfile {
+    std::string name;
+    std::uint64_t threads_started = 0;   ///< fresh binds (not resumes)
+    std::uint64_t dispatches = 0;        ///< binds incl. resumes
+    std::uint64_t pipeline_cycles = 0;   ///< cycles an SPU was bound to it
+    std::uint64_t instructions = 0;
+};
+
+/// Renders a run's spans as a Chrome-trace ("chrome://tracing" /
+/// Perfetto-compatible) JSON document: one row per SPU, one slice per
+/// thread occupancy.  Timestamps are simulated cycles (reported as us).
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<ThreadSpan>& spans,
+    const std::vector<std::string>& code_names);
+
+}  // namespace dta::core

@@ -1,0 +1,38 @@
+/// \file wire.hpp
+/// \brief Payload packing helpers shared by the PE and Machine glue.
+#pragma once
+
+#include <cstdint>
+
+namespace dta::core {
+
+/// Context attached to DMA line requests: who to send the reply to and how
+/// many bytes the line carries.
+struct DmaWireCtx {
+    std::uint16_t node = 0;
+    std::uint16_t ep = 0;       ///< fabric endpoint on that node
+    std::uint32_t bytes = 0;
+
+    [[nodiscard]] std::uint64_t pack() const {
+        return (static_cast<std::uint64_t>(node) << 48) |
+               (static_cast<std::uint64_t>(ep) << 32) | bytes;
+    }
+    [[nodiscard]] static DmaWireCtx unpack(std::uint64_t v) {
+        return DmaWireCtx{static_cast<std::uint16_t>(v >> 48),
+                          static_cast<std::uint16_t>((v >> 32) & 0xffff),
+                          static_cast<std::uint32_t>(v & 0xffffffffu)};
+    }
+};
+
+/// Little-endian scalar decode from a byte vector.
+template <typename Container>
+[[nodiscard]] inline std::uint64_t decode_le(const Container& bytes,
+                                             std::size_t n) {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n && i < bytes.size(); ++i) {
+        v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    }
+    return v;
+}
+
+}  // namespace dta::core

@@ -1,0 +1,253 @@
+#include "dma/mfc.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace dta::dma {
+namespace {
+
+/// Internal line phases are implicit in which container a line sits in; the
+/// line table only tracks lines between emission and completion.
+enum class LinePhase : std::uint8_t { kGet, kPut };
+
+}  // namespace
+
+Mfc::Mfc(const MfcConfig& cfg, mem::LocalStore& ls) : cfg_(cfg), ls_(ls) {
+    DTA_SIM_REQUIRE(cfg.queue_depth > 0, "MFC queue depth must be non-zero");
+    DTA_SIM_REQUIRE(cfg.line_bytes > 0 &&
+                        cfg.line_bytes <= ls.config().max_request_bytes,
+                    "MFC line size incompatible with local store");
+    DTA_SIM_REQUIRE(cfg.max_outstanding_lines > 0,
+                    "MFC needs at least one outstanding line");
+}
+
+std::uint32_t Mfc::count_lines(const MfcCommand& cmd,
+                               std::uint32_t line_bytes) {
+    if (cmd.stride != 0) {
+        return cmd.bytes / cmd.elem_bytes;
+    }
+    return (cmd.bytes + line_bytes - 1) / line_bytes;
+}
+
+bool Mfc::try_enqueue(MfcCommand cmd) {
+    DTA_SIM_REQUIRE(cmd.bytes > 0, "MFC command transfers zero bytes");
+    if (cmd.stride != 0) {
+        DTA_SIM_REQUIRE(cmd.elem_bytes > 0 && cmd.bytes % cmd.elem_bytes == 0,
+                        "strided MFC command with inconsistent element size");
+        DTA_SIM_REQUIRE(cmd.elem_bytes <= cfg_.line_bytes,
+                        "strided MFC element larger than one line");
+        DTA_SIM_REQUIRE(cmd.elem_bytes <= cmd.stride,
+                        "strided MFC elements overlap");
+    }
+    // The staged data is packed contiguously in the LS (gather semantics).
+    DTA_SIM_REQUIRE(static_cast<std::uint64_t>(cmd.ls_addr) + cmd.bytes <=
+                        ls_.config().size_bytes,
+                    "MFC command overflows the local store");
+    if (!can_enqueue()) {
+        ++rejections_;
+        return false;
+    }
+    queue_.push_back(cmd);
+    return true;
+}
+
+void Mfc::start_decode(sim::Cycle now) {
+    if (decoding_ || queue_.empty()) {
+        return;
+    }
+    decode_cmd_ = queue_.front();
+    queue_.pop_front();
+    decoding_ = true;
+    decode_done_at_ = now + cfg_.command_latency;
+}
+
+void Mfc::emit_lines() {
+    // Walk active commands in slot order of arrival; emission order within a
+    // command is sequential.  We iterate over all slots but only ones with
+    // unemitted lines do work; the command count is tiny (<= queue depth).
+    for (std::size_t idx = 0; idx < active_.size(); ++idx) {
+        ActiveCommand& ac = active_[idx];
+        if (ac.lines_total == 0 || ac.lines_emitted == ac.lines_total) {
+            continue;
+        }
+        while (ac.lines_emitted < ac.lines_total &&
+               lines_in_flight_ < cfg_.max_outstanding_lines) {
+            const std::uint32_t i = ac.lines_emitted++;
+            ++lines_in_flight_;
+            MfcLineRequest line;
+            line.line_id = next_line_id_++;
+            line.op = ac.cmd.op;
+            LineInfo info;
+            info.active_idx = idx;
+            if (ac.cmd.stride != 0) {
+                line.mem_addr = ac.cmd.mem_addr +
+                                static_cast<sim::MemAddr>(i) * ac.cmd.stride;
+                line.bytes = ac.cmd.elem_bytes;
+                info.ls_addr = ac.cmd.ls_addr + i * ac.cmd.elem_bytes;
+            } else {
+                const std::uint32_t off = i * cfg_.line_bytes;
+                line.mem_addr = ac.cmd.mem_addr + off;
+                line.bytes = std::min(cfg_.line_bytes, ac.cmd.bytes - off);
+                info.ls_addr = ac.cmd.ls_addr + off;
+            }
+            info.bytes = line.bytes;
+            line_table_.emplace_back(line.line_id, info);
+            if (ac.cmd.op == MfcOp::kGet) {
+                ready_lines_.push_back(std::move(line));
+            } else {
+                // PUT: fetch the payload from the LS first.
+                mem::LsRequest rq;
+                rq.id = line.line_id;
+                rq.is_write = false;
+                rq.addr = info.ls_addr;
+                rq.size = line.bytes;
+                rq.meta = line.line_id;
+                ls_.enqueue(mem::LsClient::kMfc, std::move(rq));
+            }
+        }
+        if (lines_in_flight_ >= cfg_.max_outstanding_lines) {
+            break;
+        }
+    }
+}
+
+void Mfc::tick(sim::Cycle now) {
+    // 1. Drain LS responses belonging to the MFC.
+    mem::LsResponse resp;
+    while (ls_.pop_response(mem::LsClient::kMfc, resp)) {
+        const auto it = std::find_if(
+            line_table_.begin(), line_table_.end(),
+            [&](const auto& e) { return e.first == resp.meta; });
+        DTA_CHECK_MSG(it != line_table_.end(), "MFC got LS response for unknown line");
+        const LineInfo info = it->second;
+        ActiveCommand& ac = active_[info.active_idx];
+        if (resp.is_write) {
+            // GET line landed in the LS: the line is finished.
+            line_table_.erase(it);
+            DTA_CHECK(lines_in_flight_ > 0);
+            --lines_in_flight_;
+            ++ac.lines_finished;
+            bytes_ += info.bytes;
+        } else {
+            // PUT line payload read from LS: ready to ship to memory.
+            MfcLineRequest line;
+            line.line_id = resp.meta;
+            line.op = MfcOp::kPut;
+            const std::uint32_t i_bytes = info.bytes;
+            // Recover the memory address from the command layout.
+            const MfcCommand& cmd = ac.cmd;
+            const std::uint32_t ls_delta = info.ls_addr - cmd.ls_addr;
+            if (cmd.stride != 0) {
+                const std::uint32_t idx = ls_delta / cmd.elem_bytes;
+                line.mem_addr =
+                    cmd.mem_addr + static_cast<sim::MemAddr>(idx) * cmd.stride;
+            } else {
+                line.mem_addr = cmd.mem_addr + ls_delta;
+            }
+            line.bytes = i_bytes;
+            line.data = std::move(resp.data);
+            ready_lines_.push_back(std::move(line));
+        }
+        if (ac.done()) {
+            completions_.push_back(MfcCompletion{ac.cmd.tag, ac.cmd.owner});
+            ++commands_completed_;
+            ac.lines_total = 0;  // mark slot reusable
+            free_slots_.push_back(info.active_idx);
+        }
+    }
+
+    // 2. Finish decoding the current command.
+    if (decoding_ && now >= decode_done_at_) {
+        decoding_ = false;
+        ActiveCommand ac;
+        ac.cmd = decode_cmd_;
+        ac.lines_total = count_lines(decode_cmd_, cfg_.line_bytes);
+        DTA_CHECK(ac.lines_total > 0);
+        if (!free_slots_.empty()) {
+            const std::size_t slot = free_slots_.front();
+            free_slots_.pop_front();
+            active_[slot] = std::move(ac);
+        } else {
+            active_.push_back(std::move(ac));
+        }
+    }
+
+    // 3. Begin decoding the next queued command.
+    start_decode(now);
+
+    // 4. Emit line requests up to the outstanding limit.
+    emit_lines();
+}
+
+bool Mfc::pop_line_request(MfcLineRequest& out) {
+    if (ready_lines_.empty()) {
+        return false;
+    }
+    out = std::move(ready_lines_.front());
+    ready_lines_.pop_front();
+    return true;
+}
+
+void Mfc::deliver_line_data(std::uint64_t line_id,
+                            std::span<const std::uint8_t> data) {
+    const auto it = std::find_if(
+        line_table_.begin(), line_table_.end(),
+        [&](const auto& e) { return e.first == line_id; });
+    DTA_CHECK_MSG(it != line_table_.end(), "data delivered for unknown DMA line");
+    const LineInfo& info = it->second;
+    DTA_SIM_REQUIRE(data.size() == info.bytes, "DMA line data size mismatch");
+    mem::LsRequest rq;
+    rq.id = line_id;
+    rq.is_write = true;
+    rq.addr = info.ls_addr;
+    rq.size = info.bytes;
+    rq.data.assign(data.begin(), data.end());
+    rq.meta = line_id;
+    ls_.enqueue(mem::LsClient::kMfc, std::move(rq));
+}
+
+void Mfc::ack_put_line(std::uint64_t line_id) {
+    const auto it = std::find_if(
+        line_table_.begin(), line_table_.end(),
+        [&](const auto& e) { return e.first == line_id; });
+    DTA_CHECK_MSG(it != line_table_.end(), "ack for unknown DMA PUT line");
+    const LineInfo info = it->second;
+    line_table_.erase(it);
+    DTA_CHECK(lines_in_flight_ > 0);
+    --lines_in_flight_;
+    ActiveCommand& ac = active_[info.active_idx];
+    ++ac.lines_finished;
+    bytes_ += info.bytes;
+    if (ac.done()) {
+        completions_.push_back(MfcCompletion{ac.cmd.tag, ac.cmd.owner});
+        ++commands_completed_;
+        ac.lines_total = 0;
+        free_slots_.push_back(info.active_idx);
+    }
+}
+
+bool Mfc::pop_completion(MfcCompletion& out) {
+    if (completions_.empty()) {
+        return false;
+    }
+    out = completions_.front();
+    completions_.pop_front();
+    return true;
+}
+
+bool Mfc::quiescent() const {
+    if (!queue_.empty() || decoding_ || !ready_lines_.empty() ||
+        !line_table_.empty() || !completions_.empty()) {
+        return false;
+    }
+    for (const auto& ac : active_) {
+        if (ac.lines_total != 0 && !ac.done()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace dta::dma

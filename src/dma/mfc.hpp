@@ -1,0 +1,161 @@
+/// \file mfc.hpp
+/// \brief The Memory Flow Controller — the per-SPE DMA engine the paper's
+///        prefetch mechanism programs (Tables 3 & 4).
+///
+/// Commands carry the Table-3 parameter set: LS address, MEM address, data
+/// size and a tag id that the LSE later uses to learn that the transfer
+/// completed.  Strided transfers are a single command (Section 3: a strided
+/// array access "could generate too many transactions [on a split-transaction
+/// network] and DMA performs it in one transaction").
+///
+/// Timing model, matching Table 4:
+///  * a bounded command queue (depth 16);
+///  * one command is decoded at a time, taking `command_latency` (30) cycles;
+///  * a decoded GET splits into line requests of at most `line_bytes` (128)
+///    each (one request per element when strided); the enclosing PE ships
+///    them over the NoC to the memory controller and feeds the returned data
+///    back in;
+///  * returned lines are written to the local store through the MFC's LS
+///    client port (so DMA traffic really contends with the SPU and LSE);
+///  * when every line of a command has been written, a completion with the
+///    command's tag is published.
+///
+/// PUT commands (LS -> main memory) are implemented for completeness: lines
+/// are read from the LS and handed out with payload attached.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "mem/local_store.hpp"
+#include "sim/types.hpp"
+
+namespace dta::dma {
+
+/// Configuration of one MFC (defaults = Table 4).
+struct MfcConfig {
+    std::uint32_t queue_depth = 16;      ///< command queue size
+    std::uint32_t command_latency = 30;  ///< decode latency per command
+    std::uint32_t line_bytes = 128;      ///< largest single bus transfer
+    std::uint32_t max_outstanding_lines = 8;  ///< in-flight line requests
+};
+
+/// Transfer direction.
+enum class MfcOp : std::uint8_t { kGet, kPut };
+
+/// One DMA command (Table 3 parameters + bookkeeping).
+struct MfcCommand {
+    MfcOp op = MfcOp::kGet;
+    std::uint32_t tag = 0;        ///< Table 3 "Tag ID"
+    sim::MemAddr mem_addr = 0;    ///< Table 3 "MEM address"
+    sim::LsAddr ls_addr = 0;      ///< Table 3 "LS address"
+    std::uint32_t bytes = 0;      ///< Table 3 "Data size"
+    std::uint32_t stride = 0;     ///< 0 = contiguous
+    std::uint32_t elem_bytes = 0; ///< element size when strided
+    std::uint64_t owner = 0;      ///< opaque owner context (frame handle)
+};
+
+/// A line-granularity memory request produced by a decoded command.
+struct MfcLineRequest {
+    std::uint64_t line_id = 0;  ///< MFC-internal correlation id
+    MfcOp op = MfcOp::kGet;
+    sim::MemAddr mem_addr = 0;
+    std::uint32_t bytes = 0;
+    std::vector<std::uint8_t> data;  ///< payload for PUT lines
+};
+
+/// Published when the last line of a command lands.
+struct MfcCompletion {
+    std::uint32_t tag = 0;
+    std::uint64_t owner = 0;
+};
+
+/// One SPE's DMA engine.
+class Mfc {
+public:
+    /// \p ls is the local store DMA data is staged in/out of; not owned.
+    Mfc(const MfcConfig& cfg, mem::LocalStore& ls);
+
+    /// True if the command queue has a free slot.
+    [[nodiscard]] bool can_enqueue() const {
+        return queue_.size() < cfg_.queue_depth;
+    }
+
+    /// Enqueues a command; returns false when the queue is full.
+    [[nodiscard]] bool try_enqueue(MfcCommand cmd);
+
+    /// Advances decode, line issue, and LS write-back by one cycle.
+    void tick(sim::Cycle now);
+
+    /// Hands the next issued line request to the caller (who owns NoC
+    /// transport); respects the outstanding-line limit.
+    [[nodiscard]] bool pop_line_request(MfcLineRequest& out);
+
+    /// Delivers the data for a previously popped GET line request.
+    void deliver_line_data(std::uint64_t line_id,
+                           std::span<const std::uint8_t> data);
+
+    /// Acknowledges a PUT line reaching memory.
+    void ack_put_line(std::uint64_t line_id);
+
+    /// Pops the next command completion, if any.
+    [[nodiscard]] bool pop_completion(MfcCompletion& out);
+
+    /// True when no command or line is pending anywhere in the engine.
+    [[nodiscard]] bool quiescent() const;
+
+    [[nodiscard]] const MfcConfig& config() const { return cfg_; }
+
+    // --- statistics ---------------------------------------------------------
+    [[nodiscard]] std::uint64_t commands_completed() const {
+        return commands_completed_;
+    }
+    [[nodiscard]] std::uint64_t bytes_transferred() const { return bytes_; }
+    [[nodiscard]] std::uint64_t enqueue_rejections() const {
+        return rejections_;
+    }
+    [[nodiscard]] std::size_t queued_commands() const {
+        return queue_.size() + (decoding_ ? 1 : 0);
+    }
+
+private:
+    struct ActiveCommand {
+        MfcCommand cmd;
+        std::uint32_t lines_total = 0;
+        std::uint32_t lines_emitted = 0;   ///< line requests generated
+        std::uint32_t lines_finished = 0;  ///< data written to LS / acked
+        bool done() const { return lines_finished == lines_total; }
+    };
+
+    struct LineInfo {
+        std::size_t active_idx = 0;  ///< index into active_ (stable via ids)
+        sim::LsAddr ls_addr = 0;
+        std::uint32_t bytes = 0;
+    };
+
+    void start_decode(sim::Cycle now);
+    void emit_lines();
+    [[nodiscard]] static std::uint32_t count_lines(const MfcCommand& cmd,
+                                                   std::uint32_t line_bytes);
+
+    MfcConfig cfg_;
+    mem::LocalStore& ls_;
+    std::deque<MfcCommand> queue_;
+    bool decoding_ = false;
+    sim::Cycle decode_done_at_ = 0;
+    MfcCommand decode_cmd_;
+    std::vector<ActiveCommand> active_;    ///< indexed by slot; freed lazily
+    std::deque<std::size_t> free_slots_;
+    std::deque<MfcLineRequest> ready_lines_;  ///< emitted, waiting for pickup
+    std::uint64_t next_line_id_ = 1;
+    std::vector<std::pair<std::uint64_t, LineInfo>> line_table_;  ///< in-flight
+    std::uint32_t lines_in_flight_ = 0;
+    std::deque<MfcCompletion> completions_;
+    std::uint64_t commands_completed_ = 0;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t rejections_ = 0;
+};
+
+}  // namespace dta::dma

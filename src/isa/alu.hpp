@@ -1,0 +1,75 @@
+/// \file alu.hpp
+/// \brief The architectural (value) semantics of the compute and branch
+///        opcodes, shared by the timed SPU pipeline and the functional
+///        reference interpreter so the two can never drift apart.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+#include "sim/check.hpp"
+
+namespace dta::isa {
+
+/// Evaluates a compute-class instruction (everything op_info(...).port ==
+/// kCompute except branches).  \p self is the value SELF materialises (the
+/// executing thread's frame handle).
+[[nodiscard]] inline std::uint64_t eval_compute(const Instruction& ins,
+                                                std::uint64_t a,
+                                                std::uint64_t b,
+                                                std::uint64_t self) {
+    const auto imm = static_cast<std::uint64_t>(ins.imm);
+    switch (ins.op) {
+        case Opcode::kNop: return 0;
+        case Opcode::kMovI: return imm;
+        case Opcode::kMov: return a;
+        case Opcode::kAdd: return a + b;
+        case Opcode::kSub: return a - b;
+        case Opcode::kMul: return a * b;
+        case Opcode::kDiv: return b == 0 ? 0 : a / b;
+        case Opcode::kRem: return b == 0 ? 0 : a % b;
+        case Opcode::kAnd: return a & b;
+        case Opcode::kOr: return a | b;
+        case Opcode::kXor: return a ^ b;
+        case Opcode::kShl: return a << (b & 63);
+        case Opcode::kShr: return a >> (b & 63);
+        case Opcode::kAddI: return a + imm;
+        case Opcode::kMulI: return a * imm;
+        case Opcode::kAndI: return a & imm;
+        case Opcode::kOrI: return a | imm;
+        case Opcode::kXorI: return a ^ imm;
+        case Opcode::kShlI: return a << (imm & 63);
+        case Opcode::kShrI: return a >> (imm & 63);
+        case Opcode::kSlt:
+            return static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b)
+                       ? 1
+                       : 0;
+        case Opcode::kSltI:
+            return static_cast<std::int64_t>(a) < ins.imm ? 1 : 0;
+        case Opcode::kSeq: return a == b ? 1 : 0;
+        case Opcode::kSelf: return self;
+        default:
+            DTA_CHECK_MSG(false, "eval_compute on non-compute opcode");
+    }
+    return 0;
+}
+
+/// Evaluates a branch predicate (kJmp is unconditionally taken).
+[[nodiscard]] inline bool eval_branch(const Instruction& ins, std::uint64_t a,
+                                      std::uint64_t b) {
+    switch (ins.op) {
+        case Opcode::kBeq: return a == b;
+        case Opcode::kBne: return a != b;
+        case Opcode::kBlt:
+            return static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+        case Opcode::kBge:
+            return static_cast<std::int64_t>(a) >=
+                   static_cast<std::int64_t>(b);
+        case Opcode::kJmp: return true;
+        default:
+            DTA_CHECK_MSG(false, "eval_branch on non-branch opcode");
+    }
+    return false;
+}
+
+}  // namespace dta::isa

@@ -1,0 +1,50 @@
+/// \file asmtext.hpp
+/// \brief Textual DTA assembly: a serialiser and parser with a round-trip
+///        guarantee (`parse_program(to_assembly(p))` reproduces `p`
+///        instruction for instruction).
+///
+/// Format sketch (written by to_assembly, accepted by parse_program):
+///
+///     program "mmul(32)" entry=1
+///
+///     thread "worker" inputs=2
+///       region bytes=128 reg=r30 {
+///         load r28, frame[0]
+///         muli r28, r28, 128
+///         addi r30, r28, 65536
+///       }
+///       .pl
+///         load r1, frame[0]
+///       .ex
+///       L4:
+///         read r13, mem[r11+0] @region0
+///         blt r10, r3, L4
+///       .ps
+///         ffree
+///         stop
+///     end
+///
+/// `#` starts a comment.  Blocks (.pf/.pl/.ex/.ps) may be omitted when
+/// empty.  Branch targets are labels (`Lname:` definitions); strided
+/// regions add `stride=<n> elem=<n>`; DMA commands are written as
+/// `dmaget r5, ls+256, bytes=4096, region=1[, stride=128, elem=4]`.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "isa/program.hpp"
+
+namespace dta::isa {
+
+/// Serialises a whole program (incl. region annotations) to assembly text.
+[[nodiscard]] std::string to_assembly(const Program& prog);
+
+/// Serialises one thread code.
+[[nodiscard]] std::string to_assembly(const ThreadCode& tc);
+
+/// Parses assembly text into a validated Program.  Throws sim::SimError
+/// with a line number on any syntax or semantic error.
+[[nodiscard]] Program parse_program(std::string_view text);
+
+}  // namespace dta::isa

@@ -1,0 +1,322 @@
+#include "isa/builder.hpp"
+
+#include <utility>
+
+#include "isa/validate.hpp"
+#include "sim/check.hpp"
+
+namespace dta::isa {
+
+CodeBuilder::CodeBuilder(std::string name, std::uint32_t num_inputs) {
+    tc_.name = std::move(name);
+    tc_.num_inputs = num_inputs;
+}
+
+CodeBuilder& CodeBuilder::block(CodeBlock b) {
+    const int ordinal = static_cast<int>(b);
+    DTA_SIM_REQUIRE(ordinal > last_block_,
+                    "code blocks must be opened in PF<PL<EX<PS order in '" +
+                        tc_.name + "'");
+    // Every not-yet-opened block boundary up to and including b starts here.
+    const auto here = size();
+    for (int blk = last_block_ + 1; blk <= ordinal; ++blk) {
+        switch (static_cast<CodeBlock>(blk)) {
+            case CodeBlock::kPf: break;  // PF implicitly starts at 0
+            case CodeBlock::kPl: tc_.pl_begin = here; break;
+            case CodeBlock::kEx: tc_.ex_begin = here; break;
+            case CodeBlock::kPs: tc_.ps_begin = here; break;
+        }
+    }
+    last_block_ = ordinal;
+    in_block_ = true;
+    return *this;
+}
+
+std::int16_t CodeBuilder::annotate(RegionAnnotation ann) {
+    DTA_SIM_REQUIRE(tc_.annotations.size() < 127,
+                    "too many prefetch regions in '" + tc_.name + "'");
+    tc_.annotations.push_back(std::move(ann));
+    return static_cast<std::int16_t>(tc_.annotations.size() - 1);
+}
+
+Label CodeBuilder::new_label() {
+    label_pos_.push_back(-1);
+    return Label{static_cast<std::uint32_t>(label_pos_.size() - 1)};
+}
+
+CodeBuilder& CodeBuilder::bind(Label l) {
+    DTA_CHECK(l.id < label_pos_.size());
+    DTA_SIM_REQUIRE(label_pos_[l.id] < 0,
+                    "label bound twice in '" + tc_.name + "'");
+    label_pos_[l.id] = static_cast<std::int64_t>(size());
+    return *this;
+}
+
+CodeBuilder& CodeBuilder::emit(Instruction ins) {
+    DTA_SIM_REQUIRE(in_block_, "instruction emitted outside any code block in '" +
+                                   tc_.name + "'");
+    ins.block = static_cast<CodeBlock>(last_block_);
+    tc_.code.push_back(ins);
+    return *this;
+}
+
+// --- compute ---------------------------------------------------------------
+
+namespace {
+Instruction rrr(Opcode op, Reg rd, Reg ra, Reg rb) {
+    Instruction i;
+    i.op = op;
+    i.rd = rd.idx;
+    i.ra = ra.idx;
+    i.rb = rb.idx;
+    return i;
+}
+Instruction rri(Opcode op, Reg rd, Reg ra, std::int64_t imm) {
+    Instruction i;
+    i.op = op;
+    i.rd = rd.idx;
+    i.ra = ra.idx;
+    i.imm = imm;
+    return i;
+}
+}  // namespace
+
+CodeBuilder& CodeBuilder::nop() { return emit({}); }
+CodeBuilder& CodeBuilder::movi(Reg rd, std::int64_t imm) {
+    return emit(rri(Opcode::kMovI, rd, r(0), imm));
+}
+CodeBuilder& CodeBuilder::mov(Reg rd, Reg ra) {
+    return emit(rrr(Opcode::kMov, rd, ra, r(0)));
+}
+CodeBuilder& CodeBuilder::add(Reg rd, Reg ra, Reg rb) {
+    return emit(rrr(Opcode::kAdd, rd, ra, rb));
+}
+CodeBuilder& CodeBuilder::sub(Reg rd, Reg ra, Reg rb) {
+    return emit(rrr(Opcode::kSub, rd, ra, rb));
+}
+CodeBuilder& CodeBuilder::mul(Reg rd, Reg ra, Reg rb) {
+    return emit(rrr(Opcode::kMul, rd, ra, rb));
+}
+CodeBuilder& CodeBuilder::div(Reg rd, Reg ra, Reg rb) {
+    return emit(rrr(Opcode::kDiv, rd, ra, rb));
+}
+CodeBuilder& CodeBuilder::rem(Reg rd, Reg ra, Reg rb) {
+    return emit(rrr(Opcode::kRem, rd, ra, rb));
+}
+CodeBuilder& CodeBuilder::and_(Reg rd, Reg ra, Reg rb) {
+    return emit(rrr(Opcode::kAnd, rd, ra, rb));
+}
+CodeBuilder& CodeBuilder::or_(Reg rd, Reg ra, Reg rb) {
+    return emit(rrr(Opcode::kOr, rd, ra, rb));
+}
+CodeBuilder& CodeBuilder::xor_(Reg rd, Reg ra, Reg rb) {
+    return emit(rrr(Opcode::kXor, rd, ra, rb));
+}
+CodeBuilder& CodeBuilder::shl(Reg rd, Reg ra, Reg rb) {
+    return emit(rrr(Opcode::kShl, rd, ra, rb));
+}
+CodeBuilder& CodeBuilder::shr(Reg rd, Reg ra, Reg rb) {
+    return emit(rrr(Opcode::kShr, rd, ra, rb));
+}
+CodeBuilder& CodeBuilder::addi(Reg rd, Reg ra, std::int64_t imm) {
+    return emit(rri(Opcode::kAddI, rd, ra, imm));
+}
+CodeBuilder& CodeBuilder::muli(Reg rd, Reg ra, std::int64_t imm) {
+    return emit(rri(Opcode::kMulI, rd, ra, imm));
+}
+CodeBuilder& CodeBuilder::andi(Reg rd, Reg ra, std::int64_t imm) {
+    return emit(rri(Opcode::kAndI, rd, ra, imm));
+}
+CodeBuilder& CodeBuilder::ori(Reg rd, Reg ra, std::int64_t imm) {
+    return emit(rri(Opcode::kOrI, rd, ra, imm));
+}
+CodeBuilder& CodeBuilder::xori(Reg rd, Reg ra, std::int64_t imm) {
+    return emit(rri(Opcode::kXorI, rd, ra, imm));
+}
+CodeBuilder& CodeBuilder::shli(Reg rd, Reg ra, std::int64_t imm) {
+    return emit(rri(Opcode::kShlI, rd, ra, imm));
+}
+CodeBuilder& CodeBuilder::shri(Reg rd, Reg ra, std::int64_t imm) {
+    return emit(rri(Opcode::kShrI, rd, ra, imm));
+}
+CodeBuilder& CodeBuilder::slt(Reg rd, Reg ra, Reg rb) {
+    return emit(rrr(Opcode::kSlt, rd, ra, rb));
+}
+CodeBuilder& CodeBuilder::slti(Reg rd, Reg ra, std::int64_t imm) {
+    return emit(rri(Opcode::kSltI, rd, ra, imm));
+}
+CodeBuilder& CodeBuilder::seq(Reg rd, Reg ra, Reg rb) {
+    return emit(rrr(Opcode::kSeq, rd, ra, rb));
+}
+CodeBuilder& CodeBuilder::self(Reg rd) {
+    return emit(rrr(Opcode::kSelf, rd, r(0), r(0)));
+}
+
+// --- control flow ------------------------------------------------------------
+
+CodeBuilder& CodeBuilder::branch_to(Opcode op, Reg ra, Reg rb, Label target) {
+    DTA_CHECK(target.id < label_pos_.size());
+    Instruction i;
+    i.op = op;
+    i.ra = ra.idx;
+    i.rb = rb.idx;
+    // imm temporarily holds the label id; patched in finish().
+    i.imm = static_cast<std::int64_t>(target.id);
+    return emit(i);
+}
+
+CodeBuilder& CodeBuilder::beq(Reg ra, Reg rb, Label t) {
+    return branch_to(Opcode::kBeq, ra, rb, t);
+}
+CodeBuilder& CodeBuilder::bne(Reg ra, Reg rb, Label t) {
+    return branch_to(Opcode::kBne, ra, rb, t);
+}
+CodeBuilder& CodeBuilder::blt(Reg ra, Reg rb, Label t) {
+    return branch_to(Opcode::kBlt, ra, rb, t);
+}
+CodeBuilder& CodeBuilder::bge(Reg ra, Reg rb, Label t) {
+    return branch_to(Opcode::kBge, ra, rb, t);
+}
+CodeBuilder& CodeBuilder::jmp(Label t) {
+    return branch_to(Opcode::kJmp, r(0), r(0), t);
+}
+
+// --- memory / threads / DMA --------------------------------------------------
+
+CodeBuilder& CodeBuilder::load(Reg rd, std::int64_t word_offset) {
+    return emit(rri(Opcode::kLoad, rd, r(0), word_offset));
+}
+CodeBuilder& CodeBuilder::store(Reg rs, Reg rframe, std::int64_t word_offset) {
+    Instruction i;
+    i.op = Opcode::kStore;
+    i.ra = rs.idx;
+    i.rb = rframe.idx;
+    i.imm = word_offset;
+    return emit(i);
+}
+CodeBuilder& CodeBuilder::loadx(Reg rd, Reg ridx, std::int64_t word_offset) {
+    return emit(rri(Opcode::kLoadX, rd, ridx, word_offset));
+}
+CodeBuilder& CodeBuilder::storex(Reg rs, Reg rframe, Reg ridx,
+                                 std::int64_t word_offset) {
+    Instruction i;
+    i.op = Opcode::kStoreX;
+    i.ra = rs.idx;
+    i.rb = rframe.idx;
+    i.rd = ridx.idx;
+    i.imm = word_offset;
+    return emit(i);
+}
+CodeBuilder& CodeBuilder::read(Reg rd, Reg ra, std::int64_t byte_offset,
+                               std::int16_t region) {
+    Instruction i = rri(Opcode::kRead, rd, ra, byte_offset);
+    i.region = region;
+    return emit(i);
+}
+CodeBuilder& CodeBuilder::write(Reg rs, Reg rb, std::int64_t byte_offset) {
+    Instruction i;
+    i.op = Opcode::kWrite;
+    i.ra = rs.idx;
+    i.rb = rb.idx;
+    i.imm = byte_offset;
+    return emit(i);
+}
+CodeBuilder& CodeBuilder::lsload(Reg rd, Reg ra, std::int64_t byte_offset,
+                                 std::int16_t region) {
+    Instruction i = rri(Opcode::kLsLoad, rd, ra, byte_offset);
+    i.region = region;
+    return emit(i);
+}
+CodeBuilder& CodeBuilder::lsstore(Reg rs, Reg rb, std::int64_t byte_offset,
+                                  std::int16_t region) {
+    Instruction i;
+    i.op = Opcode::kLsStore;
+    i.ra = rs.idx;
+    i.rb = rb.idx;
+    i.imm = byte_offset;
+    i.region = region;
+    return emit(i);
+}
+CodeBuilder& CodeBuilder::falloc(Reg rd, sim::ThreadCodeId code) {
+    return emit(rri(Opcode::kFalloc, rd, r(0), static_cast<std::int64_t>(code)));
+}
+CodeBuilder& CodeBuilder::fallocn(Reg rd, Reg sc, sim::ThreadCodeId code) {
+    return emit(rri(Opcode::kFallocN, rd, sc, static_cast<std::int64_t>(code)));
+}
+CodeBuilder& CodeBuilder::ffree() {
+    Instruction i;
+    i.op = Opcode::kFfree;
+    return emit(i);
+}
+CodeBuilder& CodeBuilder::stop() {
+    Instruction i;
+    i.op = Opcode::kStop;
+    return emit(i);
+}
+CodeBuilder& CodeBuilder::dmaget(Reg ra, DmaArgs args) {
+    Instruction i;
+    i.op = Opcode::kDmaGet;
+    i.ra = ra.idx;
+    i.region = static_cast<std::int16_t>(args.region);
+    i.dma = args;
+    return emit(i);
+}
+CodeBuilder& CodeBuilder::dmawait() {
+    Instruction i;
+    i.op = Opcode::kDmaWait;
+    return emit(i);
+}
+CodeBuilder& CodeBuilder::regset(Reg ra, DmaArgs args) {
+    Instruction i;
+    i.op = Opcode::kRegSet;
+    i.ra = ra.idx;
+    i.region = static_cast<std::int16_t>(args.region);
+    i.dma = args;
+    return emit(i);
+}
+CodeBuilder& CodeBuilder::dmaput(Reg ra, DmaArgs args) {
+    Instruction i;
+    i.op = Opcode::kDmaPut;
+    i.ra = ra.idx;
+    i.region = static_cast<std::int16_t>(args.region);
+    i.dma = args;
+    return emit(i);
+}
+
+// --- finalisation --------------------------------------------------------------
+
+ThreadCode CodeBuilder::finish(bool validate) && {
+    // Unopened trailing blocks start at end-of-code.
+    const auto end = size();
+    for (int blk = last_block_ + 1; blk <= static_cast<int>(CodeBlock::kPs);
+         ++blk) {
+        switch (static_cast<CodeBlock>(blk)) {
+            case CodeBlock::kPf: break;
+            case CodeBlock::kPl: tc_.pl_begin = end; break;
+            case CodeBlock::kEx: tc_.ex_begin = end; break;
+            case CodeBlock::kPs: tc_.ps_begin = end; break;
+        }
+    }
+    // Patch branch targets: imm currently holds the label id.
+    for (auto& ins : tc_.code) {
+        if (!ins.info().is_branch) {
+            continue;
+        }
+        const auto label_id = static_cast<std::size_t>(ins.imm);
+        DTA_CHECK(label_id < label_pos_.size());
+        DTA_SIM_REQUIRE(label_pos_[label_id] >= 0,
+                        "unbound label in '" + tc_.name + "'");
+        ins.imm = label_pos_[label_id];
+    }
+    if (validate) {
+        validate_thread_code(tc_);
+    }
+    return std::move(tc_);
+}
+
+ThreadCode CodeBuilder::build() && { return std::move(*this).finish(true); }
+ThreadCode CodeBuilder::build_unchecked() && {
+    return std::move(*this).finish(false);
+}
+
+}  // namespace dta::isa

@@ -1,0 +1,151 @@
+/// \file builder.hpp
+/// \brief Assembler-style fluent builder for ThreadCode.
+///
+/// The benchmarks of the paper were hand-coded in DTA assembly; CodeBuilder
+/// is the programmatic equivalent.  Typical use:
+///
+/// \code
+///   CodeBuilder b{"worker", /*num_inputs=*/2};
+///   b.block(CodeBlock::kPl)
+///       .load(r(1), 0)            // first input word
+///       .load(r(2), 1);           // second input word
+///   b.block(CodeBlock::kEx)
+///       .add(r(3), r(1), r(2));
+///   b.block(CodeBlock::kPs)
+///       .store(r(3), r(2), 0)     // send result to consumer's frame
+///       .ffree()
+///       .stop();
+///   ThreadCode tc = std::move(b).build();
+/// \endcode
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace dta::isa {
+
+/// A forward-referenceable branch target.
+struct Label {
+    std::uint32_t id = 0;
+};
+
+/// Builds one ThreadCode with label resolution and block bookkeeping.
+class CodeBuilder {
+public:
+    CodeBuilder(std::string name, std::uint32_t num_inputs);
+
+    /// Opens a code block; blocks must be opened in PF < PL < EX < PS order,
+    /// each at most once.  Instructions may only be emitted inside a block.
+    CodeBuilder& block(CodeBlock b);
+
+    /// Registers a prefetch-region annotation; returns its region id for use
+    /// in \ref read.
+    std::int16_t annotate(RegionAnnotation ann);
+
+    // --- labels ---------------------------------------------------------
+    [[nodiscard]] Label new_label();
+    CodeBuilder& bind(Label l);
+
+    // --- compute ----------------------------------------------------------
+    CodeBuilder& nop();
+    CodeBuilder& movi(Reg rd, std::int64_t imm);
+    CodeBuilder& mov(Reg rd, Reg ra);
+    CodeBuilder& add(Reg rd, Reg ra, Reg rb);
+    CodeBuilder& sub(Reg rd, Reg ra, Reg rb);
+    CodeBuilder& mul(Reg rd, Reg ra, Reg rb);
+    CodeBuilder& div(Reg rd, Reg ra, Reg rb);
+    CodeBuilder& rem(Reg rd, Reg ra, Reg rb);
+    CodeBuilder& and_(Reg rd, Reg ra, Reg rb);
+    CodeBuilder& or_(Reg rd, Reg ra, Reg rb);
+    CodeBuilder& xor_(Reg rd, Reg ra, Reg rb);
+    CodeBuilder& shl(Reg rd, Reg ra, Reg rb);
+    CodeBuilder& shr(Reg rd, Reg ra, Reg rb);
+    CodeBuilder& addi(Reg rd, Reg ra, std::int64_t imm);
+    CodeBuilder& muli(Reg rd, Reg ra, std::int64_t imm);
+    CodeBuilder& andi(Reg rd, Reg ra, std::int64_t imm);
+    CodeBuilder& ori(Reg rd, Reg ra, std::int64_t imm);
+    CodeBuilder& xori(Reg rd, Reg ra, std::int64_t imm);
+    CodeBuilder& shli(Reg rd, Reg ra, std::int64_t imm);
+    CodeBuilder& shri(Reg rd, Reg ra, std::int64_t imm);
+    CodeBuilder& slt(Reg rd, Reg ra, Reg rb);
+    CodeBuilder& slti(Reg rd, Reg ra, std::int64_t imm);
+    CodeBuilder& seq(Reg rd, Reg ra, Reg rb);
+    CodeBuilder& self(Reg rd);
+
+    // --- control flow -----------------------------------------------------
+    CodeBuilder& beq(Reg ra, Reg rb, Label target);
+    CodeBuilder& bne(Reg ra, Reg rb, Label target);
+    CodeBuilder& blt(Reg ra, Reg rb, Label target);
+    CodeBuilder& bge(Reg ra, Reg rb, Label target);
+    CodeBuilder& jmp(Label target);
+
+    // --- frame memory -------------------------------------------------------
+    /// rd = own_frame[word_offset]
+    CodeBuilder& load(Reg rd, std::int64_t word_offset);
+    /// frame(rframe)[word_offset] = rs  — the DTA STORE of Table 1.
+    CodeBuilder& store(Reg rs, Reg rframe, std::int64_t word_offset);
+    /// rd = own_frame[ridx + word_offset]  (register-indexed LOAD)
+    CodeBuilder& loadx(Reg rd, Reg ridx, std::int64_t word_offset);
+    /// frame(rframe)[ridx + word_offset] = rs  (register-indexed STORE)
+    CodeBuilder& storex(Reg rs, Reg rframe, Reg ridx,
+                        std::int64_t word_offset);
+
+    // --- main memory ---------------------------------------------------------
+    /// rd = mem32[ra + byte_offset]; \p region links to an annotation for the
+    /// prefetch pass (kNoRegion = never decoupled, e.g. data-dependent index).
+    CodeBuilder& read(Reg rd, Reg ra, std::int64_t byte_offset,
+                      std::int16_t region = kNoRegion);
+    /// mem32[rb + byte_offset] = lo32(rs)
+    CodeBuilder& write(Reg rs, Reg rb, std::int64_t byte_offset);
+
+    // --- local store -----------------------------------------------------------
+    /// rd = ls32[ra + byte_offset], translated via region table entry \p region
+    /// (region < 0 means ra holds a raw LS address).
+    CodeBuilder& lsload(Reg rd, Reg ra, std::int64_t byte_offset,
+                        std::int16_t region = kNoRegion);
+    /// ls32[rb + byte_offset] = lo32(rs)
+    CodeBuilder& lsstore(Reg rs, Reg rb, std::int64_t byte_offset,
+                         std::int16_t region = kNoRegion);
+
+    // --- thread management --------------------------------------------------
+    /// rd = handle of a fresh frame for thread code \p code (SC = its input count).
+    CodeBuilder& falloc(Reg rd, sim::ThreadCodeId code);
+    /// Like falloc but with an explicit SC taken from register \p sc.
+    CodeBuilder& fallocn(Reg rd, Reg sc, sim::ThreadCodeId code);
+    CodeBuilder& ffree();
+    CodeBuilder& stop();
+
+    // --- DMA -----------------------------------------------------------------
+    /// Enqueue an MFC get command; main-memory base address in \p ra.
+    CodeBuilder& dmaget(Reg ra, DmaArgs args);
+    CodeBuilder& dmawait();
+    /// Fill a region-table entry (no transfer) so LSSTORE can stage output.
+    CodeBuilder& regset(Reg ra, DmaArgs args);
+    /// Enqueue an MFC put command (LS staging -> main memory at ra).
+    CodeBuilder& dmaput(Reg ra, DmaArgs args);
+
+    /// Resolves labels, fixes block boundaries, validates and returns the code.
+    [[nodiscard]] ThreadCode build() &&;
+    /// Same but skips validation (used to unit-test the validator itself).
+    [[nodiscard]] ThreadCode build_unchecked() &&;
+
+    /// Number of instructions emitted so far.
+    [[nodiscard]] std::uint32_t size() const {
+        return static_cast<std::uint32_t>(tc_.code.size());
+    }
+
+private:
+    CodeBuilder& emit(Instruction ins);
+    CodeBuilder& branch_to(Opcode op, Reg ra, Reg rb, Label target);
+    [[nodiscard]] ThreadCode finish(bool validate) &&;
+
+    ThreadCode tc_;
+    bool in_block_ = false;
+    int last_block_ = -1;                 ///< last opened block ordinal
+    std::vector<std::int64_t> label_pos_; ///< bound position per label, -1 if unbound
+};
+
+}  // namespace dta::isa

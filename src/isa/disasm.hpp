@@ -1,0 +1,22 @@
+/// \file disasm.hpp
+/// \brief Human-readable rendering of instructions and thread codes.
+#pragma once
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace dta::isa {
+
+/// One-line rendering, e.g. "add r3, r1, r2" or
+/// "dmaget r5 -> ls+0x100, 4096B, region 0".
+[[nodiscard]] std::string disassemble(const Instruction& ins);
+
+/// Multi-line listing of a whole thread code, with block headers and
+/// instruction indices (branch targets reference those indices).
+[[nodiscard]] std::string disassemble(const ThreadCode& tc);
+
+/// Listing of every thread code in the program.
+[[nodiscard]] std::string disassemble(const Program& prog);
+
+}  // namespace dta::isa

@@ -1,0 +1,87 @@
+/// \file instruction.hpp
+/// \brief The instruction IR executed by the simulated SPU.
+///
+/// Instructions are a structured IR, not a binary encoding: this mirrors how
+/// UNISIM-based simulators model ISAs, and lets DMA commands carry their full
+/// Table-3 parameter set (LS address, MEM address, size, tag) without bit
+/// packing.  Code size statistics therefore count instructions, not bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/opcode.hpp"
+
+namespace dta::isa {
+
+/// A register name.  The machine has 32 general-purpose 64-bit registers per
+/// thread context; r0 is hard-wired to zero (writes are ignored).
+struct Reg {
+    std::uint8_t idx = 0;
+    constexpr Reg() = default;
+    constexpr explicit Reg(std::uint8_t i) : idx(i) {}
+    friend constexpr bool operator==(Reg, Reg) = default;
+};
+
+/// Number of architectural registers per thread context.
+inline constexpr std::uint8_t kNumRegs = 32;
+
+/// Convenience register constants r(0) .. r(31).
+constexpr Reg r(std::uint8_t i) { return Reg{i}; }
+
+/// The DTA code blocks of a thread (Fig. 3 of the paper).  PF is the block
+/// this paper adds; PL/EX/PS are the original DTA pre-load / execute /
+/// post-store blocks.
+enum class CodeBlock : std::uint8_t { kPf, kPl, kEx, kPs };
+
+/// Human-readable name of a code block.
+[[nodiscard]] constexpr std::string_view block_name(CodeBlock b) {
+    switch (b) {
+        case CodeBlock::kPf: return "PF";
+        case CodeBlock::kPl: return "PL";
+        case CodeBlock::kEx: return "EX";
+        case CodeBlock::kPs: return "PS";
+    }
+    return "??";
+}
+
+/// Marker meaning "no prefetch region attached".
+inline constexpr std::int16_t kNoRegion = -1;
+
+/// The Table-3 parameter set of one MFC DMA command, attached to a kDmaGet
+/// instruction.  The main-memory source address comes from register ra at
+/// execution time; everything else is static.
+struct DmaArgs {
+    std::uint8_t region = 0;      ///< region-table entry this get fills
+    std::uint32_t ls_offset = 0;  ///< destination offset in the thread's LS staging area
+    std::uint32_t bytes = 0;      ///< total payload bytes to transfer
+    std::uint32_t stride = 0;     ///< 0 = contiguous; else byte distance between elements
+    std::uint32_t elem_bytes = 0; ///< element size for strided transfers
+
+    /// Number of discrete elements the MFC must fetch.
+    [[nodiscard]] std::uint32_t element_count() const {
+        if (stride == 0 || elem_bytes == 0) {
+            return 1;
+        }
+        return bytes / elem_bytes;
+    }
+
+    friend bool operator==(const DmaArgs&, const DmaArgs&) = default;
+};
+
+/// One instruction of a DTA thread.
+struct Instruction {
+    Opcode op = Opcode::kNop;
+    std::uint8_t rd = 0;              ///< destination register
+    std::uint8_t ra = 0;              ///< first source register
+    std::uint8_t rb = 0;              ///< second source register
+    std::int64_t imm = 0;             ///< immediate / branch target / frame offset
+    CodeBlock block = CodeBlock::kEx; ///< code block this instruction belongs to
+    std::int16_t region = kNoRegion;  ///< prefetch-region link (annotation or runtime table index)
+    std::optional<DmaArgs> dma;       ///< present iff op == kDmaGet
+
+    /// Static properties of this instruction's opcode.
+    [[nodiscard]] const OpInfo& info() const { return op_info(op); }
+};
+
+}  // namespace dta::isa

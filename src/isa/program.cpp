@@ -1,0 +1,22 @@
+#include "isa/program.hpp"
+
+#include "sim/check.hpp"
+
+namespace dta::isa {
+
+const ThreadCode& Program::at(sim::ThreadCodeId id) const {
+    DTA_SIM_REQUIRE(id < codes.size(),
+                    "FALLOC references unknown thread code id " +
+                        std::to_string(id) + " in program '" + name + "'");
+    return codes[id];
+}
+
+std::size_t Program::static_instruction_count() const {
+    std::size_t n = 0;
+    for (const auto& tc : codes) {
+        n += tc.code.size();
+    }
+    return n;
+}
+
+}  // namespace dta::isa

@@ -1,0 +1,76 @@
+/// \file program.hpp
+/// \brief ThreadCode (one DTA thread's code) and Program (a TLP activity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "sim/types.hpp"
+
+namespace dta::isa {
+
+/// Compiler-side annotation describing one global-data region a thread
+/// touches.  In the original (no-prefetch) code every READ that targets the
+/// region carries the region's index in Instruction::region; the prefetch
+/// pass (src/xform) uses this description to synthesise the PF block
+/// (Section 3 of the paper: "the compiler has to recognise when a thread
+/// uses different types of global data").
+struct RegionAnnotation {
+    /// Instructions that compute the region's main-memory base address into
+    /// register \ref addr_reg.  They may LOAD from the thread's frame (the
+    /// frame is complete before the PF block runs) and use ALU ops; the pass
+    /// clones them into the PF block.
+    std::vector<Instruction> addr_code;
+    std::uint8_t addr_reg = 0;    ///< register addr_code leaves the base in
+    std::uint32_t bytes = 0;      ///< total bytes to stage
+    std::uint32_t stride = 0;     ///< 0 = contiguous, else strided (one MFC command)
+    std::uint32_t elem_bytes = 0; ///< element size when strided
+};
+
+/// The code of one DTA thread, divided into the PF/PL/EX/PS blocks.
+/// Block layout in \ref code is always  [0,pl_begin) = PF,
+/// [pl_begin,ex_begin) = PL, [ex_begin,ps_begin) = EX, [ps_begin,end) = PS.
+struct ThreadCode {
+    std::string name;               ///< for traces and disassembly
+    std::uint32_t num_inputs = 0;   ///< default Synchronisation Counter value
+    std::vector<Instruction> code;  ///< all instructions, block-ordered
+    std::uint32_t pl_begin = 0;     ///< first PL instruction (== PF length)
+    std::uint32_t ex_begin = 0;     ///< first EX instruction
+    std::uint32_t ps_begin = 0;     ///< first PS instruction
+    std::vector<RegionAnnotation> annotations;  ///< for the prefetch pass
+
+    [[nodiscard]] bool has_prefetch_block() const { return pl_begin > 0; }
+    [[nodiscard]] std::uint32_t size() const {
+        return static_cast<std::uint32_t>(code.size());
+    }
+    /// Block of instruction index \p ip (must be in range).
+    [[nodiscard]] CodeBlock block_of(std::uint32_t ip) const {
+        if (ip < pl_begin) return CodeBlock::kPf;
+        if (ip < ex_begin) return CodeBlock::kPl;
+        if (ip < ps_begin) return CodeBlock::kEx;
+        return CodeBlock::kPs;
+    }
+};
+
+/// A whole TLP activity: the set of thread codes plus the entry thread that
+/// the host (the PPE, in CellDTA) offloads to the DTA hardware.
+struct Program {
+    std::string name;
+    std::vector<ThreadCode> codes;
+    sim::ThreadCodeId entry = 0;  ///< code id of the bootstrap thread
+
+    /// Adds a thread code; returns its id for use in FALLOC immediates.
+    sim::ThreadCodeId add(ThreadCode tc) {
+        codes.push_back(std::move(tc));
+        return static_cast<sim::ThreadCodeId>(codes.size() - 1);
+    }
+
+    [[nodiscard]] const ThreadCode& at(sim::ThreadCodeId id) const;
+
+    /// Total instruction count over all thread codes (static code size).
+    [[nodiscard]] std::size_t static_instruction_count() const;
+};
+
+}  // namespace dta::isa

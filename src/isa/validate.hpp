@@ -1,0 +1,22 @@
+/// \file validate.hpp
+/// \brief Static validation of ThreadCode / Program against the DTA rules.
+///
+/// The DTA execution model imposes a block discipline (Section 2 of the
+/// paper): frame reads happen in PL, frame writes in PS, no frame access in
+/// EX, and — with the paper's extension — DMA programming only in PF.  The
+/// validator enforces this before a program ever reaches the simulator, so
+/// runtime checks can assume well-formed code.
+#pragma once
+
+#include "isa/program.hpp"
+
+namespace dta::isa {
+
+/// Throws dta::sim::SimError describing the first violation found.
+void validate_thread_code(const ThreadCode& tc);
+
+/// Validates every thread code plus cross-thread properties (FALLOC target
+/// ids in range, entry id valid).
+void validate_program(const Program& prog);
+
+}  // namespace dta::isa

@@ -1,0 +1,146 @@
+#include "mem/local_store.hpp"
+
+#include <cstring>
+
+#include "sim/check.hpp"
+
+namespace dta::mem {
+
+LocalStore::LocalStore(const LocalStoreConfig& cfg) : cfg_(cfg) {
+    DTA_SIM_REQUIRE(cfg.size_bytes > 0, "local store size must be non-zero");
+    DTA_SIM_REQUIRE(cfg.ports > 0, "local store needs at least one port");
+    bytes_.assign(cfg.size_bytes, 0);
+}
+
+void LocalStore::bounds_check(sim::LsAddr addr, std::uint64_t size) const {
+    DTA_SIM_REQUIRE(static_cast<std::uint64_t>(addr) + size <= cfg_.size_bytes,
+                    "local-store access out of bounds: addr=" +
+                        std::to_string(addr) + " size=" + std::to_string(size));
+}
+
+void LocalStore::write_bytes(sim::LsAddr addr,
+                             std::span<const std::uint8_t> data) {
+    bounds_check(addr, data.size());
+    std::memcpy(bytes_.data() + addr, data.data(), data.size());
+}
+
+void LocalStore::read_bytes(sim::LsAddr addr,
+                            std::span<std::uint8_t> out) const {
+    bounds_check(addr, out.size());
+    std::memcpy(out.data(), bytes_.data() + addr, out.size());
+}
+
+void LocalStore::write_u64(sim::LsAddr addr, std::uint64_t v) {
+    std::uint8_t buf[8];
+    std::memcpy(buf, &v, 8);
+    write_bytes(addr, buf);
+}
+
+std::uint64_t LocalStore::read_u64(sim::LsAddr addr) const {
+    std::uint8_t buf[8];
+    read_bytes(addr, buf);
+    std::uint64_t v;
+    std::memcpy(&v, buf, 8);
+    return v;
+}
+
+void LocalStore::write_u32(sim::LsAddr addr, std::uint32_t v) {
+    std::uint8_t buf[4];
+    std::memcpy(buf, &v, 4);
+    write_bytes(addr, buf);
+}
+
+std::uint32_t LocalStore::read_u32(sim::LsAddr addr) const {
+    std::uint8_t buf[4];
+    read_bytes(addr, buf);
+    std::uint32_t v;
+    std::memcpy(&v, buf, 4);
+    return v;
+}
+
+void LocalStore::enqueue(LsClient client, LsRequest req) {
+    DTA_SIM_REQUIRE(req.size > 0 && req.size <= cfg_.max_request_bytes,
+                    "local-store request size out of range");
+    bounds_check(req.addr, req.size);
+    if (req.is_write) {
+        DTA_SIM_REQUIRE(req.data.size() == req.size,
+                        "local-store write payload size mismatch");
+    }
+    queues_[static_cast<std::size_t>(client)].push_back(std::move(req));
+}
+
+void LocalStore::tick(sim::Cycle now) {
+    // Retire completed accesses (FIFO service + fixed latency => FIFO done).
+    while (!in_flight_.empty() && in_flight_.front().done_at <= now) {
+        InFlight fl = std::move(in_flight_.front());
+        in_flight_.pop_front();
+        LsResponse resp;
+        resp.id = fl.req.id;
+        resp.is_write = fl.req.is_write;
+        resp.addr = fl.req.addr;
+        resp.meta = fl.req.meta;
+        if (fl.req.is_write) {
+            write_bytes(fl.req.addr, fl.req.data);
+        } else {
+            resp.data.resize(fl.req.size);
+            read_bytes(fl.req.addr, resp.data);
+        }
+        responses_[static_cast<std::size_t>(fl.client)].push_back(
+            std::move(resp));
+    }
+
+    // Service up to `ports` queued requests, round-robin across clients.
+    std::uint32_t used = 0;
+    std::size_t tried = 0;
+    while (used < cfg_.ports && tried < kNumLsClients) {
+        auto& q = queues_[rr_next_];
+        if (q.empty()) {
+            rr_next_ = (rr_next_ + 1) % kNumLsClients;
+            ++tried;
+            continue;
+        }
+        in_flight_.push_back(InFlight{now + cfg_.latency,
+                                      static_cast<LsClient>(rr_next_),
+                                      std::move(q.front())});
+        q.pop_front();
+        ++served_[rr_next_];
+        ++used;
+        // After taking one request, move on so one client cannot hog all
+        // ports while others wait.
+        rr_next_ = (rr_next_ + 1) % kNumLsClients;
+        tried = 0;
+    }
+    if (used == cfg_.ports) {
+        for (const auto& q : queues_) {
+            if (!q.empty()) {
+                ++contended_;
+                break;
+            }
+        }
+    }
+}
+
+bool LocalStore::pop_response(LsClient client, LsResponse& out) {
+    auto& q = responses_[static_cast<std::size_t>(client)];
+    if (q.empty()) {
+        return false;
+    }
+    out = std::move(q.front());
+    q.pop_front();
+    return true;
+}
+
+bool LocalStore::quiescent() const {
+    if (!in_flight_.empty()) {
+        return false;
+    }
+    for (const auto& q : queues_) {
+        if (!q.empty()) return false;
+    }
+    for (const auto& q : responses_) {
+        if (!q.empty()) return false;
+    }
+    return true;
+}
+
+}  // namespace dta::mem

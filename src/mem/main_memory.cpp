@@ -1,0 +1,161 @@
+#include "mem/main_memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/check.hpp"
+
+namespace dta::mem {
+
+MainMemory::MainMemory(const MainMemoryConfig& cfg) : cfg_(cfg) {
+    DTA_SIM_REQUIRE(cfg.size_bytes > 0, "main memory size must be non-zero");
+    DTA_SIM_REQUIRE(cfg.ports > 0, "main memory needs at least one port");
+    DTA_SIM_REQUIRE(cfg.max_request_bytes > 0 &&
+                        cfg.max_request_bytes <= kPageBytes,
+                    "invalid max_request_bytes");
+    pages_.resize((cfg.size_bytes + kPageBytes - 1) / kPageBytes);
+}
+
+void MainMemory::bounds_check(sim::MemAddr addr, std::uint64_t size) const {
+    DTA_SIM_REQUIRE(addr + size <= cfg_.size_bytes && addr + size >= addr,
+                    "main-memory access out of bounds: addr=" +
+                        std::to_string(addr) + " size=" + std::to_string(size));
+}
+
+std::uint8_t* MainMemory::page_for(sim::MemAddr addr) {
+    auto& page = pages_[addr / kPageBytes];
+    if (page.empty()) {
+        page.assign(kPageBytes, 0);
+    }
+    return page.data();
+}
+
+const std::uint8_t* MainMemory::page_if_present(sim::MemAddr addr) const {
+    const auto& page = pages_[addr / kPageBytes];
+    return page.empty() ? nullptr : page.data();
+}
+
+void MainMemory::write_bytes(sim::MemAddr addr,
+                             std::span<const std::uint8_t> data) {
+    bounds_check(addr, data.size());
+    std::size_t written = 0;
+    while (written < data.size()) {
+        const sim::MemAddr a = addr + written;
+        const std::uint64_t in_page = a % kPageBytes;
+        const std::size_t chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kPageBytes - in_page,
+                                    data.size() - written));
+        std::memcpy(page_for(a) + in_page, data.data() + written, chunk);
+        written += chunk;
+    }
+}
+
+void MainMemory::read_bytes(sim::MemAddr addr,
+                            std::span<std::uint8_t> out) const {
+    bounds_check(addr, out.size());
+    std::size_t done = 0;
+    while (done < out.size()) {
+        const sim::MemAddr a = addr + done;
+        const std::uint64_t in_page = a % kPageBytes;
+        const std::size_t chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kPageBytes - in_page, out.size() - done));
+        if (const std::uint8_t* page = page_if_present(a)) {
+            std::memcpy(out.data() + done, page + in_page, chunk);
+        } else {
+            std::memset(out.data() + done, 0, chunk);
+        }
+        done += chunk;
+    }
+}
+
+void MainMemory::write_u32(sim::MemAddr addr, std::uint32_t v) {
+    std::uint8_t buf[4];
+    std::memcpy(buf, &v, 4);
+    write_bytes(addr, buf);
+}
+
+std::uint32_t MainMemory::read_u32(sim::MemAddr addr) const {
+    std::uint8_t buf[4];
+    read_bytes(addr, buf);
+    std::uint32_t v;
+    std::memcpy(&v, buf, 4);
+    return v;
+}
+
+void MainMemory::write_u64(sim::MemAddr addr, std::uint64_t v) {
+    std::uint8_t buf[8];
+    std::memcpy(buf, &v, 8);
+    write_bytes(addr, buf);
+}
+
+std::uint64_t MainMemory::read_u64(sim::MemAddr addr) const {
+    std::uint8_t buf[8];
+    read_bytes(addr, buf);
+    std::uint64_t v;
+    std::memcpy(&v, buf, 8);
+    return v;
+}
+
+void MainMemory::enqueue(MemRequest req) {
+    DTA_SIM_REQUIRE(req.size > 0 && req.size <= cfg_.max_request_bytes,
+                    "memory request size " + std::to_string(req.size) +
+                        " exceeds max_request_bytes");
+    bounds_check(req.addr, req.size);
+    if (req.op == MemOp::kWrite) {
+        DTA_SIM_REQUIRE(req.data.size() == req.size,
+                        "write request payload size mismatch");
+    }
+    queue_.push_back(std::move(req));
+    peak_queue_ = std::max(peak_queue_, queue_.size());
+}
+
+void MainMemory::tick(sim::Cycle now) {
+    // Retire in-flight requests whose access latency elapsed.  Starts are
+    // FIFO with a fixed latency, so completions are FIFO too.
+    while (!in_flight_.empty() && in_flight_.front().done_at <= now) {
+        InFlight fl = std::move(in_flight_.front());
+        in_flight_.pop_front();
+        MemResponse resp;
+        resp.id = fl.req.id;
+        resp.op = fl.req.op;
+        resp.addr = fl.req.addr;
+        resp.meta = fl.req.meta;
+        if (fl.req.op == MemOp::kRead) {
+            resp.data.resize(fl.req.size);
+            read_bytes(fl.req.addr, resp.data);
+            ++reads_served_;
+            bytes_read_ += fl.req.size;
+        } else {
+            write_bytes(fl.req.addr, fl.req.data);
+            ++writes_served_;
+            bytes_written_ += fl.req.size;
+        }
+        responses_.push_back(std::move(resp));
+    }
+
+    // Start new requests if the channel is free.
+    if (now < port_free_at_) {
+        return;
+    }
+    std::uint32_t started = 0;
+    while (!queue_.empty() && started < cfg_.ports) {
+        in_flight_.push_back(
+            InFlight{now + cfg_.latency, std::move(queue_.front())});
+        queue_.pop_front();
+        ++started;
+    }
+    if (started > 0) {
+        port_free_at_ = now + cfg_.bank_busy;
+    }
+}
+
+bool MainMemory::pop_response(MemResponse& out) {
+    if (responses_.empty()) {
+        return false;
+    }
+    out = std::move(responses_.front());
+    responses_.pop_front();
+    return true;
+}
+
+}  // namespace dta::mem

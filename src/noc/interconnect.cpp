@@ -1,0 +1,108 @@
+#include "noc/interconnect.hpp"
+
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace dta::noc {
+
+Interconnect::Interconnect(const InterconnectConfig& cfg,
+                           std::uint32_t num_endpoints)
+    : cfg_(cfg) {
+    DTA_SIM_REQUIRE(cfg.num_buses > 0, "interconnect needs at least one bus");
+    DTA_SIM_REQUIRE(cfg.bytes_per_cycle > 0, "bus bandwidth must be non-zero");
+    DTA_SIM_REQUIRE(num_endpoints > 0, "interconnect needs endpoints");
+    inject_.resize(num_endpoints);
+    inbox_.resize(num_endpoints);
+    bus_free_at_.assign(cfg.num_buses, 0);
+}
+
+std::uint32_t Interconnect::transfer_cycles(const Packet& pkt) const {
+    const std::uint32_t sz = pkt.size_bytes == 0 ? 1 : pkt.size_bytes;
+    return (sz + cfg_.bytes_per_cycle - 1) / cfg_.bytes_per_cycle;
+}
+
+bool Interconnect::can_inject(EndpointId src) const {
+    DTA_CHECK(src < inject_.size());
+    return inject_[src].size() < cfg_.inject_queue_depth;
+}
+
+bool Interconnect::try_inject(EndpointId src, Packet pkt) {
+    DTA_CHECK(src < inject_.size());
+    DTA_CHECK_MSG(pkt.dst < inbox_.size(), "packet addressed off the fabric");
+    if (inject_[src].size() >= cfg_.inject_queue_depth) {
+        ++stats_.inject_stall_events;
+        return false;
+    }
+    pkt.src = src;
+    inject_[src].push_back(std::move(pkt));
+    ++stats_.packets_injected;
+    return true;
+}
+
+void Interconnect::tick(sim::Cycle now) {
+    // 1. Mature in-flight packets into destination inboxes.
+    while (!in_transit_.empty() && in_transit_.top().deliver_at <= now) {
+        // priority_queue::top is const; copy (packets are small except DMA
+        // lines, which are <= 128 bytes).
+        InTransit it = in_transit_.top();
+        in_transit_.pop();
+        inbox_[it.pkt.dst].push_back(std::move(it.pkt));
+        ++stats_.packets_delivered;
+    }
+
+    // 2. Grant free buses to waiting injection queues, round-robin.
+    for (std::uint32_t bus = 0; bus < cfg_.num_buses; ++bus) {
+        if (bus_free_at_[bus] > now) {
+            continue;
+        }
+        // Find the next endpoint with pending traffic.
+        bool granted = false;
+        for (std::size_t probe = 0; probe < inject_.size(); ++probe) {
+            const std::size_t ep = (rr_next_ + probe) % inject_.size();
+            if (inject_[ep].empty()) {
+                continue;
+            }
+            Packet pkt = std::move(inject_[ep].front());
+            inject_[ep].pop_front();
+            const std::uint32_t occupancy = transfer_cycles(pkt);
+            bus_free_at_[bus] = now + occupancy;
+            stats_.bus_busy_cycles += occupancy;
+            stats_.bytes_transferred += pkt.size_bytes;
+            in_transit_.push(InTransit{now + occupancy + cfg_.hop_latency,
+                                       seq_++, std::move(pkt)});
+            rr_next_ = (ep + 1) % inject_.size();
+            granted = true;
+            break;
+        }
+        if (!granted) {
+            break;  // nothing pending anywhere; remaining buses stay idle
+        }
+    }
+}
+
+bool Interconnect::pop_delivered(EndpointId dst, Packet& out) {
+    DTA_CHECK(dst < inbox_.size());
+    auto& q = inbox_[dst];
+    if (q.empty()) {
+        return false;
+    }
+    out = std::move(q.front());
+    q.pop_front();
+    return true;
+}
+
+bool Interconnect::quiescent() const {
+    if (!in_transit_.empty()) {
+        return false;
+    }
+    for (const auto& q : inject_) {
+        if (!q.empty()) return false;
+    }
+    for (const auto& q : inbox_) {
+        if (!q.empty()) return false;
+    }
+    return true;
+}
+
+}  // namespace dta::noc

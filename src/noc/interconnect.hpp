@@ -1,0 +1,91 @@
+/// \file interconnect.hpp
+/// \brief Intra-node bus fabric (Table 4: 4 buses × 8 bytes/cycle).
+///
+/// Models the Cell EIB the way CellSim does: a small set of equal buses; a
+/// packet occupies one bus for ceil(size / bytes_per_cycle) cycles and is
+/// delivered a fixed hop latency after its transfer completes.  Endpoints
+/// inject into bounded per-endpoint queues (full queue = back pressure that
+/// stalls the producer) and drain their inbox each cycle.  Arbitration is
+/// round-robin across endpoints, oldest-first within an endpoint, so the
+/// fabric is fair and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "noc/packet.hpp"
+#include "sim/types.hpp"
+
+namespace dta::noc {
+
+/// Configuration of one node's bus fabric (defaults = Table 4).
+struct InterconnectConfig {
+    std::uint32_t num_buses = 4;
+    std::uint32_t bytes_per_cycle = 8;  ///< per-bus bandwidth
+    std::uint32_t hop_latency = 5;      ///< fixed propagation delay, cycles
+    std::uint32_t inject_queue_depth = 16;  ///< per-endpoint injection slots
+};
+
+/// Aggregate fabric statistics.
+struct InterconnectStats {
+    std::uint64_t packets_injected = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t bytes_transferred = 0;
+    std::uint64_t bus_busy_cycles = 0;   ///< summed over all buses
+    std::uint64_t inject_stall_events = 0;  ///< try_inject refused (queue full)
+};
+
+/// One node's bus fabric.
+class Interconnect {
+public:
+    Interconnect(const InterconnectConfig& cfg, std::uint32_t num_endpoints);
+
+    /// True if \p src has a free injection slot this cycle.
+    [[nodiscard]] bool can_inject(EndpointId src) const;
+
+    /// Injects a packet; returns false (and leaves \p pkt untouched) when the
+    /// endpoint's injection queue is full.
+    [[nodiscard]] bool try_inject(EndpointId src, Packet pkt);
+
+    /// Arbitrates buses and matures in-flight packets into inboxes.
+    void tick(sim::Cycle now);
+
+    /// Pops the next delivered packet for \p dst, if any.
+    [[nodiscard]] bool pop_delivered(EndpointId dst, Packet& out);
+
+    /// True when no packet is queued, in transfer, or awaiting pickup.
+    [[nodiscard]] bool quiescent() const;
+
+    [[nodiscard]] const InterconnectStats& stats() const { return stats_; }
+    [[nodiscard]] const InterconnectConfig& config() const { return cfg_; }
+    [[nodiscard]] std::uint32_t num_endpoints() const {
+        return static_cast<std::uint32_t>(inject_.size());
+    }
+
+private:
+    struct InTransit {
+        sim::Cycle deliver_at = 0;
+        std::uint64_t seq = 0;  ///< tie-break for deterministic ordering
+        Packet pkt;
+        friend bool operator>(const InTransit& x, const InTransit& y) {
+            if (x.deliver_at != y.deliver_at) return x.deliver_at > y.deliver_at;
+            return x.seq > y.seq;
+        }
+    };
+
+    [[nodiscard]] std::uint32_t transfer_cycles(const Packet& pkt) const;
+
+    InterconnectConfig cfg_;
+    std::vector<std::deque<Packet>> inject_;   ///< per-endpoint injection queues
+    std::vector<sim::Cycle> bus_free_at_;      ///< per-bus availability
+    std::priority_queue<InTransit, std::vector<InTransit>, std::greater<>>
+        in_transit_;
+    std::vector<std::deque<Packet>> inbox_;    ///< per-endpoint delivered packets
+    std::size_t rr_next_ = 0;
+    std::uint64_t seq_ = 0;
+    InterconnectStats stats_;
+};
+
+}  // namespace dta::noc

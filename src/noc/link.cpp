@@ -1,0 +1,51 @@
+#include "noc/link.hpp"
+
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace dta::noc {
+
+Link::Link(const LinkConfig& cfg) : cfg_(cfg) {
+    DTA_SIM_REQUIRE(cfg.bytes_per_cycle > 0, "link bandwidth must be non-zero");
+    DTA_SIM_REQUIRE(cfg.queue_depth > 0, "link queue must hold packets");
+}
+
+bool Link::try_send(Packet pkt) {
+    if (!can_send()) {
+        return false;
+    }
+    queue_.push_back(std::move(pkt));
+    return true;
+}
+
+void Link::tick(sim::Cycle now) {
+    while (!in_transit_.empty() && in_transit_.front().deliver_at <= now) {
+        delivered_.push_back(std::move(in_transit_.front().pkt));
+        in_transit_.pop_front();
+    }
+    if (queue_.empty() || wire_free_at_ > now) {
+        return;
+    }
+    Packet pkt = std::move(queue_.front());
+    queue_.pop_front();
+    const std::uint32_t sz = pkt.size_bytes == 0 ? 1 : pkt.size_bytes;
+    const std::uint32_t occupancy =
+        (sz + cfg_.bytes_per_cycle - 1) / cfg_.bytes_per_cycle;
+    wire_free_at_ = now + occupancy;
+    ++carried_;
+    bytes_ += pkt.size_bytes;
+    in_transit_.push_back(
+        InTransit{now + occupancy + cfg_.latency, std::move(pkt)});
+}
+
+bool Link::pop_delivered(Packet& out) {
+    if (delivered_.empty()) {
+        return false;
+    }
+    out = std::move(delivered_.front());
+    delivered_.pop_front();
+    return true;
+}
+
+}  // namespace dta::noc

@@ -1,0 +1,39 @@
+/// \file packet.hpp
+/// \brief The payload-agnostic packet the interconnect moves around.
+///
+/// The NoC layer knows nothing about the DTA protocol; packet *kinds* are
+/// small integers defined by the protocol layer (src/sched/messages.hpp).
+/// Three scalar payload words cover every control message; bulk DMA data
+/// rides in the byte vector and is what the size accounting charges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dta::noc {
+
+/// Index of an endpoint attached to one Interconnect (bus-local).
+using EndpointId = std::uint32_t;
+
+/// A message in flight on the interconnect.
+///
+/// `dst` is the next hop on the *current* fabric (an SPE, the DSE, the
+/// memory interface, or the inter-node bridge).  For multi-node machines the
+/// final destination is carried in (`dst_node`, `dst_final`): the machine
+/// glue sets `dst` to the local bridge when `dst_node` differs from the
+/// fabric's node, and the receiving bridge re-injects with
+/// `dst = dst_final`.  Single-node machines simply keep `dst == dst_final`.
+struct Packet {
+    EndpointId src = 0;
+    EndpointId dst = 0;
+    std::uint16_t dst_node = 0;   ///< node of the final destination
+    EndpointId dst_final = 0;     ///< endpoint id on the destination node
+    std::uint16_t kind = 0;       ///< protocol-defined discriminator
+    std::uint32_t size_bytes = 8; ///< wire size (drives bus occupancy)
+    std::uint64_t a = 0;          ///< payload word (e.g. address)
+    std::uint64_t b = 0;          ///< payload word (e.g. value)
+    std::uint64_t c = 0;          ///< payload word (e.g. correlation id)
+    std::vector<std::uint8_t> data;  ///< bulk payload (DMA lines)
+};
+
+}  // namespace dta::noc

@@ -1,0 +1,99 @@
+#include "sched/dse.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace dta::sched {
+
+Dse::Dse(const Topology& topo, std::uint16_t node, std::uint32_t frames_per_pe,
+         bool virtual_frames)
+    : topo_(topo), node_(node), virtual_frames_(virtual_frames) {
+    DTA_SIM_REQUIRE(node < topo.nodes, "DSE node id out of range");
+    free_.assign(topo.spes_per_node, frames_per_pe);
+}
+
+bool Dse::try_grant(const Pending& req) {
+    for (std::uint16_t probe = 0; probe < topo_.spes_per_node; ++probe) {
+        const std::uint16_t pe =
+            static_cast<std::uint16_t>((rr_next_ + probe) % topo_.spes_per_node);
+        if (!virtual_frames_ && free_[pe] == 0) {
+            continue;
+        }
+        if (free_[pe] > 0) {
+            --free_[pe];
+        }
+        rr_next_ = static_cast<std::uint16_t>((pe + 1) % topo_.spes_per_node);
+        SchedMsg msg;
+        msg.kind = MsgKind::kFallocFwd;
+        msg.dst_node = node_;
+        msg.dst_is_dse = false;
+        msg.dst_pe = pe;
+        msg.a = req.code;
+        msg.b = req.sc;
+        msg.c = req.ctx.pack();
+        outbox_.push_back(msg);
+        ++stats_.granted_local;
+        return true;
+    }
+    return false;
+}
+
+void Dse::on_falloc_req(sim::ThreadCodeId code, std::uint32_t sc,
+                        FallocCtx ctx) {
+    ++stats_.requests;
+    Pending req{code, sc, ctx};
+    if (try_grant(req)) {
+        return;
+    }
+    // Node full: forward to the neighbour node unless the request already
+    // visited every node, in which case it parks here until a frame frees.
+    if (topo_.nodes > 1 && ctx.hops + 1 < topo_.nodes) {
+        ++req.ctx.hops;
+        SchedMsg msg;
+        msg.kind = MsgKind::kFallocReq;
+        msg.dst_node = static_cast<std::uint16_t>((node_ + 1) % topo_.nodes);
+        msg.dst_is_dse = true;
+        msg.a = req.code;
+        msg.b = req.sc;
+        msg.c = req.ctx.pack();
+        outbox_.push_back(msg);
+        ++stats_.forwarded;
+        return;
+    }
+    pending_.push_back(req);
+    ++stats_.queued;
+    stats_.peak_pending = std::max(stats_.peak_pending, pending_.size());
+}
+
+void Dse::on_frame_free(sim::GlobalPeId pe) {
+    DTA_CHECK_MSG(topo_.node_of(pe) == node_,
+                  "kFrameFree routed to the wrong DSE");
+    const std::uint16_t local = topo_.local_pe_of(pe);
+    ++free_[local];
+    // Serve parked requests oldest-first.
+    while (!pending_.empty()) {
+        if (!try_grant(pending_.front())) {
+            break;
+        }
+        pending_.pop_front();
+    }
+}
+
+void Dse::steal_frame(sim::GlobalPeId pe) {
+    DTA_CHECK(topo_.node_of(pe) == node_);
+    const std::uint16_t local = topo_.local_pe_of(pe);
+    DTA_SIM_REQUIRE(free_[local] > 0, "bootstrap frame on a full PE");
+    --free_[local];
+}
+
+bool Dse::pop_outgoing(SchedMsg& out) {
+    if (outbox_.empty()) {
+        return false;
+    }
+    out = outbox_.front();
+    outbox_.pop_front();
+    return true;
+}
+
+}  // namespace dta::sched

@@ -1,0 +1,89 @@
+/// \file dse.hpp
+/// \brief The Distributed Scheduler Element — one per node.
+///
+/// The DSE distributes FALLOC requests over the PEs of its node (round-
+/// robin over PEs with free frames, which balances the workload as Section
+/// 2 requires), forwards requests to a neighbouring node when its own node
+/// is out of frames, and queues them when every node is full — the queueing
+/// is what the paper's bitcnt benchmark observes as LSE stalls ("this
+/// benchmark is forking a vast amount of threads in a small amount of time
+/// and the LSE can't keep up").
+///
+/// Frame accounting is message-based: the count for a PE is decremented
+/// when a FALLOC is forwarded there and incremented when the owning LSE's
+/// kFrameFree notification arrives, so the view is conservative (a frame is
+/// never granted twice) even though it can be momentarily stale.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sched/messages.hpp"
+#include "sim/types.hpp"
+
+namespace dta::sched {
+
+/// Statistics of one DSE.
+struct DseStats {
+    std::uint64_t requests = 0;       ///< FALLOC requests received
+    std::uint64_t granted_local = 0;  ///< placed on a PE of this node
+    std::uint64_t forwarded = 0;      ///< sent to the next node's DSE
+    std::uint64_t queued = 0;         ///< had to wait for a frame
+    std::size_t peak_pending = 0;
+};
+
+/// The Distributed Scheduler Element of one node.
+class Dse {
+public:
+    /// \p virtual_frames: when the LSEs hand out virtual frame pointers a
+    /// FALLOC can never fail, so the DSE stops gating on frame counts and
+    /// becomes a pure load balancer (round-robin over its PEs).
+    Dse(const Topology& topo, std::uint16_t node, std::uint32_t frames_per_pe,
+        bool virtual_frames = false);
+
+    /// Handles a kFallocReq (from a local LSE or a remote DSE).
+    void on_falloc_req(sim::ThreadCodeId code, std::uint32_t sc, FallocCtx ctx);
+
+    /// Handles a kFrameFree notification.
+    void on_frame_free(sim::GlobalPeId pe);
+
+    /// Used by the machine to account frames it seeds directly (the entry
+    /// thread's bootstrap frame).
+    void steal_frame(sim::GlobalPeId pe);
+
+    /// Drains one outgoing message (kFallocFwd to a local LSE, or a
+    /// kFallocReq forwarded to the next node's DSE).
+    [[nodiscard]] bool pop_outgoing(SchedMsg& out);
+
+    /// Requests parked waiting for a free frame.
+    [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+    [[nodiscard]] bool quiescent() const {
+        return pending_.empty() && outbox_.empty();
+    }
+    [[nodiscard]] const DseStats& stats() const { return stats_; }
+    [[nodiscard]] std::uint32_t free_frames(std::uint16_t local_pe) const {
+        return free_[local_pe];
+    }
+
+private:
+    struct Pending {
+        sim::ThreadCodeId code = 0;
+        std::uint32_t sc = 0;
+        FallocCtx ctx;
+    };
+
+    /// Tries to place a request on a local PE; returns false if full.
+    bool try_grant(const Pending& req);
+
+    Topology topo_;
+    std::uint16_t node_;
+    bool virtual_frames_;
+    std::vector<std::uint32_t> free_;  ///< free-frame count per local PE
+    std::deque<Pending> pending_;
+    std::deque<SchedMsg> outbox_;
+    std::uint16_t rr_next_ = 0;
+    DseStats stats_;
+};
+
+}  // namespace dta::sched

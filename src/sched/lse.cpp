@@ -1,0 +1,428 @@
+#include "sched/lse.hpp"
+
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace dta::sched {
+
+Lse::Lse(const LseConfig& cfg, const Topology& topo, sim::GlobalPeId self,
+         mem::LocalStore& ls)
+    : cfg_(cfg), topo_(topo), self_(self), ls_(ls) {
+    DTA_SIM_REQUIRE(cfg.frames > 0, "LSE needs at least one frame");
+    DTA_SIM_REQUIRE(cfg.frame_words > 0, "frames must hold at least one word");
+    const std::uint64_t frame_area_end =
+        static_cast<std::uint64_t>(cfg.frame_area_base) +
+        static_cast<std::uint64_t>(cfg.frames) * cfg.frame_bytes();
+    DTA_SIM_REQUIRE(frame_area_end <= ls.config().size_bytes,
+                    "frame area exceeds the local store");
+    const std::uint64_t staging_end =
+        static_cast<std::uint64_t>(cfg.staging_base) +
+        static_cast<std::uint64_t>(cfg.frames) * cfg.staging_bytes_per_frame;
+    DTA_SIM_REQUIRE(staging_end <= ls.config().size_bytes,
+                    "staging area exceeds the local store");
+    DTA_SIM_REQUIRE(cfg.staging_base >= frame_area_end,
+                    "staging area overlaps the frame area");
+    frames_.resize(cfg.frames);
+    for (std::uint32_t i = 0; i < cfg.frames; ++i) {
+        free_slots_.push_back(i);
+    }
+}
+
+Lse::Frame& Lse::frame_at(std::uint32_t slot) {
+    DTA_CHECK_MSG(slot < frames_.size(), "frame slot out of range");
+    return frames_[slot];
+}
+
+const Lse::Frame& Lse::frame_at(std::uint32_t slot) const {
+    DTA_CHECK_MSG(slot < frames_.size(), "frame slot out of range");
+    return frames_[slot];
+}
+
+std::uint32_t Lse::frame_ls_base(std::uint32_t slot) const {
+    DTA_CHECK(slot < frames_.size());
+    return cfg_.frame_area_base + slot * cfg_.frame_bytes();
+}
+
+std::uint32_t Lse::staging_ls_base(std::uint32_t slot) const {
+    DTA_CHECK(slot < frames_.size());
+    return cfg_.staging_base + slot * cfg_.staging_bytes_per_frame;
+}
+
+sim::ThreadCodeId Lse::code_of(std::uint32_t slot) const {
+    return frame_at(slot).code;
+}
+
+// ---- allocation -------------------------------------------------------------
+
+std::uint32_t Lse::allocate_slot(sim::ThreadCodeId code, std::uint32_t sc) {
+    if (free_slots_.empty()) {
+        // Virtual frame pointers: never refuse a FALLOC.  The frame exists
+        // only as a store buffer until a physical slot frees.
+        DTA_CHECK_MSG(cfg_.virtual_frames,
+                      "DSE granted a FALLOC to an LSE with no free frames");
+        DTA_SIM_REQUIRE(virtual_.size() < cfg_.max_virtual_frames,
+                        "virtual-frame population exceeded max_virtual_frames");
+        const std::uint32_t vid = cfg_.frames + next_virtual_id_++;
+        VirtualFrame vf;
+        vf.code = code;
+        vf.sc = sc;
+        if (sc == 0) {
+            vf.complete = true;
+            materialize_queue_.push_back(vid);
+        }
+        virtual_.emplace(vid, std::move(vf));
+        ++stats_.virtual_allocations;
+        stats_.peak_virtual_frames =
+            std::max(stats_.peak_virtual_frames,
+                     static_cast<std::uint32_t>(virtual_.size()));
+        return vid;
+    }
+    const std::uint32_t slot = free_slots_.front();
+    free_slots_.pop_front();
+    Frame& f = frames_[slot];
+    f = Frame{};
+    f.code = code;
+    f.sc = sc;
+    f.state = sc == 0 ? FrameState::kReady : FrameState::kWaitStores;
+    if (f.state == FrameState::kReady) {
+        ready_.push_back(slot);
+    }
+    ++live_frames_;
+    stats_.peak_live_frames = std::max(stats_.peak_live_frames, live_frames_);
+    ++stats_.frames_allocated;
+    return slot;
+}
+
+void Lse::release_slot(std::uint32_t slot, bool notify_dse) {
+    Frame& f = frame_at(slot);
+    DTA_CHECK_MSG(f.state != FrameState::kFree, "double frame free");
+    f.state = FrameState::kFree;
+    free_slots_.push_back(slot);
+    DTA_CHECK(live_frames_ > 0);
+    --live_frames_;
+    ++stats_.frames_freed;
+    if (notify_dse) {
+        SchedMsg msg;
+        msg.kind = MsgKind::kFrameFree;
+        msg.dst_node = topo_.node_of(self_);
+        msg.dst_is_dse = true;
+        msg.a = self_;
+        outbox_.push_back(msg);
+    }
+    // A freed slot can immediately host the oldest complete virtual frame.
+    materialize_next();
+}
+
+void Lse::store_virtual(std::uint32_t vid, std::uint32_t word_off,
+                        std::uint64_t value) {
+    const auto it = virtual_.find(vid);
+    DTA_SIM_REQUIRE(it != virtual_.end(),
+                    "STORE to an unknown or already-complete virtual frame");
+    VirtualFrame& vf = it->second;
+    DTA_SIM_REQUIRE(!vf.complete,
+                    "more STOREs than the virtual frame's SC expects");
+    DTA_SIM_REQUIRE(word_off < cfg_.frame_words,
+                    "virtual frame STORE offset out of range");
+    vf.stores.emplace_back(word_off, value);
+    DTA_CHECK(vf.sc > 0);
+    --vf.sc;
+    if (vf.sc == 0) {
+        vf.complete = true;
+        materialize_queue_.push_back(vid);
+        materialize_next();
+    }
+}
+
+void Lse::materialize_next() {
+    while (!materialize_queue_.empty() && !free_slots_.empty()) {
+        const std::uint32_t vid = materialize_queue_.front();
+        materialize_queue_.pop_front();
+        const auto it = virtual_.find(vid);
+        DTA_CHECK(it != virtual_.end());
+        VirtualFrame vf = std::move(it->second);
+        virtual_.erase(it);
+
+        const std::uint32_t slot = free_slots_.front();
+        free_slots_.pop_front();
+        Frame& f = frames_[slot];
+        f = Frame{};
+        f.code = vf.code;
+        ++live_frames_;
+        stats_.peak_live_frames =
+            std::max(stats_.peak_live_frames, live_frames_);
+        ++stats_.frames_allocated;
+        if (vf.stores.empty()) {
+            f.state = FrameState::kReady;
+            ready_.push_back(slot);
+            continue;
+        }
+        // Replay the buffered stores into real frame memory; the thread
+        // becomes ready when the last write completes (the normal SC path).
+        f.sc = static_cast<std::uint32_t>(vf.stores.size());
+        f.state = FrameState::kWaitStores;
+        for (const auto& [off, value] : vf.stores) {
+            enqueue_frame_write(slot, off, value);
+        }
+    }
+}
+
+// ---- SPU-facing ----------------------------------------------------------------
+
+void Lse::falloc(std::uint8_t rd, sim::ThreadCodeId code, std::uint32_t sc) {
+    SchedMsg msg;
+    msg.kind = MsgKind::kFallocReq;
+    msg.dst_node = topo_.node_of(self_);
+    msg.dst_is_dse = true;
+    msg.a = code;
+    msg.b = sc;
+    msg.c = FallocCtx{topo_.node_of(self_), topo_.local_pe_of(self_), rd, 0}
+                .pack();
+    outbox_.push_back(msg);
+}
+
+bool Lse::pop_falloc_response(FallocDone& out) {
+    if (falloc_done_.empty()) {
+        return false;
+    }
+    out = falloc_done_.front();
+    falloc_done_.pop_front();
+    return true;
+}
+
+void Lse::enqueue_frame_write(std::uint32_t slot, std::uint32_t word_off,
+                              std::uint64_t value) {
+    Frame& f = frame_at(slot);
+    DTA_SIM_REQUIRE(f.state == FrameState::kWaitStores,
+                    "STORE to a frame that is not waiting for stores (slot " +
+                        std::to_string(slot) + ")");
+    DTA_SIM_REQUIRE(word_off < cfg_.frame_words,
+                    "frame STORE offset " + std::to_string(word_off) +
+                        " out of range");
+    DTA_SIM_REQUIRE(f.sc > f.stores_in_flight,
+                    "more STOREs than the synchronisation counter expects");
+    mem::LsRequest rq;
+    rq.id = ls_write_seq_++;
+    rq.is_write = true;
+    rq.addr = frame_ls_base(slot) + word_off * 8;
+    rq.size = 8;
+    rq.data.resize(8);
+    std::uint64_t v = value;
+    for (int i = 0; i < 8; ++i) {
+        rq.data[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    rq.meta = slot;
+    ++f.stores_in_flight;
+    ls_.enqueue(mem::LsClient::kLse, std::move(rq));
+}
+
+void Lse::store_local(sim::FrameHandle h, std::uint32_t word_off,
+                      std::uint64_t value) {
+    DTA_CHECK_MSG(h.global_pe == self_, "store_local on a remote handle");
+    if (is_virtual(h.slot)) {
+        store_virtual(h.slot, word_off, value);
+    } else {
+        enqueue_frame_write(h.slot, word_off, value);
+    }
+    ++stats_.local_stores;
+}
+
+void Lse::store_remote(sim::FrameHandle h, std::uint32_t word_off,
+                       std::uint64_t value) {
+    DTA_CHECK_MSG(h.global_pe != self_, "store_remote on a local handle");
+    SchedMsg msg;
+    msg.kind = MsgKind::kRemoteStore;
+    msg.dst_node = topo_.node_of(h.global_pe);
+    msg.dst_is_dse = false;
+    msg.dst_pe = topo_.local_pe_of(h.global_pe);
+    msg.a = h.pack();
+    msg.b = value;
+    msg.c = word_off;
+    outbox_.push_back(msg);
+}
+
+void Lse::ffree(std::uint32_t slot) {
+    Frame& f = frame_at(slot);
+    DTA_SIM_REQUIRE(f.state == FrameState::kRunning,
+                    "FFREE outside a running thread");
+    release_slot(slot, /*notify_dse=*/true);
+}
+
+void Lse::stop_thread(std::uint32_t slot, bool already_freed) {
+    if (already_freed) {
+        // The slot was released at FFREE time and may already host a new
+        // thread; nothing to do here.
+        return;
+    }
+    Frame& f = frame_at(slot);
+    DTA_SIM_REQUIRE(f.state == FrameState::kRunning,
+                    "STOP from a thread that is not running");
+    release_slot(slot, /*notify_dse=*/true);
+}
+
+void Lse::mark_dma_issued(std::uint32_t slot) {
+    Frame& f = frame_at(slot);
+    DTA_SIM_REQUIRE(f.state == FrameState::kRunning,
+                    "DMAGET outside a running thread");
+    ++f.dma_pending;
+}
+
+void Lse::dma_completed(std::uint32_t slot) {
+    Frame& f = frame_at(slot);
+    DTA_CHECK_MSG(f.dma_pending > 0, "DMA completion with none outstanding");
+    --f.dma_pending;
+    if (f.dma_pending == 0 && f.state == FrameState::kWaitDma) {
+        f.state = FrameState::kReady;
+        DTA_CHECK(waitdma_count_ > 0);
+        --waitdma_count_;
+        ready_.push_back(slot);
+    }
+}
+
+std::uint32_t Lse::dma_pending(std::uint32_t slot) const {
+    return frame_at(slot).dma_pending;
+}
+
+void Lse::suspend_for_dma(std::uint32_t slot, std::uint32_t resume_ip,
+                          const ThreadSnapshot& snap) {
+    Frame& f = frame_at(slot);
+    DTA_SIM_REQUIRE(f.state == FrameState::kRunning,
+                    "DMAWAIT suspend outside a running thread");
+    DTA_CHECK_MSG(f.dma_pending > 0, "suspend_for_dma with nothing pending");
+    f.state = FrameState::kWaitDma;
+    f.resume_ip = resume_ip;
+    f.snapshot = snap;
+    f.has_snapshot = true;
+    ++waitdma_count_;
+    ++stats_.dma_suspends;
+}
+
+void Lse::request_dispatch(sim::Cycle now) {
+    DTA_CHECK_MSG(!dispatch_pending_, "dispatch requested twice");
+    dispatch_pending_ = true;
+    dispatch_ready_at_ = now + cfg_.dispatch_latency;
+}
+
+bool Lse::pop_dispatch(sim::Cycle now, Dispatch& out) {
+    if (!dispatch_pending_ || now < dispatch_ready_at_ || ready_.empty()) {
+        return false;
+    }
+    const std::uint32_t slot = ready_.front();
+    ready_.pop_front();
+    Frame& f = frame_at(slot);
+    DTA_CHECK(f.state == FrameState::kReady);
+    f.state = FrameState::kRunning;
+    out.slot = slot;
+    out.code = f.code;
+    out.resume_ip = f.resume_ip;
+    out.has_snapshot = f.has_snapshot;
+    if (f.has_snapshot) {
+        out.snapshot = f.snapshot;
+        f.has_snapshot = false;
+    }
+    dispatch_pending_ = false;
+    ++stats_.dispatches;
+    return true;
+}
+
+void Lse::thread_running(std::uint32_t slot) {
+    DTA_CHECK(frame_at(slot).state == FrameState::kRunning);
+}
+
+// ---- NoC-facing -------------------------------------------------------------
+
+void Lse::on_falloc_fwd(sim::ThreadCodeId code, std::uint32_t sc,
+                        FallocCtx ctx) {
+    const std::uint32_t slot = allocate_slot(code, sc);
+    SchedMsg msg;
+    msg.kind = MsgKind::kFallocResp;
+    msg.dst_node = ctx.node;
+    msg.dst_is_dse = false;
+    msg.dst_pe = ctx.pe;
+    msg.a = sim::FrameHandle{self_, slot}.pack();
+    msg.c = ctx.pack();
+    outbox_.push_back(msg);
+}
+
+void Lse::on_falloc_resp(sim::FrameHandle h, FallocCtx ctx) {
+    DTA_CHECK_MSG(ctx.node == topo_.node_of(self_) &&
+                      ctx.pe == topo_.local_pe_of(self_),
+                  "FALLOC response routed to the wrong LSE");
+    falloc_done_.push_back(FallocDone{ctx.rd, h});
+}
+
+void Lse::on_remote_store(sim::FrameHandle h, std::uint32_t word_off,
+                          std::uint64_t value) {
+    DTA_CHECK_MSG(h.global_pe == self_, "remote store routed to wrong LSE");
+    if (is_virtual(h.slot)) {
+        store_virtual(h.slot, word_off, value);
+    } else {
+        enqueue_frame_write(h.slot, word_off, value);
+    }
+    ++stats_.remote_stores_in;
+}
+
+bool Lse::pop_outgoing(SchedMsg& out) {
+    if (outbox_.empty()) {
+        return false;
+    }
+    out = outbox_.front();
+    outbox_.pop_front();
+    return true;
+}
+
+void Lse::tick(sim::Cycle) {
+    // Frame writes that completed in the LS decrement the SC now.
+    mem::LsResponse resp;
+    while (ls_.pop_response(mem::LsClient::kLse, resp)) {
+        sc_arrived(static_cast<std::uint32_t>(resp.meta));
+    }
+}
+
+void Lse::sc_arrived(std::uint32_t slot) {
+    Frame& f = frame_at(slot);
+    DTA_CHECK_MSG(f.state == FrameState::kWaitStores,
+                  "SC decrement on a frame not waiting for stores");
+    DTA_CHECK(f.stores_in_flight > 0);
+    --f.stores_in_flight;
+    DTA_CHECK_MSG(f.sc > 0, "synchronisation counter underflow");
+    --f.sc;
+    if (f.sc == 0) {
+        f.state = FrameState::kReady;
+        ready_.push_back(slot);
+    }
+}
+
+// ---- bootstrap ---------------------------------------------------------------
+
+std::uint32_t Lse::bootstrap_frame(sim::ThreadCodeId code, std::uint32_t sc) {
+    return allocate_slot(code, sc);
+}
+
+void Lse::write_frame_word(std::uint32_t slot, std::uint32_t word_off,
+                           std::uint64_t value) {
+    DTA_SIM_REQUIRE(word_off < cfg_.frame_words,
+                    "bootstrap frame write out of range");
+    ls_.write_u64(frame_ls_base(slot) + word_off * 8, value);
+}
+
+void Lse::make_ready(std::uint32_t slot) {
+    Frame& f = frame_at(slot);
+    DTA_CHECK_MSG(f.state == FrameState::kWaitStores ||
+                      f.state == FrameState::kReady,
+                  "make_ready on a frame in the wrong state");
+    if (f.state == FrameState::kWaitStores) {
+        f.sc = 0;
+        f.state = FrameState::kReady;
+        ready_.push_back(slot);
+    }
+}
+
+bool Lse::quiescent() const {
+    return live_frames_ == 0 && ready_.empty() && outbox_.empty() &&
+           falloc_done_.empty() && waitdma_count_ == 0 && virtual_.empty() &&
+           materialize_queue_.empty();
+}
+
+}  // namespace dta::sched

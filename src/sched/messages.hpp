@@ -1,0 +1,116 @@
+/// \file messages.hpp
+/// \brief The DTA scheduler / memory wire protocol carried over the NoC.
+///
+/// Section 2 of the paper: "Scheduler elements communicate among themselves
+/// by sending messages.  These messages can signal the allocation of a new
+/// frame (FALLOC-Request and FALLOC-Response messages), releasing a frame
+/// (FFREE message) and storing the data in remote frames."  This header
+/// gives those messages (plus the memory / DMA traffic) concrete wire kinds
+/// and payload packing over noc::Packet's three scalar words.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace dta::sched {
+
+/// Discriminator values for noc::Packet::kind.
+enum class MsgKind : std::uint16_t {
+    kInvalid = 0,
+    // -- SPU <-> main memory (the paper's READ / WRITE instructions) -----
+    kMemReadReq,   ///< a=address, b=packed requester, c=context (slot/reg)
+    kMemReadResp,  ///< a=address, b=value, c=context
+    kMemWriteReq,  ///< a=address, b=value
+    // -- MFC <-> main memory (DMA lines) ----------------------------------
+    kDmaLineReq,   ///< a=address, b=line id, c=packed requester (+size in data? no: bytes in low c)
+    kDmaLineResp,  ///< a=line id, data = payload bytes
+    kDmaPutReq,    ///< a=address, b=line id, c=packed requester, data = payload
+    kDmaPutAck,    ///< a=line id
+    // -- distributed scheduler ------------------------------------------------
+    kFallocReq,    ///< a=code id, b=SC, c=FallocCtx
+    kFallocFwd,    ///< DSE -> chosen LSE; same payload as kFallocReq
+    kFallocResp,   ///< a=packed FrameHandle, c=FallocCtx
+    kFrameFree,    ///< LSE -> home DSE; a=global PE id whose frame freed
+    kRemoteStore,  ///< a=packed FrameHandle, b=value, c=frame word offset
+};
+
+/// Wire sizes (bytes) used for bus-occupancy accounting.  Control messages
+/// are two bus beats (16 B, one header + one payload beat); DMA line data
+/// additionally carries its payload.
+inline constexpr std::uint32_t kCtrlMsgBytes = 16;
+inline constexpr std::uint32_t kMemReadRespBytes = 16;
+
+/// Packs (node, global PE or endpoint ordinal) requester identities.
+struct GlobalEndpoint {
+    std::uint16_t node = 0;
+    std::uint32_t ep = 0;  ///< endpoint id on that node's fabric
+
+    [[nodiscard]] std::uint64_t pack() const {
+        return (static_cast<std::uint64_t>(node) << 32) | ep;
+    }
+    [[nodiscard]] static GlobalEndpoint unpack(std::uint64_t v) {
+        return GlobalEndpoint{static_cast<std::uint16_t>(v >> 32),
+                              static_cast<std::uint32_t>(v & 0xffffffffu)};
+    }
+    friend bool operator==(const GlobalEndpoint&, const GlobalEndpoint&) =
+        default;
+};
+
+/// Context travelling with a FALLOC through the scheduler: who asked, which
+/// destination register tags the reply, and how many DSE-to-DSE forwards
+/// already happened (to stop ring-around when every node is full).
+struct FallocCtx {
+    std::uint16_t node = 0;    ///< requester's node
+    std::uint16_t pe = 0;      ///< requester's PE index within its node
+    std::uint8_t rd = 0;       ///< destination register of the FALLOC
+    std::uint8_t hops = 0;     ///< DSE forwarding count
+
+    [[nodiscard]] std::uint64_t pack() const {
+        return (static_cast<std::uint64_t>(node) << 32) |
+               (static_cast<std::uint64_t>(pe) << 16) |
+               (static_cast<std::uint64_t>(rd) << 8) | hops;
+    }
+    [[nodiscard]] static FallocCtx unpack(std::uint64_t v) {
+        return FallocCtx{static_cast<std::uint16_t>(v >> 32),
+                         static_cast<std::uint16_t>((v >> 16) & 0xffff),
+                         static_cast<std::uint8_t>((v >> 8) & 0xff),
+                         static_cast<std::uint8_t>(v & 0xff)};
+    }
+    friend bool operator==(const FallocCtx&, const FallocCtx&) = default;
+};
+
+/// Machine topology as the scheduler sees it; lets scheduler elements map a
+/// global PE index to (node, local PE).
+struct Topology {
+    std::uint16_t nodes = 1;
+    std::uint16_t spes_per_node = 8;
+
+    [[nodiscard]] std::uint32_t total_pes() const {
+        return static_cast<std::uint32_t>(nodes) * spes_per_node;
+    }
+    [[nodiscard]] std::uint16_t node_of(sim::GlobalPeId pe) const {
+        return static_cast<std::uint16_t>(pe / spes_per_node);
+    }
+    [[nodiscard]] std::uint16_t local_pe_of(sim::GlobalPeId pe) const {
+        return static_cast<std::uint16_t>(pe % spes_per_node);
+    }
+    [[nodiscard]] sim::GlobalPeId global_pe(std::uint16_t node,
+                                            std::uint16_t local) const {
+        return static_cast<sim::GlobalPeId>(node) * spes_per_node + local;
+    }
+};
+
+/// A scheduler-layer message queued for transmission; the PE / machine glue
+/// turns it into a noc::Packet (choosing fabric endpoints and wire size).
+struct SchedMsg {
+    MsgKind kind = MsgKind::kInvalid;
+    std::uint16_t dst_node = 0;
+    bool dst_is_dse = false;   ///< else a PE (its LSE)
+    std::uint16_t dst_pe = 0;  ///< valid when !dst_is_dse
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t c = 0;
+};
+
+}  // namespace dta::sched

@@ -1,0 +1,23 @@
+#include "sim/check.hpp"
+
+#include <sstream>
+
+namespace dta::sim::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+    std::ostringstream os;
+    os << "DTA_CHECK failed: (" << expr << ") at " << file << ':' << line;
+    if (!msg.empty()) {
+        os << " — " << msg;
+    }
+    throw CheckError(os.str());
+}
+
+void sim_failed(const char* file, int line, const std::string& msg) {
+    std::ostringstream os;
+    os << "simulation error: " << msg << " (" << file << ':' << line << ')';
+    throw SimError(os.str());
+}
+
+}  // namespace dta::sim::detail

@@ -1,0 +1,66 @@
+/// \file check.hpp
+/// \brief Invariant checking for the simulator.
+///
+/// The simulator distinguishes two failure classes:
+///   * \ref dta::sim::SimError — a *model* error: the simulated program or
+///     machine configuration violated an architectural rule (e.g. a frame
+///     store past the end of a frame).  These are thrown as exceptions so
+///     tests can assert on them.
+///   * DTA_CHECK failures — *simulator* bugs: internal invariants that can
+///     only break if the C++ code itself is wrong.  Also thrown (rather than
+///     aborting) so that property tests can drive the simulator hard without
+///     taking the test binary down.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dta::sim {
+
+/// Error raised when the simulated program or configuration is invalid.
+class SimError : public std::runtime_error {
+public:
+    explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Internal-invariant failure; indicates a bug in the simulator itself.
+class CheckError : public std::logic_error {
+public:
+    explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+[[noreturn]] void sim_failed(const char* file, int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace dta::sim
+
+/// Internal invariant; failure means the simulator itself is buggy.
+#define DTA_CHECK(expr)                                                        \
+    do {                                                                       \
+        if (!(expr)) {                                                         \
+            ::dta::sim::detail::check_failed(#expr, __FILE__, __LINE__, "");   \
+        }                                                                      \
+    } while (false)
+
+/// Internal invariant with a formatted context message.
+#define DTA_CHECK_MSG(expr, msg)                                               \
+    do {                                                                       \
+        if (!(expr)) {                                                         \
+            ::dta::sim::detail::check_failed(#expr, __FILE__, __LINE__,        \
+                                             (msg));                           \
+        }                                                                      \
+    } while (false)
+
+/// Architectural / model error: the simulated program did something illegal.
+#define DTA_SIM_ERROR(msg) ::dta::sim::detail::sim_failed(__FILE__, __LINE__, (msg))
+
+/// Architectural precondition on simulated behaviour.
+#define DTA_SIM_REQUIRE(expr, msg)                                             \
+    do {                                                                       \
+        if (!(expr)) {                                                         \
+            DTA_SIM_ERROR(msg);                                                \
+        }                                                                      \
+    } while (false)

@@ -1,0 +1,4 @@
+// log.hpp is header-only; this translation unit exists so the dta_sim
+// library always has at least one object file and to pin the vtable-free
+// Logger's inline definitions into one place for faster incremental builds.
+#include "sim/log.hpp"

@@ -1,0 +1,69 @@
+/// \file rng.hpp
+/// \brief Deterministic pseudo-random number generation for workload inputs.
+///
+/// The *simulator* never consumes randomness — determinism of the timing
+/// model is a tested invariant.  Randomness is used only to generate
+/// workload input data (matrices, images, bitcount operands), and must be
+/// reproducible across platforms, so we implement SplitMix64 and
+/// xoshiro256** ourselves instead of relying on unspecified standard-library
+/// distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dta::sim {
+
+/// SplitMix64 — used to seed xoshiro and for cheap one-off streams.
+class SplitMix64 {
+public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — the workhorse generator for workload inputs.
+class Xoshiro256 {
+public:
+    explicit Xoshiro256(std::uint64_t seed) {
+        SplitMix64 sm(seed);
+        for (auto& s : state_) {
+            s = sm.next();
+        }
+    }
+
+    std::uint64_t next() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform value in [0, bound); bound must be non-zero.
+    std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+    /// Uniform 32-bit value.
+    std::uint32_t next_u32() { return static_cast<std::uint32_t>(next() >> 32); }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace dta::sim

@@ -1,0 +1,158 @@
+#include "stats/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace dta::stats {
+namespace {
+
+void pad(std::ostringstream& os, const std::string& s, std::size_t width) {
+    os << s;
+    for (std::size_t i = s.size(); i < width; ++i) {
+        os << ' ';
+    }
+}
+
+std::string fixed(double v, int prec = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+}
+
+}  // namespace
+
+std::string pct(double fraction) { return fixed(fraction * 100.0, 1) + "%"; }
+
+std::string speedup_str(std::uint64_t base, std::uint64_t improved) {
+    if (improved == 0) {
+        return "n/a";
+    }
+    return fixed(static_cast<double>(base) / static_cast<double>(improved)) +
+           "x";
+}
+
+std::string breakdown_table(const std::vector<BreakdownRow>& rows) {
+    static constexpr std::array<core::CycleBucket, 6> kOrder = {
+        core::CycleBucket::kWorking,   core::CycleBucket::kIdle,
+        core::CycleBucket::kMemStall,  core::CycleBucket::kLsStall,
+        core::CycleBucket::kLseStall,  core::CycleBucket::kPrefetch,
+    };
+    std::ostringstream os;
+    pad(os, "benchmark", 18);
+    for (const auto b : kOrder) {
+        pad(os, std::string(core::bucket_name(b)), 14);
+    }
+    os << '\n';
+    for (const auto& row : rows) {
+        pad(os, row.name, 18);
+        for (const auto b : kOrder) {
+            pad(os, pct(row.breakdown.fraction(b)), 14);
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string instruction_table(const std::vector<InstrRow>& rows) {
+    std::ostringstream os;
+    pad(os, "benchmark", 18);
+    for (const char* col : {"Total", "LOAD", "STORE", "READ", "WRITE",
+                            "LSLOAD/ST", "DMAGET"}) {
+        pad(os, col, 12);
+    }
+    os << '\n';
+    for (const auto& row : rows) {
+        pad(os, row.name, 18);
+        const auto& s = row.instrs;
+        for (const std::uint64_t v :
+             {s.total(), s.loads(), s.stores(), s.reads(), s.writes(),
+              s.ls_accesses(), s.dma_commands()}) {
+            pad(os, std::to_string(v), 12);
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string exec_time_table(const std::string& title,
+                            const std::vector<SeriesPoint>& pts) {
+    std::ostringstream os;
+    os << title << '\n';
+    pad(os, "PEs", 6);
+    pad(os, "cycles(orig)", 16);
+    pad(os, "cycles(pf)", 16);
+    pad(os, "speedup", 10);
+    pad(os, "scal(orig)", 12);
+    pad(os, "scal(pf)", 12);
+    os << '\n';
+    const std::uint64_t base_np = pts.empty() ? 0 : pts.front().cycles_noprefetch;
+    const std::uint64_t base_pf = pts.empty() ? 0 : pts.front().cycles_prefetch;
+    for (const auto& p : pts) {
+        pad(os, std::to_string(p.pes), 6);
+        pad(os, std::to_string(p.cycles_noprefetch), 16);
+        pad(os, std::to_string(p.cycles_prefetch), 16);
+        pad(os, speedup_str(p.cycles_noprefetch, p.cycles_prefetch), 10);
+        pad(os, speedup_str(base_np, p.cycles_noprefetch), 12);
+        pad(os, speedup_str(base_pf, p.cycles_prefetch), 12);
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string exec_time_csv(const std::vector<SeriesPoint>& pts) {
+    std::ostringstream os;
+    os << "pes,cycles_noprefetch,cycles_prefetch,speedup\n";
+    for (const auto& p : pts) {
+        os << p.pes << ',' << p.cycles_noprefetch << ',' << p.cycles_prefetch
+           << ',';
+        if (p.cycles_prefetch != 0) {
+            os << fixed(static_cast<double>(p.cycles_noprefetch) /
+                        static_cast<double>(p.cycles_prefetch));
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string profile_table(const std::vector<core::CodeProfile>& profile) {
+    std::ostringstream os;
+    pad(os, "thread code", 22);
+    for (const char* col :
+         {"threads", "dispatches", "cycles", "instrs", "cyc/disp"}) {
+        pad(os, col, 12);
+    }
+    os << '\n';
+    for (const auto& p : profile) {
+        pad(os, p.name, 22);
+        pad(os, std::to_string(p.threads_started), 12);
+        pad(os, std::to_string(p.dispatches), 12);
+        pad(os, std::to_string(p.pipeline_cycles), 12);
+        pad(os, std::to_string(p.instructions), 12);
+        pad(os,
+            p.dispatches == 0
+                ? "-"
+                : fixed(static_cast<double>(p.pipeline_cycles) /
+                            static_cast<double>(p.dispatches),
+                        1),
+            12);
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string pipeline_usage_table(const std::vector<UsageRow>& rows) {
+    std::ostringstream os;
+    pad(os, "benchmark", 18);
+    pad(os, "usage(orig)", 14);
+    pad(os, "usage(pf)", 14);
+    os << '\n';
+    for (const auto& row : rows) {
+        pad(os, row.name, 18);
+        pad(os, pct(row.usage_noprefetch), 14);
+        pad(os, pct(row.usage_prefetch), 14);
+        os << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace dta::stats

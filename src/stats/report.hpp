@@ -1,0 +1,74 @@
+/// \file report.hpp
+/// \brief Table / series formatting for the benchmark harnesses: renders
+///        the paper's figures and tables as aligned text and CSV.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/breakdown.hpp"
+#include "core/machine.hpp"
+
+namespace dta::stats {
+
+/// One bar of a Fig. 5-style breakdown chart.
+struct BreakdownRow {
+    std::string name;
+    core::Breakdown breakdown;
+};
+
+/// Renders the Fig. 5 execution-time breakdown as percentages per category
+/// (paper view: six categories, pipeline hazards folded into Working).
+[[nodiscard]] std::string breakdown_table(
+    const std::vector<BreakdownRow>& rows);
+
+/// One row of a Table 5-style dynamic instruction-count table.
+struct InstrRow {
+    std::string name;
+    core::InstrStats instrs;
+};
+
+/// Renders Table 5 (Total / LOAD / STORE / READ / WRITE) plus the
+/// prefetch-era columns (LS accesses, DMA commands).
+[[nodiscard]] std::string instruction_table(const std::vector<InstrRow>& rows);
+
+/// A measured point of an execution-time / scalability series.
+struct SeriesPoint {
+    std::uint32_t pes = 0;
+    std::uint64_t cycles_noprefetch = 0;
+    std::uint64_t cycles_prefetch = 0;
+};
+
+/// Renders a Fig. 6/7/8-style table: execution time for both variants per
+/// PE count, the prefetch speedup, and each variant's self-relative
+/// scalability (time(1 PE) / time(p PEs)).
+[[nodiscard]] std::string exec_time_table(const std::string& title,
+                                          const std::vector<SeriesPoint>& pts);
+
+/// Renders the same series as CSV (for plotting).
+[[nodiscard]] std::string exec_time_csv(const std::vector<SeriesPoint>& pts);
+
+/// Renders Fig. 9: pipeline usage (% cycles with >= 1 issue) per benchmark
+/// with and without prefetching.
+struct UsageRow {
+    std::string name;
+    double usage_noprefetch = 0.0;
+    double usage_prefetch = 0.0;
+};
+[[nodiscard]] std::string pipeline_usage_table(
+    const std::vector<UsageRow>& rows);
+
+/// Renders the per-thread-code profile of a run (threads started, SPU
+/// cycles held, instructions, cycles per dispatch).
+[[nodiscard]] std::string profile_table(
+    const std::vector<core::CodeProfile>& profile);
+
+/// x / y formatted as a ratio ("11.18x"); y == 0 yields "n/a".
+[[nodiscard]] std::string speedup_str(std::uint64_t base,
+                                      std::uint64_t improved);
+
+/// Fixed-width percentage ("94.2%").
+[[nodiscard]] std::string pct(double fraction);
+
+}  // namespace dta::stats

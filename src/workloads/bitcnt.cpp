@@ -1,0 +1,302 @@
+#include "workloads/bitcnt.hpp"
+
+#include <bit>
+
+#include "isa/builder.hpp"
+#include "sim/check.hpp"
+#include "xform/prefetch_pass.hpp"
+
+namespace dta::workloads {
+
+using isa::CodeBlock;
+using isa::CodeBuilder;
+using isa::r;
+
+// ---- host replicas ---------------------------------------------------------
+
+std::uint32_t BitCount::mix(std::uint64_t x) {
+    return static_cast<std::uint32_t>(((x * 0x9E3779B1ull) ^ (x >> 13)) &
+                                      0xffffffffull);
+}
+
+std::uint32_t BitCount::fn_kern(std::uint32_t v) {
+    return static_cast<std::uint32_t>(std::popcount(v));
+}
+
+std::uint32_t BitCount::fn_btbl(std::uint32_t v) {
+    std::uint32_t s = 0;
+    for (int i = 0; i < 4; ++i) {
+        s += static_cast<std::uint32_t>(std::popcount((v >> (8 * i)) & 0xffu));
+    }
+    return s;
+}
+
+std::uint32_t BitCount::fn_ntbl(std::uint32_t v) {
+    std::uint32_t s = 0;
+    for (int i = 0; i < 4; ++i) {
+        s += static_cast<std::uint32_t>(std::popcount((v >> (4 * i)) & 0xfu));
+    }
+    return s;
+}
+
+std::uint32_t BitCount::fn_masks(std::uint32_t v) {
+    std::uint32_t s = 0;
+    for (std::uint32_t i = 0; i < kNumMasks; ++i) {
+        s += ((v & mask_value(i)) >> (i % 8)) & 0xffu;
+    }
+    return s;
+}
+
+// ---- construction ----------------------------------------------------------
+
+BitCount::BitCount(const Params& p) : p_(p) {
+    DTA_SIM_REQUIRE(p.iterations > 0 && p.iterations % kGroup == 0,
+                    "bitcnt: iterations must be a positive multiple of 16");
+    ref_.assign(blocks(), 0);
+    for (std::uint32_t b = 0; b < blocks(); ++b) {
+        for (std::uint32_t i = 0; i < kGroup; ++i) {
+            const std::uint32_t v = mix(b * kGroup + i);
+            ref_[b] += fn_kern(v) + fn_btbl(v) + fn_ntbl(v) + fn_masks(v);
+        }
+    }
+    prog_ = build();
+    xform::PrefetchOptions opt;
+    opt.staging_bytes = lse_config().staging_bytes_per_frame;
+    prog_pf_ = xform::add_prefetch(prog_, opt);
+}
+
+isa::Program BitCount::build() const {
+    isa::Program prog;
+    prog.name = "bitcnt(" + std::to_string(p_.iterations) + ")";
+
+    // ---- fn_kern: Kernighan's loop (pure ALU, no global data) --------------
+    sim::ThreadCodeId kern_id;
+    {
+        CodeBuilder b("bc_kern", 2);
+        b.block(CodeBlock::kPl).load(r(1), 0).load(r(2), 1);
+        b.block(CodeBlock::kEx).movi(r(3), 0).mov(r(4), r(1));
+        auto lp = b.new_label();
+        auto done = b.new_label();
+        b.bind(lp)
+            .beq(r(4), r(0), done)
+            .addi(r(5), r(4), -1)
+            .and_(r(4), r(4), r(5))
+            .addi(r(3), r(3), 1)
+            .jmp(lp);
+        b.bind(done);
+        b.block(CodeBlock::kPs).store(r(3), r(2), 0).ffree().stop();
+        kern_id = prog.add(std::move(b).build());
+    }
+
+    // ---- fn_btbl: four byte-table lookups (data-dependent index => the
+    //      READs are deliberately NOT annotated; they stay in the thread) ----
+    sim::ThreadCodeId btbl_id;
+    {
+        CodeBuilder b("bc_btbl", 2);
+        b.block(CodeBlock::kPl).load(r(1), 0).load(r(2), 1);
+        b.block(CodeBlock::kEx)
+            .movi(r(5), static_cast<std::int64_t>(kTable8))
+            .movi(r(3), 0);
+        for (int i = 0; i < 4; ++i) {
+            b.shri(r(6), r(1), 8 * i)
+                .andi(r(6), r(6), 0xff)
+                .shli(r(6), r(6), 2)
+                .add(r(6), r(6), r(5))
+                .read(r(7), r(6), 0)
+                .add(r(3), r(3), r(7));
+        }
+        b.block(CodeBlock::kPs).store(r(3), r(2), 1).ffree().stop();
+        btbl_id = prog.add(std::move(b).build());
+    }
+
+    // ---- fn_ntbl: four nibble-table lookups of the low 16 bits --------------
+    sim::ThreadCodeId ntbl_id;
+    {
+        CodeBuilder b("bc_ntbl", 2);
+        b.block(CodeBlock::kPl).load(r(1), 0).load(r(2), 1);
+        b.block(CodeBlock::kEx)
+            .movi(r(5), static_cast<std::int64_t>(kTable4))
+            .movi(r(3), 0);
+        for (int i = 0; i < 4; ++i) {
+            b.shri(r(6), r(1), 4 * i)
+                .andi(r(6), r(6), 0xf)
+                .shli(r(6), r(6), 2)
+                .add(r(6), r(6), r(5))
+                .read(r(7), r(6), 0)
+                .add(r(3), r(3), r(7));
+        }
+        b.block(CodeBlock::kPs).store(r(3), r(2), 2).ffree().stop();
+        ntbl_id = prog.add(std::move(b).build());
+    }
+
+    // ---- fn_masks: linear scan of the coefficient array (prefetchable) ------
+    sim::ThreadCodeId masks_id;
+    {
+        CodeBuilder b("bc_masks", 2);
+        isa::RegionAnnotation ann;
+        {
+            CodeBuilder ab("bc_masks_addr", 0);
+            ab.block(CodeBlock::kPf)
+                .movi(r(30), static_cast<std::int64_t>(kMasks));
+            ann.addr_code = std::move(ab).build_unchecked().code;
+            ann.addr_reg = 30;
+            ann.bytes = kNumMasks * 4;
+        }
+        const std::int16_t reg0 = b.annotate(ann);
+        b.block(CodeBlock::kPl).load(r(1), 0).load(r(2), 1);
+        b.block(CodeBlock::kEx)
+            .movi(r(5), static_cast<std::int64_t>(kMasks))
+            .movi(r(3), 0);
+        for (std::uint32_t i = 0; i < kNumMasks; ++i) {
+            b.read(r(6), r(5), static_cast<std::int64_t>(i) * 4, reg0)
+                .and_(r(7), r(1), r(6))
+                .shri(r(7), r(7), i % 8)
+                .andi(r(7), r(7), 0xff)
+                .add(r(3), r(3), r(7));
+        }
+        b.block(CodeBlock::kPs).store(r(3), r(2), 3).ffree().stop();
+        masks_id = prog.add(std::move(b).build());
+    }
+
+    // ---- combiner: sums the four partial counts, forwards to the group
+    //      accumulator at a register-indexed frame word ----------------------
+    sim::ThreadCodeId comb_id;
+    {
+        CodeBuilder b("bc_comb", 6);
+        b.block(CodeBlock::kPl)
+            .load(r(1), 0)
+            .load(r(2), 1)
+            .load(r(3), 2)
+            .load(r(4), 3)
+            .load(r(5), 4)   // accumulator handle
+            .load(r(6), 5);  // word index within the accumulator frame
+        b.block(CodeBlock::kEx)
+            .add(r(7), r(1), r(2))
+            .add(r(7), r(7), r(3))
+            .add(r(7), r(7), r(4));
+        b.block(CodeBlock::kPs)
+            .storex(r(7), r(5), r(6), 0)
+            .ffree()
+            .stop();
+        comb_id = prog.add(std::move(b).build());
+    }
+
+    // ---- group accumulator: 16 partial sums + block index, one WRITE --------
+    sim::ThreadCodeId acc_id;
+    {
+        CodeBuilder b("bc_acc", kGroup + 1);
+        b.block(CodeBlock::kPl);
+        for (std::uint32_t i = 0; i < kGroup; ++i) {
+            b.load(r(static_cast<std::uint8_t>(1 + i)), i);
+        }
+        b.load(r(17), kGroup);  // block index
+        b.block(CodeBlock::kEx).mov(r(20), r(1));
+        for (std::uint32_t i = 1; i < kGroup; ++i) {
+            b.add(r(20), r(20), r(static_cast<std::uint8_t>(1 + i)));
+        }
+        b.shli(r(21), r(17), 2)
+            .addi(r(21), r(21), static_cast<std::int64_t>(kOut))
+            .write(r(20), r(21), 0);
+        b.block(CodeBlock::kPs).ffree().stop();
+        acc_id = prog.add(std::move(b).build());
+    }
+
+    // ---- iteration thread: derives the value, forks the four functions
+    //      plus the combiner --------------------------------------------------
+    sim::ThreadCodeId iter_id;
+    {
+        CodeBuilder b("bc_iter", 3);
+        b.block(CodeBlock::kPl)
+            .load(r(1), 0)   // iteration index x
+            .load(r(2), 1)   // accumulator handle
+            .load(r(3), 2);  // word index
+        b.block(CodeBlock::kEx)
+            .muli(r(4), r(1), 0x9E3779B1)
+            .shri(r(5), r(1), 13)
+            .xor_(r(4), r(4), r(5))
+            .andi(r(4), r(4), 0xffffffff);  // v = mix(x)
+        b.block(CodeBlock::kPs)
+            .falloc(r(6), comb_id)
+            .store(r(2), r(6), 4)
+            .store(r(3), r(6), 5)
+            .falloc(r(7), kern_id)
+            .store(r(4), r(7), 0)
+            .store(r(6), r(7), 1)
+            .falloc(r(8), btbl_id)
+            .store(r(4), r(8), 0)
+            .store(r(6), r(8), 1)
+            .falloc(r(9), ntbl_id)
+            .store(r(4), r(9), 0)
+            .store(r(6), r(9), 1)
+            .falloc(r(10), masks_id)
+            .store(r(4), r(10), 0)
+            .store(r(6), r(10), 1)
+            .ffree()
+            .stop();
+        iter_id = prog.add(std::move(b).build());
+    }
+
+    // ---- spawner: unrolls the main loop in groups of 16; forks its own
+    //      continuation (the paper's "forking a vast amount of threads") ------
+    {
+        CodeBuilder b("bc_spawner", 1);
+        b.block(CodeBlock::kPl).load(r(1), 0);  // start
+        b.block(CodeBlock::kEx).movi(r(2), p_.iterations);
+        auto done = b.new_label();
+        auto lp = b.new_label();
+        b.block(CodeBlock::kPs)
+            .bge(r(1), r(2), done)
+            .falloc(r(3), acc_id)
+            .shri(r(4), r(1), 4)     // block index = start / 16
+            .store(r(4), r(3), kGroup)
+            .movi(r(5), 0)
+            .movi(r(10), kGroup);
+        b.bind(lp)
+            .falloc(r(6), iter_id)
+            .add(r(7), r(1), r(5))
+            .store(r(7), r(6), 0)
+            .store(r(3), r(6), 1)
+            .store(r(5), r(6), 2)
+            .addi(r(5), r(5), 1)
+            .blt(r(5), r(10), lp)
+            .addi(r(8), r(1), kGroup)
+            .falloc(r(9), 7 /*self: spawner is the 8th code added*/)
+            .store(r(8), r(9), 0);
+        b.bind(done).ffree().stop();
+        prog.entry = prog.add(std::move(b).build());
+        DTA_SIM_REQUIRE(prog.entry == 7,
+                        "bitcnt: spawner self-reference id drifted");
+    }
+    return prog;
+}
+
+void BitCount::init_memory(mem::MainMemory& mem) const {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        mem.write_u32(kTable8 + i * 4,
+                      static_cast<std::uint32_t>(std::popcount(i)));
+    }
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        mem.write_u32(kTable4 + i * 4,
+                      static_cast<std::uint32_t>(std::popcount(i)));
+    }
+    for (std::uint32_t i = 0; i < kNumMasks; ++i) {
+        mem.write_u32(kMasks + i * 4, mask_value(i));
+    }
+}
+
+bool BitCount::check(const mem::MainMemory& mem, std::string* why) const {
+    for (std::uint32_t b = 0; b < blocks(); ++b) {
+        const std::uint32_t got = mem.read_u32(kOut + b * 4ull);
+        if (got != ref_[b]) {
+            if (why) {
+                *why = "block " + std::to_string(b) + " = " +
+                       std::to_string(got) + ", expected " +
+                       std::to_string(ref_[b]);
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace dta::workloads

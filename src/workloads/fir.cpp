@@ -1,0 +1,159 @@
+#include "workloads/fir.hpp"
+
+#include <span>
+
+#include "isa/builder.hpp"
+#include "sim/check.hpp"
+#include "sim/rng.hpp"
+#include "xform/prefetch_pass.hpp"
+
+namespace dta::workloads {
+
+using isa::CodeBlock;
+using isa::CodeBuilder;
+using isa::r;
+
+Fir::Fir(const Params& p) : p_(p) {
+    DTA_SIM_REQUIRE(p.samples > 0 && p.taps > 0, "fir: empty problem");
+    DTA_SIM_REQUIRE(p.threads > 0 && p.samples % p.threads == 0,
+                    "fir: thread count must divide the sample count");
+    const std::uint32_t band = p.samples / p.threads;
+    DTA_SIM_REQUIRE((band + p.taps + 2) * 4 + p.taps * 4 <=
+                        lse_config().staging_bytes_per_frame,
+                    "fir: band + taps exceeds the staging area");
+
+    sim::Xoshiro256 rng(p.seed);
+    x_.resize(p.samples + p.taps);
+    for (auto& v : x_) v = static_cast<std::uint32_t>(rng.next_below(256));
+    c_.resize(p.taps);
+    for (auto& v : c_) v = static_cast<std::uint32_t>(rng.next_below(16));
+    ref_.assign(p.samples, 0);
+    for (std::uint32_t i = 0; i < p.samples; ++i) {
+        std::uint32_t acc = 0;
+        for (std::uint32_t k = 0; k < p.taps; ++k) {
+            acc += x_[i + k] * c_[k];
+        }
+        ref_[i] = acc;
+    }
+    prog_ = build();
+    xform::PrefetchOptions opt;
+    opt.staging_bytes = lse_config().staging_bytes_per_frame;
+    prog_pf_ = xform::add_prefetch(prog_, opt);
+}
+
+isa::Program Fir::build() const {
+    const std::uint32_t band = p_.samples / p_.threads;
+
+    isa::Program prog;
+    prog.name = "fir(" + std::to_string(p_.samples) + "," +
+                std::to_string(p_.taps) + ")";
+
+    CodeBuilder w("fir_worker", /*num_inputs=*/2);
+    // region 0: this worker's input window (band + taps samples).
+    isa::RegionAnnotation win;
+    {
+        CodeBuilder ab("fir_x_addr", 0);
+        ab.block(CodeBlock::kPf)
+            .load(r(28), 0)
+            .shli(r(28), r(28), 2)
+            .addi(r(30), r(28), static_cast<std::int64_t>(x_base()));
+        win.addr_code = std::move(ab).build_unchecked().code;
+        win.addr_reg = 30;
+        win.bytes = (band + p_.taps) * 4;
+    }
+    const std::int16_t reg_x = w.annotate(win);
+    // region 1: the coefficient vector.
+    isa::RegionAnnotation coeff;
+    {
+        CodeBuilder ab("fir_c_addr", 0);
+        ab.block(CodeBlock::kPf)
+            .movi(r(30), static_cast<std::int64_t>(c_base()));
+        coeff.addr_code = std::move(ab).build_unchecked().code;
+        coeff.addr_reg = 30;
+        coeff.bytes = p_.taps * 4;
+    }
+    const std::int16_t reg_c = w.annotate(coeff);
+
+    w.block(CodeBlock::kPl)
+        .load(r(1), 0)   // band_begin
+        .load(r(2), 1);  // band_end
+    w.block(CodeBlock::kEx)
+        .movi(r(3), static_cast<std::int64_t>(x_base()))
+        .movi(r(4), static_cast<std::int64_t>(c_base()))
+        .movi(r(5), static_cast<std::int64_t>(y_base()))
+        .movi(r(6), p_.taps)
+        .mov(r(7), r(1));  // i
+    auto li = w.new_label();
+    auto li_done = w.new_label();
+    auto lk = w.new_label();
+    w.bind(li)
+        .bge(r(7), r(2), li_done)
+        .movi(r(9), 0)             // acc
+        .movi(r(10), 0)            // k
+        .shli(r(11), r(7), 2)
+        .add(r(11), r(11), r(3));  // &x[i]
+    w.bind(lk)
+        .read(r(13), r(11), 0, reg_x)          // x[i+k]
+        .shli(r(12), r(10), 2)
+        .add(r(12), r(12), r(4))
+        .read(r(14), r(12), 0, reg_c)          // c[k]
+        .mul(r(15), r(13), r(14))
+        .add(r(9), r(9), r(15))
+        .addi(r(11), r(11), 4)
+        .addi(r(10), r(10), 1)
+        .blt(r(10), r(6), lk)
+        .shli(r(16), r(7), 2)
+        .add(r(16), r(16), r(5))
+        .write(r(9), r(16), 0)                 // y[i]
+        .addi(r(7), r(7), 1)
+        .jmp(li);
+    w.bind(li_done);
+    w.block(CodeBlock::kPs).ffree().stop();
+    const sim::ThreadCodeId worker = prog.add(std::move(w).build());
+
+    CodeBuilder m("fir_main", /*num_inputs=*/0);
+    m.block(CodeBlock::kPs)
+        .movi(r(1), 0)
+        .movi(r(2), band)
+        .movi(r(3), p_.threads)
+        .movi(r(4), 0);
+    auto loop = m.new_label();
+    auto done = m.new_label();
+    m.bind(loop)
+        .bge(r(4), r(3), done)
+        .falloc(r(5), worker)
+        .store(r(1), r(5), 0)
+        .add(r(6), r(1), r(2))
+        .store(r(6), r(5), 1)
+        .mov(r(1), r(6))
+        .addi(r(4), r(4), 1)
+        .jmp(loop);
+    m.bind(done).ffree().stop();
+    prog.entry = prog.add(std::move(m).build());
+    return prog;
+}
+
+void Fir::init_memory(mem::MainMemory& mem) const {
+    const auto bytes = [](const std::vector<std::uint32_t>& v) {
+        return std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(v.data()), v.size() * 4);
+    };
+    mem.write_bytes(x_base(), bytes(x_));
+    mem.write_bytes(c_base(), bytes(c_));
+}
+
+bool Fir::check(const mem::MainMemory& mem, std::string* why) const {
+    for (std::uint32_t i = 0; i < p_.samples; ++i) {
+        const std::uint32_t got = mem.read_u32(y_base() + i * 4ull);
+        if (got != ref_[i]) {
+            if (why) {
+                *why = "y[" + std::to_string(i) + "] = " + std::to_string(got) +
+                       ", expected " + std::to_string(ref_[i]);
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace dta::workloads

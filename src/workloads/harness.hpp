@@ -1,0 +1,43 @@
+/// \file harness.hpp
+/// \brief One-call runner for a workload on a configured machine.
+///
+/// Every workload class exposes the same duck-typed surface:
+///   * `const isa::Program& program() const`          — original DTA code
+///   * `const isa::Program& prefetch_program() const` — after the PF pass
+///   * `void init_memory(mem::MainMemory&) const`     — place input data
+///   * `std::vector<std::uint64_t> entry_args() const`
+///   * `bool check(const mem::MainMemory&, std::string* why) const`
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "core/machine.hpp"
+
+namespace dta::workloads {
+
+/// A finished run plus its correctness verdict.
+struct RunOutcome {
+    core::RunResult result;
+    bool correct = false;
+    std::string detail;  ///< mismatch description when !correct
+};
+
+/// Builds a machine for \p cfg, loads the workload's memory image, runs the
+/// requested program variant, and checks the outputs against the host
+/// reference.
+template <typename Workload>
+[[nodiscard]] RunOutcome run_workload(const Workload& w,
+                                      const core::MachineConfig& cfg,
+                                      bool prefetch) {
+    core::Machine machine(cfg, prefetch ? w.prefetch_program() : w.program());
+    w.init_memory(machine.memory());
+    const auto args = w.entry_args();
+    machine.launch(args);
+    RunOutcome out;
+    out.result = machine.run();
+    out.correct = w.check(machine.memory(), &out.detail);
+    return out;
+}
+
+}  // namespace dta::workloads

@@ -1,0 +1,198 @@
+#include "workloads/mmul.hpp"
+
+#include <cstring>
+#include <span>
+
+#include "isa/builder.hpp"
+#include "sim/check.hpp"
+#include "sim/rng.hpp"
+#include "xform/prefetch_pass.hpp"
+
+namespace dta::workloads {
+
+using isa::CodeBlock;
+using isa::CodeBuilder;
+using isa::r;
+
+MatMul::MatMul(const Params& p) : p_(p) {
+    DTA_SIM_REQUIRE(p.n > 0, "mmul: n must be positive");
+    DTA_SIM_REQUIRE(p.threads > 0 && p.n % p.threads == 0,
+                    "mmul: thread count must divide n");
+    DTA_SIM_REQUIRE((p.unroll == 1 || p.unroll == 2 || p.unroll == 4) &&
+                        p.n % p.unroll == 0,
+                    "mmul: unroll must be 1, 2 or 4 and divide n");
+    // Input data and host reference.
+    sim::Xoshiro256 rng(p.seed);
+    a_.resize(p.n * p.n);
+    b_.resize(p.n * p.n);
+    for (auto& v : a_) v = static_cast<std::uint32_t>(rng.next_below(64));
+    for (auto& v : b_) v = static_cast<std::uint32_t>(rng.next_below(64));
+    ref_.assign(p.n * p.n, 0);
+    for (std::uint32_t i = 0; i < p.n; ++i) {
+        for (std::uint32_t k = 0; k < p.n; ++k) {
+            const std::uint64_t av = a_[i * p.n + k];
+            for (std::uint32_t j = 0; j < p.n; ++j) {
+                ref_[i * p.n + j] += static_cast<std::uint32_t>(
+                    av * b_[k * p.n + j]);
+            }
+        }
+    }
+    prog_ = build();
+    xform::PrefetchOptions opt;
+    opt.staging_bytes = lse_config().staging_bytes_per_frame;
+    prog_pf_ = xform::add_prefetch(prog_, opt);
+}
+
+isa::Program MatMul::build() const {
+    const std::uint32_t n = p_.n;
+    const std::uint32_t rows_per_thread = n / p_.threads;
+    const std::int64_t row_bytes = static_cast<std::int64_t>(n) * 4;
+
+    isa::Program prog;
+    prog.name = "mmul(" + std::to_string(n) + ")";
+
+    // ---- worker: computes C rows [row_begin, row_end) ---------------------
+    CodeBuilder w("mmul_worker", /*num_inputs=*/2);
+
+    // Prefetch annotations (consumed by the PF pass):
+    // region 0 — this worker's band of A rows.
+    isa::RegionAnnotation band;
+    {
+        CodeBuilder ab("regA_addr", 0);
+        ab.block(CodeBlock::kPf)
+            .load(r(28), 0)                     // row_begin
+            .muli(r(28), r(28), row_bytes)      // * n * 4
+            .addi(r(30), r(28), static_cast<std::int64_t>(a_base()));
+        isa::ThreadCode addr = std::move(ab).build_unchecked();
+        band.addr_code = addr.code;
+        band.addr_reg = 30;
+        band.bytes = rows_per_thread * n * 4;
+    }
+    const std::int16_t reg_a = w.annotate(band);
+    // region 1 — the whole of B.
+    isa::RegionAnnotation whole_b;
+    {
+        CodeBuilder ab("regB_addr", 0);
+        ab.block(CodeBlock::kPf)
+            .movi(r(30), static_cast<std::int64_t>(b_base()));
+        isa::ThreadCode addr = std::move(ab).build_unchecked();
+        whole_b.addr_code = addr.code;
+        whole_b.addr_reg = 30;
+        whole_b.bytes = n * n * 4;
+    }
+    const std::int16_t reg_b = w.annotate(whole_b);
+
+    w.block(CodeBlock::kPl)
+        .load(r(1), 0)   // row_begin
+        .load(r(2), 1);  // row_end
+    w.block(CodeBlock::kEx)
+        .movi(r(3), n)
+        .movi(r(4), static_cast<std::int64_t>(a_base()))
+        .movi(r(5), static_cast<std::int64_t>(b_base()))
+        .movi(r(6), static_cast<std::int64_t>(c_base()))
+        .movi(r(16), row_bytes)
+        .mov(r(7), r(1));  // i = row_begin
+    auto li = w.new_label();
+    auto li_done = w.new_label();
+    auto lj = w.new_label();
+    auto lj_done = w.new_label();
+    auto lk = w.new_label();
+    w.bind(li)
+        .bge(r(7), r(2), li_done)
+        .mul(r(17), r(7), r(16))   // i * n * 4
+        .add(r(17), r(17), r(4))   // a_row = A + i*n*4
+        .sub(r(20), r(17), r(4))
+        .add(r(20), r(20), r(6))   // c_row = C + i*n*4
+        .movi(r(8), 0);            // j = 0
+    w.bind(lj)
+        .bge(r(8), r(3), lj_done)
+        .movi(r(9), 0)             // acc = 0
+        .movi(r(10), 0)            // k = 0
+        .mov(r(11), r(17))         // a_ptr
+        .shli(r(12), r(8), 2)
+        .add(r(12), r(12), r(5));  // b_ptr = B + j*4
+    // Unrolled multiply-accumulate over k: independent READ pairs first
+    // (they overlap in the memory pipe), then the multiplies, then the
+    // accumulation chain — the paper's hand-unrolled inner loop.
+    const std::uint32_t u_count = p_.unroll;
+    static constexpr std::uint8_t kRegsA[4] = {13, 22, 24, 26};
+    static constexpr std::uint8_t kRegsB[4] = {14, 23, 25, 27};
+    static constexpr std::uint8_t kRegsP[4] = {15, 28, 29, 30};
+    w.bind(lk);
+    for (std::uint32_t u = 0; u < u_count; ++u) {
+        w.read(r(kRegsA[u]), r(11), 4 * static_cast<std::int64_t>(u), reg_a)
+            .read(r(kRegsB[u]), r(12),
+                  row_bytes * static_cast<std::int64_t>(u), reg_b);
+    }
+    for (std::uint32_t u = 0; u < u_count; ++u) {
+        w.mul(r(kRegsP[u]), r(kRegsA[u]), r(kRegsB[u]));
+    }
+    for (std::uint32_t u = 0; u < u_count; ++u) {
+        w.add(r(9), r(9), r(kRegsP[u]));
+    }
+    w.addi(r(11), r(11), 4 * static_cast<std::int64_t>(u_count))
+        .addi(r(12), r(12),
+              row_bytes * static_cast<std::int64_t>(u_count))
+        .addi(r(10), r(10), u_count)
+        .blt(r(10), r(3), lk)
+        .shli(r(19), r(8), 2)
+        .add(r(21), r(20), r(19))
+        .write(r(9), r(21), 0)          // C[i,j]
+        .addi(r(8), r(8), 1)
+        .jmp(lj);
+    w.bind(lj_done)
+        .addi(r(7), r(7), 1)
+        .jmp(li);
+    w.bind(li_done);
+    w.block(CodeBlock::kPs).ffree().stop();
+    const sim::ThreadCodeId worker = prog.add(std::move(w).build());
+
+    // ---- main thread: forks the workers ------------------------------------
+    CodeBuilder m("mmul_main", /*num_inputs=*/0);
+    m.block(CodeBlock::kPs)
+        .movi(r(1), 0)                // row cursor
+        .movi(r(2), rows_per_thread)
+        .movi(r(3), p_.threads)
+        .movi(r(4), 0);               // t
+    auto loop = m.new_label();
+    auto done = m.new_label();
+    m.bind(loop)
+        .bge(r(4), r(3), done)
+        .falloc(r(5), worker)
+        .store(r(1), r(5), 0)         // row_begin
+        .add(r(6), r(1), r(2))
+        .store(r(6), r(5), 1)         // row_end
+        .mov(r(1), r(6))
+        .addi(r(4), r(4), 1)
+        .jmp(loop);
+    m.bind(done).ffree().stop();
+    prog.entry = prog.add(std::move(m).build());
+    return prog;
+}
+
+void MatMul::init_memory(mem::MainMemory& mem) const {
+    const auto bytes = [](const std::vector<std::uint32_t>& v) {
+        return std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(v.data()), v.size() * 4);
+    };
+    mem.write_bytes(a_base(), bytes(a_));
+    mem.write_bytes(b_base(), bytes(b_));
+}
+
+bool MatMul::check(const mem::MainMemory& mem, std::string* why) const {
+    for (std::uint32_t i = 0; i < p_.n * p_.n; ++i) {
+        const std::uint32_t got = mem.read_u32(c_base() + i * 4);
+        if (got != ref_[i]) {
+            if (why) {
+                *why = "C[" + std::to_string(i / p_.n) + "," +
+                       std::to_string(i % p_.n) + "] = " +
+                       std::to_string(got) + ", expected " +
+                       std::to_string(ref_[i]);
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace dta::workloads

@@ -1,0 +1,309 @@
+#include "workloads/zoom.hpp"
+
+#include <bit>
+#include <span>
+
+#include "isa/builder.hpp"
+#include "sim/check.hpp"
+#include "sim/rng.hpp"
+#include "xform/prefetch_pass.hpp"
+
+namespace dta::workloads {
+
+using isa::CodeBlock;
+using isa::CodeBuilder;
+using isa::r;
+
+Zoom::Zoom(const Params& p) : p_(p) {
+    DTA_SIM_REQUIRE(p.n >= 4 && p.n % 2 == 0, "zoom: n must be even and >= 4");
+    DTA_SIM_REQUIRE(p.factor >= 2 && std::has_single_bit(p.factor),
+                    "zoom: factor must be a power of two >= 2");
+    const std::uint32_t out = out_n();
+    DTA_SIM_REQUIRE(p.threads > 0 && out % p.threads == 0,
+                    "zoom: thread count must divide the output rows");
+    DTA_SIM_REQUIRE(p.unroll >= 1 && p.factor % p.unroll == 0,
+                    "zoom: unroll must divide the zoom factor");
+    DTA_SIM_REQUIRE(p.unroll <= 4, "zoom: unroll is at most 4");
+
+    sim::Xoshiro256 rng(p.seed);
+    in_.resize(p.n * p.n);
+    for (auto& v : in_) v = static_cast<std::uint32_t>(rng.next_below(256));
+    ref_.assign(static_cast<std::size_t>(out) * out, 0);
+    for (std::uint32_t y = 0; y < out; ++y) {
+        const std::uint32_t sy = y / p.factor;
+        for (std::uint32_t x = 0; x < out; ++x) {
+            const std::uint32_t sx = x / p.factor;
+            const std::uint32_t p1 = in_[sy * p.n + sx];
+            const std::uint32_t p2 = in_[sy * p.n + sx + 1];
+            ref_[static_cast<std::size_t>(y) * out + x] = (p1 + p2) >> 1;
+        }
+    }
+    prog_ = build();
+    xform::PrefetchOptions opt;
+    opt.staging_bytes = lse_config().staging_bytes_per_frame;
+    prog_pf_ = xform::add_prefetch(prog_, opt);
+    // The write-back variant stages a whole output band per worker; it only
+    // exists when that band fits the staging area (more threads = smaller
+    // bands).  writeback_program() reports the constraint if violated.
+    const std::uint32_t band_bytes = (out / p.threads) * out * 4;
+    const std::uint32_t in_bytes =
+        ((out / p.threads) / p.factor + 2) * p.n * 4;
+    const std::uint32_t out_off = (in_bytes + 127) / 128 * 128;
+    if (out_off + band_bytes <= lse_config().staging_bytes_per_frame) {
+        prog_wb_ = build_writeback();
+    }
+}
+
+isa::Program Zoom::build() const {
+    const std::uint32_t n = p_.n;
+    const std::uint32_t out = out_n();
+    const std::uint32_t rows_per_thread = out / p_.threads;
+    const auto log2f =
+        static_cast<std::int64_t>(std::countr_zero(p_.factor));
+    const std::int64_t in_row_bytes = static_cast<std::int64_t>(n) * 4;
+
+    isa::Program prog;
+    prog.name = "zoom(" + std::to_string(n) + ")";
+
+    // ---- worker: output rows [row_begin, row_end) ---------------------------
+    CodeBuilder w("zoom_worker", /*num_inputs=*/2);
+
+    // region 0 — the band of input rows this worker samples.
+    isa::RegionAnnotation rows;
+    {
+        CodeBuilder ab("zoom_addr", 0);
+        ab.block(CodeBlock::kPf)
+            .load(r(28), 0)                 // row_begin
+            .shri(r(28), r(28), log2f)      // first source row
+            .muli(r(28), r(28), in_row_bytes)
+            .addi(r(30), r(28), static_cast<std::int64_t>(in_base()));
+        rows.addr_code = std::move(ab).build_unchecked().code;
+        rows.addr_reg = 30;
+        // Static worst case: the band's source rows plus one of slack for
+        // unaligned band boundaries.
+        rows.bytes =
+            (rows_per_thread / p_.factor + 2) * static_cast<std::uint32_t>(n) *
+            4;
+    }
+    const std::int16_t reg0 = w.annotate(rows);
+
+    w.block(CodeBlock::kPl)
+        .load(r(1), 0)   // row_begin
+        .load(r(2), 1);  // row_end
+    w.block(CodeBlock::kEx)
+        .movi(r(3), out)
+        .movi(r(4), static_cast<std::int64_t>(in_base()))
+        .movi(r(5), static_cast<std::int64_t>(out_base()))
+        .movi(r(6), in_row_bytes)
+        .mov(r(7), r(1));  // y
+    auto ly = w.new_label();
+    auto ly_done = w.new_label();
+    auto lx = w.new_label();
+    w.bind(ly)
+        .bge(r(7), r(2), ly_done)
+        .shri(r(20), r(7), log2f)     // sy
+        .mul(r(21), r(20), r(6))
+        .add(r(21), r(21), r(4))      // &in[sy][0]
+        .mul(r(22), r(7), r(3))
+        .shli(r(22), r(22), 2)
+        .add(r(22), r(22), r(5))      // &out[y][0]
+        .movi(r(8), 0);               // x
+    // Unrolled pixel group (the paper unrolls its benchmark loops).  The
+    // group never crosses a source-pixel boundary because unroll divides
+    // the zoom factor, so sx is computed once; the two-tap READs are still
+    // issued per output pixel, as in the naive source.
+    const std::uint32_t u_count = p_.unroll;
+    static constexpr std::uint8_t kRegsA[4] = {13, 25, 27, 29};
+    static constexpr std::uint8_t kRegsB[4] = {14, 26, 28, 30};
+    static constexpr std::uint8_t kRegsS[4] = {15, 9, 10, 11};
+    w.bind(lx)
+        .shri(r(23), r(8), log2f)     // sx (shared by the whole group)
+        .shli(r(23), r(23), 2)
+        .add(r(24), r(21), r(23));    // &in[sy][sx]
+    for (std::uint32_t u = 0; u < u_count; ++u) {
+        w.read(r(kRegsA[u]), r(24), 0, reg0)
+            .read(r(kRegsB[u]), r(24), 4, reg0);
+    }
+    for (std::uint32_t u = 0; u < u_count; ++u) {
+        w.add(r(kRegsS[u]), r(kRegsA[u]), r(kRegsB[u]))
+            .shri(r(kRegsS[u]), r(kRegsS[u]), 1)
+            .write(r(kRegsS[u]), r(22), 4 * static_cast<std::int64_t>(u));
+    }
+    w.addi(r(22), r(22), 4 * static_cast<std::int64_t>(u_count))
+        .addi(r(8), r(8), u_count)
+        .blt(r(8), r(3), lx)
+        .addi(r(7), r(7), 1)
+        .jmp(ly);
+    w.bind(ly_done);
+    w.block(CodeBlock::kPs).ffree().stop();
+    const sim::ThreadCodeId worker = prog.add(std::move(w).build());
+
+    // ---- main thread: forks the workers -------------------------------------
+    CodeBuilder m("zoom_main", /*num_inputs=*/0);
+    m.block(CodeBlock::kPs)
+        .movi(r(1), 0)
+        .movi(r(2), rows_per_thread)
+        .movi(r(3), p_.threads)
+        .movi(r(4), 0);
+    auto loop = m.new_label();
+    auto done = m.new_label();
+    m.bind(loop)
+        .bge(r(4), r(3), done)
+        .falloc(r(5), worker)
+        .store(r(1), r(5), 0)
+        .add(r(6), r(1), r(2))
+        .store(r(6), r(5), 1)
+        .mov(r(1), r(6))
+        .addi(r(4), r(4), 1)
+        .jmp(loop);
+    m.bind(done).ffree().stop();
+    prog.entry = prog.add(std::move(m).build());
+    return prog;
+}
+
+const isa::Program& Zoom::writeback_program() const {
+    DTA_SIM_REQUIRE(has_writeback(),
+                    "zoom write-back variant unavailable: the per-worker "
+                    "output band exceeds the LS staging area (raise the "
+                    "thread count)");
+    return prog_wb_;
+}
+
+isa::Program Zoom::build_writeback() const {
+    const std::uint32_t n = p_.n;
+    const std::uint32_t out = out_n();
+    const std::uint32_t rows_per_thread = out / p_.threads;
+    const auto log2f = static_cast<std::int64_t>(std::countr_zero(p_.factor));
+    const std::int64_t in_row_bytes = static_cast<std::int64_t>(n) * 4;
+    const std::uint32_t in_bytes =
+        (rows_per_thread / p_.factor + 2) * static_cast<std::uint32_t>(n) * 4;
+    const std::uint32_t out_bytes = rows_per_thread * out * 4;
+    // Staging layout: [0, in_bytes) input copy, then the output window.
+    const std::uint32_t out_off = (in_bytes + 127) / 128 * 128;
+    DTA_SIM_REQUIRE(out_off + out_bytes <=
+                        lse_config().staging_bytes_per_frame,
+                    "zoom writeback staging does not fit; use more threads");
+
+    isa::Program prog;
+    prog.name = "zoom(" + std::to_string(n) + ")+wb";
+
+    CodeBuilder w("zoom_worker+wb", /*num_inputs=*/2);
+    w.block(CodeBlock::kPf)
+        // region 0: the sampled input rows (as in the prefetch variant).
+        .load(r(28), 0)
+        .shri(r(28), r(28), log2f)
+        .muli(r(28), r(28), in_row_bytes)
+        .addi(r(30), r(28), static_cast<std::int64_t>(in_base()));
+    isa::DmaArgs in_args;
+    in_args.region = 0;
+    in_args.ls_offset = 0;
+    in_args.bytes = in_bytes;
+    w.dmaget(r(30), in_args);
+    // region 1: the output band, staged in the LS (no transfer yet).  The
+    // base lands in r27, which survives the Wait-for-DMA suspension and is
+    // reused by the PS DMAPUT.
+    w.load(r(28), 0)
+        .muli(r(28), r(28), static_cast<std::int64_t>(out) * 4)
+        .addi(r(27), r(28), static_cast<std::int64_t>(out_base()));
+    isa::DmaArgs out_args;
+    out_args.region = 1;
+    out_args.ls_offset = out_off;
+    out_args.bytes = out_bytes;
+    w.regset(r(27), out_args).dmawait();
+
+    w.block(CodeBlock::kPl).load(r(1), 0).load(r(2), 1);
+    w.block(CodeBlock::kEx)
+        .movi(r(3), out)
+        .movi(r(4), static_cast<std::int64_t>(in_base()))
+        .movi(r(5), static_cast<std::int64_t>(out_base()))
+        .movi(r(6), in_row_bytes)
+        .mov(r(7), r(1));
+    auto ly = w.new_label();
+    auto ly_done = w.new_label();
+    auto lx = w.new_label();
+    w.bind(ly)
+        .bge(r(7), r(2), ly_done)
+        .shri(r(20), r(7), log2f)
+        .mul(r(21), r(20), r(6))
+        .add(r(21), r(21), r(4))
+        .mul(r(22), r(7), r(3))
+        .shli(r(22), r(22), 2)
+        .add(r(22), r(22), r(5))
+        .movi(r(8), 0);
+    const std::uint32_t u_count = p_.unroll;
+    static constexpr std::uint8_t kRegsA[4] = {13, 25, 16, 17};
+    static constexpr std::uint8_t kRegsB[4] = {14, 26, 18, 19};
+    static constexpr std::uint8_t kRegsS[4] = {15, 9, 10, 11};
+    w.bind(lx)
+        .shri(r(23), r(8), log2f)
+        .shli(r(23), r(23), 2)
+        .add(r(24), r(21), r(23));
+    for (std::uint32_t u = 0; u < u_count; ++u) {
+        w.lsload(r(kRegsA[u]), r(24), 0, 0)
+            .lsload(r(kRegsB[u]), r(24), 4, 0);
+    }
+    for (std::uint32_t u = 0; u < u_count; ++u) {
+        w.add(r(kRegsS[u]), r(kRegsA[u]), r(kRegsB[u]))
+            .shri(r(kRegsS[u]), r(kRegsS[u]), 1)
+            // Stage the pixel instead of posting a main-memory WRITE.
+            .lsstore(r(kRegsS[u]), r(22),
+                     4 * static_cast<std::int64_t>(u), 1);
+    }
+    w.addi(r(22), r(22), 4 * static_cast<std::int64_t>(u_count))
+        .addi(r(8), r(8), u_count)
+        .blt(r(8), r(3), lx)
+        .addi(r(7), r(7), 1)
+        .jmp(ly);
+    w.bind(ly_done);
+    w.block(CodeBlock::kPs);
+    // One DMA post-store ships the whole band, then the thread drains it in
+    // Wait-for-DMA before releasing its frame.
+    w.dmaput(r(27), out_args).dmawait().ffree().stop();
+    const sim::ThreadCodeId worker = prog.add(std::move(w).build());
+
+    CodeBuilder m("zoom_main", /*num_inputs=*/0);
+    m.block(CodeBlock::kPs)
+        .movi(r(1), 0)
+        .movi(r(2), rows_per_thread)
+        .movi(r(3), p_.threads)
+        .movi(r(4), 0);
+    auto loop = m.new_label();
+    auto done = m.new_label();
+    m.bind(loop)
+        .bge(r(4), r(3), done)
+        .falloc(r(5), worker)
+        .store(r(1), r(5), 0)
+        .add(r(6), r(1), r(2))
+        .store(r(6), r(5), 1)
+        .mov(r(1), r(6))
+        .addi(r(4), r(4), 1)
+        .jmp(loop);
+    m.bind(done).ffree().stop();
+    prog.entry = prog.add(std::move(m).build());
+    return prog;
+}
+
+void Zoom::init_memory(mem::MainMemory& mem) const {
+    mem.write_bytes(in_base(),
+                    std::span<const std::uint8_t>(
+                        reinterpret_cast<const std::uint8_t*>(in_.data()),
+                        in_.size() * 4));
+}
+
+bool Zoom::check(const mem::MainMemory& mem, std::string* why) const {
+    const std::uint32_t out = out_n();
+    for (std::uint32_t i = 0; i < out * out; ++i) {
+        const std::uint32_t got = mem.read_u32(out_base() + i * 4ull);
+        if (got != ref_[i]) {
+            if (why) {
+                *why = "out[" + std::to_string(i / out) + "," +
+                       std::to_string(i % out) + "] = " + std::to_string(got) +
+                       ", expected " + std::to_string(ref_[i]);
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace dta::workloads

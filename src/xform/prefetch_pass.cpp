@@ -1,0 +1,171 @@
+#include "xform/prefetch_pass.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "isa/validate.hpp"
+#include "sched/lse.hpp"
+#include "sim/check.hpp"
+
+namespace dta::xform {
+
+using isa::CodeBlock;
+using isa::Instruction;
+using isa::Opcode;
+using isa::ThreadCode;
+
+namespace {
+
+std::uint32_t align_up(std::uint32_t v, std::uint32_t align) {
+    return (v + align - 1) / align * align;
+}
+
+}  // namespace
+
+ThreadCode add_prefetch(const ThreadCode& tc, const PrefetchOptions& opt,
+                        PrefetchReport* report) {
+    DTA_SIM_REQUIRE(!tc.has_prefetch_block(),
+                    "prefetch pass applied to '" + tc.name +
+                        "', which already has a PF block");
+
+    // 1. Which annotations are actually referenced by READs?
+    std::vector<bool> used(tc.annotations.size(), false);
+    std::uint32_t annotated_reads = 0;
+    std::uint32_t plain_reads = 0;
+    for (const Instruction& ins : tc.code) {
+        if (ins.op != Opcode::kRead) {
+            continue;
+        }
+        if (ins.region == isa::kNoRegion) {
+            ++plain_reads;
+            continue;
+        }
+        used[static_cast<std::size_t>(ins.region)] = true;
+        ++annotated_reads;
+    }
+    if (annotated_reads == 0) {
+        // "In the case when there are no main memory accesses, threads will
+        // remain unchanged as in the original DTA."
+        if (report) {
+            *report = PrefetchReport{};
+            report->reads_left = plain_reads;
+        }
+        return tc;
+    }
+
+    // 2. Assign staging offsets and runtime region indices.
+    std::vector<std::optional<std::uint8_t>> region_of(tc.annotations.size());
+    std::vector<std::uint32_t> stage_off(tc.annotations.size(), 0);
+    std::uint32_t cursor = 0;
+    std::uint8_t next_region = 0;
+    for (std::size_t i = 0; i < tc.annotations.size(); ++i) {
+        if (!used[i]) {
+            continue;
+        }
+        DTA_SIM_REQUIRE(next_region < sched::kNumRegions,
+                        "'" + tc.name + "' prefetches more regions than the "
+                        "region table holds");
+        const auto& ann = tc.annotations[i];
+        stage_off[i] = cursor;
+        region_of[i] = next_region++;
+        cursor = align_up(cursor + ann.bytes, opt.staging_align);
+        DTA_SIM_REQUIRE(cursor <= opt.staging_bytes,
+                        "'" + tc.name + "' prefetch regions exceed the " +
+                            std::to_string(opt.staging_bytes) +
+                            "-byte staging area");
+    }
+
+    // 3. Emit the PF block: per region, the cloned address slice plus one
+    //    DMAGET; a single DMAWAIT closes the block.
+    ThreadCode out;
+    out.name = tc.name + "+pf";
+    out.num_inputs = tc.num_inputs;
+    out.annotations = tc.annotations;
+    for (std::size_t i = 0; i < tc.annotations.size(); ++i) {
+        if (!region_of[i]) {
+            continue;
+        }
+        const auto& ann = tc.annotations[i];
+        for (Instruction ins : ann.addr_code) {
+            ins.block = CodeBlock::kPf;
+            out.code.push_back(ins);
+        }
+        Instruction get;
+        get.op = Opcode::kDmaGet;
+        get.ra = ann.addr_reg;
+        get.block = CodeBlock::kPf;
+        isa::DmaArgs args;
+        args.region = *region_of[i];
+        args.ls_offset = stage_off[i];
+        args.bytes = ann.bytes;
+        args.stride = ann.stride;
+        args.elem_bytes = ann.elem_bytes;
+        get.region = static_cast<std::int16_t>(args.region);
+        get.dma = args;
+        out.code.push_back(get);
+    }
+    Instruction wait;
+    wait.op = Opcode::kDmaWait;
+    wait.block = CodeBlock::kPf;
+    out.code.push_back(wait);
+
+    const auto pf_len = static_cast<std::uint32_t>(out.code.size());
+    out.pl_begin = pf_len;
+    out.ex_begin = tc.ex_begin + pf_len;
+    out.ps_begin = tc.ps_begin + pf_len;
+
+    // 4. Copy the body, rewriting annotated READs and shifting branches.
+    std::uint32_t decoupled = 0;
+    for (Instruction ins : tc.code) {
+        if (ins.info().is_branch) {
+            ins.imm += pf_len;
+        }
+        if (ins.op == Opcode::kRead && ins.region != isa::kNoRegion) {
+            const auto ann_idx = static_cast<std::size_t>(ins.region);
+            DTA_CHECK(region_of[ann_idx].has_value());
+            ins.op = Opcode::kLsLoad;
+            ins.region =
+                static_cast<std::int16_t>(*region_of[ann_idx]);
+            ++decoupled;
+        }
+        out.code.push_back(ins);
+    }
+
+    isa::validate_thread_code(out);
+    if (report) {
+        report->regions_prefetched = next_region;
+        report->reads_decoupled = decoupled;
+        report->reads_left = plain_reads;
+        report->pf_instructions = pf_len;
+    }
+    return out;
+}
+
+isa::Program add_prefetch(const isa::Program& prog,
+                          const PrefetchOptions& opt) {
+    isa::Program out;
+    out.name = prog.name + "+pf";
+    out.entry = prog.entry;
+    out.codes.reserve(prog.codes.size());
+    for (const ThreadCode& tc : prog.codes) {
+        out.codes.push_back(add_prefetch(tc, opt));
+    }
+    isa::validate_program(out);
+    return out;
+}
+
+PrefetchReport analyze_prefetch(const isa::Program& prog,
+                                const PrefetchOptions& opt) {
+    PrefetchReport total;
+    for (const ThreadCode& tc : prog.codes) {
+        PrefetchReport r;
+        (void)add_prefetch(tc, opt, &r);
+        total.regions_prefetched += r.regions_prefetched;
+        total.reads_decoupled += r.reads_decoupled;
+        total.reads_left += r.reads_left;
+        total.pf_instructions += r.pf_instructions;
+    }
+    return total;
+}
+
+}  // namespace dta::xform

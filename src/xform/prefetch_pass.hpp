@@ -1,0 +1,58 @@
+/// \file prefetch_pass.hpp
+/// \brief The compiler side of the paper's mechanism (Section 3): given
+///        thread code whose global READs carry region annotations, emit the
+///        PF code block and rewrite the annotated READs into local-store
+///        accesses.
+///
+/// "For each thread that contains generic memory accesses, one new code
+/// block (PreFetch or PF code block) will be created that will initiate the
+/// transfer from main memory to local memory. [...] all READ instructions
+/// that the thread contained are replaced by the compiler with [local]
+/// instructions that now access the prefetched data in the local memory."
+///
+/// READs *without* an annotation are left untouched — this is bitcnt's
+/// data-dependent table lookup case, where "it is faster to leave one
+/// memory access inside the thread rather than prefetch all elements of the
+/// array when only one will be used".
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.hpp"
+
+namespace dta::xform {
+
+/// Tuning/validation knobs of the pass.
+struct PrefetchOptions {
+    /// Per-thread staging capacity; must match the machine's
+    /// LseConfig::staging_bytes_per_frame or the run will fault.
+    std::uint32_t staging_bytes = 8 * 1024;
+    /// Alignment of each region's staging placement.
+    std::uint32_t staging_align = 16;
+};
+
+/// Result summary of transforming one thread code.
+struct PrefetchReport {
+    std::uint32_t regions_prefetched = 0;
+    std::uint32_t reads_decoupled = 0;   ///< READs rewritten to LSLOAD
+    std::uint32_t reads_left = 0;        ///< unannotated READs kept
+    std::uint32_t pf_instructions = 0;   ///< size of the emitted PF block
+};
+
+/// Transforms one thread code; \p report (optional) receives a summary.
+/// Codes with no annotated READs are returned unchanged, as the paper
+/// requires.  Throws sim::SimError if the regions do not fit the staging
+/// area or the code already has a PF block.
+[[nodiscard]] isa::ThreadCode add_prefetch(const isa::ThreadCode& tc,
+                                           const PrefetchOptions& opt = {},
+                                           PrefetchReport* report = nullptr);
+
+/// Transforms every thread code of a program.
+[[nodiscard]] isa::Program add_prefetch(const isa::Program& prog,
+                                        const PrefetchOptions& opt = {});
+
+/// Aggregate of \ref PrefetchReport over a whole program.
+[[nodiscard]] PrefetchReport analyze_prefetch(const isa::Program& prog,
+                                              const PrefetchOptions& opt = {});
+
+}  // namespace dta::xform

@@ -1,0 +1,105 @@
+// Unit tests for cycle-bucket and instruction accounting.
+#include "core/breakdown.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dta::core {
+namespace {
+
+TEST(Breakdown, ChargeAndTotal) {
+    Breakdown b;
+    b.charge(CycleBucket::kWorking);
+    b.charge(CycleBucket::kWorking);
+    b.charge(CycleBucket::kMemStall);
+    EXPECT_EQ(b[CycleBucket::kWorking], 2u);
+    EXPECT_EQ(b[CycleBucket::kMemStall], 1u);
+    EXPECT_EQ(b.total(), 3u);
+}
+
+TEST(Breakdown, PaperViewFoldsPipeStallsIntoWorking) {
+    Breakdown b;
+    b.charge(CycleBucket::kWorking);
+    b.charge(CycleBucket::kPipeStall);
+    b.charge(CycleBucket::kPipeStall);
+    const auto v = b.paper_view();
+    EXPECT_EQ(v[static_cast<std::size_t>(CycleBucket::kWorking)], 3u);
+    // Total is conserved across the fold.
+    std::uint64_t sum = 0;
+    for (const auto c : v) {
+        sum += c;
+    }
+    EXPECT_EQ(sum, b.total());
+}
+
+TEST(Breakdown, FractionsSumToOne) {
+    Breakdown b;
+    b.charge(CycleBucket::kWorking);
+    b.charge(CycleBucket::kIdle);
+    b.charge(CycleBucket::kMemStall);
+    b.charge(CycleBucket::kPrefetch);
+    double sum = 0;
+    for (const auto bucket :
+         {CycleBucket::kWorking, CycleBucket::kIdle, CycleBucket::kMemStall,
+          CycleBucket::kLsStall, CycleBucket::kLseStall,
+          CycleBucket::kPrefetch}) {
+        sum += b.fraction(bucket);
+    }
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(Breakdown, EmptyFractionIsZero) {
+    Breakdown b;
+    EXPECT_DOUBLE_EQ(b.fraction(CycleBucket::kWorking), 0.0);
+}
+
+TEST(Breakdown, Accumulate) {
+    Breakdown a;
+    a.charge(CycleBucket::kIdle);
+    Breakdown b;
+    b.charge(CycleBucket::kIdle);
+    b.charge(CycleBucket::kWorking);
+    a += b;
+    EXPECT_EQ(a[CycleBucket::kIdle], 2u);
+    EXPECT_EQ(a[CycleBucket::kWorking], 1u);
+}
+
+TEST(InstrStats, CountsAndTableColumns) {
+    InstrStats s;
+    s.count(isa::Opcode::kLoad);
+    s.count(isa::Opcode::kLoadX);
+    s.count(isa::Opcode::kStore);
+    s.count(isa::Opcode::kStoreX);
+    s.count(isa::Opcode::kRead);
+    s.count(isa::Opcode::kWrite);
+    s.count(isa::Opcode::kLsLoad);
+    s.count(isa::Opcode::kDmaGet);
+    s.count(isa::Opcode::kAdd);
+    EXPECT_EQ(s.total(), 9u);
+    EXPECT_EQ(s.loads(), 2u);
+    EXPECT_EQ(s.stores(), 2u);
+    EXPECT_EQ(s.reads(), 1u);
+    EXPECT_EQ(s.writes(), 1u);
+    EXPECT_EQ(s.ls_accesses(), 1u);
+    EXPECT_EQ(s.dma_commands(), 1u);
+}
+
+TEST(InstrStats, Accumulate) {
+    InstrStats a;
+    a.count(isa::Opcode::kAdd);
+    InstrStats b;
+    b.count(isa::Opcode::kAdd);
+    b.count(isa::Opcode::kMul);
+    a += b;
+    EXPECT_EQ(a.of(isa::Opcode::kAdd), 2u);
+    EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(Breakdown, BucketNamesAreDistinct) {
+    EXPECT_NE(bucket_name(CycleBucket::kWorking),
+              bucket_name(CycleBucket::kIdle));
+    EXPECT_EQ(bucket_name(CycleBucket::kPrefetch), "Prefetching");
+    EXPECT_EQ(bucket_name(CycleBucket::kMemStall), "MemoryStalls");
+}
+
+}  // namespace
+}  // namespace dta::core

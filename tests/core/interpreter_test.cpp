@@ -1,0 +1,280 @@
+// The functional reference interpreter, plus differential tests: for any
+// deterministic program, Machine (cycle-level) and Interpreter (untimed)
+// must leave identical bytes in main memory.  Random-program differential
+// sweeps cross-check the shared ALU semantics end to end.
+#include "core/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "isa/builder.hpp"
+#include "sim/check.hpp"
+#include "sim/rng.hpp"
+#include "test_util.hpp"
+#include "workloads/bitcnt.hpp"
+#include "workloads/mmul.hpp"
+#include "workloads/zoom.hpp"
+
+namespace dta::core {
+namespace {
+
+using isa::CodeBlock;
+using isa::Opcode;
+using isa::r;
+
+constexpr sim::MemAddr kOut = 0x8000;
+
+TEST(Interpreter, RunsProducerConsumer) {
+    isa::Program prog;
+    isa::CodeBuilder c("consumer", 2);
+    c.block(CodeBlock::kPl).load(r(1), 0).load(r(2), 1);
+    c.block(CodeBlock::kEx)
+        .add(r(3), r(1), r(2))
+        .movi(r(4), kOut)
+        .write(r(3), r(4), 0);
+    c.block(CodeBlock::kPs).ffree().stop();
+    const auto cid = prog.add(std::move(c).build());
+    isa::CodeBuilder p("producer", 0);
+    p.block(CodeBlock::kPs)
+        .falloc(r(5), cid)
+        .movi(r(1), 20)
+        .store(r(1), r(5), 0)
+        .movi(r(2), 22)
+        .store(r(2), r(5), 1)
+        .ffree()
+        .stop();
+    prog.entry = prog.add(std::move(p).build());
+
+    Interpreter interp(prog);
+    interp.launch({});
+    const auto stats = interp.run();
+    EXPECT_EQ(interp.memory().read_u32(kOut), 42u);
+    EXPECT_EQ(stats.threads, 2u);
+    EXPECT_EQ(stats.frame_stores, 2u);
+}
+
+TEST(Interpreter, DetectsDataflowDeadlock) {
+    isa::Program prog;
+    isa::CodeBuilder w("waiter", 1);
+    w.block(CodeBlock::kPl).load(r(1), 0);
+    w.block(CodeBlock::kPs).ffree().stop();
+    const auto wid = prog.add(std::move(w).build());
+    isa::CodeBuilder p("main", 0);
+    p.block(CodeBlock::kPs).falloc(r(1), wid).ffree().stop();  // never stores
+    prog.entry = prog.add(std::move(p).build());
+    Interpreter interp(prog);
+    interp.launch({});
+    EXPECT_THROW((void)interp.run(), sim::SimError);
+}
+
+TEST(Interpreter, RunawayGuard) {
+    isa::Program prog;
+    isa::CodeBuilder p("spin", 0);
+    p.block(CodeBlock::kEx);
+    auto top = p.new_label();
+    p.bind(top).jmp(top);
+    p.block(CodeBlock::kPs).ffree().stop();
+    prog.entry = prog.add(std::move(p).build());
+    Interpreter interp(prog);
+    interp.launch({});
+    EXPECT_THROW((void)interp.run(/*max_instructions=*/10'000), sim::SimError);
+}
+
+TEST(Interpreter, DmaSnapshotSemantics) {
+    // A thread prefetches a region, then WRITEs over the source in memory;
+    // its LSLOADs must still see the snapshot.
+    isa::Program prog;
+    isa::CodeBuilder w("snap", 0);
+    w.block(CodeBlock::kPf).movi(r(10), 0x4000);
+    isa::DmaArgs args;
+    args.region = 0;
+    args.bytes = 8;
+    w.dmaget(r(10), args).dmawait();
+    w.block(CodeBlock::kEx)
+        .movi(r(1), 0x4000)
+        .movi(r(2), 999)
+        .write(r(2), r(1), 0)        // clobber the source
+        .lsload(r(3), r(1), 0, 0)    // must read the snapshot
+        .movi(r(4), kOut)
+        .write(r(3), r(4), 0);
+    w.block(CodeBlock::kPs).ffree().stop();
+    prog.entry = prog.add(std::move(w).build());
+
+    Interpreter interp(prog);
+    interp.memory().write_u32(0x4000, 1234);
+    interp.launch({});
+    (void)interp.run();
+    EXPECT_EQ(interp.memory().read_u32(kOut), 1234u);
+    EXPECT_EQ(interp.memory().read_u32(0x4000), 999u);
+}
+
+// ---- differential: workloads -----------------------------------------------
+
+template <typename W>
+void expect_differential_match(const W& wl, bool prefetch,
+                               sim::MemAddr out_base, std::size_t out_words) {
+    const auto& prog = prefetch ? wl.prefetch_program() : wl.program();
+    Interpreter interp(prog);
+    wl.init_memory(interp.memory());
+    const auto args = wl.entry_args();
+    interp.launch(args);
+    (void)interp.run();
+    std::string why;
+    ASSERT_TRUE(wl.check(interp.memory(), &why)) << "interpreter: " << why;
+
+    Machine machine(test::tiny_config(4), prog);
+    wl.init_memory(machine.memory());
+    machine.launch(args);
+    (void)machine.run();
+    for (std::size_t i = 0; i < out_words; ++i) {
+        ASSERT_EQ(interp.memory().read_u32(out_base + 4 * i),
+                  machine.memory().read_u32(out_base + 4 * i))
+            << "word " << i;
+    }
+}
+
+TEST(InterpreterDifferential, MmulBothVariants) {
+    workloads::MatMul::Params p;
+    p.n = 16;
+    p.threads = 8;
+    const workloads::MatMul wl(p);
+    expect_differential_match(wl, false, wl.c_base(), 16 * 16);
+    expect_differential_match(wl, true, wl.c_base(), 16 * 16);
+}
+
+TEST(InterpreterDifferential, ZoomBothVariants) {
+    workloads::Zoom::Params p;
+    p.n = 16;
+    p.factor = 4;
+    p.threads = 8;
+    const workloads::Zoom wl(p);
+    expect_differential_match(wl, false, wl.out_base(),
+                              static_cast<std::size_t>(wl.out_n()) *
+                                  wl.out_n());
+    expect_differential_match(wl, true, wl.out_base(),
+                              static_cast<std::size_t>(wl.out_n()) *
+                                  wl.out_n());
+}
+
+TEST(InterpreterDifferential, BitcntBothVariants) {
+    workloads::BitCount::Params p;
+    p.iterations = 48;
+    const workloads::BitCount wl(p);
+    // bitcnt needs the many-frames machine config.
+    const auto& prog_list = {false, true};
+    for (const bool prefetch : prog_list) {
+        const auto& prog =
+            prefetch ? wl.prefetch_program() : wl.program();
+        Interpreter interp(prog);
+        wl.init_memory(interp.memory());
+        const auto args = wl.entry_args();
+        interp.launch(args);
+        (void)interp.run();
+        std::string why;
+        ASSERT_TRUE(wl.check(interp.memory(), &why)) << why;
+
+        Machine machine(workloads::BitCount::machine_config(4), prog);
+        wl.init_memory(machine.memory());
+        machine.launch(args);
+        (void)machine.run();
+        ASSERT_TRUE(wl.check(machine.memory(), &why)) << why;
+    }
+}
+
+// ---- differential: random straight-line ALU programs -----------------------
+
+/// Generates a random but always-valid single-thread compute program that
+/// writes registers r(1..15) to memory at the end, and runs it through both
+/// engines.
+isa::Program random_alu_program(std::uint64_t seed, std::uint32_t length) {
+    sim::Xoshiro256 rng(seed);
+    isa::CodeBuilder b("rand" + std::to_string(seed), 0);
+    b.block(CodeBlock::kEx);
+    // Seed some registers with random constants.
+    for (std::uint8_t reg_i = 1; reg_i <= 15; ++reg_i) {
+        b.movi(r(reg_i), static_cast<std::int64_t>(rng.next()));
+    }
+    static constexpr Opcode kOps[] = {
+        Opcode::kAdd,  Opcode::kSub,  Opcode::kMul,  Opcode::kDiv,
+        Opcode::kRem,  Opcode::kAnd,  Opcode::kOr,   Opcode::kXor,
+        Opcode::kShl,  Opcode::kShr,  Opcode::kAddI, Opcode::kMulI,
+        Opcode::kAndI, Opcode::kOrI,  Opcode::kXorI, Opcode::kShlI,
+        Opcode::kShrI, Opcode::kSlt,  Opcode::kSltI, Opcode::kSeq,
+        Opcode::kMov};
+    for (std::uint32_t i = 0; i < length; ++i) {
+        const Opcode op = kOps[rng.next_below(std::size(kOps))];
+        const auto rd = static_cast<std::uint8_t>(1 + rng.next_below(15));
+        const auto ra = static_cast<std::uint8_t>(rng.next_below(16));
+        const auto rb = static_cast<std::uint8_t>(rng.next_below(16));
+        isa::Instruction ins;
+        ins.op = op;
+        ins.rd = rd;
+        ins.ra = ra;
+        ins.rb = rb;
+        ins.imm = static_cast<std::int64_t>(rng.next());
+        // Emit through the builder to get block tagging right.
+        switch (op) {
+            case Opcode::kMov: b.mov(r(rd), r(ra)); break;
+            case Opcode::kAdd: b.add(r(rd), r(ra), r(rb)); break;
+            case Opcode::kSub: b.sub(r(rd), r(ra), r(rb)); break;
+            case Opcode::kMul: b.mul(r(rd), r(ra), r(rb)); break;
+            case Opcode::kDiv: b.div(r(rd), r(ra), r(rb)); break;
+            case Opcode::kRem: b.rem(r(rd), r(ra), r(rb)); break;
+            case Opcode::kAnd: b.and_(r(rd), r(ra), r(rb)); break;
+            case Opcode::kOr: b.or_(r(rd), r(ra), r(rb)); break;
+            case Opcode::kXor: b.xor_(r(rd), r(ra), r(rb)); break;
+            case Opcode::kShl: b.shl(r(rd), r(ra), r(rb)); break;
+            case Opcode::kShr: b.shr(r(rd), r(ra), r(rb)); break;
+            case Opcode::kAddI: b.addi(r(rd), r(ra), ins.imm); break;
+            case Opcode::kMulI: b.muli(r(rd), r(ra), ins.imm); break;
+            case Opcode::kAndI: b.andi(r(rd), r(ra), ins.imm); break;
+            case Opcode::kOrI: b.ori(r(rd), r(ra), ins.imm); break;
+            case Opcode::kXorI: b.xori(r(rd), r(ra), ins.imm); break;
+            case Opcode::kShlI: b.shli(r(rd), r(ra), ins.imm); break;
+            case Opcode::kShrI: b.shri(r(rd), r(ra), ins.imm); break;
+            case Opcode::kSlt: b.slt(r(rd), r(ra), r(rb)); break;
+            case Opcode::kSltI: b.slti(r(rd), r(ra), ins.imm); break;
+            case Opcode::kSeq: b.seq(r(rd), r(ra), r(rb)); break;
+            default: break;
+        }
+    }
+    // Dump r1..r15 as two 32-bit words each.
+    b.movi(r(19), kOut);
+    for (std::uint8_t reg_i = 1; reg_i <= 15; ++reg_i) {
+        b.write(r(reg_i), r(19), (reg_i - 1) * 8);
+        b.shri(r(16), r(reg_i), 32);
+        b.write(r(16), r(19), (reg_i - 1) * 8 + 4);
+    }
+    b.block(CodeBlock::kPs).ffree().stop();
+    isa::Program prog;
+    prog.name = "random";
+    prog.entry = prog.add(std::move(b).build());
+    return prog;
+}
+
+class RandomAluDifferential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomAluDifferential, MachineMatchesInterpreter) {
+    const auto prog = random_alu_program(GetParam(), 120);
+
+    Interpreter interp(prog);
+    interp.launch({});
+    (void)interp.run();
+
+    Machine machine(test::tiny_config(1), prog);
+    machine.launch({});
+    (void)machine.run();
+
+    for (std::uint32_t w = 0; w < 30; ++w) {
+        ASSERT_EQ(interp.memory().read_u32(kOut + 4 * w),
+                  machine.memory().read_u32(kOut + 4 * w))
+            << "seed " << GetParam() << " word " << w;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAluDifferential,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace dta::core

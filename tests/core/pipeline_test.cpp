@@ -1,0 +1,238 @@
+// SPU pipeline semantics, exercised end-to-end through tiny single-thread
+// programs: ALU results, branches, register hazards, r0 behaviour,
+// memory-instruction effects.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "isa/builder.hpp"
+#include "test_util.hpp"
+
+namespace dta::core {
+namespace {
+
+using isa::CodeBlock;
+using isa::r;
+using test::run_program;
+using test::single_thread;
+using test::tiny_config;
+
+constexpr sim::MemAddr kOut = 0x8000;
+
+TEST(Pipeline, AluArithmetic) {
+    const auto prog = single_thread(
+        [](isa::CodeBuilder& b) {
+            b.movi(r(1), 10)
+                .movi(r(2), 3)
+                .add(r(20), r(1), r(2))    // 13
+                .sub(r(21), r(1), r(2))    // 7
+                .mul(r(22), r(1), r(2))    // 30
+                .div(r(23), r(1), r(2))    // 3
+                .rem(r(24), r(1), r(2));   // 1
+        },
+        5, kOut);
+    const auto out = run_program(prog, tiny_config(1), kOut, 5);
+    EXPECT_EQ(out.words, (std::vector<std::uint32_t>{13, 7, 30, 3, 1}));
+}
+
+TEST(Pipeline, DivideByZeroYieldsZeroNotTrap) {
+    const auto prog = single_thread(
+        [](isa::CodeBuilder& b) {
+            b.movi(r(1), 10)
+                .div(r(20), r(1), r(0))
+                .rem(r(21), r(1), r(0));
+        },
+        2, kOut);
+    const auto out = run_program(prog, tiny_config(1), kOut, 2);
+    EXPECT_EQ(out.words, (std::vector<std::uint32_t>{0, 0}));
+}
+
+TEST(Pipeline, LogicalAndShiftOps) {
+    const auto prog = single_thread(
+        [](isa::CodeBuilder& b) {
+            b.movi(r(1), 0b1100)
+                .movi(r(2), 0b1010)
+                .and_(r(20), r(1), r(2))   // 0b1000
+                .or_(r(21), r(1), r(2))    // 0b1110
+                .xor_(r(22), r(1), r(2))   // 0b0110
+                .shli(r(23), r(1), 2)      // 0b110000
+                .shri(r(24), r(1), 2)      // 0b11
+                .movi(r(3), 3)
+                .shl(r(25), r(1), r(3))    // 0b1100000
+                .shr(r(26), r(1), r(3));   // 0b1
+        },
+        7, kOut);
+    const auto out = run_program(prog, tiny_config(1), kOut, 7);
+    EXPECT_EQ(out.words, (std::vector<std::uint32_t>{0b1000, 0b1110, 0b0110,
+                                                     0b110000, 0b11,
+                                                     0b1100000, 0b1}));
+}
+
+TEST(Pipeline, SignedComparisons) {
+    const auto prog = single_thread(
+        [](isa::CodeBuilder& b) {
+            b.movi(r(1), -5)
+                .movi(r(2), 3)
+                .slt(r(20), r(1), r(2))   // -5 < 3 => 1
+                .slt(r(21), r(2), r(1))   // 0
+                .slti(r(22), r(1), 0)     // 1
+                .seq(r(23), r(1), r(1));  // 1
+        },
+        4, kOut);
+    const auto out = run_program(prog, tiny_config(1), kOut, 4);
+    EXPECT_EQ(out.words, (std::vector<std::uint32_t>{1, 0, 1, 1}));
+}
+
+TEST(Pipeline, WritesToR0AreDiscarded) {
+    const auto prog = single_thread(
+        [](isa::CodeBuilder& b) {
+            b.movi(r(0), 99).add(r(20), r(0), r(0)).addi(r(21), r(0), 5);
+        },
+        2, kOut);
+    const auto out = run_program(prog, tiny_config(1), kOut, 2);
+    EXPECT_EQ(out.words, (std::vector<std::uint32_t>{0, 5}));
+}
+
+TEST(Pipeline, LoopWithBackwardBranch) {
+    // sum 1..10 = 55
+    const auto prog = single_thread(
+        [](isa::CodeBuilder& b) {
+            b.movi(r(1), 1).movi(r(2), 10).movi(r(20), 0);
+            auto top = b.new_label();
+            auto done = b.new_label();
+            b.bind(top)
+                .bge(r(0), r(1), done)  // never taken (0 >= i fails for i>=1)
+                .add(r(20), r(20), r(1))
+                .addi(r(1), r(1), 1)
+                .bge(r(2), r(1), top);
+            b.bind(done);
+        },
+        1, kOut);
+    const auto out = run_program(prog, tiny_config(1), kOut, 1);
+    EXPECT_EQ(out.words[0], 55u);
+}
+
+TEST(Pipeline, TakenBranchPaysPenalty) {
+    // Two identical programs except one jumps through a taken branch chain.
+    auto straight = single_thread(
+        [](isa::CodeBuilder& b) {
+            for (int i = 0; i < 8; ++i) {
+                b.addi(r(20), r(20), 1);
+            }
+        },
+        1, kOut);
+    auto jumpy = single_thread(
+        [](isa::CodeBuilder& b) {
+            for (int i = 0; i < 8; ++i) {
+                auto l = b.new_label();
+                b.jmp(l);
+                b.bind(l);
+                b.addi(r(20), r(20), 1);
+            }
+        },
+        1, kOut);
+    auto cfg = tiny_config(1);
+    cfg.spu.branch_penalty = 10;
+    const auto a = run_program(straight, cfg, kOut, 1);
+    const auto bjm = run_program(jumpy, cfg, kOut, 1);
+    EXPECT_EQ(a.words[0], 8u);
+    EXPECT_EQ(bjm.words[0], 8u);
+    // 8 taken jumps at 10 cycles each (plus the jmp issue cycles).
+    EXPECT_GE(bjm.result.cycles, a.result.cycles + 8 * 10);
+    EXPECT_GT(bjm.result.total_breakdown()[CycleBucket::kPipeStall],
+              a.result.total_breakdown()[CycleBucket::kPipeStall]);
+}
+
+TEST(Pipeline, MulLatencyStallsDependentConsumer) {
+    auto dependent = single_thread(
+        [](isa::CodeBuilder& b) {
+            b.movi(r(1), 3).movi(r(2), 4);
+            b.mul(r(3), r(1), r(2)).add(r(20), r(3), r(1));  // RAW on r3
+        },
+        1, kOut);
+    auto cfg = tiny_config(1);
+    cfg.spu.mul_latency = 7;
+    const auto out = run_program(dependent, cfg, kOut, 1);
+    EXPECT_EQ(out.words[0], 15u);
+    // The add had to wait for the multiplier.
+    EXPECT_GE(out.result.total_breakdown()[CycleBucket::kPipeStall], 5u);
+}
+
+TEST(Pipeline, DualIssuePairsComputeWithMemory) {
+    // A long run of interleaved WRITE (memory pipe) + ADDI (compute pipe)
+    // must use more than one issue slot per cycle on average.
+    auto prog = single_thread(
+        [](isa::CodeBuilder& b) {
+            b.movi(r(19), kOut + 0x100).movi(r(1), 0);
+            for (int i = 0; i < 32; ++i) {
+                b.write(r(1), r(19), 4 * i).addi(r(20), r(20), 1);
+            }
+        },
+        1, kOut);
+    const auto out = run_program(prog, tiny_config(1), kOut, 1);
+    const auto& pe0 = out.result.pes[0];
+    EXPECT_GT(pe0.issue_slots_used, pe0.cycles_with_issue);
+}
+
+TEST(Pipeline, ReadRoundTripFetchesMemoryValue) {
+    isa::Program prog = single_thread(
+        [](isa::CodeBuilder& b) {
+            b.movi(r(1), 0x6000).read(r(20), r(1), 0).read(r(21), r(1), 4);
+        },
+        2, kOut);
+    core::Machine m(tiny_config(1), prog);
+    m.memory().write_u32(0x6000, 1234);
+    m.memory().write_u32(0x6004, 5678);
+    m.launch({});
+    const auto res = m.run();
+    EXPECT_EQ(m.memory().read_u32(kOut), 1234u);
+    EXPECT_EQ(m.memory().read_u32(kOut + 4), 5678u);
+    // A dependent READ costs at least the memory latency in stalls.
+    EXPECT_GE(res.total_breakdown()[CycleBucket::kMemStall], 150u);
+}
+
+TEST(Pipeline, ReadLatencyScalesWithMemoryConfig) {
+    auto mk = [](std::uint32_t latency) {
+        auto cfg = tiny_config(1);
+        cfg.memory.latency = latency;
+        return cfg;
+    };
+    const auto prog = single_thread(
+        [](isa::CodeBuilder& b) {
+            b.movi(r(1), 0x6000);
+            // Chain of dependent reads (address depends on loaded value).
+            b.read(r(2), r(1), 0)
+                .add(r(3), r(1), r(2))
+                .read(r(20), r(3), 0);
+        },
+        1, kOut);
+    const auto fast = run_program(prog, mk(1), kOut, 1);
+    const auto slow = run_program(prog, mk(300), kOut, 1);
+    EXPECT_GT(slow.result.cycles, fast.result.cycles + 2 * 250);
+}
+
+TEST(Pipeline, InstructionCountsAreExact) {
+    const auto prog = single_thread(
+        [](isa::CodeBuilder& b) {
+            b.movi(r(1), 1).movi(r(2), 2).add(r(20), r(1), r(2));
+        },
+        1, kOut);
+    const auto out = run_program(prog, tiny_config(1), kOut, 1);
+    const auto instrs = out.result.total_instrs();
+    // 3 ALU + movi(r19) + 1 write + ffree + stop = 7.
+    EXPECT_EQ(instrs.total(), 7u);
+    EXPECT_EQ(instrs.writes(), 1u);
+    EXPECT_EQ(instrs.of(isa::Opcode::kStop), 1u);
+    EXPECT_EQ(instrs.of(isa::Opcode::kFfree), 1u);
+}
+
+TEST(Pipeline, BreakdownCoversEveryCycleOnEveryPe) {
+    const auto prog = single_thread(
+        [](isa::CodeBuilder& b) { b.movi(r(20), 7); }, 1, kOut);
+    const auto out = run_program(prog, tiny_config(2), kOut, 1);
+    for (const auto& pe : out.result.pes) {
+        EXPECT_EQ(pe.breakdown.total(), out.result.cycles);
+    }
+}
+
+}  // namespace
+}  // namespace dta::core

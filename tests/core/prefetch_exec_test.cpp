@@ -1,0 +1,237 @@
+// Execution semantics of the paper's mechanism: PF block, DMAGET/DMAWAIT,
+// Wait-for-DMA suspension, region-table translation, blocking ablation.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "isa/builder.hpp"
+#include "sim/check.hpp"
+#include "test_util.hpp"
+
+namespace dta::core {
+namespace {
+
+using isa::CodeBlock;
+using isa::DmaArgs;
+using isa::r;
+using test::tiny_config;
+
+constexpr sim::MemAddr kData = 0x4000;
+constexpr sim::MemAddr kOut = 0x8000;
+
+/// Thread that prefetches `bytes` from kData and sums the first `n` u32s.
+isa::Program pf_sum_program(std::uint32_t n, std::uint32_t bytes,
+                            std::uint32_t stride = 0,
+                            std::uint32_t elem_bytes = 0) {
+    isa::Program prog;
+    isa::CodeBuilder w("pf_sum", 0);
+    w.block(CodeBlock::kPf).movi(r(10), kData);
+    DmaArgs args;
+    args.region = 0;
+    args.ls_offset = 0;
+    args.bytes = bytes;
+    args.stride = stride;
+    args.elem_bytes = elem_bytes;
+    w.dmaget(r(10), args).dmawait();
+    w.block(CodeBlock::kEx).movi(r(2), kData).movi(r(4), 0);
+    const std::uint32_t step = stride == 0 ? 4 : stride;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        w.lsload(r(3), r(2), static_cast<std::int64_t>(i) * step, 0)
+            .add(r(4), r(4), r(3));
+    }
+    w.movi(r(5), kOut).write(r(4), r(5), 0);
+    w.block(CodeBlock::kPs).ffree().stop();
+    prog.entry = prog.add(std::move(w).build());
+    return prog;
+}
+
+TEST(PrefetchExec, ContiguousRegionSumsCorrectly) {
+    core::Machine m(tiny_config(1), pf_sum_program(8, 32));
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        m.memory().write_u32(kData + 4 * i, i + 1);
+    }
+    m.launch({});
+    const auto res = m.run();
+    EXPECT_EQ(m.memory().read_u32(kOut), 36u);
+    EXPECT_EQ(res.dma_commands, 1u);
+    EXPECT_EQ(res.dma_bytes, 32u);
+    // PF work was charged to the Prefetching bucket.
+    EXPECT_GT(res.total_breakdown()[CycleBucket::kPrefetch], 0u);
+}
+
+TEST(PrefetchExec, StridedRegionGathersAndTranslates) {
+    // Elements of 4 bytes every 64 bytes: LSLOAD uses *main-memory*
+    // addresses and the region table maps them onto the gathered copy.
+    core::Machine m(tiny_config(1),
+                    pf_sum_program(4, /*bytes=*/16, /*stride=*/64,
+                                   /*elem_bytes=*/4));
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        m.memory().write_u32(kData + 64 * i, 10 + i);
+    }
+    m.launch({});
+    (void)m.run();
+    EXPECT_EQ(m.memory().read_u32(kOut), 10u + 11 + 12 + 13);
+}
+
+TEST(PrefetchExec, LsLoadOutsideRegionFaults) {
+    isa::Program prog;
+    isa::CodeBuilder w("oob", 0);
+    w.block(CodeBlock::kPf).movi(r(10), kData);
+    DmaArgs args;
+    args.region = 0;
+    args.bytes = 16;
+    w.dmaget(r(10), args).dmawait();
+    w.block(CodeBlock::kEx)
+        .movi(r(2), kData)
+        .lsload(r(3), r(2), 16, 0);  // first byte past the region
+    w.block(CodeBlock::kPs).ffree().stop();
+    prog.entry = prog.add(std::move(w).build());
+    core::Machine m(tiny_config(1), prog);
+    m.launch({});
+    EXPECT_THROW((void)m.run(), sim::SimError);
+}
+
+TEST(PrefetchExec, LsLoadThroughUnfilledRegionFaults) {
+    isa::Program prog;
+    isa::CodeBuilder w("unfilled", 0);
+    w.block(CodeBlock::kEx).movi(r(2), kData).lsload(r(3), r(2), 0, 5);
+    w.block(CodeBlock::kPs).ffree().stop();
+    prog.entry = prog.add(std::move(w).build());
+    core::Machine m(tiny_config(1), prog);
+    m.launch({});
+    EXPECT_THROW((void)m.run(), sim::SimError);
+}
+
+TEST(PrefetchExec, DmaGetOverflowingStagingFaults) {
+    auto cfg = tiny_config(1);
+    cfg.lse = sched::LseConfig::with(4, 512);
+    core::Machine m(cfg, pf_sum_program(1, 1024));  // 1024 > 512 staging
+    m.launch({});
+    EXPECT_THROW((void)m.run(), sim::SimError);
+}
+
+TEST(PrefetchExec, WaitForDmaReleasesThePipeline) {
+    // Two prefetching threads on ONE SPU: while thread A waits for its DMA,
+    // thread B must get the pipeline (the paper's non-blocking property).
+    isa::Program prog;
+    isa::CodeBuilder w("pfw", 1);
+    w.block(CodeBlock::kPf).movi(r(10), kData);
+    DmaArgs args;
+    args.region = 0;
+    args.bytes = 128;
+    w.dmaget(r(10), args).dmawait();
+    w.block(CodeBlock::kPl).load(r(1), 0);
+    w.block(CodeBlock::kEx)
+        .movi(r(2), kData)
+        .lsload(r(3), r(2), 0, 0)
+        .shli(r(4), r(1), 2)
+        .addi(r(4), r(4), kOut)
+        .write(r(3), r(4), 0);
+    w.block(CodeBlock::kPs).ffree().stop();
+    const auto worker = prog.add(std::move(w).build());
+    isa::CodeBuilder mn("main", 0);
+    mn.block(CodeBlock::kPs)
+        .falloc(r(1), worker)
+        .movi(r(2), 0)
+        .store(r(2), r(1), 0)
+        .falloc(r(3), worker)
+        .movi(r(4), 1)
+        .store(r(4), r(3), 0)
+        .ffree()
+        .stop();
+    prog.entry = prog.add(std::move(mn).build());
+
+    core::Machine m(tiny_config(1), prog);
+    m.memory().write_u32(kData, 777);
+    m.launch({});
+    const auto res = m.run();
+    EXPECT_EQ(m.memory().read_u32(kOut), 777u);
+    EXPECT_EQ(m.memory().read_u32(kOut + 4), 777u);
+    // Both threads suspended in Wait-for-DMA at some point.
+    EXPECT_EQ(res.pes[0].lse.dma_suspends, 2u);
+}
+
+TEST(PrefetchExec, BlockingModeSpinsInsteadOfSuspending) {
+    auto blocking = tiny_config(1);
+    blocking.spu.non_blocking_dma = false;
+    core::Machine m(blocking, pf_sum_program(4, 16));
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        m.memory().write_u32(kData + 4 * i, i);
+    }
+    m.launch({});
+    const auto res = m.run();
+    EXPECT_EQ(m.memory().read_u32(kOut), 6u);
+    // No suspension happened; the wait burned pipeline cycles as
+    // Prefetching overhead instead.
+    EXPECT_EQ(res.pes[0].lse.dma_suspends, 0u);
+    EXPECT_GT(res.total_breakdown()[CycleBucket::kPrefetch], 150u);
+}
+
+TEST(PrefetchExec, NonBlockingBeatsBlockingWithConcurrency) {
+    // With several prefetching threads per SPU, suspending must be faster
+    // than spinning — this is the paper's core claim.
+    auto make_prog = [] {
+        isa::Program prog;
+        isa::CodeBuilder w("pfw", 1);
+        w.block(CodeBlock::kPf).movi(r(10), kData);
+        DmaArgs args;
+        args.region = 0;
+        args.bytes = 512;
+        w.dmaget(r(10), args).dmawait();
+        w.block(CodeBlock::kPl).load(r(1), 0);
+        w.block(CodeBlock::kEx).movi(r(2), kData).movi(r(4), 0);
+        for (int i = 0; i < 16; ++i) {
+            w.lsload(r(3), r(2), 4 * i, 0).add(r(4), r(4), r(3));
+        }
+        w.shli(r(5), r(1), 2).addi(r(5), r(5), kOut).write(r(4), r(5), 0);
+        w.block(CodeBlock::kPs).ffree().stop();
+        const auto worker = prog.add(std::move(w).build());
+        isa::CodeBuilder mn("main", 0);
+        mn.block(CodeBlock::kPs).movi(r(5), 0).movi(r(6), 6);
+        auto loop = mn.new_label();
+        auto done = mn.new_label();
+        mn.bind(loop)
+            .bge(r(5), r(6), done)
+            .falloc(r(1), worker)
+            .store(r(5), r(1), 0)
+            .addi(r(5), r(5), 1)
+            .jmp(loop);
+        mn.bind(done).ffree().stop();
+        prog.entry = prog.add(std::move(mn).build());
+        return prog;
+    };
+    auto non_blocking = tiny_config(1);
+    auto blocking = tiny_config(1);
+    blocking.spu.non_blocking_dma = false;
+
+    core::Machine mn(non_blocking, make_prog());
+    mn.launch({});
+    const auto rn = mn.run();
+    core::Machine mb(blocking, make_prog());
+    mb.launch({});
+    const auto rb = mb.run();
+    EXPECT_LT(rn.cycles, rb.cycles);
+}
+
+TEST(PrefetchExec, DmaIdleClassificationToggle) {
+    // One lone prefetching thread: its DMA wait cannot overlap anything.
+    auto count_on = tiny_config(1);
+    count_on.spu.count_dma_idle_as_prefetch = true;
+    auto count_off = tiny_config(1);
+    count_off.spu.count_dma_idle_as_prefetch = false;
+
+    core::Machine m1(count_on, pf_sum_program(4, 16));
+    m1.launch({});
+    const auto r1 = m1.run();
+    core::Machine m2(count_off, pf_sum_program(4, 16));
+    m2.launch({});
+    const auto r2 = m2.run();
+    EXPECT_GT(r1.total_breakdown()[CycleBucket::kPrefetch],
+              r2.total_breakdown()[CycleBucket::kPrefetch]);
+    EXPECT_GT(r2.total_breakdown()[CycleBucket::kIdle],
+              r1.total_breakdown()[CycleBucket::kIdle]);
+    // Classification must not change timing.
+    EXPECT_EQ(r1.cycles, r2.cycles);
+}
+
+}  // namespace
+}  // namespace dta::core

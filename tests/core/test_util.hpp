@@ -1,0 +1,66 @@
+// Shared helpers for core-level tests: build small machines and programs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "isa/builder.hpp"
+
+namespace dta::test {
+
+/// A small, fast machine configuration for unit tests.
+inline core::MachineConfig tiny_config(std::uint16_t spes = 2) {
+    auto cfg = core::MachineConfig::cell_dta(spes);
+    cfg.max_cycles = 5'000'000;
+    cfg.no_progress_limit = 200'000;
+    return cfg;
+}
+
+/// Runs \p prog on a fresh machine, returning machine-visible results.
+struct RunOutput {
+    core::RunResult result;
+    std::vector<std::uint32_t> words;  ///< memory words read back
+};
+
+/// Launches \p prog with no args and runs to completion; reads back
+/// \p n_words 32-bit words from \p base afterwards.
+inline RunOutput run_program(const isa::Program& prog,
+                             const core::MachineConfig& cfg,
+                             sim::MemAddr base = 0, std::size_t n_words = 0,
+                             std::span<const std::uint64_t> args = {}) {
+    core::Machine m(cfg, prog);
+    m.launch(args);
+    RunOutput out;
+    out.result = m.run();
+    for (std::size_t i = 0; i < n_words; ++i) {
+        out.words.push_back(m.memory().read_u32(base + i * 4));
+    }
+    return out;
+}
+
+/// Builds a single-thread program whose EX block is produced by \p body;
+/// the thread then WRITEs registers r20..r(20+n_outputs-1) to `out_base`
+/// and stops.  This is the workhorse for pipeline-semantics tests.
+template <typename BodyFn>
+isa::Program single_thread(BodyFn&& body, std::uint32_t n_outputs,
+                           sim::MemAddr out_base) {
+    using isa::CodeBlock;
+    using isa::r;
+    isa::Program prog;
+    prog.name = "single";
+    isa::CodeBuilder b("solo", 0);
+    b.block(CodeBlock::kEx);
+    body(b);
+    b.movi(r(19), static_cast<std::int64_t>(out_base));
+    for (std::uint32_t i = 0; i < n_outputs; ++i) {
+        b.write(r(static_cast<std::uint8_t>(20 + i)), r(19),
+                static_cast<std::int64_t>(4 * i));
+    }
+    b.block(CodeBlock::kPs).ffree().stop();
+    prog.entry = prog.add(std::move(b).build());
+    return prog;
+}
+
+}  // namespace dta::test

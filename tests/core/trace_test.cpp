@@ -1,0 +1,142 @@
+// Per-thread profiling and span/trace capture.
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "isa/builder.hpp"
+#include "test_util.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/mmul.hpp"
+
+namespace dta::core {
+namespace {
+
+using isa::CodeBlock;
+using isa::r;
+
+isa::Program two_workers() {
+    isa::Program prog;
+    isa::CodeBuilder w("leaf", 1);
+    w.block(CodeBlock::kPl).load(r(1), 0);
+    w.block(CodeBlock::kEx).muli(r(2), r(1), 3);
+    w.block(CodeBlock::kPs).ffree().stop();
+    const auto leaf = prog.add(std::move(w).build());
+    isa::CodeBuilder m("root", 0);
+    m.block(CodeBlock::kPs)
+        .falloc(r(1), leaf)
+        .movi(r(2), 1)
+        .store(r(2), r(1), 0)
+        .falloc(r(3), leaf)
+        .movi(r(4), 2)
+        .store(r(4), r(3), 0)
+        .ffree()
+        .stop();
+    prog.entry = prog.add(std::move(m).build());
+    return prog;
+}
+
+TEST(Profile, CountsPerCodeActivity) {
+    core::Machine m(test::tiny_config(2), two_workers());
+    m.launch({});
+    const auto res = m.run();
+    ASSERT_EQ(res.profile.size(), 2u);
+    EXPECT_EQ(res.profile[0].name, "leaf");
+    EXPECT_EQ(res.profile[0].threads_started, 2u);
+    EXPECT_EQ(res.profile[0].dispatches, 2u);
+    EXPECT_EQ(res.profile[1].name, "root");
+    EXPECT_EQ(res.profile[1].threads_started, 1u);
+    // Every instruction belongs to some code.
+    EXPECT_EQ(res.profile[0].instructions + res.profile[1].instructions,
+              res.total_instrs().total());
+    EXPECT_GT(res.profile[0].pipeline_cycles, 0u);
+}
+
+TEST(Profile, ResumesCountAsDispatchesNotStarts) {
+    // A prefetching workload: every worker suspends once, so dispatches =
+    // 2x starts for the worker code.
+    workloads::MatMul::Params p;
+    p.n = 16;
+    p.threads = 8;
+    const workloads::MatMul wl(p);
+    core::Machine m(workloads::MatMul::machine_config(4),
+                    wl.prefetch_program());
+    wl.init_memory(m.memory());
+    m.launch({});
+    const auto res = m.run();
+    const auto& worker = res.profile[0];  // mmul_worker+pf
+    EXPECT_EQ(worker.threads_started, 8u);
+    EXPECT_EQ(worker.dispatches, 16u);
+}
+
+TEST(Spans, CapturedWhenEnabled) {
+    auto cfg = test::tiny_config(2);
+    cfg.capture_spans = true;
+    core::Machine m(cfg, two_workers());
+    m.launch({});
+    const auto res = m.run();
+    // root + 2 leaves, no suspensions: exactly 3 spans.
+    ASSERT_EQ(res.spans.size(), 3u);
+    for (const auto& s : res.spans) {
+        EXPECT_LT(s.begin, s.end);
+        EXPECT_LT(s.pe, 2u);
+        EXPECT_LE(s.end, res.cycles);
+    }
+    // Spans on the same PE never overlap.
+    for (std::size_t i = 0; i < res.spans.size(); ++i) {
+        for (std::size_t j = i + 1; j < res.spans.size(); ++j) {
+            if (res.spans[i].pe != res.spans[j].pe) {
+                continue;
+            }
+            const bool disjoint = res.spans[i].end <= res.spans[j].begin ||
+                                  res.spans[j].end <= res.spans[i].begin;
+            EXPECT_TRUE(disjoint) << "spans " << i << " and " << j;
+        }
+    }
+}
+
+TEST(Spans, OffByDefault) {
+    core::Machine m(test::tiny_config(2), two_workers());
+    m.launch({});
+    const auto res = m.run();
+    EXPECT_TRUE(res.spans.empty());
+}
+
+TEST(Spans, ResumedFlagMarksPostDmaContinuations) {
+    workloads::MatMul::Params p;
+    p.n = 8;
+    p.threads = 4;
+    const workloads::MatMul wl(p);
+    auto cfg = workloads::MatMul::machine_config(2);
+    cfg.capture_spans = true;
+    core::Machine m(cfg, wl.prefetch_program());
+    wl.init_memory(m.memory());
+    m.launch({});
+    const auto res = m.run();
+    std::size_t resumed = 0;
+    for (const auto& s : res.spans) {
+        resumed += s.resumed ? 1 : 0;
+    }
+    EXPECT_EQ(resumed, 4u);  // one resume per worker
+}
+
+TEST(ChromeTrace, EmitsWellFormedJson) {
+    std::vector<ThreadSpan> spans;
+    spans.push_back(ThreadSpan{0, 10, 25, 0, 3, false});
+    spans.push_back(ThreadSpan{1, 12, 40, 1, 0, true});
+    const std::string json =
+        chrome_trace_json(spans, {"alpha", "beta"});
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find(R"("name": "alpha")"), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"beta (resume)\""), std::string::npos);
+    EXPECT_NE(json.find(R"("ts": 10)"), std::string::npos);
+    EXPECT_NE(json.find(R"("dur": 15)"), std::string::npos);
+    EXPECT_NE(json.find(R"("tid": 1)"), std::string::npos);
+    // Unknown code ids degrade gracefully.
+    const std::string fallback =
+        chrome_trace_json({ThreadSpan{0, 0, 1, 7, 0, false}}, {});
+    EXPECT_NE(fallback.find("code7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dta::core

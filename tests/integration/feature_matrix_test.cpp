@@ -1,0 +1,113 @@
+// Combined-feature correctness: the extensions must compose — prefetching
+// on multi-node machines, virtual frame pointers under prefetch pressure,
+// write-back across nodes, and everything at once.
+#include <gtest/gtest.h>
+
+#include "workloads/bitcnt.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/mmul.hpp"
+#include "workloads/zoom.hpp"
+
+namespace dta::workloads {
+namespace {
+
+TEST(FeatureMatrix, PrefetchOnMultiNodeMachine) {
+    // DMA line traffic from node-1 MFCs crosses the ring to the node-0
+    // memory controller and back.
+    MatMul::Params p;
+    p.n = 16;
+    p.threads = 8;
+    const MatMul wl(p);
+    auto cfg = MatMul::machine_config(2);
+    cfg.nodes = 2;
+    const auto out = run_workload(wl, cfg, /*prefetch=*/true);
+    EXPECT_TRUE(out.correct) << out.detail;
+    EXPECT_GT(out.result.dma_bytes, 0u);
+}
+
+TEST(FeatureMatrix, VirtualFramesUnderPrefetchPressure) {
+    // bitcnt's fork storm + prefetching threads + a tiny frame supply:
+    // VFP must keep it deadlock-free and correct.
+    BitCount::Params p;
+    p.iterations = 96;
+    const BitCount wl(p);
+    auto cfg = BitCount::machine_config(4);
+    cfg.lse = sched::LseConfig::with(12, 512);
+    cfg.lse.virtual_frames = true;
+    const auto out = run_workload(wl, cfg, /*prefetch=*/true);
+    EXPECT_TRUE(out.correct) << out.detail;
+}
+
+TEST(FeatureMatrix, VirtualFramesMatchPlainResults) {
+    BitCount::Params p;
+    p.iterations = 48;
+    const BitCount wl(p);
+    const auto plain =
+        run_workload(wl, BitCount::machine_config(4), /*prefetch=*/false);
+    auto vfp_cfg = BitCount::machine_config(4);
+    vfp_cfg.lse.virtual_frames = true;
+    const auto vfp = run_workload(wl, vfp_cfg, /*prefetch=*/false);
+    EXPECT_TRUE(plain.correct && vfp.correct);
+    // Same dynamic instruction stream, different scheduling freedom.
+    EXPECT_EQ(plain.result.total_instrs().total(),
+              vfp.result.total_instrs().total());
+}
+
+TEST(FeatureMatrix, WritebackAcrossNodes) {
+    Zoom::Params p;
+    p.n = 16;
+    p.factor = 4;
+    p.threads = 16;
+    const Zoom wl(p);
+    ASSERT_TRUE(wl.has_writeback());
+    auto cfg = Zoom::machine_config(2);
+    cfg.nodes = 2;
+    core::Machine m(cfg, wl.writeback_program());
+    wl.init_memory(m.memory());
+    m.launch({});
+    (void)m.run();
+    std::string why;
+    EXPECT_TRUE(wl.check(m.memory(), &why)) << why;
+}
+
+TEST(FeatureMatrix, EverythingAtOnce) {
+    // Write-back program + virtual frames + two nodes + span capture.
+    Zoom::Params p;
+    p.n = 16;
+    p.factor = 4;
+    p.threads = 16;
+    const Zoom wl(p);
+    auto cfg = Zoom::machine_config(2);
+    cfg.nodes = 2;
+    cfg.lse.virtual_frames = true;
+    cfg.capture_spans = true;
+    core::Machine m(cfg, wl.writeback_program());
+    wl.init_memory(m.memory());
+    m.launch({});
+    const auto res = m.run();
+    std::string why;
+    EXPECT_TRUE(wl.check(m.memory(), &why)) << why;
+    EXPECT_FALSE(res.spans.empty());
+    // Every worker suspended at least twice (prefetch + write-back drain),
+    // so spans outnumber thread starts.
+    std::uint64_t threads = 0;
+    for (const auto& pe : res.pes) {
+        threads += pe.threads_executed;
+    }
+    EXPECT_GT(res.spans.size(), threads);
+}
+
+TEST(FeatureMatrix, PerfectCacheComposesWithPrefetchVariants) {
+    MatMul::Params p;
+    p.n = 16;
+    p.threads = 8;
+    const MatMul wl(p);
+    auto cfg = core::MachineConfig::perfect_cache(4);
+    cfg.lse = MatMul::lse_config();
+    const auto orig = run_workload(wl, cfg, false);
+    const auto pf = run_workload(wl, cfg, true);
+    EXPECT_TRUE(orig.correct && pf.correct);
+}
+
+}  // namespace
+}  // namespace dta::workloads

@@ -1,0 +1,219 @@
+// Cross-cutting property suites (parameterised): the invariants of
+// DESIGN.md §6, checked over a grid of workloads, machine shapes and
+// variants.
+#include <gtest/gtest.h>
+
+#include "workloads/bitcnt.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/mmul.hpp"
+#include "workloads/zoom.hpp"
+
+namespace dta::workloads {
+namespace {
+
+/// One grid point: which workload, how many SPEs/nodes, which variant.
+struct GridPoint {
+    enum class Wl { kMmul, kZoom, kBitcnt } wl;
+    std::uint16_t nodes;
+    std::uint16_t spes_per_node;
+    bool prefetch;
+};
+
+std::string grid_name(const ::testing::TestParamInfo<GridPoint>& info) {
+    const GridPoint& g = info.param;
+    const char* wl = g.wl == GridPoint::Wl::kMmul   ? "mmul"
+                     : g.wl == GridPoint::Wl::kZoom ? "zoom"
+                                                    : "bitcnt";
+    return std::string(wl) + "_n" + std::to_string(g.nodes) + "x" +
+           std::to_string(g.spes_per_node) + (g.prefetch ? "_pf" : "_orig");
+}
+
+/// Runs the grid point at small scale and returns the outcome.
+RunOutcome run_point(const GridPoint& g) {
+    core::MachineConfig cfg;
+    switch (g.wl) {
+        case GridPoint::Wl::kMmul: {
+            MatMul::Params p;
+            p.n = 16;
+            p.threads = 8;
+            cfg = MatMul::machine_config(g.spes_per_node);
+            cfg.nodes = g.nodes;
+            cfg.max_cycles = 50'000'000;
+            return run_workload(MatMul(p), cfg, g.prefetch);
+        }
+        case GridPoint::Wl::kZoom: {
+            Zoom::Params p;
+            p.n = 16;
+            p.factor = 4;
+            p.threads = 8;
+            cfg = Zoom::machine_config(g.spes_per_node);
+            cfg.nodes = g.nodes;
+            cfg.max_cycles = 50'000'000;
+            return run_workload(Zoom(p), cfg, g.prefetch);
+        }
+        case GridPoint::Wl::kBitcnt:
+        default: {
+            BitCount::Params p;
+            p.iterations = 48;
+            cfg = BitCount::machine_config(g.spes_per_node);
+            cfg.nodes = g.nodes;
+            cfg.max_cycles = 50'000'000;
+            return run_workload(BitCount(p), cfg, g.prefetch);
+        }
+    }
+}
+
+class InvariantGrid : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(InvariantGrid, ResultIsCorrect) {
+    const auto out = run_point(GetParam());
+    EXPECT_TRUE(out.correct) << out.detail;
+}
+
+TEST_P(InvariantGrid, BreakdownCoversEverySpuCycle) {
+    // DESIGN.md invariant 1: buckets sum to cycles x SPUs, per SPU.
+    const auto out = run_point(GetParam());
+    for (std::size_t i = 0; i < out.result.pes.size(); ++i) {
+        EXPECT_EQ(out.result.pes[i].breakdown.total(), out.result.cycles)
+            << "PE " << i;
+    }
+}
+
+TEST_P(InvariantGrid, NocConservesPackets) {
+    // DESIGN.md invariant 7: everything injected is delivered.
+    const auto out = run_point(GetParam());
+    EXPECT_EQ(out.result.noc.packets_injected,
+              out.result.noc.packets_delivered);
+}
+
+TEST_P(InvariantGrid, SchedulerBalancesFrames) {
+    // DESIGN.md invariant 6: no frame leaks — every allocation freed.
+    const auto g = GetParam();
+    core::MachineConfig cfg;
+    // Re-run keeping the machine alive so per-LSE stats are inspectable.
+    switch (g.wl) {
+        case GridPoint::Wl::kMmul: {
+            MatMul::Params p;
+            p.n = 16;
+            p.threads = 8;
+            const MatMul wl(p);
+            cfg = MatMul::machine_config(g.spes_per_node);
+            cfg.nodes = g.nodes;
+            core::Machine m(cfg,
+                            g.prefetch ? wl.prefetch_program() : wl.program());
+            wl.init_memory(m.memory());
+            m.launch({});
+            (void)m.run();
+            for (std::uint32_t pe = 0; pe < m.num_pes(); ++pe) {
+                EXPECT_EQ(m.pe(pe).lse().live_frames(), 0u);
+                EXPECT_EQ(m.pe(pe).lse().stats().frames_allocated,
+                          m.pe(pe).lse().stats().frames_freed);
+            }
+            break;
+        }
+        default:
+            GTEST_SKIP() << "frame-balance spot check uses mmul only";
+    }
+}
+
+TEST_P(InvariantGrid, DeterministicAcrossRuns) {
+    // DESIGN.md invariant 4: identical config => identical cycle counts
+    // and identical statistics, twice in a row.
+    const auto a = run_point(GetParam());
+    const auto b = run_point(GetParam());
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.result.total_instrs().total(), b.result.total_instrs().total());
+    EXPECT_EQ(a.result.noc.bytes_transferred, b.result.noc.bytes_transferred);
+    for (std::size_t i = 0; i < a.result.pes.size(); ++i) {
+        EXPECT_EQ(a.result.pes[i].breakdown.cycles,
+                  b.result.pes[i].breakdown.cycles);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, InvariantGrid,
+    ::testing::Values(
+        GridPoint{GridPoint::Wl::kMmul, 1, 1, false},
+        GridPoint{GridPoint::Wl::kMmul, 1, 4, false},
+        GridPoint{GridPoint::Wl::kMmul, 1, 4, true},
+        GridPoint{GridPoint::Wl::kMmul, 2, 2, true},
+        GridPoint{GridPoint::Wl::kZoom, 1, 2, false},
+        GridPoint{GridPoint::Wl::kZoom, 1, 8, true},
+        GridPoint{GridPoint::Wl::kZoom, 2, 2, false},
+        GridPoint{GridPoint::Wl::kBitcnt, 1, 2, false},
+        GridPoint{GridPoint::Wl::kBitcnt, 1, 8, true},
+        GridPoint{GridPoint::Wl::kBitcnt, 2, 4, true}),
+    grid_name);
+
+TEST(Properties, VariantsProduceIdenticalOutputsEverywhere) {
+    // DESIGN.md invariant 2 at several PE counts: prefetch must never
+    // change results, only timing.
+    for (std::uint16_t spes : {1, 3, 8}) {
+        MatMul::Params p;
+        p.n = 16;
+        p.threads = 8;
+        const MatMul wl(p);
+        const auto cfg = MatMul::machine_config(spes);
+        core::Machine m1(cfg, wl.program());
+        wl.init_memory(m1.memory());
+        m1.launch({});
+        (void)m1.run();
+        core::Machine m2(cfg, wl.prefetch_program());
+        wl.init_memory(m2.memory());
+        m2.launch({});
+        (void)m2.run();
+        for (std::uint32_t i = 0; i < p.n * p.n; ++i) {
+            ASSERT_EQ(m1.memory().read_u32(wl.c_base() + 4 * i),
+                      m2.memory().read_u32(wl.c_base() + 4 * i))
+                << "spes=" << spes << " i=" << i;
+        }
+    }
+}
+
+TEST(Properties, ResultsIndependentOfPeCount) {
+    // DESIGN.md invariant 5: timing changes with machine size, results
+    // do not.
+    Zoom::Params p;
+    p.n = 16;
+    p.factor = 4;
+    p.threads = 8;
+    const Zoom wl(p);
+    std::vector<std::uint32_t> reference;
+    for (std::uint16_t spes : {1, 2, 5, 8}) {
+        const auto out = run_workload(wl, Zoom::machine_config(spes), true);
+        ASSERT_TRUE(out.correct) << "spes=" << spes << ": " << out.detail;
+    }
+    (void)reference;
+}
+
+TEST(Properties, InstructionCountIndependentOfTiming) {
+    // The dynamic instruction count is a property of the program, not of
+    // the machine's latencies.
+    MatMul::Params p;
+    p.n = 16;
+    p.threads = 8;
+    const MatMul wl(p);
+    auto slow = MatMul::machine_config(4);
+    slow.memory.latency = 400;
+    auto fast = MatMul::machine_config(4);
+    fast.memory.latency = 1;
+    const auto a = run_workload(wl, slow, false);
+    const auto b = run_workload(wl, fast, false);
+    EXPECT_EQ(a.result.total_instrs().total(), b.result.total_instrs().total());
+    EXPECT_GT(a.result.cycles, b.result.cycles);
+}
+
+TEST(Properties, DmaMovesExactlyTheRequestedBytes) {
+    // DESIGN.md invariant 8, at workload scale: per worker, one A band
+    // (rows*N*4) plus the whole of B (N*N*4).
+    MatMul::Params p;
+    p.n = 16;
+    p.threads = 8;
+    const MatMul wl(p);
+    const auto out = run_workload(wl, MatMul::machine_config(4), true);
+    const std::uint64_t per_worker = (16 / 8) * 16 * 4 + 16 * 16 * 4;
+    EXPECT_EQ(out.result.dma_bytes, 8 * per_worker);
+}
+
+}  // namespace
+}  // namespace dta::workloads

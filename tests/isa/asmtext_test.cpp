@@ -1,0 +1,318 @@
+// Textual assembly: parser behaviour, error reporting, and the round-trip
+// guarantee parse(to_assembly(p)) == p, exercised on every workload program.
+#include "isa/asmtext.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "sim/check.hpp"
+#include "workloads/bitcnt.hpp"
+#include "workloads/mmul.hpp"
+#include "workloads/zoom.hpp"
+// (zoom also provides the write-back variant with REGSET/DMAPUT)
+
+namespace dta::isa {
+namespace {
+
+void expect_same_instruction(const Instruction& a, const Instruction& b,
+                             const std::string& where) {
+    EXPECT_EQ(a.op, b.op) << where;
+    EXPECT_EQ(a.rd, b.rd) << where;
+    EXPECT_EQ(a.ra, b.ra) << where;
+    EXPECT_EQ(a.rb, b.rb) << where;
+    EXPECT_EQ(a.imm, b.imm) << where;
+    EXPECT_EQ(a.block, b.block) << where;
+    EXPECT_EQ(a.region, b.region) << where;
+    EXPECT_EQ(a.dma.has_value(), b.dma.has_value()) << where;
+    if (a.dma && b.dma) {
+        EXPECT_EQ(*a.dma, *b.dma) << where;
+    }
+}
+
+void expect_same_program(const Program& a, const Program& b) {
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.entry, b.entry);
+    ASSERT_EQ(a.codes.size(), b.codes.size());
+    for (std::size_t c = 0; c < a.codes.size(); ++c) {
+        const ThreadCode& x = a.codes[c];
+        const ThreadCode& y = b.codes[c];
+        EXPECT_EQ(x.name, y.name);
+        EXPECT_EQ(x.num_inputs, y.num_inputs);
+        EXPECT_EQ(x.pl_begin, y.pl_begin);
+        EXPECT_EQ(x.ex_begin, y.ex_begin);
+        EXPECT_EQ(x.ps_begin, y.ps_begin);
+        ASSERT_EQ(x.size(), y.size()) << x.name;
+        for (std::uint32_t i = 0; i < x.size(); ++i) {
+            expect_same_instruction(
+                x.code[i], y.code[i],
+                x.name + " @" + std::to_string(i));
+        }
+        ASSERT_EQ(x.annotations.size(), y.annotations.size());
+        for (std::size_t r = 0; r < x.annotations.size(); ++r) {
+            const auto& ra = x.annotations[r];
+            const auto& rb2 = y.annotations[r];
+            EXPECT_EQ(ra.bytes, rb2.bytes);
+            EXPECT_EQ(ra.stride, rb2.stride);
+            EXPECT_EQ(ra.elem_bytes, rb2.elem_bytes);
+            EXPECT_EQ(ra.addr_reg, rb2.addr_reg);
+            ASSERT_EQ(ra.addr_code.size(), rb2.addr_code.size());
+            for (std::size_t i = 0; i < ra.addr_code.size(); ++i) {
+                expect_same_instruction(ra.addr_code[i], rb2.addr_code[i],
+                                        x.name + " region " +
+                                            std::to_string(r));
+            }
+        }
+    }
+}
+
+TEST(AsmText, ParsesHandWrittenProgram) {
+    const char* src = R"(
+# hello-DTA in textual assembly
+program "hello" entry=1
+
+thread "consumer" inputs=2
+  .pl
+    load r1, frame[0]
+    load r2, frame[1]
+  .ex
+    add r3, r1, r2
+    movi r4, 4096
+    write r3, mem[r4+0]
+  .ps
+    ffree
+    stop
+end
+
+thread "producer" inputs=0
+  .ps
+    falloc r5, code=0
+    movi r1, 20
+    store r1, frame(r5)[0]
+    movi r2, 22
+    store r2, frame(r5)[1]
+    ffree
+    stop
+end
+)";
+    const Program prog = parse_program(src);
+    EXPECT_EQ(prog.name, "hello");
+    EXPECT_EQ(prog.entry, 1u);
+    ASSERT_EQ(prog.codes.size(), 2u);
+    EXPECT_EQ(prog.codes[0].name, "consumer");
+    EXPECT_EQ(prog.codes[0].num_inputs, 2u);
+    EXPECT_EQ(prog.codes[0].code[2].op, Opcode::kAdd);
+    EXPECT_EQ(prog.codes[1].code[0].op, Opcode::kFalloc);
+    EXPECT_EQ(prog.codes[1].code[0].imm, 0);
+}
+
+TEST(AsmText, ParsesLabelsAndBranches) {
+    const char* src = R"(
+program "loop" entry=0
+thread "spin" inputs=0
+  .ex
+    movi r1, 0
+    movi r2, 5
+  top:
+    addi r1, r1, 1
+    blt r1, r2, top
+  .ps
+    ffree
+    stop
+end
+)";
+    const Program prog = parse_program(src);
+    const auto& code = prog.codes[0].code;
+    EXPECT_EQ(code[3].op, Opcode::kBlt);
+    EXPECT_EQ(code[3].imm, 2);  // 'top' label position
+}
+
+TEST(AsmText, ParsesDmaAndRegions) {
+    const char* src = R"(
+program "pf" entry=0
+thread "w" inputs=1
+  region bytes=128 reg=r30 {
+    load r28, frame[0]
+    muli r28, r28, 128
+    addi r30, r28, 65536
+  }
+  .pf
+    movi r10, 65536
+    dmaget r10, ls+64, bytes=128, region=2
+    dmawait
+  .pl
+    load r1, frame[0]
+  .ex
+    lsload r3, ls[r10+0] @region2
+  .ps
+    ffree
+    stop
+end
+)";
+    const Program prog = parse_program(src);
+    const ThreadCode& tc = prog.codes[0];
+    ASSERT_EQ(tc.annotations.size(), 1u);
+    EXPECT_EQ(tc.annotations[0].bytes, 128u);
+    EXPECT_EQ(tc.annotations[0].addr_reg, 30);
+    EXPECT_EQ(tc.annotations[0].addr_code.size(), 3u);
+    const Instruction& get = tc.code[1];
+    ASSERT_TRUE(get.dma.has_value());
+    EXPECT_EQ(get.dma->ls_offset, 64u);
+    EXPECT_EQ(get.dma->bytes, 128u);
+    EXPECT_EQ(get.dma->region, 2);
+    EXPECT_EQ(tc.code[4].op, Opcode::kLsLoad);
+    EXPECT_EQ(tc.code[4].region, 2);
+}
+
+TEST(AsmText, IndexedFrameAccessForms) {
+    const char* src = R"(
+program "x" entry=0
+thread "t" inputs=4
+  .pl
+    movi r9, 2
+    loadx r1, frame[r9+0]
+  .ps
+    storex r1, frame(r5)[r9+1]
+    ffree
+    stop
+end
+)";
+    const Program prog = parse_program(src);
+    const auto& code = prog.codes[0].code;
+    EXPECT_EQ(code[1].op, Opcode::kLoadX);
+    EXPECT_EQ(code[1].ra, 9);
+    EXPECT_EQ(code[2].op, Opcode::kStoreX);
+    EXPECT_EQ(code[2].rb, 5);
+    EXPECT_EQ(code[2].rd, 9);
+    EXPECT_EQ(code[2].imm, 1);
+}
+
+TEST(AsmText, ReportsLineNumbersOnErrors) {
+    const char* src = "program \"x\" entry=0\nthread \"t\" inputs=0\n"
+                      "  .ex\n    frobnicate r1\n  .ps\n    stop\nend\n";
+    try {
+        (void)parse_program(src);
+        FAIL() << "expected parse error";
+    } catch (const sim::SimError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+        EXPECT_NE(what.find("frobnicate"), std::string::npos);
+    }
+}
+
+TEST(AsmText, RejectsUndefinedLabel) {
+    const char* src = R"(
+program "x" entry=0
+thread "t" inputs=0
+  .ex
+    jmp nowhere
+  .ps
+    stop
+end
+)";
+    EXPECT_THROW((void)parse_program(src), sim::SimError);
+}
+
+TEST(AsmText, RejectsOutOfOrderBlocks) {
+    const char* src = R"(
+program "x" entry=0
+thread "t" inputs=0
+  .ex
+    nop
+  .pl
+    nop
+  .ps
+    stop
+end
+)";
+    EXPECT_THROW((void)parse_program(src), sim::SimError);
+}
+
+TEST(AsmText, ParsedProgramsAreValidated) {
+    // STOP missing: the validator must reject through the parser.
+    const char* src = R"(
+program "x" entry=0
+thread "t" inputs=0
+  .ex
+    nop
+end
+)";
+    EXPECT_THROW((void)parse_program(src), sim::SimError);
+}
+
+// ---- round trips -------------------------------------------------------
+
+TEST(AsmText, RoundTripHandProgram) {
+    isa::Program prog;
+    prog.name = "rt";
+    CodeBuilder b("worker", 2);
+    RegionAnnotation ann;
+    Instruction movi;
+    movi.op = Opcode::kMovI;
+    movi.rd = 30;
+    movi.imm = 0x4000;
+    movi.block = CodeBlock::kPf;  // addr_code is canonically PF-tagged
+    ann.addr_code.push_back(movi);
+    ann.addr_reg = 30;
+    ann.bytes = 96;
+    ann.stride = 32;
+    ann.elem_bytes = 8;
+    const auto reg0 = b.annotate(ann);
+    b.block(CodeBlock::kPl).load(r(1), 0).load(r(2), 1);
+    b.block(CodeBlock::kEx).movi(r(3), 0x4000);
+    auto loop = b.new_label();
+    b.bind(loop)
+        .read(r(4), r(3), 0, reg0)
+        .addi(r(3), r(3), 4)
+        .blt(r(3), r(2), loop)
+        .self(r(6));
+    b.block(CodeBlock::kPs).store(r(4), r(1), 0).ffree().stop();
+    prog.add(std::move(b).build());
+    CodeBuilder m("main", 0);
+    m.block(CodeBlock::kPs).falloc(r(1), 0).movi(r(2), 1).store(r(2), r(1), 0)
+        .movi(r(3), 9).store(r(3), r(1), 1).ffree().stop();
+    prog.entry = prog.add(std::move(m).build());
+
+    const std::string text = to_assembly(prog);
+    const Program back = parse_program(text);
+    expect_same_program(prog, back);
+}
+
+TEST(AsmText, RoundTripMmulBothVariants) {
+    workloads::MatMul::Params p;
+    p.n = 16;
+    p.threads = 8;
+    const workloads::MatMul wl(p);
+    expect_same_program(wl.program(), parse_program(to_assembly(wl.program())));
+    expect_same_program(wl.prefetch_program(),
+                        parse_program(to_assembly(wl.prefetch_program())));
+}
+
+TEST(AsmText, RoundTripZoomAllThreeVariants) {
+    workloads::Zoom::Params p;
+    p.n = 16;
+    p.factor = 4;
+    p.threads = 16;  // small bands so the write-back variant exists
+    const workloads::Zoom wl(p);
+    expect_same_program(wl.program(), parse_program(to_assembly(wl.program())));
+    expect_same_program(wl.prefetch_program(),
+                        parse_program(to_assembly(wl.prefetch_program())));
+    // The write-back program exercises REGSET, DMAPUT and a PS DMAWAIT in
+    // the textual format.
+    ASSERT_TRUE(wl.has_writeback());
+    const std::string text = to_assembly(wl.writeback_program());
+    EXPECT_NE(text.find("regset"), std::string::npos);
+    EXPECT_NE(text.find("dmaput"), std::string::npos);
+    expect_same_program(wl.writeback_program(), parse_program(text));
+}
+
+TEST(AsmText, RoundTripBitcntBothVariants) {
+    workloads::BitCount::Params p;
+    p.iterations = 16;
+    const workloads::BitCount wl(p);
+    expect_same_program(wl.program(), parse_program(to_assembly(wl.program())));
+    expect_same_program(wl.prefetch_program(),
+                        parse_program(to_assembly(wl.prefetch_program())));
+}
+
+}  // namespace
+}  // namespace dta::isa

@@ -1,0 +1,145 @@
+// Unit tests for CodeBuilder: block bookkeeping, label resolution, fluent
+// emission.
+#include "isa/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/check.hpp"
+
+namespace dta::isa {
+namespace {
+
+TEST(Builder, BlockBoundariesForAllFourBlocks) {
+    CodeBuilder b("t", 1);
+    b.block(CodeBlock::kPf).movi(r(10), 1);
+    DmaArgs args;
+    args.region = 0;
+    args.bytes = 64;
+    b.dmaget(r(10), args).dmawait();
+    b.block(CodeBlock::kPl).load(r(1), 0);
+    b.block(CodeBlock::kEx).add(r(2), r(1), r(1));
+    b.block(CodeBlock::kPs).ffree().stop();
+    const ThreadCode tc = std::move(b).build();
+    EXPECT_EQ(tc.pl_begin, 3u);
+    EXPECT_EQ(tc.ex_begin, 4u);
+    EXPECT_EQ(tc.ps_begin, 5u);
+    EXPECT_EQ(tc.size(), 7u);
+    EXPECT_TRUE(tc.has_prefetch_block());
+    EXPECT_EQ(tc.block_of(0), CodeBlock::kPf);
+    EXPECT_EQ(tc.block_of(3), CodeBlock::kPl);
+    EXPECT_EQ(tc.block_of(4), CodeBlock::kEx);
+    EXPECT_EQ(tc.block_of(6), CodeBlock::kPs);
+}
+
+TEST(Builder, SkippedBlocksCollapseToEmptyRanges) {
+    CodeBuilder b("t", 0);
+    b.block(CodeBlock::kPs).stop();
+    const ThreadCode tc = std::move(b).build();
+    EXPECT_EQ(tc.pl_begin, 0u);
+    EXPECT_EQ(tc.ex_begin, 0u);
+    EXPECT_EQ(tc.ps_begin, 0u);
+    EXPECT_FALSE(tc.has_prefetch_block());
+}
+
+TEST(Builder, BlocksMustOpenInOrder) {
+    CodeBuilder b("t", 0);
+    b.block(CodeBlock::kEx);
+    EXPECT_THROW(b.block(CodeBlock::kPl), sim::SimError);
+}
+
+TEST(Builder, SameBlockTwiceRejected) {
+    CodeBuilder b("t", 0);
+    b.block(CodeBlock::kEx);
+    EXPECT_THROW(b.block(CodeBlock::kEx), sim::SimError);
+}
+
+TEST(Builder, EmitOutsideBlockRejected) {
+    CodeBuilder b("t", 0);
+    EXPECT_THROW(b.nop(), sim::SimError);
+}
+
+TEST(Builder, ForwardAndBackwardLabels) {
+    CodeBuilder b("loop", 0);
+    b.block(CodeBlock::kEx).movi(r(1), 0).movi(r(2), 3);
+    auto top = b.new_label();
+    auto out = b.new_label();
+    b.bind(top)
+        .bge(r(1), r(2), out)      // forward reference
+        .addi(r(1), r(1), 1)
+        .jmp(top);                 // backward reference
+    b.bind(out);
+    b.block(CodeBlock::kPs).stop();
+    const ThreadCode tc = std::move(b).build();
+    EXPECT_EQ(tc.code[2].imm, 5);  // bge -> instruction after jmp
+    EXPECT_EQ(tc.code[4].imm, 2);  // jmp -> top
+}
+
+TEST(Builder, UnboundLabelRejected) {
+    CodeBuilder b("t", 0);
+    b.block(CodeBlock::kEx);
+    auto l = b.new_label();
+    b.jmp(l);
+    b.block(CodeBlock::kPs).stop();
+    EXPECT_THROW((void)std::move(b).build(), sim::SimError);
+}
+
+TEST(Builder, DoubleBindRejected) {
+    CodeBuilder b("t", 0);
+    b.block(CodeBlock::kEx);
+    auto l = b.new_label();
+    b.bind(l);
+    EXPECT_THROW(b.bind(l), sim::SimError);
+}
+
+TEST(Builder, InstructionsCarryTheirBlock) {
+    CodeBuilder b("t", 0);
+    b.block(CodeBlock::kEx).movi(r(1), 7);
+    b.block(CodeBlock::kPs).stop();
+    const ThreadCode tc = std::move(b).build();
+    EXPECT_EQ(tc.code[0].block, CodeBlock::kEx);
+    EXPECT_EQ(tc.code[1].block, CodeBlock::kPs);
+}
+
+TEST(Builder, DmaGetCarriesArgs) {
+    CodeBuilder b("t", 0);
+    b.block(CodeBlock::kPf).movi(r(5), 0x100);
+    DmaArgs args;
+    args.region = 2;
+    args.ls_offset = 64;
+    args.bytes = 256;
+    args.stride = 16;
+    args.elem_bytes = 8;
+    b.dmaget(r(5), args).dmawait();
+    b.block(CodeBlock::kPs).stop();
+    const ThreadCode tc = std::move(b).build();
+    ASSERT_TRUE(tc.code[1].dma.has_value());
+    EXPECT_EQ(*tc.code[1].dma, args);
+    EXPECT_EQ(tc.code[1].region, 2);
+    EXPECT_EQ(tc.code[1].dma->element_count(), 32u);
+}
+
+TEST(Builder, AnnotationIdsAreSequential) {
+    CodeBuilder b("t", 0);
+    RegionAnnotation a1;
+    a1.bytes = 4;
+    RegionAnnotation a2;
+    a2.bytes = 8;
+    EXPECT_EQ(b.annotate(a1), 0);
+    EXPECT_EQ(b.annotate(a2), 1);
+}
+
+TEST(Builder, ProgramAddAssignsIds) {
+    Program prog;
+    CodeBuilder b1("a", 0);
+    b1.block(CodeBlock::kPs).stop();
+    CodeBuilder b2("b", 0);
+    b2.block(CodeBlock::kPs).stop();
+    EXPECT_EQ(prog.add(std::move(b1).build()), 0u);
+    EXPECT_EQ(prog.add(std::move(b2).build()), 1u);
+    EXPECT_EQ(prog.static_instruction_count(), 2u);
+    EXPECT_EQ(prog.at(1).name, "b");
+    EXPECT_THROW((void)prog.at(5), sim::SimError);
+}
+
+}  // namespace
+}  // namespace dta::isa

@@ -1,0 +1,129 @@
+// Unit tests for the disassembler's rendering.
+#include "isa/disasm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+
+namespace dta::isa {
+namespace {
+
+TEST(Disasm, ComputeForms) {
+    Instruction add;
+    add.op = Opcode::kAdd;
+    add.rd = 3;
+    add.ra = 1;
+    add.rb = 2;
+    EXPECT_EQ(disassemble(add), "add r3, r1, r2");
+
+    Instruction movi;
+    movi.op = Opcode::kMovI;
+    movi.rd = 4;
+    movi.imm = -7;
+    EXPECT_EQ(disassemble(movi), "movi r4, -7");
+
+    Instruction addi;
+    addi.op = Opcode::kAddI;
+    addi.rd = 5;
+    addi.ra = 6;
+    addi.imm = 12;
+    EXPECT_EQ(disassemble(addi), "addi r5, r6, 12");
+}
+
+TEST(Disasm, MemoryForms) {
+    Instruction load;
+    load.op = Opcode::kLoad;
+    load.rd = 1;
+    load.imm = 3;
+    EXPECT_EQ(disassemble(load), "load r1, frame[3]");
+
+    Instruction store;
+    store.op = Opcode::kStore;
+    store.ra = 2;
+    store.rb = 9;
+    store.imm = 1;
+    EXPECT_EQ(disassemble(store), "store r2 -> frame(r9)[1]");
+
+    Instruction read;
+    read.op = Opcode::kRead;
+    read.rd = 7;
+    read.ra = 8;
+    read.imm = 4;
+    read.region = 1;
+    EXPECT_EQ(disassemble(read), "read r7, mem[r8+4] @region1");
+
+    Instruction storex;
+    storex.op = Opcode::kStoreX;
+    storex.ra = 2;
+    storex.rb = 9;
+    storex.rd = 4;
+    storex.imm = 0;
+    EXPECT_EQ(disassemble(storex), "storex r2 -> frame(r9)[r4+0]");
+}
+
+TEST(Disasm, DmaForms) {
+    Instruction get;
+    get.op = Opcode::kDmaGet;
+    get.ra = 5;
+    DmaArgs args;
+    args.region = 1;
+    args.ls_offset = 256;
+    args.bytes = 4096;
+    get.dma = args;
+    const std::string s = disassemble(get);
+    EXPECT_NE(s.find("dmaget r5"), std::string::npos);
+    EXPECT_NE(s.find("4096B"), std::string::npos);
+    EXPECT_NE(s.find("region 1"), std::string::npos);
+
+    Instruction strided = get;
+    strided.dma->stride = 128;
+    strided.dma->elem_bytes = 4;
+    EXPECT_NE(disassemble(strided).find("stride 128"), std::string::npos);
+}
+
+TEST(Disasm, BranchForms) {
+    Instruction beq;
+    beq.op = Opcode::kBeq;
+    beq.ra = 1;
+    beq.rb = 2;
+    beq.imm = 14;
+    EXPECT_EQ(disassemble(beq), "beq r1, r2, @14");
+
+    Instruction jmp;
+    jmp.op = Opcode::kJmp;
+    jmp.imm = 3;
+    EXPECT_EQ(disassemble(jmp), "jmp @3");
+}
+
+TEST(Disasm, ThreadListingShowsBlocksAndIndices) {
+    CodeBuilder b("lister", 2);
+    b.block(CodeBlock::kPl).load(r(1), 0);
+    b.block(CodeBlock::kEx).addi(r(2), r(1), 1);
+    b.block(CodeBlock::kPs).ffree().stop();
+    const std::string s = disassemble(std::move(b).build());
+    EXPECT_NE(s.find("thread 'lister'"), std::string::npos);
+    EXPECT_NE(s.find(".PL:"), std::string::npos);
+    EXPECT_NE(s.find(".EX:"), std::string::npos);
+    EXPECT_NE(s.find(".PS:"), std::string::npos);
+    EXPECT_NE(s.find("0:"), std::string::npos);
+    EXPECT_NE(s.find("stop"), std::string::npos);
+}
+
+TEST(Disasm, ProgramListingNamesEveryCode) {
+    Program prog;
+    prog.name = "demo";
+    CodeBuilder a("alpha", 0);
+    a.block(CodeBlock::kPs).stop();
+    CodeBuilder z("omega", 0);
+    z.block(CodeBlock::kPs).stop();
+    prog.add(std::move(a).build());
+    prog.add(std::move(z).build());
+    const std::string s = disassemble(prog);
+    EXPECT_NE(s.find("program 'demo'"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("omega"), std::string::npos);
+    EXPECT_NE(s.find("[code 1]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dta::isa

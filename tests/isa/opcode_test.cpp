@@ -1,0 +1,81 @@
+// Unit tests for the opcode metadata table — the pipeline's issue rules
+// depend on every entry being right.
+#include "isa/opcode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dta::isa {
+namespace {
+
+TEST(Opcode, EveryOpcodeHasAUniqueName) {
+    std::set<std::string_view> names;
+    for (std::size_t i = 0; i < op_count(); ++i) {
+        const auto op = static_cast<Opcode>(i);
+        EXPECT_FALSE(op_name(op).empty());
+        EXPECT_TRUE(names.insert(op_name(op)).second)
+            << "duplicate mnemonic: " << op_name(op);
+    }
+}
+
+TEST(Opcode, MemoryPortOps) {
+    for (const Opcode op : {Opcode::kLoad, Opcode::kStore, Opcode::kLoadX,
+                            Opcode::kStoreX, Opcode::kRead, Opcode::kWrite,
+                            Opcode::kLsLoad, Opcode::kLsStore, Opcode::kFalloc,
+                            Opcode::kFallocN, Opcode::kDmaGet}) {
+        EXPECT_EQ(op_info(op).port, IssuePort::kMemory) << op_name(op);
+    }
+}
+
+TEST(Opcode, ComputeAndControlPorts) {
+    EXPECT_EQ(op_info(Opcode::kAdd).port, IssuePort::kCompute);
+    EXPECT_EQ(op_info(Opcode::kBeq).port, IssuePort::kCompute);
+    EXPECT_EQ(op_info(Opcode::kStop).port, IssuePort::kControl);
+    EXPECT_EQ(op_info(Opcode::kDmaWait).port, IssuePort::kControl);
+}
+
+TEST(Opcode, BranchFlags) {
+    for (const Opcode op : {Opcode::kBeq, Opcode::kBne, Opcode::kBlt,
+                            Opcode::kBge, Opcode::kJmp}) {
+        EXPECT_TRUE(op_info(op).is_branch) << op_name(op);
+        EXPECT_FALSE(op_info(op).writes_rd) << op_name(op);
+    }
+    EXPECT_FALSE(op_info(Opcode::kAdd).is_branch);
+}
+
+TEST(Opcode, RegisterUsageOfKeyOps) {
+    const OpInfo& load = op_info(Opcode::kLoad);
+    EXPECT_TRUE(load.writes_rd);
+    EXPECT_FALSE(load.reads_ra);
+
+    const OpInfo& store = op_info(Opcode::kStore);
+    EXPECT_FALSE(store.writes_rd);
+    EXPECT_TRUE(store.reads_ra);  // value
+    EXPECT_TRUE(store.reads_rb);  // frame handle
+
+    const OpInfo& storex = op_info(Opcode::kStoreX);
+    EXPECT_TRUE(storex.reads_rd);  // index register is a *source*
+    EXPECT_FALSE(storex.writes_rd);
+
+    const OpInfo& read = op_info(Opcode::kRead);
+    EXPECT_TRUE(read.writes_rd);
+    EXPECT_TRUE(read.reads_ra);
+    EXPECT_EQ(read.latency, LatencyClass::kDynamic);
+
+    const OpInfo& dmaget = op_info(Opcode::kDmaGet);
+    EXPECT_TRUE(dmaget.reads_ra);
+    EXPECT_FALSE(dmaget.writes_rd);
+}
+
+TEST(Opcode, LatencyClasses) {
+    EXPECT_EQ(op_info(Opcode::kMul).latency, LatencyClass::kMulDiv);
+    EXPECT_EQ(op_info(Opcode::kDiv).latency, LatencyClass::kMulDiv);
+    EXPECT_EQ(op_info(Opcode::kAdd).latency, LatencyClass::kAlu);
+    EXPECT_EQ(op_info(Opcode::kLoad).latency, LatencyClass::kLocal);
+    EXPECT_EQ(op_info(Opcode::kFalloc).latency, LatencyClass::kDynamic);
+    EXPECT_EQ(op_info(Opcode::kWrite).latency, LatencyClass::kPosted);
+}
+
+}  // namespace
+}  // namespace dta::isa

@@ -1,0 +1,256 @@
+// Unit tests for the Local Scheduler Element: frame lifecycle, SC
+// decrements through the local store, ready queue, DMA-wait bookkeeping.
+#include "sched/lse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/check.hpp"
+
+namespace dta::sched {
+namespace {
+
+struct LseHarness {
+    Topology topo{1, 2};
+    mem::LocalStore ls{mem::LocalStoreConfig{}};
+    Lse lse;
+
+    explicit LseHarness(LseConfig cfg = LseConfig::with(4, 1024))
+        : lse(cfg, topo, /*self=*/0, ls) {}
+
+    /// Runs LS + LSE for \p n cycles so queued frame writes land.
+    void settle(sim::Cycle from = 0, sim::Cycle n = 20) {
+        for (sim::Cycle now = from; now < from + n; ++now) {
+            ls.tick(now);
+            lse.tick(now);
+        }
+    }
+};
+
+TEST(Lse, BootstrapFrameWithZeroScIsReady) {
+    LseHarness h;
+    const auto slot = h.lse.bootstrap_frame(0, 0);
+    EXPECT_EQ(h.lse.ready_count(), 1u);
+    EXPECT_EQ(h.lse.live_frames(), 1u);
+    EXPECT_EQ(h.lse.code_of(slot), 0u);
+}
+
+TEST(Lse, StoresDecrementScOnlyAfterLsWriteCompletes) {
+    LseHarness h;
+    const auto slot = h.lse.bootstrap_frame(0, /*sc=*/2);
+    const sim::FrameHandle handle{0, slot};
+    h.lse.store_local(handle, 0, 111);
+    h.lse.store_local(handle, 1, 222);
+    // Before the LS writes complete the frame must not be ready.
+    EXPECT_EQ(h.lse.ready_count(), 0u);
+    h.settle();
+    EXPECT_EQ(h.lse.ready_count(), 1u);
+    // Data is physically in frame memory.
+    EXPECT_EQ(h.ls.read_u64(h.lse.frame_ls_base(slot)), 111u);
+    EXPECT_EQ(h.ls.read_u64(h.lse.frame_ls_base(slot) + 8), 222u);
+}
+
+TEST(Lse, OverStoringFaults) {
+    LseHarness h;
+    const auto slot = h.lse.bootstrap_frame(0, 1);
+    const sim::FrameHandle handle{0, slot};
+    h.lse.store_local(handle, 0, 1);
+    EXPECT_THROW(h.lse.store_local(handle, 1, 2), sim::SimError);
+}
+
+TEST(Lse, StoreOffsetOutOfRangeFaults) {
+    LseHarness h;
+    const auto slot = h.lse.bootstrap_frame(0, 1);
+    EXPECT_THROW(h.lse.store_local(sim::FrameHandle{0, slot}, 99, 1),
+                 sim::SimError);
+}
+
+TEST(Lse, DispatchHandshakeLatency) {
+    LseConfig cfg = LseConfig::with(4, 1024);
+    cfg.dispatch_latency = 4;
+    LseHarness h(cfg);
+    (void)h.lse.bootstrap_frame(0, 0);
+    h.lse.request_dispatch(/*now=*/10);
+    Dispatch d;
+    EXPECT_FALSE(h.lse.pop_dispatch(12, d));  // too early
+    ASSERT_TRUE(h.lse.pop_dispatch(14, d));
+    EXPECT_EQ(d.resume_ip, 0u);
+    EXPECT_FALSE(d.has_snapshot);
+    EXPECT_EQ(h.lse.stats().dispatches, 1u);
+}
+
+TEST(Lse, DispatchFifoOrder) {
+    LseHarness h;
+    (void)h.lse.bootstrap_frame(0, 0);
+    (void)h.lse.bootstrap_frame(1, 0);
+    h.lse.request_dispatch(0);
+    Dispatch d;
+    ASSERT_TRUE(h.lse.pop_dispatch(100, d));
+    EXPECT_EQ(d.code, 0u);
+    h.lse.request_dispatch(100);
+    ASSERT_TRUE(h.lse.pop_dispatch(200, d));
+    EXPECT_EQ(d.code, 1u);
+}
+
+TEST(Lse, FallocEmitsRequestToDse) {
+    LseHarness h;
+    h.lse.falloc(/*rd=*/5, /*code=*/2, /*sc=*/3);
+    SchedMsg msg;
+    ASSERT_TRUE(h.lse.pop_outgoing(msg));
+    EXPECT_EQ(msg.kind, MsgKind::kFallocReq);
+    EXPECT_TRUE(msg.dst_is_dse);
+    EXPECT_EQ(msg.a, 2u);
+    EXPECT_EQ(msg.b, 3u);
+    const auto ctx = FallocCtx::unpack(msg.c);
+    EXPECT_EQ(ctx.rd, 5);
+    EXPECT_EQ(ctx.node, 0);
+    EXPECT_EQ(ctx.pe, 0);
+}
+
+TEST(Lse, FallocFwdAllocatesAndResponds) {
+    LseHarness h;
+    h.lse.on_falloc_fwd(/*code=*/1, /*sc=*/2, FallocCtx{0, 1, 7, 0});
+    SchedMsg msg;
+    ASSERT_TRUE(h.lse.pop_outgoing(msg));
+    EXPECT_EQ(msg.kind, MsgKind::kFallocResp);
+    EXPECT_EQ(msg.dst_pe, 1);
+    const auto handle = sim::FrameHandle::unpack(msg.a);
+    EXPECT_EQ(handle.global_pe, 0u);
+    EXPECT_EQ(h.lse.live_frames(), 1u);
+}
+
+TEST(Lse, FallocResponseSurfacesToSpu) {
+    LseHarness h;
+    h.lse.on_falloc_resp(sim::FrameHandle{1, 3}, FallocCtx{0, 0, 9, 0});
+    FallocDone done;
+    ASSERT_TRUE(h.lse.pop_falloc_response(done));
+    EXPECT_EQ(done.rd, 9);
+    EXPECT_EQ(done.handle.global_pe, 1u);
+    EXPECT_EQ(done.handle.slot, 3u);
+}
+
+TEST(Lse, RemoteStoreGoesThroughNoc) {
+    LseHarness h;
+    h.lse.store_remote(sim::FrameHandle{1, 0}, 2, 0xabc);
+    SchedMsg msg;
+    ASSERT_TRUE(h.lse.pop_outgoing(msg));
+    EXPECT_EQ(msg.kind, MsgKind::kRemoteStore);
+    EXPECT_EQ(msg.dst_pe, 1);
+    EXPECT_EQ(msg.b, 0xabcu);
+    EXPECT_EQ(msg.c, 2u);
+}
+
+TEST(Lse, FfreeNotifiesDseAndRecyclesSlot) {
+    LseHarness h;
+    const auto slot = h.lse.bootstrap_frame(0, 0);
+    h.lse.request_dispatch(0);
+    Dispatch d;
+    ASSERT_TRUE(h.lse.pop_dispatch(100, d));  // thread now running
+    h.lse.ffree(slot);
+    EXPECT_EQ(h.lse.live_frames(), 0u);
+    SchedMsg msg;
+    ASSERT_TRUE(h.lse.pop_outgoing(msg));
+    EXPECT_EQ(msg.kind, MsgKind::kFrameFree);
+    // The freed slot returns to the pool: allocating all four frames must
+    // succeed, and one of them reuses the slot the running thread freed.
+    bool reused = false;
+    for (int i = 0; i < 4; ++i) {
+        if (h.lse.bootstrap_frame(1, 0) == slot) {
+            reused = true;
+        }
+    }
+    EXPECT_TRUE(reused);
+    // STOP of the original thread must not disturb the new tenants.
+    h.lse.stop_thread(slot, /*already_freed=*/true);
+    EXPECT_EQ(h.lse.live_frames(), 4u);
+}
+
+TEST(Lse, StopWithoutFfreeFreesTheFrame) {
+    LseHarness h;
+    const auto slot = h.lse.bootstrap_frame(0, 0);
+    h.lse.request_dispatch(0);
+    Dispatch d;
+    ASSERT_TRUE(h.lse.pop_dispatch(100, d));
+    h.lse.stop_thread(slot, /*already_freed=*/false);
+    EXPECT_EQ(h.lse.live_frames(), 0u);
+    EXPECT_EQ(h.lse.stats().frames_freed, 1u);
+}
+
+TEST(Lse, DmaSuspendAndResumeRoundTrip) {
+    LseHarness h;
+    const auto slot = h.lse.bootstrap_frame(0, 0);
+    h.lse.request_dispatch(0);
+    Dispatch d;
+    ASSERT_TRUE(h.lse.pop_dispatch(100, d));
+
+    h.lse.mark_dma_issued(slot);
+    h.lse.mark_dma_issued(slot);
+    EXPECT_EQ(h.lse.dma_pending(slot), 2u);
+
+    ThreadSnapshot snap;
+    snap.regs[5] = 0x55;
+    snap.regions[1].valid = true;
+    snap.regions[1].ls_base = 0x1234;
+    h.lse.suspend_for_dma(slot, /*resume_ip=*/7, snap);
+    EXPECT_EQ(h.lse.waitdma_count(), 1u);
+    EXPECT_EQ(h.lse.ready_count(), 0u);
+
+    h.lse.dma_completed(slot);
+    EXPECT_EQ(h.lse.ready_count(), 0u);  // one tag still outstanding
+    h.lse.dma_completed(slot);
+    EXPECT_EQ(h.lse.waitdma_count(), 0u);
+    ASSERT_EQ(h.lse.ready_count(), 1u);
+
+    h.lse.request_dispatch(200);
+    Dispatch resumed;
+    ASSERT_TRUE(h.lse.pop_dispatch(300, resumed));
+    EXPECT_EQ(resumed.resume_ip, 7u);
+    ASSERT_TRUE(resumed.has_snapshot);
+    EXPECT_EQ(resumed.snapshot.regs[5], 0x55u);
+    EXPECT_TRUE(resumed.snapshot.regions[1].valid);
+    EXPECT_EQ(resumed.snapshot.regions[1].ls_base, 0x1234u);
+    EXPECT_EQ(h.lse.stats().dma_suspends, 1u);
+}
+
+TEST(Lse, DmaCompletionBeforeWaitNeverSuspends) {
+    LseHarness h;
+    const auto slot = h.lse.bootstrap_frame(0, 0);
+    h.lse.request_dispatch(0);
+    Dispatch d;
+    ASSERT_TRUE(h.lse.pop_dispatch(100, d));
+    h.lse.mark_dma_issued(slot);
+    h.lse.dma_completed(slot);
+    EXPECT_EQ(h.lse.dma_pending(slot), 0u);  // DMAWAIT would fall through
+}
+
+TEST(Lse, StagingAndFrameAddressesDisjoint) {
+    LseConfig cfg = LseConfig::with(4, 2048);
+    LseHarness h(cfg);
+    const auto frame_end = h.lse.frame_ls_base(3) + cfg.frame_bytes();
+    EXPECT_LE(frame_end, h.lse.staging_ls_base(0));
+    EXPECT_EQ(h.lse.staging_ls_base(1) - h.lse.staging_ls_base(0), 2048u);
+}
+
+TEST(Lse, ConfigThatOverflowsLsRejected) {
+    Topology topo{1, 1};
+    mem::LocalStore ls{mem::LocalStoreConfig{}};
+    LseConfig cfg = LseConfig::with(64, 8 * 1024);  // 64*8K >> 256K
+    EXPECT_THROW(Lse(cfg, topo, 0, ls), sim::SimError);
+}
+
+TEST(Lse, QuiescentOnlyWhenEmpty) {
+    LseHarness h;
+    EXPECT_TRUE(h.lse.quiescent());
+    const auto slot = h.lse.bootstrap_frame(0, 0);
+    EXPECT_FALSE(h.lse.quiescent());
+    h.lse.request_dispatch(0);
+    Dispatch d;
+    ASSERT_TRUE(h.lse.pop_dispatch(100, d));
+    h.lse.stop_thread(slot, false);
+    SchedMsg msg;
+    while (h.lse.pop_outgoing(msg)) {
+    }
+    EXPECT_TRUE(h.lse.quiescent());
+}
+
+}  // namespace
+}  // namespace dta::sched

@@ -1,0 +1,209 @@
+// Virtual frame pointers (the DTA-C feature the paper cites as future
+// work): FALLOC never blocks; stores buffer; materialisation replays them
+// into physical frames in FIFO order.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "isa/builder.hpp"
+#include "sched/lse.hpp"
+#include "sim/check.hpp"
+
+namespace dta::sched {
+namespace {
+
+struct Harness {
+    Topology topo{1, 1};
+    mem::LocalStore ls{mem::LocalStoreConfig{}};
+    Lse lse;
+
+    explicit Harness(std::uint32_t frames = 2) : lse(make_cfg(frames), topo, 0, ls) {}
+
+    static LseConfig make_cfg(std::uint32_t frames) {
+        LseConfig cfg = LseConfig::with(frames, 512);
+        cfg.virtual_frames = true;
+        return cfg;
+    }
+
+    void settle(sim::Cycle n = 30) {
+        for (sim::Cycle now = 0; now < n; ++now) {
+            ls.tick(now);
+            lse.tick(now);
+        }
+    }
+};
+
+TEST(LseVirtual, OverflowAllocationsBecomeVirtual) {
+    Harness h(2);
+    const auto a = h.lse.bootstrap_frame(0, 1);
+    const auto b = h.lse.bootstrap_frame(0, 1);
+    EXPECT_LT(a, 2u);
+    EXPECT_LT(b, 2u);
+    const auto v = h.lse.bootstrap_frame(0, 1);
+    EXPECT_GE(v, 2u);  // virtual id space starts past the physical slots
+    EXPECT_EQ(h.lse.virtual_frames_live(), 1u);
+    EXPECT_EQ(h.lse.stats().virtual_allocations, 1u);
+}
+
+TEST(LseVirtual, BufferedStoresMaterialiseWhenSlotFrees) {
+    Harness h(1);
+    const auto phys = h.lse.bootstrap_frame(7, 0);  // occupies the only slot
+    const auto vid = h.lse.bootstrap_frame(9, 2);   // virtual
+    // Stores into the virtual frame buffer; no physical frame is touched.
+    h.lse.store_local(sim::FrameHandle{0, vid}, 0, 111);
+    h.lse.store_local(sim::FrameHandle{0, vid}, 3, 333);
+    EXPECT_EQ(h.lse.virtual_frames_live(), 1u);
+    EXPECT_EQ(h.lse.ready_count(), 1u);  // only the physical thread
+
+    // Run + stop the physical thread: its slot frees and the virtual frame
+    // materialises onto it.
+    h.lse.request_dispatch(0);
+    Dispatch d;
+    ASSERT_TRUE(h.lse.pop_dispatch(10, d));
+    EXPECT_EQ(d.code, 7u);
+    h.lse.stop_thread(d.slot, false);
+    EXPECT_EQ(h.lse.virtual_frames_live(), 0u);
+    // The replayed stores go through the local store; settle and dispatch.
+    h.settle();
+    h.lse.request_dispatch(100);
+    Dispatch d2;
+    ASSERT_TRUE(h.lse.pop_dispatch(200, d2));
+    EXPECT_EQ(d2.code, 9u);
+    EXPECT_EQ(h.ls.read_u64(h.lse.frame_ls_base(d2.slot)), 111u);
+    EXPECT_EQ(h.ls.read_u64(h.lse.frame_ls_base(d2.slot) + 24), 333u);
+    EXPECT_EQ(phys, d2.slot);  // reused the physical slot
+}
+
+TEST(LseVirtual, MaterialisationIsFifo) {
+    Harness h(1);
+    (void)h.lse.bootstrap_frame(1, 0);       // holds the slot
+    const auto v1 = h.lse.bootstrap_frame(2, 0);  // complete immediately
+    const auto v2 = h.lse.bootstrap_frame(3, 0);
+    EXPECT_NE(v1, v2);
+    EXPECT_EQ(h.lse.virtual_frames_live(), 2u);
+    h.lse.request_dispatch(0);
+    Dispatch d;
+    ASSERT_TRUE(h.lse.pop_dispatch(10, d));
+    h.lse.stop_thread(d.slot, false);  // frees -> v1 materialises
+    h.lse.request_dispatch(20);
+    ASSERT_TRUE(h.lse.pop_dispatch(30, d));
+    EXPECT_EQ(d.code, 2u);
+    h.lse.stop_thread(d.slot, false);  // frees -> v2 materialises
+    h.lse.request_dispatch(40);
+    ASSERT_TRUE(h.lse.pop_dispatch(50, d));
+    EXPECT_EQ(d.code, 3u);
+    h.lse.stop_thread(d.slot, false);
+    EXPECT_EQ(h.lse.virtual_frames_live(), 0u);
+    SchedMsg msg;
+    while (h.lse.pop_outgoing(msg)) {  // drain kFrameFree notifications
+    }
+    EXPECT_TRUE(h.lse.quiescent());
+}
+
+TEST(LseVirtual, OverStoringVirtualFrameFaults) {
+    Harness h(1);
+    (void)h.lse.bootstrap_frame(0, 0);
+    const auto vid = h.lse.bootstrap_frame(0, 1);
+    h.lse.store_local(sim::FrameHandle{0, vid}, 0, 1);
+    EXPECT_THROW(h.lse.store_local(sim::FrameHandle{0, vid}, 1, 2),
+                 sim::SimError);
+}
+
+TEST(LseVirtual, FrameAccountingStillBalances) {
+    Harness h(1);
+    const auto phys = h.lse.bootstrap_frame(0, 0);
+    (void)h.lse.bootstrap_frame(0, 0);  // virtual, completes on free
+    h.lse.request_dispatch(0);
+    Dispatch d;
+    ASSERT_TRUE(h.lse.pop_dispatch(10, d));
+    h.lse.stop_thread(phys, false);
+    h.lse.request_dispatch(20);
+    ASSERT_TRUE(h.lse.pop_dispatch(30, d));
+    h.lse.stop_thread(d.slot, false);
+    EXPECT_EQ(h.lse.stats().frames_allocated, h.lse.stats().frames_freed);
+    EXPECT_EQ(h.lse.live_frames(), 0u);
+}
+
+// ---- machine level -----------------------------------------------------
+
+using isa::CodeBlock;
+using isa::r;
+constexpr sim::MemAddr kOut = 0x8000;
+
+/// The frame-starved fan-out that deadlocks without virtual frames.
+isa::Program starving_fanout(std::uint32_t n) {
+    isa::Program prog;
+    isa::CodeBuilder w("worker", 1);
+    w.block(CodeBlock::kPl).load(r(1), 0);
+    w.block(CodeBlock::kEx)
+        .muli(r(2), r(1), 7)
+        .shli(r(3), r(1), 2)
+        .addi(r(3), r(3), kOut)
+        .write(r(2), r(3), 0);
+    w.block(CodeBlock::kPs).ffree().stop();
+    const auto worker = prog.add(std::move(w).build());
+    isa::CodeBuilder m("main", 0);
+    m.block(CodeBlock::kPs).movi(r(1), 0).movi(r(2), n);
+    auto loop = m.new_label();
+    auto done = m.new_label();
+    m.bind(loop)
+        .bge(r(1), r(2), done)
+        .falloc(r(3), worker)
+        .store(r(1), r(3), 0)
+        .addi(r(1), r(1), 1)
+        .jmp(loop);
+    m.bind(done).ffree().stop();
+    prog.entry = prog.add(std::move(m).build());
+    return prog;
+}
+
+core::MachineConfig starved_cfg(bool virtual_frames) {
+    auto cfg = core::MachineConfig::cell_dta(1);
+    cfg.lse = sched::LseConfig::with(3, 512);
+    cfg.lse.virtual_frames = virtual_frames;
+    cfg.no_progress_limit = 50'000;
+    cfg.max_cycles = 5'000'000;
+    return cfg;
+}
+
+TEST(LseVirtual, RemovesTheFrameStarvationDeadlock) {
+    // Without VFP: 20 workers on a 1-SPE, 3-frame machine deadlock (the
+    // blocked FALLOC holds the only pipeline).
+    {
+        core::Machine m(starved_cfg(false), starving_fanout(20));
+        m.launch({});
+        EXPECT_THROW((void)m.run(), sim::SimError);
+    }
+    // With VFP: completes and computes everything.
+    {
+        core::Machine m(starved_cfg(true), starving_fanout(20));
+        m.launch({});
+        const auto res = m.run();
+        for (std::uint32_t i = 0; i < 20; ++i) {
+            EXPECT_EQ(m.memory().read_u32(kOut + 4 * i), 7 * i) << i;
+        }
+        EXPECT_GT(m.pe(0).lse().stats().virtual_allocations, 0u);
+        EXPECT_GT(res.cycles, 0u);
+    }
+}
+
+TEST(LseVirtual, MatchesNonVirtualResultsWhenFramesSuffice) {
+    // With plenty of frames the virtual machinery must be invisible:
+    // identical results, and no virtual allocation should even occur once
+    // the initial burst fits.
+    auto cfg = core::MachineConfig::cell_dta(2);
+    cfg.lse = sched::LseConfig::with(32, 512);
+    core::Machine plain(cfg, starving_fanout(12));
+    plain.launch({});
+    (void)plain.run();
+    cfg.lse.virtual_frames = true;
+    core::Machine vfp(cfg, starving_fanout(12));
+    vfp.launch({});
+    (void)vfp.run();
+    for (std::uint32_t i = 0; i < 12; ++i) {
+        EXPECT_EQ(plain.memory().read_u32(kOut + 4 * i),
+                  vfp.memory().read_u32(kOut + 4 * i));
+    }
+}
+
+}  // namespace
+}  // namespace dta::sched

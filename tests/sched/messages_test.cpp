@@ -1,0 +1,52 @@
+// Unit tests for wire-format packing and topology math.
+#include "sched/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dta::sched {
+namespace {
+
+TEST(Messages, GlobalEndpointRoundTrip) {
+    const GlobalEndpoint ep{3, 0xdeadu};
+    EXPECT_EQ(GlobalEndpoint::unpack(ep.pack()), ep);
+}
+
+TEST(Messages, FallocCtxRoundTrip) {
+    const FallocCtx ctx{7, 5, 31, 2};
+    EXPECT_EQ(FallocCtx::unpack(ctx.pack()), ctx);
+}
+
+TEST(Messages, FallocCtxFieldIsolation) {
+    // Each field must occupy its own bits: mutating one must not bleed.
+    FallocCtx a{1, 0, 0, 0};
+    FallocCtx b{0, 1, 0, 0};
+    FallocCtx c{0, 0, 1, 0};
+    FallocCtx d{0, 0, 0, 1};
+    EXPECT_NE(a.pack(), b.pack());
+    EXPECT_NE(b.pack(), c.pack());
+    EXPECT_NE(c.pack(), d.pack());
+    EXPECT_EQ(FallocCtx::unpack(d.pack()).hops, 1);
+    EXPECT_EQ(FallocCtx::unpack(c.pack()).rd, 1);
+}
+
+TEST(Messages, TopologyMapping) {
+    const Topology t{4, 8};
+    EXPECT_EQ(t.total_pes(), 32u);
+    EXPECT_EQ(t.node_of(0), 0);
+    EXPECT_EQ(t.node_of(7), 0);
+    EXPECT_EQ(t.node_of(8), 1);
+    EXPECT_EQ(t.node_of(31), 3);
+    EXPECT_EQ(t.local_pe_of(13), 5);
+    for (sim::GlobalPeId pe = 0; pe < t.total_pes(); ++pe) {
+        EXPECT_EQ(t.global_pe(t.node_of(pe), t.local_pe_of(pe)), pe);
+    }
+}
+
+TEST(Messages, FrameHandlePackingRoundTrip) {
+    const sim::FrameHandle h{0x12345u, 0x678u};
+    EXPECT_EQ(sim::FrameHandle::unpack(h.pack()), h);
+    EXPECT_EQ(sim::FrameHandle::unpack(0), (sim::FrameHandle{0, 0}));
+}
+
+}  // namespace
+}  // namespace dta::sched

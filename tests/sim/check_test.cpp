@@ -1,0 +1,56 @@
+// Unit tests for the two-tier error model: CheckError (simulator bugs) vs
+// SimError (illegal simulated behaviour).
+#include "sim/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dta::sim {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) {
+    EXPECT_NO_THROW(DTA_CHECK(1 + 1 == 2));
+    EXPECT_NO_THROW(DTA_CHECK_MSG(true, "never seen"));
+}
+
+TEST(Check, FailingCheckThrowsCheckError) {
+    EXPECT_THROW(DTA_CHECK(false), CheckError);
+}
+
+TEST(Check, FailureMessageNamesExpressionAndLocation) {
+    try {
+        DTA_CHECK_MSG(2 > 3, "context info");
+        FAIL() << "should have thrown";
+    } catch (const CheckError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("2 > 3"), std::string::npos);
+        EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+        EXPECT_NE(what.find("context info"), std::string::npos);
+    }
+}
+
+TEST(Check, SimErrorCarriesMessage) {
+    try {
+        DTA_SIM_ERROR("frame exhausted");
+        FAIL() << "should have thrown";
+    } catch (const SimError& e) {
+        EXPECT_NE(std::string(e.what()).find("frame exhausted"),
+                  std::string::npos);
+    }
+}
+
+TEST(Check, SimRequirePassesAndFails) {
+    EXPECT_NO_THROW(DTA_SIM_REQUIRE(true, "fine"));
+    EXPECT_THROW(DTA_SIM_REQUIRE(false, "bad config"), SimError);
+}
+
+TEST(Check, ErrorTypesAreDistinct) {
+    // SimError is a runtime_error; CheckError is a logic_error — tests and
+    // callers can tell "my program is wrong" from "the simulator is wrong".
+    EXPECT_THROW(
+        { throw SimError("x"); }, std::runtime_error);
+    EXPECT_THROW(
+        { throw CheckError("x"); }, std::logic_error);
+}
+
+}  // namespace
+}  // namespace dta::sim

@@ -1,0 +1,47 @@
+// Unit tests for the Logger sink/verbosity behaviour.
+#include "sim/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dta::sim {
+namespace {
+
+TEST(Logger, OffByDefault) {
+    Logger log;
+    EXPECT_FALSE(log.enabled(LogLevel::kInfo));
+    // No sink: logging must be a no-op, not a crash.
+    log.log(LogLevel::kInfo, 1, "x", "y");
+}
+
+TEST(Logger, RespectsLevelOrdering) {
+    Logger log;
+    std::vector<std::string> lines;
+    log.configure(LogLevel::kDebug,
+                  [&](std::string_view s) { lines.emplace_back(s); });
+    EXPECT_TRUE(log.enabled(LogLevel::kInfo));
+    EXPECT_TRUE(log.enabled(LogLevel::kDebug));
+    EXPECT_FALSE(log.enabled(LogLevel::kTrace));
+    log.log(LogLevel::kInfo, 10, "comp", "hello");
+    log.log(LogLevel::kTrace, 11, "comp", "too detailed");
+    ASSERT_EQ(lines.size(), 1u);
+}
+
+TEST(Logger, FormatsCycleComponentMessage) {
+    Logger log;
+    std::string line;
+    log.configure(LogLevel::kTrace, [&](std::string_view s) { line = s; });
+    log.log(LogLevel::kTrace, 1234, "pe3", "bind thread");
+    EXPECT_EQ(line, "[1234] pe3: bind thread");
+}
+
+TEST(Logger, NullSinkDisables) {
+    Logger log;
+    log.configure(LogLevel::kTrace, nullptr);
+    EXPECT_FALSE(log.enabled(LogLevel::kInfo));
+}
+
+}  // namespace
+}  // namespace dta::sim

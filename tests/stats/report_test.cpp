@@ -1,0 +1,87 @@
+// Formatting tests for the report module.
+#include "stats/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dta::stats {
+namespace {
+
+TEST(Report, PctFormatting) {
+    EXPECT_EQ(pct(0.942), "94.2%");
+    EXPECT_EQ(pct(0.0), "0.0%");
+    EXPECT_EQ(pct(1.0), "100.0%");
+}
+
+TEST(Report, SpeedupFormatting) {
+    EXPECT_EQ(speedup_str(1118, 100), "11.18x");
+    EXPECT_EQ(speedup_str(100, 100), "1.00x");
+    EXPECT_EQ(speedup_str(100, 0), "n/a");
+}
+
+TEST(Report, BreakdownTableHasAllCategories) {
+    core::Breakdown b;
+    b.charge(core::CycleBucket::kWorking);
+    b.charge(core::CycleBucket::kMemStall);
+    const std::string s = breakdown_table({{"bench", b}});
+    EXPECT_NE(s.find("Working"), std::string::npos);
+    EXPECT_NE(s.find("MemoryStalls"), std::string::npos);
+    EXPECT_NE(s.find("Prefetching"), std::string::npos);
+    EXPECT_NE(s.find("bench"), std::string::npos);
+    EXPECT_NE(s.find("50.0%"), std::string::npos);
+}
+
+TEST(Report, InstructionTableColumns) {
+    core::InstrStats s;
+    s.count(isa::Opcode::kRead);
+    s.count(isa::Opcode::kWrite);
+    const std::string t = instruction_table({{"wl", s}});
+    EXPECT_NE(t.find("READ"), std::string::npos);
+    EXPECT_NE(t.find("WRITE"), std::string::npos);
+    EXPECT_NE(t.find("Total"), std::string::npos);
+    EXPECT_NE(t.find("wl"), std::string::npos);
+}
+
+TEST(Report, ExecTimeTableComputesSpeedupAndScalability) {
+    const std::vector<SeriesPoint> pts = {
+        {1, 1000, 500}, {2, 500, 250}, {4, 250, 125}};
+    const std::string t = exec_time_table("demo", pts);
+    EXPECT_NE(t.find("demo"), std::string::npos);
+    EXPECT_NE(t.find("2.00x"), std::string::npos);  // speedup at every point
+    EXPECT_NE(t.find("4.00x"), std::string::npos);  // scalability at 4 PEs
+}
+
+TEST(Report, ExecTimeCsvShape) {
+    const std::vector<SeriesPoint> pts = {{8, 800, 100}};
+    const std::string csv = exec_time_csv(pts);
+    EXPECT_NE(csv.find("pes,cycles_noprefetch,cycles_prefetch,speedup"),
+              std::string::npos);
+    EXPECT_NE(csv.find("8,800,100,8.00"), std::string::npos);
+}
+
+TEST(Report, PipelineUsageTable) {
+    const std::string t =
+        pipeline_usage_table({{"mmul", 0.05, 0.61}, {"zoom", 0.04, 0.5}});
+    EXPECT_NE(t.find("mmul"), std::string::npos);
+    EXPECT_NE(t.find("5.0%"), std::string::npos);
+    EXPECT_NE(t.find("61.0%"), std::string::npos);
+}
+
+TEST(Report, ProfileTable) {
+    core::CodeProfile worker;
+    worker.name = "worker";
+    worker.threads_started = 8;
+    worker.dispatches = 16;
+    worker.pipeline_cycles = 3200;
+    worker.instructions = 900;
+    core::CodeProfile idle;
+    idle.name = "never_ran";
+    const std::string t = profile_table({worker, idle});
+    EXPECT_NE(t.find("worker"), std::string::npos);
+    EXPECT_NE(t.find("16"), std::string::npos);
+    EXPECT_NE(t.find("200.0"), std::string::npos);  // 3200 / 16
+    EXPECT_NE(t.find("never_ran"), std::string::npos);
+    EXPECT_NE(t.find("-"), std::string::npos);  // no dispatches => no ratio
+}
+
+}  // namespace
+}  // namespace dta::stats

@@ -1,0 +1,150 @@
+// Bitcount workload: host-replica functions, correctness sweeps, the
+// partial-decoupling property (~60 % of READs prefetched), LSE pressure.
+#include "workloads/bitcnt.hpp"
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "sim/check.hpp"
+#include "workloads/harness.hpp"
+#include "xform/prefetch_pass.hpp"
+
+namespace dta::workloads {
+namespace {
+
+TEST(BitCount, HostFunctionsAgreeWithPopcount) {
+    for (std::uint32_t x = 0; x < 2000; x += 7) {
+        const std::uint32_t v = BitCount::mix(x);
+        EXPECT_EQ(BitCount::fn_kern(v),
+                  static_cast<std::uint32_t>(std::popcount(v)));
+        EXPECT_EQ(BitCount::fn_btbl(v),
+                  static_cast<std::uint32_t>(std::popcount(v)));
+        EXPECT_EQ(BitCount::fn_ntbl(v),
+                  static_cast<std::uint32_t>(std::popcount(v & 0xffffu)));
+    }
+}
+
+TEST(BitCount, MixIsDeterministicAndSpreads) {
+    EXPECT_EQ(BitCount::mix(0), BitCount::mix(0));
+    int distinct = 0;
+    std::uint32_t last = BitCount::mix(0);
+    for (std::uint64_t x = 1; x < 100; ++x) {
+        const std::uint32_t v = BitCount::mix(x);
+        if (v != last) {
+            ++distinct;
+        }
+        last = v;
+    }
+    EXPECT_GT(distinct, 95);
+}
+
+TEST(BitCount, RejectsBadIterationCounts) {
+    BitCount::Params p;
+    p.iterations = 0;
+    EXPECT_THROW(BitCount{p}, sim::SimError);
+    p.iterations = 100;  // not a multiple of 16
+    EXPECT_THROW(BitCount{p}, sim::SimError);
+}
+
+TEST(BitCount, PartialDecouplingAroundSixtyPercent) {
+    // The paper decouples 62 % of bitcnt's READs; the table lookups with
+    // data-dependent indices stay.  Ours: 12 of 20 per iteration (60 %).
+    BitCount::Params p;
+    p.iterations = 16;
+    const BitCount wl(p);
+    xform::PrefetchOptions opt;
+    opt.staging_bytes = BitCount::lse_config().staging_bytes_per_frame;
+    const auto report = xform::analyze_prefetch(wl.program(), opt);
+    const double frac =
+        static_cast<double>(report.reads_decoupled) /
+        static_cast<double>(report.reads_decoupled + report.reads_left);
+    EXPECT_NEAR(frac, 0.60, 0.05);
+}
+
+TEST(BitCount, DynamicReadMixMatchesStaticAnalysis) {
+    BitCount::Params p;
+    p.iterations = 64;
+    const BitCount wl(p);
+    const auto orig =
+        run_workload(wl, BitCount::machine_config(4), /*prefetch=*/false);
+    ASSERT_TRUE(orig.correct) << orig.detail;
+    const auto pf =
+        run_workload(wl, BitCount::machine_config(4), /*prefetch=*/true);
+    ASSERT_TRUE(pf.correct) << pf.detail;
+    // Per iteration: 8 table READs stay, 12 mask READs become LSLOADs.
+    EXPECT_EQ(orig.result.total_instrs().reads(), 64u * 20);
+    EXPECT_EQ(pf.result.total_instrs().reads(), 64u * 8);
+    EXPECT_EQ(pf.result.total_instrs().of(isa::Opcode::kLsLoad), 64u * 12);
+}
+
+TEST(BitCount, FrameTrafficDominatesReads) {
+    // "Data is mostly exchanged using frame memory": LOAD+STORE well above
+    // READ, as in the paper's Table 5 profile for bitcnt.
+    BitCount::Params p;
+    p.iterations = 64;
+    const BitCount wl(p);
+    const auto out =
+        run_workload(wl, BitCount::machine_config(4), /*prefetch=*/false);
+    const auto instrs = out.result.total_instrs();
+    EXPECT_GT(instrs.loads() + instrs.stores(), instrs.reads());
+    // One memory WRITE per 16-iteration block.
+    EXPECT_EQ(instrs.writes(), 64u / BitCount::kGroup);
+}
+
+class BitCountSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint16_t,
+                                                 bool>> {};
+
+TEST_P(BitCountSweep, CountsBitsCorrectly) {
+    const auto [iterations, spes, prefetch] = GetParam();
+    BitCount::Params p;
+    p.iterations = iterations;
+    const BitCount wl(p);
+    const auto out =
+        run_workload(wl, BitCount::machine_config(spes), prefetch);
+    EXPECT_TRUE(out.correct) << out.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IterationsAndMachines, BitCountSweep,
+    ::testing::Combine(::testing::Values(16u, 48u, 160u),
+                       ::testing::Values(std::uint16_t{1}, std::uint16_t{2},
+                                         std::uint16_t{8}),
+                       ::testing::Bool()),
+    [](const auto& info) {
+        return "it" + std::to_string(std::get<0>(info.param)) + "_p" +
+               std::to_string(std::get<1>(info.param)) +
+               (std::get<2>(info.param) ? "_pf" : "_orig");
+    });
+
+TEST(BitCount, ForkPressureShowsUpAtTheScheduler) {
+    BitCount::Params p;
+    p.iterations = 160;
+    const BitCount wl(p);
+    const auto out =
+        run_workload(wl, BitCount::machine_config(8), /*prefetch=*/false);
+    // ~6 threads per iteration plus accumulators and spawners.
+    std::uint64_t threads = 0;
+    for (const auto& pe : out.result.pes) {
+        threads += pe.threads_executed;
+    }
+    EXPECT_GT(threads, 160u * 6);
+    EXPECT_GT(out.result.dse_requests, 160u * 6);
+}
+
+TEST(BitCount, CheckDetectsCorruption) {
+    BitCount::Params p;
+    p.iterations = 16;
+    const BitCount wl(p);
+    core::Machine m(BitCount::machine_config(2), wl.program());
+    wl.init_memory(m.memory());
+    const auto args = wl.entry_args();
+    m.launch(args);
+    (void)m.run();
+    std::string why;
+    ASSERT_TRUE(wl.check(m.memory(), &why)) << why;
+}
+
+}  // namespace
+}  // namespace dta::workloads

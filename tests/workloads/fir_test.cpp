@@ -1,0 +1,116 @@
+// FIR workload: correctness across machines and parameters, prefetch
+// decoupling, interpreter differential.
+#include "workloads/fir.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/interpreter.hpp"
+#include "sim/check.hpp"
+#include "workloads/harness.hpp"
+
+namespace dta::workloads {
+namespace {
+
+TEST(Fir, RejectsBadParams) {
+    Fir::Params p;
+    p.samples = 100;
+    p.threads = 7;  // does not divide
+    EXPECT_THROW(Fir{p}, sim::SimError);
+    p.samples = 0;
+    p.threads = 1;
+    EXPECT_THROW(Fir{p}, sim::SimError);
+}
+
+TEST(Fir, ReadCountIsSamplesTimesTwoTaps) {
+    Fir::Params p;
+    p.samples = 512;
+    p.taps = 8;
+    p.threads = 8;
+    const Fir wl(p);
+    const auto out = run_workload(wl, Fir::machine_config(4), false);
+    ASSERT_TRUE(out.correct) << out.detail;
+    // Two READs (signal + coefficient) per tap per sample.
+    EXPECT_EQ(out.result.total_instrs().reads(), 512u * 8 * 2);
+    EXPECT_EQ(out.result.total_instrs().writes(), 512u);
+}
+
+TEST(Fir, PrefetchDecouplesEverything) {
+    Fir::Params p;
+    p.samples = 512;
+    p.taps = 8;
+    p.threads = 8;
+    const Fir wl(p);
+    const auto out = run_workload(wl, Fir::machine_config(4), true);
+    ASSERT_TRUE(out.correct) << out.detail;
+    EXPECT_EQ(out.result.total_instrs().reads(), 0u);
+    EXPECT_EQ(out.result.total_instrs().dma_commands(),
+              2u * p.threads);  // window + coefficients per worker
+}
+
+TEST(Fir, PrefetchWins) {
+    Fir::Params p;
+    p.samples = 1024;
+    p.taps = 8;
+    p.threads = 16;
+    const Fir wl(p);
+    const auto cfg = Fir::machine_config(8);
+    const auto orig = run_workload(wl, cfg, false);
+    const auto pf = run_workload(wl, cfg, true);
+    ASSERT_TRUE(orig.correct && pf.correct);
+    EXPECT_GT(orig.result.cycles, 3 * pf.result.cycles);
+}
+
+struct FirCase {
+    std::uint32_t samples, taps, threads;
+    std::uint16_t spes;
+    bool prefetch;
+};
+
+class FirSweep : public ::testing::TestWithParam<FirCase> {};
+
+TEST_P(FirSweep, FiltersCorrectly) {
+    const FirCase c = GetParam();
+    Fir::Params p;
+    p.samples = c.samples;
+    p.taps = c.taps;
+    p.threads = c.threads;
+    const Fir wl(p);
+    const auto out = run_workload(wl, Fir::machine_config(c.spes), c.prefetch);
+    EXPECT_TRUE(out.correct) << out.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FirSweep,
+    ::testing::Values(FirCase{64, 4, 2, 1, false}, FirCase{64, 4, 2, 1, true},
+                      FirCase{256, 8, 8, 2, false},
+                      FirCase{256, 8, 8, 2, true},
+                      FirCase{512, 16, 16, 4, true},
+                      FirCase{1024, 3, 32, 8, true},
+                      FirCase{128, 1, 4, 3, false}),
+    [](const auto& info) {
+        const FirCase& c = info.param;
+        return "s" + std::to_string(c.samples) + "_t" +
+               std::to_string(c.taps) + "_w" + std::to_string(c.threads) +
+               "_p" + std::to_string(c.spes) + (c.prefetch ? "_pf" : "_orig");
+    });
+
+TEST(Fir, InterpreterDifferential) {
+    Fir::Params p;
+    p.samples = 256;
+    p.taps = 8;
+    p.threads = 8;
+    const Fir wl(p);
+    for (const bool prefetch : {false, true}) {
+        core::Interpreter interp(prefetch ? wl.prefetch_program()
+                                          : wl.program());
+        wl.init_memory(interp.memory());
+        interp.launch({});
+        (void)interp.run();
+        std::string why;
+        EXPECT_TRUE(wl.check(interp.memory(), &why))
+            << (prefetch ? "pf: " : "orig: ") << why;
+    }
+}
+
+}  // namespace
+}  // namespace dta::workloads

@@ -1,0 +1,138 @@
+// Matrix-multiply workload: correctness across machine shapes and
+// parameters (parameterised sweeps), instruction-mix checks vs Table 5.
+#include "workloads/mmul.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/check.hpp"
+#include "workloads/harness.hpp"
+
+namespace dta::workloads {
+namespace {
+
+TEST(MatMul, RejectsBadParams) {
+    MatMul::Params p;
+    p.n = 32;
+    p.threads = 5;  // does not divide 32
+    EXPECT_THROW(MatMul{p}, sim::SimError);
+    p.threads = 4;
+    p.unroll = 3;
+    EXPECT_THROW(MatMul{p}, sim::SimError);
+}
+
+TEST(MatMul, PaperInstructionMixAt8Spes) {
+    const MatMul wl({});
+    const auto out =
+        run_workload(wl, MatMul::machine_config(8), /*prefetch=*/false);
+    ASSERT_TRUE(out.correct) << out.detail;
+    const auto instrs = out.result.total_instrs();
+    // Table 5: READ = 65536 and WRITE = 1024 exactly for mmul(32);
+    // LOAD/STORE are the worker-argument traffic (paper: 73).
+    EXPECT_EQ(instrs.reads(), 65536u);
+    EXPECT_EQ(instrs.writes(), 1024u);
+    EXPECT_LT(instrs.loads(), 200u);
+    EXPECT_EQ(instrs.loads(), instrs.stores());
+}
+
+TEST(MatMul, PrefetchDecouplesEveryRead) {
+    const MatMul wl({});
+    const auto out =
+        run_workload(wl, MatMul::machine_config(8), /*prefetch=*/true);
+    ASSERT_TRUE(out.correct) << out.detail;
+    const auto instrs = out.result.total_instrs();
+    // "Prefetching decouples all global memory accesses, in this case."
+    EXPECT_EQ(instrs.reads(), 0u);
+    EXPECT_EQ(instrs.of(isa::Opcode::kLsLoad), 65536u);
+    // Two DMA commands (A band + B) per worker.
+    EXPECT_EQ(instrs.dma_commands(), 2u * wl.params().threads);
+}
+
+struct MmulCase {
+    std::uint32_t n;
+    std::uint32_t threads;
+    std::uint32_t unroll;
+    std::uint16_t spes;
+    bool prefetch;
+};
+
+class MatMulSweep : public ::testing::TestWithParam<MmulCase> {};
+
+TEST_P(MatMulSweep, ComputesCorrectProduct) {
+    const MmulCase c = GetParam();
+    MatMul::Params p;
+    p.n = c.n;
+    p.threads = c.threads;
+    p.unroll = c.unroll;
+    const MatMul wl(p);
+    const auto out = run_workload(wl, MatMul::machine_config(c.spes),
+                                  c.prefetch);
+    EXPECT_TRUE(out.correct) << out.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndShapes, MatMulSweep,
+    ::testing::Values(MmulCase{8, 4, 1, 1, false}, MmulCase{8, 4, 1, 1, true},
+                      MmulCase{8, 8, 2, 2, false}, MmulCase{8, 8, 2, 2, true},
+                      MmulCase{16, 8, 4, 4, false},
+                      MmulCase{16, 8, 4, 4, true},
+                      MmulCase{16, 16, 2, 8, true},
+                      MmulCase{32, 32, 2, 8, true},
+                      MmulCase{8, 2, 1, 3, true},  // non-power-of-two PEs
+                      MmulCase{16, 4, 4, 5, false}),
+    [](const auto& info) {
+        const MmulCase& c = info.param;
+        return "n" + std::to_string(c.n) + "_t" + std::to_string(c.threads) +
+               "_u" + std::to_string(c.unroll) + "_p" +
+               std::to_string(c.spes) + (c.prefetch ? "_pf" : "_orig");
+    });
+
+TEST(MatMul, SeedChangesDataButStaysCorrect) {
+    MatMul::Params p;
+    p.n = 8;
+    p.threads = 4;
+    p.seed = 999;
+    const MatMul wl(p);
+    const auto out = run_workload(wl, MatMul::machine_config(2), true);
+    EXPECT_TRUE(out.correct) << out.detail;
+}
+
+TEST(MatMul, PrefetchAndOriginalProduceIdenticalMemory) {
+    MatMul::Params p;
+    p.n = 16;
+    p.threads = 8;
+    const MatMul wl(p);
+    const auto cfg = MatMul::machine_config(4);
+
+    core::Machine m1(cfg, wl.program());
+    wl.init_memory(m1.memory());
+    m1.launch({});
+    (void)m1.run();
+    core::Machine m2(cfg, wl.prefetch_program());
+    wl.init_memory(m2.memory());
+    m2.launch({});
+    (void)m2.run();
+    for (std::uint32_t i = 0; i < p.n * p.n; ++i) {
+        ASSERT_EQ(m1.memory().read_u32(wl.c_base() + 4 * i),
+                  m2.memory().read_u32(wl.c_base() + 4 * i))
+            << "element " << i;
+    }
+}
+
+TEST(MatMul, CheckDetectsCorruption) {
+    MatMul::Params p;
+    p.n = 8;
+    p.threads = 4;
+    const MatMul wl(p);
+    core::Machine m(MatMul::machine_config(2), wl.program());
+    wl.init_memory(m.memory());
+    m.launch({});
+    (void)m.run();
+    std::string why;
+    ASSERT_TRUE(wl.check(m.memory(), &why));
+    m.memory().write_u32(wl.c_base(), m.memory().read_u32(wl.c_base()) + 1);
+    EXPECT_FALSE(wl.check(m.memory(), &why));
+    EXPECT_FALSE(why.empty());
+}
+
+}  // namespace
+}  // namespace dta::workloads

@@ -1,0 +1,128 @@
+// Zoom workload: correctness sweeps, Table-5 instruction mix, reference
+// image properties.
+#include "workloads/zoom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/check.hpp"
+#include "workloads/harness.hpp"
+
+namespace dta::workloads {
+namespace {
+
+TEST(Zoom, RejectsBadParams) {
+    Zoom::Params p;
+    p.factor = 3;  // not a power of two
+    EXPECT_THROW(Zoom{p}, sim::SimError);
+    p.factor = 8;
+    p.threads = 7;  // does not divide 128 output rows
+    EXPECT_THROW(Zoom{p}, sim::SimError);
+    p.threads = 64;
+    p.unroll = 3;  // does not divide factor
+    EXPECT_THROW(Zoom{p}, sim::SimError);
+}
+
+TEST(Zoom, PaperInstructionMixAt8Spes) {
+    const Zoom wl({});
+    const auto out =
+        run_workload(wl, Zoom::machine_config(8), /*prefetch=*/false);
+    ASSERT_TRUE(out.correct) << out.detail;
+    const auto instrs = out.result.total_instrs();
+    // Table 5 for zoom(32): READ = 32768, WRITE = 16384.
+    EXPECT_EQ(instrs.reads(), 32768u);
+    EXPECT_EQ(instrs.writes(), 16384u);
+}
+
+TEST(Zoom, PrefetchDecouplesEveryRead) {
+    const Zoom wl({});
+    const auto out =
+        run_workload(wl, Zoom::machine_config(8), /*prefetch=*/true);
+    ASSERT_TRUE(out.correct) << out.detail;
+    const auto instrs = out.result.total_instrs();
+    EXPECT_EQ(instrs.reads(), 0u);
+    EXPECT_EQ(instrs.of(isa::Opcode::kLsLoad), 32768u);
+    EXPECT_EQ(instrs.dma_commands(), wl.params().threads);
+}
+
+TEST(Zoom, ReferenceMatchesInterpolationFormula) {
+    Zoom::Params p;
+    p.n = 8;
+    p.factor = 4;
+    p.threads = 4;
+    p.unroll = 2;
+    const Zoom wl(p);
+    const auto& in = wl.input();
+    const auto& ref = wl.reference();
+    const std::uint32_t out_n = wl.out_n();  // 16
+    for (std::uint32_t y = 0; y < out_n; ++y) {
+        for (std::uint32_t x = 0; x < out_n; ++x) {
+            const std::uint32_t sy = y / p.factor;
+            const std::uint32_t sx = x / p.factor;
+            const std::uint32_t expect =
+                (in[sy * p.n + sx] + in[sy * p.n + sx + 1]) >> 1;
+            ASSERT_EQ(ref[y * out_n + x], expect);
+        }
+    }
+}
+
+struct ZoomCase {
+    std::uint32_t n;
+    std::uint32_t factor;
+    std::uint32_t threads;
+    std::uint32_t unroll;
+    std::uint16_t spes;
+    bool prefetch;
+};
+
+class ZoomSweep : public ::testing::TestWithParam<ZoomCase> {};
+
+TEST_P(ZoomSweep, ProducesTheReferenceImage) {
+    const ZoomCase c = GetParam();
+    Zoom::Params p;
+    p.n = c.n;
+    p.factor = c.factor;
+    p.threads = c.threads;
+    p.unroll = c.unroll;
+    const Zoom wl(p);
+    const auto out = run_workload(wl, Zoom::machine_config(c.spes),
+                                  c.prefetch);
+    EXPECT_TRUE(out.correct) << out.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndShapes, ZoomSweep,
+    ::testing::Values(ZoomCase{8, 2, 2, 1, 1, false},
+                      ZoomCase{8, 2, 2, 1, 1, true},
+                      ZoomCase{8, 4, 4, 2, 2, false},
+                      ZoomCase{8, 4, 4, 2, 2, true},
+                      ZoomCase{16, 4, 8, 4, 4, true},
+                      ZoomCase{16, 8, 16, 2, 8, true},
+                      ZoomCase{32, 8, 32, 4, 8, true},
+                      ZoomCase{32, 4, 8, 1, 6, false}),
+    [](const auto& info) {
+        const ZoomCase& c = info.param;
+        return "n" + std::to_string(c.n) + "_f" + std::to_string(c.factor) +
+               "_t" + std::to_string(c.threads) + "_u" +
+               std::to_string(c.unroll) + "_p" + std::to_string(c.spes) +
+               (c.prefetch ? "_pf" : "_orig");
+    });
+
+TEST(Zoom, CheckDetectsCorruption) {
+    Zoom::Params p;
+    p.n = 8;
+    p.factor = 2;
+    p.threads = 2;
+    p.unroll = 1;
+    const Zoom wl(p);
+    core::Machine m(Zoom::machine_config(2), wl.program());
+    wl.init_memory(m.memory());
+    m.launch({});
+    (void)m.run();
+    std::string why;
+    ASSERT_TRUE(wl.check(m.memory(), &why)) << why;
+    m.memory().write_u32(wl.out_base(), 0xffffffff);
+    EXPECT_FALSE(wl.check(m.memory(), &why));
+}
+
+}  // namespace
+}  // namespace dta::workloads

@@ -1,0 +1,159 @@
+// The DMA write-back extension (REGSET + LSSTORE staging + DMAPUT):
+// correctness, traffic shape, interpreter differential, and the validator
+// rules for the new opcodes.
+#include <gtest/gtest.h>
+
+#include "core/interpreter.hpp"
+#include "isa/builder.hpp"
+#include "isa/validate.hpp"
+#include "sim/check.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/zoom.hpp"
+
+namespace dta::workloads {
+namespace {
+
+Zoom small_zoom() {
+    Zoom::Params p;
+    p.n = 16;
+    p.factor = 4;
+    p.threads = 16;
+    p.unroll = 2;
+    return Zoom(p);
+}
+
+RunOutcome run_writeback(const Zoom& wl, std::uint16_t spes) {
+    core::Machine m(Zoom::machine_config(spes), wl.writeback_program());
+    wl.init_memory(m.memory());
+    m.launch({});
+    RunOutcome out;
+    out.result = m.run();
+    out.correct = wl.check(m.memory(), &out.detail);
+    return out;
+}
+
+TEST(ZoomWriteback, ProducesTheReferenceImage) {
+    const Zoom wl = small_zoom();
+    ASSERT_TRUE(wl.has_writeback());
+    for (std::uint16_t spes : {1, 2, 8}) {
+        const auto out = run_writeback(wl, spes);
+        EXPECT_TRUE(out.correct) << spes << " SPEs: " << out.detail;
+    }
+}
+
+TEST(ZoomWriteback, EliminatesPerPixelWrites) {
+    const Zoom wl = small_zoom();
+    const auto out = run_writeback(wl, 8);
+    ASSERT_TRUE(out.correct) << out.detail;
+    const auto instrs = out.result.total_instrs();
+    // No posted WRITEs at all; one DMAPUT per worker instead.
+    EXPECT_EQ(instrs.writes(), 0u);
+    EXPECT_EQ(instrs.of(isa::Opcode::kDmaPut), wl.params().threads);
+    EXPECT_EQ(instrs.of(isa::Opcode::kRegSet), wl.params().threads);
+    // All pixels staged through LSSTORE.
+    const std::uint32_t px = wl.out_n() * wl.out_n();
+    EXPECT_EQ(instrs.of(isa::Opcode::kLsStore), px);
+    // Memory sees line-granular DMA writes, not 4-byte ones.
+    EXPECT_LT(out.result.mem_writes, px / 4);
+}
+
+TEST(ZoomWriteback, ThreadsSuspendForBothDirections) {
+    const Zoom wl = small_zoom();
+    core::Machine m(Zoom::machine_config(2), wl.writeback_program());
+    wl.init_memory(m.memory());
+    m.launch({});
+    const auto res = m.run();
+    std::string why;
+    ASSERT_TRUE(wl.check(m.memory(), &why)) << why;
+    // Each worker enters Wait-for-DMA twice: prefetch and write-back drain.
+    std::uint64_t suspends = 0;
+    for (const auto& pe : res.pes) {
+        suspends += pe.lse.dma_suspends;
+    }
+    EXPECT_GE(suspends, wl.params().threads + 1u);
+}
+
+TEST(ZoomWriteback, UnavailableWhenBandTooLarge) {
+    Zoom::Params p;
+    p.n = 32;
+    p.factor = 8;
+    p.threads = 4;  // 32 output rows x 128 px x 4 B = 16 KB band >> staging
+    p.unroll = 4;
+    const Zoom wl(p);
+    EXPECT_FALSE(wl.has_writeback());
+    EXPECT_THROW((void)wl.writeback_program(), sim::SimError);
+}
+
+TEST(ZoomWriteback, InterpreterDifferential) {
+    const Zoom wl = small_zoom();
+    core::Interpreter interp(wl.writeback_program());
+    wl.init_memory(interp.memory());
+    interp.launch({});
+    const auto stats = interp.run();
+    std::string why;
+    EXPECT_TRUE(wl.check(interp.memory(), &why)) << why;
+    // GET + PUT per worker.
+    EXPECT_EQ(stats.dma_commands, 2u * wl.params().threads);
+}
+
+// ---- validator rules for the new opcodes -----------------------------------
+
+using isa::CodeBlock;
+using isa::r;
+
+TEST(WritebackValidation, DmaPutOutsidePsRejected) {
+    isa::CodeBuilder b("bad", 0);
+    isa::DmaArgs args;
+    args.region = 0;
+    args.bytes = 16;
+    b.block(CodeBlock::kEx).movi(r(1), 0);
+    isa::ThreadCode tc = std::move(b).build_unchecked();
+    isa::Instruction put;
+    put.op = isa::Opcode::kDmaPut;
+    put.ra = 1;
+    put.region = 0;
+    put.dma = args;
+    put.block = CodeBlock::kEx;
+    tc.code.push_back(put);
+    isa::Instruction stop;
+    stop.op = isa::Opcode::kStop;
+    stop.block = CodeBlock::kEx;
+    tc.code.push_back(stop);
+    tc.ps_begin = tc.ex_begin = 0;
+    tc.ps_begin = 3;
+    tc.pl_begin = 0;
+    tc.ex_begin = 0;
+    EXPECT_THROW(isa::validate_thread_code(tc), sim::SimError);
+}
+
+TEST(WritebackValidation, DmaPutWithoutDrainRejected) {
+    isa::CodeBuilder b("nodrain", 0);
+    isa::DmaArgs args;
+    args.region = 0;
+    args.bytes = 16;
+    b.block(CodeBlock::kEx).movi(r(1), 0);
+    b.block(CodeBlock::kPs).dmaput(r(1), args).ffree().stop();
+    EXPECT_THROW((void)std::move(b).build(), sim::SimError);
+}
+
+TEST(WritebackValidation, RegSetInPsRejected) {
+    isa::CodeBuilder b("late", 0);
+    isa::DmaArgs args;
+    args.region = 0;
+    args.bytes = 16;
+    b.block(CodeBlock::kPs).regset(r(1), args).stop();
+    EXPECT_THROW((void)std::move(b).build(), sim::SimError);
+}
+
+TEST(WritebackValidation, PsDmaWaitAccepted) {
+    isa::CodeBuilder b("ok", 0);
+    isa::DmaArgs args;
+    args.region = 0;
+    args.bytes = 16;
+    b.block(CodeBlock::kEx).movi(r(1), 0x1000).regset(r(1), args);
+    b.block(CodeBlock::kPs).dmaput(r(1), args).dmawait().ffree().stop();
+    EXPECT_NO_THROW((void)std::move(b).build());
+}
+
+}  // namespace
+}  // namespace dta::workloads

@@ -1,0 +1,235 @@
+// Unit tests for the prefetch compiler pass.
+#include "xform/prefetch_pass.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "isa/validate.hpp"
+#include "sim/check.hpp"
+
+namespace dta::xform {
+namespace {
+
+using isa::CodeBlock;
+using isa::CodeBuilder;
+using isa::Instruction;
+using isa::Opcode;
+using isa::r;
+using isa::RegionAnnotation;
+using isa::ThreadCode;
+
+RegionAnnotation simple_region(std::uint32_t bytes, std::int64_t base) {
+    RegionAnnotation ann;
+    Instruction movi;
+    movi.op = Opcode::kMovI;
+    movi.rd = 30;
+    movi.imm = base;
+    ann.addr_code.push_back(movi);
+    ann.addr_reg = 30;
+    ann.bytes = bytes;
+    return ann;
+}
+
+ThreadCode annotated_reader() {
+    CodeBuilder b("reader", 1);
+    const auto reg0 = b.annotate(simple_region(64, 0x1000));
+    b.block(CodeBlock::kPl).load(r(1), 0);
+    b.block(CodeBlock::kEx)
+        .movi(r(2), 0x1000)
+        .read(r(3), r(2), 0, reg0)
+        .read(r(4), r(2), 4, reg0)
+        .read(r(5), r(2), 8)  // NOT annotated: must stay a READ
+        .add(r(6), r(3), r(4));
+    b.block(CodeBlock::kPs).ffree().stop();
+    return std::move(b).build();
+}
+
+TEST(PrefetchPass, UnannotatedCodeIsUnchanged) {
+    CodeBuilder b("pure", 1);
+    b.block(CodeBlock::kPl).load(r(1), 0);
+    b.block(CodeBlock::kEx).addi(r(2), r(1), 1);
+    b.block(CodeBlock::kPs).ffree().stop();
+    const ThreadCode tc = std::move(b).build();
+    PrefetchReport report;
+    const ThreadCode out = add_prefetch(tc, {}, &report);
+    EXPECT_EQ(out.size(), tc.size());
+    EXPECT_FALSE(out.has_prefetch_block());
+    EXPECT_EQ(report.regions_prefetched, 0u);
+}
+
+TEST(PrefetchPass, PlainReadsAreNotTouched) {
+    CodeBuilder b("plain", 0);
+    b.block(CodeBlock::kEx).movi(r(1), 0x100).read(r(2), r(1), 0);
+    b.block(CodeBlock::kPs).ffree().stop();
+    PrefetchReport report;
+    const ThreadCode out = add_prefetch(std::move(b).build(), {}, &report);
+    EXPECT_FALSE(out.has_prefetch_block());
+    EXPECT_EQ(report.reads_left, 1u);
+}
+
+TEST(PrefetchPass, EmitsPfBlockWithGetAndWait) {
+    PrefetchReport report;
+    const ThreadCode out = add_prefetch(annotated_reader(), {}, &report);
+    ASSERT_TRUE(out.has_prefetch_block());
+    EXPECT_EQ(report.regions_prefetched, 1u);
+    EXPECT_EQ(report.reads_decoupled, 2u);
+    EXPECT_EQ(report.reads_left, 1u);
+    // PF = movi (addr slice) + dmaget + dmawait.
+    EXPECT_EQ(out.pl_begin, 3u);
+    EXPECT_EQ(out.code[0].op, Opcode::kMovI);
+    EXPECT_EQ(out.code[1].op, Opcode::kDmaGet);
+    EXPECT_EQ(out.code[2].op, Opcode::kDmaWait);
+    ASSERT_TRUE(out.code[1].dma.has_value());
+    EXPECT_EQ(out.code[1].dma->bytes, 64u);
+    // Output revalidates.
+    EXPECT_NO_THROW(isa::validate_thread_code(out));
+}
+
+TEST(PrefetchPass, RewritesAnnotatedReadsToLsLoads) {
+    const ThreadCode out = add_prefetch(annotated_reader());
+    std::uint32_t lsloads = 0;
+    std::uint32_t reads = 0;
+    for (const auto& ins : out.code) {
+        if (ins.op == Opcode::kLsLoad) {
+            ++lsloads;
+            EXPECT_GE(ins.region, 0);
+        }
+        if (ins.op == Opcode::kRead) {
+            ++reads;
+            EXPECT_EQ(ins.region, isa::kNoRegion);
+        }
+    }
+    EXPECT_EQ(lsloads, 2u);
+    EXPECT_EQ(reads, 1u);
+}
+
+TEST(PrefetchPass, ShiftsBranchTargets) {
+    CodeBuilder b("loopy", 0);
+    const auto reg0 = b.annotate(simple_region(16, 0x2000));
+    b.block(CodeBlock::kEx).movi(r(1), 0x2000).movi(r(2), 0);
+    auto top = b.new_label();
+    b.bind(top)
+        .read(r(3), r(1), 0, reg0)
+        .addi(r(2), r(2), 1)
+        .slti(r(4), r(2), 4)
+        .bne(r(4), r(0), top);
+    b.block(CodeBlock::kPs).ffree().stop();
+    const ThreadCode orig = std::move(b).build();
+    const ThreadCode out = add_prefetch(orig);
+    const std::uint32_t pf_len = out.pl_begin;
+    EXPECT_GT(pf_len, 0u);
+    // The backward branch target moved by exactly the PF length.
+    bool saw_branch = false;
+    for (std::uint32_t i = 0; i < out.size(); ++i) {
+        if (out.code[i].op == Opcode::kBne) {
+            saw_branch = true;
+            EXPECT_EQ(out.code[i].imm,
+                      orig.code[i - pf_len].imm + pf_len);
+        }
+    }
+    EXPECT_TRUE(saw_branch);
+    EXPECT_NO_THROW(isa::validate_thread_code(out));
+}
+
+TEST(PrefetchPass, MultipleRegionsGetDistinctStaging) {
+    CodeBuilder b("two", 0);
+    const auto rA = b.annotate(simple_region(100, 0x1000));
+    const auto rB = b.annotate(simple_region(64, 0x3000));
+    b.block(CodeBlock::kEx)
+        .movi(r(1), 0x1000)
+        .movi(r(2), 0x3000)
+        .read(r(3), r(1), 0, rA)
+        .read(r(4), r(2), 0, rB);
+    b.block(CodeBlock::kPs).ffree().stop();
+    const ThreadCode out = add_prefetch(std::move(b).build());
+    std::vector<isa::DmaArgs> gets;
+    for (const auto& ins : out.code) {
+        if (ins.op == Opcode::kDmaGet) {
+            gets.push_back(*ins.dma);
+        }
+    }
+    ASSERT_EQ(gets.size(), 2u);
+    EXPECT_EQ(gets[0].ls_offset, 0u);
+    // 100 bytes aligned up to 16 -> second region at 112.
+    EXPECT_EQ(gets[1].ls_offset, 112u);
+    EXPECT_NE(gets[0].region, gets[1].region);
+}
+
+TEST(PrefetchPass, UnusedAnnotationsAreNotPrefetched) {
+    CodeBuilder b("lazy", 0);
+    (void)b.annotate(simple_region(1 << 20, 0x1000));  // huge but unused
+    const auto rB = b.annotate(simple_region(16, 0x3000));
+    b.block(CodeBlock::kEx).movi(r(1), 0x3000).read(r(2), r(1), 0, rB);
+    b.block(CodeBlock::kPs).ffree().stop();
+    PrefetchReport report;
+    const ThreadCode out =
+        add_prefetch(std::move(b).build(), {}, &report);
+    EXPECT_EQ(report.regions_prefetched, 1u);  // the huge one was skipped
+    (void)out;
+}
+
+TEST(PrefetchPass, StagingOverflowRejected) {
+    CodeBuilder b("fat", 0);
+    const auto rA = b.annotate(simple_region(16 * 1024, 0x1000));
+    b.block(CodeBlock::kEx).movi(r(1), 0x1000).read(r(2), r(1), 0, rA);
+    b.block(CodeBlock::kPs).ffree().stop();
+    const ThreadCode tc = std::move(b).build();
+    PrefetchOptions opt;
+    opt.staging_bytes = 8 * 1024;
+    EXPECT_THROW((void)add_prefetch(tc, opt), sim::SimError);
+}
+
+TEST(PrefetchPass, ExistingPfBlockRejected) {
+    CodeBuilder b("haspf", 0);
+    const auto rA = b.annotate(simple_region(16, 0x1000));
+    b.block(CodeBlock::kPf).movi(r(10), 0);
+    isa::DmaArgs args;
+    args.region = 0;
+    args.bytes = 4;
+    b.dmaget(r(10), args).dmawait();
+    b.block(CodeBlock::kEx).movi(r(1), 0x1000).read(r(2), r(1), 0, rA);
+    b.block(CodeBlock::kPs).ffree().stop();
+    EXPECT_THROW((void)add_prefetch(std::move(b).build()), sim::SimError);
+}
+
+TEST(PrefetchPass, StridedAnnotationBecomesStridedGet) {
+    CodeBuilder b("strided", 0);
+    RegionAnnotation ann = simple_region(32, 0x1000);
+    ann.stride = 128;
+    ann.elem_bytes = 4;
+    const auto rA = b.annotate(ann);
+    b.block(CodeBlock::kEx).movi(r(1), 0x1000).read(r(2), r(1), 0, rA);
+    b.block(CodeBlock::kPs).ffree().stop();
+    const ThreadCode out = add_prefetch(std::move(b).build());
+    bool found = false;
+    for (const auto& ins : out.code) {
+        if (ins.op == Opcode::kDmaGet) {
+            found = true;
+            EXPECT_EQ(ins.dma->stride, 128u);
+            EXPECT_EQ(ins.dma->elem_bytes, 4u);
+            EXPECT_EQ(ins.dma->element_count(), 8u);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(PrefetchPass, WholeProgramTransform) {
+    isa::Program prog;
+    prog.name = "p";
+    prog.codes.push_back(annotated_reader());
+    CodeBuilder m("main", 0);
+    m.block(CodeBlock::kPs).falloc(r(1), 0).movi(r(2), 1).store(r(2), r(1), 0)
+        .ffree().stop();
+    prog.entry = prog.add(std::move(m).build());
+    const isa::Program out = add_prefetch(prog);
+    EXPECT_EQ(out.codes.size(), 2u);
+    EXPECT_EQ(out.entry, prog.entry);
+    EXPECT_TRUE(out.codes[0].has_prefetch_block());
+    EXPECT_FALSE(out.codes[1].has_prefetch_block());
+    const PrefetchReport agg = analyze_prefetch(prog);
+    EXPECT_EQ(agg.reads_decoupled, 2u);
+    EXPECT_EQ(agg.reads_left, 1u);
+}
+
+}  // namespace
+}  // namespace dta::xform

@@ -1,0 +1,208 @@
+/// \file dta_run.cpp
+/// \brief Command-line runner: execute a textual DTA assembly program on
+///        the cycle-level machine (or the reference interpreter) and print
+///        statistics.  The downstream user's entry point for experimenting
+///        with their own DTA programs.
+///
+/// Usage:
+///   dta_run <program.dta> [options]
+///     --spes N          SPEs (default 8)
+///     --nodes N         nodes (default 1)
+///     --mem-latency N   main-memory latency in cycles (default 150)
+///     --frames N        frame slots per PE (default 16)
+///     --staging N       DMA staging bytes per frame (default 8192)
+///     --vfp             enable virtual frame pointers
+///     --arg V           append a 64-bit entry argument (repeatable)
+///     --interp          run the functional interpreter instead
+///     --profile         print the per-thread-code profile
+///     --breakdown       print the SPU cycle breakdown
+///     --trace FILE      write a Chrome-trace JSON timeline to FILE
+///     --disasm          print the disassembly and exit
+///     --dump ADDR N     after the run, print N 32-bit words at ADDR
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/interpreter.hpp"
+#include "core/machine.hpp"
+#include "core/trace.hpp"
+#include "isa/asmtext.hpp"
+#include "isa/disasm.hpp"
+#include "sim/check.hpp"
+#include "stats/report.hpp"
+
+using namespace dta;
+
+namespace {
+
+struct Options {
+    std::string program_path;
+    std::uint16_t spes = 8;
+    std::uint16_t nodes = 1;
+    std::uint32_t mem_latency = 150;
+    std::uint32_t frames = 16;
+    std::uint32_t staging = 8192;
+    bool vfp = false;
+    bool interp = false;
+    bool profile = false;
+    bool breakdown = false;
+    bool disasm = false;
+    std::string trace_path;
+    std::vector<std::uint64_t> args;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> dumps;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s <program.dta> [--spes N] [--nodes N] "
+                 "[--mem-latency N]\n"
+                 "       [--frames N] [--staging N] [--vfp] [--arg V]... "
+                 "[--interp]\n"
+                 "       [--profile] [--breakdown] [--trace FILE] [--disasm]\n"
+                 "       [--dump ADDR N]...\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+    Options opt;
+    if (argc < 2) {
+        usage(argv[0]);
+    }
+    opt.program_path = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        if (a == "--spes") {
+            opt.spes = static_cast<std::uint16_t>(std::atoi(next()));
+        } else if (a == "--nodes") {
+            opt.nodes = static_cast<std::uint16_t>(std::atoi(next()));
+        } else if (a == "--mem-latency") {
+            opt.mem_latency = static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (a == "--frames") {
+            opt.frames = static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (a == "--staging") {
+            opt.staging = static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (a == "--vfp") {
+            opt.vfp = true;
+        } else if (a == "--interp") {
+            opt.interp = true;
+        } else if (a == "--profile") {
+            opt.profile = true;
+        } else if (a == "--breakdown") {
+            opt.breakdown = true;
+        } else if (a == "--disasm") {
+            opt.disasm = true;
+        } else if (a == "--trace") {
+            opt.trace_path = next();
+        } else if (a == "--arg") {
+            opt.args.push_back(std::strtoull(next(), nullptr, 0));
+        } else if (a == "--dump") {
+            const std::uint64_t addr = std::strtoull(next(), nullptr, 0);
+            const auto words = static_cast<std::uint32_t>(std::atoi(next()));
+            opt.dumps.emplace_back(addr, words);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage(argv[0]);
+        }
+    }
+    return opt;
+}
+
+void dump_words(const mem::MainMemory& memory,
+                const std::vector<std::pair<std::uint64_t, std::uint32_t>>&
+                    dumps) {
+    for (const auto& [addr, words] : dumps) {
+        std::printf("memory @0x%llx:",
+                    static_cast<unsigned long long>(addr));
+        for (std::uint32_t w = 0; w < words; ++w) {
+            std::printf(" %u", memory.read_u32(addr + 4ull * w));
+        }
+        std::puts("");
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_options(argc, argv);
+
+    std::ifstream file(opt.program_path);
+    if (!file) {
+        std::fprintf(stderr, "cannot open '%s'\n", opt.program_path.c_str());
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+
+    try {
+        const isa::Program prog = isa::parse_program(buffer.str());
+        if (opt.disasm) {
+            std::fputs(isa::disassemble(prog).c_str(), stdout);
+            return 0;
+        }
+
+        if (opt.interp) {
+            core::Interpreter interp(prog);
+            interp.launch(opt.args);
+            const auto stats = interp.run();
+            std::printf(
+                "interpreter: %llu instructions, %llu threads, %llu DMA "
+                "commands, %llu frame stores\n",
+                static_cast<unsigned long long>(stats.instructions),
+                static_cast<unsigned long long>(stats.threads),
+                static_cast<unsigned long long>(stats.dma_commands),
+                static_cast<unsigned long long>(stats.frame_stores));
+            dump_words(interp.memory(), opt.dumps);
+            return 0;
+        }
+
+        auto cfg = core::MachineConfig::cell_dta(opt.spes);
+        cfg.nodes = opt.nodes;
+        cfg.memory.latency = opt.mem_latency;
+        cfg.lse = sched::LseConfig::with(opt.frames, opt.staging);
+        cfg.lse.virtual_frames = opt.vfp;
+        cfg.capture_spans = !opt.trace_path.empty();
+
+        core::Machine machine(cfg, prog);
+        machine.launch(opt.args);
+        const core::RunResult res = machine.run();
+
+        std::printf("%llu cycles on %u SPE(s) x %u node(s); "
+                    "%llu instructions, usage %s\n",
+                    static_cast<unsigned long long>(res.cycles), opt.spes,
+                    opt.nodes,
+                    static_cast<unsigned long long>(res.total_instrs().total()),
+                    stats::pct(res.pipeline_usage()).c_str());
+        if (opt.breakdown) {
+            std::fputs(
+                stats::breakdown_table({{prog.name, res.total_breakdown()}})
+                    .c_str(),
+                stdout);
+        }
+        if (opt.profile) {
+            std::fputs(stats::profile_table(res.profile).c_str(), stdout);
+        }
+        if (!opt.trace_path.empty()) {
+            std::ofstream out(opt.trace_path);
+            out << core::chrome_trace_json(res.spans, res.code_names);
+            std::printf("wrote %zu spans to %s\n", res.spans.size(),
+                        opt.trace_path.c_str());
+        }
+        dump_words(machine.memory(), opt.dumps);
+        return 0;
+    } catch (const sim::SimError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
