@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buses.dir/ablation_buses.cpp.o"
+  "CMakeFiles/ablation_buses.dir/ablation_buses.cpp.o.d"
+  "ablation_buses"
+  "ablation_buses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

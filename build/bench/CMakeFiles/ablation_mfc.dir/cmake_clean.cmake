@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mfc.dir/ablation_mfc.cpp.o"
+  "CMakeFiles/ablation_mfc.dir/ablation_mfc.cpp.o.d"
+  "ablation_mfc"
+  "ablation_mfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

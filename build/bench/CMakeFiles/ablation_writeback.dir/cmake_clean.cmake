@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_writeback.dir/ablation_writeback.cpp.o"
+  "CMakeFiles/ablation_writeback.dir/ablation_writeback.cpp.o.d"
+  "ablation_writeback"
+  "ablation_writeback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_writeback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bitcnt.dir/fig6_bitcnt.cpp.o"
+  "CMakeFiles/fig6_bitcnt.dir/fig6_bitcnt.cpp.o.d"
+  "fig6_bitcnt"
+  "fig6_bitcnt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bitcnt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mmul.dir/fig7_mmul.cpp.o"
+  "CMakeFiles/fig7_mmul.dir/fig7_mmul.cpp.o.d"
+  "fig7_mmul"
+  "fig7_mmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

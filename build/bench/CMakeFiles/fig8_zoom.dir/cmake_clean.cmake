@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_zoom.dir/fig8_zoom.cpp.o"
+  "CMakeFiles/fig8_zoom.dir/fig8_zoom.cpp.o.d"
+  "fig8_zoom"
+  "fig8_zoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_zoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_pipeline_usage.dir/fig9_pipeline_usage.cpp.o"
+  "CMakeFiles/fig9_pipeline_usage.dir/fig9_pipeline_usage.cpp.o.d"
+  "fig9_pipeline_usage"
+  "fig9_pipeline_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_pipeline_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat1_perfect_cache.dir/lat1_perfect_cache.cpp.o"
+  "CMakeFiles/lat1_perfect_cache.dir/lat1_perfect_cache.cpp.o.d"
+  "lat1_perfect_cache"
+  "lat1_perfect_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat1_perfect_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

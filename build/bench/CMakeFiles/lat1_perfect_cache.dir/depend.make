@@ -1,0 +1,2 @@
+# Empty dependencies file for lat1_perfect_cache.
+# This may be replaced when dependencies are built.

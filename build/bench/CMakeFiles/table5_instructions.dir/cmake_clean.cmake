@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_instructions.dir/table5_instructions.cpp.o"
+  "CMakeFiles/table5_instructions.dir/table5_instructions.cpp.o.d"
+  "table5_instructions"
+  "table5_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asm_and_interp.dir/asm_and_interp.cpp.o"
+  "CMakeFiles/asm_and_interp.dir/asm_and_interp.cpp.o.d"
+  "asm_and_interp"
+  "asm_and_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asm_and_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for asm_and_interp.
+# This may be replaced when dependencies are built.

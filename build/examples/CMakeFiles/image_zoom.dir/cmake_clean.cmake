@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_zoom.dir/image_zoom.cpp.o"
+  "CMakeFiles/image_zoom.dir/image_zoom.cpp.o.d"
+  "image_zoom"
+  "image_zoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_zoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmul_demo.dir/mmul_demo.cpp.o"
+  "CMakeFiles/mmul_demo.dir/mmul_demo.cpp.o.d"
+  "mmul_demo"
+  "mmul_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmul_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_core.dir/breakdown.cpp.o"
+  "CMakeFiles/dta_core.dir/breakdown.cpp.o.d"
+  "CMakeFiles/dta_core.dir/interpreter.cpp.o"
+  "CMakeFiles/dta_core.dir/interpreter.cpp.o.d"
+  "CMakeFiles/dta_core.dir/machine.cpp.o"
+  "CMakeFiles/dta_core.dir/machine.cpp.o.d"
+  "CMakeFiles/dta_core.dir/pe.cpp.o"
+  "CMakeFiles/dta_core.dir/pe.cpp.o.d"
+  "CMakeFiles/dta_core.dir/trace.cpp.o"
+  "CMakeFiles/dta_core.dir/trace.cpp.o.d"
+  "libdta_core.a"
+  "libdta_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

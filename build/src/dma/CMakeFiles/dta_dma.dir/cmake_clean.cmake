@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_dma.dir/mfc.cpp.o"
+  "CMakeFiles/dta_dma.dir/mfc.cpp.o.d"
+  "libdta_dma.a"
+  "libdta_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

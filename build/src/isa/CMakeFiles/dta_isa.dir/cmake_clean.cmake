@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_isa.dir/asmtext.cpp.o"
+  "CMakeFiles/dta_isa.dir/asmtext.cpp.o.d"
+  "CMakeFiles/dta_isa.dir/builder.cpp.o"
+  "CMakeFiles/dta_isa.dir/builder.cpp.o.d"
+  "CMakeFiles/dta_isa.dir/disasm.cpp.o"
+  "CMakeFiles/dta_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/dta_isa.dir/opcode.cpp.o"
+  "CMakeFiles/dta_isa.dir/opcode.cpp.o.d"
+  "CMakeFiles/dta_isa.dir/program.cpp.o"
+  "CMakeFiles/dta_isa.dir/program.cpp.o.d"
+  "CMakeFiles/dta_isa.dir/validate.cpp.o"
+  "CMakeFiles/dta_isa.dir/validate.cpp.o.d"
+  "libdta_isa.a"
+  "libdta_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/local_store.cpp" "src/mem/CMakeFiles/dta_mem.dir/local_store.cpp.o" "gcc" "src/mem/CMakeFiles/dta_mem.dir/local_store.cpp.o.d"
+  "/root/repo/src/mem/main_memory.cpp" "src/mem/CMakeFiles/dta_mem.dir/main_memory.cpp.o" "gcc" "src/mem/CMakeFiles/dta_mem.dir/main_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dta_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

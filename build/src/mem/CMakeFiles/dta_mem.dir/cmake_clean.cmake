@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_mem.dir/local_store.cpp.o"
+  "CMakeFiles/dta_mem.dir/local_store.cpp.o.d"
+  "CMakeFiles/dta_mem.dir/main_memory.cpp.o"
+  "CMakeFiles/dta_mem.dir/main_memory.cpp.o.d"
+  "libdta_mem.a"
+  "libdta_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_noc.dir/interconnect.cpp.o"
+  "CMakeFiles/dta_noc.dir/interconnect.cpp.o.d"
+  "CMakeFiles/dta_noc.dir/link.cpp.o"
+  "CMakeFiles/dta_noc.dir/link.cpp.o.d"
+  "libdta_noc.a"
+  "libdta_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/dse.cpp" "src/sched/CMakeFiles/dta_sched.dir/dse.cpp.o" "gcc" "src/sched/CMakeFiles/dta_sched.dir/dse.cpp.o.d"
+  "/root/repo/src/sched/lse.cpp" "src/sched/CMakeFiles/dta_sched.dir/lse.cpp.o" "gcc" "src/sched/CMakeFiles/dta_sched.dir/lse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dta_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dta_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

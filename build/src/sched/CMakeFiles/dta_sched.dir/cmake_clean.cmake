@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_sched.dir/dse.cpp.o"
+  "CMakeFiles/dta_sched.dir/dse.cpp.o.d"
+  "CMakeFiles/dta_sched.dir/lse.cpp.o"
+  "CMakeFiles/dta_sched.dir/lse.cpp.o.d"
+  "libdta_sched.a"
+  "libdta_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

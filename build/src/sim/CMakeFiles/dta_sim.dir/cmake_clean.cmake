@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_sim.dir/check.cpp.o"
+  "CMakeFiles/dta_sim.dir/check.cpp.o.d"
+  "CMakeFiles/dta_sim.dir/log.cpp.o"
+  "CMakeFiles/dta_sim.dir/log.cpp.o.d"
+  "libdta_sim.a"
+  "libdta_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

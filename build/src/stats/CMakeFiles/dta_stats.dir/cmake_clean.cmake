@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_stats.dir/report.cpp.o"
+  "CMakeFiles/dta_stats.dir/report.cpp.o.d"
+  "libdta_stats.a"
+  "libdta_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

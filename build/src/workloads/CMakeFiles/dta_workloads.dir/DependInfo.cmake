@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bitcnt.cpp" "src/workloads/CMakeFiles/dta_workloads.dir/bitcnt.cpp.o" "gcc" "src/workloads/CMakeFiles/dta_workloads.dir/bitcnt.cpp.o.d"
+  "/root/repo/src/workloads/fir.cpp" "src/workloads/CMakeFiles/dta_workloads.dir/fir.cpp.o" "gcc" "src/workloads/CMakeFiles/dta_workloads.dir/fir.cpp.o.d"
+  "/root/repo/src/workloads/mmul.cpp" "src/workloads/CMakeFiles/dta_workloads.dir/mmul.cpp.o" "gcc" "src/workloads/CMakeFiles/dta_workloads.dir/mmul.cpp.o.d"
+  "/root/repo/src/workloads/zoom.cpp" "src/workloads/CMakeFiles/dta_workloads.dir/zoom.cpp.o" "gcc" "src/workloads/CMakeFiles/dta_workloads.dir/zoom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/dta_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/dta_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/dta_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/dta_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dta_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dta_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dta_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_workloads.dir/bitcnt.cpp.o"
+  "CMakeFiles/dta_workloads.dir/bitcnt.cpp.o.d"
+  "CMakeFiles/dta_workloads.dir/fir.cpp.o"
+  "CMakeFiles/dta_workloads.dir/fir.cpp.o.d"
+  "CMakeFiles/dta_workloads.dir/mmul.cpp.o"
+  "CMakeFiles/dta_workloads.dir/mmul.cpp.o.d"
+  "CMakeFiles/dta_workloads.dir/zoom.cpp.o"
+  "CMakeFiles/dta_workloads.dir/zoom.cpp.o.d"
+  "libdta_workloads.a"
+  "libdta_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_xform.dir/prefetch_pass.cpp.o"
+  "CMakeFiles/dta_xform.dir/prefetch_pass.cpp.o.d"
+  "libdta_xform.a"
+  "libdta_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

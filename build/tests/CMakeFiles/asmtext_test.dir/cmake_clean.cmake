@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asmtext_test.dir/isa/asmtext_test.cpp.o"
+  "CMakeFiles/asmtext_test.dir/isa/asmtext_test.cpp.o.d"
+  "asmtext_test"
+  "asmtext_test.pdb"
+  "asmtext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asmtext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

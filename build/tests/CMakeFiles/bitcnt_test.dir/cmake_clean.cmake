@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitcnt_test.dir/workloads/bitcnt_test.cpp.o"
+  "CMakeFiles/bitcnt_test.dir/workloads/bitcnt_test.cpp.o.d"
+  "bitcnt_test"
+  "bitcnt_test.pdb"
+  "bitcnt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitcnt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breakdown_test.dir/core/breakdown_test.cpp.o"
+  "CMakeFiles/breakdown_test.dir/core/breakdown_test.cpp.o.d"
+  "breakdown_test"
+  "breakdown_test.pdb"
+  "breakdown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breakdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_issue_test.dir/core/dual_issue_test.cpp.o"
+  "CMakeFiles/dual_issue_test.dir/core/dual_issue_test.cpp.o.d"
+  "dual_issue_test"
+  "dual_issue_test.pdb"
+  "dual_issue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_issue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lse_test.dir/sched/lse_test.cpp.o"
+  "CMakeFiles/lse_test.dir/sched/lse_test.cpp.o.d"
+  "lse_test"
+  "lse_test.pdb"
+  "lse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

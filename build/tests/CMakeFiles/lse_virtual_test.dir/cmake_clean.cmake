@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lse_virtual_test.dir/sched/lse_virtual_test.cpp.o"
+  "CMakeFiles/lse_virtual_test.dir/sched/lse_virtual_test.cpp.o.d"
+  "lse_virtual_test"
+  "lse_virtual_test.pdb"
+  "lse_virtual_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lse_virtual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_test.dir/dma/mfc_test.cpp.o"
+  "CMakeFiles/mfc_test.dir/dma/mfc_test.cpp.o.d"
+  "mfc_test"
+  "mfc_test.pdb"
+  "mfc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmul_test.dir/workloads/mmul_test.cpp.o"
+  "CMakeFiles/mmul_test.dir/workloads/mmul_test.cpp.o.d"
+  "mmul_test"
+  "mmul_test.pdb"
+  "mmul_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mmul_test.
+# This may be replaced when dependencies are built.

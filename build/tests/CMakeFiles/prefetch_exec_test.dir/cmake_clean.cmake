@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_exec_test.dir/core/prefetch_exec_test.cpp.o"
+  "CMakeFiles/prefetch_exec_test.dir/core/prefetch_exec_test.cpp.o.d"
+  "prefetch_exec_test"
+  "prefetch_exec_test.pdb"
+  "prefetch_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xform/prefetch_pass_test.cpp" "tests/CMakeFiles/prefetch_pass_test.dir/xform/prefetch_pass_test.cpp.o" "gcc" "tests/CMakeFiles/prefetch_pass_test.dir/xform/prefetch_pass_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dta_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dta_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/dta_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/dta_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/dta_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dta_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dta_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dta_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dta_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_pass_test.dir/xform/prefetch_pass_test.cpp.o"
+  "CMakeFiles/prefetch_pass_test.dir/xform/prefetch_pass_test.cpp.o.d"
+  "prefetch_pass_test"
+  "prefetch_pass_test.pdb"
+  "prefetch_pass_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_pass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_dataflow_test.dir/integration/random_dataflow_test.cpp.o"
+  "CMakeFiles/random_dataflow_test.dir/integration/random_dataflow_test.cpp.o.d"
+  "random_dataflow_test"
+  "random_dataflow_test.pdb"
+  "random_dataflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_dataflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

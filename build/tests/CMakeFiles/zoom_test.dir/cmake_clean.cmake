@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoom_test.dir/workloads/zoom_test.cpp.o"
+  "CMakeFiles/zoom_test.dir/workloads/zoom_test.cpp.o.d"
+  "zoom_test"
+  "zoom_test.pdb"
+  "zoom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

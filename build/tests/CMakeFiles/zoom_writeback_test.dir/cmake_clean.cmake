@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoom_writeback_test.dir/workloads/zoom_writeback_test.cpp.o"
+  "CMakeFiles/zoom_writeback_test.dir/workloads/zoom_writeback_test.cpp.o.d"
+  "zoom_writeback_test"
+  "zoom_writeback_test.pdb"
+  "zoom_writeback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoom_writeback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_run.dir/dta_run.cpp.o"
+  "CMakeFiles/dta_run.dir/dta_run.cpp.o.d"
+  "dta_run"
+  "dta_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[dta_run_dot4]=] "/root/repo/build/tools/dta_run" "/root/repo/examples/programs/dot4.dta" "--spes" "2" "--profile" "--dump" "0x8000" "1")
+set_tests_properties([=[dta_run_dot4]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[dta_run_prefetch_sum]=] "/root/repo/build/tools/dta_run" "/root/repo/examples/programs/prefetch_sum.dta" "--spes" "2" "--breakdown" "--dump" "0x8000" "1")
+set_tests_properties([=[dta_run_prefetch_sum]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[dta_run_interp_mode]=] "/root/repo/build/tools/dta_run" "/root/repo/examples/programs/dot4.dta" "--interp" "--dump" "0x8000" "1")
+set_tests_properties([=[dta_run_interp_mode]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[dta_run_vfp_multinode]=] "/root/repo/build/tools/dta_run" "/root/repo/examples/programs/dot4.dta" "--spes" "2" "--nodes" "2" "--frames" "4" "--vfp" "--dump" "0x8000" "1")
+set_tests_properties([=[dta_run_vfp_multinode]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
