@@ -6,10 +6,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <optional>
 #include <string>
 
 #include "sim/check.hpp"
+#include "stats/json_report.hpp"
 #include "stats/report.hpp"
 #include "workloads/bitcnt.hpp"
 #include "workloads/harness.hpp"
@@ -51,6 +53,45 @@ inline std::uint32_t arg_u32(int argc, char** argv, const char* flag,
     return fallback;
 }
 
+/// When the DTA_BENCH_JSON environment variable names a file, appends one
+/// JSON run report per call (newline-delimited JSON, one document per run)
+/// so CI can archive bench results without parsing stdout.  No-op when the
+/// variable is unset.  Both run helpers below call this automatically.
+inline void maybe_emit_json(const core::RunResult& res,
+                            const std::string& label) {
+    const char* path = std::getenv("DTA_BENCH_JSON");
+    if (path == nullptr || *path == '\0') {
+        return;
+    }
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+        std::fprintf(stderr, "WARNING: cannot open DTA_BENCH_JSON file %s\n",
+                     path);
+        return;
+    }
+    // One logical line per run: strip the pretty-printer's newlines so the
+    // file stays `while read line | parse` friendly.
+    std::string doc = stats::run_report_json(res, label);
+    std::string line;
+    line.reserve(doc.size());
+    for (const char c : doc) {
+        if (c != '\n') {
+            line += c;
+        }
+    }
+    out << line << '\n';
+}
+
+/// run_workload plus the DTA_BENCH_JSON hook, labelled by program name.
+template <typename W>
+workloads::RunOutcome run_reported(const W& wl, const core::MachineConfig& cfg,
+                                   bool prefetch) {
+    workloads::RunOutcome out = workloads::run_workload(wl, cfg, prefetch);
+    maybe_emit_json(out.result, prefetch ? wl.prefetch_program().name
+                                         : wl.program().name);
+    return out;
+}
+
 /// A run that may legitimately deadlock (frame-starvation ablations).
 struct MaybeRun {
     std::optional<workloads::RunOutcome> outcome;
@@ -65,7 +106,7 @@ template <typename W>
 MaybeRun try_run(const W& wl, const core::MachineConfig& cfg, bool prefetch) {
     MaybeRun r;
     try {
-        r.outcome = workloads::run_workload(wl, cfg, prefetch);
+        r.outcome = run_reported(wl, cfg, prefetch);
         if (!r.outcome->correct) {
             std::fprintf(stderr, "WARNING: incorrect result: %s\n",
                          r.outcome->detail.c_str());

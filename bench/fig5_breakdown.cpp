@@ -45,8 +45,8 @@ int main(int argc, char** argv) {
 
     const auto run_both = [&](const auto& wl, const core::MachineConfig& cfg,
                               const char* name, int idx) {
-        const auto orig = workloads::run_workload(wl, cfg, false);
-        const auto pf = workloads::run_workload(wl, cfg, true);
+        const auto orig = bench::run_reported(wl, cfg, false);
+        const auto pf = bench::run_reported(wl, cfg, true);
         if (!orig.correct || !pf.correct) {
             std::fprintf(stderr, "%s: INCORRECT RESULT\n", name);
         }

@@ -20,8 +20,8 @@ int main(int argc, char** argv) {
     std::vector<stats::SeriesPoint> pts;
     for (std::uint16_t spes : {1, 2, 4, 8}) {
         const auto cfg = workloads::BitCount::machine_config(spes);
-        const auto orig = workloads::run_workload(wl, cfg, false);
-        const auto pf = workloads::run_workload(wl, cfg, true);
+        const auto orig = bench::run_reported(wl, cfg, false);
+        const auto pf = bench::run_reported(wl, cfg, true);
         if (!orig.correct || !pf.correct) {
             std::fprintf(stderr, "bitcnt@%u SPEs: INCORRECT RESULT\n", spes);
         }

@@ -20,8 +20,8 @@ int main() {
     for (std::uint16_t spes : {1, 2, 4, 8}) {
         const workloads::MatMul wl(mmul_params(spes));
         const auto cfg = workloads::MatMul::machine_config(spes);
-        const auto orig = workloads::run_workload(wl, cfg, false);
-        const auto pf = workloads::run_workload(wl, cfg, true);
+        const auto orig = bench::run_reported(wl, cfg, false);
+        const auto pf = bench::run_reported(wl, cfg, true);
         if (!orig.correct || !pf.correct) {
             std::fprintf(stderr, "mmul@%u SPEs: INCORRECT RESULT\n", spes);
         }

@@ -19,8 +19,8 @@ int main() {
     for (std::uint16_t spes : {1, 2, 4, 8}) {
         const workloads::Zoom wl(zoom_params(spes));
         const auto cfg = workloads::Zoom::machine_config(spes);
-        const auto orig = workloads::run_workload(wl, cfg, false);
-        const auto pf = workloads::run_workload(wl, cfg, true);
+        const auto orig = bench::run_reported(wl, cfg, false);
+        const auto pf = bench::run_reported(wl, cfg, true);
         if (!orig.correct || !pf.correct) {
             std::fprintf(stderr, "zoom@%u SPEs: INCORRECT RESULT\n", spes);
         }

@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
     std::vector<stats::UsageRow> rows;
     const auto add = [&](const auto& wl, const core::MachineConfig& cfg,
                          const char* name) {
-        const auto orig = workloads::run_workload(wl, cfg, false);
-        const auto pf = workloads::run_workload(wl, cfg, true);
+        const auto orig = bench::run_reported(wl, cfg, false);
+        const auto pf = bench::run_reported(wl, cfg, true);
         rows.push_back({name, orig.result.pipeline_usage(),
                         pf.result.pipeline_usage()});
         std::printf("%-8s slot utilisation: %s -> %s\n", name,

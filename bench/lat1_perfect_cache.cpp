@@ -27,8 +27,8 @@ int main(int argc, char** argv) {
     std::vector<stats::BreakdownRow> rows;
     const auto go = [&](const auto& wl, const core::MachineConfig& cfg,
                         const char* name, int idx) {
-        const auto orig = workloads::run_workload(wl, cfg, false);
-        const auto pf = workloads::run_workload(wl, cfg, true);
+        const auto orig = bench::run_reported(wl, cfg, false);
+        const auto pf = bench::run_reported(wl, cfg, true);
         measured[idx] = static_cast<double>(orig.result.cycles) /
                         static_cast<double>(pf.result.cycles);
         std::printf("%-8s latency-1: %10llu vs %10llu cycles  (usage %s -> %s)\n",

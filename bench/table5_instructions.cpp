@@ -37,8 +37,8 @@ int main(int argc, char** argv) {
     std::vector<stats::InstrRow> rows;
     const auto add = [&](const auto& wl, const core::MachineConfig& cfg,
                          const std::string& name) {
-        const auto orig = workloads::run_workload(wl, cfg, false);
-        const auto pf = workloads::run_workload(wl, cfg, true);
+        const auto orig = bench::run_reported(wl, cfg, false);
+        const auto pf = bench::run_reported(wl, cfg, true);
         rows.push_back({name, orig.result.total_instrs()});
         rows.push_back({name + "+pf", pf.result.total_instrs()});
     };

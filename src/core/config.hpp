@@ -74,6 +74,13 @@ struct MachineConfig {
     /// and scheduling analysis).  Off by default: long runs produce many
     /// spans.
     bool capture_spans = false;
+    /// Collect run-wide metrics (latency histograms, sampled gauges, DMA
+    /// spans) into RunResult::metrics.  Off by default; when off the
+    /// instrumented hot paths cost a single null check each.
+    bool collect_metrics = false;
+    /// Cycles between gauge samples (queue depths, in-flight counts) when
+    /// collect_metrics is on.  Must be non-zero.
+    std::uint32_t metrics_sample_interval = 256;
 
     [[nodiscard]] std::uint32_t total_pes() const {
         return static_cast<std::uint32_t>(nodes) * spes_per_node;

@@ -92,6 +92,27 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
             pes_.back()->set_span_sink(&spans_);
         }
     }
+
+    if (cfg_.collect_metrics) {
+        DTA_SIM_REQUIRE(cfg_.metrics_sample_interval > 0,
+                        "metrics_sample_interval must be non-zero");
+        metrics_.enable();
+        for (auto& pe : pes_) {
+            pe->attach_metrics(metrics_, &dma_spans_);
+        }
+        g_noc_pending_.reserve(fabrics_.size());
+        for (std::size_t n = 0; n < fabrics_.size(); ++n) {
+            fabrics_[n].attach_metrics(metrics_);
+            g_noc_pending_.push_back(
+                metrics_.gauge("noc" + std::to_string(n) + ".pending"));
+        }
+        for (auto& dse : dses_) {
+            dse.attach_metrics(metrics_);
+        }
+        g_dma_cmds_ = metrics_.gauge("dma.commands_in_flight");
+        g_dma_lines_ = metrics_.gauge("dma.lines_in_flight");
+        g_mem_queue_ = metrics_.gauge("mem.queue_depth");
+    }
 }
 
 void Machine::launch(std::span<const std::uint64_t> args) {
@@ -244,15 +265,17 @@ void Machine::drain_memory_responses() {
 // Routing
 // ---------------------------------------------------------------------------
 
-void Machine::handle_dse_packet(std::uint16_t node, const noc::Packet& pkt) {
+void Machine::handle_dse_packet(std::uint16_t node, const noc::Packet& pkt,
+                                sim::Cycle now) {
     switch (static_cast<sched::MsgKind>(pkt.kind)) {
         case sched::MsgKind::kFallocReq:
             dses_[node].on_falloc_req(static_cast<sim::ThreadCodeId>(pkt.a),
                                       static_cast<std::uint32_t>(pkt.b),
-                                      sched::FallocCtx::unpack(pkt.c));
+                                      sched::FallocCtx::unpack(pkt.c), now);
             break;
         case sched::MsgKind::kFrameFree:
-            dses_[node].on_frame_free(static_cast<sim::GlobalPeId>(pkt.a));
+            dses_[node].on_frame_free(static_cast<sim::GlobalPeId>(pkt.a),
+                                      now);
             break;
         default:
             DTA_CHECK_MSG(false, "DSE got unexpected packet kind " +
@@ -260,7 +283,7 @@ void Machine::handle_dse_packet(std::uint16_t node, const noc::Packet& pkt) {
     }
 }
 
-void Machine::route_fabric_deliveries(sim::Cycle) {
+void Machine::route_fabric_deliveries(sim::Cycle now) {
     for (std::uint16_t node = 0; node < cfg_.nodes; ++node) {
         noc::Interconnect& fab = fabrics_[node];
         for (noc::EndpointId ep = 0; ep < layout_.endpoint_count(); ++ep) {
@@ -270,7 +293,7 @@ void Machine::route_fabric_deliveries(sim::Cycle) {
                     pes_[topo_.global_pe(node, static_cast<std::uint16_t>(ep))]
                         ->deliver(std::move(pkt));
                 } else if (ep == layout_.dse_ep()) {
-                    handle_dse_packet(node, pkt);
+                    handle_dse_packet(node, pkt, now);
                 } else if (ep == layout_.mem_ep()) {
                     DTA_CHECK_MSG(node == kMemoryNode,
                                   "memory packet on a memory-less node");
@@ -386,6 +409,25 @@ void Machine::tick_cycle(sim::Cycle now) {
         pe->tick_spu(now);
     }
     injection_phase(now);
+    if (metrics_.enabled() && now % cfg_.metrics_sample_interval == 0) {
+        sample_gauges(now);
+    }
+}
+
+void Machine::sample_gauges(sim::Cycle now) {
+    std::int64_t cmds = 0;
+    std::int64_t lines = 0;
+    for (const auto& pe : pes_) {
+        cmds += static_cast<std::int64_t>(pe->mfc().commands_in_flight());
+        lines += static_cast<std::int64_t>(pe->mfc().lines_in_flight());
+    }
+    g_dma_cmds_->sample(now, cmds);
+    g_dma_lines_->sample(now, lines);
+    g_mem_queue_->sample(now, static_cast<std::int64_t>(mem_.queue_depth()));
+    for (std::size_t n = 0; n < fabrics_.size(); ++n) {
+        g_noc_pending_[n]->sample(
+            now, static_cast<std::int64_t>(fabrics_[n].pending()));
+    }
 }
 
 bool Machine::check_quiescent() const {
@@ -512,6 +554,8 @@ RunResult Machine::gather(sim::Cycle cycles) const {
         }
     }
     r.spans = spans_;
+    r.metrics = metrics_;
+    r.dma_spans = dma_spans_;
     return r;
 }
 

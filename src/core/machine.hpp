@@ -21,6 +21,7 @@
 #include "noc/link.hpp"
 #include "sched/dse.hpp"
 #include "sim/log.hpp"
+#include "sim/metrics.hpp"
 
 namespace dta::core {
 
@@ -58,6 +59,11 @@ struct RunResult {
     std::vector<ThreadSpan> spans;
     /// Thread-code names, aligned with span code ids (for trace rendering).
     std::vector<std::string> code_names;
+    /// Run-wide histograms, counters and gauge time-series (populated only
+    /// when MachineConfig::collect_metrics; otherwise disabled and empty).
+    sim::MetricsRegistry metrics;
+    /// One span per completed DMA command (only with collect_metrics).
+    std::vector<dma::DmaSpan> dma_spans;
 
     [[nodiscard]] Breakdown total_breakdown() const;
     [[nodiscard]] InstrStats total_instrs() const;
@@ -115,7 +121,9 @@ private:
 
     void tick_cycle(sim::Cycle now);
     void route_fabric_deliveries(sim::Cycle now);
-    void handle_dse_packet(std::uint16_t node, const noc::Packet& pkt);
+    void handle_dse_packet(std::uint16_t node, const noc::Packet& pkt,
+                           sim::Cycle now);
+    void sample_gauges(sim::Cycle now);
     void handle_memif_packet(const noc::Packet& pkt);
     void drain_memory_responses();
     void injection_phase(sim::Cycle now);
@@ -148,6 +156,14 @@ private:
     std::vector<std::deque<noc::Packet>> link_arrivals_; ///< from my inbound link
 
     std::vector<ThreadSpan> spans_;  ///< filled when cfg_.capture_spans
+
+    // metrics (live only when cfg_.collect_metrics)
+    sim::MetricsRegistry metrics_;
+    std::vector<dma::DmaSpan> dma_spans_;
+    sim::GaugeSeries* g_dma_cmds_ = nullptr;
+    sim::GaugeSeries* g_dma_lines_ = nullptr;
+    sim::GaugeSeries* g_mem_queue_ = nullptr;
+    std::vector<sim::GaugeSeries*> g_noc_pending_;  ///< one per fabric
 
     bool launched_ = false;
     bool ran_ = false;

@@ -89,6 +89,14 @@ public:
     }
     /// Installs a sink that receives one ThreadSpan per SPU occupancy.
     void set_span_sink(std::vector<ThreadSpan>* sink) { spans_ = sink; }
+    /// Resolves this PE's LSE and MFC instruments against \p reg and points
+    /// the MFC's span recorder at \p dma_sink (machine-owned, may be null).
+    void attach_metrics(sim::MetricsRegistry& reg,
+                        std::vector<dma::DmaSpan>* dma_sink) {
+        lse_.attach_metrics(reg);
+        mfc_.attach_metrics(reg);
+        mfc_.set_span_sink(dma_sink, self_);
+    }
 
     [[nodiscard]] bool spu_bound() const { return bound_; }
     /// True when nothing on this PE is live or in flight.

@@ -4,25 +4,98 @@
 
 namespace dta::core {
 
-std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
-                              const std::vector<std::string>& code_names) {
-    std::ostringstream os;
-    os << "[\n";
-    bool first = true;
-    for (const ThreadSpan& s : spans) {
-        if (!first) {
-            os << ",\n";
+namespace {
+
+/// Emits one event object, managing the leading comma.
+class EventWriter {
+public:
+    explicit EventWriter(std::ostringstream& os) : os_(os) { os_ << "[\n"; }
+
+    std::ostringstream& next() {
+        if (!first_) {
+            os_ << ",\n";
         }
-        first = false;
+        first_ = false;
+        return os_;
+    }
+
+    void finish() { os_ << "\n]\n"; }
+
+private:
+    std::ostringstream& os_;
+    bool first_ = true;
+};
+
+void emit_process_name(EventWriter& w, int pid, const char* name) {
+    w.next() << R"(  {"name": "process_name", "ph": "M", "pid": )" << pid
+             << R"(, "args": {"name": ")" << name << R"("}})";
+}
+
+void emit_thread_slices(EventWriter& w, const std::vector<ThreadSpan>& spans,
+                        const std::vector<std::string>& code_names) {
+    for (const ThreadSpan& s : spans) {
         const std::string name =
             s.code < code_names.size() ? code_names[s.code]
                                        : "code" + std::to_string(s.code);
-        os << R"(  {"name": ")" << name << (s.resumed ? " (resume)" : "")
-           << R"(", "cat": "thread", "ph": "X", "ts": )" << s.begin
-           << R"(, "dur": )" << (s.end - s.begin) << R"(, "pid": 0, "tid": )"
-           << s.pe << R"(, "args": {"slot": )" << s.slot << "}}";
+        w.next() << R"(  {"name": ")" << name
+                 << (s.resumed ? " (resume)" : "")
+                 << R"(", "cat": "thread", "ph": "X", "ts": )" << s.begin
+                 << R"(, "dur": )" << (s.end - s.begin)
+                 << R"(, "pid": 0, "tid": )" << s.pe
+                 << R"(, "args": {"slot": )" << s.slot << "}}";
     }
-    os << "\n]\n";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
+                              const std::vector<std::string>& code_names) {
+    std::ostringstream os;
+    EventWriter w(os);
+    emit_thread_slices(w, spans, code_names);
+    w.finish();
+    return os.str();
+}
+
+std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
+                              const std::vector<std::string>& code_names,
+                              const sim::MetricsRegistry& metrics,
+                              const std::vector<dma::DmaSpan>& dma_spans) {
+    std::ostringstream os;
+    EventWriter w(os);
+    emit_process_name(w, 0, "SPUs");
+    emit_process_name(w, 1, "counters");
+    emit_process_name(w, 2, "DMA");
+    emit_thread_slices(w, spans, code_names);
+
+    // One counter track per gauge: Perfetto draws "ph":"C" events sharing a
+    // (pid, name) as a stepped time-series.
+    for (const auto& [name, series] : metrics.gauges()) {
+        for (const sim::GaugeSample& s : series.samples()) {
+            w.next() << R"(  {"name": ")" << name
+                     << R"(", "cat": "gauge", "ph": "C", "ts": )" << s.cycle
+                     << R"(, "pid": 1, "args": {"value": )" << s.value
+                     << "}}";
+        }
+    }
+
+    // DMA transfers as async begin/end pairs so concurrent commands on one
+    // MFC stack instead of colliding on a thread track.
+    std::uint64_t id = 0;
+    for (const dma::DmaSpan& d : dma_spans) {
+        const char* op = d.op == dma::MfcOp::kGet ? "GET" : "PUT";
+        w.next() << R"(  {"name": ")" << op << ' ' << d.bytes
+                 << R"(B", "cat": "dma", "ph": "b", "id": )" << id
+                 << R"(, "ts": )" << d.begin << R"(, "pid": 2, "tid": )"
+                 << d.pe << R"(, "args": {"tag": )" << d.tag
+                 << R"(, "bytes": )" << d.bytes << "}}";
+        w.next() << R"(  {"name": ")" << op << ' ' << d.bytes
+                 << R"(B", "cat": "dma", "ph": "e", "id": )" << id
+                 << R"(, "ts": )" << d.end << R"(, "pid": 2, "tid": )" << d.pe
+                 << "}";
+        ++id;
+    }
+    w.finish();
     return os.str();
 }
 

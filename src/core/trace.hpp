@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "dma/mfc.hpp"
+#include "sim/metrics.hpp"
 #include "sim/types.hpp"
 
 namespace dta::core {
@@ -36,5 +38,16 @@ struct CodeProfile {
 [[nodiscard]] std::string chrome_trace_json(
     const std::vector<ThreadSpan>& spans,
     const std::vector<std::string>& code_names);
+
+/// Full-fat variant: thread slices (pid 0) plus one Perfetto counter track
+/// per sampled gauge (pid 1, "ph":"C") and one async slice per completed DMA
+/// command (pid 2, "ph":"b"/"e", overlapping transfers render stacked).
+/// Gauges come from \p metrics (no counter events when it is disabled or
+/// empty); either span vector may be empty.
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<ThreadSpan>& spans,
+    const std::vector<std::string>& code_names,
+    const sim::MetricsRegistry& metrics,
+    const std::vector<dma::DmaSpan>& dma_spans);
 
 }  // namespace dta::core

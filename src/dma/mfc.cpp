@@ -50,7 +50,44 @@ bool Mfc::try_enqueue(MfcCommand cmd) {
         return false;
     }
     queue_.push_back(cmd);
+    queue_times_.push_back(now_);
     return true;
+}
+
+std::size_t Mfc::commands_in_flight() const {
+    std::size_t n = queue_.size() + (decoding_ ? 1 : 0);
+    for (const auto& ac : active_) {
+        if (ac.lines_total != 0 && !ac.done()) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+void Mfc::attach_metrics(sim::MetricsRegistry& reg) {
+    tag_latency_ = reg.histogram("dma.tag_latency");
+    commands_ctr_ = reg.counter("dma.commands");
+    bytes_ctr_ = reg.counter("dma.bytes");
+}
+
+void Mfc::finish_if_done(std::size_t active_idx, sim::Cycle now) {
+    ActiveCommand& ac = active_[active_idx];
+    if (!ac.done()) {
+        return;
+    }
+    completions_.push_back(MfcCompletion{ac.cmd.tag, ac.cmd.owner});
+    ++commands_completed_;
+    if (tag_latency_ != nullptr) {
+        tag_latency_->record(now - ac.enqueued_at);
+        commands_ctr_->add();
+        bytes_ctr_->add(ac.cmd.bytes);
+    }
+    if (span_sink_ != nullptr) {
+        span_sink_->push_back(DmaSpan{span_pe_, ac.cmd.tag, ac.cmd.op,
+                                      ac.cmd.bytes, ac.enqueued_at, now + 1});
+    }
+    ac.lines_total = 0;  // mark slot reusable
+    free_slots_.push_back(active_idx);
 }
 
 void Mfc::start_decode(sim::Cycle now) {
@@ -59,6 +96,8 @@ void Mfc::start_decode(sim::Cycle now) {
     }
     decode_cmd_ = queue_.front();
     queue_.pop_front();
+    decode_cmd_enq_at_ = queue_times_.front();
+    queue_times_.pop_front();
     decoding_ = true;
     decode_done_at_ = now + cfg_.command_latency;
 }
@@ -114,6 +153,7 @@ void Mfc::emit_lines() {
 }
 
 void Mfc::tick(sim::Cycle now) {
+    now_ = now;
     // 1. Drain LS responses belonging to the MFC.
     mem::LsResponse resp;
     while (ls_.pop_response(mem::LsClient::kMfc, resp)) {
@@ -150,12 +190,7 @@ void Mfc::tick(sim::Cycle now) {
             line.data = std::move(resp.data);
             ready_lines_.push_back(std::move(line));
         }
-        if (ac.done()) {
-            completions_.push_back(MfcCompletion{ac.cmd.tag, ac.cmd.owner});
-            ++commands_completed_;
-            ac.lines_total = 0;  // mark slot reusable
-            free_slots_.push_back(info.active_idx);
-        }
+        finish_if_done(info.active_idx, now);
     }
 
     // 2. Finish decoding the current command.
@@ -163,6 +198,7 @@ void Mfc::tick(sim::Cycle now) {
         decoding_ = false;
         ActiveCommand ac;
         ac.cmd = decode_cmd_;
+        ac.enqueued_at = decode_cmd_enq_at_;
         ac.lines_total = count_lines(decode_cmd_, cfg_.line_bytes);
         DTA_CHECK(ac.lines_total > 0);
         if (!free_slots_.empty()) {
@@ -220,12 +256,7 @@ void Mfc::ack_put_line(std::uint64_t line_id) {
     ActiveCommand& ac = active_[info.active_idx];
     ++ac.lines_finished;
     bytes_ += info.bytes;
-    if (ac.done()) {
-        completions_.push_back(MfcCompletion{ac.cmd.tag, ac.cmd.owner});
-        ++commands_completed_;
-        ac.lines_total = 0;
-        free_slots_.push_back(info.active_idx);
-    }
+    finish_if_done(info.active_idx, now_);
 }
 
 bool Mfc::pop_completion(MfcCompletion& out) {

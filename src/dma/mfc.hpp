@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "mem/local_store.hpp"
+#include "sim/metrics.hpp"
 #include "sim/types.hpp"
 
 namespace dta::dma {
@@ -72,6 +73,18 @@ struct MfcCompletion {
     std::uint64_t owner = 0;
 };
 
+/// One completed DMA command's lifetime (program → tag-complete), recorded
+/// when a span sink is installed; rendered as timeline slices by
+/// core/trace.cpp.
+struct DmaSpan {
+    std::uint32_t pe = 0;
+    std::uint32_t tag = 0;
+    MfcOp op = MfcOp::kGet;
+    std::uint32_t bytes = 0;
+    sim::Cycle begin = 0;
+    sim::Cycle end = 0;  ///< exclusive
+};
+
 /// One SPE's DMA engine.
 class Mfc {
 public:
@@ -108,6 +121,17 @@ public:
 
     [[nodiscard]] const MfcConfig& config() const { return cfg_; }
 
+    // --- observability ------------------------------------------------------
+    /// Resolves this MFC's instruments (no-op when \p reg is disabled):
+    /// dma.tag_latency histogram and dma.* counters.
+    void attach_metrics(sim::MetricsRegistry& reg);
+    /// Installs a sink receiving one DmaSpan per completed command;
+    /// \p pe labels the spans with the owning PE.
+    void set_span_sink(std::vector<DmaSpan>* sink, std::uint32_t pe) {
+        span_sink_ = sink;
+        span_pe_ = pe;
+    }
+
     // --- statistics ---------------------------------------------------------
     [[nodiscard]] std::uint64_t commands_completed() const {
         return commands_completed_;
@@ -119,10 +143,17 @@ public:
     [[nodiscard]] std::size_t queued_commands() const {
         return queue_.size() + (decoding_ ? 1 : 0);
     }
+    /// Line requests issued to the NoC/memory and not yet finished.
+    [[nodiscard]] std::uint32_t lines_in_flight() const {
+        return lines_in_flight_;
+    }
+    /// Commands anywhere in the engine: queued, decoding, or transferring.
+    [[nodiscard]] std::size_t commands_in_flight() const;
 
 private:
     struct ActiveCommand {
         MfcCommand cmd;
+        sim::Cycle enqueued_at = 0;        ///< cycle the SPU programmed it
         std::uint32_t lines_total = 0;
         std::uint32_t lines_emitted = 0;   ///< line requests generated
         std::uint32_t lines_finished = 0;  ///< data written to LS / acked
@@ -137,15 +168,19 @@ private:
 
     void start_decode(sim::Cycle now);
     void emit_lines();
+    /// Publishes the completion (and metrics) when every line landed.
+    void finish_if_done(std::size_t active_idx, sim::Cycle now);
     [[nodiscard]] static std::uint32_t count_lines(const MfcCommand& cmd,
                                                    std::uint32_t line_bytes);
 
     MfcConfig cfg_;
     mem::LocalStore& ls_;
     std::deque<MfcCommand> queue_;
+    std::deque<sim::Cycle> queue_times_;  ///< enqueue cycle, parallel to queue_
     bool decoding_ = false;
     sim::Cycle decode_done_at_ = 0;
     MfcCommand decode_cmd_;
+    sim::Cycle decode_cmd_enq_at_ = 0;
     std::vector<ActiveCommand> active_;    ///< indexed by slot; freed lazily
     std::deque<std::size_t> free_slots_;
     std::deque<MfcLineRequest> ready_lines_;  ///< emitted, waiting for pickup
@@ -156,6 +191,14 @@ private:
     std::uint64_t commands_completed_ = 0;
     std::uint64_t bytes_ = 0;
     std::uint64_t rejections_ = 0;
+
+    // observability (all optional; null when metrics are off)
+    sim::Cycle now_ = 0;  ///< last tick time, for off-tick event stamps
+    sim::Histogram* tag_latency_ = nullptr;
+    sim::Counter* commands_ctr_ = nullptr;
+    sim::Counter* bytes_ctr_ = nullptr;
+    std::vector<DmaSpan>* span_sink_ = nullptr;
+    std::uint32_t span_pe_ = 0;
 };
 
 }  // namespace dta::dma

@@ -35,18 +35,34 @@ bool Interconnect::try_inject(EndpointId src, Packet pkt) {
         return false;
     }
     pkt.src = src;
+    pkt.enq_at = now_;
     inject_[src].push_back(std::move(pkt));
     ++stats_.packets_injected;
     return true;
 }
 
+std::size_t Interconnect::pending() const {
+    std::size_t n = in_transit_.size();
+    for (const auto& q : inject_) {
+        n += q.size();
+    }
+    for (const auto& q : inbox_) {
+        n += q.size();
+    }
+    return n;
+}
+
 void Interconnect::tick(sim::Cycle now) {
+    now_ = now;
     // 1. Mature in-flight packets into destination inboxes.
     while (!in_transit_.empty() && in_transit_.top().deliver_at <= now) {
         // priority_queue::top is const; copy (packets are small except DMA
         // lines, which are <= 128 bytes).
         InTransit it = in_transit_.top();
         in_transit_.pop();
+        if (pkt_latency_ != nullptr) {
+            pkt_latency_->record(now - it.pkt.enq_at);
+        }
         inbox_[it.pkt.dst].push_back(std::move(it.pkt));
         ++stats_.packets_delivered;
     }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "noc/packet.hpp"
+#include "sim/metrics.hpp"
 #include "sim/types.hpp"
 
 namespace dta::noc {
@@ -64,6 +65,17 @@ public:
         return static_cast<std::uint32_t>(inject_.size());
     }
 
+    /// Packets anywhere in the fabric (queued, on a bus, or undelivered) —
+    /// the congestion gauge the Machine's sampler records per fabric.
+    [[nodiscard]] std::size_t pending() const;
+
+    /// Resolves the noc.packet_latency histogram (injection → inbox
+    /// delivery, aggregated over every fabric); no-op when \p reg is
+    /// disabled.
+    void attach_metrics(sim::MetricsRegistry& reg) {
+        pkt_latency_ = reg.histogram("noc.packet_latency");
+    }
+
 private:
     struct InTransit {
         sim::Cycle deliver_at = 0;
@@ -86,6 +98,8 @@ private:
     std::size_t rr_next_ = 0;
     std::uint64_t seq_ = 0;
     InterconnectStats stats_;
+    sim::Cycle now_ = 0;  ///< last tick time, stamps off-tick injections
+    sim::Histogram* pkt_latency_ = nullptr;  ///< null when metrics are off
 };
 
 }  // namespace dta::noc

@@ -33,6 +33,7 @@ struct Packet {
     std::uint64_t a = 0;          ///< payload word (e.g. address)
     std::uint64_t b = 0;          ///< payload word (e.g. value)
     std::uint64_t c = 0;          ///< payload word (e.g. correlation id)
+    std::uint64_t enq_at = 0;     ///< fabric-internal: injection cycle
     std::vector<std::uint8_t> data;  ///< bulk payload (DMA lines)
 };
 

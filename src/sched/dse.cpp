@@ -40,9 +40,9 @@ bool Dse::try_grant(const Pending& req) {
 }
 
 void Dse::on_falloc_req(sim::ThreadCodeId code, std::uint32_t sc,
-                        FallocCtx ctx) {
+                        FallocCtx ctx, sim::Cycle now) {
     ++stats_.requests;
-    Pending req{code, sc, ctx};
+    Pending req{code, sc, ctx, now};
     if (try_grant(req)) {
         return;
     }
@@ -66,7 +66,7 @@ void Dse::on_falloc_req(sim::ThreadCodeId code, std::uint32_t sc,
     stats_.peak_pending = std::max(stats_.peak_pending, pending_.size());
 }
 
-void Dse::on_frame_free(sim::GlobalPeId pe) {
+void Dse::on_frame_free(sim::GlobalPeId pe, sim::Cycle now) {
     DTA_CHECK_MSG(topo_.node_of(pe) == node_,
                   "kFrameFree routed to the wrong DSE");
     const std::uint16_t local = topo_.local_pe_of(pe);
@@ -75,6 +75,9 @@ void Dse::on_frame_free(sim::GlobalPeId pe) {
     while (!pending_.empty()) {
         if (!try_grant(pending_.front())) {
             break;
+        }
+        if (queue_wait_ != nullptr) {
+            queue_wait_->record(now - pending_.front().queued_at);
         }
         pending_.pop_front();
     }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sched/messages.hpp"
+#include "sim/metrics.hpp"
 #include "sim/types.hpp"
 
 namespace dta::sched {
@@ -42,11 +43,13 @@ public:
     Dse(const Topology& topo, std::uint16_t node, std::uint32_t frames_per_pe,
         bool virtual_frames = false);
 
-    /// Handles a kFallocReq (from a local LSE or a remote DSE).
-    void on_falloc_req(sim::ThreadCodeId code, std::uint32_t sc, FallocCtx ctx);
+    /// Handles a kFallocReq (from a local LSE or a remote DSE); \p now
+    /// stamps requests that park so their queue wait can be measured.
+    void on_falloc_req(sim::ThreadCodeId code, std::uint32_t sc, FallocCtx ctx,
+                       sim::Cycle now = 0);
 
     /// Handles a kFrameFree notification.
-    void on_frame_free(sim::GlobalPeId pe);
+    void on_frame_free(sim::GlobalPeId pe, sim::Cycle now = 0);
 
     /// Used by the machine to account frames it seeds directly (the entry
     /// thread's bootstrap frame).
@@ -62,6 +65,13 @@ public:
         return pending_.empty() && outbox_.empty();
     }
     [[nodiscard]] const DseStats& stats() const { return stats_; }
+
+    /// Resolves the sched.dse_queue_wait histogram (cycles a FALLOC request
+    /// spends parked waiting for a free frame); no-op when \p reg is
+    /// disabled.
+    void attach_metrics(sim::MetricsRegistry& reg) {
+        queue_wait_ = reg.histogram("sched.dse_queue_wait");
+    }
     [[nodiscard]] std::uint32_t free_frames(std::uint16_t local_pe) const {
         return free_[local_pe];
     }
@@ -71,6 +81,7 @@ private:
         sim::ThreadCodeId code = 0;
         std::uint32_t sc = 0;
         FallocCtx ctx;
+        sim::Cycle queued_at = 0;
     };
 
     /// Tries to place a request on a local PE; returns false if full.
@@ -84,6 +95,7 @@ private:
     std::deque<SchedMsg> outbox_;
     std::uint16_t rr_next_ = 0;
     DseStats stats_;
+    sim::Histogram* queue_wait_ = nullptr;  ///< null when metrics are off
 };
 
 }  // namespace dta::sched

@@ -53,6 +53,12 @@ sim::ThreadCodeId Lse::code_of(std::uint32_t slot) const {
     return frame_at(slot).code;
 }
 
+void Lse::attach_metrics(sim::MetricsRegistry& reg) {
+    falloc_wait_ = reg.histogram("sched.falloc_wait");
+    dispatch_wait_ = reg.histogram("sched.dispatch_wait");
+    dma_suspend_ = reg.histogram("sched.dma_suspend");
+}
+
 // ---- allocation -------------------------------------------------------------
 
 std::uint32_t Lse::allocate_slot(sim::ThreadCodeId code, std::uint32_t sc) {
@@ -86,6 +92,7 @@ std::uint32_t Lse::allocate_slot(sim::ThreadCodeId code, std::uint32_t sc) {
     f.sc = sc;
     f.state = sc == 0 ? FrameState::kReady : FrameState::kWaitStores;
     if (f.state == FrameState::kReady) {
+        f.ready_at = now_;
         ready_.push_back(slot);
     }
     ++live_frames_;
@@ -154,6 +161,7 @@ void Lse::materialize_next() {
         ++stats_.frames_allocated;
         if (vf.stores.empty()) {
             f.state = FrameState::kReady;
+            f.ready_at = now_;
             ready_.push_back(slot);
             continue;
         }
@@ -170,6 +178,9 @@ void Lse::materialize_next() {
 // ---- SPU-facing ----------------------------------------------------------------
 
 void Lse::falloc(std::uint8_t rd, sim::ThreadCodeId code, std::uint32_t sc) {
+    if (falloc_wait_ != nullptr) {
+        falloc_issue_[rd].push_back(now_);
+    }
     SchedMsg msg;
     msg.kind = MsgKind::kFallocReq;
     msg.dst_node = topo_.node_of(self_);
@@ -276,6 +287,10 @@ void Lse::dma_completed(std::uint32_t slot) {
         f.state = FrameState::kReady;
         DTA_CHECK(waitdma_count_ > 0);
         --waitdma_count_;
+        f.ready_at = now_;
+        if (dma_suspend_ != nullptr) {
+            dma_suspend_->record(now_ - f.suspend_at);
+        }
         ready_.push_back(slot);
     }
 }
@@ -294,6 +309,7 @@ void Lse::suspend_for_dma(std::uint32_t slot, std::uint32_t resume_ip,
     f.resume_ip = resume_ip;
     f.snapshot = snap;
     f.has_snapshot = true;
+    f.suspend_at = now_;
     ++waitdma_count_;
     ++stats_.dma_suspends;
 }
@@ -312,6 +328,9 @@ bool Lse::pop_dispatch(sim::Cycle now, Dispatch& out) {
     ready_.pop_front();
     Frame& f = frame_at(slot);
     DTA_CHECK(f.state == FrameState::kReady);
+    if (dispatch_wait_ != nullptr) {
+        dispatch_wait_->record(now - f.ready_at);
+    }
     f.state = FrameState::kRunning;
     out.slot = slot;
     out.code = f.code;
@@ -349,6 +368,13 @@ void Lse::on_falloc_resp(sim::FrameHandle h, FallocCtx ctx) {
     DTA_CHECK_MSG(ctx.node == topo_.node_of(self_) &&
                       ctx.pe == topo_.local_pe_of(self_),
                   "FALLOC response routed to the wrong LSE");
+    if (falloc_wait_ != nullptr) {
+        const auto it = falloc_issue_.find(ctx.rd);
+        if (it != falloc_issue_.end() && !it->second.empty()) {
+            falloc_wait_->record(now_ - it->second.front());
+            it->second.pop_front();
+        }
+    }
     falloc_done_.push_back(FallocDone{ctx.rd, h});
 }
 
@@ -372,7 +398,8 @@ bool Lse::pop_outgoing(SchedMsg& out) {
     return true;
 }
 
-void Lse::tick(sim::Cycle) {
+void Lse::tick(sim::Cycle now) {
+    now_ = now;
     // Frame writes that completed in the LS decrement the SC now.
     mem::LsResponse resp;
     while (ls_.pop_response(mem::LsClient::kLse, resp)) {
@@ -390,6 +417,7 @@ void Lse::sc_arrived(std::uint32_t slot) {
     --f.sc;
     if (f.sc == 0) {
         f.state = FrameState::kReady;
+        f.ready_at = now_;
         ready_.push_back(slot);
     }
 }
@@ -415,6 +443,7 @@ void Lse::make_ready(std::uint32_t slot) {
     if (f.state == FrameState::kWaitStores) {
         f.sc = 0;
         f.state = FrameState::kReady;
+        f.ready_at = now_;
         ready_.push_back(slot);
     }
 }

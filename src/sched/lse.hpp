@@ -16,12 +16,14 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
 #include "isa/instruction.hpp"
 #include "mem/local_store.hpp"
 #include "sched/messages.hpp"
+#include "sim/metrics.hpp"
 #include "sim/types.hpp"
 
 namespace dta::sched {
@@ -213,6 +215,12 @@ public:
     [[nodiscard]] std::uint32_t staging_ls_base(std::uint32_t slot) const;
     [[nodiscard]] const LseConfig& config() const { return cfg_; }
     [[nodiscard]] const LseStats& stats() const { return stats_; }
+
+    /// Resolves this LSE's latency histograms (no-op when \p reg is
+    /// disabled): sched.falloc_wait (FALLOC issue → handle back),
+    /// sched.dispatch_wait (frame ready → bound to the SPU), and
+    /// sched.dma_suspend (Wait-for-DMA park duration).
+    void attach_metrics(sim::MetricsRegistry& reg);
     /// True when nothing is live, queued, in flight, or pending.
     [[nodiscard]] bool quiescent() const;
 
@@ -226,6 +234,8 @@ private:
         bool has_snapshot = false;
         ThreadSnapshot snapshot;
         std::uint32_t stores_in_flight = 0;  ///< LS writes not yet completed
+        sim::Cycle ready_at = 0;    ///< when the frame last became kReady
+        sim::Cycle suspend_at = 0;  ///< when the thread entered kWaitDma
     };
 
     /// A not-yet-physical frame: its stores accumulate in a buffer until a
@@ -271,6 +281,15 @@ private:
     std::deque<std::uint32_t> materialize_queue_;  ///< complete virtual ids
     std::uint32_t next_virtual_id_ = 0;            ///< offset past cfg_.frames
     LseStats stats_;
+
+    // observability (all optional; null when metrics are off)
+    sim::Cycle now_ = 0;  ///< last tick time, for off-tick event stamps
+    sim::Histogram* falloc_wait_ = nullptr;
+    sim::Histogram* dispatch_wait_ = nullptr;
+    sim::Histogram* dma_suspend_ = nullptr;
+    /// FALLOC issue cycles keyed by destination register, popped FIFO when
+    /// the handle comes back (responses for one register stay in order).
+    std::map<std::uint8_t, std::deque<sim::Cycle>> falloc_issue_;
 };
 
 }  // namespace dta::sched

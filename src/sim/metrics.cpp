@@ -1,0 +1,87 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace dta::sim {
+
+std::size_t Histogram::bucket_of(std::uint64_t v) {
+    return static_cast<std::size_t>(std::bit_width(v));
+}
+
+void Histogram::record(std::uint64_t v) {
+    ++buckets_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+double Histogram::percentile(double p) const {
+    if (count_ == 0) {
+        return 0.0;
+    }
+    p = std::clamp(p, 0.0, 100.0);
+    const double target = p / 100.0 * static_cast<double>(count_);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        if (buckets_[b] == 0) {
+            continue;
+        }
+        const std::uint64_t prev = cum;
+        cum += buckets_[b];
+        if (static_cast<double>(cum) < target) {
+            continue;
+        }
+        // The rank falls in bucket b: values in [2^(b-1), 2^b - 1] (bucket 0
+        // holds only the value 0).  Interpolate linearly inside the bucket,
+        // then clamp to the exact observed range.
+        const double lo = b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
+        const double hi =
+            b == 0 ? 0.0
+                   : static_cast<double>(b >= 64 ? ~0ull
+                                                 : (1ull << b) - 1);
+        const double frac =
+            buckets_[b] == 0
+                ? 0.0
+                : (target - static_cast<double>(prev)) /
+                      static_cast<double>(buckets_[b]);
+        const double est = lo + frac * (hi - lo);
+        return std::clamp(est, static_cast<double>(min()),
+                          static_cast<double>(max_));
+    }
+    return static_cast<double>(max_);
+}
+
+void Histogram::merge(const Histogram& other) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        buckets_[b] += other.buckets_[b];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+    if (!enabled_) {
+        return nullptr;
+    }
+    return &counters_[name];
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+    if (!enabled_) {
+        return nullptr;
+    }
+    return &histograms_[name];
+}
+
+GaugeSeries* MetricsRegistry::gauge(const std::string& name) {
+    if (!enabled_) {
+        return nullptr;
+    }
+    return &gauges_[name];
+}
+
+}  // namespace dta::sim

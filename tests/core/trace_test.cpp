@@ -138,5 +138,61 @@ TEST(ChromeTrace, EmitsWellFormedJson) {
     EXPECT_NE(fallback.find("code7"), std::string::npos);
 }
 
+TEST(ChromeTrace, EmitsCounterTracksAndDmaSlices) {
+    sim::MetricsRegistry reg;
+    reg.enable();
+    sim::GaugeSeries* q = reg.gauge("mem.queue_depth");
+    q->sample(0, 0);
+    q->sample(256, 5);
+    reg.gauge("dma.commands_in_flight")->sample(256, 2);
+
+    std::vector<dma::DmaSpan> dma;
+    dma.push_back(dma::DmaSpan{3, 1, dma::MfcOp::kGet, 512, 100, 180});
+
+    const std::string json = chrome_trace_json({}, {}, reg, dma);
+    // Counter events: ph C, one per sample, named after the gauge.
+    EXPECT_NE(json.find(R"("name": "mem.queue_depth", "cat": "gauge", )"
+                        R"("ph": "C", "ts": 256, "pid": 1, )"
+                        R"("args": {"value": 5})"),
+              std::string::npos);
+    EXPECT_NE(json.find(R"("name": "dma.commands_in_flight")"),
+              std::string::npos);
+    // DMA transfers: async begin/end pair on the DMA process, tid = PE.
+    EXPECT_NE(json.find(R"("name": "GET 512B", "cat": "dma", "ph": "b")"),
+              std::string::npos);
+    EXPECT_NE(json.find(R"("ph": "e")"), std::string::npos);
+    EXPECT_NE(json.find(R"("ts": 100, "pid": 2, "tid": 3)"),
+              std::string::npos);
+    // Process-name metadata labels all three tracks.
+    EXPECT_NE(json.find(R"({"name": "counters"})"), std::string::npos);
+    EXPECT_NE(json.find(R"({"name": "DMA"})"), std::string::npos);
+}
+
+TEST(ChromeTrace, FullVariantFromRealRunIsWellFormed) {
+    workloads::MatMul::Params p;
+    p.n = 8;
+    p.threads = 4;
+    const workloads::MatMul wl(p);
+    auto cfg = workloads::MatMul::machine_config(2);
+    cfg.capture_spans = true;
+    cfg.collect_metrics = true;
+    core::Machine m(cfg, wl.prefetch_program());
+    wl.init_memory(m.memory());
+    m.launch({});
+    const auto res = m.run();
+    ASSERT_FALSE(res.dma_spans.empty());
+    ASSERT_GE(res.metrics.gauges().size(), 2u);
+    const std::string json =
+        chrome_trace_json(res.spans, res.code_names, res.metrics,
+                          res.dma_spans);
+    // Every DMA span must fit the run and be non-empty.
+    for (const auto& d : res.dma_spans) {
+        EXPECT_LT(d.begin, d.end);
+        EXPECT_LE(d.end, res.cycles);
+    }
+    EXPECT_NE(json.find(R"("ph": "C")"), std::string::npos);
+    EXPECT_NE(json.find(R"("ph": "b")"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dta::core

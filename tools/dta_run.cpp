@@ -17,6 +17,9 @@
 ///     --profile         print the per-thread-code profile
 ///     --breakdown       print the SPU cycle breakdown
 ///     --trace FILE      write a Chrome-trace JSON timeline to FILE
+///                       (includes counter tracks and DMA slices)
+///     --metrics FILE    write a JSON run report (histograms, gauges) to FILE
+///     --log-level L     stderr simulator log: info, debug or trace
 ///     --disasm          print the disassembly and exit
 ///     --dump ADDR N     after the run, print N 32-bit words at ADDR
 
@@ -34,6 +37,8 @@
 #include "isa/asmtext.hpp"
 #include "isa/disasm.hpp"
 #include "sim/check.hpp"
+#include "sim/log.hpp"
+#include "stats/json_report.hpp"
 #include "stats/report.hpp"
 
 using namespace dta;
@@ -53,6 +58,8 @@ struct Options {
     bool breakdown = false;
     bool disasm = false;
     std::string trace_path;
+    std::string metrics_path;
+    sim::LogLevel log_level = sim::LogLevel::kOff;
     std::vector<std::uint64_t> args;
     std::vector<std::pair<std::uint64_t, std::uint32_t>> dumps;
 };
@@ -63,8 +70,10 @@ struct Options {
                  "[--mem-latency N]\n"
                  "       [--frames N] [--staging N] [--vfp] [--arg V]... "
                  "[--interp]\n"
-                 "       [--profile] [--breakdown] [--trace FILE] [--disasm]\n"
-                 "       [--dump ADDR N]...\n",
+                 "       [--profile] [--breakdown] [--trace FILE] "
+                 "[--metrics FILE]\n"
+                 "       [--log-level info|debug|trace] [--disasm] "
+                 "[--dump ADDR N]...\n",
                  argv0);
     std::exit(2);
 }
@@ -105,6 +114,20 @@ Options parse_options(int argc, char** argv) {
             opt.disasm = true;
         } else if (a == "--trace") {
             opt.trace_path = next();
+        } else if (a == "--metrics") {
+            opt.metrics_path = next();
+        } else if (a == "--log-level") {
+            const std::string lvl = next();
+            if (lvl == "info") {
+                opt.log_level = sim::LogLevel::kInfo;
+            } else if (lvl == "debug") {
+                opt.log_level = sim::LogLevel::kDebug;
+            } else if (lvl == "trace") {
+                opt.log_level = sim::LogLevel::kTrace;
+            } else {
+                std::fprintf(stderr, "unknown log level '%s'\n", lvl.c_str());
+                usage(argv[0]);
+            }
         } else if (a == "--arg") {
             opt.args.push_back(std::strtoull(next(), nullptr, 0));
         } else if (a == "--dump") {
@@ -173,8 +196,16 @@ int main(int argc, char** argv) {
         cfg.lse = sched::LseConfig::with(opt.frames, opt.staging);
         cfg.lse.virtual_frames = opt.vfp;
         cfg.capture_spans = !opt.trace_path.empty();
+        cfg.collect_metrics =
+            !opt.metrics_path.empty() || !opt.trace_path.empty();
 
         core::Machine machine(cfg, prog);
+        if (opt.log_level != sim::LogLevel::kOff) {
+            machine.set_log_sink(opt.log_level, [](std::string_view line) {
+                std::fprintf(stderr, "%.*s\n",
+                             static_cast<int>(line.size()), line.data());
+            });
+        }
         machine.launch(opt.args);
         const core::RunResult res = machine.run();
 
@@ -195,9 +226,33 @@ int main(int argc, char** argv) {
         }
         if (!opt.trace_path.empty()) {
             std::ofstream out(opt.trace_path);
-            out << core::chrome_trace_json(res.spans, res.code_names);
-            std::printf("wrote %zu spans to %s\n", res.spans.size(),
-                        opt.trace_path.c_str());
+            if (!out) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             opt.trace_path.c_str());
+                return 1;
+            }
+            out << core::chrome_trace_json(res.spans, res.code_names,
+                                           res.metrics, res.dma_spans);
+            std::printf("wrote %zu spans, %zu counter tracks, %zu DMA "
+                        "slices to %s\n",
+                        res.spans.size(), res.metrics.gauges().size(),
+                        res.dma_spans.size(), opt.trace_path.c_str());
+        }
+        if (!opt.metrics_path.empty()) {
+            std::ofstream out(opt.metrics_path);
+            if (!out) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             opt.metrics_path.c_str());
+                return 1;
+            }
+            out << stats::run_report_json(res, prog.name);
+            std::size_t live = 0;
+            for (const auto& [name, h] : res.metrics.histograms()) {
+                live += h.count() > 0 ? 1 : 0;
+            }
+            std::printf("wrote run report (%zu histograms with samples) "
+                        "to %s\n",
+                        live, opt.metrics_path.c_str());
         }
         dump_words(machine.memory(), opt.dumps);
         return 0;
