@@ -83,12 +83,22 @@ inline void maybe_emit_json(const core::RunResult& res,
 }
 
 /// run_workload plus the DTA_BENCH_JSON hook, labelled by program name.
+/// Each run also logs its host wall clock (and cycles fast-forwarded) to
+/// stderr so bench timings can be compared run by run, not just per binary.
 template <typename W>
 workloads::RunOutcome run_reported(const W& wl, const core::MachineConfig& cfg,
                                    bool prefetch) {
     workloads::RunOutcome out = workloads::run_workload(wl, cfg, prefetch);
-    maybe_emit_json(out.result, prefetch ? wl.prefetch_program().name
-                                         : wl.program().name);
+    const std::string& label =
+        prefetch ? wl.prefetch_program().name : wl.program().name;
+    std::fprintf(stderr,
+                 "[bench] %-24s %10llu cycles  %7.3f s host  "
+                 "%10llu fast-forwarded\n",
+                 label.c_str(),
+                 static_cast<unsigned long long>(out.result.cycles),
+                 out.host_seconds,
+                 static_cast<unsigned long long>(out.cycles_fast_forwarded));
+    maybe_emit_json(out.result, label);
     return out;
 }
 

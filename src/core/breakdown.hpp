@@ -45,6 +45,10 @@ struct Breakdown {
     std::array<std::uint64_t, kNumBuckets> cycles{};
 
     void charge(CycleBucket b) { ++cycles[static_cast<std::size_t>(b)]; }
+    /// Bulk charge for a fast-forwarded span of \p n identical cycles.
+    void charge(CycleBucket b, std::uint64_t n) {
+        cycles[static_cast<std::size_t>(b)] += n;
+    }
     [[nodiscard]] std::uint64_t operator[](CycleBucket b) const {
         return cycles[static_cast<std::size_t>(b)];
     }

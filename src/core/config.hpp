@@ -81,6 +81,11 @@ struct MachineConfig {
     /// Cycles between gauge samples (queue depths, in-flight counts) when
     /// collect_metrics is on.  Must be non-zero.
     std::uint32_t metrics_sample_interval = 256;
+    /// Jump over cycles in which no component can change state (see
+    /// sim::Component::next_activity).  Results are cycle-exact either way;
+    /// this only trades host time.  The DTA_NO_FASTFORWARD environment
+    /// variable force-disables it (escape hatch for A/B debugging).
+    bool fast_forward = true;
 
     [[nodiscard]] std::uint32_t total_pes() const {
         return static_cast<std::uint32_t>(nodes) * spes_per_node;

@@ -1,17 +1,14 @@
 #include "core/machine.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <utility>
 
-#include "core/wire.hpp"
 #include "isa/validate.hpp"
 #include "sim/check.hpp"
 
 namespace dta::core {
-
-namespace {
-constexpr std::uint64_t kNoResponse = ~0ull;
-}
 
 // ---------------------------------------------------------------------------
 // RunResult helpers
@@ -58,7 +55,7 @@ double RunResult::slot_utilisation() const {
 }
 
 // ---------------------------------------------------------------------------
-// Construction
+// Construction and wiring
 // ---------------------------------------------------------------------------
 
 Machine::Machine(MachineConfig cfg, isa::Program prog)
@@ -70,10 +67,16 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
     DTA_SIM_REQUIRE(cfg_.nodes > 0 && cfg_.spes_per_node > 0,
                     "machine needs at least one node and one SPE");
     isa::validate_program(prog_);
+    fast_forward_ =
+        cfg_.fast_forward && std::getenv("DTA_NO_FASTFORWARD") == nullptr;
 
+    // Containers that components keep pointers into are sized up front so
+    // the port bindings below stay valid.
     fabrics_.reserve(cfg_.nodes);
+    dses_.reserve(cfg_.nodes);
     for (std::uint16_t n = 0; n < cfg_.nodes; ++n) {
         fabrics_.emplace_back(cfg_.noc, layout_.endpoint_count());
+        fabrics_.back().set_name("noc" + std::to_string(n));
         dses_.emplace_back(topo_, n, cfg_.lse.frames,
                            cfg_.lse.virtual_frames);
     }
@@ -81,16 +84,71 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
         links_.reserve(cfg_.nodes);
         for (std::uint16_t n = 0; n < cfg_.nodes; ++n) {
             links_.emplace_back(cfg_.link);
+            links_.back().set_name("link" + std::to_string(n));
         }
     }
-    bridge_out_.resize(cfg_.nodes);
-    link_arrivals_.resize(cfg_.nodes);
     pes_.reserve(cfg_.total_pes());
     for (sim::GlobalPeId id = 0; id < cfg_.total_pes(); ++id) {
         pes_.push_back(std::make_unique<Pe>(cfg_, topo_, id, prog_, logger_));
+        pes_.back()->set_parking(fast_forward_);
         if (cfg_.capture_spans) {
             pes_.back()->set_span_sink(&spans_);
         }
+    }
+    memif_ = std::make_unique<MemInterface>(mem_);
+    routers_.reserve(cfg_.nodes);
+    for (std::uint16_t n = 0; n < cfg_.nodes; ++n) {
+        std::vector<Pe*> local;
+        local.reserve(cfg_.spes_per_node);
+        for (std::uint16_t l = 0; l < cfg_.spes_per_node; ++l) {
+            local.push_back(pes_[topo_.global_pe(n, l)].get());
+        }
+        routers_.push_back(std::make_unique<NodeRouter>(
+            n, cfg_.nodes, layout_, fabrics_[n], dses_[n], std::move(local),
+            n == kMemoryNode ? memif_.get() : nullptr,
+            cfg_.nodes > 1 ? &links_[n] : nullptr));
+    }
+
+    // Wiring, declared once: fabric endpoints deliver straight into the
+    // owning component's rx port; ring links deliver into the next node's
+    // router.
+    for (std::uint16_t n = 0; n < cfg_.nodes; ++n) {
+        noc::Interconnect& fab = fabrics_[n];
+        for (std::uint16_t l = 0; l < cfg_.spes_per_node; ++l) {
+            fab.bind_endpoint(layout_.spe_ep(l),
+                              &pes_[topo_.global_pe(n, l)]->rx_port());
+        }
+        fab.bind_endpoint(layout_.dse_ep(), &dses_[n].rx_port());
+        if (n == kMemoryNode) {
+            fab.bind_endpoint(layout_.mem_ep(), &memif_->rx_port());
+        }
+        if (cfg_.nodes > 1) {
+            fab.bind_endpoint(layout_.bridge_ep(),
+                              &routers_[n]->bridge_out_port());
+            routers_[n]->set_forward_to(
+                &routers_[(n + 1) % cfg_.nodes]->arrivals_port());
+        }
+    }
+
+    // Scheduler list, in the seed's dependency order: fabric maturation
+    // first, then the consumers of its deliveries (DSEs, memory interface,
+    // PEs), then the per-node injection engines.  Routers run in node
+    // order so a link delivery to a higher-numbered node is forwarded the
+    // same cycle, exactly as the seed's injection_phase did.
+    components_.reserve(2 * static_cast<std::size_t>(cfg_.nodes) + 1 +
+                        pes_.size() + routers_.size());
+    for (auto& fab : fabrics_) {
+        components_.push_back(&fab);
+    }
+    for (auto& dse : dses_) {
+        components_.push_back(&dse);
+    }
+    components_.push_back(memif_.get());
+    for (auto& pe : pes_) {
+        components_.push_back(pe.get());
+    }
+    for (auto& router : routers_) {
+        components_.push_back(router.get());
     }
 
     if (cfg_.collect_metrics) {
@@ -134,281 +192,13 @@ void Machine::launch(std::span<const std::uint64_t> args) {
 }
 
 // ---------------------------------------------------------------------------
-// Memory interface (node 0)
-// ---------------------------------------------------------------------------
-
-std::size_t Machine::alloc_mem_ctx(const MemCtx& ctx) {
-    std::size_t idx;
-    if (!mem_ctx_free_.empty()) {
-        idx = mem_ctx_free_.front();
-        mem_ctx_free_.pop_front();
-        mem_ctx_[idx] = ctx;
-    } else {
-        idx = mem_ctx_.size();
-        mem_ctx_.push_back(ctx);
-    }
-    mem_ctx_[idx].in_use = true;
-    ++mem_ctx_outstanding_;
-    return idx;
-}
-
-void Machine::handle_memif_packet(const noc::Packet& pkt) {
-    switch (static_cast<sched::MsgKind>(pkt.kind)) {
-        case sched::MsgKind::kMemReadReq: {
-            const auto req = sched::GlobalEndpoint::unpack(pkt.b);
-            MemCtx ctx;
-            ctx.resp_kind = sched::MsgKind::kMemReadResp;
-            ctx.node = req.node;
-            ctx.ep = req.ep;
-            ctx.x = pkt.c;  // destination register
-            mem::MemRequest mr;
-            mr.op = mem::MemOp::kRead;
-            mr.addr = pkt.a;
-            mr.size = 4;
-            mr.meta = alloc_mem_ctx(ctx);
-            mem_.enqueue(std::move(mr));
-            break;
-        }
-        case sched::MsgKind::kMemWriteReq: {
-            mem::MemRequest mr;
-            mr.op = mem::MemOp::kWrite;
-            mr.addr = pkt.a;
-            mr.size = 4;
-            const auto v = static_cast<std::uint32_t>(pkt.b);
-            mr.data = {static_cast<std::uint8_t>(v),
-                       static_cast<std::uint8_t>(v >> 8),
-                       static_cast<std::uint8_t>(v >> 16),
-                       static_cast<std::uint8_t>(v >> 24)};
-            mr.meta = kNoResponse;
-            mem_.enqueue(std::move(mr));
-            break;
-        }
-        case sched::MsgKind::kDmaLineReq: {
-            const DmaWireCtx wire = DmaWireCtx::unpack(pkt.c);
-            MemCtx ctx;
-            ctx.resp_kind = sched::MsgKind::kDmaLineResp;
-            ctx.node = wire.node;
-            ctx.ep = wire.ep;
-            ctx.x = pkt.b;  // line id
-            mem::MemRequest mr;
-            mr.op = mem::MemOp::kRead;
-            mr.addr = pkt.a;
-            mr.size = wire.bytes;
-            mr.meta = alloc_mem_ctx(ctx);
-            mem_.enqueue(std::move(mr));
-            break;
-        }
-        case sched::MsgKind::kDmaPutReq: {
-            const DmaWireCtx wire = DmaWireCtx::unpack(pkt.c);
-            MemCtx ctx;
-            ctx.resp_kind = sched::MsgKind::kDmaPutAck;
-            ctx.node = wire.node;
-            ctx.ep = wire.ep;
-            ctx.x = pkt.b;  // line id
-            mem::MemRequest mr;
-            mr.op = mem::MemOp::kWrite;
-            mr.addr = pkt.a;
-            mr.size = wire.bytes;
-            mr.data = pkt.data;
-            mr.meta = alloc_mem_ctx(ctx);
-            mem_.enqueue(std::move(mr));
-            break;
-        }
-        default:
-            DTA_CHECK_MSG(false, "memory interface got unexpected packet kind " +
-                                     std::to_string(pkt.kind));
-    }
-}
-
-void Machine::drain_memory_responses() {
-    mem::MemResponse resp;
-    while (mem_.pop_response(resp)) {
-        if (resp.meta == kNoResponse) {
-            continue;  // posted SPU WRITE
-        }
-        DTA_CHECK(resp.meta < mem_ctx_.size());
-        MemCtx& ctx = mem_ctx_[resp.meta];
-        DTA_CHECK_MSG(ctx.in_use, "memory response without a live context");
-        noc::Packet pkt;
-        pkt.kind = static_cast<std::uint16_t>(ctx.resp_kind);
-        pkt.dst_node = ctx.node;
-        pkt.dst_final = ctx.ep;
-        switch (ctx.resp_kind) {
-            case sched::MsgKind::kMemReadResp:
-                pkt.a = resp.addr;
-                pkt.b = decode_le(resp.data, 4);
-                pkt.c = ctx.x;
-                pkt.size_bytes = sched::kMemReadRespBytes;
-                break;
-            case sched::MsgKind::kDmaLineResp:
-                pkt.a = ctx.x;
-                pkt.size_bytes =
-                    8 + static_cast<std::uint32_t>(resp.data.size());
-                pkt.data = std::move(resp.data);
-                break;
-            case sched::MsgKind::kDmaPutAck:
-                pkt.a = ctx.x;
-                pkt.size_bytes = 8;
-                break;
-            default:
-                DTA_CHECK_MSG(false, "bad memory context kind");
-        }
-        ctx.in_use = false;
-        mem_ctx_free_.push_back(resp.meta);
-        DTA_CHECK(mem_ctx_outstanding_ > 0);
-        --mem_ctx_outstanding_;
-        memif_outbox_.push_back(std::move(pkt));
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Routing
-// ---------------------------------------------------------------------------
-
-void Machine::handle_dse_packet(std::uint16_t node, const noc::Packet& pkt,
-                                sim::Cycle now) {
-    switch (static_cast<sched::MsgKind>(pkt.kind)) {
-        case sched::MsgKind::kFallocReq:
-            dses_[node].on_falloc_req(static_cast<sim::ThreadCodeId>(pkt.a),
-                                      static_cast<std::uint32_t>(pkt.b),
-                                      sched::FallocCtx::unpack(pkt.c), now);
-            break;
-        case sched::MsgKind::kFrameFree:
-            dses_[node].on_frame_free(static_cast<sim::GlobalPeId>(pkt.a),
-                                      now);
-            break;
-        default:
-            DTA_CHECK_MSG(false, "DSE got unexpected packet kind " +
-                                     std::to_string(pkt.kind));
-    }
-}
-
-void Machine::route_fabric_deliveries(sim::Cycle now) {
-    for (std::uint16_t node = 0; node < cfg_.nodes; ++node) {
-        noc::Interconnect& fab = fabrics_[node];
-        for (noc::EndpointId ep = 0; ep < layout_.endpoint_count(); ++ep) {
-            noc::Packet pkt;
-            while (fab.pop_delivered(ep, pkt)) {
-                if (layout_.is_spe(ep)) {
-                    pes_[topo_.global_pe(node, static_cast<std::uint16_t>(ep))]
-                        ->deliver(std::move(pkt));
-                } else if (ep == layout_.dse_ep()) {
-                    handle_dse_packet(node, pkt, now);
-                } else if (ep == layout_.mem_ep()) {
-                    DTA_CHECK_MSG(node == kMemoryNode,
-                                  "memory packet on a memory-less node");
-                    handle_memif_packet(pkt);
-                } else {  // bridge
-                    bridge_out_[node].push_back(std::move(pkt));
-                }
-            }
-        }
-    }
-}
-
-bool Machine::inject(std::uint16_t node, noc::EndpointId src,
-                     noc::Packet pkt) {
-    pkt.dst = pkt.dst_node == node ? pkt.dst_final : layout_.bridge_ep();
-    DTA_CHECK_MSG(pkt.dst_node == node || cfg_.nodes > 1,
-                  "cross-node packet in a single-node machine");
-    return fabrics_[node].try_inject(src, std::move(pkt));
-}
-
-void Machine::injection_phase(sim::Cycle now) {
-    for (std::uint16_t node = 0; node < cfg_.nodes; ++node) {
-        // (a) packets that arrived over the inbound link
-        auto& arrivals = link_arrivals_[node];
-        while (!arrivals.empty()) {
-            if (arrivals.front().dst_node == node) {
-                if (!inject(node, layout_.bridge_ep(), arrivals.front())) {
-                    break;
-                }
-                arrivals.pop_front();
-            } else {
-                // keep circling the ring
-                bridge_out_[node].push_back(std::move(arrivals.front()));
-                arrivals.pop_front();
-            }
-        }
-        // (b) memory responses (node 0 only)
-        if (node == kMemoryNode) {
-            while (!memif_outbox_.empty()) {
-                if (!inject(node, layout_.mem_ep(), memif_outbox_.front())) {
-                    break;
-                }
-                memif_outbox_.pop_front();
-            }
-        }
-        // (c) DSE messages
-        {
-            sched::SchedMsg msg;
-            while (fabrics_[node].can_inject(layout_.dse_ep()) &&
-                   dses_[node].pop_outgoing(msg)) {
-                noc::Packet pkt;
-                pkt.kind = static_cast<std::uint16_t>(msg.kind);
-                pkt.dst_node = msg.dst_node;
-                pkt.dst_final = msg.dst_is_dse
-                                    ? layout_.dse_ep()
-                                    : layout_.spe_ep(msg.dst_pe);
-                pkt.size_bytes = sched::kCtrlMsgBytes;
-                pkt.a = msg.a;
-                pkt.b = msg.b;
-                pkt.c = msg.c;
-                const bool ok = inject(node, layout_.dse_ep(), std::move(pkt));
-                DTA_CHECK(ok);  // can_inject was checked
-            }
-        }
-        // (d) PE traffic
-        for (std::uint16_t local = 0; local < cfg_.spes_per_node; ++local) {
-            Pe& pe = *pes_[topo_.global_pe(node, local)];
-            noc::Packet pkt;
-            while (fabrics_[node].can_inject(layout_.spe_ep(local)) &&
-                   pe.pop_outgoing(pkt)) {
-                const bool ok =
-                    inject(node, layout_.spe_ep(local), std::move(pkt));
-                DTA_CHECK(ok);
-            }
-        }
-        // (e) bridge -> outbound ring link
-        if (cfg_.nodes > 1) {
-            auto& out = bridge_out_[node];
-            while (!out.empty() && links_[node].can_send()) {
-                const bool ok = links_[node].try_send(std::move(out.front()));
-                DTA_CHECK(ok);
-                out.pop_front();
-            }
-            links_[node].tick(now);
-            noc::Packet pkt;
-            const std::uint16_t next =
-                static_cast<std::uint16_t>((node + 1) % cfg_.nodes);
-            while (links_[node].pop_delivered(pkt)) {
-                link_arrivals_[next].push_back(std::move(pkt));
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Run loop
 // ---------------------------------------------------------------------------
 
 void Machine::tick_cycle(sim::Cycle now) {
-    for (auto& fab : fabrics_) {
-        fab.tick(now);
+    for (sim::Component* c : components_) {
+        c->tick(now);
     }
-    route_fabric_deliveries(now);
-    mem_.tick(now);
-    drain_memory_responses();
-    for (auto& pe : pes_) {
-        pe->tick_local_store(now);
-    }
-    for (auto& pe : pes_) {
-        pe->tick_units(now);
-    }
-    for (auto& pe : pes_) {
-        pe->tick_spu(now);
-    }
-    injection_phase(now);
     if (metrics_.enabled() && now % cfg_.metrics_sample_interval == 0) {
         sample_gauges(now);
     }
@@ -431,29 +221,86 @@ void Machine::sample_gauges(sim::Cycle now) {
 }
 
 bool Machine::check_quiescent() const {
-    for (const auto& fab : fabrics_) {
-        if (!fab.quiescent()) return false;
-    }
-    for (const auto& link : links_) {
-        if (!link.quiescent()) return false;
-    }
-    if (!mem_.quiescent() || !memif_outbox_.empty() ||
-        mem_ctx_outstanding_ != 0) {
-        return false;
-    }
-    for (const auto& q : bridge_out_) {
-        if (!q.empty()) return false;
-    }
-    for (const auto& q : link_arrivals_) {
-        if (!q.empty()) return false;
-    }
-    for (const auto& dse : dses_) {
-        if (!dse.quiescent()) return false;
-    }
-    for (const auto& pe : pes_) {
-        if (!pe->quiescent()) return false;
+    for (const sim::Component* c : components_) {
+        if (!c->quiescent()) {
+            return false;
+        }
     }
     return true;
+}
+
+std::uint64_t Machine::fingerprint() const {
+    std::uint64_t fp = mem_.reads_served() + mem_.writes_served();
+    for (const auto& fab : fabrics_) {
+        fp += fab.stats().packets_delivered;
+    }
+    for (const auto& pe : pes_) {
+        fp += pe->issue_slots_used() + pe->lse().stats().dispatches;
+    }
+    return fp;
+}
+
+std::string Machine::non_quiescent_names() const {
+    std::string who;
+    for (const sim::Component* c : components_) {
+        if (!c->quiescent()) {
+            if (!who.empty()) {
+                who += ", ";
+            }
+            who += c->name();
+        }
+    }
+    return who;
+}
+
+void Machine::throw_deadlock(sim::Cycle now, sim::Cycle stalled,
+                             bool idle_forever) const {
+    std::uint64_t parked = 0;
+    for (const auto& dse : dses_) {
+        parked += dse.pending();
+    }
+    const std::string tail =
+        " (stuck: " + non_quiescent_names() + "; " + std::to_string(parked) +
+        " FALLOCs parked at DSEs; the program's live-thread "
+        "peak likely exceeds the frame supply)";
+    if (idle_forever) {
+        DTA_SIM_ERROR("deadlock at cycle " + std::to_string(now) +
+                      ": every component is idle forever yet the machine is "
+                      "not quiescent" +
+                      tail);
+    }
+    DTA_SIM_ERROR("deadlock: no progress for " + std::to_string(stalled) +
+                  " cycles" + tail);
+}
+
+void Machine::fast_forward_span(sim::Cycle from, sim::Cycle to,
+                                std::uint64_t& last_fp,
+                                sim::Cycle& last_progress) {
+    for (sim::Component* c : components_) {
+        c->skip(from, to);
+    }
+    skipped_ += to - from;
+    // Replay the gauge samples the per-cycle loop would have taken.  No
+    // component state changes on a skipped cycle (that is what the horizon
+    // guarantees), so every sample in the span reads the current values.
+    if (metrics_.enabled()) {
+        const sim::Cycle step = cfg_.metrics_sample_interval;
+        for (sim::Cycle c = ((from + step - 1) / step) * step; c < to;
+             c += step) {
+            sample_gauges(c);
+        }
+    }
+    // Replay the deadlock checkpoints (cycles ending in 0xfff).  The
+    // fingerprint is frozen across the span for the same reason.
+    const std::uint64_t fp = fingerprint();
+    for (sim::Cycle c = from | 0xfff; c < to; c += 0x1000) {
+        if (fp != last_fp) {
+            last_fp = fp;
+            last_progress = c;
+        } else if (c - last_progress > cfg_.no_progress_limit) {
+            throw_deadlock(c, c - last_progress, false);
+        }
+    }
 }
 
 RunResult Machine::run() {
@@ -463,13 +310,15 @@ RunResult Machine::run() {
     sim::Cycle now = 0;
     std::uint64_t last_fp = ~0ull;
     sim::Cycle last_progress = 0;
-    for (; now < cfg_.max_cycles; ++now) {
+    std::uint64_t prev_fp = ~0ull;  ///< gate: last cycle's fingerprint
+    while (now < cfg_.max_cycles) {
         tick_cycle(now);
         if (check_quiescent()) {
             logger_.log(sim::LogLevel::kInfo, now, "machine",
                         "quiescent; simulation complete");
             return gather(now + 1);
         }
+        const std::uint64_t fp = fingerprint();
         // No-progress (deadlock) detection.  A live machine issues
         // instructions, delivers packets or completes memory accesses; if
         // the activity fingerprint freezes for longer than any
@@ -477,29 +326,43 @@ RunResult Machine::run() {
         // blocking a pipeline while every free-able frame needs that
         // pipeline to finish.
         if ((now & 0xfff) == 0xfff) {
-            std::uint64_t fp = mem_.reads_served() + mem_.writes_served();
-            for (const auto& fab : fabrics_) {
-                fp += fab.stats().packets_delivered;
-            }
-            for (const auto& pe : pes_) {
-                fp += pe->issue_slots_used() + pe->lse().stats().dispatches;
-            }
             if (fp != last_fp) {
                 last_fp = fp;
                 last_progress = now;
             } else if (now - last_progress > cfg_.no_progress_limit) {
-                std::uint64_t parked = 0;
-                for (const auto& dse : dses_) {
-                    parked += dse.pending();
-                }
-                DTA_SIM_ERROR(
-                    "deadlock: no progress for " +
-                    std::to_string(now - last_progress) + " cycles (" +
-                    std::to_string(parked) +
-                    " FALLOCs parked at DSEs; the program's live-thread "
-                    "peak likely exceeds the frame supply)");
+                throw_deadlock(now, now - last_progress, false);
             }
         }
+        sim::Cycle next = now + 1;
+        // Horizons are only worth consulting when the tick just taken made
+        // no observable progress: a cycle that issued an instruction,
+        // delivered a packet or retired a memory access is the middle of a
+        // busy stretch, and some component would report now+1 anyway.  The
+        // fingerprint is a dozen counter loads — far cheaper than asking
+        // every component for its horizon.
+        if (fast_forward_ && fp == prev_fp) {
+            sim::Cycle h = sim::kIdleForever;
+            for (const sim::Component* c : components_) {
+                h = std::min(h, c->next_activity(now));
+                if (h <= next) {
+                    break;  // can't skip anything; stop asking
+                }
+            }
+            if (h == sim::kIdleForever) {
+                // Nothing in flight anywhere can ever change state again:
+                // a certain deadlock the fingerprint check would only
+                // confirm after no_progress_limit cycles.
+                throw_deadlock(now, 0, true);
+            }
+            DTA_CHECK_MSG(h > now, "component horizon not in the future");
+            h = std::min<sim::Cycle>(h, cfg_.max_cycles);
+            if (h > next) {
+                fast_forward_span(next, h, last_fp, last_progress);
+                next = h;
+            }
+        }
+        prev_fp = fp;
+        now = next;
     }
     DTA_SIM_ERROR("simulation exceeded max_cycles (" +
                   std::to_string(cfg_.max_cycles) + ")");

@@ -2,16 +2,24 @@
 /// \brief The whole simulated machine: nodes of PEs, the distributed
 ///        scheduler, the bus fabric(s), the memory controller, and the run
 ///        loop (Fig. 2 of the paper).
+///
+/// Every timed part of the machine is a sim::Component registered in one
+/// scheduler list; wiring between them is declared once at construction as
+/// typed sim::Port bindings.  The run loop drives the list cycle by cycle
+/// and — when every component agrees nothing can happen before cycle T —
+/// fast-forwards straight to T (cycle-exact; see docs/ARCHITECTURE.md).
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/breakdown.hpp"
 #include "core/config.hpp"
+#include "core/mem_interface.hpp"
+#include "core/node_router.hpp"
 #include "core/pe.hpp"
 #include "core/trace.hpp"
 #include "core/topology.hpp"
@@ -20,6 +28,7 @@
 #include "noc/interconnect.hpp"
 #include "noc/link.hpp"
 #include "sched/dse.hpp"
+#include "sim/component.hpp"
 #include "sim/log.hpp"
 #include "sim/metrics.hpp"
 
@@ -108,29 +117,24 @@ public:
         return static_cast<std::uint32_t>(pes_.size());
     }
     [[nodiscard]] sched::Dse& dse(std::uint16_t node) { return dses_[node]; }
+    /// Cycles run() jumped over instead of ticking (0 with fast-forward
+    /// off).  Deliberately *not* part of RunResult: results are identical
+    /// either way.
+    [[nodiscard]] sim::Cycle cycles_fast_forwarded() const { return skipped_; }
 
 private:
-    /// Bookkeeping for one outstanding timed memory access.
-    struct MemCtx {
-        sched::MsgKind resp_kind = sched::MsgKind::kInvalid;
-        std::uint16_t node = 0;
-        std::uint32_t ep = 0;
-        std::uint64_t x = 0;  ///< rd (reads) or DMA line id
-        bool in_use = false;
-    };
-
     void tick_cycle(sim::Cycle now);
-    void route_fabric_deliveries(sim::Cycle now);
-    void handle_dse_packet(std::uint16_t node, const noc::Packet& pkt,
-                           sim::Cycle now);
     void sample_gauges(sim::Cycle now);
-    void handle_memif_packet(const noc::Packet& pkt);
-    void drain_memory_responses();
-    void injection_phase(sim::Cycle now);
-    [[nodiscard]] bool inject(std::uint16_t node, noc::EndpointId src,
-                              noc::Packet pkt);
     [[nodiscard]] bool check_quiescent() const;
-    [[nodiscard]] std::size_t alloc_mem_ctx(const MemCtx& ctx);
+    /// Activity fingerprint for no-progress (deadlock) detection.
+    [[nodiscard]] std::uint64_t fingerprint() const;
+    [[nodiscard]] std::string non_quiescent_names() const;
+    [[noreturn]] void throw_deadlock(sim::Cycle now, sim::Cycle stalled,
+                                     bool idle_forever) const;
+    /// Applies the bookkeeping of skipped cycles [from, to): component
+    /// skip() hooks, gauge samples, deadlock checkpoints.
+    void fast_forward_span(sim::Cycle from, sim::Cycle to,
+                           std::uint64_t& last_fp, sim::Cycle& last_progress);
     [[nodiscard]] RunResult gather(sim::Cycle cycles) const;
 
     MachineConfig cfg_;
@@ -138,22 +142,20 @@ private:
     sched::Topology topo_;
     FabricLayout layout_;
     sim::Logger logger_;
+    bool fast_forward_ = true;  ///< cfg_.fast_forward minus env override
 
     mem::MainMemory mem_;
     std::vector<noc::Interconnect> fabrics_;  ///< one per node
     std::vector<noc::Link> links_;            ///< ring: node i -> (i+1)%n
     std::vector<std::unique_ptr<Pe>> pes_;
     std::vector<sched::Dse> dses_;
+    std::unique_ptr<MemInterface> memif_;             ///< node 0
+    std::vector<std::unique_ptr<NodeRouter>> routers_;  ///< one per node
 
-    // memory-interface glue (node 0)
-    std::vector<MemCtx> mem_ctx_;
-    std::deque<std::size_t> mem_ctx_free_;
-    std::size_t mem_ctx_outstanding_ = 0;
-    std::deque<noc::Packet> memif_outbox_;
-
-    // inter-node glue
-    std::vector<std::deque<noc::Packet>> bridge_out_;   ///< to my ring link
-    std::vector<std::deque<noc::Packet>> link_arrivals_; ///< from my inbound link
+    /// Scheduler order: fabrics, DSEs, memif, PEs, routers — the exact
+    /// dependency order of the seed's hand-rolled tick_cycle.
+    std::vector<sim::Component*> components_;
+    sim::Cycle skipped_ = 0;
 
     std::vector<ThreadSpan> spans_;  ///< filled when cfg_.capture_spans
 

@@ -31,24 +31,18 @@ Pe::Pe(const MachineConfig& cfg, const sched::Topology& topo,
     code_instrs_.assign(prog.codes.size(), 0);
     code_starts_.assign(prog.codes.size(), 0);
     code_dispatches_.assign(prog.codes.size(), 0);
+    set_name("pe" + std::to_string(self));
 }
 
 // ---------------------------------------------------------------------------
 // Packet plumbing
 // ---------------------------------------------------------------------------
 
-void Pe::deliver(noc::Packet pkt) { inbox_.push_back(std::move(pkt)); }
+void Pe::deliver(noc::Packet pkt) { inbox_.push(std::move(pkt)); }
 
-bool Pe::pop_outgoing(noc::Packet& out) {
-    if (outgoing_.empty()) {
-        return false;
-    }
-    out = std::move(outgoing_.front());
-    outgoing_.pop_front();
-    return true;
-}
+bool Pe::pop_outgoing(noc::Packet& out) { return outgoing_.pop(out); }
 
-void Pe::push_packet(noc::Packet pkt) { outgoing_.push_back(std::move(pkt)); }
+void Pe::push_packet(noc::Packet pkt) { outgoing_.push(std::move(pkt)); }
 
 void Pe::send_sched_msg(const sched::SchedMsg& msg) {
     const std::uint16_t own_node = topo_.node_of(self_);
@@ -126,9 +120,8 @@ void Pe::tick_local_store(sim::Cycle now) { ls_.tick(now); }
 
 void Pe::tick_units(sim::Cycle now) {
     // 1. Decode fabric deliveries.
-    while (!inbox_.empty()) {
-        noc::Packet pkt = std::move(inbox_.front());
-        inbox_.pop_front();
+    noc::Packet pkt;
+    while (inbox_.pop(pkt)) {
         switch (static_cast<sched::MsgKind>(pkt.kind)) {
             case sched::MsgKind::kFallocFwd:
                 lse_.on_falloc_fwd(static_cast<sim::ThreadCodeId>(pkt.a),
@@ -796,6 +789,113 @@ bool Pe::quiescent() const {
     return !bound_ && inbox_.empty() && outgoing_.empty() && ls_.quiescent() &&
            mfc_.quiescent() && lse_.quiescent() && outstanding_reads_ == 0 &&
            outstanding_lsloads_ == 0 && outstanding_fallocs_ == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Activity horizon / fast-forward
+// ---------------------------------------------------------------------------
+
+sim::Cycle Pe::operand_horizon(const Instruction& ins, sim::Cycle now) const {
+    sim::Cycle h = sim::kIdleForever;
+    const auto consider = [&](std::uint8_t r) {
+        // Regs pending on external events (kCycleNever) are woken by the
+        // component carrying the request; only finite ready-times schedule
+        // a retry here.
+        if (r != 0 && reg_ready_[r] > now + 1 &&
+            reg_ready_[r] != sim::kCycleNever && reg_ready_[r] < h) {
+            h = reg_ready_[r];
+        }
+    };
+    const auto& oi = ins.info();
+    if (oi.reads_ra) consider(ins.ra);
+    if (oi.reads_rb) consider(ins.rb);
+    if (oi.writes_rd || oi.reads_rd) consider(ins.rd);
+    return h;
+}
+
+sim::Cycle Pe::next_activity(sim::Cycle now) const {
+    // Undecoded deliveries, undrained producer traffic, or a completed
+    // FALLOC waiting to land in its register: work next cycle.
+    if (!inbox_.empty() || !outgoing_.empty() || !lse_.outgoing_empty() ||
+        lse_.falloc_response_pending()) {
+        return now + 1;
+    }
+    sim::Cycle h = ls_.next_activity(now);
+    const sim::Cycle mfc_h = mfc_.next_activity(now);
+    h = mfc_h < h ? mfc_h : h;
+    if (bound_) {
+        if (busy_until_ > now + 1) {
+            h = busy_until_ < h ? busy_until_ : h;
+        } else {
+            // The pipeline attempts issue next cycle; skippable only while
+            // the verdict provably cannot change.
+            const IssueCheck chk = can_issue(code_->code[ip_], now + 1);
+            if (chk.ok) {
+                return now + 1;
+            }
+            const sim::Cycle op_h = operand_horizon(code_->code[ip_], now);
+            h = op_h < h ? op_h : h;
+        }
+    } else {
+        if (!lse_.dispatch_requested()) {
+            return now + 1;  // handle_dispatch posts the request (a mutation)
+        }
+        if (lse_.ready_count() > 0) {
+            sim::Cycle d = lse_.dispatch_ready_at();
+            d = d > now + 1 ? d : now + 1;
+            h = d < h ? d : h;
+        }
+        // No ready thread: the wake-up (DMA completion, frame store) rides
+        // on another component's horizon.
+    }
+    return h;
+}
+
+void Pe::skip(sim::Cycle from, sim::Cycle to) {
+    const std::uint64_t n = to - from;
+    if (!bound_) {
+        // Replicates handle_dispatch's non-dispatching charges; the horizon
+        // guarantees no dispatch could have happened in [from, to).
+        DTA_CHECK(lse_.dispatch_requested());
+        if (lse_.ready_count() > 0) {
+            DTA_CHECK(to <= lse_.dispatch_ready_at());
+            breakdown_.charge(CycleBucket::kLseStall, n);
+        } else if (lse_.waitdma_count() > 0 &&
+                   cfg_.count_dma_idle_as_prefetch) {
+            breakdown_.charge(CycleBucket::kPrefetch, n);
+        } else {
+            breakdown_.charge(CycleBucket::kIdle, n);
+        }
+    } else {
+        code_cycles_[code_id_] += n;
+        if (from < busy_until_) {
+            DTA_CHECK(to <= busy_until_);
+            switch (busy_reason_) {
+                case BusyReason::kThreadStart:
+                    breakdown_.charge(CycleBucket::kLseStall, n);
+                    break;
+                case BusyReason::kBranch:
+                    breakdown_.charge(CycleBucket::kPipeStall, n);
+                    break;
+                case BusyReason::kDmaProgram:
+                    breakdown_.charge(CycleBucket::kPrefetch, n);
+                    break;
+                case BusyReason::kNone:
+                    breakdown_.charge(CycleBucket::kPipeStall, n);
+                    break;
+            }
+        } else {
+            // The stall verdict is constant across the span: every finite
+            // operand ready-time bounds the horizon, and resource state
+            // only mutates inside ticks.
+            const IssueCheck chk = can_issue(code_->code[ip_], from);
+            DTA_CHECK_MSG(!chk.ok, "fast-forward skipped an issuable cycle");
+            breakdown_.charge(chk.stall, n);
+        }
+    }
+    // Sub-units only need their stale-by-one event clocks advanced.
+    mfc_.skip(from, to);
+    lse_.skip(from, to);
 }
 
 }  // namespace dta::core

@@ -26,12 +26,14 @@
 #include "mem/local_store.hpp"
 #include "noc/packet.hpp"
 #include "sched/lse.hpp"
+#include "sim/component.hpp"
 #include "sim/log.hpp"
+#include "sim/port.hpp"
 
 namespace dta::core {
 
 /// One SPE of the machine.
-class Pe {
+class Pe final : public sim::Component {
 public:
     Pe(const MachineConfig& cfg, const sched::Topology& topo,
        sim::GlobalPeId self, const isa::Program& prog,
@@ -41,13 +43,60 @@ public:
     Pe& operator=(const Pe&) = delete;
 
     // ---- packet I/O (machine glue) --------------------------------------
+    /// The fabric endpoint of this PE binds here.
+    [[nodiscard]] sim::Port<noc::Packet>& rx_port() { return inbox_; }
     /// Fabric delivered a packet addressed to this PE.
     void deliver(noc::Packet pkt);
     /// Pops the next packet this PE wants to inject, if any.
     [[nodiscard]] bool pop_outgoing(noc::Packet& out);
     [[nodiscard]] bool has_outgoing() const { return !outgoing_.empty(); }
 
-    // ---- per-cycle phases (called by the Machine in this order) ----------
+    // ---- component interface ---------------------------------------------
+    /// One full PE cycle: local store, then units, then the SPU pipeline.
+    /// PEs share no intra-cycle state, so fusing the three seed phases
+    /// per-PE is cycle-equivalent to the seed's three machine-wide loops.
+    ///
+    /// A stalled PE *parks*: after a quiet cycle it computes its own
+    /// next_activity() once and, until that horizon expires or a packet
+    /// arrives in its inbox, each tick reduces to the one-cycle skip()
+    /// bookkeeping.  This is the per-component analogue of the machine's
+    /// idle-cycle fast-forward and relies on the same horizon contract, so
+    /// it is only enabled alongside it (see set_parking()).
+    void tick(sim::Cycle now) override {
+        if (now < park_until_ && inbox_.empty()) {
+            skip(now, now + 1);
+            return;
+        }
+        const std::uint64_t issued = cycles_with_issue_;
+        tick_local_store(now);
+        tick_units(now);
+        tick_spu(now);
+        if (parking_ && cycles_with_issue_ == issued && inbox_.empty() &&
+            outgoing_.empty()) {
+            park_until_ = next_activity(now);
+        } else {
+            park_until_ = 0;
+        }
+    }
+
+    /// Enables the parked fast path (Machine turns it off together with
+    /// fast-forward so DTA_NO_FASTFORWARD stays a pure per-cycle reference).
+    void set_parking(bool on) {
+        parking_ = on;
+        park_until_ = 0;
+    }
+
+    /// Earliest cycle this PE (SPU + LS + LSE + MFC) could change state.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) const override;
+
+    /// Bulk-applies the per-cycle accounting the seed loop would have
+    /// produced for the skipped cycles [from, to): exactly one Breakdown
+    /// bucket per cycle (the stall/idle reason is invariant across a
+    /// skipped span by construction of next_activity), per-code cycle
+    /// attribution, and the stale-by-one event clocks of the MFC and LSE.
+    void skip(sim::Cycle from, sim::Cycle to) override;
+
+    // ---- per-cycle phases (in tick() order; split for unit tests) --------
     /// Services the local store's ports.
     void tick_local_store(sim::Cycle now);
     /// Decodes inbox packets, advances the MFC and LSE, applies completions.
@@ -100,7 +149,7 @@ public:
 
     [[nodiscard]] bool spu_bound() const { return bound_; }
     /// True when nothing on this PE is live or in flight.
-    [[nodiscard]] bool quiescent() const;
+    [[nodiscard]] bool quiescent() const override;
 
 private:
     /// Why the pipeline's front is blocked this cycle.
@@ -130,6 +179,10 @@ private:
     [[nodiscard]] CycleBucket stall_bucket(RegSrc src) const;
     [[nodiscard]] std::optional<CycleBucket> operand_block(
         const isa::Instruction& ins, sim::Cycle now) const;
+    /// Earliest cycle a finite operand ready-time could change the issue
+    /// verdict of \p ins (kIdleForever when all blockers are external).
+    [[nodiscard]] sim::Cycle operand_horizon(const isa::Instruction& ins,
+                                             sim::Cycle now) const;
 
     // execution helpers
     void exec_compute(const isa::Instruction& ins, sim::Cycle now);
@@ -178,9 +231,9 @@ private:
     sched::Lse lse_;
     dma::Mfc mfc_;
 
-    // packet queues
-    std::deque<noc::Packet> inbox_;
-    std::deque<noc::Packet> outgoing_;
+    // packet ports (rx bound to the fabric, tx drained by the node router)
+    sim::Port<noc::Packet> inbox_;
+    sim::Port<noc::Packet> outgoing_;
     static constexpr std::size_t kOutgoingPullCap = 16;
 
     // SPU architectural state
@@ -204,6 +257,10 @@ private:
     sim::Cycle busy_until_ = 0;
     BusyReason busy_reason_ = BusyReason::kNone;
     std::uint64_t ls_req_seq_ = 1;
+
+    // parked fast path (see tick())
+    bool parking_ = false;
+    sim::Cycle park_until_ = 0;
 
     // statistics
     Breakdown breakdown_;

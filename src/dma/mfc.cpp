@@ -21,6 +21,23 @@ Mfc::Mfc(const MfcConfig& cfg, mem::LocalStore& ls) : cfg_(cfg), ls_(ls) {
                     "MFC line size incompatible with local store");
     DTA_SIM_REQUIRE(cfg.max_outstanding_lines > 0,
                     "MFC needs at least one outstanding line");
+    set_name("mfc");
+}
+
+sim::Cycle Mfc::next_activity(sim::Cycle now) const {
+    // Outputs waiting for the owning PE to drain them: retry next cycle.
+    if (!completions_.empty() || !ready_lines_.empty()) {
+        return now + 1;
+    }
+    if (decoding_) {
+        return decode_done_at_ > now ? decode_done_at_ : now + 1;
+    }
+    if (!queue_.empty()) {
+        return now + 1;  // start_decode would run on the next tick
+    }
+    // Lines in flight (line_table_) and fully-emitted active commands wait
+    // on external data/acks; the carrier's horizon bounds the jump.
+    return sim::kIdleForever;
 }
 
 std::uint32_t Mfc::count_lines(const MfcCommand& cmd,

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "mem/local_store.hpp"
+#include "sim/component.hpp"
 #include "sim/metrics.hpp"
 #include "sim/types.hpp"
 
@@ -86,7 +87,7 @@ struct DmaSpan {
 };
 
 /// One SPE's DMA engine.
-class Mfc {
+class Mfc final : public sim::Component {
 public:
     /// \p ls is the local store DMA data is staged in/out of; not owned.
     Mfc(const MfcConfig& cfg, mem::LocalStore& ls);
@@ -100,7 +101,21 @@ public:
     [[nodiscard]] bool try_enqueue(MfcCommand cmd);
 
     /// Advances decode, line issue, and LS write-back by one cycle.
-    void tick(sim::Cycle now);
+    void tick(sim::Cycle now) override;
+
+    /// Horizon: emitted-but-unfetched lines and fresh completions need the
+    /// owning PE next cycle; a decode in progress matures at
+    /// decode_done_at_; lines in flight wait on external data (reported by
+    /// whichever component carries them).
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) const override;
+
+    /// Skipped cycles only need the stale-by-one event timestamp updated:
+    /// off-tick calls (ack_put_line) observe the previous cycle's now_,
+    /// exactly as they would after a real tick at to - 1.
+    void skip(sim::Cycle from, sim::Cycle to) override {
+        (void)from;
+        now_ = to - 1;
+    }
 
     /// Hands the next issued line request to the caller (who owns NoC
     /// transport); respects the outstanding-line limit.
@@ -117,7 +132,7 @@ public:
     [[nodiscard]] bool pop_completion(MfcCompletion& out);
 
     /// True when no command or line is pending anywhere in the engine.
-    [[nodiscard]] bool quiescent() const;
+    [[nodiscard]] bool quiescent() const override;
 
     [[nodiscard]] const MfcConfig& config() const { return cfg_; }
 

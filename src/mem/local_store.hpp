@@ -77,6 +77,28 @@ public:
     [[nodiscard]] bool quiescent() const;
     [[nodiscard]] const LocalStoreConfig& config() const { return cfg_; }
 
+    /// Activity horizon folded into the owning PE's (the LS is not a
+    /// top-level component): queued work is serviced every cycle, responses
+    /// await the owner's next drain, in-flight accesses retire at done_at.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) const {
+        for (const auto& q : queues_) {
+            if (!q.empty()) {
+                return now + 1;
+            }
+        }
+        for (const auto& q : responses_) {
+            if (!q.empty()) {
+                return now + 1;
+            }
+        }
+        if (!in_flight_.empty()) {
+            return in_flight_.front().done_at > now
+                       ? in_flight_.front().done_at
+                       : now + 1;
+        }
+        return sim::kCycleNever;
+    }
+
     // --- statistics -------------------------------------------------------------
     [[nodiscard]] std::uint64_t accesses(LsClient client) const {
         return served_[static_cast<std::size_t>(client)];

@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/component.hpp"
 #include "sim/types.hpp"
 
 namespace dta::mem {
@@ -58,7 +59,7 @@ struct MemResponse {
 };
 
 /// The simulated DRAM.
-class MainMemory {
+class MainMemory final : public sim::Component {
 public:
     explicit MainMemory(const MainMemoryConfig& cfg);
 
@@ -77,14 +78,33 @@ public:
 
     /// Advances one cycle: starts up to `ports` queued requests and retires
     /// those whose latency elapsed into the response queue.
-    void tick(sim::Cycle now);
+    void tick(sim::Cycle now) override;
 
     /// Drains one completed response, if any.
     [[nodiscard]] bool pop_response(MemResponse& out);
 
     /// True when no request is queued or in flight.
-    [[nodiscard]] bool quiescent() const {
+    [[nodiscard]] bool quiescent() const override {
         return queue_.empty() && in_flight_.empty() && responses_.empty();
+    }
+
+    /// Horizon: completed responses await an external pop; queued requests
+    /// start when the port frees; in-flight requests retire at done_at.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) const override {
+        if (!responses_.empty()) {
+            return now + 1;
+        }
+        sim::Cycle h = sim::kIdleForever;
+        if (!in_flight_.empty()) {
+            h = in_flight_.front().done_at > now ? in_flight_.front().done_at
+                                                 : now + 1;
+        }
+        if (!queue_.empty()) {
+            const sim::Cycle start =
+                port_free_at_ > now + 1 ? port_free_at_ : now + 1;
+            h = start < h ? start : h;
+        }
+        return h;
     }
 
     [[nodiscard]] const MainMemoryConfig& config() const { return cfg_; }

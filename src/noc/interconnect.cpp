@@ -1,5 +1,6 @@
 #include "noc/interconnect.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/check.hpp"
@@ -14,7 +15,14 @@ Interconnect::Interconnect(const InterconnectConfig& cfg,
     DTA_SIM_REQUIRE(num_endpoints > 0, "interconnect needs endpoints");
     inject_.resize(num_endpoints);
     inbox_.resize(num_endpoints);
+    sinks_.assign(num_endpoints, nullptr);
     bus_free_at_.assign(cfg.num_buses, 0);
+    set_name("noc");
+}
+
+void Interconnect::bind_endpoint(EndpointId dst, sim::Port<Packet>* sink) {
+    DTA_CHECK(dst < sinks_.size());
+    sinks_[dst] = sink;
 }
 
 std::uint32_t Interconnect::transfer_cycles(const Packet& pkt) const {
@@ -37,15 +45,13 @@ bool Interconnect::try_inject(EndpointId src, Packet pkt) {
     pkt.src = src;
     pkt.enq_at = now_;
     inject_[src].push_back(std::move(pkt));
+    ++inject_pending_;
     ++stats_.packets_injected;
     return true;
 }
 
 std::size_t Interconnect::pending() const {
-    std::size_t n = in_transit_.size();
-    for (const auto& q : inject_) {
-        n += q.size();
-    }
+    std::size_t n = in_transit_.size() + inject_pending_;
     for (const auto& q : inbox_) {
         n += q.size();
     }
@@ -54,6 +60,9 @@ std::size_t Interconnect::pending() const {
 
 void Interconnect::tick(sim::Cycle now) {
     now_ = now;
+    if (inject_pending_ == 0 && in_transit_.empty()) {
+        return;  // empty fabric: nothing to mature, nothing to grant
+    }
     // 1. Mature in-flight packets into destination inboxes.
     while (!in_transit_.empty() && in_transit_.top().deliver_at <= now) {
         // priority_queue::top is const; copy (packets are small except DMA
@@ -63,12 +72,19 @@ void Interconnect::tick(sim::Cycle now) {
         if (pkt_latency_ != nullptr) {
             pkt_latency_->record(now - it.pkt.enq_at);
         }
-        inbox_[it.pkt.dst].push_back(std::move(it.pkt));
+        if (sinks_[it.pkt.dst] != nullptr) {
+            sinks_[it.pkt.dst]->push(std::move(it.pkt));
+        } else {
+            inbox_[it.pkt.dst].push_back(std::move(it.pkt));
+        }
         ++stats_.packets_delivered;
     }
 
     // 2. Grant free buses to waiting injection queues, round-robin.
     for (std::uint32_t bus = 0; bus < cfg_.num_buses; ++bus) {
+        if (inject_pending_ == 0) {
+            break;
+        }
         if (bus_free_at_[bus] > now) {
             continue;
         }
@@ -81,6 +97,7 @@ void Interconnect::tick(sim::Cycle now) {
             }
             Packet pkt = std::move(inject_[ep].front());
             inject_[ep].pop_front();
+            --inject_pending_;
             const std::uint32_t occupancy = transfer_cycles(pkt);
             bus_free_at_[bus] = now + occupancy;
             stats_.bus_busy_cycles += occupancy;
@@ -109,16 +126,35 @@ bool Interconnect::pop_delivered(EndpointId dst, Packet& out) {
 }
 
 bool Interconnect::quiescent() const {
-    if (!in_transit_.empty()) {
+    if (!in_transit_.empty() || inject_pending_ != 0) {
         return false;
-    }
-    for (const auto& q : inject_) {
-        if (!q.empty()) return false;
     }
     for (const auto& q : inbox_) {
         if (!q.empty()) return false;
     }
     return true;
+}
+
+sim::Cycle Interconnect::next_activity(sim::Cycle now) const {
+    sim::Cycle h = sim::kIdleForever;
+    // Undelivered inbox packets wait on an external pop; conservatively
+    // assume the consumer retries next cycle (only unbound endpoints).
+    for (const auto& q : inbox_) {
+        if (!q.empty()) {
+            return now + 1;
+        }
+    }
+    if (!in_transit_.empty()) {
+        h = std::min(h, std::max(in_transit_.top().deliver_at, now + 1));
+    }
+    if (inject_pending_ != 0) {
+        sim::Cycle grant = sim::kIdleForever;
+        for (const sim::Cycle free_at : bus_free_at_) {
+            grant = std::min(grant, free_at);
+        }
+        h = std::min(h, std::max(grant, now + 1));
+    }
+    return h;
 }
 
 }  // namespace dta::noc

@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "noc/packet.hpp"
+#include "sim/component.hpp"
 #include "sim/metrics.hpp"
+#include "sim/port.hpp"
 #include "sim/types.hpp"
 
 namespace dta::noc {
@@ -39,7 +41,7 @@ struct InterconnectStats {
 };
 
 /// One node's bus fabric.
-class Interconnect {
+class Interconnect final : public sim::Component {
 public:
     Interconnect(const InterconnectConfig& cfg, std::uint32_t num_endpoints);
 
@@ -50,14 +52,26 @@ public:
     /// endpoint's injection queue is full.
     [[nodiscard]] bool try_inject(EndpointId src, Packet pkt);
 
-    /// Arbitrates buses and matures in-flight packets into inboxes.
-    void tick(sim::Cycle now);
+    /// Binds endpoint \p dst to \p sink: matured packets are pushed there
+    /// directly during tick() instead of parking in the internal inbox.
+    /// This is how cross-layer wiring is declared once at construction.
+    void bind_endpoint(EndpointId dst, sim::Port<Packet>* sink);
 
-    /// Pops the next delivered packet for \p dst, if any.
+    /// Arbitrates buses and matures in-flight packets into bound sinks
+    /// (or the inboxes of unbound endpoints).
+    void tick(sim::Cycle now) override;
+
+    /// Pops the next delivered packet for \p dst, if any (unbound endpoints
+    /// only — bound endpoints receive deliveries through their sink port).
     [[nodiscard]] bool pop_delivered(EndpointId dst, Packet& out);
 
     /// True when no packet is queued, in transfer, or awaiting pickup.
-    [[nodiscard]] bool quiescent() const;
+    [[nodiscard]] bool quiescent() const override;
+
+    /// Horizon: matured-but-unfetched inbox packets and pending injections
+    /// need a next-cycle retry; otherwise the earliest of the next bus
+    /// grant and the next in-flight delivery.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) const override;
 
     [[nodiscard]] const InterconnectStats& stats() const { return stats_; }
     [[nodiscard]] const InterconnectConfig& config() const { return cfg_; }
@@ -95,7 +109,9 @@ private:
     std::priority_queue<InTransit, std::vector<InTransit>, std::greater<>>
         in_transit_;
     std::vector<std::deque<Packet>> inbox_;    ///< per-endpoint delivered packets
+    std::vector<sim::Port<Packet>*> sinks_;    ///< per-endpoint bound consumers
     std::size_t rr_next_ = 0;
+    std::size_t inject_pending_ = 0;  ///< total packets across inject_ queues
     std::uint64_t seq_ = 0;
     InterconnectStats stats_;
     sim::Cycle now_ = 0;  ///< last tick time, stamps off-tick injections

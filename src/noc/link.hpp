@@ -13,6 +13,7 @@
 #include <deque>
 
 #include "noc/packet.hpp"
+#include "sim/component.hpp"
 #include "sim/types.hpp"
 
 namespace dta::noc {
@@ -25,7 +26,7 @@ struct LinkConfig {
 };
 
 /// A unidirectional inter-node channel.
-class Link {
+class Link final : public sim::Component {
 public:
     explicit Link(const LinkConfig& cfg);
 
@@ -35,11 +36,32 @@ public:
     /// Returns false if the sender-side buffer is full.
     [[nodiscard]] bool try_send(Packet pkt);
 
-    void tick(sim::Cycle now);
+    void tick(sim::Cycle now) override;
 
     [[nodiscard]] bool pop_delivered(Packet& out);
-    [[nodiscard]] bool quiescent() const {
+    [[nodiscard]] bool quiescent() const override {
         return queue_.empty() && in_transit_.empty() && delivered_.empty();
+    }
+
+    /// Horizon: delivered packets await an external pop next cycle; the
+    /// serialiser starts the next queued packet when the wire frees; an
+    /// in-flight packet matures at its deliver_at.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) const override {
+        sim::Cycle h = sim::kIdleForever;
+        if (!delivered_.empty()) {
+            return now + 1;
+        }
+        if (!in_transit_.empty()) {
+            h = in_transit_.front().deliver_at > now
+                    ? in_transit_.front().deliver_at
+                    : now + 1;
+        }
+        if (!queue_.empty()) {
+            const sim::Cycle start =
+                wire_free_at_ > now + 1 ? wire_free_at_ : now + 1;
+            h = start < h ? start : h;
+        }
+        return h;
     }
 
     [[nodiscard]] std::uint64_t packets_carried() const { return carried_; }

@@ -11,6 +11,26 @@ Dse::Dse(const Topology& topo, std::uint16_t node, std::uint32_t frames_per_pe,
     : topo_(topo), node_(node), virtual_frames_(virtual_frames) {
     DTA_SIM_REQUIRE(node < topo.nodes, "DSE node id out of range");
     free_.assign(topo.spes_per_node, frames_per_pe);
+    set_name("dse" + std::to_string(node));
+}
+
+void Dse::tick(sim::Cycle now) {
+    noc::Packet pkt;
+    while (rx_.pop(pkt)) {
+        switch (static_cast<MsgKind>(pkt.kind)) {
+            case MsgKind::kFallocReq:
+                on_falloc_req(static_cast<sim::ThreadCodeId>(pkt.a),
+                              static_cast<std::uint32_t>(pkt.b),
+                              FallocCtx::unpack(pkt.c), now);
+                break;
+            case MsgKind::kFrameFree:
+                on_frame_free(static_cast<sim::GlobalPeId>(pkt.a), now);
+                break;
+            default:
+                DTA_CHECK_MSG(false, "DSE got unexpected packet kind " +
+                                         std::to_string(pkt.kind));
+        }
+    }
 }
 
 bool Dse::try_grant(const Pending& req) {

@@ -19,8 +19,11 @@
 #include <deque>
 #include <vector>
 
+#include "noc/packet.hpp"
 #include "sched/messages.hpp"
+#include "sim/component.hpp"
 #include "sim/metrics.hpp"
+#include "sim/port.hpp"
 #include "sim/types.hpp"
 
 namespace dta::sched {
@@ -35,13 +38,21 @@ struct DseStats {
 };
 
 /// The Distributed Scheduler Element of one node.
-class Dse {
+class Dse final : public sim::Component {
 public:
     /// \p virtual_frames: when the LSEs hand out virtual frame pointers a
     /// FALLOC can never fail, so the DSE stops gating on frame counts and
     /// becomes a pure load balancer (round-robin over its PEs).
     Dse(const Topology& topo, std::uint16_t node, std::uint32_t frames_per_pe,
         bool virtual_frames = false);
+
+    /// The fabric's DSE endpoint is bound here; tick() decodes and handles
+    /// the delivered scheduler packets.
+    [[nodiscard]] sim::Port<noc::Packet>& rx_port() { return rx_; }
+
+    /// Drains the rx port: kFallocReq and kFrameFree packets delivered by
+    /// the fabric this cycle are decoded and handled.
+    void tick(sim::Cycle now) override;
 
     /// Handles a kFallocReq (from a local LSE or a remote DSE); \p now
     /// stamps requests that park so their queue wait can be measured.
@@ -58,11 +69,19 @@ public:
     /// Drains one outgoing message (kFallocFwd to a local LSE, or a
     /// kFallocReq forwarded to the next node's DSE).
     [[nodiscard]] bool pop_outgoing(SchedMsg& out);
+    [[nodiscard]] bool has_outgoing() const { return !outbox_.empty(); }
 
     /// Requests parked waiting for a free frame.
     [[nodiscard]] std::size_t pending() const { return pending_.size(); }
-    [[nodiscard]] bool quiescent() const {
-        return pending_.empty() && outbox_.empty();
+    [[nodiscard]] bool quiescent() const override {
+        return pending_.empty() && outbox_.empty() && rx_.empty();
+    }
+
+    /// Horizon: undelivered rx packets and undrained outbox messages need a
+    /// next-cycle retry; parked requests wait on an external kFrameFree.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) const override {
+        return (!rx_.empty() || !outbox_.empty()) ? now + 1
+                                                  : sim::kIdleForever;
     }
     [[nodiscard]] const DseStats& stats() const { return stats_; }
 
@@ -90,6 +109,7 @@ private:
     Topology topo_;
     std::uint16_t node_;
     bool virtual_frames_;
+    sim::Port<noc::Packet> rx_;        ///< fabric DSE-endpoint deliveries
     std::vector<std::uint32_t> free_;  ///< free-frame count per local PE
     std::deque<Pending> pending_;
     std::deque<SchedMsg> outbox_;

@@ -168,6 +168,10 @@ public:
     /// SPU asks for the next ready thread; reply after dispatch_latency.
     void request_dispatch(sim::Cycle now);
     [[nodiscard]] bool dispatch_requested() const { return dispatch_pending_; }
+    /// Cycle a pending dispatch handshake completes (PE horizon input).
+    [[nodiscard]] sim::Cycle dispatch_ready_at() const {
+        return dispatch_ready_at_;
+    }
     /// Pops the dispatched thread once the handshake latency elapsed and a
     /// ready thread exists.
     [[nodiscard]] bool pop_dispatch(sim::Cycle now, Dispatch& out);
@@ -184,9 +188,24 @@ public:
 
     /// Drains one outgoing scheduler message, if any.
     [[nodiscard]] bool pop_outgoing(SchedMsg& out);
+    /// True when no outgoing scheduler message waits for transport.
+    [[nodiscard]] bool outgoing_empty() const { return outbox_.empty(); }
+    /// True when a completed FALLOC waits for the SPU to apply it (PE
+    /// horizon input: the next tick delivers it to a register).
+    [[nodiscard]] bool falloc_response_pending() const {
+        return !falloc_done_.empty();
+    }
 
     /// Processes local-store completions (SC decrements) once per cycle.
     void tick(sim::Cycle now);
+
+    /// Fast-forward bookkeeping: off-tick handlers (inbox decode, DMA
+    /// completions) stamp events with the *previous* cycle's now_, exactly
+    /// as after a real tick at to - 1. Skipped cycles mutate nothing else.
+    void skip(sim::Cycle from, sim::Cycle to) {
+        (void)from;
+        now_ = to - 1;
+    }
 
     // ---- host / machine bootstrap ------------------------------------------
     /// Directly allocates a frame (no messages); used to seed the entry

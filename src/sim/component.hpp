@@ -1,0 +1,85 @@
+/// \file component.hpp
+/// \brief The uniform clocked-component interface.
+///
+/// Every timed layer of the machine (SPU pipelines, MFCs, bus fabrics,
+/// inter-node links, main memory, schedulers) implements `Component` so the
+/// machine can drive them from one scheduler loop instead of hand-rolled
+/// per-type loops, and — crucially — can *skip* cycles nobody needs.
+///
+/// ## The horizon contract
+///
+/// `next_activity(now)` is queried right after `tick(now)` and must return
+/// the earliest cycle strictly greater than `now` at which this component's
+/// `tick` could change observable state **assuming it receives no new
+/// input**, or `kIdleForever` if no internally-scheduled event is pending.
+///
+/// "Assuming no new input" is what makes the contract local: a component
+/// waiting on an in-flight request (a DMA line crossing the NoC, a read
+/// queued at the memory controller) reports `kIdleForever`, because the
+/// component currently *carrying* that request reports a finite horizon.
+/// The machine takes the minimum across all registered components, so the
+/// carrier bounds the global jump. A component must be conservative in two
+/// situations:
+///
+///  1. Any non-empty queue it drains on a best-effort basis each tick
+///     (an outbox waiting for fabric credit, a port it retries) forces a
+///     horizon of `now + 1`: the retry itself is observable activity.
+///  2. Any tick that *mutates* state unconditionally (posting a dispatch
+///     request, starting a decode) must not be skipped; report `now + 1`
+///     until the mutation has happened.
+///
+/// When the machine jumps from cycle `c` to cycle `h`, it calls
+/// `skip(c + 1, h)` on every component so per-cycle bookkeeping that the
+/// per-cycle loop would have produced (idle/prefetch breakdown charges,
+/// stale-by-one timestamp reads) is applied in bulk. Results must be
+/// bit-identical to ticking every cycle in `[from, to)`.
+#pragma once
+
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace dta::sim {
+
+/// Sentinel horizon: no internally-scheduled activity, ever.
+inline constexpr Cycle kIdleForever = kCycleNever;
+
+class Component {
+ public:
+    Component() = default;
+    explicit Component(std::string name) : name_(std::move(name)) {}
+    virtual ~Component() = default;
+
+    Component(const Component&) = default;
+    Component& operator=(const Component&) = default;
+    Component(Component&&) = default;
+    Component& operator=(Component&&) = default;
+
+    /// Advance one cycle. Called at most once per simulated cycle, with
+    /// strictly increasing `now` (skipped cycles are never ticked).
+    virtual void tick(Cycle now) = 0;
+
+    /// True when the component holds no in-flight work at all.
+    [[nodiscard]] virtual bool quiescent() const = 0;
+
+    /// Earliest cycle > now at which tick() could change observable state
+    /// absent new input; kIdleForever if none. See the horizon contract.
+    [[nodiscard]] virtual Cycle next_activity(Cycle now) const = 0;
+
+    /// Account for cycles [from, to) that will never be ticked. Default:
+    /// nothing to do (pure event-driven components need no per-cycle work).
+    virtual void skip(Cycle from, Cycle to) {
+        (void)from;
+        (void)to;
+    }
+
+    /// Diagnostic label, e.g. "pe3", "noc0", "mem". Used in deadlock
+    /// reports to say *which* components were non-quiescent.
+    [[nodiscard]] const std::string& name() const { return name_; }
+    void set_name(std::string n) { name_ = std::move(n); }
+
+ private:
+    std::string name_;
+};
+
+}  // namespace dta::sim

@@ -1,0 +1,102 @@
+/// \file port.hpp
+/// \brief Typed single-reader FIFO ports and a fixed-slot object pool.
+///
+/// `Port<T>` is the one sanctioned way to move data between components:
+/// the producer holds a `Port<T>*` bound once at machine construction and
+/// pushes; the owning consumer drains in its own tick. This replaces the
+/// seed's anonymous glue deques (`memif_outbox_`, `bridge_out_`,
+/// `link_arrivals_`) whose routing was re-derived every cycle inside
+/// `Machine`.
+///
+/// `Pool<T>` replaces the hand-rolled in-flight context free-list: slots
+/// are handed out by index (cheap to stuff into a packet's metadata word)
+/// and checked against double-free / use-after-free.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "sim/check.hpp"
+
+namespace dta::sim {
+
+/// An unbounded FIFO with exactly one consumer (its owner). Producers may
+/// be many; ordering is push order, which the machine's fixed component
+/// order makes deterministic.
+template <typename T>
+class Port {
+ public:
+    void push(T v) { q_.push_back(std::move(v)); }
+
+    /// Pop the oldest element into \p out; false when empty.
+    [[nodiscard]] bool pop(T& out) {
+        if (q_.empty()) {
+            return false;
+        }
+        out = std::move(q_.front());
+        q_.pop_front();
+        return true;
+    }
+
+    /// Peek the oldest element (for try-then-commit consumers that may
+    /// have to leave it queued, e.g. when downstream refuses injection).
+    [[nodiscard]] const T& front() const { return q_.front(); }
+    void pop_front() { q_.pop_front(); }
+
+    [[nodiscard]] bool empty() const { return q_.empty(); }
+    [[nodiscard]] std::size_t size() const { return q_.size(); }
+
+ private:
+    std::deque<T> q_;
+};
+
+/// Fixed-type slab allocator handing out stable indices. Slots are reused
+/// LIFO; `outstanding()` supports quiescence checks.
+template <typename T>
+class Pool {
+ public:
+    /// Claim a slot holding \p v; returns its index.
+    [[nodiscard]] std::uint64_t alloc(T v) {
+        std::uint64_t idx;
+        if (!free_.empty()) {
+            idx = free_.back();
+            free_.pop_back();
+        } else {
+            idx = slots_.size();
+            slots_.emplace_back();
+        }
+        Slot& s = slots_[idx];
+        DTA_CHECK(!s.in_use);
+        s.value = std::move(v);
+        s.in_use = true;
+        ++outstanding_;
+        return idx;
+    }
+
+    [[nodiscard]] T& at(std::uint64_t idx) {
+        DTA_CHECK(idx < slots_.size() && slots_[idx].in_use);
+        return slots_[idx].value;
+    }
+
+    void release(std::uint64_t idx) {
+        DTA_CHECK(idx < slots_.size() && slots_[idx].in_use);
+        slots_[idx].in_use = false;
+        free_.push_back(idx);
+        --outstanding_;
+    }
+
+    [[nodiscard]] std::uint64_t outstanding() const { return outstanding_; }
+
+ private:
+    struct Slot {
+        T value{};
+        bool in_use = false;
+    };
+    std::vector<Slot> slots_;
+    std::vector<std::uint64_t> free_;
+    std::uint64_t outstanding_ = 0;
+};
+
+}  // namespace dta::sim

@@ -9,6 +9,7 @@
 ///   * `bool check(const mem::MainMemory&, std::string* why) const`
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <utility>
 
@@ -21,6 +22,8 @@ struct RunOutcome {
     core::RunResult result;
     bool correct = false;
     std::string detail;  ///< mismatch description when !correct
+    double host_seconds = 0.0;  ///< wall clock spent inside Machine::run()
+    sim::Cycle cycles_fast_forwarded = 0;
 };
 
 /// Builds a machine for \p cfg, loads the workload's memory image, runs the
@@ -35,7 +38,11 @@ template <typename Workload>
     const auto args = w.entry_args();
     machine.launch(args);
     RunOutcome out;
+    const auto t0 = std::chrono::steady_clock::now();
     out.result = machine.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    out.host_seconds = std::chrono::duration<double>(t1 - t0).count();
+    out.cycles_fast_forwarded = machine.cycles_fast_forwarded();
     out.correct = w.check(machine.memory(), &out.detail);
     return out;
 }

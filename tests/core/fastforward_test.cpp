@@ -1,0 +1,155 @@
+// Cycle-exactness of the idle-cycle fast-forward: for every workload, a run
+// with fast-forward (and PE parking) enabled must produce a RunResult
+// bit-identical to the plain per-cycle loop — same cycle count, same Fig. 5
+// breakdown, same instruction mix, same profile — while actually skipping
+// cycles on the blocking (no-prefetch) variants.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "workloads/bitcnt.hpp"
+#include "workloads/fir.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/mmul.hpp"
+#include "workloads/zoom.hpp"
+
+namespace dta::workloads {
+namespace {
+
+/// Field-by-field equality of two RunResults (everything deterministic; the
+/// metrics registry and spans are compared by their scalar footprints).
+void expect_identical(const core::RunResult& a, const core::RunResult& b) {
+    EXPECT_EQ(a.cycles, b.cycles);
+    ASSERT_EQ(a.pes.size(), b.pes.size());
+    for (std::size_t i = 0; i < a.pes.size(); ++i) {
+        SCOPED_TRACE("pe" + std::to_string(i));
+        EXPECT_EQ(a.pes[i].breakdown.cycles, b.pes[i].breakdown.cycles);
+        EXPECT_EQ(a.pes[i].instrs.by_opcode, b.pes[i].instrs.by_opcode);
+        EXPECT_EQ(a.pes[i].issue_slots_used, b.pes[i].issue_slots_used);
+        EXPECT_EQ(a.pes[i].cycles_with_issue, b.pes[i].cycles_with_issue);
+        EXPECT_EQ(a.pes[i].threads_executed, b.pes[i].threads_executed);
+        EXPECT_EQ(a.pes[i].lse.frames_allocated, b.pes[i].lse.frames_allocated);
+        EXPECT_EQ(a.pes[i].lse.dispatches, b.pes[i].lse.dispatches);
+        EXPECT_EQ(a.pes[i].lse.dma_suspends, b.pes[i].lse.dma_suspends);
+        EXPECT_EQ(a.pes[i].lse.peak_live_frames, b.pes[i].lse.peak_live_frames);
+    }
+    EXPECT_EQ(a.noc.packets_injected, b.noc.packets_injected);
+    EXPECT_EQ(a.noc.packets_delivered, b.noc.packets_delivered);
+    EXPECT_EQ(a.noc.bytes_transferred, b.noc.bytes_transferred);
+    EXPECT_EQ(a.noc.bus_busy_cycles, b.noc.bus_busy_cycles);
+    EXPECT_EQ(a.mem_reads, b.mem_reads);
+    EXPECT_EQ(a.mem_writes, b.mem_writes);
+    EXPECT_EQ(a.mem_bytes_read, b.mem_bytes_read);
+    EXPECT_EQ(a.mem_bytes_written, b.mem_bytes_written);
+    EXPECT_EQ(a.mem_peak_queue, b.mem_peak_queue);
+    EXPECT_EQ(a.dma_commands, b.dma_commands);
+    EXPECT_EQ(a.dma_bytes, b.dma_bytes);
+    EXPECT_EQ(a.dse_requests, b.dse_requests);
+    EXPECT_EQ(a.dse_queued, b.dse_queued);
+    EXPECT_EQ(a.dse_peak_pending, b.dse_peak_pending);
+    EXPECT_EQ(a.pipeline_usage(), b.pipeline_usage());
+    EXPECT_EQ(a.slot_utilisation(), b.slot_utilisation());
+    ASSERT_EQ(a.profile.size(), b.profile.size());
+    for (std::size_t c = 0; c < a.profile.size(); ++c) {
+        SCOPED_TRACE(a.profile[c].name);
+        EXPECT_EQ(a.profile[c].threads_started, b.profile[c].threads_started);
+        EXPECT_EQ(a.profile[c].dispatches, b.profile[c].dispatches);
+        EXPECT_EQ(a.profile[c].pipeline_cycles, b.profile[c].pipeline_cycles);
+        EXPECT_EQ(a.profile[c].instructions, b.profile[c].instructions);
+    }
+}
+
+/// Runs \p wl both ways and checks exactness; \p expect_skips additionally
+/// requires the fast-forwarded run to have actually jumped cycles.
+template <typename W>
+void expect_ff_exact(const W& wl, core::MachineConfig cfg, bool prefetch,
+                     bool expect_skips) {
+    cfg.fast_forward = false;
+    const RunOutcome ref = run_workload(wl, cfg, prefetch);
+    ASSERT_TRUE(ref.correct) << ref.detail;
+    EXPECT_EQ(ref.cycles_fast_forwarded, 0u);
+
+    cfg.fast_forward = true;
+    const RunOutcome ff = run_workload(wl, cfg, prefetch);
+    ASSERT_TRUE(ff.correct) << ff.detail;
+    if (expect_skips) {
+        EXPECT_GT(ff.cycles_fast_forwarded, 0u);
+    }
+    expect_identical(ref.result, ff.result);
+}
+
+TEST(FastForward, BitcntExactBothVariants) {
+    BitCount::Params p;
+    p.iterations = 320;
+    const BitCount wl(p);
+    const auto cfg = BitCount::machine_config(4);
+    expect_ff_exact(wl, cfg, /*prefetch=*/false, /*expect_skips=*/true);
+    expect_ff_exact(wl, cfg, /*prefetch=*/true, /*expect_skips=*/false);
+}
+
+TEST(FastForward, FirExactBothVariants) {
+    Fir::Params p;
+    p.samples = 512;
+    p.taps = 8;
+    p.threads = 8;
+    const Fir wl(p);
+    const auto cfg = Fir::machine_config(4);
+    expect_ff_exact(wl, cfg, /*prefetch=*/false, /*expect_skips=*/true);
+    expect_ff_exact(wl, cfg, /*prefetch=*/true, /*expect_skips=*/false);
+}
+
+TEST(FastForward, MmulExactBothVariants) {
+    MatMul::Params p;
+    p.n = 16;
+    p.threads = 16;
+    const MatMul wl(p);
+    const auto cfg = MatMul::machine_config(4);
+    expect_ff_exact(wl, cfg, /*prefetch=*/false, /*expect_skips=*/true);
+    expect_ff_exact(wl, cfg, /*prefetch=*/true, /*expect_skips=*/false);
+}
+
+TEST(FastForward, ZoomExactBothVariants) {
+    Zoom::Params p;
+    p.n = 16;
+    p.factor = 4;
+    p.threads = 16;
+    const Zoom wl(p);
+    const auto cfg = Zoom::machine_config(4);
+    expect_ff_exact(wl, cfg, /*prefetch=*/false, /*expect_skips=*/true);
+    expect_ff_exact(wl, cfg, /*prefetch=*/true, /*expect_skips=*/false);
+}
+
+TEST(FastForward, SingleSpeBlockingRunSkipsMostCycles) {
+    // One SPE, blocking READs at 150-cycle latency: the machine is globally
+    // idle for most of every round trip, so the overwhelming majority of
+    // cycles must be jumped, not ticked.
+    MatMul::Params p;
+    p.n = 8;
+    p.threads = 8;
+    const MatMul wl(p);
+    auto cfg = MatMul::machine_config(1);
+    cfg.fast_forward = true;
+    const RunOutcome out = run_workload(wl, cfg, false);
+    ASSERT_TRUE(out.correct) << out.detail;
+    EXPECT_GT(out.cycles_fast_forwarded, out.result.cycles / 2);
+}
+
+TEST(FastForward, EnvVarEscapeHatchDisablesSkipping) {
+    MatMul::Params p;
+    p.n = 8;
+    p.threads = 8;
+    const MatMul wl(p);
+    auto cfg = MatMul::machine_config(1);
+    cfg.fast_forward = true;  // overridden by the environment below
+
+    ASSERT_EQ(setenv("DTA_NO_FASTFORWARD", "1", 1), 0);
+    const RunOutcome out = run_workload(wl, cfg, false);
+    ASSERT_EQ(unsetenv("DTA_NO_FASTFORWARD"), 0);
+
+    ASSERT_TRUE(out.correct) << out.detail;
+    EXPECT_EQ(out.cycles_fast_forwarded, 0u);
+}
+
+}  // namespace
+}  // namespace dta::workloads

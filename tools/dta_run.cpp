@@ -12,6 +12,8 @@
 ///     --frames N        frame slots per PE (default 16)
 ///     --staging N       DMA staging bytes per frame (default 8192)
 ///     --vfp             enable virtual frame pointers
+///     --perfect-cache   Section 4.3 variant: 1-cycle memory system
+///     --no-fastforward  tick every cycle (results are identical; slower)
 ///     --arg V           append a 64-bit entry argument (repeatable)
 ///     --interp          run the functional interpreter instead
 ///     --profile         print the per-thread-code profile
@@ -23,6 +25,7 @@
 ///     --disasm          print the disassembly and exit
 ///     --dump ADDR N     after the run, print N 32-bit words at ADDR
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,9 +53,12 @@ struct Options {
     std::uint16_t spes = 8;
     std::uint16_t nodes = 1;
     std::uint32_t mem_latency = 150;
+    bool mem_latency_set = false;
     std::uint32_t frames = 16;
     std::uint32_t staging = 8192;
     bool vfp = false;
+    bool perfect_cache = false;
+    bool no_fastforward = false;
     bool interp = false;
     bool profile = false;
     bool breakdown = false;
@@ -68,8 +74,9 @@ struct Options {
     std::fprintf(stderr,
                  "usage: %s <program.dta> [--spes N] [--nodes N] "
                  "[--mem-latency N]\n"
-                 "       [--frames N] [--staging N] [--vfp] [--arg V]... "
-                 "[--interp]\n"
+                 "       [--frames N] [--staging N] [--vfp] "
+                 "[--perfect-cache] [--no-fastforward]\n"
+                 "       [--arg V]... [--interp]\n"
                  "       [--profile] [--breakdown] [--trace FILE] "
                  "[--metrics FILE]\n"
                  "       [--log-level info|debug|trace] [--disasm] "
@@ -98,12 +105,17 @@ Options parse_options(int argc, char** argv) {
             opt.nodes = static_cast<std::uint16_t>(std::atoi(next()));
         } else if (a == "--mem-latency") {
             opt.mem_latency = static_cast<std::uint32_t>(std::atoi(next()));
+            opt.mem_latency_set = true;
         } else if (a == "--frames") {
             opt.frames = static_cast<std::uint32_t>(std::atoi(next()));
         } else if (a == "--staging") {
             opt.staging = static_cast<std::uint32_t>(std::atoi(next()));
         } else if (a == "--vfp") {
             opt.vfp = true;
+        } else if (a == "--perfect-cache") {
+            opt.perfect_cache = true;
+        } else if (a == "--no-fastforward") {
+            opt.no_fastforward = true;
         } else if (a == "--interp") {
             opt.interp = true;
         } else if (a == "--profile") {
@@ -190,14 +202,19 @@ int main(int argc, char** argv) {
             return 0;
         }
 
-        auto cfg = core::MachineConfig::cell_dta(opt.spes);
+        auto cfg = opt.perfect_cache
+                       ? core::MachineConfig::perfect_cache(opt.spes)
+                       : core::MachineConfig::cell_dta(opt.spes);
         cfg.nodes = opt.nodes;
-        cfg.memory.latency = opt.mem_latency;
+        if (opt.mem_latency_set || !opt.perfect_cache) {
+            cfg.memory.latency = opt.mem_latency;
+        }
         cfg.lse = sched::LseConfig::with(opt.frames, opt.staging);
         cfg.lse.virtual_frames = opt.vfp;
         cfg.capture_spans = !opt.trace_path.empty();
         cfg.collect_metrics =
             !opt.metrics_path.empty() || !opt.trace_path.empty();
+        cfg.fast_forward = !opt.no_fastforward;
 
         core::Machine machine(cfg, prog);
         if (opt.log_level != sim::LogLevel::kOff) {
@@ -207,7 +224,11 @@ int main(int argc, char** argv) {
             });
         }
         machine.launch(opt.args);
+        const auto t0 = std::chrono::steady_clock::now();
         const core::RunResult res = machine.run();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double host_s =
+            std::chrono::duration<double>(t1 - t0).count();
 
         std::printf("%llu cycles on %u SPE(s) x %u node(s); "
                     "%llu instructions, usage %s\n",
@@ -215,6 +236,14 @@ int main(int argc, char** argv) {
                     opt.nodes,
                     static_cast<unsigned long long>(res.total_instrs().total()),
                     stats::pct(res.pipeline_usage()).c_str());
+        std::printf("host: %.3f s wall clock, %.2f Mcycles/s "
+                    "(%llu cycles fast-forwarded)\n",
+                    host_s,
+                    host_s > 0.0
+                        ? static_cast<double>(res.cycles) / host_s / 1e6
+                        : 0.0,
+                    static_cast<unsigned long long>(
+                        machine.cycles_fast_forwarded()));
         if (opt.breakdown) {
             std::fputs(
                 stats::breakdown_table({{prog.name, res.total_breakdown()}})
