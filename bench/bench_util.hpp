@@ -53,12 +53,43 @@ inline std::uint32_t arg_u32(int argc, char** argv, const char* flag,
     return fallback;
 }
 
+/// Machine-shape overrides shared by every bench main: `--nodes N` spreads
+/// the workload's PEs over N nodes (0 keeps the workload's default shape)
+/// and `--threads N` picks the host-thread count for the sharded run loop
+/// (1 = single-threaded reference; results are bit-identical either way).
+struct Shape {
+    std::uint16_t nodes = 0;
+    std::uint32_t threads = 1;
+};
+
+inline Shape shape_from_args(int argc, char** argv) {
+    Shape s;
+    s.nodes = static_cast<std::uint16_t>(arg_u32(argc, argv, "--nodes", 0));
+    s.threads = arg_u32(argc, argv, "--threads", 1);
+    return s;
+}
+
+/// Applies \p s to a workload's machine config, keeping the total PE count
+/// (so the simulated machine stays comparable across shapes).
+inline core::MachineConfig shaped(core::MachineConfig cfg, const Shape& s) {
+    if (s.nodes > 0) {
+        const std::uint32_t total = cfg.total_pes();
+        DTA_SIM_REQUIRE(total % s.nodes == 0,
+                        "--nodes must divide the total PE count");
+        cfg.nodes = s.nodes;
+        cfg.spes_per_node = static_cast<std::uint16_t>(total / s.nodes);
+    }
+    cfg.host_threads = s.threads;
+    return cfg;
+}
+
 /// When the DTA_BENCH_JSON environment variable names a file, appends one
 /// JSON run report per call (newline-delimited JSON, one document per run)
 /// so CI can archive bench results without parsing stdout.  No-op when the
 /// variable is unset.  Both run helpers below call this automatically.
 inline void maybe_emit_json(const core::RunResult& res,
-                            const std::string& label) {
+                            const std::string& label,
+                            const std::string& extra_fields = "") {
     const char* path = std::getenv("DTA_BENCH_JSON");
     if (path == nullptr || *path == '\0') {
         return;
@@ -79,6 +110,14 @@ inline void maybe_emit_json(const core::RunResult& res,
             line += c;
         }
     }
+    // Splice host-side fields (e.g. "host_threads":4) into the document,
+    // right before the closing brace.
+    if (!extra_fields.empty()) {
+        const std::size_t brace = line.rfind('}');
+        if (brace != std::string::npos) {
+            line.insert(brace, "," + extra_fields);
+        }
+    }
     out << line << '\n';
 }
 
@@ -87,7 +126,8 @@ inline void maybe_emit_json(const core::RunResult& res,
 /// stderr so bench timings can be compared run by run, not just per binary.
 template <typename W>
 workloads::RunOutcome run_reported(const W& wl, const core::MachineConfig& cfg,
-                                   bool prefetch) {
+                                   bool prefetch,
+                                   const std::string& extra_fields = "") {
     workloads::RunOutcome out = workloads::run_workload(wl, cfg, prefetch);
     const std::string& label =
         prefetch ? wl.prefetch_program().name : wl.program().name;
@@ -98,7 +138,56 @@ workloads::RunOutcome run_reported(const W& wl, const core::MachineConfig& cfg,
                  static_cast<unsigned long long>(out.result.cycles),
                  out.host_seconds,
                  static_cast<unsigned long long>(out.cycles_fast_forwarded));
-    maybe_emit_json(out.result, label);
+    maybe_emit_json(out.result, label, extra_fields);
+    return out;
+}
+
+/// run_reported under a machine shape.  With `--threads N > 1` the run is
+/// timed twice — single-threaded reference first, then with N host threads
+/// — and the sharded run's JSON document gains "host_threads" and
+/// "speedup_vs_1thread" fields (the reference run is emitted too, tagged
+/// host_threads 1).  The two runs' cycle counts are cross-checked: sharding
+/// must not change results.
+template <typename W>
+workloads::RunOutcome run_shaped(const W& wl, const core::MachineConfig& base,
+                                 const Shape& shape, bool prefetch) {
+    if (shape.nodes == 0 && shape.threads <= 1) {
+        return run_reported(wl, base, prefetch);
+    }
+    Shape ref = shape;
+    ref.threads = 1;
+    const workloads::RunOutcome one = run_reported(
+        wl, shaped(base, ref), prefetch, "\"host_threads\":1");
+    if (shape.threads <= 1) {
+        return one;
+    }
+    workloads::RunOutcome out =
+        workloads::run_workload(wl, shaped(base, shape), prefetch);
+    const std::string& label =
+        prefetch ? wl.prefetch_program().name : wl.program().name;
+    const double speedup =
+        out.host_seconds > 0.0 ? one.host_seconds / out.host_seconds : 0.0;
+    std::fprintf(stderr,
+                 "[bench] %-24s %10llu cycles  %7.3f s host  "
+                 "%10llu fast-forwarded  (%u threads, %.2fx vs 1)\n",
+                 label.c_str(),
+                 static_cast<unsigned long long>(out.result.cycles),
+                 out.host_seconds,
+                 static_cast<unsigned long long>(out.cycles_fast_forwarded),
+                 shape.threads, speedup);
+    if (out.result.cycles != one.result.cycles) {
+        std::fprintf(stderr,
+                     "WARNING: %s: sharded run diverged from the "
+                     "single-threaded reference (%llu vs %llu cycles)\n",
+                     label.c_str(),
+                     static_cast<unsigned long long>(out.result.cycles),
+                     static_cast<unsigned long long>(one.result.cycles));
+    }
+    char extra[96];
+    std::snprintf(extra, sizeof extra,
+                  "\"host_threads\":%u,\"speedup_vs_1thread\":%.3f",
+                  shape.threads, speedup);
+    maybe_emit_json(out.result, label, extra);
     return out;
 }
 

@@ -3,7 +3,13 @@
 ///        on CellDTA with eight SPUs and memory latency 150, (a) without
 ///        and (b) with prefetching, for bitcnt(10000), mmul(32), zoom(32).
 ///
-/// Usage: fig5_breakdown [--iterations N]   (default 10000, the paper's)
+/// Usage: fig5_breakdown [--iterations N] [--nodes N] [--threads N]
+///   --iterations   bitcnt iterations (default 10000, the paper's)
+///   --nodes        spread the 8 PEs over N nodes (default: single node)
+///   --threads      host threads for the sharded run loop; with N > 1 each
+///                  run is timed against the single-threaded reference and
+///                  the DTA_BENCH_JSON documents gain host_threads and
+///                  speedup_vs_1thread fields
 
 #include <cstdio>
 
@@ -31,6 +37,7 @@ constexpr PaperRow kPaper[] = {
 
 int main(int argc, char** argv) {
     const std::uint32_t iters = arg_u32(argc, argv, "--iterations", 10000);
+    const Shape shape = shape_from_args(argc, argv);
     banner("FIG5", "SPU execution-time breakdown, 8 SPEs, latency 150");
 
     const workloads::BitCount bc(bitcnt_params(iters));
@@ -45,8 +52,8 @@ int main(int argc, char** argv) {
 
     const auto run_both = [&](const auto& wl, const core::MachineConfig& cfg,
                               const char* name, int idx) {
-        const auto orig = bench::run_reported(wl, cfg, false);
-        const auto pf = bench::run_reported(wl, cfg, true);
+        const auto orig = bench::run_shaped(wl, cfg, shape, false);
+        const auto pf = bench::run_shaped(wl, cfg, shape, true);
         if (!orig.correct || !pf.correct) {
             std::fprintf(stderr, "%s: INCORRECT RESULT\n", name);
         }

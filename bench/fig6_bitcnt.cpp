@@ -14,14 +14,19 @@ using namespace dta::bench;
 
 int main(int argc, char** argv) {
     const std::uint32_t iters = arg_u32(argc, argv, "--iterations", 10000);
+    const Shape shape = shape_from_args(argc, argv);
     banner("FIG6", "bitcnt execution time & scalability, latency 150");
 
     const workloads::BitCount wl(bitcnt_params(iters));
     std::vector<stats::SeriesPoint> pts;
     for (std::uint16_t spes : {1, 2, 4, 8}) {
         const auto cfg = workloads::BitCount::machine_config(spes);
-        const auto orig = bench::run_reported(wl, cfg, false);
-        const auto pf = bench::run_reported(wl, cfg, true);
+        Shape pt = shape;  // --nodes applies only where it divides the PEs
+        if (pt.nodes != 0 && spes % pt.nodes != 0) {
+            pt.nodes = 0;
+        }
+        const auto orig = bench::run_shaped(wl, cfg, pt, false);
+        const auto pf = bench::run_shaped(wl, cfg, pt, true);
         if (!orig.correct || !pf.correct) {
             std::fprintf(stderr, "bitcnt@%u SPEs: INCORRECT RESULT\n", spes);
         }

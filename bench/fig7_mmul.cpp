@@ -13,15 +13,20 @@
 using namespace dta;
 using namespace dta::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const Shape shape = shape_from_args(argc, argv);
     banner("FIG7", "mmul(32) execution time & scalability, latency 150");
 
     std::vector<stats::SeriesPoint> pts;
     for (std::uint16_t spes : {1, 2, 4, 8}) {
         const workloads::MatMul wl(mmul_params(spes));
         const auto cfg = workloads::MatMul::machine_config(spes);
-        const auto orig = bench::run_reported(wl, cfg, false);
-        const auto pf = bench::run_reported(wl, cfg, true);
+        Shape pt = shape;  // --nodes applies only where it divides the PEs
+        if (pt.nodes != 0 && spes % pt.nodes != 0) {
+            pt.nodes = 0;
+        }
+        const auto orig = bench::run_shaped(wl, cfg, pt, false);
+        const auto pf = bench::run_shaped(wl, cfg, pt, true);
         if (!orig.correct || !pf.correct) {
             std::fprintf(stderr, "mmul@%u SPEs: INCORRECT RESULT\n", spes);
         }

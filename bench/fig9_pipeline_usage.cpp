@@ -15,6 +15,7 @@ using namespace dta::bench;
 
 int main(int argc, char** argv) {
     const std::uint32_t iters = arg_u32(argc, argv, "--iterations", 10000);
+    const Shape shape = shape_from_args(argc, argv);
     banner("FIG9", "pipeline usage with and without prefetching");
 
     const workloads::BitCount bc(bitcnt_params(iters));
@@ -24,8 +25,8 @@ int main(int argc, char** argv) {
     std::vector<stats::UsageRow> rows;
     const auto add = [&](const auto& wl, const core::MachineConfig& cfg,
                          const char* name) {
-        const auto orig = bench::run_reported(wl, cfg, false);
-        const auto pf = bench::run_reported(wl, cfg, true);
+        const auto orig = bench::run_shaped(wl, cfg, shape, false);
+        const auto pf = bench::run_shaped(wl, cfg, shape, true);
         rows.push_back({name, orig.result.pipeline_usage(),
                         pf.result.pipeline_usage()});
         std::printf("%-8s slot utilisation: %s -> %s\n", name,

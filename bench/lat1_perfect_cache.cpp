@@ -15,6 +15,7 @@ using namespace dta::bench;
 
 int main(int argc, char** argv) {
     const std::uint32_t iters = arg_u32(argc, argv, "--iterations", 10000);
+    const Shape shape = shape_from_args(argc, argv);
     banner("LAT1", "all memory latencies = 1 (perfect-cache extreme)");
 
     const auto cfg_for = [](const sched::LseConfig& lse) {
@@ -27,8 +28,8 @@ int main(int argc, char** argv) {
     std::vector<stats::BreakdownRow> rows;
     const auto go = [&](const auto& wl, const core::MachineConfig& cfg,
                         const char* name, int idx) {
-        const auto orig = bench::run_reported(wl, cfg, false);
-        const auto pf = bench::run_reported(wl, cfg, true);
+        const auto orig = bench::run_shaped(wl, cfg, shape, false);
+        const auto pf = bench::run_shaped(wl, cfg, shape, true);
         measured[idx] = static_cast<double>(orig.result.cycles) /
                         static_cast<double>(pf.result.cycles);
         std::printf("%-8s latency-1: %10llu vs %10llu cycles  (usage %s -> %s)\n",

@@ -28,6 +28,7 @@ constexpr PaperRow kPaper[] = {
 
 int main(int argc, char** argv) {
     const std::uint32_t iters = arg_u32(argc, argv, "--iterations", 10000);
+    const Shape shape = shape_from_args(argc, argv);
     banner("TAB5", "dynamic instruction counts, 8 SPEs");
 
     const workloads::BitCount bc(bitcnt_params(iters));
@@ -37,8 +38,8 @@ int main(int argc, char** argv) {
     std::vector<stats::InstrRow> rows;
     const auto add = [&](const auto& wl, const core::MachineConfig& cfg,
                          const std::string& name) {
-        const auto orig = bench::run_reported(wl, cfg, false);
-        const auto pf = bench::run_reported(wl, cfg, true);
+        const auto orig = bench::run_shaped(wl, cfg, shape, false);
+        const auto pf = bench::run_shaped(wl, cfg, shape, true);
         rows.push_back({name, orig.result.total_instrs()});
         rows.push_back({name + "+pf", pf.result.total_instrs()});
     };

@@ -86,6 +86,15 @@ struct MachineConfig {
     /// this only trades host time.  The DTA_NO_FASTFORWARD environment
     /// variable force-disables it (escape hatch for A/B debugging).
     bool fast_forward = true;
+    /// Host threads for the sharded run loop: each node (DSE, PEs, MFCs,
+    /// local stores, router) is a shard, and shards are distributed over
+    /// this many threads synchronised by an epoch barrier whose lookahead
+    /// is the inter-node link latency (see docs/ARCHITECTURE.md).  0 means
+    /// auto (hardware_concurrency); the effective count is capped at the
+    /// node count.  1 (the default) runs the single-threaded reference
+    /// loop.  RunResult, breakdown buckets, and the JSON report are
+    /// bit-identical for every value.
+    std::uint32_t host_threads = 1;
 
     [[nodiscard]] std::uint32_t total_pes() const {
         return static_cast<std::uint32_t>(nodes) * spes_per_node;

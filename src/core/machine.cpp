@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "isa/validate.hpp"
 #include "sim/check.hpp"
+#include "sim/epoch.hpp"
 
 namespace dta::core {
 
@@ -70,6 +72,35 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
     fast_forward_ =
         cfg_.fast_forward && std::getenv("DTA_NO_FASTFORWARD") == nullptr;
 
+    // Resolve the host-thread request into a shard count: one shard is a
+    // whole node (its DSE, PEs, MFCs, local stores and router), so the
+    // useful parallelism is capped at the node count; shards get contiguous
+    // node ranges so the intra-node fabric and most ring edges stay
+    // thread-local.  shard_count_ == 1 selects the single-threaded
+    // reference loop (bit-identical results either way).
+    std::uint32_t requested = cfg_.host_threads == 0
+                                  ? std::thread::hardware_concurrency()
+                                  : cfg_.host_threads;
+    if (requested == 0) {
+        requested = 1;
+    }
+    shard_count_ = std::min<std::uint32_t>(requested, cfg_.nodes);
+    node_shard_.resize(cfg_.nodes, 0);
+    for (std::uint32_t s = 0; s < shard_count_; ++s) {
+        for (std::uint16_t n = first_node_of(s); n < first_node_of(s + 1);
+             ++n) {
+            node_shard_[n] = static_cast<std::uint16_t>(s);
+        }
+    }
+    if (shard_count_ > 1) {
+        // Shard-local sinks, sized up front: components keep pointers into
+        // these for the machine's lifetime.
+        shard_metrics_.resize(shard_count_);
+        shard_spans_.resize(shard_count_);
+        shard_dma_spans_.resize(shard_count_);
+        shard_gauges_.resize(shard_count_);
+    }
+
     // Containers that components keep pointers into are sized up front so
     // the port bindings below stay valid.
     fabrics_.reserve(cfg_.nodes);
@@ -92,7 +123,13 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
         pes_.push_back(std::make_unique<Pe>(cfg_, topo_, id, prog_, logger_));
         pes_.back()->set_parking(fast_forward_);
         if (cfg_.capture_spans) {
-            pes_.back()->set_span_sink(&spans_);
+            // Sharded machines write spans into shard-local vectors (no
+            // cross-thread sharing); run_sharded() merges them back into
+            // spans_ in the single-threaded push order.
+            pes_.back()->set_span_sink(
+                shard_count_ > 1
+                    ? &shard_spans_[node_shard_[id / cfg_.spes_per_node]]
+                    : &spans_);
         }
     }
     memif_ = std::make_unique<MemInterface>(mem_);
@@ -154,22 +191,143 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
     if (cfg_.collect_metrics) {
         DTA_SIM_REQUIRE(cfg_.metrics_sample_interval > 0,
                         "metrics_sample_interval must be non-zero");
-        metrics_.enable();
-        for (auto& pe : pes_) {
-            pe->attach_metrics(metrics_, &dma_spans_);
+        if (shard_count_ > 1) {
+            // Each shard gets a private registry over its own components;
+            // run_sharded() merges them into metrics_ (counters add,
+            // histograms merge, gauges sum point-wise — all
+            // order-independent, so the merged registry is bit-identical
+            // to one shared registry).
+            for (std::uint32_t s = 0; s < shard_count_; ++s) {
+                sim::MetricsRegistry& reg = shard_metrics_[s];
+                ShardGauges& g = shard_gauges_[s];
+                reg.enable();
+                for (std::uint16_t n = first_node_of(s);
+                     n < first_node_of(s + 1); ++n) {
+                    for (std::uint16_t l = 0; l < cfg_.spes_per_node; ++l) {
+                        pes_[topo_.global_pe(n, l)]->attach_metrics(
+                            reg, &shard_dma_spans_[s]);
+                    }
+                    fabrics_[n].attach_metrics(reg);
+                    g.noc_pending.push_back(
+                        reg.gauge("noc" + std::to_string(n) + ".pending"));
+                    dses_[n].attach_metrics(reg);
+                }
+                g.dma_cmds = reg.gauge("dma.commands_in_flight");
+                g.dma_lines = reg.gauge("dma.lines_in_flight");
+                if (node_shard_[kMemoryNode] == s) {
+                    g.mem_queue = reg.gauge("mem.queue_depth");
+                }
+            }
+        } else {
+            metrics_.enable();
+            for (auto& pe : pes_) {
+                pe->attach_metrics(metrics_, &dma_spans_);
+            }
+            g_noc_pending_.reserve(fabrics_.size());
+            for (std::size_t n = 0; n < fabrics_.size(); ++n) {
+                fabrics_[n].attach_metrics(metrics_);
+                g_noc_pending_.push_back(
+                    metrics_.gauge("noc" + std::to_string(n) + ".pending"));
+            }
+            for (auto& dse : dses_) {
+                dse.attach_metrics(metrics_);
+            }
+            g_dma_cmds_ = metrics_.gauge("dma.commands_in_flight");
+            g_dma_lines_ = metrics_.gauge("dma.lines_in_flight");
+            g_mem_queue_ = metrics_.gauge("mem.queue_depth");
         }
-        g_noc_pending_.reserve(fabrics_.size());
-        for (std::size_t n = 0; n < fabrics_.size(); ++n) {
-            fabrics_[n].attach_metrics(metrics_);
-            g_noc_pending_.push_back(
-                metrics_.gauge("noc" + std::to_string(n) + ".pending"));
+    }
+
+    if (shard_count_ > 1) {
+        // Ring edges that cross a shard boundary exchange packets through
+        // SPSC channels instead of a direct port push.  Capacity covers the
+        // worst burst a free-running sender can stage before the receiver's
+        // next drain (a handful of epochs of back-to-back serialisations);
+        // overflow is a wiring bug, not backpressure, and trips a check.
+        const std::size_t cap =
+            static_cast<std::size_t>(4 * epoch_length() + 64);
+        for (std::uint16_t n = 0; n < cfg_.nodes; ++n) {
+            const auto m = static_cast<std::uint16_t>((n + 1) % cfg_.nodes);
+            if (node_shard_[n] == node_shard_[m]) {
+                continue;
+            }
+            channels_.push_back(
+                std::make_unique<sim::SpscChannel<noc::Packet>>(cap));
+            // The wrap edge (receiver node < sender node) drains one cycle
+            // later than the stamped delivery: in the single-threaded
+            // schedule routers tick in node order, so a forward-edge
+            // delivery is forwarded the same cycle but a wrap-edge one only
+            // on the next (see docs/ARCHITECTURE.md).
+            links_[n].attach_channel(channels_.back().get(), m < n ? 1 : 0);
+            routers_[m]->set_inbound_channel(channels_.back().get());
         }
-        for (auto& dse : dses_) {
-            dse.attach_metrics(metrics_);
+        build_shards();
+    }
+}
+
+void Machine::build_shards() {
+    // Per-shard inbound channel lists, in the same edge order the channels
+    // were created.
+    std::vector<std::vector<sim::ChannelBase*>> inbound(shard_count_);
+    std::size_t ci = 0;
+    for (std::uint16_t n = 0; n < cfg_.nodes; ++n) {
+        const auto m = static_cast<std::uint16_t>((n + 1) % cfg_.nodes);
+        if (node_shard_[n] == node_shard_[m]) {
+            continue;
         }
-        g_dma_cmds_ = metrics_.gauge("dma.commands_in_flight");
-        g_dma_lines_ = metrics_.gauge("dma.lines_in_flight");
-        g_mem_queue_ = metrics_.gauge("mem.queue_depth");
+        inbound[node_shard_[m]].push_back(channels_[ci++].get());
+    }
+    shards_.reserve(shard_count_);
+    for (std::uint32_t s = 0; s < shard_count_; ++s) {
+        const std::uint16_t lo = first_node_of(s);
+        const std::uint16_t hi = first_node_of(s + 1);
+        const std::uint32_t pe_lo =
+            static_cast<std::uint32_t>(lo) * cfg_.spes_per_node;
+        const std::uint32_t pe_hi =
+            static_cast<std::uint32_t>(hi) * cfg_.spes_per_node;
+        // Shard-local scheduler list in the same relative order as the
+        // global components_ list (fabrics, DSEs, memif, PEs, routers).
+        std::vector<sim::Component*> comps;
+        for (std::uint16_t n = lo; n < hi; ++n) {
+            comps.push_back(&fabrics_[n]);
+        }
+        for (std::uint16_t n = lo; n < hi; ++n) {
+            comps.push_back(&dses_[n]);
+        }
+        if (node_shard_[kMemoryNode] == s) {
+            comps.push_back(memif_.get());
+        }
+        for (std::uint32_t id = pe_lo; id < pe_hi; ++id) {
+            comps.push_back(pes_[id].get());
+        }
+        for (std::uint16_t n = lo; n < hi; ++n) {
+            comps.push_back(routers_[n].get());
+        }
+        sim::Shard::Hooks hooks;
+        hooks.fast_forward = fast_forward_;
+        hooks.fingerprint = [this, s, lo, hi, pe_lo, pe_hi] {
+            std::uint64_t fp = 0;
+            if (node_shard_[kMemoryNode] == s) {
+                fp += mem_.reads_served() + mem_.writes_served();
+            }
+            for (std::uint16_t n = lo; n < hi; ++n) {
+                fp += fabrics_[n].stats().packets_delivered;
+            }
+            for (std::uint32_t id = pe_lo; id < pe_hi; ++id) {
+                fp += pes_[id]->issue_slots_used() +
+                      pes_[id]->lse().stats().dispatches;
+            }
+            return fp;
+        };
+        if (cfg_.collect_metrics) {
+            hooks.sample = [this, s](sim::Cycle now) {
+                sample_shard_gauges(s, now);
+            };
+            hooks.sample_interval = cfg_.metrics_sample_interval;
+        }
+        shards_.push_back(std::make_unique<sim::Shard>(
+            "shard" + std::to_string(s), std::move(comps),
+            std::move(inbound[s]), std::move(hooks)));
     }
 }
 
@@ -240,14 +398,33 @@ std::uint64_t Machine::fingerprint() const {
     return fp;
 }
 
-std::string Machine::non_quiescent_names() const {
+std::string Machine::non_quiescent_names(sim::Cycle now) const {
+    // Each stuck component is tagged with its owning shard and the epoch
+    // that shard's clock is in, so deadlock dumps from a sharded run say
+    // which thread was holding what (single-threaded runs are all shard 0).
+    const sim::Cycle epoch_len = epoch_length();
     std::string who;
-    for (const sim::Component* c : components_) {
-        if (!c->quiescent()) {
-            if (!who.empty()) {
-                who += ", ";
+    const auto append = [&who](const sim::Component* c, std::uint32_t shard,
+                               sim::Cycle epoch) {
+        if (c->quiescent()) {
+            return;
+        }
+        if (!who.empty()) {
+            who += ", ";
+        }
+        who += c->name() + " [shard " + std::to_string(shard) + ", epoch " +
+               std::to_string(epoch) + "]";
+    };
+    if (!shards_.empty()) {
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            for (const sim::Component* c : shards_[s]->components()) {
+                append(c, static_cast<std::uint32_t>(s),
+                       shards_[s]->epoch_of(epoch_len));
             }
-            who += c->name();
+        }
+    } else {
+        for (const sim::Component* c : components_) {
+            append(c, 0, now / epoch_len);
         }
     }
     return who;
@@ -260,7 +437,7 @@ void Machine::throw_deadlock(sim::Cycle now, sim::Cycle stalled,
         parked += dse.pending();
     }
     const std::string tail =
-        " (stuck: " + non_quiescent_names() + "; " + std::to_string(parked) +
+        " (stuck: " + non_quiescent_names(now) + "; " + std::to_string(parked) +
         " FALLOCs parked at DSEs; the program's live-thread "
         "peak likely exceeds the frame supply)";
     if (idle_forever) {
@@ -307,6 +484,9 @@ RunResult Machine::run() {
     DTA_SIM_REQUIRE(launched_, "run() before launch()");
     DTA_SIM_REQUIRE(!ran_, "run() called twice");
     ran_ = true;
+    if (shard_count_ > 1) {
+        return run_sharded();
+    }
     sim::Cycle now = 0;
     std::uint64_t last_fp = ~0ull;
     sim::Cycle last_progress = 0;
@@ -366,6 +546,99 @@ RunResult Machine::run() {
     }
     DTA_SIM_ERROR("simulation exceeded max_cycles (" +
                   std::to_string(cfg_.max_cycles) + ")");
+}
+
+void Machine::sample_shard_gauges(std::uint32_t shard, sim::Cycle now) {
+    ShardGauges& g = shard_gauges_[shard];
+    std::int64_t cmds = 0;
+    std::int64_t lines = 0;
+    const std::uint32_t pe_lo =
+        static_cast<std::uint32_t>(first_node_of(shard)) * cfg_.spes_per_node;
+    const std::uint32_t pe_hi =
+        static_cast<std::uint32_t>(first_node_of(shard + 1)) *
+        cfg_.spes_per_node;
+    for (std::uint32_t id = pe_lo; id < pe_hi; ++id) {
+        cmds += static_cast<std::int64_t>(pes_[id]->mfc().commands_in_flight());
+        lines += static_cast<std::int64_t>(pes_[id]->mfc().lines_in_flight());
+    }
+    g.dma_cmds->sample(now, cmds);
+    g.dma_lines->sample(now, lines);
+    if (g.mem_queue != nullptr) {
+        g.mem_queue->sample(now, static_cast<std::int64_t>(mem_.queue_depth()));
+    }
+    std::size_t i = 0;
+    for (std::uint16_t n = first_node_of(shard); n < first_node_of(shard + 1);
+         ++n, ++i) {
+        g.noc_pending[i]->sample(
+            now, static_cast<std::int64_t>(fabrics_[n].pending()));
+    }
+}
+
+RunResult Machine::run_sharded() {
+    std::vector<sim::Shard*> shards;
+    shards.reserve(shards_.size());
+    for (const auto& s : shards_) {
+        shards.push_back(s.get());
+    }
+    sim::EpochRunner::Config ec;
+    ec.epoch = epoch_length();
+    ec.max_cycles = cfg_.max_cycles;
+    ec.no_progress_limit = cfg_.no_progress_limit;
+    sim::EpochRunner runner(
+        std::move(shards), ec,
+        [this](sim::EpochRunner::Fail kind, sim::Cycle now,
+               sim::Cycle stalled) {
+            if (kind == sim::EpochRunner::Fail::kMaxCycles) {
+                DTA_SIM_ERROR("simulation exceeded max_cycles (" +
+                              std::to_string(cfg_.max_cycles) + ")");
+            }
+            throw_deadlock(now, stalled,
+                           kind == sim::EpochRunner::Fail::kIdleForever);
+        });
+    const sim::Cycle cycles = runner.run();
+    logger_.log(sim::LogLevel::kInfo, cycles == 0 ? 0 : cycles - 1, "machine",
+                "quiescent; simulation complete");
+    for (const auto& shard : shards_) {
+        skipped_ += shard->cycles_skipped();
+    }
+
+    // Deterministic merge of the shard-local sinks.  Spans: the
+    // single-threaded loop pushes them in (end cycle, PE index) order — a
+    // span ends when its PE's tick at end-1 retires it, PEs tick in index
+    // order within a cycle, and one PE closes at most one thread span (and
+    // pushes DMA spans tag-ascending) per cycle — so a stable sort of the
+    // concatenated per-shard vectors by that key reproduces the exact
+    // single-threaded push order.
+    for (const auto& v : shard_spans_) {
+        spans_.insert(spans_.end(), v.begin(), v.end());
+    }
+    std::stable_sort(spans_.begin(), spans_.end(),
+                     [](const ThreadSpan& a, const ThreadSpan& b) {
+                         return a.end != b.end ? a.end < b.end : a.pe < b.pe;
+                     });
+    for (const auto& v : shard_dma_spans_) {
+        dma_spans_.insert(dma_spans_.end(), v.begin(), v.end());
+    }
+    std::stable_sort(dma_spans_.begin(), dma_spans_.end(),
+                     [](const dma::DmaSpan& a, const dma::DmaSpan& b) {
+                         return a.end != b.end ? a.end < b.end : a.pe < b.pe;
+                     });
+    if (cfg_.collect_metrics) {
+        metrics_.enable();
+        for (const sim::MetricsRegistry& reg : shard_metrics_) {
+            metrics_.merge_from(reg);
+        }
+    }
+    return gather(cycles);
+}
+
+std::vector<Machine::ShardStat> Machine::shard_stats() const {
+    std::vector<ShardStat> out;
+    out.reserve(shards_.size());
+    for (const auto& s : shards_) {
+        out.push_back({s->name(), s->cycles_ticked(), s->cycles_skipped()});
+    }
+    return out;
 }
 
 RunResult Machine::gather(sim::Cycle cycles) const {

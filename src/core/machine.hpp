@@ -28,9 +28,11 @@
 #include "noc/interconnect.hpp"
 #include "noc/link.hpp"
 #include "sched/dse.hpp"
+#include "sim/channel.hpp"
 #include "sim/component.hpp"
 #include "sim/log.hpp"
 #include "sim/metrics.hpp"
+#include "sim/shard.hpp"
 
 namespace dta::core {
 
@@ -122,13 +124,26 @@ public:
     /// either way.
     [[nodiscard]] sim::Cycle cycles_fast_forwarded() const { return skipped_; }
 
+    /// Host threads the run loop actually uses (cfg.host_threads resolved:
+    /// 0 becomes hardware_concurrency, then capped at the node count; 1 is
+    /// the single-threaded reference loop).
+    [[nodiscard]] std::uint32_t shard_count() const { return shard_count_; }
+    /// Per-shard host-effort split (how many cycles each shard ticked vs
+    /// fast-forwarded).  Empty in single-threaded mode.
+    struct ShardStat {
+        std::string name;
+        sim::Cycle ticked = 0;
+        sim::Cycle skipped = 0;
+    };
+    [[nodiscard]] std::vector<ShardStat> shard_stats() const;
+
 private:
     void tick_cycle(sim::Cycle now);
     void sample_gauges(sim::Cycle now);
     [[nodiscard]] bool check_quiescent() const;
     /// Activity fingerprint for no-progress (deadlock) detection.
     [[nodiscard]] std::uint64_t fingerprint() const;
-    [[nodiscard]] std::string non_quiescent_names() const;
+    [[nodiscard]] std::string non_quiescent_names(sim::Cycle now) const;
     [[noreturn]] void throw_deadlock(sim::Cycle now, sim::Cycle stalled,
                                      bool idle_forever) const;
     /// Applies the bookkeeping of skipped cycles [from, to): component
@@ -136,6 +151,20 @@ private:
     void fast_forward_span(sim::Cycle from, sim::Cycle to,
                            std::uint64_t& last_fp, sim::Cycle& last_progress);
     [[nodiscard]] RunResult gather(sim::Cycle cycles) const;
+
+    // --- sharded (multi-threaded) run loop -------------------------------
+    /// Conservative lookahead: the soonest a packet serialised now can be
+    /// observed across a link is latency + 1 cycles later.
+    [[nodiscard]] sim::Cycle epoch_length() const {
+        return static_cast<sim::Cycle>(cfg_.link.latency) + 1;
+    }
+    [[nodiscard]] std::uint16_t first_node_of(std::uint32_t shard) const {
+        return static_cast<std::uint16_t>(
+            static_cast<std::uint32_t>(cfg_.nodes) * shard / shard_count_);
+    }
+    void build_shards();
+    void sample_shard_gauges(std::uint32_t shard, sim::Cycle now);
+    [[nodiscard]] RunResult run_sharded();
 
     MachineConfig cfg_;
     isa::Program prog_;
@@ -166,6 +195,24 @@ private:
     sim::GaugeSeries* g_dma_lines_ = nullptr;
     sim::GaugeSeries* g_mem_queue_ = nullptr;
     std::vector<sim::GaugeSeries*> g_noc_pending_;  ///< one per fabric
+
+    // --- sharded mode state (shard_count_ > 1 only) ----------------------
+    std::uint32_t shard_count_ = 1;
+    std::vector<std::uint16_t> node_shard_;  ///< node -> owning shard
+    std::vector<std::unique_ptr<sim::SpscChannel<noc::Packet>>> channels_;
+    std::vector<std::unique_ptr<sim::Shard>> shards_;
+    /// Shard-local collection sinks; components of shard s write only
+    /// here, and run_sharded() merges them deterministically at the end.
+    std::vector<sim::MetricsRegistry> shard_metrics_;
+    std::vector<std::vector<ThreadSpan>> shard_spans_;
+    std::vector<std::vector<dma::DmaSpan>> shard_dma_spans_;
+    struct ShardGauges {
+        sim::GaugeSeries* dma_cmds = nullptr;
+        sim::GaugeSeries* dma_lines = nullptr;
+        sim::GaugeSeries* mem_queue = nullptr;  ///< node-0 owner only
+        std::vector<sim::GaugeSeries*> noc_pending;  ///< per owned fabric
+    };
+    std::vector<ShardGauges> shard_gauges_;
 
     bool launched_ = false;
     bool ran_ = false;

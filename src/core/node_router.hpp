@@ -45,6 +45,11 @@ public:
     }
     /// Wires the ring: this node's link delivers into \p next's arrivals.
     void set_forward_to(sim::Port<noc::Packet>* next) { forward_to_ = next; }
+    /// Sharded machines: the upstream link is on another shard and its
+    /// deliveries come through \p ch instead of arrivals_.  Entries are
+    /// drained into arrivals_ once their stamped cycle comes up, which is
+    /// exactly when the upstream router would have pushed them directly.
+    void set_inbound_channel(noc::Link::TxChannel* ch) { in_channel_ = ch; }
 
     void tick(sim::Cycle now) override;
     [[nodiscard]] bool quiescent() const override;
@@ -62,6 +67,7 @@ private:
     MemInterface* memif_;                      ///< memory node only
     noc::Link* link_;                          ///< multi-node only
     sim::Port<noc::Packet>* forward_to_ = nullptr;
+    noc::Link::TxChannel* in_channel_ = nullptr;  ///< shard-crossing inbound
 
     sim::Port<noc::Packet> arrivals_;
     sim::Port<noc::Packet> bridge_out_;

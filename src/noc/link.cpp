@@ -21,9 +21,18 @@ bool Link::try_send(Packet pkt) {
 }
 
 void Link::tick(sim::Cycle now) {
-    while (!in_transit_.empty() && in_transit_.front().deliver_at <= now) {
-        delivered_.push_back(std::move(in_transit_.front().pkt));
-        in_transit_.pop_front();
+    if (channel_ != nullptr) {
+        // Channel mode: packets already crossed at serialisation time; the
+        // sender merely stops vouching for them once they mature (the
+        // receiver's channel-backed router is non-quiescent from then on).
+        while (!tx_pending_.empty() && tx_pending_.front() <= now) {
+            tx_pending_.pop_front();
+        }
+    } else {
+        while (!in_transit_.empty() && in_transit_.front().deliver_at <= now) {
+            delivered_.push_back(std::move(in_transit_.front().pkt));
+            in_transit_.pop_front();
+        }
     }
     if (queue_.empty() || wire_free_at_ > now) {
         return;
@@ -36,8 +45,15 @@ void Link::tick(sim::Cycle now) {
     wire_free_at_ = now + occupancy;
     ++carried_;
     bytes_ += pkt.size_bytes;
-    in_transit_.push_back(
-        InTransit{now + occupancy + cfg_.latency, std::move(pkt)});
+    const sim::Cycle deliver_at = now + occupancy + cfg_.latency;
+    if (channel_ != nullptr) {
+        tx_pending_.push_back(deliver_at);
+        const bool ok =
+            channel_->try_push(deliver_at + drain_bias_, std::move(pkt));
+        DTA_CHECK_MSG(ok, "cross-shard link channel overflow");
+        return;
+    }
+    in_transit_.push_back(InTransit{deliver_at, std::move(pkt)});
 }
 
 bool Link::pop_delivered(Packet& out) {

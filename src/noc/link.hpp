@@ -13,6 +13,7 @@
 #include <deque>
 
 #include "noc/packet.hpp"
+#include "sim/channel.hpp"
 #include "sim/component.hpp"
 #include "sim/types.hpp"
 
@@ -26,8 +27,22 @@ struct LinkConfig {
 };
 
 /// A unidirectional inter-node channel.
+///
+/// Two delivery modes share the serialiser and its timing:
+///  * **port mode** (default): matured packets collect in `delivered_` and
+///    the owning router pops and forwards them — the single-threaded path.
+///  * **channel mode** (`attach_channel`): the link is a shard-crossing
+///    edge; each packet is published into a lock-free SPSC channel *at
+///    serialisation time*, stamped with the cycle the receiver may observe
+///    it (deliver_at plus a drain bias reproducing the single-threaded
+///    router tick order: +1 only on the ring's wrap-around edge, where the
+///    receiving router ticks before the sending one).  The sender keeps the
+///    deliver_at of every in-flight packet (`tx_pending_`) so quiescence
+///    and the horizon stay exactly what port mode reports.
 class Link final : public sim::Component {
 public:
+    using TxChannel = sim::SpscChannel<Packet>;
+
     explicit Link(const LinkConfig& cfg);
 
     [[nodiscard]] bool can_send() const {
@@ -36,10 +51,20 @@ public:
     /// Returns false if the sender-side buffer is full.
     [[nodiscard]] bool try_send(Packet pkt);
 
+    /// Switches to channel mode: serialised packets are published to
+    /// \p channel with drain cycle deliver_at + \p drain_bias.
+    void attach_channel(TxChannel* channel, std::uint32_t drain_bias) {
+        channel_ = channel;
+        drain_bias_ = drain_bias;
+    }
+
     void tick(sim::Cycle now) override;
 
     [[nodiscard]] bool pop_delivered(Packet& out);
     [[nodiscard]] bool quiescent() const override {
+        if (channel_ != nullptr) {
+            return queue_.empty() && tx_pending_.empty();
+        }
         return queue_.empty() && in_transit_.empty() && delivered_.empty();
     }
 
@@ -48,13 +73,19 @@ public:
     /// in-flight packet matures at its deliver_at.
     [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) const override {
         sim::Cycle h = sim::kIdleForever;
-        if (!delivered_.empty()) {
-            return now + 1;
-        }
-        if (!in_transit_.empty()) {
-            h = in_transit_.front().deliver_at > now
-                    ? in_transit_.front().deliver_at
-                    : now + 1;
+        if (channel_ != nullptr) {
+            if (!tx_pending_.empty()) {
+                h = tx_pending_.front() > now ? tx_pending_.front() : now + 1;
+            }
+        } else {
+            if (!delivered_.empty()) {
+                return now + 1;
+            }
+            if (!in_transit_.empty()) {
+                h = in_transit_.front().deliver_at > now
+                        ? in_transit_.front().deliver_at
+                        : now + 1;
+            }
         }
         if (!queue_.empty()) {
             const sim::Cycle start =
@@ -66,6 +97,7 @@ public:
 
     [[nodiscard]] std::uint64_t packets_carried() const { return carried_; }
     [[nodiscard]] std::uint64_t bytes_carried() const { return bytes_; }
+    [[nodiscard]] const LinkConfig& config() const { return cfg_; }
 
 private:
     struct InTransit {
@@ -80,6 +112,11 @@ private:
     sim::Cycle wire_free_at_ = 0;
     std::uint64_t carried_ = 0;
     std::uint64_t bytes_ = 0;
+
+    // channel mode (shard-crossing edge)
+    TxChannel* channel_ = nullptr;
+    std::uint32_t drain_bias_ = 0;
+    std::deque<sim::Cycle> tx_pending_;  ///< deliver_at of on-wire packets
 };
 
 }  // namespace dta::noc

@@ -1,0 +1,118 @@
+/// \file channel.hpp
+/// \brief Lock-free single-producer/single-consumer channel for cross-shard
+///        packet exchange (the multi-threaded variant of sim::Port).
+///
+/// A cross-shard edge of the machine graph (an inter-node Link whose sender
+/// and receiver live on different shards) serialises packets into one of
+/// these instead of a plain deque.  Each entry carries the cycle at which
+/// the *receiver* may observe it (`drain_at`), which the sender computes
+/// deterministically at serialisation time — so the channel contents are a
+/// pure function of simulated history, never of host thread timing.
+///
+/// Safety under the epoch barrier (see docs/ARCHITECTURE.md): packets
+/// serialised during epoch k have `drain_at` of epoch k+1 or later, so the
+/// consumer never needs an entry the producer is still in the middle of
+/// publishing.  The ring is sized by the machine from the link latency; a
+/// full ring therefore indicates a wiring bug, not back-pressure, and
+/// producers treat push failure as fatal.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/check.hpp"
+#include "sim/types.hpp"
+
+namespace dta::sim {
+
+/// Type-erased view of a channel: what the epoch coordinator needs in order
+/// to decide wake-up and termination (all shard threads are parked at the
+/// barrier when it runs, so these reads are race-free by construction).
+class ChannelBase {
+public:
+    ChannelBase() = default;
+    ChannelBase(const ChannelBase&) = delete;
+    ChannelBase& operator=(const ChannelBase&) = delete;
+    virtual ~ChannelBase() = default;
+
+    [[nodiscard]] virtual bool empty() const = 0;
+    [[nodiscard]] virtual std::size_t size() const = 0;
+};
+
+/// Bounded lock-free SPSC ring.  Exactly one thread pushes (the shard that
+/// owns the sending Link) and exactly one thread pops (the shard that owns
+/// the receiving NodeRouter); `empty()`/`size()` may additionally be read
+/// by the coordinator while both are quiesced at the barrier.
+template <typename T>
+class SpscChannel final : public ChannelBase {
+public:
+    /// \p capacity is rounded up to a power of two.
+    explicit SpscChannel(std::size_t capacity) {
+        std::size_t cap = 16;
+        while (cap < capacity) {
+            cap *= 2;
+        }
+        ring_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    /// Producer side.  Entries must be pushed in non-decreasing drain_at
+    /// order (link serialisation is FIFO, so this holds by construction).
+    [[nodiscard]] bool try_push(Cycle drain_at, T value) {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail - head_.load(std::memory_order_acquire) > mask_) {
+            return false;  // full
+        }
+        Entry& e = ring_[tail & mask_];
+        e.drain_at = drain_at;
+        e.value = std::move(value);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer side: drain cycle of the oldest entry, if any.
+    [[nodiscard]] bool peek_drain(Cycle* drain_at) const {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        if (head == tail_.load(std::memory_order_acquire)) {
+            return false;
+        }
+        *drain_at = ring_[head & mask_].drain_at;
+        return true;
+    }
+
+    /// Consumer side: pops the oldest entry.
+    [[nodiscard]] bool try_pop(T& out) {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        if (head == tail_.load(std::memory_order_acquire)) {
+            return false;
+        }
+        out = std::move(ring_[head & mask_].value);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    [[nodiscard]] bool empty() const override {
+        return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire);
+    }
+    [[nodiscard]] std::size_t size() const override {
+        return tail_.load(std::memory_order_acquire) -
+               head_.load(std::memory_order_acquire);
+    }
+    [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+private:
+    struct Entry {
+        Cycle drain_at = 0;
+        T value{};
+    };
+
+    std::vector<Entry> ring_;
+    std::size_t mask_ = 0;
+    alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+    alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+};
+
+}  // namespace dta::sim

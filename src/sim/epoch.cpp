@@ -1,0 +1,144 @@
+#include "sim/epoch.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace dta::sim {
+
+EpochRunner::EpochRunner(std::vector<Shard*> shards, Config cfg, FailFn fail)
+    : shards_(std::move(shards)), cfg_(cfg), fail_(std::move(fail)) {
+    DTA_SIM_REQUIRE(!shards_.empty(), "epoch runner needs at least one shard");
+    DTA_SIM_REQUIRE(cfg_.epoch > 0, "epoch length must be at least one cycle");
+    DTA_SIM_REQUIRE(static_cast<bool>(fail_), "epoch runner needs a fail hook");
+}
+
+void EpochRunner::record_error() noexcept {
+    const std::lock_guard<std::mutex> lock(err_mu_);
+    if (!error_) {
+        error_ = std::current_exception();
+    }
+}
+
+template <typename Barrier>
+void EpochRunner::participate(std::size_t index, Barrier& barrier) {
+    Shard* shard = shards_[index];
+    while (true) {
+        switch (phase_) {
+            case Phase::kRun:
+                try {
+                    shard->run_until(bound_);
+                } catch (...) {
+                    record_error();
+                }
+                break;
+            case Phase::kCatchUp:
+                try {
+                    shard->catch_up(end_);
+                } catch (...) {
+                    record_error();
+                }
+                break;
+            case Phase::kExit:
+                return;  // not reached: exit is taken below
+        }
+        barrier.arrive_and_wait();
+        if (phase_ == Phase::kExit) {
+            return;
+        }
+    }
+}
+
+void EpochRunner::coordinate() noexcept {
+    try {
+        {
+            const std::lock_guard<std::mutex> lock(err_mu_);
+            if (error_) {
+                phase_ = Phase::kExit;
+                return;
+            }
+        }
+        if (phase_ == Phase::kCatchUp) {
+            // Every shard just skipped up to end_; the run is complete.
+            phase_ = Phase::kExit;
+            return;
+        }
+        bool all_paused = true;
+        bool all_blocked = true;
+        bool channels_clear = true;
+        Cycle max_next = 0;
+        for (const Shard* s : shards_) {
+            all_paused = all_paused && s->paused();
+            all_blocked = all_blocked && (s->paused() || s->stuck());
+            channels_clear = channels_clear && s->inbound_empty();
+            max_next = std::max(max_next, s->acct_next());
+        }
+        if (all_paused && channels_clear) {
+            // Global quiescence.  max_next - 1 is the first cycle at which
+            // every component was quiescent at once — exactly the cycle the
+            // single-threaded loop would have stopped at; shards behind it
+            // catch up so every component accounts the same cycle range.
+            end_ = max_next;
+            phase_ = Phase::kCatchUp;
+            return;
+        }
+        for (Shard* s : shards_) {
+            if (s->paused() && !s->inbound_empty()) {
+                s->wake();
+            }
+        }
+        if (all_blocked && channels_clear) {
+            // Someone is non-quiescent, nobody can ever act again, and no
+            // packet is in flight to change that: certain deadlock.
+            fail_(Fail::kIdleForever, bound_ - 1, 0);
+        }
+        std::uint64_t fp = 0;
+        for (const Shard* s : shards_) {
+            fp += s->fingerprint();
+        }
+        if (fp != last_fp_) {
+            last_fp_ = fp;
+            last_progress_ = bound_;
+        } else if (bound_ - last_progress_ > cfg_.no_progress_limit) {
+            fail_(Fail::kNoProgress, bound_ - 1, bound_ - last_progress_);
+        }
+        if (bound_ >= cfg_.max_cycles) {
+            fail_(Fail::kMaxCycles, bound_, 0);
+        }
+        bound_ = std::min(bound_ + cfg_.epoch, cfg_.max_cycles);
+    } catch (...) {
+        record_error();
+        phase_ = Phase::kExit;
+    }
+}
+
+Cycle EpochRunner::run() {
+    struct Coordinate {
+        EpochRunner* runner;
+        void operator()() noexcept { runner->coordinate(); }
+    };
+
+    bound_ = std::min(cfg_.epoch, cfg_.max_cycles);
+    std::barrier<Coordinate> barrier(
+        static_cast<std::ptrdiff_t>(shards_.size()), Coordinate{this});
+
+    std::vector<std::thread> workers;
+    workers.reserve(shards_.size() - 1);
+    for (std::size_t i = 1; i < shards_.size(); ++i) {
+        workers.emplace_back(
+            [this, &barrier, i] { participate(i, barrier); });
+    }
+    participate(0, barrier);
+    for (std::thread& w : workers) {
+        w.join();
+    }
+    if (error_) {
+        std::rethrow_exception(error_);
+    }
+    return end_;
+}
+
+}  // namespace dta::sim

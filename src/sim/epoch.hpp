@@ -1,0 +1,88 @@
+/// \file epoch.hpp
+/// \brief Conservative-lookahead epoch barrier: drives one Shard per host
+///        thread and synchronises them at fixed simulated-time boundaries.
+///
+/// The lookahead comes from the inter-node Link: a packet serialised at
+/// cycle t is observable by its receiver no earlier than t + occupancy +
+/// latency >= t + latency + 1.  With the epoch length E = latency + 1,
+/// anything a shard produces during epoch k drains in epoch k+1 or later —
+/// so shards free-run a whole epoch without looking at each other, and the
+/// barrier (plus the SPSC channels filled along the way) is the only
+/// synchronisation.  The completion step of the barrier runs the
+/// coordinator: wake paused shards whose inbound channels filled, detect
+/// global termination / deadlock, advance the boundary.
+///
+/// Termination reproduces the single-threaded loop bit-exactly: each shard
+/// pauses at its first quiescent cycle q_s; when every shard is paused and
+/// every channel empty, the global end is max(q_s) — the first cycle at
+/// which the whole machine is quiescent — and shards are caught up (by
+/// skipping) to exactly that cycle, so per-cycle accounting such as the
+/// PEs' idle-bucket charges covers precisely the same [0, end] range the
+/// reference loop accounts.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "sim/shard.hpp"
+#include "sim/types.hpp"
+
+namespace dta::sim {
+
+/// Runs a set of shards to global quiescence under an epoch barrier.
+class EpochRunner {
+public:
+    /// Why a run cannot continue; the FailFn maps these to the machine's
+    /// SimError diagnostics (and must throw).
+    enum class Fail {
+        kNoProgress,   ///< activity fingerprint frozen past the limit
+        kIdleForever,  ///< every shard paused or stuck, channels empty
+        kMaxCycles,    ///< boundary reached max_cycles without quiescence
+    };
+    using FailFn = std::function<void(Fail, Cycle now, Cycle stalled)>;
+
+    struct Config {
+        Cycle epoch = 1;  ///< conservative lookahead (link latency + 1)
+        Cycle max_cycles = 0;
+        Cycle no_progress_limit = 0;
+    };
+
+    EpochRunner(std::vector<Shard*> shards, Config cfg, FailFn fail);
+
+    /// Blocks until global quiescence; spawns shards.size()-1 worker
+    /// threads (the calling thread drives shard 0).  Returns the run's
+    /// cycle count (global end + 1).  Rethrows the first exception any
+    /// shard or the coordinator raised.
+    [[nodiscard]] Cycle run();
+
+    /// The epoch length in effect (diagnostics).
+    [[nodiscard]] Cycle epoch_length() const { return cfg_.epoch; }
+
+private:
+    enum class Phase { kRun, kCatchUp, kExit };
+    template <typename Barrier>
+    void participate(std::size_t index, Barrier& barrier);
+    void coordinate() noexcept;
+    void record_error() noexcept;
+
+    std::vector<Shard*> shards_;
+    Config cfg_;
+    FailFn fail_;
+
+    // Coordinator state: written only inside the barrier's completion step,
+    // read by participants after the barrier releases them (the barrier's
+    // synchronisation makes these plain members race-free).
+    Phase phase_ = Phase::kRun;
+    Cycle bound_ = 0;  ///< current epoch boundary (exclusive)
+    Cycle end_ = 0;    ///< final cycle count once known
+    std::uint64_t last_fp_ = ~0ull;
+    Cycle last_progress_ = 0;
+
+    std::mutex err_mu_;
+    std::exception_ptr error_;
+};
+
+}  // namespace dta::sim

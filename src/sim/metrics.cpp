@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "sim/check.hpp"
+
 namespace dta::sim {
 
 std::size_t Histogram::bucket_of(std::uint64_t v) {
@@ -61,6 +63,37 @@ void Histogram::merge(const Histogram& other) {
     sum_ += other.sum_;
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
+}
+
+void GaugeSeries::merge_add(const GaugeSeries& other) {
+    if (other.samples_.empty()) {
+        return;
+    }
+    if (samples_.empty()) {
+        *this = other;
+        return;
+    }
+    DTA_CHECK_MSG(samples_.size() == other.samples_.size(),
+                  "gauge merge: shard series lengths differ");
+    max_ = 0;
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        DTA_CHECK_MSG(samples_[i].cycle == other.samples_[i].cycle,
+                      "gauge merge: shard series sampled at different cycles");
+        samples_[i].value += other.samples_[i].value;
+        max_ = std::max(max_, samples_[i].value);
+    }
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+    for (const auto& [name, c] : other.counters_) {
+        counters_[name].value += c.value;
+    }
+    for (const auto& [name, h] : other.histograms_) {
+        histograms_[name].merge(h);
+    }
+    for (const auto& [name, g] : other.gauges_) {
+        gauges_[name].merge_add(g);
+    }
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {

@@ -1,0 +1,94 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace dta::sim {
+
+bool Shard::all_quiescent() const {
+    for (const Component* c : components_) {
+        if (!c->quiescent()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void Shard::fast_forward_span(Cycle from, Cycle to) {
+    for (Component* c : components_) {
+        c->skip(from, to);
+    }
+    skipped_ += to - from;
+    // Replay the gauge samples the per-cycle loop would have taken; no
+    // component state changes on a skipped cycle, so every sample in the
+    // span reads the current values (same replay as the single-threaded
+    // Machine::fast_forward_span).
+    if (hooks_.sample && hooks_.sample_interval > 0) {
+        const Cycle step = hooks_.sample_interval;
+        for (Cycle c = ((from + step - 1) / step) * step; c < to; c += step) {
+            hooks_.sample(c);
+        }
+    }
+    acct_next_ = to;
+}
+
+void Shard::run_until(Cycle bound) {
+    stuck_ = false;
+    while (!paused_ && acct_next_ < bound) {
+        const Cycle now = acct_next_;
+        for (Component* c : components_) {
+            c->tick(now);
+        }
+        if (hooks_.sample && hooks_.sample_interval > 0 &&
+            now % hooks_.sample_interval == 0) {
+            hooks_.sample(now);
+        }
+        ++ticked_;
+        acct_next_ = now + 1;
+        // Quiescent with empty inbound channels (channel emptiness is part
+        // of the receiving router's quiescent()): this cycle is a candidate
+        // for the global end.  Freeze the clock; the coordinator wakes us
+        // if a cross-shard packet shows up, or catches us up to the exact
+        // end once every shard agrees.
+        if (all_quiescent()) {
+            paused_ = true;
+            return;
+        }
+        const std::uint64_t fp = fingerprint();
+        // Same gating as the single-threaded loop: horizons are consulted
+        // only when the tick just taken made no shard-local progress.
+        if (hooks_.fast_forward && fp == prev_fp_) {
+            Cycle h = kIdleForever;
+            for (const Component* c : components_) {
+                h = std::min(h, c->next_activity(now));
+                if (h <= acct_next_) {
+                    break;  // can't skip anything; stop asking
+                }
+            }
+            if (h == kIdleForever) {
+                // Frozen without input.  Locally that is indistinguishable
+                // from a machine-wide deadlock — another shard may still
+                // owe us a packet — so flag it and coast to the barrier;
+                // the coordinator decides (idle-forever deadlock iff every
+                // shard is paused or stuck and every channel is empty).
+                stuck_ = true;
+                h = bound;
+            }
+            DTA_CHECK_MSG(h > now, "component horizon not in the future");
+            h = std::min(h, bound);
+            if (h > acct_next_) {
+                fast_forward_span(acct_next_, h);
+            }
+        }
+        prev_fp_ = fp;
+    }
+}
+
+void Shard::catch_up(Cycle to) {
+    if (acct_next_ < to) {
+        fast_forward_span(acct_next_, to);
+    }
+}
+
+}  // namespace dta::sim

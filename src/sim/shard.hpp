@@ -1,0 +1,120 @@
+/// \file shard.hpp
+/// \brief One host thread's slice of the machine: a contiguous group of
+///        components ticked by a private clock between epoch barriers.
+///
+/// A Shard owns an ordered component list (the same relative order those
+/// components have in the single-threaded scheduler list) plus the inbound
+/// cross-shard channels feeding it.  Between barriers it free-runs — tick,
+/// quiescence check, fingerprint-gated idle fast-forward — exactly like the
+/// single-threaded Machine::run() loop, but bounded by the epoch horizon.
+///
+/// Accounting invariant: every cycle in [0, acct_next_) has been accounted
+/// exactly once on every component, either by tick() or by skip().  The
+/// epoch runner relies on this to make the merged RunResult bit-identical
+/// to the single-threaded reference: a shard that goes quiescent *pauses*
+/// (freezes acct_next_) instead of burning idle cycles past the eventual
+/// global end, and is caught up to the exact end cycle once that end is
+/// known (see EpochRunner).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace dta::sim {
+
+/// A schedulable slice of the machine.
+class Shard {
+public:
+    /// Machine-provided callbacks, so the shard stays generic.
+    struct Hooks {
+        /// Shard-local activity fingerprint (same counters the
+        /// single-threaded loop sums machine-wide; the coordinator adds the
+        /// per-shard values to recover the global fingerprint).
+        std::function<std::uint64_t()> fingerprint;
+        /// Gauge sampler; invoked at every multiple of sample_interval the
+        /// shard accounts (null when metrics are off).
+        std::function<void(Cycle)> sample;
+        Cycle sample_interval = 0;  ///< 0 disables sampling
+        bool fast_forward = true;
+    };
+
+    Shard(std::string name, std::vector<Component*> components,
+          std::vector<ChannelBase*> inbound, Hooks hooks)
+        : name_(std::move(name)),
+          components_(std::move(components)),
+          inbound_(std::move(inbound)),
+          hooks_(std::move(hooks)) {}
+
+    Shard(const Shard&) = delete;
+    Shard& operator=(const Shard&) = delete;
+
+    /// Free-runs the shard up to (exclusive) \p bound, the next epoch
+    /// boundary.  Returns early when the shard goes quiescent (pauses).
+    void run_until(Cycle bound);
+
+    /// Accounts the remaining cycles [acct_next_, to) by skipping — called
+    /// by the coordinator once the global end cycle is known.  Valid only
+    /// while the shard is quiescent (guaranteed when paused).
+    void catch_up(Cycle to);
+
+    /// Next unaccounted cycle; the shard's private clock.
+    [[nodiscard]] Cycle acct_next() const { return acct_next_; }
+    /// Paused: quiescent with empty inbound channels; awaits wake().
+    [[nodiscard]] bool paused() const { return paused_; }
+    /// Stuck: non-quiescent but idle forever absent cross-shard input.
+    [[nodiscard]] bool stuck() const { return stuck_; }
+    void wake() { paused_ = false; }
+
+    [[nodiscard]] bool inbound_empty() const {
+        for (const ChannelBase* ch : inbound_) {
+            if (!ch->empty()) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    [[nodiscard]] std::uint64_t fingerprint() const {
+        return hooks_.fingerprint ? hooks_.fingerprint() : 0;
+    }
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] const std::vector<Component*>& components() const {
+        return components_;
+    }
+    /// Cycles advanced by ticking / by skipping (host-effort split; the
+    /// simulated results are identical either way).
+    [[nodiscard]] Cycle cycles_ticked() const { return ticked_; }
+    [[nodiscard]] Cycle cycles_skipped() const { return skipped_; }
+    /// The epoch the shard's clock is in (diagnostics).
+    [[nodiscard]] Cycle epoch_of(Cycle epoch_len) const {
+        return epoch_len == 0 || acct_next_ == 0
+                   ? 0
+                   : (acct_next_ - 1) / epoch_len;
+    }
+
+private:
+    void fast_forward_span(Cycle from, Cycle to);
+    [[nodiscard]] bool all_quiescent() const;
+
+    std::string name_;
+    std::vector<Component*> components_;
+    std::vector<ChannelBase*> inbound_;
+    Hooks hooks_;
+
+    Cycle acct_next_ = 0;
+    bool paused_ = false;
+    bool stuck_ = false;
+    std::uint64_t prev_fp_ = ~0ull;  ///< gate: last ticked cycle's fingerprint
+    Cycle ticked_ = 0;
+    Cycle skipped_ = 0;
+};
+
+}  // namespace dta::sim

@@ -1,0 +1,129 @@
+// The sharded (multi-threaded) run loop must be bit-identical to the
+// single-threaded reference: same cycle count, same spans, same DMA spans,
+// and byte-identical JSON run reports for every host-thread count.  Each
+// paper workload runs on a 4-node machine with threads 1, 2 and 4, in both
+// the original and the prefetch-pass variants.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/machine.hpp"
+#include "stats/json_report.hpp"
+#include "workloads/bitcnt.hpp"
+#include "workloads/fir.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/mmul.hpp"
+#include "workloads/zoom.hpp"
+
+namespace dta::core {
+namespace {
+
+struct Captured {
+    RunResult res;
+    std::string json;
+};
+
+template <typename Workload>
+Captured run_with(const Workload& w, MachineConfig cfg, bool prefetch,
+                  std::uint32_t threads) {
+    cfg.host_threads = threads;
+    cfg.capture_spans = true;
+    cfg.collect_metrics = true;
+    const workloads::RunOutcome out = workloads::run_workload(w, cfg, prefetch);
+    EXPECT_TRUE(out.correct) << "threads=" << threads << ": " << out.detail;
+    return {out.result, stats::run_report_json(out.result, "det")};
+}
+
+void expect_identical(const Captured& ref, const Captured& got,
+                      std::uint32_t threads) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(ref.res.cycles, got.res.cycles);
+    EXPECT_EQ(ref.json, got.json) << "JSON run report differs";
+
+    ASSERT_EQ(ref.res.spans.size(), got.res.spans.size());
+    for (std::size_t i = 0; i < ref.res.spans.size(); ++i) {
+        const ThreadSpan& a = ref.res.spans[i];
+        const ThreadSpan& b = got.res.spans[i];
+        EXPECT_TRUE(a.pe == b.pe && a.begin == b.begin && a.end == b.end &&
+                    a.code == b.code && a.slot == b.slot &&
+                    a.resumed == b.resumed)
+            << "span " << i;
+    }
+    ASSERT_EQ(ref.res.dma_spans.size(), got.res.dma_spans.size());
+    for (std::size_t i = 0; i < ref.res.dma_spans.size(); ++i) {
+        const dma::DmaSpan& a = ref.res.dma_spans[i];
+        const dma::DmaSpan& b = got.res.dma_spans[i];
+        EXPECT_TRUE(a.pe == b.pe && a.tag == b.tag && a.op == b.op &&
+                    a.bytes == b.bytes && a.begin == b.begin && a.end == b.end)
+            << "dma span " << i;
+    }
+}
+
+/// Runs both program variants with threads 1, 2 and 4 on a 4-node machine
+/// and requires every result to match the single-threaded reference.
+template <typename Workload>
+void check_all_thread_counts(const Workload& w, MachineConfig cfg) {
+    cfg.nodes = 4;
+    cfg.spes_per_node = 2;
+    for (const bool prefetch : {false, true}) {
+        SCOPED_TRACE(prefetch ? "prefetch" : "original");
+        const Captured ref = run_with(w, cfg, prefetch, 1);
+        for (const std::uint32_t threads : {2u, 4u}) {
+            expect_identical(ref, run_with(w, cfg, prefetch, threads),
+                             threads);
+        }
+    }
+}
+
+TEST(ShardDeterminism, BitCount) {
+    workloads::BitCount::Params p;
+    p.iterations = 320;
+    check_all_thread_counts(workloads::BitCount(p),
+                            workloads::BitCount::machine_config(8));
+}
+
+TEST(ShardDeterminism, Fir) {
+    workloads::Fir::Params p;
+    p.samples = 512;
+    p.taps = 8;
+    p.threads = 16;
+    check_all_thread_counts(workloads::Fir(p),
+                            workloads::Fir::machine_config(8));
+}
+
+TEST(ShardDeterminism, MatrixMultiply) {
+    workloads::MatMul::Params p;
+    p.n = 16;
+    p.threads = 16;
+    check_all_thread_counts(workloads::MatMul(p),
+                            workloads::MatMul::machine_config(8));
+}
+
+TEST(ShardDeterminism, Zoom) {
+    workloads::Zoom::Params p;
+    p.n = 16;
+    p.factor = 4;
+    p.threads = 16;
+    check_all_thread_counts(workloads::Zoom(p),
+                            workloads::Zoom::machine_config(8));
+}
+
+/// threads=0 resolves to hardware_concurrency capped at the node count and
+/// must land on the same results as everything else.
+TEST(ShardDeterminism, AutoThreadCount) {
+    workloads::Fir::Params p;
+    p.samples = 256;
+    p.taps = 4;
+    p.threads = 16;
+    const workloads::Fir w(p);
+    MachineConfig cfg = workloads::Fir::machine_config(8);
+    cfg.nodes = 4;
+    cfg.spes_per_node = 2;
+    const Captured ref = run_with(w, cfg, true, 1);
+    cfg.host_threads = 0;
+    expect_identical(ref, run_with(w, cfg, true, 0), 0);
+}
+
+}  // namespace
+}  // namespace dta::core

@@ -8,6 +8,9 @@
 ///   dta_run <program.dta> [options]
 ///     --spes N          SPEs (default 8)
 ///     --nodes N         nodes (default 1)
+///     --threads N       host threads for the sharded run loop (default 1;
+///                       0 = auto, capped at the node count; results are
+///                       bit-identical for every value)
 ///     --mem-latency N   main-memory latency in cycles (default 150)
 ///     --frames N        frame slots per PE (default 16)
 ///     --staging N       DMA staging bytes per frame (default 8192)
@@ -52,6 +55,7 @@ struct Options {
     std::string program_path;
     std::uint16_t spes = 8;
     std::uint16_t nodes = 1;
+    std::uint32_t threads = 1;
     std::uint32_t mem_latency = 150;
     bool mem_latency_set = false;
     std::uint32_t frames = 16;
@@ -73,7 +77,7 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s <program.dta> [--spes N] [--nodes N] "
-                 "[--mem-latency N]\n"
+                 "[--threads N] [--mem-latency N]\n"
                  "       [--frames N] [--staging N] [--vfp] "
                  "[--perfect-cache] [--no-fastforward]\n"
                  "       [--arg V]... [--interp]\n"
@@ -103,6 +107,8 @@ Options parse_options(int argc, char** argv) {
             opt.spes = static_cast<std::uint16_t>(std::atoi(next()));
         } else if (a == "--nodes") {
             opt.nodes = static_cast<std::uint16_t>(std::atoi(next()));
+        } else if (a == "--threads") {
+            opt.threads = static_cast<std::uint32_t>(std::atoi(next()));
         } else if (a == "--mem-latency") {
             opt.mem_latency = static_cast<std::uint32_t>(std::atoi(next()));
             opt.mem_latency_set = true;
@@ -215,6 +221,7 @@ int main(int argc, char** argv) {
         cfg.collect_metrics =
             !opt.metrics_path.empty() || !opt.trace_path.empty();
         cfg.fast_forward = !opt.no_fastforward;
+        cfg.host_threads = opt.threads;
 
         core::Machine machine(cfg, prog);
         if (opt.log_level != sim::LogLevel::kOff) {
@@ -244,6 +251,16 @@ int main(int argc, char** argv) {
                         : 0.0,
                     static_cast<unsigned long long>(
                         machine.cycles_fast_forwarded()));
+        if (machine.shard_count() > 1) {
+            std::printf("host: %u shards:", machine.shard_count());
+            for (const auto& s : machine.shard_stats()) {
+                std::printf(" %s %llu ticked / %llu fast-forwarded;",
+                            s.name.c_str(),
+                            static_cast<unsigned long long>(s.ticked),
+                            static_cast<unsigned long long>(s.skipped));
+            }
+            std::puts("");
+        }
         if (opt.breakdown) {
             std::fputs(
                 stats::breakdown_table({{prog.name, res.total_breakdown()}})
