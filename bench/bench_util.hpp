@@ -11,6 +11,7 @@
 #include <string>
 
 #include "sim/check.hpp"
+#include "sim/events.hpp"
 #include "stats/json_report.hpp"
 #include "stats/report.hpp"
 #include "workloads/bitcnt.hpp"
@@ -121,6 +122,35 @@ inline void maybe_emit_json(const core::RunResult& res,
     out << line << '\n';
 }
 
+/// When the DTA_BENCH_EVENTS environment variable is set, every bench run
+/// also collects its thread-lifecycle event log and writes it to
+/// "<prefix><label>.dtaev" (the variable's value is used as a path prefix,
+/// so "events/" drops one DTAEV1 file per run into that directory, ready
+/// for dta_analyze).  Unset (the default): no collection, no overhead.
+inline const char* bench_events_prefix() {
+    const char* p = std::getenv("DTA_BENCH_EVENTS");
+    return (p != nullptr && *p != '\0') ? p : nullptr;
+}
+
+inline void maybe_emit_events(const core::RunResult& res,
+                              const core::MachineConfig& cfg,
+                              const std::string& label) {
+    const char* prefix = bench_events_prefix();
+    if (prefix == nullptr) {
+        return;
+    }
+    const std::string path = std::string(prefix) + label + ".dtaev";
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr,
+                     "WARNING: cannot open DTA_BENCH_EVENTS file %s\n",
+                     path.c_str());
+        return;
+    }
+    sim::write_events(out, res.events, res.cycles, cfg.total_pes(),
+                      res.code_names);
+}
+
 /// run_workload plus the DTA_BENCH_JSON hook, labelled by program name.
 /// Each run also logs its host wall clock (and cycles fast-forwarded) to
 /// stderr so bench timings can be compared run by run, not just per binary.
@@ -128,7 +158,9 @@ template <typename W>
 workloads::RunOutcome run_reported(const W& wl, const core::MachineConfig& cfg,
                                    bool prefetch,
                                    const std::string& extra_fields = "") {
-    workloads::RunOutcome out = workloads::run_workload(wl, cfg, prefetch);
+    core::MachineConfig run_cfg = cfg;
+    run_cfg.collect_events |= bench_events_prefix() != nullptr;
+    workloads::RunOutcome out = workloads::run_workload(wl, run_cfg, prefetch);
     const std::string& label =
         prefetch ? wl.prefetch_program().name : wl.program().name;
     std::fprintf(stderr,
@@ -139,6 +171,7 @@ workloads::RunOutcome run_reported(const W& wl, const core::MachineConfig& cfg,
                  out.host_seconds,
                  static_cast<unsigned long long>(out.cycles_fast_forwarded));
     maybe_emit_json(out.result, label, extra_fields);
+    maybe_emit_events(out.result, run_cfg, label);
     return out;
 }
 
@@ -161,8 +194,10 @@ workloads::RunOutcome run_shaped(const W& wl, const core::MachineConfig& base,
     if (shape.threads <= 1) {
         return one;
     }
+    core::MachineConfig run_cfg = shaped(base, shape);
+    run_cfg.collect_events |= bench_events_prefix() != nullptr;
     workloads::RunOutcome out =
-        workloads::run_workload(wl, shaped(base, shape), prefetch);
+        workloads::run_workload(wl, run_cfg, prefetch);
     const std::string& label =
         prefetch ? wl.prefetch_program().name : wl.program().name;
     const double speedup =
@@ -188,6 +223,9 @@ workloads::RunOutcome run_shaped(const W& wl, const core::MachineConfig& base,
                   "\"host_threads\":%u,\"speedup_vs_1thread\":%.3f",
                   shape.threads, speedup);
     maybe_emit_json(out.result, label, extra);
+    // The sharded log is byte-identical to the reference run's by design,
+    // so re-writing the same path is harmless.
+    maybe_emit_events(out.result, run_cfg, label);
     return out;
 }
 

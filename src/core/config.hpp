@@ -81,6 +81,10 @@ struct MachineConfig {
     /// Cycles between gauge samples (queue depths, in-flight counts) when
     /// collect_metrics is on.  Must be non-zero.
     std::uint32_t metrics_sample_interval = 256;
+    /// Record the thread-lifecycle event log (sim/events.hpp) into
+    /// RunResult::events for offline critical-path analysis.  Off by
+    /// default; when off each instrumented site costs one null check.
+    bool collect_events = false;
     /// Jump over cycles in which no component can change state (see
     /// sim::Component::next_activity).  Results are cycle-exact either way;
     /// this only trades host time.  The DTA_NO_FASTFORWARD environment

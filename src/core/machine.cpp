@@ -69,6 +69,11 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
     DTA_SIM_REQUIRE(cfg_.nodes > 0 && cfg_.spes_per_node > 0,
                     "machine needs at least one node and one SPE");
     isa::validate_program(prog_);
+    // FALLOC requests carry the code id in 16 wire bits (the upper bits of
+    // the word carry the parent thread uid — see sched::pack_carried_uid).
+    DTA_SIM_REQUIRE(prog_.codes.size() <= 0x10000,
+                    "programs with more than 65536 thread codes are not "
+                    "representable in the FALLOC wire format");
     fast_forward_ =
         cfg_.fast_forward && std::getenv("DTA_NO_FASTFORWARD") == nullptr;
 
@@ -99,6 +104,7 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
         shard_spans_.resize(shard_count_);
         shard_dma_spans_.resize(shard_count_);
         shard_gauges_.resize(shard_count_);
+        shard_events_.resize(shard_count_);
     }
 
     // Containers that components keep pointers into are sized up front so
@@ -186,6 +192,31 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
     }
     for (auto& router : routers_) {
         components_.push_back(router.get());
+    }
+
+    if (cfg_.collect_events) {
+        // Thread uids ride in the upper 48 bits of existing scheduler
+        // message words (see sched::pack_carried_uid), which requires the
+        // uid's PE half to fit 16 bits while tracing is on.
+        DTA_SIM_REQUIRE(cfg_.total_pes() <= 0xffff,
+                        "event collection needs total PEs <= 65535 (thread "
+                        "uids pack the PE index into 16 wire bits)");
+        // Each emitter writes into its owning shard's private log (the
+        // whole machine shares events_ in single-threaded mode);
+        // run_sharded() concatenates and canonicalizes at the end.  Router
+        // ordinals live above the PE id range so the two never collide.
+        for (sim::GlobalPeId id = 0; id < cfg_.total_pes(); ++id) {
+            sim::EventLog& log =
+                shard_count_ > 1
+                    ? shard_events_[node_shard_[id / cfg_.spes_per_node]]
+                    : events_;
+            pes_[id]->attach_events(&log);
+        }
+        for (std::uint16_t n = 0; n < cfg_.nodes; ++n) {
+            sim::EventLog& log =
+                shard_count_ > 1 ? shard_events_[node_shard_[n]] : events_;
+            routers_[n]->attach_events(&log, cfg_.total_pes() + n);
+        }
     }
 
     if (cfg_.collect_metrics) {
@@ -324,6 +355,14 @@ void Machine::build_shards() {
                 sample_shard_gauges(s, now);
             };
             hooks.sample_interval = cfg_.metrics_sample_interval;
+        }
+        if (s == 0) {
+            // Shard 0 is driven by the calling thread; its epoch-entry hook
+            // carries the user-visible progress heartbeat (scoped to shard
+            // 0's PEs — cross-shard state is off limits mid-run).
+            hooks.progress = [this, pe_lo, pe_hi](sim::Cycle now) {
+                report_progress(now, pe_lo, pe_hi);
+            };
         }
         shards_.push_back(std::make_unique<sim::Shard>(
             "shard" + std::to_string(s), std::move(comps),
@@ -493,9 +532,13 @@ RunResult Machine::run() {
     std::uint64_t prev_fp = ~0ull;  ///< gate: last cycle's fingerprint
     while (now < cfg_.max_cycles) {
         tick_cycle(now);
+        if (progress_interval_ != 0) {
+            report_progress(now, 0, static_cast<std::uint32_t>(pes_.size()));
+        }
         if (check_quiescent()) {
             logger_.log(sim::LogLevel::kInfo, now, "machine",
                         "quiescent; simulation complete");
+            events_.canonicalize();
             return gather(now + 1);
         }
         const std::uint64_t fp = fingerprint();
@@ -629,6 +672,13 @@ RunResult Machine::run_sharded() {
             metrics_.merge_from(reg);
         }
     }
+    // Events: concatenate the shard logs, then restore the single-threaded
+    // emission order (each (cycle, ordinal) group lives on one shard, so
+    // the stable sort reproduces it byte for byte).
+    for (const sim::EventLog& log : shard_events_) {
+        events_.append_from(log);
+    }
+    events_.canonicalize();
     return gather(cycles);
 }
 
@@ -692,7 +742,22 @@ RunResult Machine::gather(sim::Cycle cycles) const {
     r.spans = spans_;
     r.metrics = metrics_;
     r.dma_spans = dma_spans_;
+    r.events = events_;
     return r;
+}
+
+void Machine::report_progress(sim::Cycle now, std::uint32_t pe_lo,
+                              std::uint32_t pe_hi) {
+    if (!progress_ || progress_interval_ == 0 || now < next_progress_) {
+        return;
+    }
+    std::uint64_t live = 0;
+    for (std::uint32_t id = pe_lo; id < pe_hi; ++id) {
+        live += pes_[id]->lse().live_frames() +
+                pes_[id]->lse().virtual_frames_live();
+    }
+    progress_(now, live);
+    next_progress_ = (now / progress_interval_ + 1) * progress_interval_;
 }
 
 }  // namespace dta::core

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -75,6 +76,9 @@ struct RunResult {
     sim::MetricsRegistry metrics;
     /// One span per completed DMA command (only with collect_metrics).
     std::vector<dma::DmaSpan> dma_spans;
+    /// Thread-lifecycle event log in canonical (cycle, ordinal) order (only
+    /// when MachineConfig::collect_events; otherwise empty).
+    sim::EventLog events;
 
     [[nodiscard]] Breakdown total_breakdown() const;
     [[nodiscard]] InstrStats total_instrs() const;
@@ -108,6 +112,17 @@ public:
     /// Seeds the entry thread (the TLP activity the PPE offloads): a frame
     /// on PE 0 pre-filled with \p args, immediately ready.
     void launch(std::span<const std::uint64_t> args);
+
+    /// Periodic progress callback: invoked with (cycle, live threads) at
+    /// most once per \p interval simulated cycles.  In sharded runs the
+    /// callback fires on the thread driving shard 0 and the live-thread
+    /// count covers shard 0's PEs only (cross-shard state is not touched
+    /// mid-run).  Install before run(); null \p fn disables.
+    using ProgressFn = std::function<void(sim::Cycle, std::uint64_t)>;
+    void set_progress(sim::Cycle interval, ProgressFn fn) {
+        progress_interval_ = interval;
+        progress_ = std::move(fn);
+    }
 
     /// Runs the simulation to completion and returns the statistics.
     /// Throws sim::SimError on deadlock or when max_cycles is exceeded.
@@ -165,6 +180,10 @@ private:
     void build_shards();
     void sample_shard_gauges(std::uint32_t shard, sim::Cycle now);
     [[nodiscard]] RunResult run_sharded();
+    /// Fires progress_ if \p now crossed the next reporting threshold; the
+    /// live-thread count covers PEs [pe_lo, pe_hi).
+    void report_progress(sim::Cycle now, std::uint32_t pe_lo,
+                         std::uint32_t pe_hi);
 
     MachineConfig cfg_;
     isa::Program prog_;
@@ -187,6 +206,15 @@ private:
     sim::Cycle skipped_ = 0;
 
     std::vector<ThreadSpan> spans_;  ///< filled when cfg_.capture_spans
+
+    // event log (live only when cfg_.collect_events)
+    sim::EventLog events_;
+    std::vector<sim::EventLog> shard_events_;  ///< shard-local, merged at end
+
+    // progress reporting (live only when set_progress installed a callback)
+    ProgressFn progress_;
+    sim::Cycle progress_interval_ = 0;
+    sim::Cycle next_progress_ = 0;
 
     // metrics (live only when cfg_.collect_metrics)
     sim::MetricsRegistry metrics_;

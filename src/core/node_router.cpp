@@ -100,6 +100,17 @@ void NodeRouter::tick(sim::Cycle now) {
         while (!bridge_out_.empty() && link_->can_send()) {
             noc::Packet pkt;
             (void)bridge_out_.pop(pkt);
+            if (events_ != nullptr &&
+                static_cast<sched::MsgKind>(pkt.kind) ==
+                    sched::MsgKind::kRemoteStore) {
+                sim::Event e;
+                e.cycle = now;
+                e.thread = sched::carried_uid(pkt.c);  // producer uid
+                e.arg = sim::FrameHandle::unpack(pkt.a).global_pe;
+                e.ordinal = ordinal_;
+                e.kind = sim::EventKind::kLinkHop;
+                events_->push(e);
+            }
             const bool ok = link_->try_send(std::move(pkt));
             DTA_CHECK(ok);
         }

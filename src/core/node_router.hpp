@@ -21,6 +21,7 @@
 #include "noc/link.hpp"
 #include "sched/dse.hpp"
 #include "sim/component.hpp"
+#include "sim/events.hpp"
 #include "sim/port.hpp"
 
 namespace dta::core {
@@ -50,6 +51,13 @@ public:
     /// drained into arrivals_ once their stamped cycle comes up, which is
     /// exactly when the upstream router would have pushed them directly.
     void set_inbound_channel(noc::Link::TxChannel* ch) { in_channel_ = ch; }
+    /// Points kLinkHop emission (remote frame stores leaving the node) at
+    /// \p log; \p ordinal identifies this router in the merged event log
+    /// (total PE count + node id, keeping it disjoint from PE ordinals).
+    void attach_events(sim::EventLog* log, std::uint32_t ordinal) {
+        events_ = log;
+        ordinal_ = ordinal;
+    }
 
     void tick(sim::Cycle now) override;
     [[nodiscard]] bool quiescent() const override;
@@ -68,6 +76,8 @@ private:
     noc::Link* link_;                          ///< multi-node only
     sim::Port<noc::Packet>* forward_to_ = nullptr;
     noc::Link::TxChannel* in_channel_ = nullptr;  ///< shard-crossing inbound
+    sim::EventLog* events_ = nullptr;  ///< optional, machine-owned
+    std::uint32_t ordinal_ = 0;        ///< event ordinal (pes + node)
 
     sim::Port<noc::Packet> arrivals_;
     sim::Port<noc::Packet> bridge_out_;

@@ -56,9 +56,10 @@ void Pe::send_sched_msg(const sched::SchedMsg& msg) {
                                     sched::FallocCtx::unpack(msg.c));
                 return;
             case sched::MsgKind::kFallocFwd:
-                lse_.on_falloc_fwd(static_cast<sim::ThreadCodeId>(msg.a),
+                lse_.on_falloc_fwd(sched::carried_low16(msg.a),
                                    static_cast<std::uint32_t>(msg.b),
-                                   sched::FallocCtx::unpack(msg.c));
+                                   sched::FallocCtx::unpack(msg.c),
+                                   sched::carried_uid(msg.a));
                 return;
             default:
                 DTA_CHECK_MSG(false, "unexpected self-addressed message");
@@ -124,9 +125,10 @@ void Pe::tick_units(sim::Cycle now) {
     while (inbox_.pop(pkt)) {
         switch (static_cast<sched::MsgKind>(pkt.kind)) {
             case sched::MsgKind::kFallocFwd:
-                lse_.on_falloc_fwd(static_cast<sim::ThreadCodeId>(pkt.a),
+                lse_.on_falloc_fwd(sched::carried_low16(pkt.a),
                                    static_cast<std::uint32_t>(pkt.b),
-                                   sched::FallocCtx::unpack(pkt.c));
+                                   sched::FallocCtx::unpack(pkt.c),
+                                   sched::carried_uid(pkt.a));
                 break;
             case sched::MsgKind::kFallocResp:
                 lse_.on_falloc_resp(sim::FrameHandle::unpack(pkt.a),
@@ -134,7 +136,8 @@ void Pe::tick_units(sim::Cycle now) {
                 break;
             case sched::MsgKind::kRemoteStore:
                 lse_.on_remote_store(sim::FrameHandle::unpack(pkt.a),
-                                     static_cast<std::uint32_t>(pkt.c), pkt.b);
+                                     sched::carried_low16(pkt.c), pkt.b,
+                                     sched::carried_uid(pkt.c));
                 break;
             case sched::MsgKind::kMemReadResp:
                 apply_read_response(static_cast<std::uint8_t>(pkt.c), pkt.b,
@@ -156,7 +159,14 @@ void Pe::tick_units(sim::Cycle now) {
     mfc_.tick(now);
     dma::MfcCompletion comp;
     while (mfc_.pop_completion(comp)) {
-        lse_.dma_completed(static_cast<std::uint32_t>(comp.owner));
+        const auto owner = static_cast<std::uint32_t>(comp.owner);
+        if (events_ != nullptr) {
+            // Emitted before dma_completed so a same-cycle kReady resume
+            // sorts after its cause.
+            emit_event(sim::EventKind::kDmaComplete, now, lse_.uid_of(owner),
+                       0, 0, static_cast<std::uint8_t>(comp.tag));
+        }
+        lse_.dma_completed(owner);
     }
 
     // 3. LSE: frame-write completions decrement SCs.
@@ -256,6 +266,18 @@ void Pe::bind_thread(const sched::Dispatch& d, sim::Cycle now) {
         ++code_starts_[code_id_];
     }
     ++code_dispatches_[code_id_];
+    if (events_ != nullptr) {
+        // Cache the uid for the whole bound stretch: after FFREE the LSE
+        // may release the slot and re-materialize a waiting virtual frame
+        // into it while this thread is still executing its PS block, so a
+        // later uid_of(slot_) lookup would name the new occupant.
+        cur_uid_ = lse_.uid_of(slot_);
+        emit_event(sim::EventKind::kDispatch, now, cur_uid_, 0,
+                   sim::pack_grant(code_id_, false) |
+                       (static_cast<std::uint64_t>(slot_) << 40),
+                   d.has_snapshot ? 1 : 0);
+    }
+    phase_block_ = -1;
     if (spans_ != nullptr) {
         open_span_.pe = self_;
         open_span_.begin = now;
@@ -432,6 +454,13 @@ void Pe::tick_spu(sim::Cycle now) {
                                                        : CycleBucket::kWorking;
             first_port = oi.port;
         }
+        if (events_ != nullptr &&
+            static_cast<std::int8_t>(ins.block) != phase_block_) {
+            phase_block_ = static_cast<std::int8_t>(ins.block);
+            emit_event(sim::EventKind::kPhase, now, cur_uid_, 0,
+                       static_cast<std::uint64_t>(ins.block),
+                       static_cast<std::uint8_t>(ins.block));
+        }
         instrs_.count(ins.op);
         ++code_instrs_[code_id_];
         ++issued;
@@ -489,13 +518,13 @@ bool Pe::execute(const Instruction& ins, sim::Cycle now) {
         case Opcode::kLoad:
         case Opcode::kLoadX: exec_load(ins); ++ip_; return true;
         case Opcode::kStore:
-        case Opcode::kStoreX: exec_store(ins); ++ip_; return true;
+        case Opcode::kStoreX: exec_store(ins, now); ++ip_; return true;
         case Opcode::kRead: exec_read(ins); ++ip_; return true;
         case Opcode::kWrite: exec_write(ins); ++ip_; return true;
         case Opcode::kLsLoad: exec_lsload(ins); ++ip_; return true;
         case Opcode::kLsStore: exec_lsstore(ins); ++ip_; return true;
         case Opcode::kFalloc:
-        case Opcode::kFallocN: exec_falloc(ins); ++ip_; return true;
+        case Opcode::kFallocN: exec_falloc(ins, now); ++ip_; return true;
         case Opcode::kFfree:
             lse_.ffree(slot_);
             freed_ = true;
@@ -633,7 +662,7 @@ void Pe::exec_lsstore(const Instruction& ins) {
     ls_.enqueue(mem::LsClient::kSpu, std::move(rq));
 }
 
-void Pe::exec_store(const Instruction& ins) {
+void Pe::exec_store(const Instruction& ins, sim::Cycle now) {
     const auto h = sim::FrameHandle::unpack(reg(ins.rb));
     DTA_SIM_REQUIRE(h.global_pe < topo_.total_pes(),
                     "STORE to a handle with an invalid PE");
@@ -643,10 +672,18 @@ void Pe::exec_store(const Instruction& ins) {
     }
     DTA_SIM_REQUIRE(word >= 0, "frame STORE offset negative");
     const auto off = static_cast<std::uint32_t>(word);
-    if (h.global_pe == self_) {
-        lse_.store_local(h, off, reg(ins.ra));
+    const bool remote = h.global_pe != self_;
+    std::uint64_t producer = 0;
+    if (events_ != nullptr) {
+        producer = cur_uid_;
+        emit_event(sim::EventKind::kStoreIssue, now, producer, 0,
+                   sim::pack_store_dest(h.global_pe, h.slot, off),
+                   remote ? 1 : 0);
+    }
+    if (remote) {
+        lse_.store_remote(h, off, reg(ins.ra), producer);
     } else {
-        lse_.store_remote(h, off, reg(ins.ra));
+        lse_.store_local(h, off, reg(ins.ra), producer);
     }
 }
 
@@ -677,7 +714,7 @@ void Pe::exec_write(const Instruction& ins) {
     push_packet(std::move(pkt));
 }
 
-void Pe::exec_falloc(const Instruction& ins) {
+void Pe::exec_falloc(const Instruction& ins, sim::Cycle now) {
     const auto code = static_cast<sim::ThreadCodeId>(ins.imm);
     std::uint32_t sc = 0;
     if (ins.op == Opcode::kFalloc) {
@@ -687,7 +724,13 @@ void Pe::exec_falloc(const Instruction& ins) {
         DTA_SIM_REQUIRE(v <= 0xffffffffull, "FALLOCN SC exceeds 32 bits");
         sc = static_cast<std::uint32_t>(v);
     }
-    lse_.falloc(ins.rd, code, sc);
+    std::uint64_t parent = 0;
+    if (events_ != nullptr) {
+        parent = cur_uid_;
+        emit_event(sim::EventKind::kFallocIssue, now, parent, 0, code,
+                   ins.rd);
+    }
+    lse_.falloc(ins.rd, code, sc, parent);
     ++outstanding_fallocs_;
     set_reg(ins.rd, 0, sim::kCycleNever, RegSrc::kLse);
 }
@@ -752,6 +795,10 @@ void Pe::exec_dmaget(const Instruction& ins, sim::Cycle now) {
         busy_until_ = now + cfg_.dma_program_cycles;
         busy_reason_ = BusyReason::kDmaProgram;
     }
+    if (events_ != nullptr) {
+        emit_event(sim::EventKind::kDmaIssue, now, cur_uid_, 0,
+                   args.bytes, static_cast<std::uint8_t>(args.region));
+    }
 }
 
 bool Pe::exec_dmawait(sim::Cycle now) {
@@ -767,6 +814,9 @@ bool Pe::exec_dmawait(sim::Cycle now) {
     snap.regs = regs_;
     snap.regions = regions_;
     lse_.suspend_for_dma(slot_, ip_ + 1, snap);
+    if (events_ != nullptr) {
+        emit_event(sim::EventKind::kSuspend, now, cur_uid_, 0, 0, 0);
+    }
     if (log_.enabled(sim::LogLevel::kDebug)) {
         log_.log(sim::LogLevel::kDebug, now, "pe" + std::to_string(self_),
                  "thread slot " + std::to_string(slot_) +
@@ -777,8 +827,27 @@ bool Pe::exec_dmawait(sim::Cycle now) {
 }
 
 void Pe::exec_stop(sim::Cycle now) {
+    if (events_ != nullptr) {
+        // Before stop_thread: the slot's uid is gone once the LSE releases
+        // it (and the kFree event must sort after the kStop).
+        emit_event(sim::EventKind::kStop, now, cur_uid_, 0, 0, 0);
+    }
     lse_.stop_thread(slot_, freed_);
     unbind(now);
+}
+
+void Pe::emit_event(sim::EventKind kind, sim::Cycle now, std::uint64_t thread,
+                    std::uint64_t other, std::uint64_t arg, std::uint8_t aux) {
+    sim::Event e;
+    e.cycle = now;
+    e.thread = thread;
+    e.other = other;
+    e.arg = arg;
+    e.stall = breakdown_[CycleBucket::kMemStall];
+    e.ordinal = self_;
+    e.kind = kind;
+    e.aux = aux;
+    events_->push(e);
 }
 
 // ---------------------------------------------------------------------------

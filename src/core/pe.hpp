@@ -27,6 +27,7 @@
 #include "noc/packet.hpp"
 #include "sched/lse.hpp"
 #include "sim/component.hpp"
+#include "sim/events.hpp"
 #include "sim/log.hpp"
 #include "sim/port.hpp"
 
@@ -146,6 +147,12 @@ public:
         mfc_.attach_metrics(reg);
         mfc_.set_span_sink(dma_sink, self_);
     }
+    /// Points this PE's (and its LSE's) lifecycle-event emission at \p log
+    /// (nullptr keeps it off at one cached-pointer test per site).
+    void attach_events(sim::EventLog* log) {
+        events_ = log;
+        lse_.attach_events(log);
+    }
 
     [[nodiscard]] bool spu_bound() const { return bound_; }
     /// True when nothing on this PE is live or in flight.
@@ -190,10 +197,10 @@ private:
     void exec_load(const isa::Instruction& ins);
     void exec_lsload(const isa::Instruction& ins);
     void exec_lsstore(const isa::Instruction& ins);
-    void exec_store(const isa::Instruction& ins);
+    void exec_store(const isa::Instruction& ins, sim::Cycle now);
     void exec_read(const isa::Instruction& ins);
     void exec_write(const isa::Instruction& ins);
-    void exec_falloc(const isa::Instruction& ins);
+    void exec_falloc(const isa::Instruction& ins, sim::Cycle now);
     /// Handles both DMAGET and DMAPUT (direction from the opcode).
     void exec_dmaget(const isa::Instruction& ins, sim::Cycle now);
     void exec_regset(const isa::Instruction& ins);
@@ -216,6 +223,11 @@ private:
     void pump_outgoing_producers();
     void apply_read_response(std::uint8_t rd, std::uint64_t value,
                              sim::Cycle now);
+
+    /// Emits a lifecycle event stamped with this SPU's cumulative memory
+    /// stall cycles (callers already null-tested events_).
+    void emit_event(sim::EventKind kind, sim::Cycle now, std::uint64_t thread,
+                    std::uint64_t other, std::uint64_t arg, std::uint8_t aux);
 
     // configuration / identity
     SpuConfig cfg_;
@@ -274,6 +286,12 @@ private:
     std::vector<std::uint64_t> code_dispatches_;
     std::vector<ThreadSpan>* spans_ = nullptr;  ///< optional, machine-owned
     ThreadSpan open_span_;                      ///< valid while bound_
+    sim::EventLog* events_ = nullptr;           ///< optional, machine-owned
+    std::uint64_t cur_uid_ = 0;     ///< bound thread's uid, cached at bind
+                                    ///< (the slot may be re-granted after
+                                    ///< FFREE while the thread still runs)
+    std::int8_t phase_block_ = -1;  ///< last code block a kPhase was emitted
+                                    ///< for (-1 = none yet this binding)
 };
 
 }  // namespace dta::core

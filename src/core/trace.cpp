@@ -31,6 +31,26 @@ void emit_process_name(EventWriter& w, int pid, const char* name) {
              << R"(, "args": {"name": ")" << name << R"("}})";
 }
 
+/// Perfetto row metadata: name and pin the SPU tracks in PE-id order.  The
+/// set of rows is derived from the spans so empty runs emit nothing.
+void emit_spu_track_names(EventWriter& w,
+                          const std::vector<ThreadSpan>& spans) {
+    std::uint32_t max_pe = 0;
+    if (spans.empty()) {
+        return;
+    }
+    for (const ThreadSpan& s : spans) {
+        max_pe = s.pe > max_pe ? s.pe : max_pe;
+    }
+    for (std::uint32_t pe = 0; pe <= max_pe; ++pe) {
+        w.next() << R"(  {"name": "thread_name", "ph": "M", "pid": 0, "tid": )"
+                 << pe << R"(, "args": {"name": "spu)" << pe << R"("}})";
+        w.next() << R"(  {"name": "thread_sort_index", "ph": "M", "pid": 0, )"
+                 << R"("tid": )" << pe << R"(, "args": {"sort_index": )" << pe
+                 << "}}";
+    }
+}
+
 void emit_thread_slices(EventWriter& w, const std::vector<ThreadSpan>& spans,
                         const std::vector<std::string>& code_names) {
     for (const ThreadSpan& s : spans) {
@@ -61,11 +81,20 @@ std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
                               const std::vector<std::string>& code_names,
                               const sim::MetricsRegistry& metrics,
                               const std::vector<dma::DmaSpan>& dma_spans) {
+    return chrome_trace_json(spans, code_names, metrics, dma_spans, {});
+}
+
+std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
+                              const std::vector<std::string>& code_names,
+                              const sim::MetricsRegistry& metrics,
+                              const std::vector<dma::DmaSpan>& dma_spans,
+                              const std::vector<TraceFlow>& flows) {
     std::ostringstream os;
     EventWriter w(os);
     emit_process_name(w, 0, "SPUs");
     emit_process_name(w, 1, "counters");
     emit_process_name(w, 2, "DMA");
+    emit_spu_track_names(w, spans);
     emit_thread_slices(w, spans, code_names);
 
     // One counter track per gauge: Perfetto draws "ph":"C" events sharing a
@@ -94,6 +123,23 @@ std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
                  << R"(, "ts": )" << d.end << R"(, "pid": 2, "tid": )" << d.pe
                  << "}";
         ++id;
+    }
+
+    // Dataflow arrows: a flow starts inside the producer's slice ("ph":"s")
+    // and ends at the consumer's dispatch ("ph":"f", "bp":"e" binds to the
+    // enclosing slice even though the timestamp is its left edge).
+    std::uint64_t flow_id = 0;
+    for (const TraceFlow& f : flows) {
+        const char* name = f.on_critical_path ? "critical-store" : "store";
+        w.next() << R"(  {"name": ")" << name
+                 << R"(", "cat": "dataflow", "ph": "s", "id": )" << flow_id
+                 << R"(, "ts": )" << f.src_cycle << R"(, "pid": 0, "tid": )"
+                 << f.src_pe << "}";
+        w.next() << R"(  {"name": ")" << name
+                 << R"(", "cat": "dataflow", "ph": "f", "bp": "e", "id": )"
+                 << flow_id << R"(, "ts": )" << f.dst_cycle
+                 << R"(, "pid": 0, "tid": )" << f.dst_pe << "}";
+        ++flow_id;
     }
     w.finish();
     return os.str();

@@ -23,6 +23,18 @@ struct ThreadSpan {
     bool resumed = false;         ///< continuation after Wait-for-DMA
 };
 
+/// One dataflow arrow for the Chrome-trace export: from a producer's frame
+/// STORE (inside its PS-phase slice) to the consumer thread's dispatch (the
+/// start of its first slice).  Produced by the critical-path analyzer
+/// (stats/critpath); core only knows how to render them.
+struct TraceFlow {
+    sim::GlobalPeId src_pe = 0;
+    sim::Cycle src_cycle = 0;
+    sim::GlobalPeId dst_pe = 0;
+    sim::Cycle dst_cycle = 0;
+    bool on_critical_path = false;
+};
+
 /// Aggregate per-thread-code profile over a run.
 struct CodeProfile {
     std::string name;
@@ -49,5 +61,15 @@ struct CodeProfile {
     const std::vector<std::string>& code_names,
     const sim::MetricsRegistry& metrics,
     const std::vector<dma::DmaSpan>& dma_spans);
+
+/// Like the full-fat variant, and additionally draws \p flows as Perfetto
+/// flow-event arrows ("ph":"s"/"f") between the SPU slices (critical-path
+/// edges are named so they can be filtered in the UI).
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<ThreadSpan>& spans,
+    const std::vector<std::string>& code_names,
+    const sim::MetricsRegistry& metrics,
+    const std::vector<dma::DmaSpan>& dma_spans,
+    const std::vector<TraceFlow>& flows);
 
 }  // namespace dta::core

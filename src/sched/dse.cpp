@@ -19,8 +19,7 @@ void Dse::tick(sim::Cycle now) {
     while (rx_.pop(pkt)) {
         switch (static_cast<MsgKind>(pkt.kind)) {
             case MsgKind::kFallocReq:
-                on_falloc_req(static_cast<sim::ThreadCodeId>(pkt.a),
-                              static_cast<std::uint32_t>(pkt.b),
+                on_falloc_req(pkt.a, static_cast<std::uint32_t>(pkt.b),
                               FallocCtx::unpack(pkt.c), now);
                 break;
             case MsgKind::kFrameFree:
@@ -59,8 +58,8 @@ bool Dse::try_grant(const Pending& req) {
     return false;
 }
 
-void Dse::on_falloc_req(sim::ThreadCodeId code, std::uint32_t sc,
-                        FallocCtx ctx, sim::Cycle now) {
+void Dse::on_falloc_req(std::uint64_t code, std::uint32_t sc, FallocCtx ctx,
+                        sim::Cycle now) {
     ++stats_.requests;
     Pending req{code, sc, ctx, now};
     if (try_grant(req)) {

@@ -56,7 +56,10 @@ public:
 
     /// Handles a kFallocReq (from a local LSE or a remote DSE); \p now
     /// stamps requests that park so their queue wait can be measured.
-    void on_falloc_req(sim::ThreadCodeId code, std::uint32_t sc, FallocCtx ctx,
+    /// \p code is the packet's full `a` word — code id plus the carried
+    /// parent uid (see pack_carried_uid) — forwarded opaquely: the DSE's
+    /// placement policy never looks at either half.
+    void on_falloc_req(std::uint64_t code, std::uint32_t sc, FallocCtx ctx,
                        sim::Cycle now = 0);
 
     /// Handles a kFrameFree notification.
@@ -97,7 +100,7 @@ public:
 
 private:
     struct Pending {
-        sim::ThreadCodeId code = 0;
+        std::uint64_t code = 0;  ///< code id | parent uid << 16, opaque here
         std::uint32_t sc = 0;
         FallocCtx ctx;
         sim::Cycle queued_at = 0;

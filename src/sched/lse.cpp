@@ -1,5 +1,6 @@
 #include "sched/lse.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/check.hpp"
@@ -11,6 +12,11 @@ Lse::Lse(const LseConfig& cfg, const Topology& topo, sim::GlobalPeId self,
     : cfg_(cfg), topo_(topo), self_(self), ls_(ls) {
     DTA_SIM_REQUIRE(cfg.frames > 0, "LSE needs at least one frame");
     DTA_SIM_REQUIRE(cfg.frame_words > 0, "frames must hold at least one word");
+    // Remote stores carry the word offset in 16 wire bits (the upper bits
+    // of the payload word carry the producer uid — see pack_carried_uid).
+    DTA_SIM_REQUIRE(cfg.frame_words <= 0x10000,
+                    "frames larger than 65536 words are not representable "
+                    "in the remote-store wire format");
     const std::uint64_t frame_area_end =
         static_cast<std::uint64_t>(cfg.frame_area_base) +
         static_cast<std::uint64_t>(cfg.frames) * cfg.frame_bytes();
@@ -53,6 +59,27 @@ sim::ThreadCodeId Lse::code_of(std::uint32_t slot) const {
     return frame_at(slot).code;
 }
 
+std::uint64_t Lse::uid_of(std::uint32_t slot) const {
+    if (is_virtual(slot)) {
+        const auto it = virtual_.find(slot);
+        return it != virtual_.end() ? it->second.uid : 0;
+    }
+    return frame_at(slot).uid;
+}
+
+void Lse::emit_ready(std::uint64_t uid, sim::ThreadCodeId code, bool resume) {
+    if (events_ != nullptr) {
+        sim::Event e;
+        e.cycle = now_;
+        e.kind = sim::EventKind::kReady;
+        e.ordinal = self_;
+        e.thread = uid;
+        e.arg = code;
+        e.aux = resume ? 1 : 0;
+        events_->push(e);
+    }
+}
+
 void Lse::attach_metrics(sim::MetricsRegistry& reg) {
     falloc_wait_ = reg.histogram("sched.falloc_wait");
     dispatch_wait_ = reg.histogram("sched.dispatch_wait");
@@ -61,7 +88,9 @@ void Lse::attach_metrics(sim::MetricsRegistry& reg) {
 
 // ---- allocation -------------------------------------------------------------
 
-std::uint32_t Lse::allocate_slot(sim::ThreadCodeId code, std::uint32_t sc) {
+std::uint32_t Lse::allocate_slot(sim::ThreadCodeId code, std::uint32_t sc,
+                                 std::uint64_t parent, std::uint8_t rd) {
+    const std::uint64_t uid = next_uid();
     if (free_slots_.empty()) {
         // Virtual frame pointers: never refuse a FALLOC.  The frame exists
         // only as a store buffer until a physical slot frees.
@@ -72,6 +101,7 @@ std::uint32_t Lse::allocate_slot(sim::ThreadCodeId code, std::uint32_t sc) {
         const std::uint32_t vid = cfg_.frames + next_virtual_id_++;
         VirtualFrame vf;
         vf.code = code;
+        vf.uid = uid;
         vf.sc = sc;
         if (sc == 0) {
             vf.complete = true;
@@ -82,6 +112,17 @@ std::uint32_t Lse::allocate_slot(sim::ThreadCodeId code, std::uint32_t sc) {
         stats_.peak_virtual_frames =
             std::max(stats_.peak_virtual_frames,
                      static_cast<std::uint32_t>(virtual_.size()));
+        if (events_ != nullptr) {
+            sim::Event e;
+            e.cycle = now_;
+            e.kind = sim::EventKind::kFrameGrant;
+            e.ordinal = self_;
+            e.thread = uid;
+            e.other = parent;
+            e.arg = sim::pack_grant(code, /*is_virtual=*/true);
+            e.aux = rd;
+            events_->push(e);
+        }
         return vid;
     }
     const std::uint32_t slot = free_slots_.front();
@@ -89,11 +130,24 @@ std::uint32_t Lse::allocate_slot(sim::ThreadCodeId code, std::uint32_t sc) {
     Frame& f = frames_[slot];
     f = Frame{};
     f.code = code;
+    f.uid = uid;
     f.sc = sc;
     f.state = sc == 0 ? FrameState::kReady : FrameState::kWaitStores;
+    if (events_ != nullptr) {
+        sim::Event e;
+        e.cycle = now_;
+        e.kind = sim::EventKind::kFrameGrant;
+        e.ordinal = self_;
+        e.thread = uid;
+        e.other = parent;
+        e.arg = sim::pack_grant(code, /*is_virtual=*/false);
+        e.aux = rd;
+        events_->push(e);
+    }
     if (f.state == FrameState::kReady) {
         f.ready_at = now_;
         ready_.push_back(slot);
+        emit_ready(uid, code, /*resume=*/false);
     }
     ++live_frames_;
     stats_.peak_live_frames = std::max(stats_.peak_live_frames, live_frames_);
@@ -104,6 +158,14 @@ std::uint32_t Lse::allocate_slot(sim::ThreadCodeId code, std::uint32_t sc) {
 void Lse::release_slot(std::uint32_t slot, bool notify_dse) {
     Frame& f = frame_at(slot);
     DTA_CHECK_MSG(f.state != FrameState::kFree, "double frame free");
+    if (events_ != nullptr) {
+        sim::Event e;
+        e.cycle = now_;
+        e.kind = sim::EventKind::kFree;
+        e.ordinal = self_;
+        e.thread = f.uid;
+        events_->push(e);
+    }
     f.state = FrameState::kFree;
     free_slots_.push_back(slot);
     DTA_CHECK(live_frames_ > 0);
@@ -122,7 +184,7 @@ void Lse::release_slot(std::uint32_t slot, bool notify_dse) {
 }
 
 void Lse::store_virtual(std::uint32_t vid, std::uint32_t word_off,
-                        std::uint64_t value) {
+                        std::uint64_t value, std::uint64_t producer) {
     const auto it = virtual_.find(vid);
     DTA_SIM_REQUIRE(it != virtual_.end(),
                     "STORE to an unknown or already-complete virtual frame");
@@ -131,9 +193,22 @@ void Lse::store_virtual(std::uint32_t vid, std::uint32_t word_off,
                     "more STOREs than the virtual frame's SC expects");
     DTA_SIM_REQUIRE(word_off < cfg_.frame_words,
                     "virtual frame STORE offset out of range");
-    vf.stores.emplace_back(word_off, value);
+    vf.stores.push_back(BufferedStore{word_off, value, producer});
     DTA_CHECK(vf.sc > 0);
     --vf.sc;
+    // The arrival event fires at buffering time — that is when the SC
+    // decrements — so the materialization replay stays event-silent.
+    if (events_ != nullptr) {
+        sim::Event e;
+        e.cycle = now_;
+        e.kind = sim::EventKind::kFrameStore;
+        e.ordinal = self_;
+        e.thread = vf.uid;
+        e.other = producer;
+        e.arg = sim::pack_store_dest(self_, vid, word_off);
+        e.aux = static_cast<std::uint8_t>(std::min<std::uint32_t>(vf.sc, 255));
+        events_->push(e);
+    }
     if (vf.sc == 0) {
         vf.complete = true;
         materialize_queue_.push_back(vid);
@@ -155,6 +230,7 @@ void Lse::materialize_next() {
         Frame& f = frames_[slot];
         f = Frame{};
         f.code = vf.code;
+        f.uid = vf.uid;  // same thread, now physical
         ++live_frames_;
         stats_.peak_live_frames =
             std::max(stats_.peak_live_frames, live_frames_);
@@ -163,21 +239,24 @@ void Lse::materialize_next() {
             f.state = FrameState::kReady;
             f.ready_at = now_;
             ready_.push_back(slot);
+            emit_ready(f.uid, f.code, /*resume=*/false);
             continue;
         }
         // Replay the buffered stores into real frame memory; the thread
         // becomes ready when the last write completes (the normal SC path).
         f.sc = static_cast<std::uint32_t>(vf.stores.size());
         f.state = FrameState::kWaitStores;
-        for (const auto& [off, value] : vf.stores) {
-            enqueue_frame_write(slot, off, value);
+        for (const BufferedStore& s : vf.stores) {
+            enqueue_frame_write(slot, s.word_off, s.value, s.producer,
+                                /*replay=*/true);
         }
     }
 }
 
 // ---- SPU-facing ----------------------------------------------------------------
 
-void Lse::falloc(std::uint8_t rd, sim::ThreadCodeId code, std::uint32_t sc) {
+void Lse::falloc(std::uint8_t rd, sim::ThreadCodeId code, std::uint32_t sc,
+                 std::uint64_t parent) {
     if (falloc_wait_ != nullptr) {
         falloc_issue_[rd].push_back(now_);
     }
@@ -185,7 +264,7 @@ void Lse::falloc(std::uint8_t rd, sim::ThreadCodeId code, std::uint32_t sc) {
     msg.kind = MsgKind::kFallocReq;
     msg.dst_node = topo_.node_of(self_);
     msg.dst_is_dse = true;
-    msg.a = code;
+    msg.a = pack_carried_uid(code, parent);
     msg.b = sc;
     msg.c = FallocCtx{topo_.node_of(self_), topo_.local_pe_of(self_), rd, 0}
                 .pack();
@@ -202,7 +281,8 @@ bool Lse::pop_falloc_response(FallocDone& out) {
 }
 
 void Lse::enqueue_frame_write(std::uint32_t slot, std::uint32_t word_off,
-                              std::uint64_t value) {
+                              std::uint64_t value, std::uint64_t producer,
+                              bool replay) {
     Frame& f = frame_at(slot);
     DTA_SIM_REQUIRE(f.state == FrameState::kWaitStores,
                     "STORE to a frame that is not waiting for stores (slot " +
@@ -223,24 +303,33 @@ void Lse::enqueue_frame_write(std::uint32_t slot, std::uint32_t word_off,
         rq.data[static_cast<std::size_t>(i)] =
             static_cast<std::uint8_t>(v >> (8 * i));
     }
-    rq.meta = slot;
+    // meta carries (slot, word offset, replay flag) to the completion; only
+    // sc_arrived reads it back.  The producer uid is tracing-only state and
+    // must not grow the request struct, so it waits in a side FIFO: the LS
+    // serves each client's queue in order with a fixed latency, hence
+    // completions come back in enqueue order.
+    rq.meta = slot | (static_cast<std::uint64_t>(word_off) << 32) |
+              (replay ? (1ull << 63) : 0ull);
+    if (events_ != nullptr) {
+        write_producers_.push_back(producer);
+    }
     ++f.stores_in_flight;
     ls_.enqueue(mem::LsClient::kLse, std::move(rq));
 }
 
 void Lse::store_local(sim::FrameHandle h, std::uint32_t word_off,
-                      std::uint64_t value) {
+                      std::uint64_t value, std::uint64_t producer) {
     DTA_CHECK_MSG(h.global_pe == self_, "store_local on a remote handle");
     if (is_virtual(h.slot)) {
-        store_virtual(h.slot, word_off, value);
+        store_virtual(h.slot, word_off, value, producer);
     } else {
-        enqueue_frame_write(h.slot, word_off, value);
+        enqueue_frame_write(h.slot, word_off, value, producer);
     }
     ++stats_.local_stores;
 }
 
 void Lse::store_remote(sim::FrameHandle h, std::uint32_t word_off,
-                       std::uint64_t value) {
+                       std::uint64_t value, std::uint64_t producer) {
     DTA_CHECK_MSG(h.global_pe != self_, "store_remote on a local handle");
     SchedMsg msg;
     msg.kind = MsgKind::kRemoteStore;
@@ -249,7 +338,7 @@ void Lse::store_remote(sim::FrameHandle h, std::uint32_t word_off,
     msg.dst_pe = topo_.local_pe_of(h.global_pe);
     msg.a = h.pack();
     msg.b = value;
-    msg.c = word_off;
+    msg.c = pack_carried_uid(word_off, producer);
     outbox_.push_back(msg);
 }
 
@@ -292,6 +381,7 @@ void Lse::dma_completed(std::uint32_t slot) {
             dma_suspend_->record(now_ - f.suspend_at);
         }
         ready_.push_back(slot);
+        emit_ready(f.uid, f.code, /*resume=*/true);
     }
 }
 
@@ -352,8 +442,8 @@ void Lse::thread_running(std::uint32_t slot) {
 // ---- NoC-facing -------------------------------------------------------------
 
 void Lse::on_falloc_fwd(sim::ThreadCodeId code, std::uint32_t sc,
-                        FallocCtx ctx) {
-    const std::uint32_t slot = allocate_slot(code, sc);
+                        FallocCtx ctx, std::uint64_t parent) {
+    const std::uint32_t slot = allocate_slot(code, sc, parent, ctx.rd);
     SchedMsg msg;
     msg.kind = MsgKind::kFallocResp;
     msg.dst_node = ctx.node;
@@ -379,12 +469,12 @@ void Lse::on_falloc_resp(sim::FrameHandle h, FallocCtx ctx) {
 }
 
 void Lse::on_remote_store(sim::FrameHandle h, std::uint32_t word_off,
-                          std::uint64_t value) {
+                          std::uint64_t value, std::uint64_t producer) {
     DTA_CHECK_MSG(h.global_pe == self_, "remote store routed to wrong LSE");
     if (is_virtual(h.slot)) {
-        store_virtual(h.slot, word_off, value);
+        store_virtual(h.slot, word_off, value, producer);
     } else {
-        enqueue_frame_write(h.slot, word_off, value);
+        enqueue_frame_write(h.slot, word_off, value, producer);
     }
     ++stats_.remote_stores_in;
 }
@@ -403,11 +493,21 @@ void Lse::tick(sim::Cycle now) {
     // Frame writes that completed in the LS decrement the SC now.
     mem::LsResponse resp;
     while (ls_.pop_response(mem::LsClient::kLse, resp)) {
-        sc_arrived(static_cast<std::uint32_t>(resp.meta));
+        std::uint64_t producer = 0;
+        if (events_ != nullptr) {
+            DTA_CHECK_MSG(!write_producers_.empty(),
+                          "frame-write completion without a queued producer");
+            producer = write_producers_.front();
+            write_producers_.pop_front();
+        }
+        sc_arrived(static_cast<std::uint32_t>(resp.meta & 0xffffffffu),
+                   static_cast<std::uint32_t>((resp.meta >> 32) & 0x7fffffffu),
+                   producer, (resp.meta >> 63) != 0);
     }
 }
 
-void Lse::sc_arrived(std::uint32_t slot) {
+void Lse::sc_arrived(std::uint32_t slot, std::uint32_t word_off,
+                     std::uint64_t producer, bool replay) {
     Frame& f = frame_at(slot);
     DTA_CHECK_MSG(f.state == FrameState::kWaitStores,
                   "SC decrement on a frame not waiting for stores");
@@ -415,10 +515,22 @@ void Lse::sc_arrived(std::uint32_t slot) {
     --f.stores_in_flight;
     DTA_CHECK_MSG(f.sc > 0, "synchronisation counter underflow");
     --f.sc;
+    if (events_ != nullptr && !replay) {
+        sim::Event e;
+        e.cycle = now_;
+        e.kind = sim::EventKind::kFrameStore;
+        e.ordinal = self_;
+        e.thread = f.uid;
+        e.other = producer;
+        e.arg = sim::pack_store_dest(self_, slot, word_off);
+        e.aux = static_cast<std::uint8_t>(std::min<std::uint32_t>(f.sc, 255));
+        events_->push(e);
+    }
     if (f.sc == 0) {
         f.state = FrameState::kReady;
         f.ready_at = now_;
         ready_.push_back(slot);
+        emit_ready(f.uid, f.code, /*resume=*/false);
     }
 }
 
@@ -445,6 +557,7 @@ void Lse::make_ready(std::uint32_t slot) {
         f.state = FrameState::kReady;
         f.ready_at = now_;
         ready_.push_back(slot);
+        emit_ready(f.uid, f.code, /*resume=*/false);
     }
 }
 

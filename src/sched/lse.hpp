@@ -23,6 +23,7 @@
 #include "isa/instruction.hpp"
 #include "mem/local_store.hpp"
 #include "sched/messages.hpp"
+#include "sim/events.hpp"
 #include "sim/metrics.hpp"
 #include "sim/types.hpp"
 
@@ -132,17 +133,21 @@ public:
         mem::LocalStore& ls);
 
     // ---- SPU-facing interface (same-PE, no NoC) -------------------------
-    /// Issues a FALLOC request into the scheduler; rd tags the reply.
-    void falloc(std::uint8_t rd, sim::ThreadCodeId code, std::uint32_t sc);
+    /// Issues a FALLOC request into the scheduler; rd tags the reply and
+    /// \p parent (the issuing thread's uid) rides along so the grant can
+    /// record its parent link.
+    void falloc(std::uint8_t rd, sim::ThreadCodeId code, std::uint32_t sc,
+                std::uint64_t parent = 0);
     /// Pops a completed FALLOC, if any.
     [[nodiscard]] bool pop_falloc_response(FallocDone& out);
 
-    /// STORE to a frame owned by *this* PE (bypasses the NoC).
+    /// STORE to a frame owned by *this* PE (bypasses the NoC).  \p producer
+    /// is the storing thread's uid (0 from tests / bootstrap).
     void store_local(sim::FrameHandle h, std::uint32_t word_off,
-                     std::uint64_t value);
+                     std::uint64_t value, std::uint64_t producer = 0);
     /// STORE to a remote frame: emits a kRemoteStore scheduler message.
     void store_remote(sim::FrameHandle h, std::uint32_t word_off,
-                      std::uint64_t value);
+                      std::uint64_t value, std::uint64_t producer = 0);
 
     /// FFREE executed by the running thread in \p slot.  The slot becomes
     /// immediately reusable (the frame data is dead once PL has run); the
@@ -181,10 +186,11 @@ public:
     void thread_running(std::uint32_t slot);
 
     // ---- NoC-facing interface (PE glue feeds decoded packets) ------------
-    void on_falloc_fwd(sim::ThreadCodeId code, std::uint32_t sc, FallocCtx ctx);
+    void on_falloc_fwd(sim::ThreadCodeId code, std::uint32_t sc, FallocCtx ctx,
+                       std::uint64_t parent = 0);
     void on_falloc_resp(sim::FrameHandle h, FallocCtx ctx);
     void on_remote_store(sim::FrameHandle h, std::uint32_t word_off,
-                         std::uint64_t value);
+                         std::uint64_t value, std::uint64_t producer = 0);
 
     /// Drains one outgoing scheduler message, if any.
     [[nodiscard]] bool pop_outgoing(SchedMsg& out);
@@ -228,6 +234,9 @@ public:
         return static_cast<std::uint32_t>(virtual_.size());
     }
     [[nodiscard]] sim::ThreadCodeId code_of(std::uint32_t slot) const;
+    /// Run-unique thread id of the frame in \p slot (physical or virtual).
+    /// Slots are reused; uids are not — lifecycle events key on them.
+    [[nodiscard]] std::uint64_t uid_of(std::uint32_t slot) const;
     /// LS byte address of word 0 of \p slot's frame.
     [[nodiscard]] std::uint32_t frame_ls_base(std::uint32_t slot) const;
     /// LS byte address of \p slot's DMA staging area.
@@ -240,6 +249,9 @@ public:
     /// sched.dispatch_wait (frame ready → bound to the SPU), and
     /// sched.dma_suspend (Wait-for-DMA park duration).
     void attach_metrics(sim::MetricsRegistry& reg);
+    /// Points lifecycle-event emission at \p log (nullptr keeps it off; the
+    /// hot paths then cost one cached-pointer null test each).
+    void attach_events(sim::EventLog* log) { events_ = log; }
     /// True when nothing is live, queued, in flight, or pending.
     [[nodiscard]] bool quiescent() const;
 
@@ -247,6 +259,7 @@ private:
     struct Frame {
         FrameState state = FrameState::kFree;
         sim::ThreadCodeId code = 0;
+        std::uint64_t uid = 0;  ///< run-unique thread id (survives the slot)
         std::uint32_t sc = 0;
         std::uint32_t dma_pending = 0;
         std::uint32_t resume_ip = 0;
@@ -259,25 +272,46 @@ private:
 
     /// A not-yet-physical frame: its stores accumulate in a buffer until a
     /// physical slot frees, then are replayed into real frame memory.
+    struct BufferedStore {
+        std::uint32_t word_off = 0;
+        std::uint64_t value = 0;
+        std::uint64_t producer = 0;  ///< storing thread's uid
+    };
+
     struct VirtualFrame {
         sim::ThreadCodeId code = 0;
-        std::uint32_t sc = 0;  ///< stores still expected
-        std::vector<std::pair<std::uint32_t, std::uint64_t>> stores;
+        std::uint64_t uid = 0;  ///< carried into the physical frame
+        std::uint32_t sc = 0;   ///< stores still expected
+        std::vector<BufferedStore> stores;
         bool complete = false;  ///< SC reached zero; queued to materialise
     };
 
     [[nodiscard]] Frame& frame_at(std::uint32_t slot);
     [[nodiscard]] const Frame& frame_at(std::uint32_t slot) const;
-    std::uint32_t allocate_slot(sim::ThreadCodeId code, std::uint32_t sc);
+    std::uint32_t allocate_slot(sim::ThreadCodeId code, std::uint32_t sc,
+                                std::uint64_t parent = 0,
+                                std::uint8_t rd = 0);
     void release_slot(std::uint32_t slot, bool notify_dse);
+    /// \p replay marks virtual-frame materialization writes, whose arrival
+    /// events were already emitted at buffering time.
     void enqueue_frame_write(std::uint32_t slot, std::uint32_t word_off,
-                             std::uint64_t value);
-    void sc_arrived(std::uint32_t slot);
+                             std::uint64_t value, std::uint64_t producer = 0,
+                             bool replay = false);
+    void sc_arrived(std::uint32_t slot, std::uint32_t word_off,
+                    std::uint64_t producer, bool replay);
     [[nodiscard]] bool is_virtual(std::uint32_t slot) const {
         return slot >= cfg_.frames;
     }
     void store_virtual(std::uint32_t vid, std::uint32_t word_off,
-                       std::uint64_t value);
+                       std::uint64_t value, std::uint64_t producer);
+    /// Run-unique thread id: PE index in the high half, per-LSE sequence in
+    /// the low.  Stays below 2^48 (so it fits the pack_carried_uid wire
+    /// encoding) as long as the machine has < 2^16 PEs and an LSE allocates
+    /// < 2^32 threads in one run.
+    [[nodiscard]] std::uint64_t next_uid() {
+        return (static_cast<std::uint64_t>(self_) << 32) | ++uid_seq_;
+    }
+    void emit_ready(std::uint64_t uid, sim::ThreadCodeId code, bool resume);
     /// Binds the oldest complete virtual frame to a free physical slot.
     void materialize_next();
 
@@ -295,14 +329,20 @@ private:
     std::uint32_t live_frames_ = 0;
     std::uint32_t waitdma_count_ = 0;
     std::uint64_t ls_write_seq_ = 1;
+    std::uint64_t uid_seq_ = 0;  ///< per-LSE thread-uid sequence (always on)
     // virtual-frame machinery (empty unless cfg_.virtual_frames)
     std::unordered_map<std::uint32_t, VirtualFrame> virtual_;
     std::deque<std::uint32_t> materialize_queue_;  ///< complete virtual ids
     std::uint32_t next_virtual_id_ = 0;            ///< offset past cfg_.frames
     LseStats stats_;
 
-    // observability (all optional; null when metrics are off)
+    // observability (all optional; null when metrics / events are off)
     sim::Cycle now_ = 0;  ///< last tick time, for off-tick event stamps
+    sim::EventLog* events_ = nullptr;
+    /// Producer uid of each in-flight frame write, enqueue order (the LS
+    /// completes a client's requests FIFO).  Touched only when events are
+    /// on — keeps the uid out of the LsRequest/LsResponse hot structs.
+    std::deque<std::uint64_t> write_producers_;
     sim::Histogram* falloc_wait_ = nullptr;
     sim::Histogram* dispatch_wait_ = nullptr;
     sim::Histogram* dma_suspend_ = nullptr;

@@ -28,12 +28,35 @@ enum class MsgKind : std::uint16_t {
     kDmaPutReq,    ///< a=address, b=line id, c=packed requester, data = payload
     kDmaPutAck,    ///< a=line id
     // -- distributed scheduler ------------------------------------------------
-    kFallocReq,    ///< a=code id, b=SC, c=FallocCtx
+    kFallocReq,    ///< a=code id | parent uid << 16, b=SC, c=FallocCtx
     kFallocFwd,    ///< DSE -> chosen LSE; same payload as kFallocReq
     kFallocResp,   ///< a=packed FrameHandle, c=FallocCtx
     kFrameFree,    ///< LSE -> home DSE; a=global PE id whose frame freed
-    kRemoteStore,  ///< a=packed FrameHandle, b=value, c=frame word offset
+    kRemoteStore,  ///< a=packed FrameHandle, b=value,
+                   ///< c=frame word offset | producer uid << 16
 };
+
+/// Thread-lifecycle tracing needs the requesting/producing thread's uid at
+/// the *receiving* end of kFallocReq/kFallocFwd and kRemoteStore, but
+/// growing noc::Packet by a word measurably slows the whole simulator even
+/// with tracing off (the fabric FIFOs copy packets on every hop).  The uid
+/// therefore rides in the spare upper bits of an existing payload word:
+/// code ids and frame word offsets are 16-bit quantities (enforced at
+/// machine/LSE construction), and a uid — (pe << 32) | sequence — fits the
+/// remaining 48 bits whenever pe < 2^16 (enforced when event collection is
+/// on).  With tracing off the uid is 0 and the packed word equals the
+/// plain value, so the wire traffic is bit-identical to an uninstrumented
+/// build.
+[[nodiscard]] constexpr std::uint64_t pack_carried_uid(std::uint64_t low16,
+                                                       std::uint64_t uid) {
+    return low16 | (uid << 16);
+}
+[[nodiscard]] constexpr std::uint32_t carried_low16(std::uint64_t word) {
+    return static_cast<std::uint32_t>(word & 0xffff);
+}
+[[nodiscard]] constexpr std::uint64_t carried_uid(std::uint64_t word) {
+    return word >> 16;
+}
 
 /// Wire sizes (bytes) used for bus-occupancy accounting.  Control messages
 /// are two bus beats (16 B, one header + one payload beat); DMA line data

@@ -35,6 +35,9 @@ void Shard::fast_forward_span(Cycle from, Cycle to) {
 
 void Shard::run_until(Cycle bound) {
     stuck_ = false;
+    if (hooks_.progress) {
+        hooks_.progress(acct_next_);
+    }
     while (!paused_ && acct_next_ < bound) {
         const Cycle now = acct_next_;
         for (Component* c : components_) {

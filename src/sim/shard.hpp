@@ -42,6 +42,10 @@ public:
         /// shard accounts (null when metrics are off).
         std::function<void(Cycle)> sample;
         Cycle sample_interval = 0;  ///< 0 disables sampling
+        /// Progress reporter; invoked once per run_until call (i.e. about
+        /// once per epoch) with the shard's clock.  The callee does its own
+        /// interval thresholding and must touch only shard-local state.
+        std::function<void(Cycle)> progress;
         bool fast_forward = true;
     };
 

@@ -1,0 +1,121 @@
+/// \file critpath.hpp
+/// \brief Dynamic-dataflow reconstruction and critical-path cycle
+///        attribution over a thread-lifecycle event log (sim/events.hpp).
+///
+/// The analyzer rebuilds the run's dataflow DAG — nodes are bound thread
+/// segments, edges are frame stores (producer STORE -> consumer SC
+/// decrement), FALLOC parent links (parent issue -> child grant), and DMA
+/// completions (suspend -> resume) — then walks the latest-cause chain
+/// backward from the final STOP.  Every cycle of the end-to-end run lands
+/// in exactly one category:
+///
+///   compute      bound SPU cycles not blocked on global memory
+///   dma_wait     waiting on global-memory transfers: blocking READ stalls
+///                while bound, and Wait-for-DMA suspensions
+///   frame_wait   a granted frame waiting for its input stores (and, for
+///                virtual frames, for a physical slot to materialize into)
+///   sched_wait   FALLOC in flight at the DSE, and ready-to-dispatch
+///                handshakes
+///   noc_transit  a frame store in flight from producer to consumer LSE
+///   idle         after the final STOP (machine drain), and PEs with
+///                nothing runnable in the run-wide view
+///
+/// Two attributions are computed: **on-path** (the critical-path walk; sums
+/// to exactly the end-to-end cycle count) and **run-wide** (every PE's
+/// every cycle, classified from its event timeline; sums to exactly
+/// cycles x PEs).  noc_transit only surfaces on the path: run-wide, a
+/// store's transit always overlaps some PE-side state and double-charging
+/// it would break the exact-sum invariant.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "sim/events.hpp"
+
+namespace dta::stats {
+
+/// Attribution categories (see file comment).
+enum class CritCategory : std::uint8_t {
+    kCompute,
+    kDmaWait,
+    kFrameWait,
+    kSchedWait,
+    kNocTransit,
+    kIdle,
+};
+inline constexpr std::size_t kNumCritCategories = 6;
+[[nodiscard]] std::string_view crit_category_name(CritCategory c);
+
+/// Cycles per category; sums to a known total by construction.
+using CritCycles = std::array<std::uint64_t, kNumCritCategories>;
+
+/// One step of the critical-path walk (end-to-start order): the half-open
+/// cycle span [from, to) attributed to \p category while following thread
+/// \p thread (0 for the trailing idle span).
+struct CritStep {
+    sim::Cycle from = 0;
+    sim::Cycle to = 0;
+    CritCategory category = CritCategory::kIdle;
+    std::uint64_t thread = 0;
+    std::uint32_t code = 0;  ///< thread code id (0 when thread == 0)
+};
+
+/// Slack statistics over one edge class: how much earlier than needed each
+/// input arrived (0 = the arrival that fired the consumer).
+struct SlackStats {
+    std::uint64_t edges = 0;
+    std::uint64_t zero_slack = 0;  ///< arrivals on their consumer's last gasp
+    std::uint64_t total = 0;
+    std::uint64_t max = 0;
+};
+
+/// Everything the analyzer derives from one event file.
+struct CritPathReport {
+    sim::Cycle cycles = 0;   ///< end-to-end run length
+    std::uint32_t pes = 0;
+    std::uint64_t threads = 0;
+    std::uint64_t store_edges = 0;    ///< matched issue->arrival pairs
+    std::uint64_t falloc_edges = 0;   ///< matched issue->grant pairs
+    std::uint64_t dma_edges = 0;      ///< suspend->resume pairs on the walk
+    std::uint64_t link_hops = 0;      ///< kLinkHop events (node crossings)
+    std::uint64_t unmatched_stores = 0;  ///< arrivals with no issue (0 in a
+                                         ///< well-formed log)
+
+    /// Critical-path attribution; sums to exactly `cycles`.
+    CritCycles on_path{};
+    /// Run-wide attribution; sums to exactly `cycles * pes`.
+    CritCycles run_wide{};
+    /// The walk itself, end-to-start.
+    std::vector<CritStep> path;
+    /// On-path cycles per thread code (aligned with code_names).
+    std::vector<std::uint64_t> code_on_path;
+    std::vector<std::string> code_names;
+    /// Store-edge slack (how hot the dataflow edges run).
+    SlackStats store_slack;
+    /// Dataflow arrows for the Chrome-trace export: one per store edge
+    /// whose consumer dispatched, critical-path edges marked.
+    std::vector<core::TraceFlow> flows;
+};
+
+/// Runs the full analysis.  Throws sim::SimError when the log violates the
+/// event-contract invariants it depends on (e.g. a dispatch for a thread
+/// that was never granted).
+[[nodiscard]] CritPathReport analyze(const sim::EventFile& file);
+
+/// Serialises a report as a deterministic JSON document (stable key order,
+/// integers only — byte-identical across runs that produced identical
+/// logs).  \p benchmark names the workload in the header ("" omits it).
+[[nodiscard]] std::string critpath_json(const CritPathReport& r,
+                                        std::string_view benchmark = "");
+
+/// Human-readable summary: the attribution tables plus the top_k longest
+/// critical-path steps.
+[[nodiscard]] std::string critpath_text(const CritPathReport& r,
+                                        std::size_t top_k = 10);
+
+}  // namespace dta::stats

@@ -1,14 +1,18 @@
 // The sharded (multi-threaded) run loop must be bit-identical to the
 // single-threaded reference: same cycle count, same spans, same DMA spans,
-// and byte-identical JSON run reports for every host-thread count.  Each
-// paper workload runs on a 4-node machine with threads 1, 2 and 4, in both
-// the original and the prefetch-pass variants.
+// byte-identical JSON run reports, byte-identical thread-lifecycle event
+// logs, and byte-identical critical-path reports for every host-thread
+// count.  Each paper workload runs on a 4-node machine with threads 1, 2
+// and 4, in both the original and the prefetch-pass variants.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 
 #include "core/machine.hpp"
+#include "sim/events.hpp"
+#include "stats/critpath.hpp"
 #include "stats/json_report.hpp"
 #include "workloads/bitcnt.hpp"
 #include "workloads/fir.hpp"
@@ -22,6 +26,8 @@ namespace {
 struct Captured {
     RunResult res;
     std::string json;
+    std::string events;    ///< DTAEV1 text of the merged event log
+    std::string critpath;  ///< dta_analyze JSON over that log
 };
 
 template <typename Workload>
@@ -30,9 +36,21 @@ Captured run_with(const Workload& w, MachineConfig cfg, bool prefetch,
     cfg.host_threads = threads;
     cfg.capture_spans = true;
     cfg.collect_metrics = true;
+    cfg.collect_events = true;
     const workloads::RunOutcome out = workloads::run_workload(w, cfg, prefetch);
     EXPECT_TRUE(out.correct) << "threads=" << threads << ": " << out.detail;
-    return {out.result, stats::run_report_json(out.result, "det")};
+    std::ostringstream ev;
+    sim::write_events(ev, out.result.events, out.result.cycles,
+                      cfg.total_pes(), out.result.code_names);
+    sim::EventFile file;
+    file.cycles = out.result.cycles;
+    file.pes = cfg.total_pes();
+    file.code_names = out.result.code_names;
+    file.events = out.result.events.flatten();
+    const std::string crit =
+        stats::critpath_json(stats::analyze(file), "det");
+    return {out.result, stats::run_report_json(out.result, "det"), ev.str(),
+            crit};
 }
 
 void expect_identical(const Captured& ref, const Captured& got,
@@ -40,6 +58,9 @@ void expect_identical(const Captured& ref, const Captured& got,
     SCOPED_TRACE("threads=" + std::to_string(threads));
     EXPECT_EQ(ref.res.cycles, got.res.cycles);
     EXPECT_EQ(ref.json, got.json) << "JSON run report differs";
+    EXPECT_EQ(ref.events, got.events) << "event log differs";
+    EXPECT_EQ(ref.critpath, got.critpath)
+        << "critical-path report differs";
 
     ASSERT_EQ(ref.res.spans.size(), got.res.spans.size());
     for (std::size_t i = 0; i < ref.res.spans.size(); ++i) {

@@ -5,6 +5,7 @@
 
 #include "core/machine.hpp"
 #include "isa/builder.hpp"
+#include "stats/json_report.hpp"
 #include "test_util.hpp"
 #include "workloads/harness.hpp"
 #include "workloads/mmul.hpp"
@@ -168,6 +169,49 @@ TEST(ChromeTrace, EmitsCounterTracksAndDmaSlices) {
     EXPECT_NE(json.find(R"({"name": "DMA"})"), std::string::npos);
 }
 
+TEST(ChromeTrace, EmitsTrackMetadataAndFlowArrows) {
+    std::vector<ThreadSpan> spans;
+    spans.push_back(ThreadSpan{0, 10, 25, 0, 3, false});
+    spans.push_back(ThreadSpan{2, 30, 40, 1, 0, false});
+
+    std::vector<TraceFlow> flows;
+    flows.push_back(TraceFlow{0, 20, 2, 30, false});
+    flows.push_back(TraceFlow{0, 22, 2, 30, true});
+
+    sim::MetricsRegistry reg;
+    const std::string json =
+        chrome_trace_json(spans, {"alpha", "beta"}, reg, {}, flows);
+    EXPECT_TRUE(stats::validate_json(json));
+    // Perfetto row metadata: every SPU row up to the highest seen gets a
+    // name and a sort index pinning PE order.
+    EXPECT_NE(json.find(R"("name": "thread_name", "ph": "M", "pid": 0, )"
+                        R"("tid": 1, "args": {"name": "spu1"})"),
+              std::string::npos);
+    EXPECT_NE(json.find(R"("name": "thread_sort_index", "ph": "M", )"
+                        R"("pid": 0, "tid": 2, "args": {"sort_index": 2})"),
+              std::string::npos);
+    // Flow arrows: start inside the producer slice, finish bound to the
+    // consumer slice's enclosing edge.
+    EXPECT_NE(json.find(R"("name": "store", "cat": "dataflow", "ph": "s", )"
+                        R"("id": 0, "ts": 20, "pid": 0, "tid": 0)"),
+              std::string::npos);
+    EXPECT_NE(json.find(R"("ph": "f", "bp": "e", "id": 0, "ts": 30, )"
+                        R"("pid": 0, "tid": 2)"),
+              std::string::npos);
+    // The critical-path edge is named so the UI can filter it.
+    EXPECT_NE(json.find(R"("name": "critical-store", "cat": "dataflow", )"
+                        R"("ph": "s", "id": 1, "ts": 22)"),
+              std::string::npos);
+}
+
+TEST(ChromeTrace, FourArgOverloadMatchesEmptyFlows) {
+    std::vector<ThreadSpan> spans;
+    spans.push_back(ThreadSpan{0, 0, 5, 0, 0, false});
+    sim::MetricsRegistry reg;
+    EXPECT_EQ(chrome_trace_json(spans, {"a"}, reg, {}),
+              chrome_trace_json(spans, {"a"}, reg, {}, {}));
+}
+
 TEST(ChromeTrace, FullVariantFromRealRunIsWellFormed) {
     workloads::MatMul::Params p;
     p.n = 8;
@@ -190,6 +234,7 @@ TEST(ChromeTrace, FullVariantFromRealRunIsWellFormed) {
         EXPECT_LT(d.begin, d.end);
         EXPECT_LE(d.end, res.cycles);
     }
+    EXPECT_TRUE(stats::validate_json(json));
     EXPECT_NE(json.find(R"("ph": "C")"), std::string::npos);
     EXPECT_NE(json.find(R"("ph": "b")"), std::string::npos);
 }

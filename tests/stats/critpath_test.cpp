@@ -1,0 +1,162 @@
+// Critical-path analyzer tests: exact cycle attribution on the paper
+// workloads (on-path sums to the run length, run-wide sums to cycles x PEs,
+// with zero rounding slack), dataflow-edge matching, and the paper's
+// headline effect — prefetching moves DMA wait off the critical path.
+#include "stats/critpath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "core/machine.hpp"
+#include "sim/events.hpp"
+#include "workloads/bitcnt.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/mmul.hpp"
+#include "workloads/zoom.hpp"
+
+namespace dta::stats {
+namespace {
+
+template <typename Workload>
+CritPathReport analyzed(const Workload& w, core::MachineConfig cfg,
+                        bool prefetch) {
+    cfg.collect_events = true;
+    const workloads::RunOutcome out =
+        workloads::run_workload(w, cfg, prefetch);
+    EXPECT_TRUE(out.correct) << out.detail;
+    sim::EventFile file;
+    file.cycles = out.result.cycles;
+    file.pes = cfg.total_pes();
+    file.code_names = out.result.code_names;
+    file.events = out.result.events.flatten();
+    return analyze(file);
+}
+
+std::uint64_t sum(const CritCycles& c) {
+    return std::accumulate(c.begin(), c.end(), std::uint64_t{0});
+}
+
+std::uint64_t at(const CritCycles& c, CritCategory cat) {
+    return c[static_cast<std::size_t>(cat)];
+}
+
+/// Both attributions must account for every cycle exactly — no rounding,
+/// no double counting, no gap.
+void expect_exact(const CritPathReport& r) {
+    EXPECT_EQ(sum(r.on_path), r.cycles);
+    EXPECT_EQ(sum(r.run_wide),
+              static_cast<std::uint64_t>(r.cycles) * r.pes);
+    // noc_transit is an on-path-only category by construction.
+    EXPECT_EQ(at(r.run_wide, CritCategory::kNocTransit), 0u);
+    EXPECT_EQ(r.unmatched_stores, 0u);
+    // The walk is a contiguous, descending cover of [0, cycles).
+    sim::Cycle hi = r.cycles;
+    for (const CritStep& s : r.path) {
+        EXPECT_EQ(s.to, hi) << "gap in the walk";
+        EXPECT_LT(s.from, s.to);
+        hi = s.from;
+    }
+    EXPECT_EQ(hi, 0u);
+}
+
+TEST(CritPath, MatMulExactAttribution) {
+    workloads::MatMul::Params p;
+    p.n = 16;
+    p.threads = 16;
+    const workloads::MatMul w(p);
+    const auto cfg = workloads::MatMul::machine_config(8);
+    for (const bool prefetch : {false, true}) {
+        SCOPED_TRACE(prefetch ? "prefetch" : "original");
+        const CritPathReport r = analyzed(w, cfg, prefetch);
+        expect_exact(r);
+        EXPECT_GT(r.threads, 1u);
+        EXPECT_GT(r.store_edges, 0u);
+        EXPECT_GT(r.falloc_edges, 0u);
+    }
+}
+
+TEST(CritPath, ZoomExactAttribution) {
+    workloads::Zoom::Params p;
+    p.n = 16;
+    p.factor = 4;
+    p.threads = 16;
+    const workloads::Zoom w(p);
+    const auto cfg = workloads::Zoom::machine_config(8);
+    for (const bool prefetch : {false, true}) {
+        SCOPED_TRACE(prefetch ? "prefetch" : "original");
+        expect_exact(analyzed(w, cfg, prefetch));
+    }
+}
+
+TEST(CritPath, BitCountExactAttribution) {
+    workloads::BitCount::Params p;
+    p.iterations = 320;
+    const workloads::BitCount w(p);
+    const auto cfg = workloads::BitCount::machine_config(8);
+    for (const bool prefetch : {false, true}) {
+        SCOPED_TRACE(prefetch ? "prefetch" : "original");
+        expect_exact(analyzed(w, cfg, prefetch));
+    }
+}
+
+// Virtual frame pointers re-grant a slot the moment FFREE releases it,
+// while the freeing thread is still executing its PS block — the uid
+// cached at bind time must keep the STOP attributed to the right thread
+// and the attribution exact.
+TEST(CritPath, VirtualFramesExactAttribution) {
+    workloads::MatMul::Params p;
+    p.n = 16;
+    p.threads = 16;
+    const workloads::MatMul w(p);
+    auto cfg = workloads::MatMul::machine_config(8);
+    cfg.lse = sched::LseConfig::with(4, cfg.lse.staging_bytes_per_frame);
+    cfg.lse.virtual_frames = true;
+    for (const bool prefetch : {false, true}) {
+        SCOPED_TRACE(prefetch ? "prefetch" : "original");
+        const CritPathReport r = analyzed(w, cfg, prefetch);
+        expect_exact(r);
+        EXPECT_GT(r.threads, 1u);
+    }
+}
+
+// Section 4's headline: the prefetch pass converts blocking READs into
+// DMAs that overlap other threads' execution, so the share of the critical
+// path spent waiting on global memory must drop.
+TEST(CritPath, PrefetchMovesDmaWaitOffCriticalPath) {
+    workloads::MatMul::Params p;
+    p.n = 16;
+    p.threads = 16;
+    const workloads::MatMul w(p);
+    const auto cfg = workloads::MatMul::machine_config(8);
+    const CritPathReport orig = analyzed(w, cfg, false);
+    const CritPathReport pf = analyzed(w, cfg, true);
+    const std::uint64_t orig_wait = at(orig.on_path, CritCategory::kDmaWait);
+    const std::uint64_t pf_wait = at(pf.on_path, CritCategory::kDmaWait);
+    EXPECT_LT(pf_wait, orig_wait)
+        << "prefetch should shorten on-path DMA wait (orig " << orig_wait
+        << ", prefetch " << pf_wait << ")";
+}
+
+// The JSON serializer is deterministic and well-formed enough to diff.
+TEST(CritPath, JsonAndTextAreStable) {
+    workloads::BitCount::Params p;
+    p.iterations = 64;
+    const workloads::BitCount w(p);
+    const auto cfg = workloads::BitCount::machine_config(2);
+    const CritPathReport a = analyzed(w, cfg, false);
+    const CritPathReport b = analyzed(w, cfg, false);
+    EXPECT_EQ(critpath_json(a, "bitcnt"), critpath_json(b, "bitcnt"));
+    const std::string json = critpath_json(a, "bitcnt");
+    EXPECT_NE(json.find("\"report\": \"dta-critpath\""), std::string::npos);
+    EXPECT_NE(json.find("\"benchmark\": \"bitcnt\""), std::string::npos);
+    EXPECT_NE(json.find("\"on_path\""), std::string::npos);
+    EXPECT_NE(json.find("\"run_wide\""), std::string::npos);
+    const std::string text = critpath_text(a, 5);
+    EXPECT_NE(text.find("on-path attribution"), std::string::npos);
+    EXPECT_NE(text.find("top 5 critical-path steps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dta::stats

@@ -22,8 +22,13 @@
 ///     --profile         print the per-thread-code profile
 ///     --breakdown       print the SPU cycle breakdown
 ///     --trace FILE      write a Chrome-trace JSON timeline to FILE
-///                       (includes counter tracks and DMA slices)
+///                       (includes counter tracks and DMA slices; with
+///                       --events also dataflow arrows between slices)
 ///     --metrics FILE    write a JSON run report (histograms, gauges) to FILE
+///     --events FILE     write the thread-lifecycle event log (DTAEV1) to
+///                       FILE; feed it to dta_analyze
+///     --progress[=N]    heartbeat to stderr every N simulated cycles
+///                       (default 1000000): cycle, live threads, Mcycles/s
 ///     --log-level L     stderr simulator log: info, debug or trace
 ///     --disasm          print the disassembly and exit
 ///     --dump ADDR N     after the run, print N 32-bit words at ADDR
@@ -43,7 +48,9 @@
 #include "isa/asmtext.hpp"
 #include "isa/disasm.hpp"
 #include "sim/check.hpp"
+#include "sim/events.hpp"
 #include "sim/log.hpp"
+#include "stats/critpath.hpp"
 #include "stats/json_report.hpp"
 #include "stats/report.hpp"
 
@@ -69,6 +76,8 @@ struct Options {
     bool disasm = false;
     std::string trace_path;
     std::string metrics_path;
+    std::string events_path;
+    sim::Cycle progress_interval = 0;  ///< 0 = no heartbeat
     sim::LogLevel log_level = sim::LogLevel::kOff;
     std::vector<std::uint64_t> args;
     std::vector<std::pair<std::uint64_t, std::uint32_t>> dumps;
@@ -83,6 +92,7 @@ struct Options {
                  "       [--arg V]... [--interp]\n"
                  "       [--profile] [--breakdown] [--trace FILE] "
                  "[--metrics FILE]\n"
+                 "       [--events FILE] [--progress[=N]]\n"
                  "       [--log-level info|debug|trace] [--disasm] "
                  "[--dump ADDR N]...\n",
                  argv0);
@@ -134,6 +144,17 @@ Options parse_options(int argc, char** argv) {
             opt.trace_path = next();
         } else if (a == "--metrics") {
             opt.metrics_path = next();
+        } else if (a == "--events") {
+            opt.events_path = next();
+        } else if (a == "--progress") {
+            opt.progress_interval = 1000000;
+        } else if (a.rfind("--progress=", 0) == 0) {
+            opt.progress_interval =
+                std::strtoull(a.c_str() + std::strlen("--progress="),
+                              nullptr, 0);
+            if (opt.progress_interval == 0) {
+                usage(argv[0]);
+            }
         } else if (a == "--log-level") {
             const std::string lvl = next();
             if (lvl == "info") {
@@ -220,10 +241,29 @@ int main(int argc, char** argv) {
         cfg.capture_spans = !opt.trace_path.empty();
         cfg.collect_metrics =
             !opt.metrics_path.empty() || !opt.trace_path.empty();
+        cfg.collect_events = !opt.events_path.empty();
         cfg.fast_forward = !opt.no_fastforward;
         cfg.host_threads = opt.threads;
 
         core::Machine machine(cfg, prog);
+        if (opt.progress_interval > 0) {
+            const auto start = std::chrono::steady_clock::now();
+            machine.set_progress(
+                opt.progress_interval,
+                [start](sim::Cycle cycle, std::uint64_t live) {
+                    const double s = std::chrono::duration<double>(
+                                         std::chrono::steady_clock::now() -
+                                         start)
+                                         .count();
+                    std::fprintf(
+                        stderr,
+                        "progress: cycle %llu, %llu live threads, "
+                        "%.2f Mcycles/s\n",
+                        static_cast<unsigned long long>(cycle),
+                        static_cast<unsigned long long>(live),
+                        s > 0.0 ? static_cast<double>(cycle) / s / 1e6 : 0.0);
+                });
+        }
         if (opt.log_level != sim::LogLevel::kOff) {
             machine.set_log_sink(opt.log_level, [](std::string_view line) {
                 std::fprintf(stderr, "%.*s\n",
@@ -270,6 +310,29 @@ int main(int argc, char** argv) {
         if (opt.profile) {
             std::fputs(stats::profile_table(res.profile).c_str(), stdout);
         }
+        std::vector<core::TraceFlow> flows;
+        if (!opt.events_path.empty()) {
+            std::ofstream out(opt.events_path);
+            if (!out) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             opt.events_path.c_str());
+                return 1;
+            }
+            sim::write_events(out, res.events, res.cycles,
+                              cfg.total_pes(), res.code_names);
+            std::printf("wrote %zu events to %s\n", res.events.size(),
+                        opt.events_path.c_str());
+            if (!opt.trace_path.empty()) {
+                // Reuse the in-memory log to draw dataflow arrows between
+                // the trace's SPU slices.
+                sim::EventFile file;
+                file.cycles = res.cycles;
+                file.pes = cfg.total_pes();
+                file.code_names = res.code_names;
+                file.events = res.events.flatten();
+                flows = stats::analyze(file).flows;
+            }
+        }
         if (!opt.trace_path.empty()) {
             std::ofstream out(opt.trace_path);
             if (!out) {
@@ -278,11 +341,13 @@ int main(int argc, char** argv) {
                 return 1;
             }
             out << core::chrome_trace_json(res.spans, res.code_names,
-                                           res.metrics, res.dma_spans);
+                                           res.metrics, res.dma_spans,
+                                           flows);
             std::printf("wrote %zu spans, %zu counter tracks, %zu DMA "
-                        "slices to %s\n",
+                        "slices, %zu flows to %s\n",
                         res.spans.size(), res.metrics.gauges().size(),
-                        res.dma_spans.size(), opt.trace_path.c_str());
+                        res.dma_spans.size(), flows.size(),
+                        opt.trace_path.c_str());
         }
         if (!opt.metrics_path.empty()) {
             std::ofstream out(opt.metrics_path);
