@@ -14,7 +14,7 @@
 using namespace dta;
 using namespace dta::bench;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
     const std::uint32_t iters = arg_u32(argc, argv, "--iterations", 2000);
     banner("ABL-BLOCK", "non-blocking (Fig. 4) vs blocking DMA wait");
     std::printf("%-10s%-16s%-16s%-14s\n", "bench", "non-blocking",
@@ -40,4 +40,8 @@ int main(int argc, char** argv) {
         "\nexpected shape: suspending in Wait-for-DMA beats spinning\n"
         "whenever several threads share an SPU (mmul: 4+ threads per SPU).");
     return 0;
+}
+
+int main(int argc, char** argv) {
+    return guarded_main([&] { return bench_main(argc, argv); }, argv[0]);
 }

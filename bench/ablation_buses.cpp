@@ -14,7 +14,7 @@
 using namespace dta;
 using namespace dta::bench;
 
-int main() {
+int bench_main() {
     banner("ABL-BUS", "bus-count sweep (Table 4 default: 4 buses x 8 B/cycle)");
     std::printf("%-8s%-14s%-14s%-10s%-16s\n", "buses", "mmul(orig)",
                 "mmul(pf)", "speedup", "noc bytes (pf)");
@@ -47,4 +47,8 @@ int main() {
                     stats::speedup_str(orig.cycles(), pf.cycles()).c_str());
     }
     return 0;
+}
+
+int main(int, char** argv) {
+    return guarded_main([] { return bench_main(); }, argv[0]);
 }

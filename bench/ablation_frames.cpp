@@ -14,7 +14,7 @@
 using namespace dta;
 using namespace dta::bench;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
     const std::uint32_t iters = arg_u32(argc, argv, "--iterations", 2000);
     banner("ABL-FRM", "frames-per-PE sweep on bitcnt (default: 192)");
     for (const bool vfp : {false, true}) {
@@ -51,4 +51,8 @@ int main(int argc, char** argv) {
         "cites but leaves out of CellDTA) FALLOC never blocks and even 8\n"
         "frames per PE complete.");
     return 0;
+}
+
+int main(int argc, char** argv) {
+    return guarded_main([&] { return bench_main(argc, argv); }, argv[0]);
 }

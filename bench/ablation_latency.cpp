@@ -13,7 +13,7 @@
 using namespace dta;
 using namespace dta::bench;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
     const std::uint32_t iters = arg_u32(argc, argv, "--iterations", 2000);
     banner("ABL-LAT", "main-memory latency sweep, prefetch speedup");
     std::printf("%-10s%-12s%-12s%-12s\n", "latency", "mmul", "zoom", "bitcnt");
@@ -43,4 +43,8 @@ int main(int argc, char** argv) {
         "mmul/zoom cross 10x near the paper's 150-cycle point while bitcnt\n"
         "stays below ~2x (only ~60% of its READs are decoupled).");
     return 0;
+}
+
+int main(int argc, char** argv) {
+    return guarded_main([&] { return bench_main(argc, argv); }, argv[0]);
 }

@@ -11,7 +11,7 @@
 using namespace dta;
 using namespace dta::bench;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
     const std::uint32_t iters = arg_u32(argc, argv, "--iterations", 2000);
     banner("ABL-MFC", "MFC command queue & latency sweep (defaults: 16, 30)");
 
@@ -63,4 +63,8 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(z.cycles()));
     }
     return 0;
+}
+
+int main(int argc, char** argv) {
+    return guarded_main([&] { return bench_main(argc, argv); }, argv[0]);
 }

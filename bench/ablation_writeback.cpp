@@ -15,7 +15,7 @@
 using namespace dta;
 using namespace dta::bench;
 
-int main() {
+int bench_main() {
     banner("ABL-WB", "DMA write-back post-store vs per-pixel WRITEs (zoom)");
     std::printf("%-8s%-14s%-14s%-14s%-16s%-16s\n", "SPEs", "orig", "prefetch",
                 "pf+writeback", "mem writes(pf)", "mem writes(wb)");
@@ -49,4 +49,8 @@ int main() {
         "sees ~64x fewer write requests, and cycles improve when the posted-\n"
         "write path (not compute) is the bottleneck.");
     return 0;
+}
+
+int main(int, char** argv) {
+    return guarded_main([] { return bench_main(); }, argv[0]);
 }

@@ -265,4 +265,27 @@ inline void compare(const char* what, double paper, double measured) {
                 measured);
 }
 
+/// Wraps a bench body so invalid parameters (a --nodes split that does not
+/// divide the PE count, frame famine, a deadlocked run) print one clean
+/// error line plus a hint instead of an uncaught-exception abort, and
+/// internal consistency failures are labelled as simulator bugs.  Non-zero
+/// exit either way, so CI still notices.
+template <typename Fn>
+int guarded_main(Fn&& body, const char* argv0) {
+    try {
+        return body();
+    } catch (const sim::SimError& e) {
+        std::fprintf(stderr, "%s: error: %s\n", argv0, e.what());
+        std::fprintf(stderr,
+                     "hint: check the workload/machine parameters "
+                     "(--iterations, --nodes, --threads)\n");
+        return 1;
+    } catch (const sim::CheckError& e) {
+        std::fprintf(stderr,
+                     "%s: internal error (please report): %s\n", argv0,
+                     e.what());
+        return 1;
+    }
+}
+
 }  // namespace dta::bench

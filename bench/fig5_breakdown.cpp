@@ -35,7 +35,7 @@ constexpr PaperRow kPaper[] = {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
     const std::uint32_t iters = arg_u32(argc, argv, "--iterations", 10000);
     const Shape shape = shape_from_args(argc, argv);
     banner("FIG5", "SPU execution-time breakdown, 8 SPEs, latency 150");
@@ -85,4 +85,8 @@ int main(int argc, char** argv) {
         compare("prefetch overhead", kPaper[i].pf_overhead, ovh_pf[i]);
     }
     return 0;
+}
+
+int main(int argc, char** argv) {
+    return guarded_main([&] { return bench_main(argc, argv); }, argv[0]);
 }

@@ -12,7 +12,7 @@
 using namespace dta;
 using namespace dta::bench;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
     const std::uint32_t iters = arg_u32(argc, argv, "--iterations", 10000);
     const Shape shape = shape_from_args(argc, argv);
     banner("FIG6", "bitcnt execution time & scalability, latency 150");
@@ -45,4 +45,8 @@ int main(int argc, char** argv) {
     std::puts("");
     compare("prefetch speedup at 8 SPEs", 1.13, measured);
     return 0;
+}
+
+int main(int argc, char** argv) {
+    return guarded_main([&] { return bench_main(argc, argv); }, argv[0]);
 }

@@ -13,7 +13,7 @@
 using namespace dta;
 using namespace dta::bench;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
     const Shape shape = shape_from_args(argc, argv);
     banner("FIG7", "mmul(32) execution time & scalability, latency 150");
 
@@ -41,4 +41,8 @@ int main(int argc, char** argv) {
     std::puts("");
     compare("prefetch speedup at 8 SPEs", 11.18, measured);
     return 0;
+}
+
+int main(int argc, char** argv) {
+    return guarded_main([&] { return bench_main(argc, argv); }, argv[0]);
 }

@@ -12,7 +12,7 @@
 using namespace dta;
 using namespace dta::bench;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
     const Shape shape = shape_from_args(argc, argv);
     banner("FIG8", "zoom(32) execution time & scalability, latency 150");
 
@@ -40,4 +40,8 @@ int main(int argc, char** argv) {
     std::puts("");
     compare("prefetch speedup at 8 SPEs", 11.48, measured);
     return 0;
+}
+
+int main(int argc, char** argv) {
+    return guarded_main([&] { return bench_main(argc, argv); }, argv[0]);
 }

@@ -13,7 +13,7 @@
 using namespace dta;
 using namespace dta::bench;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
     const std::uint32_t iters = arg_u32(argc, argv, "--iterations", 10000);
     const Shape shape = shape_from_args(argc, argv);
     banner("FIG9", "pipeline usage with and without prefetching");
@@ -43,4 +43,8 @@ int main(int argc, char** argv) {
         "\nexpected shape (Fig. 9): usage rises sharply with prefetching for\n"
         "mmul and zoom (memory stalls removed) and modestly for bitcnt.");
     return 0;
+}
+
+int main(int argc, char** argv) {
+    return guarded_main([&] { return bench_main(argc, argv); }, argv[0]);
 }

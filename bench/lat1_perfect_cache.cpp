@@ -13,7 +13,7 @@
 using namespace dta;
 using namespace dta::bench;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
     const std::uint32_t iters = arg_u32(argc, argv, "--iterations", 10000);
     const Shape shape = shape_from_args(argc, argv);
     banner("LAT1", "all memory latencies = 1 (perfect-cache extreme)");
@@ -62,4 +62,8 @@ int main(int argc, char** argv) {
         "ideal — 'this prefetching scheme can almost eliminate the need for\n"
         "caches' cuts both ways.");
     return 0;
+}
+
+int main(int argc, char** argv) {
+    return guarded_main([&] { return bench_main(argc, argv); }, argv[0]);
 }

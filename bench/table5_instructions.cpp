@@ -26,7 +26,7 @@ constexpr PaperRow kPaper[] = {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
     const std::uint32_t iters = arg_u32(argc, argv, "--iterations", 10000);
     const Shape shape = shape_from_args(argc, argv);
     banner("TAB5", "dynamic instruction counts, 8 SPEs");
@@ -67,4 +67,8 @@ int main(int argc, char** argv) {
         "a reconstruction (the ratio LOAD+STORE >> READ >> WRITE is what\n"
         "matters, and the ~60% decoupled-READ share matches the paper's 62%).");
     return 0;
+}
+
+int main(int argc, char** argv) {
+    return guarded_main([&] { return bench_main(argc, argv); }, argv[0]);
 }

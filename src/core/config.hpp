@@ -10,6 +10,7 @@
 #include "noc/interconnect.hpp"
 #include "noc/link.hpp"
 #include "sched/lse.hpp"
+#include "sim/audit.hpp"
 #include "sim/log.hpp"
 #include "sim/types.hpp"
 
@@ -85,6 +86,13 @@ struct MachineConfig {
     /// RunResult::events for offline critical-path analysis.  Off by
     /// default; when off each instrumented site costs one null check.
     bool collect_events = false;
+    /// Machine-wide invariant audits (sim/audit.hpp): cross-component
+    /// checks over SC conservation, the frame-slot lifecycle FSM, MFC
+    /// line/tag accounting, NoC packet conservation, and address-range
+    /// validity, swept at audit.effective_interval() and once more after
+    /// quiescence.  Off by default; a violation raises sim::SimError naming
+    /// the component, invariant, cycle, and thread uid.
+    sim::AuditConfig audit;
     /// Jump over cycles in which no component can change state (see
     /// sim::Component::next_activity).  Results are cycle-exact either way;
     /// this only trades host time.  The DTA_NO_FASTFORWARD environment

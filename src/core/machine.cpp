@@ -74,6 +74,17 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
     DTA_SIM_REQUIRE(prog_.codes.size() <= 0x10000,
                     "programs with more than 65536 thread codes are not "
                     "representable in the FALLOC wire format");
+    if (cfg_.collect_events) {
+        // Thread uids ride in the upper 48 bits of existing scheduler
+        // message words (see sched::pack_carried_uid), which requires the
+        // uid's PE half to fit 16 bits while tracing is on.  Checked here —
+        // before any PE (and its local store) is allocated — so an
+        // out-of-range config fails fast instead of first committing
+        // gigabytes of local-store memory.
+        DTA_SIM_REQUIRE(cfg_.total_pes() <= 0xffff,
+                        "event collection needs total PEs <= 65535 (thread "
+                        "uids pack the PE index into 16 wire bits)");
+    }
     fast_forward_ =
         cfg_.fast_forward && std::getenv("DTA_NO_FASTFORWARD") == nullptr;
 
@@ -195,12 +206,6 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
     }
 
     if (cfg_.collect_events) {
-        // Thread uids ride in the upper 48 bits of existing scheduler
-        // message words (see sched::pack_carried_uid), which requires the
-        // uid's PE half to fit 16 bits while tracing is on.
-        DTA_SIM_REQUIRE(cfg_.total_pes() <= 0xffff,
-                        "event collection needs total PEs <= 65535 (thread "
-                        "uids pack the PE index into 16 wire bits)");
         // Each emitter writes into its owning shard's private log (the
         // whole machine shares events_ in single-threaded mode);
         // run_sharded() concatenates and canonicalizes at the end.  Router
@@ -266,6 +271,25 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
             g_dma_cmds_ = metrics_.gauge("dma.commands_in_flight");
             g_dma_lines_ = metrics_.gauge("dma.lines_in_flight");
             g_mem_queue_ = metrics_.gauge("mem.queue_depth");
+        }
+    }
+
+    if (cfg_.audit.enabled) {
+        audit_interval_ = cfg_.audit.effective_interval();
+        // The machine-wide auditor carries every per-component check plus
+        // the final quiescence checks; the single-threaded loop sweeps it
+        // at audit_interval_, and both loops run it once more at the end.
+        register_audit_checks(auditor_, 0, cfg_.nodes);
+        register_final_checks();
+        if (shard_count_ > 1) {
+            // Mid-run each shard audits only its own components (a check
+            // must not read another shard's state from this thread); the
+            // machine-wide pass runs after the join.
+            shard_auditors_.resize(shard_count_);
+            for (std::uint32_t s = 0; s < shard_count_; ++s) {
+                register_audit_checks(shard_auditors_[s], first_node_of(s),
+                                      first_node_of(s + 1));
+            }
         }
     }
 
@@ -356,6 +380,12 @@ void Machine::build_shards() {
             };
             hooks.sample_interval = cfg_.metrics_sample_interval;
         }
+        if (cfg_.audit.enabled) {
+            hooks.audit = [this, s](sim::Cycle now) {
+                shard_auditors_[s].run(now);
+            };
+            hooks.audit_interval = audit_interval_;
+        }
         if (s == 0) {
             // Shard 0 is driven by the calling thread; its epoch-entry hook
             // carries the user-visible progress heartbeat (scoped to shard
@@ -368,6 +398,109 @@ void Machine::build_shards() {
             "shard" + std::to_string(s), std::move(comps),
             std::move(inbound[s]), std::move(hooks)));
     }
+}
+
+void Machine::register_audit_checks(sim::Auditor& a, std::uint16_t node_lo,
+                                    std::uint16_t node_hi) {
+    const std::uint32_t frames = cfg_.lse.frames;
+    const bool vf = cfg_.lse.virtual_frames;
+    for (std::uint16_t n = node_lo; n < node_hi; ++n) {
+        noc::Interconnect* fab = &fabrics_[n];
+        a.add(fab->name(),
+              [fab](const sim::AuditCtx& ctx) { fab->audit(ctx); });
+        // DSE frame books: the conservative message-based view can lag the
+        // LSEs but must never exceed the physical supply while the DSE is
+        // the only granter (with virtual frames it can run ahead, because
+        // grants at free == 0 skip the decrement).
+        const sched::Dse* dse = &dses_[n];
+        const std::uint16_t spes = cfg_.spes_per_node;
+        a.add(dse->name(),
+              [dse, spes, frames, vf](const sim::AuditCtx& ctx) {
+                  for (std::uint16_t l = 0; l < spes; ++l) {
+                      if (!vf && dse->free_frames(l) > frames) {
+                          ctx.fail("frame-accounting",
+                                   "PE " + std::to_string(l) + " shows " +
+                                       std::to_string(dse->free_frames(l)) +
+                                       " free frames, over the supply of " +
+                                       std::to_string(frames) +
+                                       " (double-free of a frame)");
+                      }
+                  }
+              });
+        for (std::uint16_t l = 0; l < cfg_.spes_per_node; ++l) {
+            const sim::GlobalPeId id = topo_.global_pe(n, l);
+            Pe* pe = pes_[id].get();
+            a.add("pe" + std::to_string(id) + "/lse",
+                  [pe](const sim::AuditCtx& ctx) { pe->lse().audit(ctx); });
+            a.add("pe" + std::to_string(id) + "/mfc",
+                  [pe](const sim::AuditCtx& ctx) { pe->mfc().audit(ctx); });
+        }
+    }
+}
+
+void Machine::register_final_checks() {
+    auditor_.add_final("machine", [this](const sim::AuditCtx& ctx) {
+        // Frame supply: at quiescence every frame is back with its DSE.
+        // With virtual frames the count may exceed the supply (grants taken
+        // at free == 0 skip the decrement) but never undershoot it.
+        for (std::uint16_t n = 0; n < cfg_.nodes; ++n) {
+            for (std::uint16_t l = 0; l < cfg_.spes_per_node; ++l) {
+                const std::uint32_t free_frames = dses_[n].free_frames(l);
+                const bool bad = cfg_.lse.virtual_frames
+                                     ? free_frames < cfg_.lse.frames
+                                     : free_frames != cfg_.lse.frames;
+                if (bad) {
+                    ctx.fail("frame-accounting",
+                             "dse" + std::to_string(n) + " ended with " +
+                                 std::to_string(free_frames) +
+                                 " free frames on local PE " +
+                                 std::to_string(l) + " (supply is " +
+                                 std::to_string(cfg_.lse.frames) +
+                                 "): a frame leaked or double-freed");
+                }
+            }
+        }
+        // SC conservation across the NoC: every remote store emitted by
+        // some LSE must have been received by another.
+        std::uint64_t sent = 0;
+        std::uint64_t received = 0;
+        for (const auto& pe : pes_) {
+            sent += pe->lse().stats().remote_stores_out;
+            received += pe->lse().stats().remote_stores_in;
+        }
+        if (sent != received) {
+            ctx.fail("sc-conservation",
+                     std::to_string(sent) + " remote stores were sent but " +
+                         std::to_string(received) + " arrived");
+        }
+        // Drained engines, fabrics and memory: quiescence said so; the
+        // auditor does not take quiescent()'s word for it.
+        for (std::size_t id = 0; id < pes_.size(); ++id) {
+            const auto& mfc = pes_[id]->mfc();
+            if (mfc.lines_in_flight() != 0 || mfc.commands_in_flight() != 0) {
+                ctx.fail("line-accounting",
+                         "pe" + std::to_string(id) + "'s MFC ended with " +
+                             std::to_string(mfc.commands_in_flight()) +
+                             " commands / " +
+                             std::to_string(mfc.lines_in_flight()) +
+                             " lines still in flight");
+            }
+        }
+        for (const auto& fab : fabrics_) {
+            if (fab.pending() != 0) {
+                ctx.fail("packet-conservation",
+                         fab.name() + " ended with " +
+                             std::to_string(fab.pending()) +
+                             " packets still in the fabric");
+            }
+        }
+        if (mem_.queue_depth() != 0) {
+            ctx.fail("packet-conservation",
+                     "main memory ended with " +
+                         std::to_string(mem_.queue_depth()) +
+                         " requests still queued");
+        }
+    });
 }
 
 void Machine::launch(std::span<const std::uint64_t> args) {
@@ -398,6 +531,9 @@ void Machine::tick_cycle(sim::Cycle now) {
     }
     if (metrics_.enabled() && now % cfg_.metrics_sample_interval == 0) {
         sample_gauges(now);
+    }
+    if (audit_interval_ != 0 && now % audit_interval_ == 0) {
+        auditor_.run(now);
     }
 }
 
@@ -538,6 +674,9 @@ RunResult Machine::run() {
         if (check_quiescent()) {
             logger_.log(sim::LogLevel::kInfo, now, "machine",
                         "quiescent; simulation complete");
+            if (cfg_.audit.enabled) {
+                auditor_.run_final(now);
+            }
             events_.canonicalize();
             return gather(now + 1);
         }
@@ -643,6 +782,11 @@ RunResult Machine::run_sharded() {
                 "quiescent; simulation complete");
     for (const auto& shard : shards_) {
         skipped_ += shard->cycles_skipped();
+    }
+    if (cfg_.audit.enabled) {
+        // The worker threads have joined: a machine-wide pass (including
+        // the cross-shard final checks) is safe now.
+        auditor_.run_final(cycles == 0 ? 0 : cycles - 1);
     }
 
     // Deterministic merge of the shard-local sinks.  Spans: the

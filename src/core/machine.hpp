@@ -29,6 +29,7 @@
 #include "noc/interconnect.hpp"
 #include "noc/link.hpp"
 #include "sched/dse.hpp"
+#include "sim/audit.hpp"
 #include "sim/channel.hpp"
 #include "sim/component.hpp"
 #include "sim/log.hpp"
@@ -128,6 +129,11 @@ public:
     /// Throws sim::SimError on deadlock or when max_cycles is exceeded.
     [[nodiscard]] RunResult run();
 
+    /// The machine-wide invariant auditor (live when cfg.audit.enabled).
+    /// Tests and the fuzzer may add extra checks before run() — e.g. an
+    /// always-failing one to validate the failure-reporting path.
+    [[nodiscard]] sim::Auditor& auditor() { return auditor_; }
+
     /// Component access for tests.
     [[nodiscard]] Pe& pe(sim::GlobalPeId id) { return *pes_[id]; }
     [[nodiscard]] std::uint32_t num_pes() const {
@@ -155,6 +161,15 @@ public:
 private:
     void tick_cycle(sim::Cycle now);
     void sample_gauges(sim::Cycle now);
+    /// Registers the per-component invariant checks for nodes
+    /// [node_lo, node_hi) into \p a (the machine-wide auditor, or one
+    /// shard's auditor in sharded mode).
+    void register_audit_checks(sim::Auditor& a, std::uint16_t node_lo,
+                               std::uint16_t node_hi);
+    /// Registers the machine-wide quiescence checks (run once after the
+    /// run completes): frame supply back at the DSEs, remote-store
+    /// conservation across the NoC, drained engines and fabrics.
+    void register_final_checks();
     [[nodiscard]] bool check_quiescent() const;
     /// Activity fingerprint for no-progress (deadlock) detection.
     [[nodiscard]] std::uint64_t fingerprint() const;
@@ -215,6 +230,14 @@ private:
     ProgressFn progress_;
     sim::Cycle progress_interval_ = 0;
     sim::Cycle next_progress_ = 0;
+
+    // invariant audits (live only when cfg_.audit.enabled)
+    sim::Auditor auditor_;  ///< machine-wide checks + final checks
+    /// Shard-local check sets (sharded mode): each shard audits only its
+    /// own components mid-run; the machine-wide auditor_ runs once more
+    /// after the join.
+    std::vector<sim::Auditor> shard_auditors_;
+    sim::Cycle audit_interval_ = 0;  ///< 0 = audits off
 
     // metrics (live only when cfg_.collect_metrics)
     sim::MetricsRegistry metrics_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/audit.hpp"
 #include "sim/check.hpp"
 
 namespace dta::dma {
@@ -96,7 +97,11 @@ void Mfc::finish_if_done(std::size_t active_idx, sim::Cycle now) {
     ++commands_completed_;
     if (tag_latency_ != nullptr) {
         tag_latency_->record(now - ac.enqueued_at);
+    }
+    if (commands_ctr_ != nullptr) {
         commands_ctr_->add();
+    }
+    if (bytes_ctr_ != nullptr) {
         bytes_ctr_->add(ac.cmd.bytes);
     }
     if (span_sink_ != nullptr) {
@@ -187,6 +192,7 @@ void Mfc::tick(sim::Cycle now) {
             --lines_in_flight_;
             ++ac.lines_finished;
             bytes_ += info.bytes;
+            finish_if_done(info.active_idx, now);
         } else {
             // PUT line payload read from LS: ready to ship to memory.
             MfcLineRequest line;
@@ -206,8 +212,10 @@ void Mfc::tick(sim::Cycle now) {
             line.bytes = i_bytes;
             line.data = std::move(resp.data);
             ready_lines_.push_back(std::move(line));
+            // A PUT line is not finished here: it completes only when
+            // memory acknowledges it (ack_put_line), which is where the
+            // command-completion check runs for PUTs.
         }
-        finish_if_done(info.active_idx, now);
     }
 
     // 2. Finish decoding the current command.
@@ -283,6 +291,108 @@ bool Mfc::pop_completion(MfcCompletion& out) {
     out = completions_.front();
     completions_.pop_front();
     return true;
+}
+
+void Mfc::audit(const sim::AuditCtx& ctx) const {
+    if (queue_.size() != queue_times_.size()) {
+        ctx.fail("queue-accounting",
+                 "command queue and enqueue-time queue diverged (" +
+                     std::to_string(queue_.size()) + " vs " +
+                     std::to_string(queue_times_.size()) + ")");
+    }
+    if (queue_.size() > cfg_.queue_depth) {
+        ctx.fail("queue-accounting",
+                 "command queue holds " + std::to_string(queue_.size()) +
+                     " commands, over the depth of " +
+                     std::to_string(cfg_.queue_depth));
+    }
+    if (lines_in_flight_ != line_table_.size()) {
+        ctx.fail("line-accounting",
+                 "lines_in_flight says " + std::to_string(lines_in_flight_) +
+                     " but the line table holds " +
+                     std::to_string(line_table_.size()) + " lines");
+    }
+    if (lines_in_flight_ > cfg_.max_outstanding_lines) {
+        ctx.fail("line-accounting",
+                 std::to_string(lines_in_flight_) +
+                     " lines in flight, over the limit of " +
+                     std::to_string(cfg_.max_outstanding_lines));
+    }
+    // Per-command line ledger: the in-flight lines of slot i are exactly
+    // lines_emitted - lines_finished, and the counters never run backwards
+    // or past the total.
+    std::vector<std::uint32_t> table_lines(active_.size(), 0);
+    for (const auto& [line_id, info] : line_table_) {
+        if (info.active_idx >= active_.size()) {
+            ctx.fail("line-accounting",
+                     "line " + std::to_string(line_id) +
+                         " references unknown command slot " +
+                         std::to_string(info.active_idx));
+        }
+        if (active_[info.active_idx].lines_total == 0) {
+            ctx.fail("tag-accounting",
+                     "line " + std::to_string(line_id) +
+                         " belongs to an already-completed command slot "
+                         "(tag reuse hazard)");
+        }
+        if (static_cast<std::uint64_t>(info.ls_addr) + info.bytes >
+            ls_.config().size_bytes) {
+            ctx.fail("ls-range", "in-flight line " + std::to_string(line_id) +
+                                     " targets LS bytes past the local store");
+        }
+        ++table_lines[info.active_idx];
+    }
+    for (std::size_t idx = 0; idx < active_.size(); ++idx) {
+        const ActiveCommand& ac = active_[idx];
+        if (ac.lines_total == 0) {
+            continue;  // free slot
+        }
+        if (ac.lines_emitted > ac.lines_total ||
+            ac.lines_finished > ac.lines_emitted) {
+            ctx.fail("line-accounting",
+                     "command slot " + std::to_string(idx) +
+                         " ledger out of order: emitted " +
+                         std::to_string(ac.lines_emitted) + ", finished " +
+                         std::to_string(ac.lines_finished) + ", total " +
+                         std::to_string(ac.lines_total));
+        }
+        if (table_lines[idx] != ac.lines_emitted - ac.lines_finished) {
+            ctx.fail("line-accounting",
+                     "command slot " + std::to_string(idx) + " has " +
+                         std::to_string(table_lines[idx]) +
+                         " lines in the table but its ledger says " +
+                         std::to_string(ac.lines_emitted - ac.lines_finished));
+        }
+    }
+    // Free-slot list: exactly the completed slots, each once.
+    std::size_t completed_slots = 0;
+    for (const ActiveCommand& ac : active_) {
+        completed_slots += ac.lines_total == 0 ? 1 : 0;
+    }
+    if (completed_slots != free_slots_.size()) {
+        ctx.fail("tag-accounting",
+                 "free-slot list holds " + std::to_string(free_slots_.size()) +
+                     " entries but " + std::to_string(completed_slots) +
+                     " command slots are free");
+    }
+    std::vector<bool> seen(active_.size(), false);
+    for (const std::size_t idx : free_slots_) {
+        if (idx >= active_.size()) {
+            ctx.fail("tag-accounting", "free-slot list holds out-of-range "
+                                       "slot " + std::to_string(idx));
+        }
+        if (active_[idx].lines_total != 0) {
+            ctx.fail("tag-accounting",
+                     "slot " + std::to_string(idx) +
+                         " sits in the free list while its command is "
+                         "still transferring");
+        }
+        if (seen[idx]) {
+            ctx.fail("tag-accounting", "slot " + std::to_string(idx) +
+                                           " appears twice in the free list");
+        }
+        seen[idx] = true;
+    }
 }
 
 bool Mfc::quiescent() const {

@@ -34,6 +34,10 @@
 #include "sim/metrics.hpp"
 #include "sim/types.hpp"
 
+namespace dta::sim {
+class AuditCtx;
+}
+
 namespace dta::dma {
 
 /// Configuration of one MFC (defaults = Table 4).
@@ -133,6 +137,12 @@ public:
 
     /// True when no command or line is pending anywhere in the engine.
     [[nodiscard]] bool quiescent() const override;
+
+    /// Invariant audit (sim/audit.hpp): line/tag accounting — the in-flight
+    /// counter, line table, free-slot list, and per-command line ledgers
+    /// must stay mutually consistent, and every in-flight line must target
+    /// a valid LS range.  Read-only; reports violations through \p ctx.
+    void audit(const sim::AuditCtx& ctx) const;
 
     [[nodiscard]] const MfcConfig& config() const { return cfg_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/audit.hpp"
 #include "sim/check.hpp"
 
 namespace dta::noc {
@@ -123,6 +124,37 @@ bool Interconnect::pop_delivered(EndpointId dst, Packet& out) {
     out = std::move(q.front());
     q.pop_front();
     return true;
+}
+
+void Interconnect::audit(const sim::AuditCtx& ctx) const {
+    std::size_t queued = 0;
+    for (const auto& q : inject_) {
+        queued += q.size();
+        if (q.size() > cfg_.inject_queue_depth) {
+            ctx.fail("packet-conservation",
+                     "an injection queue holds " + std::to_string(q.size()) +
+                         " packets, over the depth of " +
+                         std::to_string(cfg_.inject_queue_depth));
+        }
+    }
+    if (queued != inject_pending_) {
+        ctx.fail("packet-conservation",
+                 "inject_pending says " + std::to_string(inject_pending_) +
+                     " but the injection queues hold " +
+                     std::to_string(queued) + " packets");
+    }
+    // Conservation: a packet is counted delivered when it matures into a
+    // sink or inbox, so injected must equal delivered plus what is still on
+    // a bus or waiting for one.
+    if (stats_.packets_injected !=
+        stats_.packets_delivered + in_transit_.size() + inject_pending_) {
+        ctx.fail("packet-conservation",
+                 "injected " + std::to_string(stats_.packets_injected) +
+                     " != delivered " +
+                     std::to_string(stats_.packets_delivered) +
+                     " + on-bus " + std::to_string(in_transit_.size()) +
+                     " + queued " + std::to_string(inject_pending_));
+    }
 }
 
 bool Interconnect::quiescent() const {

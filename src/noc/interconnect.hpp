@@ -21,6 +21,10 @@
 #include "sim/port.hpp"
 #include "sim/types.hpp"
 
+namespace dta::sim {
+class AuditCtx;
+}
+
 namespace dta::noc {
 
 /// Configuration of one node's bus fabric (defaults = Table 4).
@@ -82,6 +86,12 @@ public:
     /// Packets anywhere in the fabric (queued, on a bus, or undelivered) —
     /// the congestion gauge the Machine's sampler records per fabric.
     [[nodiscard]] std::size_t pending() const;
+
+    /// Invariant audit (sim/audit.hpp): packet conservation — every packet
+    /// injected is either delivered, on a bus, or still queued, and the
+    /// aggregate injection counter matches the per-endpoint queues.
+    /// Read-only; reports violations through \p ctx.
+    void audit(const sim::AuditCtx& ctx) const;
 
     /// Resolves the noc.packet_latency histogram (injection → inbox
     /// delivery, aggregated over every fabric); no-op when \p reg is

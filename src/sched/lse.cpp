@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/audit.hpp"
 #include "sim/check.hpp"
 
 namespace dta::sched {
@@ -340,6 +341,7 @@ void Lse::store_remote(sim::FrameHandle h, std::uint32_t word_off,
     msg.b = value;
     msg.c = pack_carried_uid(word_off, producer);
     outbox_.push_back(msg);
+    ++stats_.remote_stores_out;
 }
 
 void Lse::ffree(std::uint32_t slot) {
@@ -565,6 +567,231 @@ bool Lse::quiescent() const {
     return live_frames_ == 0 && ready_.empty() && outbox_.empty() &&
            falloc_done_.empty() && waitdma_count_ == 0 && virtual_.empty() &&
            materialize_queue_.empty();
+}
+
+// ---- invariant audit --------------------------------------------------------
+
+void Lse::audit(const sim::AuditCtx& ctx) const {
+    // Frame-slot lifecycle FSM + SC conservation, one pass over the slots.
+    std::uint32_t live = 0;
+    std::uint32_t ready = 0;
+    std::uint32_t waitdma = 0;
+    std::uint32_t free_count = 0;
+    for (std::uint32_t slot = 0; slot < frames_.size(); ++slot) {
+        const Frame& f = frames_[slot];
+        if (f.state == FrameState::kFree) {
+            ++free_count;
+            continue;
+        }
+        ++live;
+        ready += f.state == FrameState::kReady ? 1 : 0;
+        waitdma += f.state == FrameState::kWaitDma ? 1 : 0;
+        if (f.state == FrameState::kWaitStores) {
+            if (f.sc == 0) {
+                ctx.fail("frame-fsm",
+                         "slot " + std::to_string(slot) +
+                             " waits for stores with SC already zero",
+                         f.uid);
+            }
+            if (f.stores_in_flight > f.sc) {
+                ctx.fail("sc-conservation",
+                         "slot " + std::to_string(slot) + " has " +
+                             std::to_string(f.stores_in_flight) +
+                             " stores in flight but the SC expects only " +
+                             std::to_string(f.sc),
+                         f.uid);
+            }
+        } else {
+            if (f.sc != 0) {
+                ctx.fail("sc-conservation",
+                         "slot " + std::to_string(slot) + " is past "
+                             "kWaitStores with a non-zero SC (" +
+                             std::to_string(f.sc) + ")",
+                         f.uid);
+            }
+            if (f.stores_in_flight != 0) {
+                ctx.fail("sc-conservation",
+                         "slot " + std::to_string(slot) + " is past "
+                             "kWaitStores with " +
+                             std::to_string(f.stores_in_flight) +
+                             " stores still in flight",
+                         f.uid);
+            }
+        }
+        if (f.state == FrameState::kWaitDma && f.dma_pending == 0) {
+            ctx.fail("frame-fsm",
+                     "slot " + std::to_string(slot) +
+                         " parked in Wait-for-DMA with no DMA outstanding",
+                     f.uid);
+        }
+    }
+    if (live != live_frames_) {
+        ctx.fail("frame-accounting",
+                 "live_frames counter says " + std::to_string(live_frames_) +
+                     " but " + std::to_string(live) + " slots are occupied");
+    }
+    if (waitdma != waitdma_count_) {
+        ctx.fail("frame-accounting",
+                 "waitdma counter says " + std::to_string(waitdma_count_) +
+                     " but " + std::to_string(waitdma) +
+                     " slots are in Wait-for-DMA");
+    }
+    if (stats_.frames_allocated - stats_.frames_freed != live_frames_) {
+        ctx.fail("frame-accounting",
+                 "allocation ledger (allocated " +
+                     std::to_string(stats_.frames_allocated) + " - freed " +
+                     std::to_string(stats_.frames_freed) +
+                     ") disagrees with live_frames " +
+                     std::to_string(live_frames_));
+    }
+    // Free-slot queue: exactly the kFree slots, each once (a duplicate or a
+    // non-free entry is a double-free / double-grant in the making).
+    if (free_count != free_slots_.size()) {
+        ctx.fail("frame-accounting",
+                 "free-slot queue holds " + std::to_string(free_slots_.size()) +
+                     " entries but " + std::to_string(free_count) +
+                     " slots are kFree");
+    }
+    std::vector<bool> in_free(frames_.size(), false);
+    for (const std::uint32_t slot : free_slots_) {
+        if (slot >= frames_.size()) {
+            ctx.fail("frame-accounting", "free-slot queue holds out-of-range "
+                                         "slot " + std::to_string(slot));
+        }
+        if (frames_[slot].state != FrameState::kFree) {
+            ctx.fail("use-after-free",
+                     "slot " + std::to_string(slot) +
+                         " sits in the free queue while occupied (double-"
+                         "grant hazard)",
+                     frames_[slot].uid);
+        }
+        if (in_free[slot]) {
+            ctx.fail("double-free", "slot " + std::to_string(slot) +
+                                        " appears twice in the free queue");
+        }
+        in_free[slot] = true;
+    }
+    // Ready queue: exactly the kReady slots, each once.
+    if (ready != ready_.size()) {
+        ctx.fail("frame-fsm",
+                 "ready queue holds " + std::to_string(ready_.size()) +
+                     " entries but " + std::to_string(ready) +
+                     " slots are kReady");
+    }
+    std::vector<bool> in_ready(frames_.size(), false);
+    for (const std::uint32_t slot : ready_) {
+        if (slot >= frames_.size()) {
+            ctx.fail("frame-fsm", "ready queue holds out-of-range slot " +
+                                      std::to_string(slot));
+        }
+        if (frames_[slot].state != FrameState::kReady) {
+            ctx.fail("frame-fsm",
+                     "ready queue holds slot " + std::to_string(slot) +
+                         " whose frame is not kReady",
+                     frames_[slot].uid);
+        }
+        if (in_ready[slot]) {
+            ctx.fail("frame-fsm", "slot " + std::to_string(slot) +
+                                      " appears twice in the ready queue");
+        }
+        in_ready[slot] = true;
+    }
+    // Virtual frames: ids past the physical range, completion flag in step
+    // with the SC, buffered stores within the frame, and the materialize
+    // queue holding exactly the complete ones (in some order) — the ordering
+    // itself is FIFO by completion, which membership + FIFO pops preserve.
+    if (!cfg_.virtual_frames && !virtual_.empty()) {
+        ctx.fail("virtual-frames",
+                 "virtual frames exist with virtual_frames disabled");
+    }
+    std::size_t complete = 0;
+    for (const auto& [vid, vf] : virtual_) {
+        if (!is_virtual(vid)) {
+            ctx.fail("virtual-frames",
+                     "virtual id " + std::to_string(vid) +
+                         " collides with the physical slot range",
+                     vf.uid);
+        }
+        if (vf.complete != (vf.sc == 0)) {
+            ctx.fail("virtual-frames",
+                     "virtual frame " + std::to_string(vid) +
+                         " complete flag out of step with its SC (" +
+                         std::to_string(vf.sc) + ")",
+                     vf.uid);
+        }
+        if (vf.stores.size() > cfg_.frame_words) {
+            ctx.fail("virtual-frames",
+                     "virtual frame " + std::to_string(vid) + " buffered " +
+                         std::to_string(vf.stores.size()) +
+                         " stores into a " + std::to_string(cfg_.frame_words) +
+                         "-word frame",
+                     vf.uid);
+        }
+        for (const BufferedStore& s : vf.stores) {
+            if (s.word_off >= cfg_.frame_words) {
+                ctx.fail("virtual-frames",
+                         "virtual frame " + std::to_string(vid) +
+                             " buffered a store past the frame (word " +
+                             std::to_string(s.word_off) + ")",
+                         vf.uid);
+            }
+        }
+        complete += vf.complete ? 1 : 0;
+    }
+    if (complete != materialize_queue_.size()) {
+        ctx.fail("virtual-frames",
+                 "materialize queue holds " +
+                     std::to_string(materialize_queue_.size()) +
+                     " entries but " + std::to_string(complete) +
+                     " virtual frames are complete");
+    }
+    for (const std::uint32_t vid : materialize_queue_) {
+        const auto it = virtual_.find(vid);
+        if (it == virtual_.end()) {
+            ctx.fail("virtual-frames",
+                     "materialize queue references unknown virtual frame " +
+                         std::to_string(vid));
+        }
+        if (!it->second.complete) {
+            ctx.fail("virtual-frames",
+                     "materialize queue holds incomplete virtual frame " +
+                         std::to_string(vid),
+                     it->second.uid);
+        }
+    }
+    // A complete virtual frame may never coexist with a free physical slot:
+    // release_slot / store_virtual materialise eagerly.
+    if (!materialize_queue_.empty() && !free_slots_.empty()) {
+        ctx.fail("virtual-frames",
+                 "complete virtual frames queued while physical slots are "
+                 "free (materialization stalled)");
+    }
+    // Events-only side FIFO mirrors the in-flight frame writes one-to-one.
+    if (events_ != nullptr) {
+        std::uint64_t in_flight = 0;
+        for (const Frame& f : frames_) {
+            in_flight += f.stores_in_flight;
+        }
+        if (write_producers_.size() != in_flight) {
+            ctx.fail("frame-accounting",
+                     "producer side-FIFO holds " +
+                         std::to_string(write_producers_.size()) +
+                         " entries but " + std::to_string(in_flight) +
+                         " frame writes are in flight");
+        }
+    }
+    // LS layout: the frame and staging areas must still fit the local store
+    // (they are constructor-checked; re-checked here against corruption).
+    const std::uint64_t frame_end =
+        static_cast<std::uint64_t>(cfg_.frame_area_base) +
+        static_cast<std::uint64_t>(cfg_.frames) * cfg_.frame_bytes();
+    const std::uint64_t staging_end =
+        static_cast<std::uint64_t>(cfg_.staging_base) +
+        static_cast<std::uint64_t>(cfg_.frames) * cfg_.staging_bytes_per_frame;
+    if (frame_end > ls_.config().size_bytes ||
+        staging_end > ls_.config().size_bytes) {
+        ctx.fail("ls-range", "frame or staging area exceeds the local store");
+    }
 }
 
 }  // namespace dta::sched

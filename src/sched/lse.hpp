@@ -27,6 +27,10 @@
 #include "sim/metrics.hpp"
 #include "sim/types.hpp"
 
+namespace dta::sim {
+class AuditCtx;
+}
+
 namespace dta::sched {
 
 /// Lifetime states of a frame / thread (Fig. 4).
@@ -118,6 +122,7 @@ struct LseStats {
     std::uint64_t frames_freed = 0;
     std::uint64_t local_stores = 0;
     std::uint64_t remote_stores_in = 0;
+    std::uint64_t remote_stores_out = 0;  ///< kRemoteStore messages emitted
     std::uint64_t dispatches = 0;
     std::uint64_t dma_suspends = 0;     ///< threads that entered Wait-for-DMA
     std::uint64_t dma_immediate = 0;    ///< DMAWAITs that found DMA already done
@@ -254,6 +259,12 @@ public:
     void attach_events(sim::EventLog* log) { events_ = log; }
     /// True when nothing is live, queued, in flight, or pending.
     [[nodiscard]] bool quiescent() const;
+
+    /// Invariant audit (sim/audit.hpp): frame-slot lifecycle FSM, SC /
+    /// store-in-flight conservation, free- and ready-queue consistency,
+    /// virtual-frame bookkeeping, and the allocation ledger.  Read-only;
+    /// reports violations through \p ctx.
+    void audit(const sim::AuditCtx& ctx) const;
 
 private:
     struct Frame {

@@ -1,0 +1,38 @@
+#include "sim/audit.hpp"
+
+#include <cstdio>
+
+#include "sim/check.hpp"
+
+namespace dta::sim {
+
+void AuditCtx::fail(const std::string& invariant, const std::string& detail,
+                    std::uint64_t thread_uid) const {
+    std::string msg = "audit violation [component=" + component_ +
+                      ", invariant=" + invariant +
+                      ", cycle=" + std::to_string(now_);
+    if (thread_uid != 0) {
+        char buf[2 + 16 + 1];
+        std::snprintf(buf, sizeof(buf), "%llx",
+                      static_cast<unsigned long long>(thread_uid));
+        msg += ", thread=0x";
+        msg += buf;
+    }
+    msg += "]: " + detail;
+    throw SimError(msg);
+}
+
+void Auditor::run(Cycle now) const {
+    for (const Check& c : checks_) {
+        c.fn(AuditCtx(c.component, now));
+    }
+}
+
+void Auditor::run_final(Cycle now) const {
+    run(now);
+    for (const Check& c : final_) {
+        c.fn(AuditCtx(c.component, now));
+    }
+}
+
+}  // namespace dta::sim

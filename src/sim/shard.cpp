@@ -47,6 +47,10 @@ void Shard::run_until(Cycle bound) {
             now % hooks_.sample_interval == 0) {
             hooks_.sample(now);
         }
+        if (hooks_.audit && hooks_.audit_interval > 0 &&
+            now % hooks_.audit_interval == 0) {
+            hooks_.audit(now);
+        }
         ++ticked_;
         acct_next_ = now + 1;
         // Quiescent with empty inbound channels (channel emptiness is part

@@ -42,6 +42,13 @@ public:
         /// shard accounts (null when metrics are off).
         std::function<void(Cycle)> sample;
         Cycle sample_interval = 0;  ///< 0 disables sampling
+        /// Shard-local invariant audit (sim/audit.hpp); invoked at every
+        /// multiple of audit_interval the shard ticks.  Not replayed over
+        /// fast-forwarded spans: no component state changes on a skipped
+        /// cycle, so an audit that passed when the span began would pass at
+        /// every cycle inside it.
+        std::function<void(Cycle)> audit;
+        Cycle audit_interval = 0;  ///< 0 disables auditing
         /// Progress reporter; invoked once per run_until call (i.e. about
         /// once per epoch) with the shard's clock.  The callee does its own
         /// interval thresholding and must touch only shard-local state.

@@ -130,6 +130,27 @@ TEST(ShardDeterminism, Zoom) {
                             workloads::Zoom::machine_config(8));
 }
 
+/// Invariant audits are pure observers: with audits sweeping every cycle
+/// the run must stay byte-identical to the unaudited reference, for every
+/// host-thread count.
+TEST(ShardDeterminism, AuditsOnChangesNothing) {
+    workloads::Fir::Params p;
+    p.samples = 256;
+    p.taps = 4;
+    p.threads = 16;
+    const workloads::Fir w(p);
+    MachineConfig cfg = workloads::Fir::machine_config(8);
+    cfg.nodes = 4;
+    cfg.spes_per_node = 2;
+    const Captured plain = run_with(w, cfg, true, 1);
+    cfg.audit.enabled = true;
+    cfg.audit.interval = 1;
+    expect_identical(plain, run_with(w, cfg, true, 1), 1);
+    for (const std::uint32_t threads : {2u, 4u}) {
+        expect_identical(plain, run_with(w, cfg, true, threads), threads);
+    }
+}
+
 /// threads=0 resolves to hardware_concurrency capped at the node count and
 /// must land on the same results as everything else.
 TEST(ShardDeterminism, AutoThreadCount) {

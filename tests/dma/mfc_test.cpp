@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/check.hpp"
+#include "sim/metrics.hpp"
 
 namespace dta::dma {
 namespace {
@@ -213,6 +214,53 @@ TEST(Mfc, MultipleCommandsCompleteWithTheirOwnTags) {
     EXPECT_EQ(h.completions[1].tag, 2u);
     EXPECT_EQ(h.completions[1].owner, 20u);
     EXPECT_EQ(h.mfc.commands_completed(), 2u);
+}
+
+TEST(Mfc, MultiLinePutCompletesOnceAfterAllAcks) {
+    // A PUT command finishes only when memory acknowledges its last line
+    // (not when the LS read drains), and exactly once.
+    Harness h;
+    MfcCommand cmd;
+    cmd.op = MfcOp::kPut;
+    cmd.tag = 5;
+    cmd.mem_addr = 0x5000;
+    cmd.ls_addr = 0x100;
+    cmd.bytes = 300;  // 128 + 128 + 44
+    ASSERT_TRUE(h.mfc.try_enqueue(cmd));
+    h.run(400);
+    ASSERT_EQ(h.lines_seen.size(), 3u);
+    ASSERT_EQ(h.completions.size(), 1u);
+    EXPECT_EQ(h.completions[0].tag, 5u);
+    EXPECT_EQ(h.mfc.commands_completed(), 1u);
+    EXPECT_EQ(h.mfc.bytes_transferred(), 300u);
+    EXPECT_TRUE(h.mfc.quiescent());
+}
+
+TEST(Mfc, MetricsCountersMatchPublicStats) {
+    // Regression: the dma.commands / dma.bytes counters must track the
+    // public statistics one-for-one over a GET + PUT mix (they were once
+    // gated on the latency histogram being attached).
+    Harness h;
+    sim::MetricsRegistry reg;
+    reg.enable();
+    h.mfc.attach_metrics(reg);
+
+    ASSERT_TRUE(h.mfc.try_enqueue(get_cmd(300)));
+    MfcCommand put;
+    put.op = MfcOp::kPut;
+    put.tag = 7;
+    put.mem_addr = 0x6000;
+    put.ls_addr = 0x200;
+    put.bytes = 200;
+    ASSERT_TRUE(h.mfc.try_enqueue(put));
+    ASSERT_TRUE(h.mfc.try_enqueue(get_cmd(64, 0x2000, 0x400)));
+    h.run(600);
+
+    EXPECT_EQ(h.mfc.commands_completed(), 3u);
+    EXPECT_EQ(reg.counter("dma.commands")->value, h.mfc.commands_completed());
+    EXPECT_EQ(reg.counter("dma.bytes")->value, h.mfc.bytes_transferred());
+    EXPECT_EQ(reg.histogram("dma.tag_latency")->count(),
+              h.mfc.commands_completed());
 }
 
 }  // namespace

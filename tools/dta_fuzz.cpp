@@ -1,0 +1,490 @@
+/// \file dta_fuzz.cpp
+/// \brief Differential fuzz harness: random machine configurations crossed
+///        with random-dataflow programs (workloads/dataflow_gen.hpp), run
+///        with invariant audits on and checked word-for-word against the
+///        functional Interpreter oracle and the generator's host-side
+///        replica.
+///
+/// Usage:
+///   dta_fuzz [options]
+///     --seeds N         program seeds per config shape (default 25)
+///     --start-seed S    first seed (default 1)
+///     --shapes LIST     comma-separated shape ids, or "all" (default all)
+///     --list-shapes     print the shape table and exit
+///     --seed S          run one seed only (replay mode; use with --config)
+///     --config STR      explicit "key=value,..." machine config (replay
+///                       mode; keys as printed by a failure's replay line)
+///     --inject-failure  register an always-failing audit check (validates
+///                       the failure-reporting and replay path end to end)
+///     --no-shrink       report the first failure without minimising it
+///     -v                print one line per run instead of one per shape
+///
+/// On failure the harness shrinks the reproducer (smaller program, then
+/// simpler machine) while the failure persists and prints a single replay
+/// line of the form
+///   replay: dta_fuzz --seed S --config "nodes=1,spes=2,..."
+/// Exit status: 0 when every run passed, 1 on any failure, 2 on bad usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/interpreter.hpp"
+#include "core/machine.hpp"
+#include "sim/check.hpp"
+#include "workloads/dataflow_gen.hpp"
+
+using namespace dta;
+
+namespace {
+
+/// One point of the machine-configuration space the fuzzer sweeps.
+struct FuzzConfig {
+    std::uint16_t nodes = 1;
+    std::uint16_t spes = 2;
+    std::uint32_t frames = 16;
+    std::uint32_t staging = 2048;
+    bool vfp = false;
+    bool prefetch = false;
+    std::uint32_t mem_latency = 150;
+    std::uint32_t inject_depth = 16;
+    std::uint32_t mfc_queue = 16;
+    std::uint32_t link_latency = 40;
+    std::uint32_t host_threads = 1;
+    // program-shape knobs (fed to DataflowGenParams)
+    std::uint32_t max_threads = 48;
+    std::uint32_t max_fanout = 4;
+    std::uint32_t join_percent = 40;
+};
+
+std::string encode(const FuzzConfig& c) {
+    auto b = [](const bool v) { return v ? "1" : "0"; };
+    return "nodes=" + std::to_string(c.nodes) +
+           ",spes=" + std::to_string(c.spes) +
+           ",frames=" + std::to_string(c.frames) +
+           ",staging=" + std::to_string(c.staging) + ",vfp=" + b(c.vfp) +
+           ",prefetch=" + b(c.prefetch) + ",mem=" +
+           std::to_string(c.mem_latency) +
+           ",inject=" + std::to_string(c.inject_depth) +
+           ",mfcq=" + std::to_string(c.mfc_queue) +
+           ",link=" + std::to_string(c.link_latency) +
+           ",threads=" + std::to_string(c.host_threads) +
+           ",maxthreads=" + std::to_string(c.max_threads) +
+           ",fanout=" + std::to_string(c.max_fanout) +
+           ",joinpct=" + std::to_string(c.join_percent);
+}
+
+bool decode(const std::string& s, FuzzConfig& c) {
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        const std::size_t eq = s.find('=', pos);
+        if (eq == std::string::npos) {
+            return false;
+        }
+        std::size_t end = s.find(',', eq);
+        if (end == std::string::npos) {
+            end = s.size();
+        }
+        const std::string key = s.substr(pos, eq - pos);
+        const auto val =
+            static_cast<std::uint32_t>(std::strtoul(s.c_str() + eq + 1,
+                                                    nullptr, 0));
+        if (key == "nodes") {
+            c.nodes = static_cast<std::uint16_t>(val);
+        } else if (key == "spes") {
+            c.spes = static_cast<std::uint16_t>(val);
+        } else if (key == "frames") {
+            c.frames = val;
+        } else if (key == "staging") {
+            c.staging = val;
+        } else if (key == "vfp") {
+            c.vfp = val != 0;
+        } else if (key == "prefetch") {
+            c.prefetch = val != 0;
+        } else if (key == "mem") {
+            c.mem_latency = val;
+        } else if (key == "inject") {
+            c.inject_depth = val;
+        } else if (key == "mfcq") {
+            c.mfc_queue = val;
+        } else if (key == "link") {
+            c.link_latency = val;
+        } else if (key == "threads") {
+            c.host_threads = val;
+        } else if (key == "maxthreads") {
+            c.max_threads = val;
+        } else if (key == "fanout") {
+            c.max_fanout = val;
+        } else if (key == "joinpct") {
+            c.join_percent = val;
+        } else {
+            return false;
+        }
+        pos = end + (end < s.size() ? 1 : 0);
+    }
+    return true;
+}
+
+/// The predefined configuration shapes the default sweep covers: small and
+/// large node counts, scarce and plentiful frames, virtual frames, the
+/// prefetch pass, shallow queues, and the sharded run loop.
+std::vector<FuzzConfig> shape_table() {
+    std::vector<FuzzConfig> shapes(10);
+    // 0: the baseline tiny machine.
+    // 1: wider node, scarce frames, virtual frame pointers.
+    shapes[1].spes = 4;
+    shapes[1].frames = 8;
+    shapes[1].vfp = true;
+    // 2: two nodes driven by two host threads.
+    shapes[2].nodes = 2;
+    shapes[2].host_threads = 2;
+    // 3: three nodes, three host threads, virtual frames.
+    shapes[3].nodes = 3;
+    shapes[3].frames = 12;
+    shapes[3].host_threads = 3;
+    shapes[3].vfp = true;
+    // 4: frame starvation + virtual frames + the prefetch pass.
+    shapes[4].frames = 6;
+    shapes[4].vfp = true;
+    shapes[4].prefetch = true;
+    // 5: two wide nodes with prefetch and a fast memory.
+    shapes[5].nodes = 2;
+    shapes[5].spes = 4;
+    shapes[5].prefetch = true;
+    shapes[5].mem_latency = 40;
+    // 6: deep machine with shallow queues and slow memory (back pressure).
+    shapes[6].spes = 8;
+    shapes[6].inject_depth = 2;
+    shapes[6].mfc_queue = 2;
+    shapes[6].mem_latency = 300;
+    // 7: slow inter-node link, sharded.
+    shapes[7].nodes = 2;
+    shapes[7].frames = 8;
+    shapes[7].link_latency = 100;
+    shapes[7].host_threads = 2;
+    shapes[7].max_threads = 32;
+    // 8: near-perfect memory with prefetch (races squeezed together).
+    shapes[8].frames = 32;
+    shapes[8].mem_latency = 1;
+    shapes[8].prefetch = true;
+    // 9: many single-SPE nodes, fully sharded, virtual frames.
+    shapes[9].nodes = 4;
+    shapes[9].spes = 1;
+    shapes[9].host_threads = 4;
+    shapes[9].vfp = true;
+    shapes[9].max_fanout = 3;
+    return shapes;
+}
+
+/// Thread budget for one generated program: without virtual frame pointers
+/// a parked FALLOC deadlocks, so cap the program at one node's frame
+/// capacity (spes * frames) — then no FALLOC ever parks (see
+/// workloads/dataflow_gen.hpp).
+std::uint32_t thread_cap(const FuzzConfig& c) {
+    if (c.vfp) {
+        return c.max_threads;
+    }
+    const auto cap = static_cast<std::uint32_t>(c.spes) * c.frames;
+    return std::min(c.max_threads, cap);
+}
+
+core::MachineConfig machine_config(const FuzzConfig& c) {
+    auto cfg = core::MachineConfig::cell_dta(c.spes);
+    cfg.nodes = c.nodes;
+    cfg.memory.latency = c.mem_latency;
+    cfg.lse = sched::LseConfig::with(c.frames, c.staging);
+    cfg.lse.virtual_frames = c.vfp;
+    cfg.noc.inject_queue_depth = c.inject_depth;
+    cfg.mfc.queue_depth = c.mfc_queue;
+    cfg.link.latency = c.link_latency;
+    cfg.host_threads = c.host_threads;
+    cfg.audit.enabled = true;
+    cfg.max_cycles = 50'000'000;
+    cfg.no_progress_limit = 500'000;
+    return cfg;
+}
+
+workloads::DataflowGenParams gen_params(const FuzzConfig& c,
+                                        std::uint64_t seed) {
+    workloads::DataflowGenParams gp;
+    gp.seed = seed;
+    gp.max_threads = thread_cap(c);
+    gp.max_fanout = c.max_fanout;
+    gp.join_percent = c.join_percent;
+    gp.table_reads = c.prefetch;
+    return gp;
+}
+
+/// Runs one (config, seed) point: generator -> Interpreter oracle ->
+/// audited Machine -> word-for-word memory comparison.  Returns true when
+/// everything agreed; otherwise fills \p why.
+bool run_one(const FuzzConfig& c, std::uint64_t seed, bool inject_failure,
+             std::string& why) {
+    try {
+        const workloads::DataflowGen gen(gen_params(c, seed));
+        const std::vector<std::uint64_t> args = gen.entry_args();
+
+        // The functional oracle always runs the plain program; prefetch is
+        // a timing transformation and must not change results.
+        core::Interpreter interp(gen.program());
+        gen.init_memory(interp.memory());
+        interp.launch(args);
+        (void)interp.run();
+        if (std::string w; !gen.check(interp.memory(), &w)) {
+            why = "interpreter diverged from host replica: " + w;
+            return false;
+        }
+
+        const isa::Program prog =
+            c.prefetch ? gen.prefetch_program(c.staging) : gen.program();
+        core::Machine machine(machine_config(c), prog);
+        if (inject_failure) {
+            machine.auditor().add("fuzz", [](const sim::AuditCtx& ctx) {
+                ctx.fail("injected",
+                         "deliberate failure to validate the report path");
+            });
+        }
+        gen.init_memory(machine.memory());
+        machine.launch(args);
+        (void)machine.run();
+
+        if (std::string w; !gen.check(machine.memory(), &w)) {
+            why = "machine diverged from host replica: " + w;
+            return false;
+        }
+        for (std::uint32_t id = 0; id < gen.thread_count(); ++id) {
+            const auto addr = gen.params().out_base + 4ull * id;
+            const std::uint32_t m = machine.memory().read_u32(addr);
+            const std::uint32_t i = interp.memory().read_u32(addr);
+            if (m != i) {
+                why = "machine/interpreter mismatch at thread " +
+                      std::to_string(id) + ": machine " + std::to_string(m) +
+                      ", interpreter " + std::to_string(i);
+                return false;
+            }
+        }
+        return true;
+    } catch (const sim::SimError& e) {
+        why = e.what();
+        return false;
+    } catch (const sim::CheckError& e) {
+        why = std::string("internal check failed: ") + e.what();
+        return false;
+    }
+}
+
+/// Greedy minimisation: shrink the program, then simplify the machine one
+/// axis at a time, keeping each step only while the failure reproduces.
+FuzzConfig shrink(FuzzConfig c, std::uint64_t seed, std::string& why) {
+    std::string w;
+    // 1. Program size: halve the thread budget while it still fails.
+    while (c.max_threads > 2) {
+        FuzzConfig t = c;
+        t.max_threads = c.max_threads / 2;
+        if (!run_one(t, seed, false, w)) {
+            c = t;
+            why = w;
+        } else {
+            break;
+        }
+    }
+    // 2. Machine axes, most-simplifying first.
+    const auto try_keep = [&](FuzzConfig t) {
+        if (!run_one(t, seed, false, w)) {
+            c = t;
+            why = w;
+        }
+    };
+    {
+        FuzzConfig t = c;
+        t.host_threads = 1;
+        try_keep(t);
+    }
+    {
+        FuzzConfig t = c;
+        t.nodes = 1;
+        try_keep(t);
+    }
+    {
+        FuzzConfig t = c;
+        t.prefetch = false;
+        try_keep(t);
+    }
+    {
+        FuzzConfig t = c;
+        t.vfp = false;
+        try_keep(t);
+    }
+    {
+        FuzzConfig t = c;
+        t.inject_depth = 16;
+        t.mfc_queue = 16;
+        t.link_latency = 40;
+        try_keep(t);
+    }
+    {
+        FuzzConfig t = c;
+        t.mem_latency = 10;
+        try_keep(t);
+    }
+    return c;
+}
+
+void report_failure(const FuzzConfig& c, std::uint64_t seed,
+                    const std::string& why, bool injected) {
+    std::fprintf(stderr, "failure (seed %llu): %s\n",
+                 static_cast<unsigned long long>(seed), why.c_str());
+    std::fprintf(stderr, "replay: dta_fuzz --seed %llu --config \"%s\"%s\n",
+                 static_cast<unsigned long long>(seed), encode(c).c_str(),
+                 injected ? " --inject-failure" : "");
+}
+
+[[noreturn]] void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--seeds N] [--start-seed S] [--shapes a,b|all]\n"
+                 "       [--seed S] [--config \"k=v,...\"] [--inject-failure]\n"
+                 "       [--no-shrink] [--list-shapes] [-v]\n",
+                 argv0);
+    std::exit(2);
+}
+
+struct Options {
+    std::uint32_t seeds = 25;
+    std::uint64_t start_seed = 1;
+    std::vector<std::uint32_t> shapes;  ///< empty = all
+    std::optional<std::uint64_t> one_seed;
+    std::optional<FuzzConfig> config;
+    bool inject_failure = false;
+    bool no_shrink = false;
+    bool list_shapes = false;
+    bool verbose = false;
+};
+
+Options parse_options(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        if (a == "--seeds") {
+            opt.seeds = static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (a == "--start-seed") {
+            opt.start_seed = std::strtoull(next(), nullptr, 0);
+        } else if (a == "--shapes") {
+            const std::string list = next();
+            if (list != "all") {
+                std::size_t pos = 0;
+                while (pos < list.size()) {
+                    opt.shapes.push_back(static_cast<std::uint32_t>(
+                        std::strtoul(list.c_str() + pos, nullptr, 10)));
+                    const std::size_t comma = list.find(',', pos);
+                    if (comma == std::string::npos) {
+                        break;
+                    }
+                    pos = comma + 1;
+                }
+            }
+        } else if (a == "--seed") {
+            opt.one_seed = std::strtoull(next(), nullptr, 0);
+        } else if (a == "--config") {
+            FuzzConfig c;
+            if (!decode(next(), c)) {
+                std::fprintf(stderr, "bad --config string\n");
+                usage(argv[0]);
+            }
+            opt.config = c;
+        } else if (a == "--inject-failure") {
+            opt.inject_failure = true;
+        } else if (a == "--no-shrink") {
+            opt.no_shrink = true;
+        } else if (a == "--list-shapes") {
+            opt.list_shapes = true;
+        } else if (a == "-v") {
+            opt.verbose = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage(argv[0]);
+        }
+    }
+    return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_options(argc, argv);
+    const std::vector<FuzzConfig> shapes = shape_table();
+
+    if (opt.list_shapes) {
+        for (std::size_t i = 0; i < shapes.size(); ++i) {
+            std::printf("shape %zu: %s\n", i, encode(shapes[i]).c_str());
+        }
+        return 0;
+    }
+
+    // Replay mode: one seed against one explicit (or default) config.
+    if (opt.one_seed.has_value() || opt.config.has_value()) {
+        if (!opt.one_seed.has_value()) {
+            std::fprintf(stderr, "--config needs --seed\n");
+            usage(argv[0]);
+        }
+        const FuzzConfig c = opt.config.value_or(shapes[0]);
+        std::string why;
+        if (run_one(c, *opt.one_seed, opt.inject_failure, why)) {
+            std::printf("seed %llu ok on \"%s\"\n",
+                        static_cast<unsigned long long>(*opt.one_seed),
+                        encode(c).c_str());
+            return 0;
+        }
+        report_failure(c, *opt.one_seed, why, opt.inject_failure);
+        return 1;
+    }
+
+    std::vector<std::uint32_t> shape_ids = opt.shapes;
+    if (shape_ids.empty()) {
+        for (std::uint32_t i = 0; i < shapes.size(); ++i) {
+            shape_ids.push_back(i);
+        }
+    }
+    for (const std::uint32_t id : shape_ids) {
+        if (id >= shapes.size()) {
+            std::fprintf(stderr, "no shape %u (have %zu)\n", id,
+                         shapes.size());
+            return 2;
+        }
+    }
+
+    std::uint64_t runs = 0;
+    for (const std::uint32_t id : shape_ids) {
+        const FuzzConfig& c = shapes[id];
+        for (std::uint32_t k = 0; k < opt.seeds; ++k) {
+            const std::uint64_t seed = opt.start_seed + k;
+            std::string why;
+            if (!run_one(c, seed, opt.inject_failure, why)) {
+                FuzzConfig repro = c;
+                if (!opt.no_shrink && !opt.inject_failure) {
+                    repro = shrink(repro, seed, why);
+                }
+                report_failure(repro, seed, why, opt.inject_failure);
+                return 1;
+            }
+            ++runs;
+            if (opt.verbose) {
+                std::printf("shape %u seed %llu ok\n", id,
+                            static_cast<unsigned long long>(seed));
+            }
+        }
+        std::printf("shape %u (%s): %u seeds ok\n", id, encode(c).c_str(),
+                    opt.seeds);
+    }
+    std::printf("fuzz: %llu runs over %zu shapes, 0 failures\n",
+                static_cast<unsigned long long>(runs), shape_ids.size());
+    return 0;
+}

@@ -17,6 +17,9 @@
 ///     --vfp             enable virtual frame pointers
 ///     --perfect-cache   Section 4.3 variant: 1-cycle memory system
 ///     --no-fastforward  tick every cycle (results are identical; slower)
+///     --audit[=N]       machine-wide invariant audits every N cycles
+///                       (default cadence: every cycle in debug builds,
+///                       every 64th in release; see docs/CORRECTNESS.md)
 ///     --arg V           append a 64-bit entry argument (repeatable)
 ///     --interp          run the functional interpreter instead
 ///     --profile         print the per-thread-code profile
@@ -70,6 +73,8 @@ struct Options {
     bool vfp = false;
     bool perfect_cache = false;
     bool no_fastforward = false;
+    bool audit = false;
+    sim::Cycle audit_interval = 0;  ///< 0 = auto cadence
     bool interp = false;
     bool profile = false;
     bool breakdown = false;
@@ -88,7 +93,7 @@ struct Options {
                  "usage: %s <program.dta> [--spes N] [--nodes N] "
                  "[--threads N] [--mem-latency N]\n"
                  "       [--frames N] [--staging N] [--vfp] "
-                 "[--perfect-cache] [--no-fastforward]\n"
+                 "[--perfect-cache] [--no-fastforward] [--audit[=N]]\n"
                  "       [--arg V]... [--interp]\n"
                  "       [--profile] [--breakdown] [--trace FILE] "
                  "[--metrics FILE]\n"
@@ -132,6 +137,16 @@ Options parse_options(int argc, char** argv) {
             opt.perfect_cache = true;
         } else if (a == "--no-fastforward") {
             opt.no_fastforward = true;
+        } else if (a == "--audit") {
+            opt.audit = true;
+        } else if (a.rfind("--audit=", 0) == 0) {
+            opt.audit = true;
+            opt.audit_interval =
+                std::strtoull(a.c_str() + std::strlen("--audit="), nullptr,
+                              0);
+            if (opt.audit_interval == 0) {
+                usage(argv[0]);
+            }
         } else if (a == "--interp") {
             opt.interp = true;
         } else if (a == "--profile") {
@@ -244,6 +259,8 @@ int main(int argc, char** argv) {
         cfg.collect_events = !opt.events_path.empty();
         cfg.fast_forward = !opt.no_fastforward;
         cfg.host_threads = opt.threads;
+        cfg.audit.enabled = opt.audit;
+        cfg.audit.interval = opt.audit_interval;
 
         core::Machine machine(cfg, prog);
         if (opt.progress_interval > 0) {
@@ -368,7 +385,15 @@ int main(int argc, char** argv) {
         dump_words(machine.memory(), opt.dumps);
         return 0;
     } catch (const sim::SimError& e) {
+        // Invalid programs, impossible machine shapes, deadlocks and audit
+        // violations all land here: one clean line, no abort.
         std::fprintf(stderr, "error: %s\n", e.what());
+        std::fprintf(stderr,
+                     "hint: run '%s' without arguments for usage\n", argv[0]);
+        return 1;
+    } catch (const sim::CheckError& e) {
+        std::fprintf(stderr, "internal error (please report): %s\n",
+                     e.what());
         return 1;
     }
 }
