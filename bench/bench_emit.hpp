@@ -1,0 +1,71 @@
+/// \file bench_emit.hpp
+/// \brief The one DTA_BENCH_JSON emit path.  Every bench binary — the 13
+///        figure/ablation mains (via bench_util.hpp's run helpers) and the
+///        google-benchmark microbench (via its custom reporter) — appends
+///        its records here, so the NDJSON file CI archives has a single
+///        producer and a single shape: one JSON object per line, each with
+///        a "benchmark" key naming the run.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "core/machine.hpp"
+#include "stats/json_report.hpp"
+
+namespace dta::bench {
+
+/// The DTA_BENCH_JSON sink path, or null when emission is off.
+inline const char* bench_json_path() {
+    const char* path = std::getenv("DTA_BENCH_JSON");
+    return (path != nullptr && *path != '\0') ? path : nullptr;
+}
+
+/// Appends one pre-rendered single-line JSON object to the sink.  The line
+/// must not contain newlines (callers flatten first).  No-op when the
+/// DTA_BENCH_JSON variable is unset.
+inline void emit_bench_line(const std::string& line) {
+    const char* path = bench_json_path();
+    if (path == nullptr) {
+        return;
+    }
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+        std::fprintf(stderr, "WARNING: cannot open DTA_BENCH_JSON file %s\n",
+                     path);
+        return;
+    }
+    out << line << '\n';
+}
+
+/// Renders \p res as a one-line run report labelled \p benchmark, splicing
+/// \p extra_fields (pre-rendered `"key":value` pairs, comma-separated)
+/// before the closing brace, and appends it to the sink.
+inline void emit_run_report(const core::RunResult& res,
+                            const std::string& benchmark,
+                            const std::string& extra_fields = "") {
+    if (bench_json_path() == nullptr) {
+        return;
+    }
+    // One logical line per run: strip the pretty-printer's newlines so the
+    // file stays `while read line | parse` friendly.
+    const std::string doc = stats::run_report_json(res, benchmark);
+    std::string line;
+    line.reserve(doc.size());
+    for (const char c : doc) {
+        if (c != '\n') {
+            line += c;
+        }
+    }
+    if (!extra_fields.empty()) {
+        const std::size_t brace = line.rfind('}');
+        if (brace != std::string::npos) {
+            line.insert(brace, "," + extra_fields);
+        }
+    }
+    emit_bench_line(line);
+}
+
+}  // namespace dta::bench

@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 
+#include "bench_emit.hpp"
 #include "sim/check.hpp"
 #include "sim/events.hpp"
 #include "stats/json_report.hpp"
@@ -87,39 +88,13 @@ inline core::MachineConfig shaped(core::MachineConfig cfg, const Shape& s) {
 /// When the DTA_BENCH_JSON environment variable names a file, appends one
 /// JSON run report per call (newline-delimited JSON, one document per run)
 /// so CI can archive bench results without parsing stdout.  No-op when the
-/// variable is unset.  Both run helpers below call this automatically.
+/// variable is unset.  Both run helpers below call this automatically; the
+/// rendering and file handling live in bench_emit.hpp, the emit path this
+/// harness shares with the microbench reporter.
 inline void maybe_emit_json(const core::RunResult& res,
                             const std::string& label,
                             const std::string& extra_fields = "") {
-    const char* path = std::getenv("DTA_BENCH_JSON");
-    if (path == nullptr || *path == '\0') {
-        return;
-    }
-    std::ofstream out(path, std::ios::app);
-    if (!out) {
-        std::fprintf(stderr, "WARNING: cannot open DTA_BENCH_JSON file %s\n",
-                     path);
-        return;
-    }
-    // One logical line per run: strip the pretty-printer's newlines so the
-    // file stays `while read line | parse` friendly.
-    std::string doc = stats::run_report_json(res, label);
-    std::string line;
-    line.reserve(doc.size());
-    for (const char c : doc) {
-        if (c != '\n') {
-            line += c;
-        }
-    }
-    // Splice host-side fields (e.g. "host_threads":4) into the document,
-    // right before the closing brace.
-    if (!extra_fields.empty()) {
-        const std::size_t brace = line.rfind('}');
-        if (brace != std::string::npos) {
-            line.insert(brace, "," + extra_fields);
-        }
-    }
-    out << line << '\n';
+    emit_run_report(res, label, extra_fields);
 }
 
 /// When the DTA_BENCH_EVENTS environment variable is set, every bench run

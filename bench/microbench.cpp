@@ -3,9 +3,18 @@
 ///        component tick rates and whole-machine simulation speed.  These
 ///        guard against performance regressions of the simulator (host
 ///        cycles per simulated cycle), not of the simulated architecture.
+///
+/// Like the figure benches, this binary honours DTA_BENCH_JSON: a custom
+/// reporter appends one NDJSON object per benchmark through the shared
+/// bench_emit.hpp path, keyed by the same "benchmark" field, so CI can
+/// archive micro and macro results from a single file.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
+#include "bench_emit.hpp"
 #include "core/machine.hpp"
 #include "dma/mfc.hpp"
 #include "mem/local_store.hpp"
@@ -131,4 +140,54 @@ void BM_ProgramConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_ProgramConstruction);
 
+/// ConsoleReporter plus the DTA_BENCH_JSON side channel: every non-error
+/// run appends `{"benchmark": "micro/<name>", ...}` via the same emit path
+/// the figure benches use, so one NDJSON file collects both kinds.
+class JsonLineReporter : public benchmark::ConsoleReporter {
+public:
+    void ReportRuns(const std::vector<Run>& reports) override {
+        ConsoleReporter::ReportRuns(reports);
+        if (bench::bench_json_path() == nullptr) {
+            return;
+        }
+        for (const Run& run : reports) {
+            if (run.error_occurred) {
+                continue;
+            }
+            const double iters =
+                run.iterations > 0 ? static_cast<double>(run.iterations)
+                                   : 1.0;
+            char buf[512];
+            std::snprintf(
+                buf, sizeof buf,
+                "{\"benchmark\": \"micro/%s\", \"iterations\": %lld, "
+                "\"real_time_s\": %.9g, \"cpu_time_s\": %.9g",
+                stats::json_escape(run.benchmark_name()).c_str(),
+                static_cast<long long>(run.iterations),
+                run.real_accumulated_time / iters,
+                run.cpu_accumulated_time / iters);
+            std::string line = buf;
+            for (const auto& [name, counter] : run.counters) {
+                std::snprintf(buf, sizeof buf, ", \"%s\": %.9g",
+                              stats::json_escape(name).c_str(),
+                              static_cast<double>(counter.value));
+                line += buf;
+            }
+            line += "}";
+            bench::emit_bench_line(line);
+        }
+    }
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    JsonLineReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return 0;
+}

@@ -93,6 +93,12 @@ struct MachineConfig {
     /// quiescence.  Off by default; a violation raises sim::SimError naming
     /// the component, invariant, cycle, and thread uid.
     sim::AuditConfig audit;
+    /// Host-time profiler (sim/prof.hpp): attribute host nanoseconds per
+    /// (shard, component, phase) into RunResult::host_profile.  Off by
+    /// default; when off every instrumentation site costs one null check.
+    /// Profiling only reads the host clock — simulated results, fingerprints
+    /// and the rest of RunResult are byte-identical either way.
+    bool profile = false;
     /// Jump over cycles in which no component can change state (see
     /// sim::Component::next_activity).  Results are cycle-exact either way;
     /// this only trades host time.  The DTA_NO_FASTFORWARD environment

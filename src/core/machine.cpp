@@ -293,6 +293,15 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
         }
     }
 
+    if (cfg_.profile) {
+        // One buffer per shard, sized once: shards, links and routers keep
+        // pointers into prof_ for the machine's lifetime.
+        prof_.resize(shard_count_);
+        if (shard_count_ == 1) {
+            prof_[0].reset(components_.size());
+        }
+    }
+
     if (shard_count_ > 1) {
         // Ring edges that cross a shard boundary exchange packets through
         // SPSC channels instead of a direct port push.  Capacity covers the
@@ -315,6 +324,14 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
             // on the next (see docs/ARCHITECTURE.md).
             links_[n].attach_channel(channels_.back().get(), m < n ? 1 : 0);
             routers_[m]->set_inbound_channel(channels_.back().get());
+            if (cfg_.profile) {
+                // Serialisation is charged to the sending shard (the link
+                // ticks inside its node's router), draining to the
+                // receiving one; both sites sit inside a component tick and
+                // are subtracted from it via the orphan-child mechanism.
+                links_[n].set_prof(&prof_[node_shard_[n]]);
+                routers_[m]->set_prof(&prof_[node_shard_[m]]);
+            }
         }
         build_shards();
     }
@@ -360,6 +377,10 @@ void Machine::build_shards() {
         }
         sim::Shard::Hooks hooks;
         hooks.fast_forward = fast_forward_;
+        if (cfg_.profile) {
+            prof_[s].reset(comps.size());
+            hooks.prof = &prof_[s];
+        }
         hooks.fingerprint = [this, s, lo, hi, pe_lo, pe_hi] {
             std::uint64_t fp = 0;
             if (node_shard_[kMemoryNode] == s) {
@@ -525,15 +546,47 @@ void Machine::launch(std::span<const std::uint64_t> args) {
 // Run loop
 // ---------------------------------------------------------------------------
 
-void Machine::tick_cycle(sim::Cycle now) {
-    for (sim::Component* c : components_) {
-        c->tick(now);
+namespace {
+
+/// One link in a chained profiling timer: charge the span since the last
+/// boundary (minus time already claimed by nested scopes) and advance the
+/// boundary.  Chaining instead of per-segment RAII scopes leaves no
+/// un-attributed gaps inside the run loop (see Shard::run_until).
+inline void prof_charge(sim::ProfBuffer* pb, std::uint64_t& t,
+                        std::uint32_t slot, sim::ProfPhase phase) {
+    const std::uint64_t t2 = sim::prof_now_ns();
+    pb->add(slot, phase, t2 - t - pb->take_orphan_child_ns());
+    t = t2;
+}
+
+}  // namespace
+
+void Machine::tick_cycle(sim::Cycle now, std::uint64_t& t) {
+    sim::ProfBuffer* const pb = prof_.empty() ? nullptr : &prof_[0];
+    if (pb == nullptr) {
+        for (sim::Component* c : components_) {
+            c->tick(now);
+        }
+    } else {
+        for (std::size_t i = 0; i < components_.size(); ++i) {
+            components_[i]->tick(now);
+            prof_charge(pb, t, static_cast<std::uint32_t>(i + 1),
+                        sim::ProfPhase::kTick);
+        }
     }
     if (metrics_.enabled() && now % cfg_.metrics_sample_interval == 0) {
         sample_gauges(now);
+        if (pb != nullptr) {
+            prof_charge(pb, t, sim::ProfBuffer::kShardSlot,
+                        sim::ProfPhase::kSample);
+        }
     }
     if (audit_interval_ != 0 && now % audit_interval_ == 0) {
         auditor_.run(now);
+        if (pb != nullptr) {
+            prof_charge(pb, t, sim::ProfBuffer::kShardSlot,
+                        sim::ProfPhase::kAudit);
+        }
     }
 }
 
@@ -550,6 +603,11 @@ void Machine::sample_gauges(sim::Cycle now) {
     for (std::size_t n = 0; n < fabrics_.size(); ++n) {
         g_noc_pending_[n]->sample(
             now, static_cast<std::int64_t>(fabrics_[n].pending()));
+    }
+    if (!prof_.empty()) {
+        // Cumulative phase totals at the gauge cadence: the host counter
+        // tracks rendered next to the simulated Perfetto tracks.
+        prof_[0].snapshot(now);
     }
 }
 
@@ -628,6 +686,9 @@ void Machine::throw_deadlock(sim::Cycle now, sim::Cycle stalled,
 void Machine::fast_forward_span(sim::Cycle from, sim::Cycle to,
                                 std::uint64_t& last_fp,
                                 sim::Cycle& last_progress) {
+    sim::ProfBuffer* const pb = prof_.empty() ? nullptr : &prof_[0];
+    const sim::ProfScope prof(pb, sim::ProfBuffer::kShardSlot,
+                              sim::ProfPhase::kFastforwardScan);
     for (sim::Component* c : components_) {
         c->skip(from, to);
     }
@@ -639,6 +700,8 @@ void Machine::fast_forward_span(sim::Cycle from, sim::Cycle to,
         const sim::Cycle step = cfg_.metrics_sample_interval;
         for (sim::Cycle c = ((from + step - 1) / step) * step; c < to;
              c += step) {
+            const sim::ProfScope ps(pb, sim::ProfBuffer::kShardSlot,
+                                    sim::ProfPhase::kSample);
             sample_gauges(c);
         }
     }
@@ -662,22 +725,36 @@ RunResult Machine::run() {
     if (shard_count_ > 1) {
         return run_sharded();
     }
+    sim::ProfBuffer* const pb = prof_.empty() ? nullptr : &prof_[0];
+    const std::uint64_t wall0 = pb != nullptr ? sim::prof_now_ns() : 0;
+    // Chained timing boundary: starts at the wall-clock origin so the loop
+    // has no un-attributed gaps (every span between boundaries is charged
+    // to exactly one phase; nested scopes subtract as orphan child time).
+    std::uint64_t t = wall0;
     sim::Cycle now = 0;
     std::uint64_t last_fp = ~0ull;
     sim::Cycle last_progress = 0;
     std::uint64_t prev_fp = ~0ull;  ///< gate: last cycle's fingerprint
     while (now < cfg_.max_cycles) {
-        tick_cycle(now);
+        tick_cycle(now, t);
         if (progress_interval_ != 0) {
             report_progress(now, 0, static_cast<std::uint32_t>(pes_.size()));
         }
-        if (check_quiescent()) {
+        const bool quiet = check_quiescent();
+        if (pb != nullptr) {
+            prof_charge(pb, t, sim::ProfBuffer::kShardSlot,
+                        sim::ProfPhase::kQuiescence);
+        }
+        if (quiet) {
             logger_.log(sim::LogLevel::kInfo, now, "machine",
                         "quiescent; simulation complete");
             if (cfg_.audit.enabled) {
                 auditor_.run_final(now);
             }
             events_.canonicalize();
+            if (pb != nullptr) {
+                pb->set_wall_ns(sim::prof_now_ns() - wall0);
+            }
             return gather(now + 1);
         }
         const std::uint64_t fp = fingerprint();
@@ -725,6 +802,14 @@ RunResult Machine::run() {
         }
         prev_fp = fp;
         now = next;
+        // The fingerprint, the horizon scan, and the loop tail all belong
+        // to the idle-detection machinery; a fast-forward span inside (its
+        // own scope) was already claimed and subtracts as orphan child
+        // time.
+        if (pb != nullptr) {
+            prof_charge(pb, t, sim::ProfBuffer::kShardSlot,
+                        sim::ProfPhase::kNextActivity);
+        }
     }
     DTA_SIM_ERROR("simulation exceeded max_cycles (" +
                   std::to_string(cfg_.max_cycles) + ")");
@@ -753,6 +838,9 @@ void Machine::sample_shard_gauges(std::uint32_t shard, sim::Cycle now) {
          ++n, ++i) {
         g.noc_pending[i]->sample(
             now, static_cast<std::int64_t>(fabrics_[n].pending()));
+    }
+    if (!prof_.empty()) {
+        prof_[shard].snapshot(now);
     }
 }
 
@@ -887,6 +975,26 @@ RunResult Machine::gather(sim::Cycle cycles) const {
     r.metrics = metrics_;
     r.dma_spans = dma_spans_;
     r.events = events_;
+    if (!prof_.empty()) {
+        const auto names_of = [](const std::vector<sim::Component*>& comps) {
+            std::vector<std::string> names;
+            names.reserve(comps.size());
+            for (const sim::Component* c : comps) {
+                names.push_back(c->name());
+            }
+            return names;
+        };
+        if (!shards_.empty()) {
+            for (std::uint32_t s = 0; s < shard_count_; ++s) {
+                sim::merge_prof_buffer(r.host_profile, s, shards_[s]->name(),
+                                       prof_[s],
+                                       names_of(shards_[s]->components()));
+            }
+        } else {
+            sim::merge_prof_buffer(r.host_profile, 0, "shard0", prof_[0],
+                                   names_of(components_));
+        }
+    }
     return r;
 }
 
@@ -900,7 +1008,19 @@ void Machine::report_progress(sim::Cycle now, std::uint32_t pe_lo,
         live += pes_[id]->lse().live_frames() +
                 pes_[id]->lse().virtual_frames_live();
     }
-    progress_(now, live);
+    Progress p;
+    p.cycle = now;
+    p.live_threads = live;
+    if (!shards_.empty()) {
+        // Shard 0's host-effort split only: its counters are the only ones
+        // this thread may read mid-run.
+        p.ticked = shards_[0]->cycles_ticked();
+        p.skipped = shards_[0]->cycles_skipped();
+    } else {
+        p.ticked = now > skipped_ ? now - skipped_ : 0;
+        p.skipped = skipped_;
+    }
+    progress_(p);
     next_progress_ = (now / progress_interval_ + 1) * progress_interval_;
 }
 

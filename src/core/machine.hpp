@@ -80,6 +80,11 @@ struct RunResult {
     /// Thread-lifecycle event log in canonical (cycle, ordinal) order (only
     /// when MachineConfig::collect_events; otherwise empty).
     sim::EventLog events;
+    /// Host-time profile per (shard, component, phase) (only when
+    /// MachineConfig::profile; otherwise disabled and empty).  Host-side
+    /// only: every other RunResult field is byte-identical with profiling
+    /// on or off.
+    sim::HostProfile host_profile;
 
     [[nodiscard]] Breakdown total_breakdown() const;
     [[nodiscard]] InstrStats total_instrs() const;
@@ -114,12 +119,19 @@ public:
     /// on PE 0 pre-filled with \p args, immediately ready.
     void launch(std::span<const std::uint64_t> args);
 
-    /// Periodic progress callback: invoked with (cycle, live threads) at
-    /// most once per \p interval simulated cycles.  In sharded runs the
-    /// callback fires on the thread driving shard 0 and the live-thread
-    /// count covers shard 0's PEs only (cross-shard state is not touched
-    /// mid-run).  Install before run(); null \p fn disables.
-    using ProgressFn = std::function<void(sim::Cycle, std::uint64_t)>;
+    /// One progress heartbeat.  In sharded runs the live-thread count and
+    /// the ticked/skipped host-effort split cover shard 0 only (cross-shard
+    /// state is not touched mid-run); callers extrapolate.
+    struct Progress {
+        sim::Cycle cycle = 0;
+        std::uint64_t live_threads = 0;
+        sim::Cycle ticked = 0;   ///< cycles advanced by per-cycle ticking
+        sim::Cycle skipped = 0;  ///< cycles advanced by idle fast-forward
+    };
+    /// Periodic progress callback: invoked at most once per \p interval
+    /// simulated cycles.  In sharded runs the callback fires on the thread
+    /// driving shard 0.  Install before run(); null \p fn disables.
+    using ProgressFn = std::function<void(const Progress&)>;
     void set_progress(sim::Cycle interval, ProgressFn fn) {
         progress_interval_ = interval;
         progress_ = std::move(fn);
@@ -159,7 +171,7 @@ public:
     [[nodiscard]] std::vector<ShardStat> shard_stats() const;
 
 private:
-    void tick_cycle(sim::Cycle now);
+    void tick_cycle(sim::Cycle now, std::uint64_t& prof_t);
     void sample_gauges(sim::Cycle now);
     /// Registers the per-component invariant checks for nodes
     /// [node_lo, node_hi) into \p a (the machine-wide auditor, or one
@@ -238,6 +250,11 @@ private:
     /// after the join.
     std::vector<sim::Auditor> shard_auditors_;
     sim::Cycle audit_interval_ = 0;  ///< 0 = audits off
+
+    // host-time profiler (live only when cfg_.profile): one buffer per
+    // shard (exactly one in single-threaded mode), sized once at
+    // construction — components and shards hold pointers into it.
+    std::vector<sim::ProfBuffer> prof_;
 
     // metrics (live only when cfg_.collect_metrics)
     sim::MetricsRegistry metrics_;

@@ -34,6 +34,8 @@ void NodeRouter::tick(sim::Cycle now) {
     // join arrivals_ exactly when the upstream router would have pushed
     // them in the single-threaded schedule.
     if (in_channel_ != nullptr) {
+        const sim::ProfScope ps(prof_, sim::ProfBuffer::kShardSlot,
+                                sim::ProfPhase::kChannelDrain);
         sim::Cycle drain_at = 0;
         while (in_channel_->peek_drain(&drain_at) && drain_at <= now) {
             noc::Packet pkt;

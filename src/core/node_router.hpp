@@ -51,6 +51,9 @@ public:
     /// drained into arrivals_ once their stamped cycle comes up, which is
     /// exactly when the upstream router would have pushed them directly.
     void set_inbound_channel(noc::Link::TxChannel* ch) { in_channel_ = ch; }
+    /// Charges inbound-channel draining to \p prof (phase channel_drain);
+    /// null disables.  The buffer must belong to this router's shard.
+    void set_prof(sim::ProfBuffer* prof) { prof_ = prof; }
     /// Points kLinkHop emission (remote frame stores leaving the node) at
     /// \p log; \p ordinal identifies this router in the merged event log
     /// (total PE count + node id, keeping it disjoint from PE ordinals).
@@ -76,6 +79,7 @@ private:
     noc::Link* link_;                          ///< multi-node only
     sim::Port<noc::Packet>* forward_to_ = nullptr;
     noc::Link::TxChannel* in_channel_ = nullptr;  ///< shard-crossing inbound
+    sim::ProfBuffer* prof_ = nullptr;  ///< host-time profiler (optional)
     sim::EventLog* events_ = nullptr;  ///< optional, machine-owned
     std::uint32_t ordinal_ = 0;        ///< event ordinal (pes + node)
 

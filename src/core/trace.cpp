@@ -89,11 +89,24 @@ std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
                               const sim::MetricsRegistry& metrics,
                               const std::vector<dma::DmaSpan>& dma_spans,
                               const std::vector<TraceFlow>& flows) {
+    return chrome_trace_json(spans, code_names, metrics, dma_spans, flows,
+                             sim::HostProfile{});
+}
+
+std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
+                              const std::vector<std::string>& code_names,
+                              const sim::MetricsRegistry& metrics,
+                              const std::vector<dma::DmaSpan>& dma_spans,
+                              const std::vector<TraceFlow>& flows,
+                              const sim::HostProfile& host) {
     std::ostringstream os;
     EventWriter w(os);
     emit_process_name(w, 0, "SPUs");
     emit_process_name(w, 1, "counters");
     emit_process_name(w, 2, "DMA");
+    if (host.enabled) {
+        emit_process_name(w, 3, "host");
+    }
     emit_spu_track_names(w, spans);
     emit_thread_slices(w, spans, code_names);
 
@@ -140,6 +153,30 @@ std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
                  << flow_id << R"(, "ts": )" << f.dst_cycle
                  << R"(, "pid": 0, "tid": )" << f.dst_pe << "}";
         ++flow_id;
+    }
+
+    // Host-side tracks: per (shard, phase), the host nanoseconds burnt in
+    // each gauge-sampling interval, plotted against simulated time.  The
+    // snapshots carry cumulative totals, so each point is a delta from the
+    // previous one; phases a shard never touched are skipped entirely.
+    if (host.enabled) {
+        for (const sim::HostProfileShard& s : host.shards) {
+            for (std::size_t p = 0; p < sim::kNumProfPhases; ++p) {
+                if (s.phase_ns[p] == 0) {
+                    continue;
+                }
+                std::uint64_t prev = 0;
+                for (const sim::ProfSnapshot& snap : s.samples) {
+                    w.next() << R"(  {"name": ")" << s.name << '/'
+                             << sim::prof_phase_name(
+                                    static_cast<sim::ProfPhase>(p))
+                             << R"j( (ns)", "cat": "host", "ph": "C", "ts": )j"
+                             << snap.cycle << R"(, "pid": 3, "args": )"
+                             << R"({"value": )" << snap.ns[p] - prev << "}}";
+                    prev = snap.ns[p];
+                }
+            }
+        }
     }
     w.finish();
     return os.str();

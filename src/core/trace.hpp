@@ -9,6 +9,7 @@
 
 #include "dma/mfc.hpp"
 #include "sim/metrics.hpp"
+#include "sim/prof.hpp"
 #include "sim/types.hpp"
 
 namespace dta::core {
@@ -71,5 +72,18 @@ struct CodeProfile {
     const sim::MetricsRegistry& metrics,
     const std::vector<dma::DmaSpan>& dma_spans,
     const std::vector<TraceFlow>& flows);
+
+/// Like the flow variant, and additionally renders the host-side profile
+/// (pid 3, "host") as one counter track per (shard, phase): the host
+/// nanoseconds that phase consumed per gauge-sampling interval, plotted
+/// against simulated time so host cost lines up under the simulated
+/// activity that caused it.  \p host disabled or without samples adds
+/// nothing (the output is then byte-identical to the flow variant).
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<ThreadSpan>& spans,
+    const std::vector<std::string>& code_names,
+    const sim::MetricsRegistry& metrics,
+    const std::vector<dma::DmaSpan>& dma_spans,
+    const std::vector<TraceFlow>& flows, const sim::HostProfile& host);
 
 }  // namespace dta::core

@@ -48,6 +48,8 @@ void Link::tick(sim::Cycle now) {
     const sim::Cycle deliver_at = now + occupancy + cfg_.latency;
     if (channel_ != nullptr) {
         tx_pending_.push_back(deliver_at);
+        const sim::ProfScope ps(prof_, sim::ProfBuffer::kShardSlot,
+                                sim::ProfPhase::kChannelSerialize);
         const bool ok =
             channel_->try_push(deliver_at + drain_bias_, std::move(pkt));
         DTA_CHECK_MSG(ok, "cross-shard link channel overflow");

@@ -15,6 +15,7 @@
 #include "noc/packet.hpp"
 #include "sim/channel.hpp"
 #include "sim/component.hpp"
+#include "sim/prof.hpp"
 #include "sim/types.hpp"
 
 namespace dta::noc {
@@ -57,6 +58,11 @@ public:
         channel_ = channel;
         drain_bias_ = drain_bias;
     }
+
+    /// Charges channel publication time to \p prof (phase
+    /// channel_serialize); null disables.  The buffer must belong to the
+    /// shard that ticks this link.
+    void set_prof(sim::ProfBuffer* prof) { prof_ = prof; }
 
     void tick(sim::Cycle now) override;
 
@@ -117,6 +123,7 @@ private:
     TxChannel* channel_ = nullptr;
     std::uint32_t drain_bias_ = 0;
     std::deque<sim::Cycle> tx_pending_;  ///< deliver_at of on-wire packets
+    sim::ProfBuffer* prof_ = nullptr;    ///< host-time profiler (optional)
 };
 
 }  // namespace dta::noc

@@ -26,6 +26,8 @@ void EpochRunner::record_error() noexcept {
 template <typename Barrier>
 void EpochRunner::participate(std::size_t index, Barrier& barrier) {
     Shard* shard = shards_[index];
+    ProfBuffer* const pb = shard->prof();
+    const std::uint64_t wall0 = pb != nullptr ? prof_now_ns() : 0;
     while (true) {
         switch (phase_) {
             case Phase::kRun:
@@ -45,8 +47,15 @@ void EpochRunner::participate(std::size_t index, Barrier& barrier) {
             case Phase::kExit:
                 return;  // not reached: exit is taken below
         }
-        barrier.arrive_and_wait();
+        {
+            const ProfScope ps(pb, ProfBuffer::kShardSlot,
+                               ProfPhase::kBarrierWait);
+            barrier.arrive_and_wait();
+        }
         if (phase_ == Phase::kExit) {
+            if (pb != nullptr) {
+                pb->set_wall_ns(prof_now_ns() - wall0);
+            }
             return;
         }
     }

@@ -1,0 +1,233 @@
+/// \file prof.hpp
+/// \brief Host-time profiler: where does the simulator's *wall clock* go?
+///
+/// PR 1/4 made the simulated machine observable; this layer does the same
+/// for the simulator itself.  Host nanoseconds are attributed per
+/// (shard, component, phase) — which shard spent how long ticking pe3,
+/// scanning horizons, waiting at the epoch barrier, serialising cross-shard
+/// packets — exactly the data an event-driven scheduler core or a sweep
+/// scheduler needs before it can be designed or validated.
+///
+/// Design rules, in priority order:
+///  1. **Off is free.**  Every instrumentation site is guarded by one null
+///     check on a shard-local ProfBuffer pointer; no clock is read.
+///  2. **On is neutral.**  Profiling only reads the host clock; it never
+///     touches simulated state, so RunResult (minus its host_profile
+///     section) is byte-identical with profiling on or off.
+///  3. **Exclusive attribution.**  Scopes nest (a Link serialising into a
+///     cross-shard channel inside its own tick); a child's time is
+///     subtracted from its enclosing scope so phase totals add up — per
+///     shard they sum to the shard's measured wall clock minus loop
+///     control, which the coverage figure reports honestly.
+///
+/// Buffers are strictly shard-local (each host thread writes only its own)
+/// and merged deterministically after the join, like PR 3's metrics.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace dta::sim {
+
+/// Where a host nanosecond was spent.  kTick is attributed per component;
+/// the rest describe the run loop itself and land on the shard row.
+enum class ProfPhase : std::uint8_t {
+    kTick,              ///< inside a Component::tick call
+    kNextActivity,      ///< the idle-horizon scan across components
+    kQuiescence,        ///< the per-cycle quiescence sweep
+    kFastforwardScan,   ///< skip() bookkeeping over a fast-forwarded span
+    kBarrierWait,       ///< blocked at the epoch barrier (sharded runs)
+    kChannelSerialize,  ///< publishing packets into cross-shard channels
+    kChannelDrain,      ///< draining inbound cross-shard channels
+    kAudit,             ///< invariant audit sweeps
+    kSample,            ///< gauge sampling / metrics snapshots
+    kCount
+};
+
+inline constexpr std::size_t kNumProfPhases =
+    static_cast<std::size_t>(ProfPhase::kCount);
+
+/// Stable lower-case name ("tick", "barrier_wait", ...) used in reports.
+[[nodiscard]] const char* prof_phase_name(ProfPhase p);
+
+/// Monotonic host clock in nanoseconds.
+[[nodiscard]] inline std::uint64_t prof_now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// One (slot, phase) accumulator.
+struct ProfAcc {
+    std::uint64_t ns = 0;
+    std::uint64_t calls = 0;
+};
+
+/// Cumulative per-phase totals captured mid-run (rendered as host counter
+/// tracks next to the simulated Perfetto tracks).
+struct ProfSnapshot {
+    Cycle cycle = 0;
+    std::array<std::uint64_t, kNumProfPhases> ns{};
+};
+
+class ProfScope;
+
+/// One shard's (host thread's) accumulation buffer.  Row 0 is the shard
+/// itself (loop phases); row i + 1 is the shard's i-th component.  Strictly
+/// single-threaded: only the owning host thread may touch it mid-run.
+class ProfBuffer {
+public:
+    static constexpr std::uint32_t kShardSlot = 0;
+
+    ProfBuffer() = default;
+    ProfBuffer(const ProfBuffer&) = delete;
+    ProfBuffer& operator=(const ProfBuffer&) = delete;
+    ProfBuffer(ProfBuffer&&) = default;
+    ProfBuffer& operator=(ProfBuffer&&) = default;
+
+    /// Sizes the buffer for \p num_components component rows (plus the
+    /// shard row).  Must be called before any add().
+    void reset(std::size_t num_components) {
+        rows_.assign(num_components + 1, {});
+    }
+
+    void add(std::uint32_t slot, ProfPhase phase, std::uint64_t ns,
+             std::uint64_t calls = 1) {
+        ProfAcc& a = rows_[slot][static_cast<std::size_t>(phase)];
+        a.ns += ns;
+        a.calls += calls;
+    }
+
+    /// Time spent in scopes that opened with no enclosing scope (e.g. a
+    /// channel-serialize scope inside a manually-timed component tick).
+    /// The manual timer subtracts it to keep attribution exclusive.
+    [[nodiscard]] std::uint64_t take_orphan_child_ns() {
+        const std::uint64_t v = orphan_child_ns_;
+        orphan_child_ns_ = 0;
+        return v;
+    }
+
+    /// Records the cumulative per-phase totals at \p cycle (for the host
+    /// Perfetto tracks; sampled at the machine's gauge cadence).
+    void snapshot(Cycle cycle);
+
+    void set_wall_ns(std::uint64_t ns) { wall_ns_ = ns; }
+    [[nodiscard]] std::uint64_t wall_ns() const { return wall_ns_; }
+
+    [[nodiscard]] const std::vector<
+        std::array<ProfAcc, kNumProfPhases>>& rows() const {
+        return rows_;
+    }
+    [[nodiscard]] const std::vector<ProfSnapshot>& snapshots() const {
+        return snapshots_;
+    }
+
+    /// Sum of a phase across every row.
+    [[nodiscard]] std::uint64_t phase_ns(ProfPhase p) const;
+    /// Sum of every accumulator (the profiler's account of the wall clock).
+    [[nodiscard]] std::uint64_t total_ns() const;
+
+private:
+    friend class ProfScope;
+
+    std::vector<std::array<ProfAcc, kNumProfPhases>> rows_;
+    std::vector<ProfSnapshot> snapshots_;
+    std::uint64_t wall_ns_ = 0;
+    ProfScope* top_ = nullptr;          ///< innermost open scope
+    std::uint64_t orphan_child_ns_ = 0; ///< scope time with no open parent
+};
+
+/// RAII scoped timer.  A null buffer makes construction and destruction a
+/// single branch each — the off-cost of every instrumentation site.
+class ProfScope {
+public:
+    ProfScope(ProfBuffer* buf, std::uint32_t slot, ProfPhase phase)
+        : buf_(buf), slot_(slot), phase_(phase) {
+        if (buf_ == nullptr) {
+            return;
+        }
+        parent_ = buf_->top_;
+        buf_->top_ = this;
+        t0_ = prof_now_ns();
+    }
+
+    ProfScope(const ProfScope&) = delete;
+    ProfScope& operator=(const ProfScope&) = delete;
+
+    ~ProfScope() {
+        if (buf_ == nullptr) {
+            return;
+        }
+        const std::uint64_t dur = prof_now_ns() - t0_;
+        buf_->top_ = parent_;
+        // Exclusive (self) time: nested scopes already claimed child_ns_.
+        buf_->add(slot_, phase_, dur - child_ns_);
+        if (parent_ != nullptr) {
+            parent_->child_ns_ += dur;
+        } else {
+            buf_->orphan_child_ns_ += dur;
+        }
+    }
+
+private:
+    ProfBuffer* buf_;
+    std::uint32_t slot_;
+    ProfPhase phase_;
+    ProfScope* parent_ = nullptr;
+    std::uint64_t t0_ = 0;
+    std::uint64_t child_ns_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Merged result (travels inside RunResult)
+// ---------------------------------------------------------------------------
+
+/// One (shard, component, phase) line of the merged profile.
+struct HostProfileEntry {
+    std::uint32_t shard = 0;
+    std::string component;  ///< "-" for shard-level (loop) phases
+    ProfPhase phase = ProfPhase::kTick;
+    std::uint64_t ns = 0;
+    std::uint64_t calls = 0;
+};
+
+/// Per-shard rollup: wall clock, per-phase totals, and the sampled series.
+struct HostProfileShard {
+    std::string name;
+    std::uint64_t wall_ns = 0;
+    std::array<std::uint64_t, kNumProfPhases> phase_ns{};
+    std::vector<ProfSnapshot> samples;
+
+    /// Fraction of the measured wall clock the phase accumulators explain.
+    [[nodiscard]] double coverage() const;
+};
+
+/// A finished run's host-side profile (empty / disabled by default).
+struct HostProfile {
+    bool enabled = false;
+    std::vector<HostProfileShard> shards;
+    /// Per-(shard, component, phase) lines with ns > 0, sorted by
+    /// (shard, component, phase) — a deterministic order for reports.
+    std::vector<HostProfileEntry> entries;
+
+    [[nodiscard]] std::uint64_t total_ns() const;
+    [[nodiscard]] std::uint64_t total_wall_ns() const;
+
+    /// Formats the sorted self-time table `dta_run --prof` prints: entries
+    /// by descending ns (top \p top rows), then per-shard coverage lines.
+    [[nodiscard]] std::string table(std::size_t top = 30) const;
+};
+
+/// Folds one shard's buffer into the merged profile.  \p component_names
+/// must align with the buffer's component rows (row i + 1 = name i).
+void merge_prof_buffer(HostProfile& out, std::uint32_t shard,
+                       const std::string& shard_name, const ProfBuffer& buf,
+                       const std::vector<std::string>& component_names);
+
+}  // namespace dta::sim

@@ -16,6 +16,8 @@ bool Shard::all_quiescent() const {
 }
 
 void Shard::fast_forward_span(Cycle from, Cycle to) {
+    const ProfScope prof(hooks_.prof, ProfBuffer::kShardSlot,
+                         ProfPhase::kFastforwardScan);
     for (Component* c : components_) {
         c->skip(from, to);
     }
@@ -27,6 +29,8 @@ void Shard::fast_forward_span(Cycle from, Cycle to) {
     if (hooks_.sample && hooks_.sample_interval > 0) {
         const Cycle step = hooks_.sample_interval;
         for (Cycle c = ((from + step - 1) / step) * step; c < to; c += step) {
+            const ProfScope ps(hooks_.prof, ProfBuffer::kShardSlot,
+                               ProfPhase::kSample);
             hooks_.sample(c);
         }
     }
@@ -34,22 +38,60 @@ void Shard::fast_forward_span(Cycle from, Cycle to) {
 }
 
 void Shard::run_until(Cycle bound) {
+    ProfBuffer* const pb = hooks_.prof;
     stuck_ = false;
     if (hooks_.progress) {
         hooks_.progress(acct_next_);
     }
+    // Fully-chained timing: one clock read per segment boundary and zero
+    // un-attributed gaps inside the loop — every nanosecond between two
+    // boundaries is charged to exactly one (slot, phase).  Scopes opened
+    // deeper in the call tree (channel serialisation/drain inside a tick,
+    // the fast-forward scan) register as orphan child time and are
+    // subtracted from the enclosing segment, keeping attribution
+    // exclusive.  This chaining — rather than one RAII scope per segment —
+    // is what makes per-shard coverage hold up even on an oversubscribed
+    // host, where a preemption inside an instrumentation gap would charge
+    // a whole scheduling quantum to nothing.
+    std::uint64_t t = 0;
+    if (pb != nullptr) {
+        // Discard orphan time from scopes that closed before this chain
+        // started (the barrier wait in EpochRunner::participate, a
+        // catch-up's fast-forward scan): their spans are outside every
+        // charge taken below, so subtracting them would underflow.
+        pb->take_orphan_child_ns();
+        t = prof_now_ns();
+    }
+    const auto charge = [&](std::uint32_t slot, ProfPhase phase) {
+        const std::uint64_t t2 = prof_now_ns();
+        pb->add(slot, phase, t2 - t - pb->take_orphan_child_ns());
+        t = t2;
+    };
     while (!paused_ && acct_next_ < bound) {
         const Cycle now = acct_next_;
-        for (Component* c : components_) {
-            c->tick(now);
+        if (pb == nullptr) {
+            for (Component* c : components_) {
+                c->tick(now);
+            }
+        } else {
+            for (std::size_t i = 0; i < components_.size(); ++i) {
+                components_[i]->tick(now);
+                charge(static_cast<std::uint32_t>(i + 1), ProfPhase::kTick);
+            }
         }
         if (hooks_.sample && hooks_.sample_interval > 0 &&
             now % hooks_.sample_interval == 0) {
             hooks_.sample(now);
+            if (pb != nullptr) {
+                charge(ProfBuffer::kShardSlot, ProfPhase::kSample);
+            }
         }
         if (hooks_.audit && hooks_.audit_interval > 0 &&
             now % hooks_.audit_interval == 0) {
             hooks_.audit(now);
+            if (pb != nullptr) {
+                charge(ProfBuffer::kShardSlot, ProfPhase::kAudit);
+            }
         }
         ++ticked_;
         acct_next_ = now + 1;
@@ -58,7 +100,11 @@ void Shard::run_until(Cycle bound) {
         // for the global end.  Freeze the clock; the coordinator wakes us
         // if a cross-shard packet shows up, or catches us up to the exact
         // end once every shard agrees.
-        if (all_quiescent()) {
+        const bool quiet = all_quiescent();
+        if (pb != nullptr) {
+            charge(ProfBuffer::kShardSlot, ProfPhase::kQuiescence);
+        }
+        if (quiet) {
             paused_ = true;
             return;
         }
@@ -89,6 +135,13 @@ void Shard::run_until(Cycle bound) {
             }
         }
         prev_fp_ = fp;
+        // The fingerprint, the horizon scan, and the loop tail all belong
+        // to the idle-detection machinery; the fast-forward scan inside
+        // (its own scope) was already claimed and is subtracted as orphan
+        // child time.
+        if (pb != nullptr) {
+            charge(ProfBuffer::kShardSlot, ProfPhase::kNextActivity);
+        }
     }
 }
 

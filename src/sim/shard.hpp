@@ -25,6 +25,7 @@
 
 #include "sim/channel.hpp"
 #include "sim/component.hpp"
+#include "sim/prof.hpp"
 #include "sim/types.hpp"
 
 namespace dta::sim {
@@ -54,6 +55,10 @@ public:
         /// interval thresholding and must touch only shard-local state.
         std::function<void(Cycle)> progress;
         bool fast_forward = true;
+        /// Host-time profiling buffer (sim/prof.hpp); null = profiling off
+        /// (every site then costs one null check).  Strictly shard-local:
+        /// only this shard's host thread writes it mid-run.
+        ProfBuffer* prof = nullptr;
     };
 
     Shard(std::string name, std::vector<Component*> components,
@@ -100,6 +105,9 @@ public:
     [[nodiscard]] const std::vector<Component*>& components() const {
         return components_;
     }
+    /// The profiling buffer (null when profiling is off); the epoch runner
+    /// charges barrier waits and the shard's wall clock through it.
+    [[nodiscard]] ProfBuffer* prof() const { return hooks_.prof; }
     /// Cycles advanced by ticking / by skipping (host-effort split; the
     /// simulated results are identical either way).
     [[nodiscard]] Cycle cycles_ticked() const { return ticked_; }

@@ -184,6 +184,39 @@ std::string run_report_json(const core::RunResult& r,
     }
     os << (first ? "" : "\n  ") << "],\n";
 
+    // Host-side profile: present only when profiling ran, so prof-off
+    // reports are byte-identical to pre-profiler ones (and a prof-on report
+    // minus this section is byte-identical to a prof-off one — the
+    // neutrality guarantee tests pin down).
+    if (r.host_profile.enabled) {
+        os << "  \"host_profile\": {\n    \"shards\": [";
+        first = true;
+        for (const sim::HostProfileShard& s : r.host_profile.shards) {
+            os << (first ? "\n" : ",\n") << "      {\"name\": \""
+               << json_escape(s.name) << "\", \"wall_ns\": " << s.wall_ns
+               << ", \"coverage\": " << num(s.coverage()) << ", \"phases\": {";
+            bool pfirst = true;
+            for (std::size_t p = 0; p < sim::kNumProfPhases; ++p) {
+                os << (pfirst ? "" : ", ") << '"'
+                   << sim::prof_phase_name(static_cast<sim::ProfPhase>(p))
+                   << "\": " << s.phase_ns[p];
+                pfirst = false;
+            }
+            os << "}}";
+            first = false;
+        }
+        os << (first ? "" : "\n    ") << "],\n    \"entries\": [";
+        first = true;
+        for (const sim::HostProfileEntry& e : r.host_profile.entries) {
+            os << (first ? "\n" : ",\n") << "      {\"shard\": " << e.shard
+               << ", \"component\": \"" << json_escape(e.component)
+               << "\", \"phase\": \"" << sim::prof_phase_name(e.phase)
+               << "\", \"ns\": " << e.ns << ", \"calls\": " << e.calls << "}";
+            first = false;
+        }
+        os << (first ? "" : "\n    ") << "]\n  },\n";
+    }
+
     os << "  \"metrics\": " << metrics_json(r.metrics, 2) << "\n}\n";
     return os.str();
 }

@@ -1,0 +1,334 @@
+#include "stats/json_value.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace dta::stats {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+    for (const Member& m : members_) {
+        if (m.first == key) {
+            return &m.second;
+        }
+    }
+    return nullptr;
+}
+
+const JsonValue* JsonValue::find(std::string_view key, Kind kind) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->kind() == kind ? v : nullptr;
+}
+
+JsonValue JsonValue::make_bool(bool v) {
+    JsonValue j;
+    j.kind_ = Kind::kBool;
+    j.flag_ = v;
+    return j;
+}
+
+JsonValue JsonValue::make_number(double v) {
+    JsonValue j;
+    j.kind_ = Kind::kNumber;
+    j.number_ = v;
+    return j;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+    JsonValue j;
+    j.kind_ = Kind::kString;
+    j.string_ = std::move(v);
+    return j;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+    JsonValue j;
+    j.kind_ = Kind::kArray;
+    j.items_ = std::move(items);
+    return j;
+}
+
+JsonValue JsonValue::make_object(std::vector<JsonValue::Member> members) {
+    JsonValue j;
+    j.kind_ = Kind::kObject;
+    j.members_ = std::move(members);
+    return j;
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonParseResult run() {
+        JsonParseResult r;
+        skip_ws();
+        if (!value(r.value)) {
+            r.error = error_.empty() ? "malformed value" : error_;
+            r.offset = pos_;
+            return r;
+        }
+        skip_ws();
+        if (pos_ != text_.size()) {
+            r.error = "trailing characters after document";
+            r.offset = pos_;
+            return r;
+        }
+        r.ok = true;
+        return r;
+    }
+
+private:
+    static constexpr int kMaxDepth = 128;
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+    [[nodiscard]] char peek() const {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+    bool eat(char c) {
+        if (peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+    bool fail(const char* what) {
+        if (error_.empty()) {
+            error_ = what;
+        }
+        return false;
+    }
+
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) {
+            return fail("bad literal");
+        }
+        pos_ += word.size();
+        return true;
+    }
+
+    bool string(std::string& out) {
+        if (!eat('"')) {
+            return fail("expected string");
+        }
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') {
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ >= text_.size()) {
+                    return fail("unterminated escape");
+                }
+                const char e = text_[pos_++];
+                switch (e) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'b': out += '\b'; break;
+                    case 'f': out += '\f'; break;
+                    case 'n': out += '\n'; break;
+                    case 'r': out += '\r'; break;
+                    case 't': out += '\t'; break;
+                    case 'u': {
+                        unsigned cp = 0;
+                        for (int i = 0; i < 4; ++i) {
+                            if (pos_ >= text_.size()) {
+                                return fail("bad \\u escape");
+                            }
+                            const char h = text_[pos_++];
+                            cp <<= 4;
+                            if (h >= '0' && h <= '9') {
+                                cp |= static_cast<unsigned>(h - '0');
+                            } else if (h >= 'a' && h <= 'f') {
+                                cp |= static_cast<unsigned>(h - 'a' + 10);
+                            } else if (h >= 'A' && h <= 'F') {
+                                cp |= static_cast<unsigned>(h - 'A' + 10);
+                            } else {
+                                return fail("bad \\u escape");
+                            }
+                        }
+                        // Encode the code point as UTF-8 (surrogate pairs
+                        // are passed through as two 3-byte sequences; the
+                        // reports this parser reads never emit them).
+                        if (cp < 0x80) {
+                            out += static_cast<char>(cp);
+                        } else if (cp < 0x800) {
+                            out += static_cast<char>(0xc0 | (cp >> 6));
+                            out += static_cast<char>(0x80 | (cp & 0x3f));
+                        } else {
+                            out += static_cast<char>(0xe0 | (cp >> 12));
+                            out += static_cast<char>(0x80 |
+                                                     ((cp >> 6) & 0x3f));
+                            out += static_cast<char>(0x80 | (cp & 0x3f));
+                        }
+                        break;
+                    }
+                    default: return fail("bad escape character");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return fail("raw control character in string");
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool number(double& out) {
+        const std::size_t start = pos_;
+        (void)eat('-');
+        while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+            ++pos_;
+        }
+        if (eat('.')) {
+            while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+                ++pos_;
+            }
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-') {
+                ++pos_;
+            }
+            while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+                ++pos_;
+            }
+        }
+        if (pos_ == start || text_[pos_ - 1] == '-') {
+            return fail("malformed number");
+        }
+        const std::string tok(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        out = std::strtod(tok.c_str(), &end);
+        if (end == nullptr || *end != '\0' || !std::isfinite(out)) {
+            return fail("malformed number");
+        }
+        return true;
+    }
+
+    bool value(JsonValue& out) {
+        if (++depth_ > kMaxDepth) {
+            return fail("nesting too deep");
+        }
+        skip_ws();
+        bool ok = false;
+        switch (peek()) {
+            case '{': ok = object(out); break;
+            case '[': ok = array(out); break;
+            case '"': {
+                std::string s;
+                ok = string(s);
+                if (ok) {
+                    out = JsonValue::make_string(std::move(s));
+                }
+                break;
+            }
+            case 't':
+                ok = literal("true");
+                out = JsonValue::make_bool(true);
+                break;
+            case 'f':
+                ok = literal("false");
+                out = JsonValue::make_bool(false);
+                break;
+            case 'n':
+                ok = literal("null");
+                out = JsonValue::make_null();
+                break;
+            default: {
+                double d = 0.0;
+                ok = number(d);
+                if (ok) {
+                    out = JsonValue::make_number(d);
+                }
+                break;
+            }
+        }
+        --depth_;
+        return ok;
+    }
+
+    bool object(JsonValue& out) {
+        if (!eat('{')) {
+            return fail("expected object");
+        }
+        std::vector<JsonValue::Member> members;
+        skip_ws();
+        if (eat('}')) {
+            out = JsonValue::make_object(std::move(members));
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            std::string key;
+            if (!string(key)) {
+                return false;
+            }
+            skip_ws();
+            if (!eat(':')) {
+                return fail("expected ':' after object key");
+            }
+            JsonValue v;
+            if (!value(v)) {
+                return false;
+            }
+            members.emplace_back(std::move(key), std::move(v));
+            skip_ws();
+            if (eat('}')) {
+                out = JsonValue::make_object(std::move(members));
+                return true;
+            }
+            if (!eat(',')) {
+                return fail("expected ',' or '}' in object");
+            }
+        }
+    }
+
+    bool array(JsonValue& out) {
+        if (!eat('[')) {
+            return fail("expected array");
+        }
+        std::vector<JsonValue> items;
+        skip_ws();
+        if (eat(']')) {
+            out = JsonValue::make_array(std::move(items));
+            return true;
+        }
+        while (true) {
+            JsonValue v;
+            if (!value(v)) {
+                return false;
+            }
+            items.push_back(std::move(v));
+            skip_ws();
+            if (eat(']')) {
+                out = JsonValue::make_array(std::move(items));
+                return true;
+            }
+            if (!eat(',')) {
+                return fail("expected ',' or ']' in array");
+            }
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+    std::string error_;
+};
+
+}  // namespace
+
+JsonParseResult parse_json(std::string_view text) {
+    return Parser(text).run();
+}
+
+}  // namespace dta::stats

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "core/machine.hpp"
+#include "core/trace.hpp"
 #include "sim/events.hpp"
 #include "stats/critpath.hpp"
 #include "stats/json_report.hpp"
@@ -28,6 +29,7 @@ struct Captured {
     std::string json;
     std::string events;    ///< DTAEV1 text of the merged event log
     std::string critpath;  ///< dta_analyze JSON over that log
+    std::string chrome;    ///< full-fat Chrome-trace export (with flows)
 };
 
 template <typename Workload>
@@ -47,10 +49,15 @@ Captured run_with(const Workload& w, MachineConfig cfg, bool prefetch,
     file.pes = cfg.total_pes();
     file.code_names = out.result.code_names;
     file.events = out.result.events.flatten();
-    const std::string crit =
-        stats::critpath_json(stats::analyze(file), "det");
+    const auto analysis = stats::analyze(file);
+    const std::string crit = stats::critpath_json(analysis, "det");
+    const std::string chrome = chrome_trace_json(
+        out.result.spans, out.result.code_names, out.result.metrics,
+        out.result.dma_spans, analysis.flows, out.result.host_profile);
+    EXPECT_TRUE(stats::validate_json(chrome))
+        << "chrome trace is not well-formed JSON";
     return {out.result, stats::run_report_json(out.result, "det"), ev.str(),
-            crit};
+            crit, chrome};
 }
 
 void expect_identical(const Captured& ref, const Captured& got,
@@ -61,6 +68,7 @@ void expect_identical(const Captured& ref, const Captured& got,
     EXPECT_EQ(ref.events, got.events) << "event log differs";
     EXPECT_EQ(ref.critpath, got.critpath)
         << "critical-path report differs";
+    EXPECT_EQ(ref.chrome, got.chrome) << "chrome trace differs";
 
     ASSERT_EQ(ref.res.spans.size(), got.res.spans.size());
     for (std::size_t i = 0; i < ref.res.spans.size(); ++i) {

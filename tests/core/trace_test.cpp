@@ -212,6 +212,81 @@ TEST(ChromeTrace, FourArgOverloadMatchesEmptyFlows) {
               chrome_trace_json(spans, {"a"}, reg, {}, {}));
 }
 
+/// Occurrences of \p needle in \p hay (for event-balance counting).
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size())) {
+        ++n;
+    }
+    return n;
+}
+
+TEST(ChromeTrace, FlowAndAsyncEventsBalance) {
+    std::vector<ThreadSpan> spans;
+    spans.push_back(ThreadSpan{0, 10, 25, 0, 0, false});
+    spans.push_back(ThreadSpan{1, 30, 40, 0, 0, false});
+    std::vector<TraceFlow> flows;
+    flows.push_back(TraceFlow{0, 20, 1, 30, false});
+    flows.push_back(TraceFlow{0, 22, 1, 30, true});
+    flows.push_back(TraceFlow{0, 24, 1, 30, false});
+    std::vector<dma::DmaSpan> dma;
+    dma.push_back(dma::DmaSpan{0, 1, dma::MfcOp::kGet, 512, 5, 30});
+    dma.push_back(dma::DmaSpan{1, 2, dma::MfcOp::kPut, 256, 12, 20});
+    sim::MetricsRegistry reg;
+    const std::string json =
+        chrome_trace_json(spans, {"w"}, reg, dma, flows);
+    EXPECT_TRUE(stats::validate_json(json));
+    // Every flow start has exactly one finish, every async begin an end.
+    EXPECT_EQ(count_of(json, R"("ph": "s")"), 3u);
+    EXPECT_EQ(count_of(json, R"("ph": "f")"), 3u);
+    EXPECT_EQ(count_of(json, R"("ph": "b")"), 2u);
+    EXPECT_EQ(count_of(json, R"("ph": "e")"), 2u);
+}
+
+TEST(ChromeTrace, HostProfileTracksWhenEnabled) {
+    sim::HostProfile host;
+    host.enabled = true;
+    sim::HostProfileShard sh;
+    sh.name = "shard0";
+    sh.wall_ns = 1000;
+    const auto tick = static_cast<std::size_t>(sim::ProfPhase::kTick);
+    sh.phase_ns[tick] = 700;
+    sim::ProfSnapshot s0;
+    s0.cycle = 0;
+    s0.ns[tick] = 300;
+    sim::ProfSnapshot s1;
+    s1.cycle = 256;
+    s1.ns[tick] = 700;
+    sh.samples = {s0, s1};
+    host.shards.push_back(sh);
+
+    sim::MetricsRegistry reg;
+    const std::string json =
+        chrome_trace_json({}, {}, reg, {}, {}, host);
+    EXPECT_TRUE(stats::validate_json(json));
+    // The host process track exists, named per (shard, phase), and each
+    // sample plots the delta since the previous snapshot.
+    EXPECT_NE(json.find(R"({"name": "host"})"), std::string::npos);
+    EXPECT_NE(json.find(R"j("name": "shard0/tick (ns)", "cat": "host", )j"
+                        R"("ph": "C", "ts": 0, "pid": 3, )"
+                        R"("args": {"value": 300})"),
+              std::string::npos);
+    EXPECT_NE(json.find(R"("ts": 256, "pid": 3, "args": {"value": 400})"),
+              std::string::npos);
+    // Phases the shard never touched get no track.
+    EXPECT_EQ(json.find("barrier_wait"), std::string::npos);
+}
+
+TEST(ChromeTrace, DisabledHostProfileMatchesFlowVariant) {
+    std::vector<ThreadSpan> spans;
+    spans.push_back(ThreadSpan{0, 0, 5, 0, 0, false});
+    sim::MetricsRegistry reg;
+    EXPECT_EQ(chrome_trace_json(spans, {"a"}, reg, {}, {}),
+              chrome_trace_json(spans, {"a"}, reg, {}, {},
+                                sim::HostProfile{}));
+}
+
 TEST(ChromeTrace, FullVariantFromRealRunIsWellFormed) {
     workloads::MatMul::Params p;
     p.n = 8;

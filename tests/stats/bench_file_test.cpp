@@ -1,0 +1,179 @@
+// The dta-bench-v1 file format: robust statistics, serialize/parse round
+// trip, schema validation, and the underlying JSON parser's edge cases.
+#include "stats/bench_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "stats/json_value.hpp"
+
+namespace dta::stats {
+namespace {
+
+TEST(RobustStats, MedianAndMad) {
+    EXPECT_DOUBLE_EQ(median_of({}), 0.0);
+    EXPECT_DOUBLE_EQ(median_of({3.0}), 3.0);
+    EXPECT_DOUBLE_EQ(median_of({1.0, 9.0}), 5.0);
+    EXPECT_DOUBLE_EQ(median_of({9.0, 1.0, 5.0}), 5.0);
+    // MAD around the median: deviations {4, 0, 4} -> median 4.
+    EXPECT_DOUBLE_EQ(mad_of({1.0, 5.0, 9.0}, 5.0), 4.0);
+    EXPECT_DOUBLE_EQ(mad_of({2.0, 2.0, 2.0}, 2.0), 0.0);
+}
+
+TEST(BenchCase, StatsComputedFromSamples) {
+    BenchCase c;
+    c.host_seconds = {0.3, 0.1, 0.2};
+    EXPECT_DOUBLE_EQ(c.min_s(), 0.1);
+    EXPECT_DOUBLE_EQ(c.median_s(), 0.2);
+    EXPECT_DOUBLE_EQ(c.mad_s(), 0.1);
+    BenchCase empty;
+    EXPECT_DOUBLE_EQ(empty.min_s(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.median_s(), 0.0);
+}
+
+BenchFile sample_file() {
+    BenchFile f;
+    f.label = "unit";
+    f.env.git_sha = "abc123";
+    f.env.compiler = "g++ \"quoted\"";  // exercises escaping
+    f.env.build_type = "Release";
+    f.env.host_threads = 4;
+    BenchCase c;
+    c.name = "ci/mmul/orig";
+    c.cycles = 91513;
+    c.host_seconds = {0.021, 0.019, 0.020};
+    f.cases.push_back(c);
+    c = BenchCase{};
+    c.name = "ci/mmul/pf";
+    c.cycles = 9570;
+    c.host_seconds = {0.007};
+    f.cases.push_back(c);
+    return f;
+}
+
+TEST(BenchFileIo, RoundTripPreservesEverything) {
+    const BenchFile f = sample_file();
+    const std::string doc = serialize_bench_file(f);
+    BenchFile g;
+    std::string err;
+    ASSERT_TRUE(parse_bench_file(doc, g, err)) << err;
+    EXPECT_EQ(g.label, f.label);
+    EXPECT_EQ(g.env.git_sha, f.env.git_sha);
+    EXPECT_EQ(g.env.compiler, f.env.compiler);
+    EXPECT_EQ(g.env.build_type, f.env.build_type);
+    EXPECT_EQ(g.env.host_threads, f.env.host_threads);
+    ASSERT_EQ(g.cases.size(), 2u);
+    EXPECT_EQ(g.cases[0].name, "ci/mmul/orig");
+    EXPECT_EQ(g.cases[0].cycles, 91513u);
+    ASSERT_EQ(g.cases[0].host_seconds.size(), 3u);
+    EXPECT_DOUBLE_EQ(g.cases[0].host_seconds[1], 0.019);
+    EXPECT_NE(g.find("ci/mmul/pf"), nullptr);
+    EXPECT_EQ(g.find("nope"), nullptr);
+}
+
+TEST(BenchFileIo, StatsAreRecomputedNotTrusted) {
+    // A hand-edited summary cannot disagree with its own samples: min_s /
+    // median_s / mad_s in the document are ignored on parse.
+    const std::string doc = R"({
+      "schema": "dta-bench-v1", "label": "x",
+      "env": {"git_sha": "s", "compiler": "c", "build_type": "R",
+              "host_threads": 1},
+      "cases": [{"name": "a", "cycles": 10,
+                 "host_seconds": [0.1, 0.3, 0.2],
+                 "min_s": 99.0, "median_s": 99.0, "mad_s": 99.0}]
+    })";
+    BenchFile f;
+    std::string err;
+    ASSERT_TRUE(parse_bench_file(doc, f, err)) << err;
+    EXPECT_DOUBLE_EQ(f.cases[0].median_s(), 0.2);
+    EXPECT_DOUBLE_EQ(f.cases[0].min_s(), 0.1);
+}
+
+TEST(BenchFileIo, RejectsSchemaViolations) {
+    BenchFile f;
+    std::string err;
+    EXPECT_FALSE(parse_bench_file("not json", f, err));
+    EXPECT_NE(err.find("malformed"), std::string::npos);
+    EXPECT_FALSE(parse_bench_file("[1, 2]", f, err));
+    EXPECT_FALSE(parse_bench_file(
+        R"({"schema": "dta-bench-v2", "env": {}, "cases": []})", f, err));
+    EXPECT_NE(err.find("schema"), std::string::npos);
+    EXPECT_FALSE(parse_bench_file(
+        R"({"schema": "dta-bench-v1", "cases": []})", f, err));
+    EXPECT_NE(err.find("env"), std::string::npos);
+    EXPECT_FALSE(parse_bench_file(
+        R"({"schema": "dta-bench-v1", "env": {}})", f, err));
+    EXPECT_NE(err.find("cases"), std::string::npos);
+    // A case must carry a name, numeric cycles, and non-empty samples.
+    EXPECT_FALSE(parse_bench_file(
+        R"({"schema": "dta-bench-v1", "env": {},
+            "cases": [{"cycles": 1, "host_seconds": [0.1]}]})",
+        f, err));
+    EXPECT_NE(err.find("name"), std::string::npos);
+    EXPECT_FALSE(parse_bench_file(
+        R"({"schema": "dta-bench-v1", "env": {},
+            "cases": [{"name": "a", "host_seconds": [0.1]}]})",
+        f, err));
+    EXPECT_NE(err.find("cycles"), std::string::npos);
+    EXPECT_FALSE(parse_bench_file(
+        R"({"schema": "dta-bench-v1", "env": {},
+            "cases": [{"name": "a", "cycles": 1, "host_seconds": []}]})",
+        f, err));
+    EXPECT_NE(err.find("host_seconds"), std::string::npos);
+    EXPECT_FALSE(parse_bench_file(
+        R"({"schema": "dta-bench-v1", "env": {},
+            "cases": [{"name": "a", "cycles": 1,
+                       "host_seconds": [0.1, -0.5]}]})",
+        f, err));
+    EXPECT_NE(err.find("negative"), std::string::npos);
+}
+
+TEST(JsonValue, ParsesScalarsContainersAndEscapes) {
+    const JsonParseResult r = parse_json(
+        R"({"s": "a\"b\nA", "n": -2.5e2, "t": true, "f": false,
+            "z": null, "arr": [1, [2]], "obj": {"k": 3}})");
+    ASSERT_TRUE(r.ok) << r.error;
+    const JsonValue& v = r.value;
+    EXPECT_EQ(v.find("s")->as_string(), "a\"b\nA");
+    EXPECT_DOUBLE_EQ(v.find("n")->as_number(), -250.0);
+    EXPECT_TRUE(v.find("t")->as_bool());
+    EXPECT_FALSE(v.find("f")->as_bool());
+    EXPECT_TRUE(v.find("z")->is_null());
+    ASSERT_EQ(v.find("arr")->items().size(), 2u);
+    EXPECT_DOUBLE_EQ(v.find("arr")->items()[1].items()[0].as_number(), 2.0);
+    EXPECT_DOUBLE_EQ(v.find("obj")->find("k")->as_number(), 3.0);
+    EXPECT_EQ(v.find("missing"), nullptr);
+    // Kind-filtered lookup.
+    EXPECT_EQ(v.find("s", JsonValue::Kind::kNumber), nullptr);
+    EXPECT_NE(v.find("n", JsonValue::Kind::kNumber), nullptr);
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+    EXPECT_FALSE(parse_json("").ok);
+    EXPECT_FALSE(parse_json("{").ok);
+    EXPECT_FALSE(parse_json("[1,]").ok);
+    EXPECT_FALSE(parse_json("{\"a\": 1,}").ok);
+    EXPECT_FALSE(parse_json("\"unterminated").ok);
+    EXPECT_FALSE(parse_json("truish").ok);
+    EXPECT_FALSE(parse_json("1 2").ok);  // trailing garbage
+    EXPECT_FALSE(parse_json("{\"a\" 1}").ok);
+    const JsonParseResult r = parse_json("[1, nope]");
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.error.empty());
+}
+
+TEST(JsonValue, DepthIsBounded) {
+    std::string deep;
+    for (int i = 0; i < 200; ++i) {
+        deep += '[';
+    }
+    deep += '1';
+    for (int i = 0; i < 200; ++i) {
+        deep += ']';
+    }
+    EXPECT_FALSE(parse_json(deep).ok);  // kMaxDepth = 128
+}
+
+}  // namespace
+}  // namespace dta::stats

@@ -1,0 +1,196 @@
+/// \file dta_benchdiff.cpp
+/// \brief Compares two `dta-bench-v1` files (baseline vs candidate) with
+///        MAD-aware noise thresholds and prints a markdown delta table.
+///
+/// Usage:
+///   dta_benchdiff BASELINE.json CANDIDATE.json
+///                 [--threshold X] [--warn-only]
+///
+/// Per case, the relative median delta is compared against a noise floor:
+///   threshold = max(--threshold, 3 * (mad_base + mad_cand) / median_base)
+/// so a jittery case needs a proportionally larger delta to trip the gate
+/// (MAD is the robust spread of the samples — see stats/bench_file.hpp).
+///
+/// Exit codes: 0 clean (or --warn-only), 1 at least one regression,
+/// 2 usage / parse / schema error.  Environment mismatches (different
+/// compiler or build type) are reported but never fatal: the table is
+/// still useful, the comparison is just apples-to-oranges.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stats/bench_file.hpp"
+
+namespace {
+
+using namespace dta;
+
+struct Options {
+    std::string base_path;
+    std::string cand_path;
+    double threshold = 0.05;
+    bool warn_only = false;
+};
+
+void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s BASELINE.json CANDIDATE.json "
+                 "[--threshold X] [--warn-only]\n"
+                 "  --threshold X  minimum relative delta to flag "
+                 "(default 0.05;\n"
+                 "                 the per-case MAD noise floor can only "
+                 "raise it)\n"
+                 "  --warn-only    report regressions but exit 0\n",
+                 argv0);
+}
+
+bool load(const char* argv0, const std::string& path,
+          stats::BenchFile& out) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "%s: cannot open %s\n", argv0, path.c_str());
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string err;
+    if (!stats::parse_bench_file(buf.str(), out, err)) {
+        std::fprintf(stderr, "%s: %s: %s\n", argv0, path.c_str(),
+                     err.c_str());
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Options opt;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--threshold") {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                return 2;
+            }
+            opt.threshold = std::atof(argv[++i]);
+            if (opt.threshold <= 0.0) {
+                std::fprintf(stderr, "%s: --threshold must be > 0\n",
+                             argv[0]);
+                return 2;
+            }
+        } else if (a == "--warn-only") {
+            opt.warn_only = true;
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 2;
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option %s\n", argv[0],
+                         a.c_str());
+            usage(argv[0]);
+            return 2;
+        } else {
+            positional.push_back(a);
+        }
+    }
+    if (positional.size() != 2) {
+        usage(argv[0]);
+        return 2;
+    }
+    opt.base_path = positional[0];
+    opt.cand_path = positional[1];
+
+    stats::BenchFile base;
+    stats::BenchFile cand;
+    if (!load(argv[0], opt.base_path, base) ||
+        !load(argv[0], opt.cand_path, cand)) {
+        return 2;
+    }
+
+    std::printf("## Bench delta: `%s` (%s) vs `%s` (%s)\n\n",
+                base.label.c_str(),
+                base.env.git_sha.substr(0, 12).c_str(), cand.label.c_str(),
+                cand.env.git_sha.substr(0, 12).c_str());
+    if (base.env.compiler != cand.env.compiler ||
+        base.env.build_type != cand.env.build_type) {
+        std::printf("> **warning**: environment mismatch — baseline is "
+                    "%s/%s, candidate is %s/%s; deltas below compare "
+                    "apples to oranges.\n\n",
+                    base.env.compiler.c_str(), base.env.build_type.c_str(),
+                    cand.env.compiler.c_str(), cand.env.build_type.c_str());
+    }
+    std::printf("| case | base median (s) | cand median (s) | delta | "
+                "noise floor | verdict |\n");
+    std::printf("|---|---:|---:|---:|---:|---|\n");
+
+    int regressions = 0;
+    int improvements = 0;
+    for (const stats::BenchCase& cc : cand.cases) {
+        const stats::BenchCase* bc = base.find(cc.name);
+        if (bc == nullptr) {
+            std::printf("| %s | — | %.4f | — | — | new case |\n",
+                        cc.name.c_str(), cc.median_s());
+            continue;
+        }
+        const double m0 = bc->median_s();
+        const double m1 = cc.median_s();
+        if (m0 <= 0.0) {
+            std::printf("| %s | %.4f | %.4f | — | — | baseline median is "
+                        "zero |\n",
+                        cc.name.c_str(), m0, m1);
+            continue;
+        }
+        const double delta = (m1 - m0) / m0;
+        const double noise = 3.0 * (bc->mad_s() + cc.mad_s()) / m0;
+        const double floor = std::max(opt.threshold, noise);
+        const char* verdict = "ok";
+        if (delta > floor) {
+            verdict = "**REGRESSION**";
+            ++regressions;
+        } else if (delta < -floor) {
+            verdict = "improvement";
+            ++improvements;
+        }
+        if (bc->cycles != cc.cycles) {
+            // Different simulated work — host-time deltas are expected.
+            std::printf("| %s | %.4f | %.4f | %+.1f%% | %.1f%% | cycles "
+                        "changed (%llu -> %llu) |\n",
+                        cc.name.c_str(), m0, m1, delta * 100.0,
+                        floor * 100.0,
+                        static_cast<unsigned long long>(bc->cycles),
+                        static_cast<unsigned long long>(cc.cycles));
+            if (delta > floor) {
+                --regressions;  // not a host-perf regression verdict
+            } else if (delta < -floor) {
+                --improvements;
+            }
+            continue;
+        }
+        std::printf("| %s | %.4f | %.4f | %+.1f%% | %.1f%% | %s |\n",
+                    cc.name.c_str(), m0, m1, delta * 100.0, floor * 100.0,
+                    verdict);
+    }
+    for (const stats::BenchCase& bc : base.cases) {
+        if (cand.find(bc.name) == nullptr) {
+            std::printf("| %s | %.4f | — | — | — | case removed |\n",
+                        bc.name.c_str(), bc.median_s());
+        }
+    }
+
+    std::printf("\n%d regression(s), %d improvement(s)\n", regressions,
+                improvements);
+    if (regressions > 0 && !opt.warn_only) {
+        return 1;
+    }
+    if (regressions > 0) {
+        std::printf("(--warn-only: exiting 0 despite regressions)\n");
+    }
+    return 0;
+}

@@ -21,8 +21,15 @@
 ///                       (default cadence: every cycle in debug builds,
 ///                       every 64th in release; see docs/CORRECTNESS.md)
 ///     --arg V           append a 64-bit entry argument (repeatable)
+///     --max-cycles N    runaway guard (default 2e9); also the horizon the
+///                       --progress ETA counts down to
 ///     --interp          run the functional interpreter instead
 ///     --profile         print the per-thread-code profile
+///     --prof            host-time profiler: print the sorted self-time
+///                       table (per shard/component/phase) after the run;
+///                       adds a host_profile section to --metrics and host
+///                       counter tracks to --trace.  Simulated results are
+///                       byte-identical with or without it.
 ///     --breakdown       print the SPU cycle breakdown
 ///     --trace FILE      write a Chrome-trace JSON timeline to FILE
 ///                       (includes counter tracks and DMA slices; with
@@ -31,7 +38,9 @@
 ///     --events FILE     write the thread-lifecycle event log (DTAEV1) to
 ///                       FILE; feed it to dta_analyze
 ///     --progress[=N]    heartbeat to stderr every N simulated cycles
-///                       (default 1000000): cycle, live threads, Mcycles/s
+///                       (default 1000000): cycle, live threads, simulated
+///                       Mcycles/s with the host tick rate and fast-forward
+///                       share, and (with --max-cycles) an ETA bound
 ///     --log-level L     stderr simulator log: info, debug or trace
 ///     --disasm          print the disassembly and exit
 ///     --dump ADDR N     after the run, print N 32-bit words at ADDR
@@ -41,6 +50,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -77,8 +87,10 @@ struct Options {
     sim::Cycle audit_interval = 0;  ///< 0 = auto cadence
     bool interp = false;
     bool profile = false;
+    bool prof = false;
     bool breakdown = false;
     bool disasm = false;
+    sim::Cycle max_cycles = 0;  ///< 0 = config default
     std::string trace_path;
     std::string metrics_path;
     std::string events_path;
@@ -94,8 +106,8 @@ struct Options {
                  "[--threads N] [--mem-latency N]\n"
                  "       [--frames N] [--staging N] [--vfp] "
                  "[--perfect-cache] [--no-fastforward] [--audit[=N]]\n"
-                 "       [--arg V]... [--interp]\n"
-                 "       [--profile] [--breakdown] [--trace FILE] "
+                 "       [--arg V]... [--max-cycles N] [--interp]\n"
+                 "       [--profile] [--prof] [--breakdown] [--trace FILE] "
                  "[--metrics FILE]\n"
                  "       [--events FILE] [--progress[=N]]\n"
                  "       [--log-level info|debug|trace] [--disasm] "
@@ -151,6 +163,13 @@ Options parse_options(int argc, char** argv) {
             opt.interp = true;
         } else if (a == "--profile") {
             opt.profile = true;
+        } else if (a == "--prof") {
+            opt.prof = true;
+        } else if (a == "--max-cycles") {
+            opt.max_cycles = std::strtoull(next(), nullptr, 0);
+            if (opt.max_cycles == 0) {
+                usage(argv[0]);
+            }
         } else if (a == "--breakdown") {
             opt.breakdown = true;
         } else if (a == "--disasm") {
@@ -261,24 +280,69 @@ int main(int argc, char** argv) {
         cfg.host_threads = opt.threads;
         cfg.audit.enabled = opt.audit;
         cfg.audit.interval = opt.audit_interval;
+        cfg.profile = opt.prof;
+        if (opt.max_cycles > 0) {
+            cfg.max_cycles = opt.max_cycles;
+        }
 
         core::Machine machine(cfg, prog);
         if (opt.progress_interval > 0) {
-            const auto start = std::chrono::steady_clock::now();
+            // Rates come from deltas between heartbeats (the cumulative
+            // average would smear startup over the whole run); the ticked /
+            // fast-forwarded split separates honest host throughput from
+            // cycles the horizon scan skipped wholesale.  The ETA counts
+            // down to max_cycles — an upper bound, so it is only printed
+            // when the user set one explicitly.
+            struct ProgressState {
+                std::chrono::steady_clock::time_point last;
+                sim::Cycle last_cycle = 0;
+                sim::Cycle last_ticked = 0;
+            };
+            auto st = std::make_shared<ProgressState>();
+            st->last = std::chrono::steady_clock::now();
+            const sim::Cycle eta_horizon = opt.max_cycles;
             machine.set_progress(
                 opt.progress_interval,
-                [start](sim::Cycle cycle, std::uint64_t live) {
-                    const double s = std::chrono::duration<double>(
-                                         std::chrono::steady_clock::now() -
-                                         start)
-                                         .count();
+                [st, eta_horizon](const core::Machine::Progress& p) {
+                    const auto now = std::chrono::steady_clock::now();
+                    const double dt =
+                        std::chrono::duration<double>(now - st->last).count();
+                    const double cyc_rate =
+                        dt > 0.0 ? static_cast<double>(p.cycle -
+                                                       st->last_cycle) /
+                                       dt
+                                 : 0.0;
+                    const double tick_rate =
+                        dt > 0.0 ? static_cast<double>(p.ticked -
+                                                       st->last_ticked) /
+                                       dt
+                                 : 0.0;
+                    st->last = now;
+                    st->last_cycle = p.cycle;
+                    st->last_ticked = p.ticked;
+                    const double ff_share =
+                        p.ticked + p.skipped > 0
+                            ? 100.0 * static_cast<double>(p.skipped) /
+                                  static_cast<double>(p.ticked + p.skipped)
+                            : 0.0;
+                    std::string eta;
+                    if (eta_horizon > p.cycle && cyc_rate > 0.0) {
+                        char buf[48];
+                        std::snprintf(
+                            buf, sizeof buf, ", eta <= %.0f s",
+                            static_cast<double>(eta_horizon - p.cycle) /
+                                cyc_rate);
+                        eta = buf;
+                    }
                     std::fprintf(
                         stderr,
                         "progress: cycle %llu, %llu live threads, "
-                        "%.2f Mcycles/s\n",
-                        static_cast<unsigned long long>(cycle),
-                        static_cast<unsigned long long>(live),
-                        s > 0.0 ? static_cast<double>(cycle) / s / 1e6 : 0.0);
+                        "%.2f Mcycles/s (%.2f Mticks/s host, %.0f%% "
+                        "fast-forwarded)%s\n",
+                        static_cast<unsigned long long>(p.cycle),
+                        static_cast<unsigned long long>(p.live_threads),
+                        cyc_rate / 1e6, tick_rate / 1e6, ff_share,
+                        eta.c_str());
                 });
         }
         if (opt.log_level != sim::LogLevel::kOff) {
@@ -327,6 +391,10 @@ int main(int argc, char** argv) {
         if (opt.profile) {
             std::fputs(stats::profile_table(res.profile).c_str(), stdout);
         }
+        if (opt.prof) {
+            std::printf("host profile (self time, top 30):\n%s",
+                        res.host_profile.table().c_str());
+        }
         std::vector<core::TraceFlow> flows;
         if (!opt.events_path.empty()) {
             std::ofstream out(opt.events_path);
@@ -358,8 +426,8 @@ int main(int argc, char** argv) {
                 return 1;
             }
             out << core::chrome_trace_json(res.spans, res.code_names,
-                                           res.metrics, res.dma_spans,
-                                           flows);
+                                           res.metrics, res.dma_spans, flows,
+                                           res.host_profile);
             std::printf("wrote %zu spans, %zu counter tracks, %zu DMA "
                         "slices, %zu flows to %s\n",
                         res.spans.size(), res.metrics.gauges().size(),
