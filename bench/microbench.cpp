@@ -12,7 +12,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_emit.hpp"
 #include "core/machine.hpp"
@@ -20,6 +22,7 @@
 #include "mem/local_store.hpp"
 #include "mem/main_memory.hpp"
 #include "noc/interconnect.hpp"
+#include "sim/wheel.hpp"
 #include "workloads/mmul.hpp"
 #include "workloads/zoom.hpp"
 
@@ -38,7 +41,7 @@ void BM_InterconnectTick(benchmark::State& state) {
         p.dst_final = p.dst;
         p.size_bytes = 16;
         (void)fabric.try_inject(static_cast<noc::EndpointId>((seq + 1) % 11),
-                                std::move(p));
+                                std::move(p), now);
         fabric.tick(now++);
         noc::Packet out;
         for (noc::EndpointId ep = 0; ep < 11; ++ep) {
@@ -128,6 +131,89 @@ void BM_MachineCyclesPerSecond_ZoomOriginal(benchmark::State& state) {
 }
 BENCHMARK(BM_MachineCyclesPerSecond_ZoomOriginal)
     ->Unit(benchmark::kMillisecond);
+
+void BM_TimingWheelInsertCollect(benchmark::State& state) {
+    // 1e6 insert+collect pairs per iteration on the bare calendar queue,
+    // with the horizon mix the machine produces: mostly short (L0 page),
+    // some mid-range (L1), a tail beyond the 64Ki epoch (overflow).
+    constexpr std::uint64_t kOps = 1'000'000;
+    std::vector<std::uint32_t> out;
+    for (auto _ : state) {
+        sim::TimingWheel wheel;
+        std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+        sim::Cycle now = 0;
+        std::uint64_t popped = 0;
+        for (std::uint64_t i = 0; i < kOps; ++i) {
+            rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+            const std::uint64_t r = rng >> 33;
+            const sim::Cycle delta = r % 100 < 90   ? 1 + r % 16
+                                     : r % 100 < 99 ? 256 + r % 4096
+                                                    : 70'000 + r % 100'000;
+            wheel.insert(now + delta, static_cast<std::uint32_t>(i & 1023));
+            out.clear();
+            wheel.collect(now, out);
+            popped += out.size();
+            ++now;
+        }
+        benchmark::DoNotOptimize(popped);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kOps));
+}
+BENCHMARK(BM_TimingWheelInsertCollect);
+
+/// Fixed-stride dummy: re-arms itself `stride` cycles after every visit,
+/// so the scheduler's full pop -> lazy-skip -> tick -> re-arm path runs at
+/// a steady, deterministic event rate.
+class StrideComponent final : public sim::Component {
+public:
+    StrideComponent(std::string name, sim::Cycle stride)
+        : sim::Component(std::move(name)), stride_(stride) {}
+    void tick(sim::Cycle now) override {
+        ++ticks_;
+        last_ = now;
+    }
+    [[nodiscard]] bool quiescent() const override { return false; }
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) const override {
+        return now + stride_;
+    }
+
+private:
+    sim::Cycle stride_;
+    sim::Cycle last_ = 0;
+    std::uint64_t ticks_ = 0;
+};
+
+void BM_WheelSchedulerPopRearm(benchmark::State& state) {
+    // 1e6 component visits through the real scheduler: wheel pop, lazy
+    // skip of the slept span, tick, next_activity() re-arm.  Strides are
+    // spread over 1..13 cycles so only a fraction of the 64 components is
+    // due per cycle (the partially-idle regime the wheel exists for).
+    constexpr std::uint64_t kOps = 1'000'000;
+    std::vector<std::unique_ptr<StrideComponent>> owners;
+    std::vector<sim::Component*> comps;
+    for (int i = 0; i < 64; ++i) {
+        owners.push_back(std::make_unique<StrideComponent>(
+            "c" + std::to_string(i), 1 + (i * 7) % 13));
+        comps.push_back(owners.back().get());
+    }
+    for (auto _ : state) {
+        sim::WheelScheduler sched;
+        sched.attach(comps);
+        sched.start(0);
+        std::uint64_t t = 0;
+        std::uint64_t pops = 0;
+        sim::Cycle now = 0;
+        while (pops < kOps) {
+            pops += sched.run_cycle(now, nullptr, t);
+            now = sched.next_due(now);
+        }
+        benchmark::DoNotOptimize(pops);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kOps));
+}
+BENCHMARK(BM_WheelSchedulerPopRearm);
 
 void BM_ProgramConstruction(benchmark::State& state) {
     for (auto _ : state) {

@@ -104,6 +104,13 @@ struct MachineConfig {
     /// this only trades host time.  The DTA_NO_FASTFORWARD environment
     /// variable force-disables it (escape hatch for A/B debugging).
     bool fast_forward = true;
+    /// Drive the run loop from the event-driven timing wheel (sim/wheel.hpp):
+    /// each component is visited only at its declared next_activity() cycle,
+    /// with inbound traffic re-arming sleepers.  Results are byte-identical
+    /// either way; off falls back to the dense per-cycle loop (the
+    /// differential oracle for tests and fuzzing).  The DTA_NO_WHEEL
+    /// environment variable force-disables it, mirroring DTA_NO_FASTFORWARD.
+    bool use_wheel = true;
     /// Host threads for the sharded run loop: each node (DSE, PEs, MFCs,
     /// local stores, router) is a shard, and shards are distributed over
     /// this many threads synchronised by an epoch barrier whose lookahead

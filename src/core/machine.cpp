@@ -87,6 +87,7 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
     }
     fast_forward_ =
         cfg_.fast_forward && std::getenv("DTA_NO_FASTFORWARD") == nullptr;
+    use_wheel_ = cfg_.use_wheel && std::getenv("DTA_NO_WHEEL") == nullptr;
 
     // Resolve the host-thread request into a shard count: one shard is a
     // whole node (its DSE, PEs, MFCs, local stores and router), so the
@@ -138,7 +139,10 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
     pes_.reserve(cfg_.total_pes());
     for (sim::GlobalPeId id = 0; id < cfg_.total_pes(); ++id) {
         pes_.push_back(std::make_unique<Pe>(cfg_, topo_, id, prog_, logger_));
-        pes_.back()->set_parking(fast_forward_);
+        // Parking is the PE's own cheap idle shortcut; under the wheel the
+        // scheduler makes it moot (a parked PE simply is not visited), but
+        // degraded dense stretches still take the parked fast path.
+        pes_.back()->set_parking(fast_forward_ || use_wheel_);
         if (cfg_.capture_spans) {
             // Sharded machines write spans into shard-local vectors (no
             // cross-thread sharing); run_sharded() merges them back into
@@ -334,6 +338,82 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
             }
         }
         build_shards();
+    }
+
+    if (use_wheel_) {
+        // Event-driven core: one scheduler per run loop.  When the wheel is
+        // off (--no-wheel / DTA_NO_WHEEL) no waker is ever bound, so the
+        // dense oracle pays nothing and behaves exactly as before.
+        if (shard_count_ > 1) {
+            // Each inbound cross-shard channel re-arms its consuming router
+            // at the entry of every epoch window (Shard::run_until); map
+            // each channel to that router's shard-local scheduler index, in
+            // the same edge order build_shards used.
+            std::vector<std::vector<std::uint32_t>> consumers(shard_count_);
+            for (std::uint16_t n = 0; n < cfg_.nodes; ++n) {
+                const auto m = static_cast<std::uint16_t>((n + 1) % cfg_.nodes);
+                if (node_shard_[n] == node_shard_[m]) {
+                    continue;
+                }
+                const std::uint16_t s = node_shard_[m];
+                const auto& comps = shards_[s]->components();
+                std::uint32_t idx = 0;
+                while (idx < comps.size() && comps[idx] != routers_[m].get()) {
+                    ++idx;
+                }
+                DTA_CHECK_MSG(idx < comps.size(),
+                              "inbound channel consumer not in its shard");
+                consumers[s].push_back(idx);
+            }
+            for (std::uint32_t s = 0; s < shard_count_; ++s) {
+                shards_[s]->enable_wheel(std::move(consumers[s]));
+                attach_wakers(*shards_[s]->wheel(), shards_[s]->components(),
+                              first_node_of(s), first_node_of(s + 1));
+            }
+        } else {
+            wheel_.attach(components_);
+            if (cfg_.profile) {
+                wheel_.set_prof(&prof_[0]);
+            }
+            attach_wakers(wheel_, components_, 0, cfg_.nodes);
+        }
+    }
+}
+
+void Machine::attach_wakers(sim::WheelScheduler& sched,
+                            const std::vector<sim::Component*>& comps,
+                            std::uint16_t node_lo, std::uint16_t node_hi) {
+    const auto index_of = [&comps](const sim::Component* c) {
+        for (std::uint32_t i = 0; i < comps.size(); ++i) {
+            if (comps[i] == c) {
+                return i;
+            }
+        }
+        DTA_CHECK_MSG(false, "wake target not on this scheduler's list");
+        return 0u;  // unreachable
+    };
+    // Every queue a component drains wakes that component when written; the
+    // scheduler's dense-order rule decides whether the wake joins the
+    // producer's cycle (producer index below consumer index — the dense
+    // loop would tick the consumer later the same cycle) or the next one.
+    for (std::uint16_t n = node_lo; n < node_hi; ++n) {
+        const std::uint32_t router_idx = index_of(routers_[n].get());
+        fabrics_[n].set_waker(&sched, index_of(&fabrics_[n]));
+        dses_[n].rx_port().set_waker(&sched, index_of(&dses_[n]));
+        // Pull-model outboxes: the router drains them, so the router is the
+        // component a push must re-arm.
+        dses_[n].outbox_port().set_waker(&sched, router_idx);
+        routers_[n]->arrivals_port().set_waker(&sched, router_idx);
+        routers_[n]->bridge_out_port().set_waker(&sched, router_idx);
+        for (std::uint16_t l = 0; l < cfg_.spes_per_node; ++l) {
+            Pe& pe = *pes_[topo_.global_pe(n, l)];
+            pe.rx_port().set_waker(&sched, index_of(&pe));
+            pe.outgoing_port().set_waker(&sched, router_idx);
+        }
+        if (n == kMemoryNode) {
+            memif_->rx_port().set_waker(&sched, index_of(memif_.get()));
+            memif_->tx_port().set_waker(&sched, router_idx);
+        }
     }
 }
 
@@ -609,6 +689,9 @@ void Machine::sample_gauges(sim::Cycle now) {
         // tracks rendered next to the simulated Perfetto tracks.
         prof_[0].snapshot(now);
     }
+    if (wheel_.started()) {
+        wheel_.sample(now);
+    }
 }
 
 bool Machine::check_quiescent() const {
@@ -725,6 +808,9 @@ RunResult Machine::run() {
     if (shard_count_ > 1) {
         return run_sharded();
     }
+    if (use_wheel_) {
+        return run_wheel();
+    }
     sim::ProfBuffer* const pb = prof_.empty() ? nullptr : &prof_[0];
     const std::uint64_t wall0 = pb != nullptr ? sim::prof_now_ns() : 0;
     // Chained timing boundary: starts at the wall-clock origin so the loop
@@ -815,6 +901,115 @@ RunResult Machine::run() {
                   std::to_string(cfg_.max_cycles) + ")");
 }
 
+RunResult Machine::run_wheel() {
+    sim::ProfBuffer* const pb = prof_.empty() ? nullptr : &prof_[0];
+    const std::uint64_t wall0 = pb != nullptr ? sim::prof_now_ns() : 0;
+    std::uint64_t t = wall0;
+    wheel_.start(0);
+    sim::Cycle now = 0;
+    std::uint64_t last_fp = ~0ull;
+    sim::Cycle last_progress = 0;
+    std::uint64_t prev_fp = ~0ull;  ///< fingerprint after the previous cycle
+    while (now < cfg_.max_cycles) {
+        wheel_.run_cycle(now, pb, t);
+        if (metrics_.enabled() && now % cfg_.metrics_sample_interval == 0) {
+            sample_gauges(now);
+            if (pb != nullptr) {
+                prof_charge(pb, t, sim::ProfBuffer::kShardSlot,
+                            sim::ProfPhase::kSample);
+            }
+        }
+        if (audit_interval_ != 0 && now % audit_interval_ == 0) {
+            auditor_.run(now);
+            if (pb != nullptr) {
+                prof_charge(pb, t, sim::ProfBuffer::kShardSlot,
+                            sim::ProfPhase::kAudit);
+            }
+        }
+        if (progress_interval_ != 0) {
+            report_progress(now, 0, static_cast<std::uint32_t>(pes_.size()));
+        }
+        const bool quiet = check_quiescent();
+        if (pb != nullptr) {
+            prof_charge(pb, t, sim::ProfBuffer::kShardSlot,
+                        sim::ProfPhase::kQuiescence);
+        }
+        if (quiet) {
+            logger_.log(sim::LogLevel::kInfo, now, "machine",
+                        "quiescent; simulation complete");
+            {
+                // Sleepers may still lag behind: apply their deferred skip
+                // bookkeeping so breakdowns cover [0, now + 1) exactly.
+                const sim::ProfScope ff(pb, sim::ProfBuffer::kShardSlot,
+                                        sim::ProfPhase::kFastforwardScan);
+                wheel_.catch_up(now + 1);
+            }
+            if (cfg_.audit.enabled) {
+                auditor_.run_final(now);
+            }
+            events_.canonicalize();
+            if (pb != nullptr) {
+                pb->set_wall_ns(sim::prof_now_ns() - wall0);
+            }
+            return gather(now + 1);
+        }
+        const std::uint64_t fp = fingerprint();
+        if ((now & 0xfff) == 0xfff) {
+            if (fp != last_fp) {
+                last_fp = fp;
+                last_progress = now;
+            } else if (now - last_progress > cfg_.no_progress_limit) {
+                throw_deadlock(now, now - last_progress, false);
+            }
+        }
+        if (!wheel_.dense_mode() && wheel_.idle()) {
+            // Every horizon came back kIdleForever with the machine still
+            // non-quiescent: certain deadlock.  The dense loop scans
+            // horizons only once its fingerprint freezes, so it reports one
+            // cycle later when the final tick still made progress — mirror
+            // that for byte-identical failure text.
+            throw_deadlock(fp == prev_fp ? now : now + 1, 0, true);
+        }
+        sim::Cycle next = wheel_.next_due(now);
+        next = std::min<sim::Cycle>(next, cfg_.max_cycles);
+        if (next > now + 1) {
+            // Inactive span [now + 1, next): no live wheel entry, so by the
+            // horizon contract observable state is frozen.  Replay the side
+            // effects the dense loop takes per cycle — gauge samples and
+            // deadlock checkpoints — against that frozen state; component
+            // skip() bookkeeping stays lazy (applied at each next visit).
+            const sim::ProfScope ff(pb, sim::ProfBuffer::kShardSlot,
+                                    sim::ProfPhase::kFastforwardScan);
+            skipped_ += next - (now + 1);
+            if (metrics_.enabled()) {
+                const sim::Cycle step = cfg_.metrics_sample_interval;
+                for (sim::Cycle c = ((now + 1 + step - 1) / step) * step;
+                     c < next; c += step) {
+                    const sim::ProfScope ps(pb, sim::ProfBuffer::kShardSlot,
+                                            sim::ProfPhase::kSample);
+                    sample_gauges(c);
+                }
+            }
+            for (sim::Cycle c = (now + 1) | 0xfff; c < next; c += 0x1000) {
+                if (fp != last_fp) {
+                    last_fp = fp;
+                    last_progress = c;
+                } else if (c - last_progress > cfg_.no_progress_limit) {
+                    throw_deadlock(c, c - last_progress, false);
+                }
+            }
+        }
+        prev_fp = fp;
+        now = next;
+        if (pb != nullptr) {
+            prof_charge(pb, t, sim::ProfBuffer::kShardSlot,
+                        sim::ProfPhase::kNextActivity);
+        }
+    }
+    DTA_SIM_ERROR("simulation exceeded max_cycles (" +
+                  std::to_string(cfg_.max_cycles) + ")");
+}
+
 void Machine::sample_shard_gauges(std::uint32_t shard, sim::Cycle now) {
     ShardGauges& g = shard_gauges_[shard];
     std::int64_t cmds = 0;
@@ -841,6 +1036,10 @@ void Machine::sample_shard_gauges(std::uint32_t shard, sim::Cycle now) {
     }
     if (!prof_.empty()) {
         prof_[shard].snapshot(now);
+    }
+    if (shards_[shard]->wheel() != nullptr &&
+        shards_[shard]->wheel()->started()) {
+        shards_[shard]->wheel()->sample(now);
     }
 }
 
@@ -993,6 +1192,15 @@ RunResult Machine::gather(sim::Cycle cycles) const {
         } else {
             sim::merge_prof_buffer(r.host_profile, 0, "shard0", prof_[0],
                                    names_of(components_));
+        }
+    }
+    if (use_wheel_) {
+        if (!shards_.empty()) {
+            for (std::uint32_t s = 0; s < shard_count_; ++s) {
+                r.wheel.merge_from(shards_[s]->wheel()->stats(), s);
+            }
+        } else {
+            r.wheel = wheel_.stats();
         }
     }
     return r;

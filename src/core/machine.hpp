@@ -35,6 +35,7 @@
 #include "sim/log.hpp"
 #include "sim/metrics.hpp"
 #include "sim/shard.hpp"
+#include "sim/wheel.hpp"
 
 namespace dta::core {
 
@@ -85,6 +86,11 @@ struct RunResult {
     /// only: every other RunResult field is byte-identical with profiling
     /// on or off.
     sim::HostProfile host_profile;
+    /// Event-driven scheduler behaviour (only when MachineConfig::use_wheel;
+    /// otherwise disabled and empty).  Host-side only, like host_profile:
+    /// excluded from the JSON run report and every byte-identity comparison
+    /// — the simulated results are byte-identical with the wheel on or off.
+    sim::WheelStats wheel;
 
     [[nodiscard]] Breakdown total_breakdown() const;
     [[nodiscard]] InstrStats total_instrs() const;
@@ -173,6 +179,17 @@ public:
 private:
     void tick_cycle(sim::Cycle now, std::uint64_t& prof_t);
     void sample_gauges(sim::Cycle now);
+    /// The event-driven run loop (single-threaded, use_wheel on): visits
+    /// each component only at its scheduled cycle and replays the dense
+    /// loop's observable side effects (gauge samples, deadlock checkpoints)
+    /// over the jumped spans, so every RunResult byte matches run()'s.
+    [[nodiscard]] RunResult run_wheel();
+    /// Binds the wake hooks of every port consumed by a component of nodes
+    /// [node_lo, node_hi) to \p sched, addressing each by its index in
+    /// \p comps (the scheduler list \p sched was attached to).
+    void attach_wakers(sim::WheelScheduler& sched,
+                       const std::vector<sim::Component*>& comps,
+                       std::uint16_t node_lo, std::uint16_t node_hi);
     /// Registers the per-component invariant checks for nodes
     /// [node_lo, node_hi) into \p a (the machine-wide auditor, or one
     /// shard's auditor in sharded mode).
@@ -218,6 +235,7 @@ private:
     FabricLayout layout_;
     sim::Logger logger_;
     bool fast_forward_ = true;  ///< cfg_.fast_forward minus env override
+    bool use_wheel_ = true;     ///< cfg_.use_wheel minus DTA_NO_WHEEL
 
     mem::MainMemory mem_;
     std::vector<noc::Interconnect> fabrics_;  ///< one per node
@@ -231,6 +249,9 @@ private:
     /// dependency order of the seed's hand-rolled tick_cycle.
     std::vector<sim::Component*> components_;
     sim::Cycle skipped_ = 0;
+    /// Event-driven scheduler for the single-threaded loop (sharded runs
+    /// carry one per Shard instead, so wakes never cross host threads).
+    sim::WheelScheduler wheel_;
 
     std::vector<ThreadSpan> spans_;  ///< filled when cfg_.capture_spans
 

@@ -22,11 +22,12 @@ NodeRouter::NodeRouter(std::uint16_t node, std::uint16_t num_nodes,
     set_name("router" + std::to_string(node));
 }
 
-bool NodeRouter::inject(noc::EndpointId src, noc::Packet pkt) {
+bool NodeRouter::inject(noc::EndpointId src, noc::Packet pkt,
+                        sim::Cycle now) {
     pkt.dst = pkt.dst_node == node_ ? pkt.dst_final : layout_.bridge_ep();
     DTA_CHECK_MSG(pkt.dst_node == node_ || num_nodes_ > 1,
                   "cross-node packet in a single-node machine");
-    return fabric_.try_inject(src, std::move(pkt));
+    return fabric_.try_inject(src, std::move(pkt), now);
 }
 
 void NodeRouter::tick(sim::Cycle now) {
@@ -47,7 +48,7 @@ void NodeRouter::tick(sim::Cycle now) {
     // (a) packets that arrived over the inbound link
     while (!arrivals_.empty()) {
         if (arrivals_.front().dst_node == node_) {
-            if (!inject(layout_.bridge_ep(), arrivals_.front())) {
+            if (!inject(layout_.bridge_ep(), arrivals_.front(), now)) {
                 break;
             }
             arrivals_.pop_front();
@@ -62,7 +63,7 @@ void NodeRouter::tick(sim::Cycle now) {
     if (memif_ != nullptr) {
         sim::Port<noc::Packet>& tx = memif_->tx_port();
         while (!tx.empty()) {
-            if (!inject(layout_.mem_ep(), tx.front())) {
+            if (!inject(layout_.mem_ep(), tx.front(), now)) {
                 break;
             }
             tx.pop_front();
@@ -82,7 +83,7 @@ void NodeRouter::tick(sim::Cycle now) {
             pkt.a = msg.a;
             pkt.b = msg.b;
             pkt.c = msg.c;
-            const bool ok = inject(layout_.dse_ep(), std::move(pkt));
+            const bool ok = inject(layout_.dse_ep(), std::move(pkt), now);
             DTA_CHECK(ok);  // can_inject was checked
         }
     }
@@ -93,7 +94,8 @@ void NodeRouter::tick(sim::Cycle now) {
         noc::Packet pkt;
         while (pe.has_outgoing() && fabric_.can_inject(layout_.spe_ep(local)) &&
                pe.pop_outgoing(pkt)) {
-            const bool ok = inject(layout_.spe_ep(local), std::move(pkt));
+            const bool ok =
+                inject(layout_.spe_ep(local), std::move(pkt), now);
             DTA_CHECK(ok);
         }
     }
@@ -135,9 +137,22 @@ bool NodeRouter::quiescent() const {
 
 sim::Cycle NodeRouter::next_activity(sim::Cycle now) const {
     // Queued packets are retried against the fabric every tick; the retry
-    // (and the injection once credit frees) is observable activity.
+    // (and the injection once credit frees) is observable activity.  The
+    // pull-model producer queues this router drains (memory responses, DSE
+    // outbox, PE outgoing) count as its own: tick() is what moves them.
     if (!arrivals_.empty() || !bridge_out_.empty()) {
         return now + 1;
+    }
+    if (memif_ != nullptr && !memif_->tx_port().empty()) {
+        return now + 1;
+    }
+    if (dse_.has_outgoing()) {
+        return now + 1;
+    }
+    for (const Pe* pe : local_pes_) {
+        if (pe->has_outgoing()) {
+            return now + 1;
+        }
     }
     sim::Cycle h = link_ != nullptr ? link_->next_activity(now)
                                     : sim::kIdleForever;

@@ -67,7 +67,8 @@ public:
     [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) const override;
 
 private:
-    [[nodiscard]] bool inject(noc::EndpointId src, noc::Packet pkt);
+    [[nodiscard]] bool inject(noc::EndpointId src, noc::Packet pkt,
+                              sim::Cycle now);
 
     std::uint16_t node_;
     std::uint16_t num_nodes_;

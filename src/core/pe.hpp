@@ -51,6 +51,9 @@ public:
     /// Pops the next packet this PE wants to inject, if any.
     [[nodiscard]] bool pop_outgoing(noc::Packet& out);
     [[nodiscard]] bool has_outgoing() const { return !outgoing_.empty(); }
+    /// The outgoing queue as a port, so the event-driven scheduler can bind
+    /// a waker to it (the node router sleeps until a packet shows up).
+    [[nodiscard]] sim::Port<noc::Packet>& outgoing_port() { return outgoing_; }
 
     // ---- component interface ---------------------------------------------
     /// One full PE cycle: local store, then units, then the SPU pipeline.

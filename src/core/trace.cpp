@@ -99,6 +99,17 @@ std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
                               const std::vector<dma::DmaSpan>& dma_spans,
                               const std::vector<TraceFlow>& flows,
                               const sim::HostProfile& host) {
+    return chrome_trace_json(spans, code_names, metrics, dma_spans, flows,
+                             host, sim::WheelStats{});
+}
+
+std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
+                              const std::vector<std::string>& code_names,
+                              const sim::MetricsRegistry& metrics,
+                              const std::vector<dma::DmaSpan>& dma_spans,
+                              const std::vector<TraceFlow>& flows,
+                              const sim::HostProfile& host,
+                              const sim::WheelStats& wheel) {
     std::ostringstream os;
     EventWriter w(os);
     emit_process_name(w, 0, "SPUs");
@@ -106,6 +117,9 @@ std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
     emit_process_name(w, 2, "DMA");
     if (host.enabled) {
         emit_process_name(w, 3, "host");
+    }
+    if (wheel.enabled && !wheel.samples.empty()) {
+        emit_process_name(w, 4, "wheel");
     }
     emit_spu_track_names(w, spans);
     emit_thread_slices(w, spans, code_names);
@@ -176,6 +190,40 @@ std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
                     prev = snap.ns[p];
                 }
             }
+        }
+    }
+    // Event-driven scheduler tracks: per shard, the armed-component count
+    // (an occupancy gauge) plus pop and insert *rates* over each sampling
+    // interval (the samples carry cumulative totals, so each point is a
+    // delta from the shard's previous one).  Samples arrive merged and
+    // sorted by (cycle, shard), so per-shard deltas need a cursor per
+    // shard; runs without the wheel (or without metrics) add nothing.
+    if (wheel.enabled && !wheel.samples.empty()) {
+        std::uint32_t max_shard = 0;
+        for (const sim::WheelStats::Sample& s : wheel.samples) {
+            max_shard = s.shard > max_shard ? s.shard : max_shard;
+        }
+        struct Prev {
+            std::uint64_t pops = 0;
+            std::uint64_t inserts = 0;
+        };
+        std::vector<Prev> prev(max_shard + 1);
+        for (const sim::WheelStats::Sample& s : wheel.samples) {
+            Prev& p = prev[s.shard];
+            w.next() << R"(  {"name": "shard)" << s.shard
+                     << R"(/armed", "cat": "wheel", "ph": "C", "ts": )"
+                     << s.cycle << R"(, "pid": 4, "args": {"value": )"
+                     << s.occupancy << "}}";
+            w.next() << R"(  {"name": "shard)" << s.shard
+                     << R"(/pops", "cat": "wheel", "ph": "C", "ts": )"
+                     << s.cycle << R"(, "pid": 4, "args": {"value": )"
+                     << s.pops - p.pops << "}}";
+            w.next() << R"(  {"name": "shard)" << s.shard
+                     << R"(/inserts", "cat": "wheel", "ph": "C", "ts": )"
+                     << s.cycle << R"(, "pid": 4, "args": {"value": )"
+                     << s.inserts - p.inserts << "}}";
+            p.pops = s.pops;
+            p.inserts = s.inserts;
         }
     }
     w.finish();

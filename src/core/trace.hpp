@@ -11,6 +11,7 @@
 #include "sim/metrics.hpp"
 #include "sim/prof.hpp"
 #include "sim/types.hpp"
+#include "sim/wheel.hpp"
 
 namespace dta::core {
 
@@ -85,5 +86,20 @@ struct CodeProfile {
     const sim::MetricsRegistry& metrics,
     const std::vector<dma::DmaSpan>& dma_spans,
     const std::vector<TraceFlow>& flows, const sim::HostProfile& host);
+
+/// Like the host variant, and additionally renders the event-driven
+/// scheduler's counters (pid 4, "wheel") as counter tracks: armed
+/// components (occupancy) plus per-sampling-interval pop and insert rates,
+/// one track set per shard, plotted against simulated time.  \p wheel
+/// disabled or without samples adds nothing (the output is then
+/// byte-identical to the host variant — which is how `--no-wheel` runs and
+/// the wheel-vs-dense determinism tests keep their traces comparable).
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<ThreadSpan>& spans,
+    const std::vector<std::string>& code_names,
+    const sim::MetricsRegistry& metrics,
+    const std::vector<dma::DmaSpan>& dma_spans,
+    const std::vector<TraceFlow>& flows, const sim::HostProfile& host,
+    const sim::WheelStats& wheel);
 
 }  // namespace dta::core

@@ -36,7 +36,7 @@ bool Interconnect::can_inject(EndpointId src) const {
     return inject_[src].size() < cfg_.inject_queue_depth;
 }
 
-bool Interconnect::try_inject(EndpointId src, Packet pkt) {
+bool Interconnect::try_inject(EndpointId src, Packet pkt, sim::Cycle now) {
     DTA_CHECK(src < inject_.size());
     DTA_CHECK_MSG(pkt.dst < inbox_.size(), "packet addressed off the fabric");
     if (inject_[src].size() >= cfg_.inject_queue_depth) {
@@ -44,10 +44,13 @@ bool Interconnect::try_inject(EndpointId src, Packet pkt) {
         return false;
     }
     pkt.src = src;
-    pkt.enq_at = now_;
+    pkt.enq_at = now;
     inject_[src].push_back(std::move(pkt));
     ++inject_pending_;
     ++stats_.packets_injected;
+    if (waker_ != nullptr) {
+        waker_->wake(waker_comp_);
+    }
     return true;
 }
 
@@ -60,7 +63,6 @@ std::size_t Interconnect::pending() const {
 }
 
 void Interconnect::tick(sim::Cycle now) {
-    now_ = now;
     if (inject_pending_ == 0 && in_transit_.empty()) {
         return;  // empty fabric: nothing to mature, nothing to grant
     }

@@ -52,9 +52,19 @@ public:
     /// True if \p src has a free injection slot this cycle.
     [[nodiscard]] bool can_inject(EndpointId src) const;
 
-    /// Injects a packet; returns false (and leaves \p pkt untouched) when the
-    /// endpoint's injection queue is full.
-    [[nodiscard]] bool try_inject(EndpointId src, Packet pkt);
+    /// Injects a packet at cycle \p now; returns false (and leaves \p pkt
+    /// untouched) when the endpoint's injection queue is full.  \p now is
+    /// the caller's current cycle — under the event-driven scheduler the
+    /// fabric may not have ticked this cycle, so the injection timestamp
+    /// cannot be derived from its own clock.
+    [[nodiscard]] bool try_inject(EndpointId src, Packet pkt, sim::Cycle now);
+
+    /// Re-arms scheduler entry \p component on every successful injection
+    /// (the fabric sleeps between grants; an injection is new input).
+    void set_waker(sim::Waker* w, std::uint32_t component) {
+        waker_ = w;
+        waker_comp_ = component;
+    }
 
     /// Binds endpoint \p dst to \p sink: matured packets are pushed there
     /// directly during tick() instead of parking in the internal inbox.
@@ -124,8 +134,9 @@ private:
     std::size_t inject_pending_ = 0;  ///< total packets across inject_ queues
     std::uint64_t seq_ = 0;
     InterconnectStats stats_;
-    sim::Cycle now_ = 0;  ///< last tick time, stamps off-tick injections
     sim::Histogram* pkt_latency_ = nullptr;  ///< null when metrics are off
+    sim::Waker* waker_ = nullptr;            ///< event-driven wake hook
+    std::uint32_t waker_comp_ = 0;
 };
 
 }  // namespace dta::noc

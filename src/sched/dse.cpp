@@ -51,7 +51,7 @@ bool Dse::try_grant(const Pending& req) {
         msg.a = req.code;
         msg.b = req.sc;
         msg.c = req.ctx.pack();
-        outbox_.push_back(msg);
+        outbox_.push(msg);
         ++stats_.granted_local;
         return true;
     }
@@ -76,7 +76,7 @@ void Dse::on_falloc_req(std::uint64_t code, std::uint32_t sc, FallocCtx ctx,
         msg.a = req.code;
         msg.b = req.sc;
         msg.c = req.ctx.pack();
-        outbox_.push_back(msg);
+        outbox_.push(msg);
         ++stats_.forwarded;
         return;
     }

@@ -73,6 +73,9 @@ public:
     /// kFallocReq forwarded to the next node's DSE).
     [[nodiscard]] bool pop_outgoing(SchedMsg& out);
     [[nodiscard]] bool has_outgoing() const { return !outbox_.empty(); }
+    /// The outbox as a port, so the event-driven scheduler can bind a waker
+    /// to it (the node router sleeps until a message shows up).
+    [[nodiscard]] sim::Port<SchedMsg>& outbox_port() { return outbox_; }
 
     /// Requests parked waiting for a free frame.
     [[nodiscard]] std::size_t pending() const { return pending_.size(); }
@@ -115,7 +118,7 @@ private:
     sim::Port<noc::Packet> rx_;        ///< fabric DSE-endpoint deliveries
     std::vector<std::uint32_t> free_;  ///< free-frame count per local PE
     std::deque<Pending> pending_;
-    std::deque<SchedMsg> outbox_;
+    sim::Port<SchedMsg> outbox_;
     std::uint16_t rr_next_ = 0;
     DseStats stats_;
     sim::Histogram* queue_wait_ = nullptr;  ///< null when metrics are off

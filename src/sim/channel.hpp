@@ -39,6 +39,11 @@ public:
 
     [[nodiscard]] virtual bool empty() const = 0;
     [[nodiscard]] virtual std::size_t size() const = 0;
+    /// Drain cycle of the oldest entry, if any — consumer-side safe, and
+    /// barrier-safe for the coordinator.  The event-driven shard loop arms
+    /// the consuming router off this at window entry, and the epoch
+    /// coordinator folds it into its cross-shard lookahead.
+    [[nodiscard]] virtual bool peek_drain(Cycle* drain_at) const = 0;
 };
 
 /// Bounded lock-free SPSC ring.  Exactly one thread pushes (the shard that
@@ -73,7 +78,7 @@ public:
     }
 
     /// Consumer side: drain cycle of the oldest entry, if any.
-    [[nodiscard]] bool peek_drain(Cycle* drain_at) const {
+    [[nodiscard]] bool peek_drain(Cycle* drain_at) const override {
         const std::size_t head = head_.load(std::memory_order_relaxed);
         if (head == tail_.load(std::memory_order_acquire)) {
             return false;

@@ -33,6 +33,32 @@
 /// per-cycle loop would have produced (idle/prefetch breakdown charges,
 /// stale-by-one timestamp reads) is applied in bulk. Results must be
 /// bit-identical to ticking every cycle in `[from, to)`.
+///
+/// ## The re-arm/wake contract (event-driven scheduler)
+///
+/// The timing-wheel core (sim/wheel.hpp) leans on the horizon contract
+/// *per component* instead of globally: after every tick the component is
+/// re-armed at exactly `next_activity(now)` and is not visited before then.
+/// The "assuming no new input" escape hatch is closed by wakes: every queue
+/// a component drains carries a `Waker` binding (Port<T>::set_waker, or the
+/// equivalent hook on the fabric and the cross-shard channels), so the
+/// moment a producer pushes, the sleeping consumer is re-armed — at the
+/// current cycle if the dense tick order would still reach it this cycle
+/// (producer index below consumer index in the scheduler list), else at the
+/// next one. Two consequences for implementers:
+///
+///  1. `next_activity()` must cover every queue whose *drain* the component
+///     performs, even queues filled by other components mid-cycle: after
+///     the wake delivers the first visit, the component's own horizon keeps
+///     it hot until the queue empties (rule 1 above). A pull-model queue
+///     examined in tick() but owned by another object (e.g. a router
+///     draining its node's outboxes) counts as "its" queue here.
+///  2. A sleeping component's accounting is applied lazily: when a wake or
+///     re-arm lands it at cycle `h`, the wheel first calls
+///     `skip(acct, h)` for the slept span and only then `tick(h)`. skip()
+///     must therefore be safe mid-run on *any* quiescent-between-events
+///     state, not only the globally-frozen states the dense fast-forward
+///     produces.
 #pragma once
 
 #include <string>

@@ -117,7 +117,23 @@ void EpochRunner::coordinate() noexcept {
         if (bound_ >= cfg_.max_cycles) {
             fail_(Fail::kMaxCycles, bound_, 0);
         }
-        bound_ = std::min(bound_ + cfg_.epoch, cfg_.max_cycles);
+        // Cross-shard lookahead: every shard reports the earliest cycle it
+        // could act (its wheel's earliest entry, or its clock under the
+        // dense loop, folded with inbound drain stamps).  Nothing anywhere
+        // can happen before the minimum, and a packet sent at cycle t >=
+        // that minimum drains at t + link latency + 1 >= minimum + epoch —
+        // so the next barrier can land at minimum + epoch instead of
+        // bound + epoch, collapsing globally-idle stretches that the
+        // per-epoch lockstep would otherwise cross one epoch at a time.
+        Cycle target = bound_;
+        Cycle lookahead = kCycleNever;
+        for (const Shard* s : shards_) {
+            lookahead = std::min(lookahead, s->lookahead_hint());
+        }
+        if (lookahead != kCycleNever) {
+            target = std::max(target, std::min(lookahead, cfg_.max_cycles));
+        }
+        bound_ = std::min(target + cfg_.epoch, cfg_.max_cycles);
     } catch (...) {
         record_error();
         phase_ = Phase::kExit;

@@ -22,13 +22,36 @@
 
 namespace dta::sim {
 
+/// Wake sink for the event-driven scheduler (sim/wheel.hpp): a `Port<T>`
+/// with a waker bound reports every push so the scheduler can re-arm the
+/// sleeping consumer.  The dense loop binds no wakers and pays one
+/// predictable branch per push.
+class Waker {
+ public:
+    virtual ~Waker() = default;
+    /// Input just landed in a queue owned by scheduler entry \p component.
+    virtual void wake(std::uint32_t component) = 0;
+};
+
 /// An unbounded FIFO with exactly one consumer (its owner). Producers may
 /// be many; ordering is push order, which the machine's fixed component
 /// order makes deterministic.
 template <typename T>
 class Port {
  public:
-    void push(T v) { q_.push_back(std::move(v)); }
+    void push(T v) {
+        q_.push_back(std::move(v));
+        if (waker_ != nullptr) {
+            waker_->wake(waker_comp_);
+        }
+    }
+
+    /// Routes push notifications to \p w as scheduler entry \p component.
+    /// Bound once at machine construction, before the run loop starts.
+    void set_waker(Waker* w, std::uint32_t component) {
+        waker_ = w;
+        waker_comp_ = component;
+    }
 
     /// Pop the oldest element into \p out; false when empty.
     [[nodiscard]] bool pop(T& out) {
@@ -50,6 +73,8 @@ class Port {
 
  private:
     std::deque<T> q_;
+    Waker* waker_ = nullptr;
+    std::uint32_t waker_comp_ = 0;
 };
 
 /// Fixed-type slab allocator handing out stable indices. Slots are reused

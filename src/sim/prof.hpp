@@ -46,6 +46,9 @@ enum class ProfPhase : std::uint8_t {
     kChannelDrain,      ///< draining inbound cross-shard channels
     kAudit,             ///< invariant audit sweeps
     kSample,            ///< gauge sampling / metrics snapshots
+    kWheelPop,          ///< collecting the due set from the timing wheel
+    kWheelInsert,       ///< wheel enqueues from wakes and external re-arms
+    kRearm,             ///< post-tick horizon query + reschedule
     kCount
 };
 

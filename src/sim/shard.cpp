@@ -37,7 +37,137 @@ void Shard::fast_forward_span(Cycle from, Cycle to) {
     acct_next_ = to;
 }
 
+void Shard::enable_wheel(std::vector<std::uint32_t> inbound_consumers) {
+    DTA_SIM_REQUIRE(wheel_ == nullptr, "enable_wheel() called twice");
+    DTA_SIM_REQUIRE(inbound_consumers.size() == inbound_.size(),
+                    "one consumer index per inbound channel");
+    wheel_ = std::make_unique<WheelScheduler>();
+    wheel_->attach(components_);
+    wheel_->set_prof(hooks_.prof);
+    inbound_consumers_ = std::move(inbound_consumers);
+}
+
+Cycle Shard::lookahead_hint() const {
+    Cycle h = kIdleForever;
+    if (!paused_ && !stuck_) {
+        h = wheel_ != nullptr && wheel_->started() && !wheel_->dense_mode()
+                ? wheel_->next_due(acct_next_)
+                : acct_next_;
+    }
+    for (const ChannelBase* ch : inbound_) {
+        Cycle d = 0;
+        if (ch->peek_drain(&d)) {
+            h = std::min(h, std::max(d, acct_next_));
+        }
+    }
+    return h;
+}
+
+void Shard::wheel_span(Cycle from, Cycle to) {
+    const ProfScope prof(hooks_.prof, ProfBuffer::kShardSlot,
+                         ProfPhase::kFastforwardScan);
+    skipped_ += to - from;
+    // Replay the gauge samples the dense loop would have taken.  Lagging
+    // sleepers are fine: gauges read architectural state, which skip()
+    // cannot change (it only settles accounting like breakdown buckets).
+    if (hooks_.sample && hooks_.sample_interval > 0) {
+        const Cycle step = hooks_.sample_interval;
+        for (Cycle c = ((from + step - 1) / step) * step; c < to; c += step) {
+            const ProfScope ps(hooks_.prof, ProfBuffer::kShardSlot,
+                               ProfPhase::kSample);
+            hooks_.sample(c);
+        }
+    }
+    acct_next_ = to;
+}
+
+void Shard::run_until_wheel(Cycle bound) {
+    WheelScheduler& sched = *wheel_;
+    ProfBuffer* const pb = hooks_.prof;
+    stuck_ = false;
+    if (hooks_.progress) {
+        hooks_.progress(acct_next_);
+    }
+    std::uint64_t t = 0;
+    if (pb != nullptr) {
+        pb->take_orphan_child_ns();
+        t = prof_now_ns();
+    }
+    const auto charge = [&](std::uint32_t slot, ProfPhase phase) {
+        const std::uint64_t t2 = prof_now_ns();
+        pb->add(slot, phase, t2 - t - pb->take_orphan_child_ns());
+        t = t2;
+    };
+    if (!sched.started()) {
+        sched.start(acct_next_);
+    }
+    // Window-entry channel arming: every entry visible now was published at
+    // least one epoch ago (drain >= the window's start by the lookahead
+    // bound), and entries the producer pushes *during* this window drain
+    // beyond its end — so the oldest entry's stamp re-arms the consuming
+    // router exactly once per window, and the router's own horizon chains
+    // to later entries after each drain.
+    for (std::size_t i = 0; i < inbound_.size(); ++i) {
+        Cycle d = 0;
+        if (inbound_[i]->peek_drain(&d)) {
+            sched.wake_at(inbound_consumers_[i], std::max(d, acct_next_));
+        }
+    }
+    while (!paused_ && acct_next_ < bound) {
+        const Cycle now = acct_next_;
+        if (!sched.dense_mode() && sched.idle()) {
+            // Every horizon is kIdleForever: locally indistinguishable from
+            // machine-wide deadlock (another shard may owe us a packet), so
+            // flag it and coast to the barrier; the coordinator decides.
+            stuck_ = true;
+            wheel_span(now, bound);
+            if (pb != nullptr) {
+                charge(ProfBuffer::kShardSlot, ProfPhase::kNextActivity);
+            }
+            break;
+        }
+        const Cycle due = sched.dense_mode() ? now : sched.next_due(now);
+        DTA_CHECK_MSG(due >= now, "wheel entry behind the shard clock");
+        if (due > now) {
+            wheel_span(now, std::min(due, bound));
+            if (pb != nullptr) {
+                charge(ProfBuffer::kShardSlot, ProfPhase::kNextActivity);
+            }
+            continue;
+        }
+        sched.run_cycle(now, pb, t);
+        if (hooks_.sample && hooks_.sample_interval > 0 &&
+            now % hooks_.sample_interval == 0) {
+            hooks_.sample(now);
+            if (pb != nullptr) {
+                charge(ProfBuffer::kShardSlot, ProfPhase::kSample);
+            }
+        }
+        if (hooks_.audit && hooks_.audit_interval > 0 &&
+            now % hooks_.audit_interval == 0) {
+            hooks_.audit(now);
+            if (pb != nullptr) {
+                charge(ProfBuffer::kShardSlot, ProfPhase::kAudit);
+            }
+        }
+        ++ticked_;
+        acct_next_ = now + 1;
+        const bool quiet = all_quiescent();
+        if (pb != nullptr) {
+            charge(ProfBuffer::kShardSlot, ProfPhase::kQuiescence);
+        }
+        if (quiet) {
+            paused_ = true;
+            return;
+        }
+    }
+}
+
 void Shard::run_until(Cycle bound) {
+    if (wheel_ != nullptr) {
+        run_until_wheel(bound);
+        return;
+    }
     ProfBuffer* const pb = hooks_.prof;
     stuck_ = false;
     if (hooks_.progress) {
@@ -146,9 +276,25 @@ void Shard::run_until(Cycle bound) {
 }
 
 void Shard::catch_up(Cycle to) {
-    if (acct_next_ < to) {
-        fast_forward_span(acct_next_, to);
+    if (wheel_ != nullptr) {
+        // The shard clock reaching `to` is NOT enough under the wheel:
+        // sleepers' per-component accounting lags acct_next_, so the
+        // scheduler must settle every component even when this shard is
+        // the one that defined the global end cycle.
+        {
+            const ProfScope prof(hooks_.prof, ProfBuffer::kShardSlot,
+                                 ProfPhase::kFastforwardScan);
+            wheel_->catch_up(to);
+        }
+        if (acct_next_ < to) {
+            wheel_span(acct_next_, to);
+        }
+        return;
     }
+    if (acct_next_ >= to) {
+        return;
+    }
+    fast_forward_span(acct_next_, to);
 }
 
 }  // namespace dta::sim

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "sim/component.hpp"
 #include "sim/prof.hpp"
 #include "sim/types.hpp"
+#include "sim/wheel.hpp"
 
 namespace dta::sim {
 
@@ -80,6 +82,25 @@ public:
     /// while the shard is quiescent (guaranteed when paused).
     void catch_up(Cycle to);
 
+    /// Switches run_until to the event-driven scheduler (sim/wheel.hpp).
+    /// \p inbound_consumers maps each inbound channel (same order as the
+    /// ctor's inbound list) to the scheduler index of its consuming router;
+    /// at every window entry the oldest entry's drain stamp re-arms that
+    /// router, which is what replaces "tick every cycle so the router polls
+    /// its channel".  Call once, before the first run_until.
+    void enable_wheel(std::vector<std::uint32_t> inbound_consumers);
+    /// The shard's scheduler (null when running the dense loop) — the
+    /// Machine binds component wake hooks to it, and samples it.
+    [[nodiscard]] WheelScheduler* wheel() const { return wheel_.get(); }
+
+    /// Earliest cycle at which this shard could next act, as visible at the
+    /// epoch barrier: the wheel's earliest entry (the shard's own clock
+    /// under the dense loop or degraded dense mode), folded with the oldest
+    /// inbound-channel drain stamp; kIdleForever when paused or stuck.  The
+    /// coordinator takes the minimum over shards to stretch the next epoch
+    /// bound across globally-idle stretches (sim/epoch.cpp).
+    [[nodiscard]] Cycle lookahead_hint() const;
+
     /// Next unaccounted cycle; the shard's private clock.
     [[nodiscard]] Cycle acct_next() const { return acct_next_; }
     /// Paused: quiescent with empty inbound channels; awaits wake().
@@ -121,12 +142,20 @@ public:
 
 private:
     void fast_forward_span(Cycle from, Cycle to);
+    void run_until_wheel(Cycle bound);
+    /// Advances the clock over the inactive span [from, to): state is
+    /// frozen, so only the dense loop's per-cycle side effects (gauge
+    /// samples) are replayed; component skip() bookkeeping stays lazy.
+    void wheel_span(Cycle from, Cycle to);
     [[nodiscard]] bool all_quiescent() const;
 
     std::string name_;
     std::vector<Component*> components_;
     std::vector<ChannelBase*> inbound_;
     Hooks hooks_;
+
+    std::unique_ptr<WheelScheduler> wheel_;  ///< null = dense loop
+    std::vector<std::uint32_t> inbound_consumers_;
 
     Cycle acct_next_ = 0;
     bool paused_ = false;

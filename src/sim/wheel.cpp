@@ -1,0 +1,446 @@
+#include "sim/wheel.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "sim/check.hpp"
+
+namespace dta::sim {
+
+void WheelStats::merge_from(const WheelStats& o, std::uint32_t shard) {
+    enabled = enabled || o.enabled;
+    pops += o.pops;
+    inserts += o.inserts;
+    rearms += o.rearms;
+    wakes += o.wakes;
+    active_cycles += o.active_cycles;
+    dense_cycles += o.dense_cycles;
+    dense_entries += o.dense_entries;
+    peak_occupancy = std::max(peak_occupancy, o.peak_occupancy);
+    for (Sample s : o.samples) {
+        s.shard = shard;
+        samples.push_back(s);
+    }
+    std::stable_sort(samples.begin(), samples.end(),
+                     [](const Sample& a, const Sample& b) {
+                         return a.cycle != b.cycle ? a.cycle < b.cycle
+                                                   : a.shard < b.shard;
+                     });
+}
+
+// ---------------------------------------------------------------------------
+// TimingWheel
+
+void TimingWheel::insert(Cycle at, std::uint32_t id) {
+    DTA_CHECK_MSG(at >= pos_, "timing wheel insert in the past");
+    ++entries_;
+    if (page_of(at) == page_of(pos_)) {
+        l0_[at & (kSlots - 1)].push_back(id);
+        ++l0_count_;
+    } else if (epoch_of(at) == epoch_of(pos_)) {
+        l1_[page_of(at) & (kSlots - 1)].push_back({at, id});
+        ++l1_count_;
+    } else {
+        overflow_.push_back({at, id});
+    }
+}
+
+void TimingWheel::refill_l1_from_overflow() {
+    // Entries whose epoch has come into range cascade down; later ones
+    // stay.  An entry already behind the new position is a stale ghost and
+    // is dropped outright.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < overflow_.size(); ++i) {
+        const Entry e = overflow_[i];
+        if (epoch_of(e.at) > epoch_of(pos_)) {
+            overflow_[kept++] = e;
+        } else if (e.at < pos_) {
+            --entries_;
+        } else if (page_of(e.at) == page_of(pos_)) {
+            l0_[e.at & (kSlots - 1)].push_back(e.id);
+            ++l0_count_;
+        } else {
+            l1_[page_of(e.at) & (kSlots - 1)].push_back(e);
+            ++l1_count_;
+        }
+    }
+    overflow_.resize(kept);
+}
+
+void TimingWheel::refill_l0_from_l1() {
+    // Cascade the current page's entries down.  The slot may also hold
+    // entries for a future lap of L1 (same slot index, different page) —
+    // those stay — and stale ghosts from pages already passed, dropped here.
+    auto& slot = l1_[page_of(pos_) & (kSlots - 1)];
+    std::size_t kept = 0;
+    for (const Entry& e : slot) {
+        if (e.at < pos_) {
+            --entries_;
+            --l1_count_;
+        } else if (page_of(e.at) == page_of(pos_)) {
+            l0_[e.at & (kSlots - 1)].push_back(e.id);
+            ++l0_count_;
+            --l1_count_;
+        } else {
+            slot[kept++] = e;
+        }
+    }
+    slot.resize(kept);
+}
+
+void TimingWheel::advance(Cycle at) {
+    DTA_CHECK_MSG(at >= pos_, "timing wheel moved backwards");
+    if (page_of(at) == page_of(pos_)) {
+        // Slots jumped over hold only stale ids (the caller never advances
+        // past a live entry); drop them so a later lap of the page ring and
+        // next_due() never see them.
+        for (Cycle c = pos_; c < at && l0_count_ > 0; ++c) {
+            auto& slot = l0_[c & (kSlots - 1)];
+            entries_ -= slot.size();
+            l0_count_ -= slot.size();
+            slot.clear();
+        }
+        pos_ = at;
+        return;
+    }
+    // Entering a new page: anything still in L0 is stale by the same
+    // argument, so the whole level can be dropped before cascading in.
+    for (auto& slot : l0_) {
+        entries_ -= slot.size();
+        slot.clear();
+    }
+    l0_count_ = 0;
+    const bool new_epoch = epoch_of(at) != epoch_of(pos_);
+    pos_ = at;
+    if (new_epoch) {
+        // One level up: L1 leftovers behind the new position are stale.
+        // Entries for future epochs may legitimately sit in L1 slots
+        // (insert files by page-within-epoch), so filter rather than clear.
+        for (auto& slot : l1_) {
+            std::size_t kept = 0;
+            for (const Entry& e : slot) {
+                if (e.at >= pos_) {
+                    slot[kept++] = e;
+                }
+            }
+            entries_ -= slot.size() - kept;
+            l1_count_ -= slot.size() - kept;
+            slot.resize(kept);
+        }
+        refill_l1_from_overflow();
+    } else {
+        // Same epoch, new page: ghosts in L1 slots for the pages jumped
+        // over would otherwise linger a full L1 lap and pollute next_due().
+        for (auto& slot : l1_) {
+            std::size_t kept = 0;
+            for (const Entry& e : slot) {
+                if (e.at >= pos_) {
+                    slot[kept++] = e;
+                } else {
+                    --entries_;
+                    --l1_count_;
+                }
+            }
+            slot.resize(kept);
+        }
+    }
+    refill_l0_from_l1();
+}
+
+void TimingWheel::collect(Cycle at, std::vector<std::uint32_t>& out) {
+    advance(at);
+    auto& slot = l0_[at & (kSlots - 1)];
+    for (const std::uint32_t id : slot) {
+        out.push_back(id);
+    }
+    entries_ -= slot.size();
+    l0_count_ -= slot.size();
+    slot.clear();
+}
+
+Cycle TimingWheel::next_due() const {
+    if (entries_ == 0) {
+        return kCycleNever;
+    }
+    if (l0_count_ > 0) {
+        // Every L0 entry sits in [pos_, end of page] (stale ids are purged
+        // on advance), so the probe terminates within the page.
+        const Cycle page_end = ((page_of(pos_) + 1) << kPageShift);
+        for (Cycle c = pos_; c < page_end; ++c) {
+            if (!l0_[c & (kSlots - 1)].empty()) {
+                return c;
+            }
+        }
+        DTA_CHECK_MSG(false, "timing wheel L0 count out of sync");
+    }
+    Cycle best = kCycleNever;
+    if (l1_count_ > 0) {
+        for (const auto& slot : l1_) {
+            for (const Entry& e : slot) {
+                best = std::min(best, e.at);
+            }
+        }
+    }
+    for (const Entry& e : overflow_) {
+        best = std::min(best, e.at);
+    }
+    return best;
+}
+
+void TimingWheel::reset(Cycle at) {
+    for (auto& slot : l0_) {
+        slot.clear();
+    }
+    for (auto& slot : l1_) {
+        slot.clear();
+    }
+    overflow_.clear();
+    entries_ = 0;
+    l0_count_ = 0;
+    l1_count_ = 0;
+    pos_ = at;
+}
+
+// ---------------------------------------------------------------------------
+// WheelScheduler
+
+void WheelScheduler::attach(const std::vector<Component*>& components) {
+    comps_ = components;
+    due_.assign(comps_.size(), kIdleForever);
+    acct_.assign(comps_.size(), 0);
+    active_.reserve(comps_.size());
+    scratch_.reserve(comps_.size());
+}
+
+void WheelScheduler::start(Cycle now) {
+    DTA_CHECK_MSG(!comps_.empty(), "wheel scheduler started unattached");
+    wheel_.reset(now);
+    for (std::uint32_t i = 0; i < comps_.size(); ++i) {
+        due_[i] = now;
+        acct_[i] = now;
+        wheel_.insert(now, i);
+    }
+    armed_ = comps_.size();
+    stats_.enabled = true;
+    stats_.inserts += comps_.size();
+    stats_.peak_occupancy = std::max(stats_.peak_occupancy, armed_);
+    started_ = true;
+}
+
+void WheelScheduler::heap_push(std::uint32_t i) {
+    active_.push_back(i);
+    std::push_heap(active_.begin(), active_.end(),
+                   std::greater<std::uint32_t>());
+}
+
+std::uint32_t WheelScheduler::heap_pop() {
+    std::pop_heap(active_.begin(), active_.end(),
+                  std::greater<std::uint32_t>());
+    const std::uint32_t i = active_.back();
+    active_.pop_back();
+    return i;
+}
+
+void WheelScheduler::arm(std::uint32_t i, Cycle at) {
+    if (due_[i] == kIdleForever) {
+        ++armed_;
+        stats_.peak_occupancy = std::max(stats_.peak_occupancy, armed_);
+    }
+    due_[i] = at;
+    wheel_.insert(at, i);
+    ++stats_.inserts;
+}
+
+void WheelScheduler::wake(std::uint32_t component) {
+    if (!started_ || dense_) {
+        return;  // pre-run launch() pushes; dense mode visits everyone anyway
+    }
+    // Dense-order rule: while cycle now_ is in flight, a consumer with a
+    // higher list index than the producer under the cursor has not been
+    // visited yet this cycle — the dense loop would have it observe the push
+    // at now_.  Anyone else sees it at now_ + 1.
+    const Cycle at =
+        (in_cycle_ && component > cursor_) ? now_ : now_ + 1;
+    if (due_[component] <= at) {
+        return;  // already scheduled at least that early
+    }
+    ++stats_.wakes;
+    const ProfScope prof(pb_, ProfBuffer::kShardSlot,
+                         ProfPhase::kWheelInsert);
+    if (in_cycle_ && at == now_) {
+        if (due_[component] == kIdleForever) {
+            ++armed_;
+            stats_.peak_occupancy = std::max(stats_.peak_occupancy, armed_);
+        }
+        due_[component] = at;
+        heap_push(component);
+    } else {
+        arm(component, at);
+    }
+}
+
+void WheelScheduler::wake_at(std::uint32_t component, Cycle at) {
+    if (dense_) {
+        return;
+    }
+    if (due_[component] <= at) {
+        return;
+    }
+    ++stats_.wakes;
+    const ProfScope prof(pb_, ProfBuffer::kShardSlot,
+                         ProfPhase::kWheelInsert);
+    arm(component, at);
+}
+
+std::uint32_t WheelScheduler::run_cycle(Cycle at, ProfBuffer* pb,
+                                        std::uint64_t& t) {
+    if (dense_) {
+        return run_dense_cycle(at, pb, t);
+    }
+    now_ = at;
+    in_cycle_ = true;
+    scratch_.clear();
+    wheel_.collect(at, scratch_);
+    for (const std::uint32_t i : scratch_) {
+        if (due_[i] == at) {
+            heap_push(i);
+        }
+        // due_[i] != at: a stale entry from a wake that re-armed earlier.
+    }
+    if (pb != nullptr) {
+        const std::uint64_t t2 = prof_now_ns();
+        pb->add(ProfBuffer::kShardSlot, ProfPhase::kWheelPop,
+                t2 - t - pb->take_orphan_child_ns());
+        t = t2;
+    }
+    std::uint32_t ticked = 0;
+    while (!active_.empty()) {
+        const std::uint32_t i = heap_pop();
+        if (due_[i] != at) {
+            continue;  // superseded while queued (double wake)
+        }
+        cursor_ = i;
+        Component* const c = comps_[i];
+        if (acct_[i] < at) {
+            c->skip(acct_[i], at);
+        }
+        c->tick(at);
+        acct_[i] = at + 1;
+        if (pb != nullptr) {
+            const std::uint64_t t2 = prof_now_ns();
+            pb->add(i + 1, ProfPhase::kTick,
+                    t2 - t - pb->take_orphan_child_ns());
+            t = t2;
+        }
+        const Cycle h = c->next_activity(at);
+        DTA_CHECK_MSG(h > at, "component horizon not in the future");
+        ++stats_.rearms;
+        --armed_;  // finite due_ consumed by this visit
+        due_[i] = kIdleForever;
+        if (h != kIdleForever) {
+            arm(i, h);
+        }
+        if (pb != nullptr) {
+            const std::uint64_t t2 = prof_now_ns();
+            pb->add(ProfBuffer::kShardSlot, ProfPhase::kRearm,
+                    t2 - t - pb->take_orphan_child_ns());
+            t = t2;
+        }
+        ++ticked;
+    }
+    cursor_ = kNoCursor;
+    in_cycle_ = false;
+    stats_.pops += ticked;
+    if (ticked > 0) {
+        ++stats_.active_cycles;
+    }
+    // Degradation hysteresis: a machine where most components are due on
+    // consecutive cycles pays more for pop/re-arm than it saves.
+    const bool hot = static_cast<std::size_t>(ticked) * 2 >= comps_.size();
+    if (hot && last_cycle_ != kCycleNever && at == last_cycle_ + 1) {
+        if (++hot_streak_ >= kDenseEnterStreak) {
+            enter_dense(at);
+        }
+    } else {
+        hot_streak_ = hot ? 1 : 0;
+    }
+    last_cycle_ = at;
+    return ticked;
+}
+
+std::uint32_t WheelScheduler::run_dense_cycle(Cycle at, ProfBuffer* pb,
+                                              std::uint64_t& t) {
+    for (std::uint32_t i = 0; i < comps_.size(); ++i) {
+        comps_[i]->tick(at);
+        acct_[i] = at + 1;
+        if (pb != nullptr) {
+            const std::uint64_t t2 = prof_now_ns();
+            pb->add(i + 1, ProfPhase::kTick,
+                    t2 - t - pb->take_orphan_child_ns());
+            t = t2;
+        }
+    }
+    ++stats_.dense_cycles;
+    last_cycle_ = at;
+    if ((at - dense_since_) % kDenseExitPeriod == kDenseExitPeriod - 1) {
+        maybe_exit_dense(at);
+    }
+    return static_cast<std::uint32_t>(comps_.size());
+}
+
+void WheelScheduler::enter_dense(Cycle at) {
+    // Cycle `at` is fully processed; bring every sleeper's accounting up to
+    // at + 1 so dense ticking can proceed uniformly from the next cycle.
+    for (std::uint32_t i = 0; i < comps_.size(); ++i) {
+        if (acct_[i] < at + 1) {
+            comps_[i]->skip(acct_[i], at + 1);
+            acct_[i] = at + 1;
+        }
+    }
+    dense_ = true;
+    dense_since_ = at + 1;
+    hot_streak_ = 0;
+    ++stats_.dense_entries;
+}
+
+void WheelScheduler::maybe_exit_dense(Cycle at) {
+    // Exit when well under half the machine wants the very next cycle.
+    // Pending input is covered: a component with queued work reports
+    // now + 1 itself (the horizon contract), so rebuilding purely from
+    // horizons cannot strand a queue.
+    std::size_t busy = 0;
+    for (const Component* c : comps_) {
+        if (c->next_activity(at) == at + 1) {
+            ++busy;
+        }
+    }
+    if (busy * 4 >= comps_.size()) {
+        return;
+    }
+    wheel_.reset(at + 1);
+    armed_ = 0;
+    for (std::uint32_t i = 0; i < comps_.size(); ++i) {
+        const Cycle h = comps_[i]->next_activity(at);
+        due_[i] = kIdleForever;
+        if (h != kIdleForever) {
+            arm(i, h);
+        }
+    }
+    dense_ = false;
+    hot_streak_ = 0;
+    last_cycle_ = at;
+}
+
+void WheelScheduler::catch_up(Cycle to) {
+    if (!started_) {
+        return;
+    }
+    for (std::uint32_t i = 0; i < comps_.size(); ++i) {
+        if (acct_[i] < to) {
+            comps_[i]->skip(acct_[i], to);
+            acct_[i] = to;
+        }
+    }
+}
+
+}  // namespace dta::sim

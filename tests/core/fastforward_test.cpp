@@ -65,6 +65,10 @@ void expect_identical(const core::RunResult& a, const core::RunResult& b) {
 template <typename W>
 void expect_ff_exact(const W& wl, core::MachineConfig cfg, bool prefetch,
                      bool expect_skips) {
+    // This test exercises the *dense* loop's horizon-scan fast-forward;
+    // the event-driven scheduler skips idle spans by construction (its
+    // differential lives in shard_determinism_test and tools/dta_fuzz).
+    cfg.use_wheel = false;
     cfg.fast_forward = false;
     const RunOutcome ref = run_workload(wl, cfg, prefetch);
     ASSERT_TRUE(ref.correct) << ref.detail;
@@ -129,6 +133,7 @@ TEST(FastForward, SingleSpeBlockingRunSkipsMostCycles) {
     p.threads = 8;
     const MatMul wl(p);
     auto cfg = MatMul::machine_config(1);
+    cfg.use_wheel = false;
     cfg.fast_forward = true;
     const RunOutcome out = run_workload(wl, cfg, false);
     ASSERT_TRUE(out.correct) << out.detail;
@@ -141,6 +146,7 @@ TEST(FastForward, EnvVarEscapeHatchDisablesSkipping) {
     p.threads = 8;
     const MatMul wl(p);
     auto cfg = MatMul::machine_config(1);
+    cfg.use_wheel = false;  // DTA_NO_FASTFORWARD governs the dense loop
     cfg.fast_forward = true;  // overridden by the environment below
 
     ASSERT_EQ(setenv("DTA_NO_FASTFORWARD", "1", 1), 0);

@@ -1,9 +1,11 @@
-// The sharded (multi-threaded) run loop must be bit-identical to the
-// single-threaded reference: same cycle count, same spans, same DMA spans,
-// byte-identical JSON run reports, byte-identical thread-lifecycle event
-// logs, and byte-identical critical-path reports for every host-thread
-// count.  Each paper workload runs on a 4-node machine with threads 1, 2
-// and 4, in both the original and the prefetch-pass variants.
+// The sharded (multi-threaded) run loop and the event-driven scheduler
+// must both be bit-identical to the single-threaded dense reference: same
+// cycle count, same spans, same DMA spans, byte-identical JSON run
+// reports, byte-identical thread-lifecycle event logs, and byte-identical
+// critical-path reports for every host-thread count, with the timing
+// wheel on or off (--no-wheel).  Each paper workload runs on a 4-node
+// machine with threads 1, 2 and 4, in both the original and the
+// prefetch-pass variants.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -34,8 +36,9 @@ struct Captured {
 
 template <typename Workload>
 Captured run_with(const Workload& w, MachineConfig cfg, bool prefetch,
-                  std::uint32_t threads) {
+                  std::uint32_t threads, bool use_wheel = true) {
     cfg.host_threads = threads;
+    cfg.use_wheel = use_wheel;
     cfg.capture_spans = true;
     cfg.collect_metrics = true;
     cfg.collect_events = true;
@@ -61,8 +64,9 @@ Captured run_with(const Workload& w, MachineConfig cfg, bool prefetch,
 }
 
 void expect_identical(const Captured& ref, const Captured& got,
-                      std::uint32_t threads) {
-    SCOPED_TRACE("threads=" + std::to_string(threads));
+                      std::uint32_t threads, bool use_wheel = true) {
+    SCOPED_TRACE("threads=" + std::to_string(threads) +
+                 (use_wheel ? " wheel" : " dense"));
     EXPECT_EQ(ref.res.cycles, got.res.cycles);
     EXPECT_EQ(ref.json, got.json) << "JSON run report differs";
     EXPECT_EQ(ref.events, got.events) << "event log differs";
@@ -89,18 +93,26 @@ void expect_identical(const Captured& ref, const Captured& got,
     }
 }
 
-/// Runs both program variants with threads 1, 2 and 4 on a 4-node machine
-/// and requires every result to match the single-threaded reference.
+/// Runs both program variants on a 4-node machine and requires every
+/// (threads, scheduler) combination to match the single-threaded *dense*
+/// reference: the wheel at threads 1, 2 and 4, and the dense loop at
+/// threads 2 and 4.
 template <typename Workload>
 void check_all_thread_counts(const Workload& w, MachineConfig cfg) {
     cfg.nodes = 4;
     cfg.spes_per_node = 2;
     for (const bool prefetch : {false, true}) {
         SCOPED_TRACE(prefetch ? "prefetch" : "original");
-        const Captured ref = run_with(w, cfg, prefetch, 1);
+        const Captured ref = run_with(w, cfg, prefetch, 1, false);
+        for (const std::uint32_t threads : {1u, 2u, 4u}) {
+            expect_identical(ref,
+                             run_with(w, cfg, prefetch, threads, true),
+                             threads, true);
+        }
         for (const std::uint32_t threads : {2u, 4u}) {
-            expect_identical(ref, run_with(w, cfg, prefetch, threads),
-                             threads);
+            expect_identical(ref,
+                             run_with(w, cfg, prefetch, threads, false),
+                             threads, false);
         }
     }
 }

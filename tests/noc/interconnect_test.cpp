@@ -19,7 +19,7 @@ Packet mk(EndpointId dst, std::uint32_t size = 16) {
 
 TEST(Interconnect, DeliversAfterTransferPlusHop) {
     Interconnect noc(table4(), 4);
-    ASSERT_TRUE(noc.try_inject(0, mk(2, /*size=*/16)));
+    ASSERT_TRUE(noc.try_inject(0, mk(2, /*size=*/16), 0));
     // 16 bytes at 8 B/cycle = 2 cycles occupancy + 5 hop latency.
     Packet out;
     sim::Cycle got = 0;
@@ -38,7 +38,7 @@ TEST(Interconnect, DeliversAfterTransferPlusHop) {
 TEST(Interconnect, FourBusesCarryFourPacketsConcurrently) {
     Interconnect noc(table4(), 8);
     for (EndpointId src = 0; src < 4; ++src) {
-        ASSERT_TRUE(noc.try_inject(src, mk(7, 16)));
+        ASSERT_TRUE(noc.try_inject(src, mk(7, 16), 0));
     }
     std::vector<sim::Cycle> deliveries;
     Packet out;
@@ -56,7 +56,7 @@ TEST(Interconnect, FourBusesCarryFourPacketsConcurrently) {
 TEST(Interconnect, FifthPacketWaitsForAFreeBus) {
     Interconnect noc(table4(), 8);
     for (int i = 0; i < 5; ++i) {
-        ASSERT_TRUE(noc.try_inject(0, mk(7, 16)));
+        ASSERT_TRUE(noc.try_inject(0, mk(7, 16), 0));
     }
     std::vector<sim::Cycle> deliveries;
     Packet out;
@@ -74,10 +74,10 @@ TEST(Interconnect, InjectionQueueBackPressure) {
     InterconnectConfig cfg = table4();
     cfg.inject_queue_depth = 2;
     Interconnect noc(cfg, 2);
-    EXPECT_TRUE(noc.try_inject(0, mk(1)));
-    EXPECT_TRUE(noc.try_inject(0, mk(1)));
+    EXPECT_TRUE(noc.try_inject(0, mk(1), 0));
+    EXPECT_TRUE(noc.try_inject(0, mk(1), 0));
     EXPECT_FALSE(noc.can_inject(0));
-    EXPECT_FALSE(noc.try_inject(0, mk(1)));
+    EXPECT_FALSE(noc.try_inject(0, mk(1), 0));
     EXPECT_EQ(noc.stats().inject_stall_events, 1u);
 }
 
@@ -86,10 +86,10 @@ TEST(Interconnect, RoundRobinAcrossEndpoints) {
     cfg.num_buses = 1;  // serialise everything through one bus
     Interconnect noc(cfg, 4);
     // Endpoints 0 and 1 each queue two packets; service must alternate.
-    ASSERT_TRUE(noc.try_inject(0, mk(3, 8)));
-    ASSERT_TRUE(noc.try_inject(0, mk(3, 8)));
-    ASSERT_TRUE(noc.try_inject(1, mk(3, 8)));
-    ASSERT_TRUE(noc.try_inject(1, mk(3, 8)));
+    ASSERT_TRUE(noc.try_inject(0, mk(3, 8), 0));
+    ASSERT_TRUE(noc.try_inject(0, mk(3, 8), 0));
+    ASSERT_TRUE(noc.try_inject(1, mk(3, 8), 0));
+    ASSERT_TRUE(noc.try_inject(1, mk(3, 8), 0));
     std::vector<EndpointId> srcs;
     Packet out;
     for (sim::Cycle now = 0; now < 30; ++now) {
@@ -107,7 +107,7 @@ TEST(Interconnect, RoundRobinAcrossEndpoints) {
 
 TEST(Interconnect, BandwidthAccountingMatchesBytes) {
     Interconnect noc(table4(), 2);
-    ASSERT_TRUE(noc.try_inject(0, mk(1, 128)));
+    ASSERT_TRUE(noc.try_inject(0, mk(1, 128), 0));
     Packet out;
     for (sim::Cycle now = 0; now < 40; ++now) {
         noc.tick(now);
@@ -128,7 +128,7 @@ TEST(Interconnect, ConservationUnderLoad) {
     for (sim::Cycle now = 0; now < 300; ++now) {
         if (now < 100) {
             for (EndpointId src = 0; src < 6; ++src) {
-                if (noc.try_inject(src, mk((src + 1) % 6, 8))) {
+                if (noc.try_inject(src, mk((src + 1) % 6, 8), now)) {
                     ++injected;
                 }
             }
@@ -146,7 +146,7 @@ TEST(Interconnect, ConservationUnderLoad) {
 
 TEST(Interconnect, ZeroSizePacketStillMoves) {
     Interconnect noc(table4(), 2);
-    ASSERT_TRUE(noc.try_inject(0, mk(1, 0)));
+    ASSERT_TRUE(noc.try_inject(0, mk(1, 0), 0));
     Packet out;
     bool got = false;
     for (sim::Cycle now = 0; now < 20 && !got; ++now) {

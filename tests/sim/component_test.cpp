@@ -79,7 +79,7 @@ TEST(InterconnectHorizon, FollowsPacketLifetime) {
     noc::Packet pkt;
     pkt.dst = 1;
     pkt.size_bytes = 8;  // occupies one bus for exactly one cycle
-    ASSERT_TRUE(ic.try_inject(0, pkt));
+    ASSERT_TRUE(ic.try_inject(0, pkt, 0));
     // Pending injection: a free bus grants on the next tick.
     EXPECT_EQ(ic.next_activity(0), 1u);
 
@@ -102,7 +102,7 @@ TEST(InterconnectHorizon, OccupancyScalesWithPacketSize) {
     noc::Packet pkt;
     pkt.dst = 1;
     pkt.size_bytes = 128;  // a DMA line: 16 cycles at 8 B/cycle
-    ASSERT_TRUE(ic.try_inject(0, pkt));
+    ASSERT_TRUE(ic.try_inject(0, pkt, 0));
     ic.tick(1);
     EXPECT_EQ(ic.next_activity(1), 1u + 128 / cfg.bytes_per_cycle +
                                        cfg.hop_latency);

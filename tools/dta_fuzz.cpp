@@ -3,7 +3,9 @@
 ///        with random-dataflow programs (workloads/dataflow_gen.hpp), run
 ///        with invariant audits on and checked word-for-word against the
 ///        functional Interpreter oracle and the generator's host-side
-///        replica.
+///        replica — and, per run, the event-driven scheduler's run report
+///        is byte-compared against the dense loop's (the wheel/dense
+///        differential).
 ///
 /// Usage:
 ///   dta_fuzz [options]
@@ -16,6 +18,8 @@
 ///                       mode; keys as printed by a failure's replay line)
 ///     --inject-failure  register an always-failing audit check (validates
 ///                       the failure-reporting and replay path end to end)
+///     --no-wheel        run the dense loop only (also disables the
+///                       wheel/dense differential)
 ///     --no-shrink       report the first failure without minimising it
 ///     -v                print one line per run instead of one per shape
 ///
@@ -35,6 +39,7 @@
 #include "core/interpreter.hpp"
 #include "core/machine.hpp"
 #include "sim/check.hpp"
+#include "stats/json_report.hpp"
 #include "workloads/dataflow_gen.hpp"
 
 using namespace dta;
@@ -202,6 +207,10 @@ core::MachineConfig machine_config(const FuzzConfig& c) {
     cfg.link.latency = c.link_latency;
     cfg.host_threads = c.host_threads;
     cfg.audit.enabled = true;
+    // Gauges on: the dense-vs-wheel differential byte-compares the full run
+    // report, and sampled gauges exercise the wheel's sample-replay path
+    // over skipped spans.
+    cfg.collect_metrics = true;
     cfg.max_cycles = 50'000'000;
     cfg.no_progress_limit = 500'000;
     return cfg;
@@ -219,10 +228,11 @@ workloads::DataflowGenParams gen_params(const FuzzConfig& c,
 }
 
 /// Runs one (config, seed) point: generator -> Interpreter oracle ->
-/// audited Machine -> word-for-word memory comparison.  Returns true when
-/// everything agreed; otherwise fills \p why.
+/// audited Machine (event-driven scheduler) -> dense-loop differential ->
+/// word-for-word memory comparison.  Returns true when everything agreed;
+/// otherwise fills \p why.
 bool run_one(const FuzzConfig& c, std::uint64_t seed, bool inject_failure,
-             std::string& why) {
+             bool no_wheel, std::string& why) {
     try {
         const workloads::DataflowGen gen(gen_params(c, seed));
         const std::vector<std::uint64_t> args = gen.entry_args();
@@ -240,7 +250,9 @@ bool run_one(const FuzzConfig& c, std::uint64_t seed, bool inject_failure,
 
         const isa::Program prog =
             c.prefetch ? gen.prefetch_program(c.staging) : gen.program();
-        core::Machine machine(machine_config(c), prog);
+        auto cfg = machine_config(c);
+        cfg.use_wheel = !no_wheel;
+        core::Machine machine(cfg, prog);
         if (inject_failure) {
             machine.auditor().add("fuzz", [](const sim::AuditCtx& ctx) {
                 ctx.fail("injected",
@@ -249,7 +261,7 @@ bool run_one(const FuzzConfig& c, std::uint64_t seed, bool inject_failure,
         }
         gen.init_memory(machine.memory());
         machine.launch(args);
-        (void)machine.run();
+        const core::RunResult res = machine.run();
 
         if (std::string w; !gen.check(machine.memory(), &w)) {
             why = "machine diverged from host replica: " + w;
@@ -266,6 +278,39 @@ bool run_one(const FuzzConfig& c, std::uint64_t seed, bool inject_failure,
                 return false;
             }
         }
+
+        // Dense-vs-wheel differential: the same program on the dense loop
+        // (--no-wheel oracle) must produce a byte-identical run report and
+        // identical output memory.  Skipped when the wheel is off anyway
+        // (--no-wheel here, or DTA_NO_WHEEL in the environment — both runs
+        // would be the same dense loop).
+        if (!no_wheel && std::getenv("DTA_NO_WHEEL") == nullptr) {
+            auto dense_cfg = machine_config(c);
+            dense_cfg.use_wheel = false;
+            core::Machine dense(dense_cfg, prog);
+            gen.init_memory(dense.memory());
+            dense.launch(args);
+            const core::RunResult dres = dense.run();
+            const std::string a = stats::run_report_json(res, prog.name);
+            const std::string b = stats::run_report_json(dres, prog.name);
+            if (a != b) {
+                why = "wheel run report diverged from the dense (--no-wheel) "
+                      "loop's";
+                return false;
+            }
+            for (std::uint32_t id = 0; id < gen.thread_count(); ++id) {
+                const auto addr = gen.params().out_base + 4ull * id;
+                const std::uint32_t wv = machine.memory().read_u32(addr);
+                const std::uint32_t dv = dense.memory().read_u32(addr);
+                if (wv != dv) {
+                    why = "wheel/dense memory mismatch at thread " +
+                          std::to_string(id) + ": wheel " +
+                          std::to_string(wv) + ", dense " +
+                          std::to_string(dv);
+                    return false;
+                }
+            }
+        }
         return true;
     } catch (const sim::SimError& e) {
         why = e.what();
@@ -278,13 +323,14 @@ bool run_one(const FuzzConfig& c, std::uint64_t seed, bool inject_failure,
 
 /// Greedy minimisation: shrink the program, then simplify the machine one
 /// axis at a time, keeping each step only while the failure reproduces.
-FuzzConfig shrink(FuzzConfig c, std::uint64_t seed, std::string& why) {
+FuzzConfig shrink(FuzzConfig c, std::uint64_t seed, bool no_wheel,
+                  std::string& why) {
     std::string w;
     // 1. Program size: halve the thread budget while it still fails.
     while (c.max_threads > 2) {
         FuzzConfig t = c;
         t.max_threads = c.max_threads / 2;
-        if (!run_one(t, seed, false, w)) {
+        if (!run_one(t, seed, false, no_wheel, w)) {
             c = t;
             why = w;
         } else {
@@ -293,7 +339,7 @@ FuzzConfig shrink(FuzzConfig c, std::uint64_t seed, std::string& why) {
     }
     // 2. Machine axes, most-simplifying first.
     const auto try_keep = [&](FuzzConfig t) {
-        if (!run_one(t, seed, false, w)) {
+        if (!run_one(t, seed, false, no_wheel, w)) {
             c = t;
             why = w;
         }
@@ -346,7 +392,7 @@ void report_failure(const FuzzConfig& c, std::uint64_t seed,
     std::fprintf(stderr,
                  "usage: %s [--seeds N] [--start-seed S] [--shapes a,b|all]\n"
                  "       [--seed S] [--config \"k=v,...\"] [--inject-failure]\n"
-                 "       [--no-shrink] [--list-shapes] [-v]\n",
+                 "       [--no-wheel] [--no-shrink] [--list-shapes] [-v]\n",
                  argv0);
     std::exit(2);
 }
@@ -358,6 +404,7 @@ struct Options {
     std::optional<std::uint64_t> one_seed;
     std::optional<FuzzConfig> config;
     bool inject_failure = false;
+    bool no_wheel = false;
     bool no_shrink = false;
     bool list_shapes = false;
     bool verbose = false;
@@ -402,6 +449,8 @@ Options parse_options(int argc, char** argv) {
             opt.config = c;
         } else if (a == "--inject-failure") {
             opt.inject_failure = true;
+        } else if (a == "--no-wheel") {
+            opt.no_wheel = true;
         } else if (a == "--no-shrink") {
             opt.no_shrink = true;
         } else if (a == "--list-shapes") {
@@ -437,7 +486,8 @@ int main(int argc, char** argv) {
         }
         const FuzzConfig c = opt.config.value_or(shapes[0]);
         std::string why;
-        if (run_one(c, *opt.one_seed, opt.inject_failure, why)) {
+        if (run_one(c, *opt.one_seed, opt.inject_failure, opt.no_wheel,
+                    why)) {
             std::printf("seed %llu ok on \"%s\"\n",
                         static_cast<unsigned long long>(*opt.one_seed),
                         encode(c).c_str());
@@ -467,10 +517,10 @@ int main(int argc, char** argv) {
         for (std::uint32_t k = 0; k < opt.seeds; ++k) {
             const std::uint64_t seed = opt.start_seed + k;
             std::string why;
-            if (!run_one(c, seed, opt.inject_failure, why)) {
+            if (!run_one(c, seed, opt.inject_failure, opt.no_wheel, why)) {
                 FuzzConfig repro = c;
                 if (!opt.no_shrink && !opt.inject_failure) {
-                    repro = shrink(repro, seed, why);
+                    repro = shrink(repro, seed, opt.no_wheel, why);
                 }
                 report_failure(repro, seed, why, opt.inject_failure);
                 return 1;

@@ -17,6 +17,10 @@
 ///     --vfp             enable virtual frame pointers
 ///     --perfect-cache   Section 4.3 variant: 1-cycle memory system
 ///     --no-fastforward  tick every cycle (results are identical; slower)
+///     --no-wheel        dense run loop instead of the event-driven
+///                       scheduler (results are byte-identical; the flag —
+///                       or DTA_NO_WHEEL in the environment — exists as the
+///                       differential oracle; see docs/ARCHITECTURE.md)
 ///     --audit[=N]       machine-wide invariant audits every N cycles
 ///                       (default cadence: every cycle in debug builds,
 ///                       every 64th in release; see docs/CORRECTNESS.md)
@@ -83,6 +87,7 @@ struct Options {
     bool vfp = false;
     bool perfect_cache = false;
     bool no_fastforward = false;
+    bool no_wheel = false;
     bool audit = false;
     sim::Cycle audit_interval = 0;  ///< 0 = auto cadence
     bool interp = false;
@@ -105,7 +110,8 @@ struct Options {
                  "usage: %s <program.dta> [--spes N] [--nodes N] "
                  "[--threads N] [--mem-latency N]\n"
                  "       [--frames N] [--staging N] [--vfp] "
-                 "[--perfect-cache] [--no-fastforward] [--audit[=N]]\n"
+                 "[--perfect-cache] [--no-fastforward] [--no-wheel] "
+                 "[--audit[=N]]\n"
                  "       [--arg V]... [--max-cycles N] [--interp]\n"
                  "       [--profile] [--prof] [--breakdown] [--trace FILE] "
                  "[--metrics FILE]\n"
@@ -149,6 +155,8 @@ Options parse_options(int argc, char** argv) {
             opt.perfect_cache = true;
         } else if (a == "--no-fastforward") {
             opt.no_fastforward = true;
+        } else if (a == "--no-wheel") {
+            opt.no_wheel = true;
         } else if (a == "--audit") {
             opt.audit = true;
         } else if (a.rfind("--audit=", 0) == 0) {
@@ -277,6 +285,7 @@ int main(int argc, char** argv) {
             !opt.metrics_path.empty() || !opt.trace_path.empty();
         cfg.collect_events = !opt.events_path.empty();
         cfg.fast_forward = !opt.no_fastforward;
+        cfg.use_wheel = !opt.no_wheel;
         cfg.host_threads = opt.threads;
         cfg.audit.enabled = opt.audit;
         cfg.audit.interval = opt.audit_interval;
@@ -382,6 +391,19 @@ int main(int argc, char** argv) {
             }
             std::puts("");
         }
+        if (res.wheel.enabled) {
+            std::printf(
+                "host: wheel %.2f pops/cycle, %llu inserts, %llu rearms, "
+                "%llu wakes, peak %llu armed, %llu dense cycles "
+                "(%llu dense entries)\n",
+                res.wheel.pops_per_cycle(res.cycles),
+                static_cast<unsigned long long>(res.wheel.inserts),
+                static_cast<unsigned long long>(res.wheel.rearms),
+                static_cast<unsigned long long>(res.wheel.wakes),
+                static_cast<unsigned long long>(res.wheel.peak_occupancy),
+                static_cast<unsigned long long>(res.wheel.dense_cycles),
+                static_cast<unsigned long long>(res.wheel.dense_entries));
+        }
         if (opt.breakdown) {
             std::fputs(
                 stats::breakdown_table({{prog.name, res.total_breakdown()}})
@@ -427,7 +449,7 @@ int main(int argc, char** argv) {
             }
             out << core::chrome_trace_json(res.spans, res.code_names,
                                            res.metrics, res.dma_spans, flows,
-                                           res.host_profile);
+                                           res.host_profile, res.wheel);
             std::printf("wrote %zu spans, %zu counter tracks, %zu DMA "
                         "slices, %zu flows to %s\n",
                         res.spans.size(), res.metrics.gauges().size(),
