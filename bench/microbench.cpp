@@ -132,6 +132,42 @@ void BM_MachineCyclesPerSecond_ZoomOriginal(benchmark::State& state) {
 BENCHMARK(BM_MachineCyclesPerSecond_ZoomOriginal)
     ->Unit(benchmark::kMillisecond);
 
+// Full checkpoint + restore round trip of a launched 8-SPE machine: one
+// snapshot write to disk plus one restore into a fresh machine per
+// iteration.  Guards the serialization path itself — a checkpointing run
+// pays this cost at every cut, so it has to stay cheap relative to the
+// simulation between cuts.
+void BM_SnapshotSaveRestore(benchmark::State& state) {
+    workloads::MatMul::Params p;
+    p.n = 16;
+    p.threads = 8;
+    const workloads::MatMul wl(p);
+    const core::MachineConfig cfg = workloads::MatMul::machine_config(8);
+    const std::string path = "bm_snapshot.dtasnap";
+    core::Machine src(cfg, wl.prefetch_program());
+    wl.init_memory(src.memory());
+    src.launch({});
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        src.checkpoint(path);
+        core::Machine dst(cfg, wl.prefetch_program());
+        dst.restore(path);
+        benchmark::DoNotOptimize(dst.start_cycle());
+    }
+    {
+        std::FILE* f = std::fopen(path.c_str(), "rb");
+        if (f != nullptr) {
+            std::fseek(f, 0, SEEK_END);
+            bytes = static_cast<std::uint64_t>(std::ftell(f));
+            std::fclose(f);
+        }
+    }
+    std::remove(path.c_str());
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+    state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_SnapshotSaveRestore)->Unit(benchmark::kMillisecond);
+
 void BM_TimingWheelInsertCollect(benchmark::State& state) {
     // 1e6 insert+collect pairs per iteration on the bare calendar queue,
     // with the horizon mix the machine produces: mostly short (L0 page),

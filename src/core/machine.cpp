@@ -1,6 +1,7 @@
 #include "core/machine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -9,6 +10,7 @@
 #include "isa/validate.hpp"
 #include "sim/check.hpp"
 #include "sim/epoch.hpp"
+#include "sim/snapshot.hpp"
 
 namespace dta::core {
 
@@ -623,6 +625,338 @@ void Machine::launch(std::span<const std::uint64_t> args) {
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoint / restore
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/// Program digest element: every field that affects execution (annotations
+/// only steer the offline prefetch pass, so they stay out).
+void save_instruction(sim::StateSink& s, const isa::Instruction& ins) {
+    s.u8(static_cast<std::uint8_t>(ins.op));
+    s.u8(ins.rd);
+    s.u8(ins.ra);
+    s.u8(ins.rb);
+    s.i64(ins.imm);
+    s.u8(static_cast<std::uint8_t>(ins.block));
+    s.u16(static_cast<std::uint16_t>(ins.region));
+    s.flag(ins.dma.has_value());
+    if (ins.dma.has_value()) {
+        s.u8(ins.dma->region);
+        s.u32(ins.dma->ls_offset);
+        s.u32(ins.dma->bytes);
+        s.u32(ins.dma->stride);
+        s.u32(ins.dma->elem_bytes);
+    }
+}
+
+void save_thread_span(sim::StateSink& s, const ThreadSpan& t) {
+    s.u32(t.pe);
+    s.u64(t.begin);
+    s.u64(t.end);
+    s.u32(t.code);
+    s.u32(t.slot);
+    s.flag(t.resumed);
+}
+
+void load_thread_span(sim::StateSource& s, ThreadSpan& t) {
+    t.pe = s.u32();
+    t.begin = s.u64();
+    t.end = s.u64();
+    t.code = s.u32();
+    t.slot = s.u32();
+    t.resumed = s.flag();
+}
+
+void save_dma_span(sim::StateSink& s, const dma::DmaSpan& d) {
+    s.u32(d.pe);
+    s.u32(d.tag);
+    s.u8(static_cast<std::uint8_t>(d.op));
+    s.u32(d.bytes);
+    s.u64(d.begin);
+    s.u64(d.end);
+}
+
+void load_dma_span(sim::StateSource& s, dma::DmaSpan& d) {
+    d.pe = s.u32();
+    d.tag = s.u32();
+    d.op = static_cast<dma::MfcOp>(s.u8());
+    d.bytes = s.u32();
+    d.begin = s.u64();
+    d.end = s.u64();
+}
+
+}  // namespace
+
+void Machine::config_echo(sim::StateSink& s) const {
+    // Structural knobs only: everything that shapes what the machine *is*
+    // (and therefore the snapshot's section layout and semantics).  Observer
+    // knobs — audit, log_level, profile, fast_forward, use_wheel — are
+    // deliberately absent so a snapshot can be replayed with different
+    // instrumentation (the time-travel use case).  Note collect_metrics /
+    // collect_events / capture_spans ARE structural: they decide whether
+    // the corresponding state exists at all.
+    s.u16(cfg_.nodes);
+    s.u16(cfg_.spes_per_node);
+    s.u64(cfg_.memory.size_bytes);
+    s.u32(cfg_.memory.latency);
+    s.u32(cfg_.memory.ports);
+    s.u32(cfg_.memory.bank_busy);
+    s.u32(cfg_.memory.max_request_bytes);
+    s.u32(cfg_.local_store.size_bytes);
+    s.u32(cfg_.local_store.latency);
+    s.u32(cfg_.local_store.ports);
+    s.u32(cfg_.local_store.max_request_bytes);
+    s.u32(cfg_.noc.num_buses);
+    s.u32(cfg_.noc.bytes_per_cycle);
+    s.u32(cfg_.noc.hop_latency);
+    s.u32(cfg_.noc.inject_queue_depth);
+    s.u32(cfg_.link.latency);
+    s.u32(cfg_.link.bytes_per_cycle);
+    s.u32(cfg_.link.queue_depth);
+    s.u32(cfg_.mfc.queue_depth);
+    s.u32(cfg_.mfc.command_latency);
+    s.u32(cfg_.mfc.line_bytes);
+    s.u32(cfg_.mfc.max_outstanding_lines);
+    s.u32(cfg_.lse.frames);
+    s.u32(cfg_.lse.frame_words);
+    s.u32(cfg_.lse.dispatch_latency);
+    s.u32(cfg_.lse.frame_area_base);
+    s.u32(cfg_.lse.staging_base);
+    s.u32(cfg_.lse.staging_bytes_per_frame);
+    s.flag(cfg_.lse.virtual_frames);
+    s.u32(cfg_.lse.max_virtual_frames);
+    s.u32(cfg_.spu.alu_latency);
+    s.u32(cfg_.spu.mul_latency);
+    s.u32(cfg_.spu.div_latency);
+    s.u32(cfg_.spu.branch_penalty);
+    s.u32(cfg_.spu.thread_start_overhead);
+    s.u32(cfg_.spu.dma_program_cycles);
+    s.u32(cfg_.spu.outbox_depth);
+    s.u32(cfg_.spu.max_outstanding_reads);
+    s.flag(cfg_.spu.non_blocking_dma);
+    s.flag(cfg_.spu.count_dma_idle_as_prefetch);
+    s.u64(cfg_.max_cycles);
+    s.u64(cfg_.no_progress_limit);
+    s.flag(cfg_.capture_spans);
+    s.flag(cfg_.collect_metrics);
+    s.u32(cfg_.metrics_sample_interval);
+    s.flag(cfg_.collect_events);
+    // The *resolved* shard count, not the raw host_threads request:
+    // host_threads == 0 resolves per host, and only the resolved count
+    // changes the schedule.
+    s.u32(shard_count_);
+    // Program digest: a snapshot must never be resumed under a different
+    // program (thread state embeds instruction pointers).
+    s.str(prog_.name);
+    s.u32(prog_.entry);
+    s.u64(static_cast<std::uint64_t>(prog_.codes.size()));
+    for (const isa::ThreadCode& tc : prog_.codes) {
+        s.str(tc.name);
+        s.u32(tc.num_inputs);
+        s.u32(tc.pl_begin);
+        s.u32(tc.ex_begin);
+        s.u32(tc.ps_begin);
+        sim::save_seq(s, tc.code, save_instruction);
+    }
+}
+
+std::uint64_t Machine::config_fingerprint() const {
+    sim::StateSink s;
+    config_echo(s);
+    return sim::fnv1a64(s.data().data(), s.size());
+}
+
+void Machine::save_snapshot_file(sim::Cycle cycle,
+                                 const std::string& path) const {
+    sim::SnapshotWriter w(config_fingerprint(), cycle);
+    config_echo(w.section("config"));
+    w.section("machine").u64(skipped_);
+    mem_.save_state(w.section("mem"));
+    for (const sim::Component* c : components_) {
+        c->save_state(w.section(c->name()));
+    }
+    for (const noc::Link& link : links_) {
+        link.save_state(w.section(link.name()));
+    }
+    for (std::size_t k = 0; k < channels_.size(); ++k) {
+        channels_[k]->save_state(w.section("chan" + std::to_string(k)),
+                                 noc::save_packet);
+    }
+    if (shard_count_ > 1) {
+        for (std::uint32_t sh = 0; sh < shard_count_; ++sh) {
+            sim::StateSink& s = w.section("shard" + std::to_string(sh));
+            s.u64(shards_[sh]->cycles_ticked());
+            s.u64(shards_[sh]->cycles_skipped());
+            sim::StateSink& sp = w.section("spans" + std::to_string(sh));
+            sim::save_seq(sp, shard_spans_[sh], save_thread_span);
+            sim::save_seq(sp, shard_dma_spans_[sh], save_dma_span);
+            shard_events_[sh].save_state(
+                w.section("events" + std::to_string(sh)));
+            shard_metrics_[sh].save_state(
+                w.section("metrics" + std::to_string(sh)));
+        }
+    } else {
+        sim::StateSink& sp = w.section("spans");
+        sim::save_seq(sp, spans_, save_thread_span);
+        sim::save_seq(sp, dma_spans_, save_dma_span);
+        events_.save_state(w.section("events"));
+        metrics_.save_state(w.section("metrics"));
+    }
+    w.write(path);
+}
+
+void Machine::write_snapshot(sim::Cycle cycle) {
+    if (shards_.empty() && wheel_.started()) {
+        // Under the wheel, sleepers lag behind on skip bookkeeping; settle
+        // it so the snapshot is the exact dense-loop state at the cut.
+        // Wheel entries themselves are untouched (and never serialised —
+        // restore re-arms from component horizons).
+        wheel_.catch_up(cycle);
+    }
+    const std::string path =
+        checkpoint_prefix_ + ".c" + std::to_string(cycle) + ".dtasnap";
+    save_snapshot_file(cycle, path);
+    last_ckpt_cycle_ = cycle;
+    last_ckpt_path_ = path;
+    logger_.log(sim::LogLevel::kInfo, cycle, "machine",
+                "checkpoint written to " + path);
+}
+
+void Machine::checkpoint(const std::string& path) {
+    DTA_SIM_REQUIRE(launched_,
+                    "checkpoint() needs a launched (or restored) machine");
+    DTA_SIM_REQUIRE(!ran_,
+                    "checkpoint() after run(); use set_checkpoints() for "
+                    "mid-run snapshots");
+    save_snapshot_file(restore_cycle_, path);
+}
+
+void Machine::set_checkpoints(sim::Cycle every, std::string prefix) {
+    DTA_SIM_REQUIRE(every == 0 || !prefix.empty(),
+                    "periodic checkpoints need a path prefix");
+    checkpoint_every_ = every;
+    checkpoint_prefix_ = std::move(prefix);
+}
+
+void Machine::restore(const std::string& path) {
+    DTA_SIM_REQUIRE(!launched_ && !ran_,
+                    "restore() must target a freshly built machine (before "
+                    "launch()/run())");
+    const sim::SnapshotReader reader(path);
+    const std::uint64_t mine = config_fingerprint();
+    if (reader.config_fingerprint() != mine) {
+        DTA_SIM_ERROR("snapshot '" + path + "' (format v" +
+                      std::to_string(reader.version()) +
+                      ", config fingerprint " +
+                      hex64(reader.config_fingerprint()) +
+                      ") does not match this machine (config fingerprint " +
+                      hex64(mine) +
+                      "): it was taken on a different machine config or "
+                      "program");
+    }
+    restore_cycle_ = reader.cycle();
+    {
+        sim::StateSource s = reader.section("machine");
+        skipped_ = s.u64();
+        s.finish();
+    }
+    {
+        sim::StateSource s = reader.section("mem");
+        mem_.load_state(s);
+        s.finish();
+    }
+    for (sim::Component* c : components_) {
+        sim::StateSource s = reader.section(c->name());
+        c->load_state(s);
+        s.finish();
+    }
+    for (noc::Link& link : links_) {
+        sim::StateSource s = reader.section(link.name());
+        link.load_state(s);
+        s.finish();
+    }
+    for (std::size_t k = 0; k < channels_.size(); ++k) {
+        sim::StateSource s = reader.section("chan" + std::to_string(k));
+        channels_[k]->load_state(s, noc::load_packet);
+        s.finish();
+    }
+    if (shard_count_ > 1) {
+        for (std::uint32_t sh = 0; sh < shard_count_; ++sh) {
+            sim::StateSource s =
+                reader.section("shard" + std::to_string(sh));
+            const sim::Cycle ticked = s.u64();
+            const sim::Cycle skipped = s.u64();
+            s.finish();
+            shards_[sh]->restore_clock(restore_cycle_, ticked, skipped);
+            sim::StateSource sp =
+                reader.section("spans" + std::to_string(sh));
+            sim::load_seq(sp, shard_spans_[sh], load_thread_span);
+            sim::load_seq(sp, shard_dma_spans_[sh], load_dma_span);
+            sp.finish();
+            sim::StateSource ev =
+                reader.section("events" + std::to_string(sh));
+            shard_events_[sh].load_state(ev);
+            ev.finish();
+            sim::StateSource me =
+                reader.section("metrics" + std::to_string(sh));
+            shard_metrics_[sh].load_state(me);
+            me.finish();
+        }
+    } else {
+        sim::StateSource sp = reader.section("spans");
+        sim::load_seq(sp, spans_, load_thread_span);
+        sim::load_seq(sp, dma_spans_, load_dma_span);
+        sp.finish();
+        sim::StateSource ev = reader.section("events");
+        events_.load_state(ev);
+        ev.finish();
+        sim::StateSource me = reader.section("metrics");
+        metrics_.load_state(me);
+        me.finish();
+    }
+    launched_ = true;
+    logger_.log(sim::LogLevel::kInfo, restore_cycle_, "machine",
+                "restored from " + path + " at cycle " +
+                    std::to_string(restore_cycle_));
+    if (cfg_.audit.enabled) {
+        // The restored state must satisfy every machine invariant before a
+        // single cycle runs; a snapshot that does not is rejected here, not
+        // discovered as divergence later.
+        auditor_.run(restore_cycle_);
+    }
+}
+
+sim::Cycle Machine::next_cut(sim::Cycle now) const {
+    sim::Cycle cut = sim::kCycleNever;
+    if (checkpoint_every_ != 0) {
+        cut = (now / checkpoint_every_ + 1) * checkpoint_every_;
+    }
+    if (stop_at_ > now) {
+        cut = std::min(cut, stop_at_);
+    }
+    return cut;
+}
+
+RunResult Machine::stop_early(sim::Cycle cycle) {
+    logger_.log(sim::LogLevel::kInfo, cycle, "machine",
+                "stopped at cycle " + std::to_string(cycle) +
+                    " (stop-at); machine not quiescent");
+    if (shards_.empty() && wheel_.started()) {
+        wheel_.catch_up(cycle);
+    }
+    events_.canonicalize();
+    return gather(cycle);
+}
+
+// ---------------------------------------------------------------------------
 // Run loop
 // ---------------------------------------------------------------------------
 
@@ -817,11 +1151,24 @@ RunResult Machine::run() {
     // has no un-attributed gaps (every span between boundaries is charged
     // to exactly one phase; nested scopes subtract as orphan child time).
     std::uint64_t t = wall0;
-    sim::Cycle now = 0;
+    sim::Cycle now = restore_cycle_;
     std::uint64_t last_fp = ~0ull;
-    sim::Cycle last_progress = 0;
+    sim::Cycle last_progress = restore_cycle_;
     std::uint64_t prev_fp = ~0ull;  ///< gate: last cycle's fingerprint
     while (now < cfg_.max_cycles) {
+        // Checkpoint/stop cuts land at the top of the iteration, before the
+        // tick of `now`: all accounting covers exactly [start, now), which
+        // is the state a restore resumes from.
+        if (checkpoint_every_ != 0 && now != restore_cycle_ &&
+            now % checkpoint_every_ == 0) {
+            write_snapshot(now);
+        }
+        if (stop_at_ != 0 && now >= stop_at_) {
+            if (pb != nullptr) {
+                pb->set_wall_ns(sim::prof_now_ns() - wall0);
+            }
+            return stop_early(now);
+        }
         tick_cycle(now, t);
         if (progress_interval_ != 0) {
             report_progress(now, 0, static_cast<std::uint32_t>(pes_.size()));
@@ -881,6 +1228,9 @@ RunResult Machine::run() {
             }
             DTA_CHECK_MSG(h > now, "component horizon not in the future");
             h = std::min<sim::Cycle>(h, cfg_.max_cycles);
+            // Land exactly on checkpoint/stop cuts (result-neutral: by the
+            // horizon contract a skipped cycle equals a ticked one).
+            h = std::min(h, next_cut(now));
             if (h > next) {
                 fast_forward_span(next, h, last_fp, last_progress);
                 next = h;
@@ -905,12 +1255,22 @@ RunResult Machine::run_wheel() {
     sim::ProfBuffer* const pb = prof_.empty() ? nullptr : &prof_[0];
     const std::uint64_t wall0 = pb != nullptr ? sim::prof_now_ns() : 0;
     std::uint64_t t = wall0;
-    wheel_.start(0);
-    sim::Cycle now = 0;
+    wheel_.start(restore_cycle_);
+    sim::Cycle now = restore_cycle_;
     std::uint64_t last_fp = ~0ull;
-    sim::Cycle last_progress = 0;
+    sim::Cycle last_progress = restore_cycle_;
     std::uint64_t prev_fp = ~0ull;  ///< fingerprint after the previous cycle
     while (now < cfg_.max_cycles) {
+        if (checkpoint_every_ != 0 && now != restore_cycle_ &&
+            now % checkpoint_every_ == 0) {
+            write_snapshot(now);
+        }
+        if (stop_at_ != 0 && now >= stop_at_) {
+            if (pb != nullptr) {
+                pb->set_wall_ns(sim::prof_now_ns() - wall0);
+            }
+            return stop_early(now);
+        }
         wheel_.run_cycle(now, pb, t);
         if (metrics_.enabled() && now % cfg_.metrics_sample_interval == 0) {
             sample_gauges(now);
@@ -972,6 +1332,7 @@ RunResult Machine::run_wheel() {
         }
         sim::Cycle next = wheel_.next_due(now);
         next = std::min<sim::Cycle>(next, cfg_.max_cycles);
+        next = std::min(next, next_cut(now));
         if (next > now + 1) {
             // Inactive span [now + 1, next): no live wheel entry, so by the
             // horizon contract observable state is frozen.  Replay the side
@@ -1053,6 +1414,21 @@ RunResult Machine::run_sharded() {
     ec.epoch = epoch_length();
     ec.max_cycles = cfg_.max_cycles;
     ec.no_progress_limit = cfg_.no_progress_limit;
+    ec.start = restore_cycle_;
+    ec.stop_at = stop_at_;
+    ec.checkpoint_every = checkpoint_every_;
+    if (checkpoint_every_ != 0) {
+        ec.on_cut = [this](sim::Cycle cut) {
+            // All shard threads are parked in the barrier.  Settle every
+            // shard's accounting to the cut (safe: nothing in flight drains
+            // before it, and the machine was not quiescent at or before the
+            // cut), then serialise the globally-consistent state.
+            for (const auto& shard : shards_) {
+                shard->catch_up(cut);
+            }
+            write_snapshot(cut);
+        };
+    }
     sim::EpochRunner runner(
         std::move(shards), ec,
         [this](sim::EpochRunner::Fail kind, sim::Cycle now,
@@ -1065,14 +1441,18 @@ RunResult Machine::run_sharded() {
                            kind == sim::EpochRunner::Fail::kIdleForever);
         });
     const sim::Cycle cycles = runner.run();
+    const bool stopped_early = stop_at_ != 0 && cycles == stop_at_;
     logger_.log(sim::LogLevel::kInfo, cycles == 0 ? 0 : cycles - 1, "machine",
-                "quiescent; simulation complete");
+                stopped_early ? "stopped by stop-at; machine not quiescent"
+                              : "quiescent; simulation complete");
     for (const auto& shard : shards_) {
         skipped_ += shard->cycles_skipped();
     }
-    if (cfg_.audit.enabled) {
+    if (cfg_.audit.enabled && !stopped_early) {
         // The worker threads have joined: a machine-wide pass (including
-        // the cross-shard final checks) is safe now.
+        // the cross-shard final checks) is safe now.  A stop-at run skips
+        // it — the final checks assert quiescence, which an early stop
+        // deliberately does not have.
         auditor_.run_final(cycles == 0 ? 0 : cycles - 1);
     }
 

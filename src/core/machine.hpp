@@ -147,6 +147,39 @@ public:
     /// Throws sim::SimError on deadlock or when max_cycles is exceeded.
     [[nodiscard]] RunResult run();
 
+    // --- checkpoint/restore (sim/snapshot.hpp) ---------------------------
+    /// FNV-1a 64 hash over the serialised structural config echo plus a
+    /// digest of the loaded program.  Snapshots carry it; restore refuses a
+    /// mismatch.  Observer knobs (log level, audits, profiling,
+    /// fast-forward, the wheel) are excluded so a snapshot can be replayed
+    /// with extra instrumentation turned on — time-travel debugging.
+    [[nodiscard]] std::uint64_t config_fingerprint() const;
+    /// Writes a snapshot of the current (launched, not yet run — or
+    /// restored) machine state to \p path.
+    void checkpoint(const std::string& path);
+    /// Restores machine state from \p path into this freshly built machine
+    /// (before launch()/run(); restore replaces launch).  Throws SimError
+    /// on a version or config-fingerprint mismatch, and runs a full
+    /// invariant audit over the restored state when audits are enabled.
+    void restore(const std::string& path);
+    /// Arms periodic checkpoints during run(): one snapshot at every
+    /// multiple of \p every cycles, at `prefix + ".c<cycle>.dtasnap"`.
+    void set_checkpoints(sim::Cycle every, std::string prefix);
+    /// Ends run() at exactly cycle \p cycle (state as of the cut; the
+    /// machine need not be quiescent).  The partial RunResult covers
+    /// [start, cycle); final quiescence audits are skipped.
+    void set_stop_at(sim::Cycle cycle) { stop_at_ = cycle; }
+    /// Cycle/path of the newest snapshot run() wrote (0/"" if none) — the
+    /// fuzzer's bisect loop refines from here.
+    [[nodiscard]] sim::Cycle last_checkpoint_cycle() const {
+        return last_ckpt_cycle_;
+    }
+    [[nodiscard]] const std::string& last_checkpoint_path() const {
+        return last_ckpt_path_;
+    }
+    /// First simulated cycle of this run (non-zero after restore()).
+    [[nodiscard]] sim::Cycle start_cycle() const { return restore_cycle_; }
+
     /// The machine-wide invariant auditor (live when cfg.audit.enabled).
     /// Tests and the fuzzer may add extra checks before run() — e.g. an
     /// always-failing one to validate the failure-reporting path.
@@ -210,6 +243,23 @@ private:
     void fast_forward_span(sim::Cycle from, sim::Cycle to,
                            std::uint64_t& last_fp, sim::Cycle& last_progress);
     [[nodiscard]] RunResult gather(sim::Cycle cycles) const;
+
+    // --- checkpoint/restore internals ------------------------------------
+    /// Serialises the structural config + program digest (the fingerprint
+    /// input and the snapshot's self-description section).
+    void config_echo(sim::StateSink& s) const;
+    /// Serialises the whole machine state at \p cycle into \p path.
+    void save_snapshot_file(sim::Cycle cycle, const std::string& path) const;
+    /// Periodic checkpoint at a run-loop cut (derives the path from the
+    /// prefix and records it for last_checkpoint_*).
+    void write_snapshot(sim::Cycle cycle);
+    /// Next cycle the run loop must land on exactly (checkpoint multiple or
+    /// stop_at); kCycleNever when neither is armed.  Fast-forward spans are
+    /// clamped to it — result-neutral, skipping is accounting-identical.
+    [[nodiscard]] sim::Cycle next_cut(sim::Cycle now) const;
+    /// The early-exit path of --stop-at: canonicalise what was collected
+    /// and gather the partial result (no final quiescence audit).
+    [[nodiscard]] RunResult stop_early(sim::Cycle cycle);
 
     // --- sharded (multi-threaded) run loop -------------------------------
     /// Conservative lookahead: the soonest a packet serialised now can be
@@ -305,6 +355,14 @@ private:
 
     bool launched_ = false;
     bool ran_ = false;
+
+    // --- checkpoint/restore state ----------------------------------------
+    sim::Cycle restore_cycle_ = 0;      ///< run starts here after restore()
+    sim::Cycle checkpoint_every_ = 0;   ///< 0 = periodic checkpoints off
+    std::string checkpoint_prefix_;
+    sim::Cycle stop_at_ = 0;            ///< 0 = run to quiescence
+    sim::Cycle last_ckpt_cycle_ = 0;
+    std::string last_ckpt_path_;
 };
 
 }  // namespace dta::core

@@ -129,4 +129,26 @@ sim::Cycle MemInterface::next_activity(sim::Cycle now) const {
     return mem_.next_activity(now);
 }
 
+void MemInterface::save_state(sim::StateSink& s) const {
+    ctxs_.save_state(s, [](sim::StateSink& k, const MemCtx& c) {
+        k.u16(static_cast<std::uint16_t>(c.resp_kind));
+        k.u16(c.node);
+        k.u32(c.ep);
+        k.u64(c.x);
+    });
+    rx_.save_state(s, noc::save_packet);
+    tx_.save_state(s, noc::save_packet);
+}
+
+void MemInterface::load_state(sim::StateSource& s) {
+    ctxs_.load_state(s, [](sim::StateSource& k, MemCtx& c) {
+        c.resp_kind = static_cast<sched::MsgKind>(k.u16());
+        c.node = k.u16();
+        c.ep = k.u32();
+        c.x = k.u64();
+    });
+    rx_.load_state(s, noc::load_packet);
+    tx_.load_state(s, noc::load_packet);
+}
+
 }  // namespace dta::core

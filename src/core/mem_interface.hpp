@@ -45,6 +45,12 @@ public:
         return ctxs_.outstanding();
     }
 
+    // --- checkpoint/restore -------------------------------------------------
+    /// Serializes outstanding access contexts and both packet ports (the
+    /// memory controller itself is its own snapshot section).
+    void save_state(sim::StateSink& s) const override;
+    void load_state(sim::StateSource& s) override;
+
 private:
     /// Bookkeeping for one outstanding timed memory access.
     struct MemCtx {

@@ -164,4 +164,14 @@ sim::Cycle NodeRouter::next_activity(sim::Cycle now) const {
     return h;
 }
 
+void NodeRouter::save_state(sim::StateSink& s) const {
+    arrivals_.save_state(s, noc::save_packet);
+    bridge_out_.save_state(s, noc::save_packet);
+}
+
+void NodeRouter::load_state(sim::StateSource& s) {
+    arrivals_.load_state(s, noc::load_packet);
+    bridge_out_.load_state(s, noc::load_packet);
+}
+
 }  // namespace dta::core

@@ -66,6 +66,11 @@ public:
     [[nodiscard]] bool quiescent() const override;
     [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) const override;
 
+    // --- checkpoint/restore -------------------------------------------------
+    /// Serializes the two packet ports; everything else is wiring.
+    void save_state(sim::StateSink& s) const override;
+    void load_state(sim::StateSource& s) override;
+
 private:
     [[nodiscard]] bool inject(noc::EndpointId src, noc::Packet pkt,
                               sim::Cycle now);

@@ -967,4 +967,134 @@ void Pe::skip(sim::Cycle from, sim::Cycle to) {
     lse_.skip(from, to);
 }
 
+namespace {
+
+void save_span(sim::StateSink& s, const ThreadSpan& t) {
+    s.u32(t.pe);
+    s.u64(t.begin);
+    s.u64(t.end);
+    s.u32(t.code);
+    s.u32(t.slot);
+    s.flag(t.resumed);
+}
+
+void load_span(sim::StateSource& s, ThreadSpan& t) {
+    t.pe = s.u32();
+    t.begin = s.u64();
+    t.end = s.u64();
+    t.code = s.u32();
+    t.slot = s.u32();
+    t.resumed = s.flag();
+}
+
+}  // namespace
+
+void Pe::save_state(sim::StateSink& s) const {
+    ls_.save_state(s);
+    lse_.save_state(s);
+    mfc_.save_state(s);
+    inbox_.save_state(s, noc::save_packet);
+    outgoing_.save_state(s, noc::save_packet);
+    // SPU architectural state
+    s.flag(bound_);
+    s.u32(slot_);
+    s.u32(code_id_);
+    s.u32(ip_);
+    s.flag(freed_);
+    for (const std::uint64_t v : regs_) {
+        s.u64(v);
+    }
+    for (const sched::RegionEntry& r : regions_) {
+        sched::save_region(s, r);
+    }
+    // scoreboard
+    for (const sim::Cycle c : reg_ready_) {
+        s.u64(c);
+    }
+    for (const RegSrc src : reg_src_) {
+        s.u8(static_cast<std::uint8_t>(src));
+    }
+    s.u32(outstanding_reads_);
+    s.u32(outstanding_lsloads_);
+    s.u32(outstanding_fallocs_);
+    // pipeline control + parked fast path
+    s.u64(busy_until_);
+    s.u8(static_cast<std::uint8_t>(busy_reason_));
+    s.u64(ls_req_seq_);
+    s.u64(park_until_);
+    // statistics
+    for (const std::uint64_t c : breakdown_.cycles) {
+        s.u64(c);
+    }
+    for (const std::uint64_t c : instrs_.by_opcode) {
+        s.u64(c);
+    }
+    s.u64(slots_used_);
+    s.u64(cycles_with_issue_);
+    s.u64(threads_executed_);
+    for (const auto* vec :
+         {&code_cycles_, &code_instrs_, &code_starts_, &code_dispatches_}) {
+        sim::save_seq(s, *vec,
+                      [](sim::StateSink& k, std::uint64_t v) { k.u64(v); });
+    }
+    save_span(s, open_span_);
+    s.u64(cur_uid_);
+    s.u8(static_cast<std::uint8_t>(phase_block_));
+}
+
+void Pe::load_state(sim::StateSource& s) {
+    ls_.load_state(s);
+    lse_.load_state(s);
+    mfc_.load_state(s);
+    inbox_.load_state(s, noc::load_packet);
+    outgoing_.load_state(s, noc::load_packet);
+    bound_ = s.flag();
+    slot_ = s.u32();
+    code_id_ = s.u32();
+    ip_ = s.u32();
+    freed_ = s.flag();
+    for (std::uint64_t& v : regs_) {
+        v = s.u64();
+    }
+    for (sched::RegionEntry& r : regions_) {
+        sched::load_region(s, r);
+    }
+    for (sim::Cycle& c : reg_ready_) {
+        c = s.u64();
+    }
+    for (RegSrc& src : reg_src_) {
+        src = static_cast<RegSrc>(s.u8());
+    }
+    outstanding_reads_ = s.u32();
+    outstanding_lsloads_ = s.u32();
+    outstanding_fallocs_ = s.u32();
+    busy_until_ = s.u64();
+    busy_reason_ = static_cast<BusyReason>(s.u8());
+    ls_req_seq_ = s.u64();
+    park_until_ = s.u64();
+    for (std::uint64_t& c : breakdown_.cycles) {
+        c = s.u64();
+    }
+    for (std::uint64_t& c : instrs_.by_opcode) {
+        c = s.u64();
+    }
+    slots_used_ = s.u64();
+    cycles_with_issue_ = s.u64();
+    threads_executed_ = s.u64();
+    for (auto* vec :
+         {&code_cycles_, &code_instrs_, &code_starts_, &code_dispatches_}) {
+        const std::size_t expect = vec->size();
+        sim::load_seq(s, *vec,
+                      [](sim::StateSource& k, std::uint64_t& v) { v = k.u64(); });
+        DTA_CHECK_MSG(vec->size() == expect,
+                      "snapshot per-code counters do not match the program");
+    }
+    load_span(s, open_span_);
+    cur_uid_ = s.u64();
+    phase_block_ = static_cast<std::int8_t>(s.u8());
+    // The bound thread-code pointer is wiring into the (identical, by
+    // config-fingerprint check) program, not serialized state.
+    code_ = bound_ ? &prog_.at(code_id_) : nullptr;
+}
+
 }  // namespace dta::core

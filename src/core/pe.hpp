@@ -161,6 +161,14 @@ public:
     /// True when nothing on this PE is live or in flight.
     [[nodiscard]] bool quiescent() const override;
 
+    // --- checkpoint/restore -------------------------------------------------
+    /// Serializes the whole PE: local store, LSE, MFC, both packet ports,
+    /// the SPU architectural state (registers, region table, scoreboard,
+    /// pipeline control), and every statistic.  The bound thread-code
+    /// pointer is re-derived from the program on load.
+    void save_state(sim::StateSink& s) const override;
+    void load_state(sim::StateSource& s) override;
+
 private:
     /// Why the pipeline's front is blocked this cycle.
     enum class RegSrc : std::uint8_t { kNone, kAlu, kMul, kMem, kLs, kLse };

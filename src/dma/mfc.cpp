@@ -5,6 +5,7 @@
 
 #include "sim/audit.hpp"
 #include "sim/check.hpp"
+#include "sim/snapshot.hpp"
 
 namespace dta::dma {
 namespace {
@@ -12,6 +13,28 @@ namespace {
 /// Internal line phases are implicit in which container a line sits in; the
 /// line table only tracks lines between emission and completion.
 enum class LinePhase : std::uint8_t { kGet, kPut };
+
+void save_command(sim::StateSink& s, const MfcCommand& c) {
+    s.u8(static_cast<std::uint8_t>(c.op));
+    s.u32(c.tag);
+    s.u64(c.mem_addr);
+    s.u32(c.ls_addr);
+    s.u32(c.bytes);
+    s.u32(c.stride);
+    s.u32(c.elem_bytes);
+    s.u64(c.owner);
+}
+
+void load_command(sim::StateSource& s, MfcCommand& c) {
+    c.op = static_cast<MfcOp>(s.u8());
+    c.tag = s.u32();
+    c.mem_addr = s.u64();
+    c.ls_addr = s.u32();
+    c.bytes = s.u32();
+    c.stride = s.u32();
+    c.elem_bytes = s.u32();
+    c.owner = s.u64();
+}
 
 }  // namespace
 
@@ -393,6 +416,96 @@ void Mfc::audit(const sim::AuditCtx& ctx) const {
         }
         seen[idx] = true;
     }
+}
+
+void Mfc::save_state(sim::StateSink& s) const {
+    sim::save_seq(s, queue_, save_command);
+    sim::save_seq(s, queue_times_,
+                  [](sim::StateSink& k, sim::Cycle c) { k.u64(c); });
+    s.flag(decoding_);
+    s.u64(decode_done_at_);
+    save_command(s, decode_cmd_);
+    s.u64(decode_cmd_enq_at_);
+    sim::save_seq(s, active_, [](sim::StateSink& k, const ActiveCommand& ac) {
+        save_command(k, ac.cmd);
+        k.u64(ac.enqueued_at);
+        k.u32(ac.lines_total);
+        k.u32(ac.lines_emitted);
+        k.u32(ac.lines_finished);
+    });
+    sim::save_seq(s, free_slots_,
+                  [](sim::StateSink& k, std::size_t idx) { k.u64(idx); });
+    sim::save_seq(s, ready_lines_,
+                  [](sim::StateSink& k, const MfcLineRequest& ln) {
+                      k.u64(ln.line_id);
+                      k.u8(static_cast<std::uint8_t>(ln.op));
+                      k.u64(ln.mem_addr);
+                      k.u32(ln.bytes);
+                      k.u64(ln.data.size());
+                      k.blob(ln.data.data(), ln.data.size());
+                  });
+    s.u64(next_line_id_);
+    sim::save_seq(s, line_table_, [](sim::StateSink& k, const auto& e) {
+        k.u64(e.first);
+        k.u64(e.second.active_idx);
+        k.u32(e.second.ls_addr);
+        k.u32(e.second.bytes);
+    });
+    s.u32(lines_in_flight_);
+    sim::save_seq(s, completions_,
+                  [](sim::StateSink& k, const MfcCompletion& c) {
+                      k.u32(c.tag);
+                      k.u64(c.owner);
+                  });
+    s.u64(commands_completed_);
+    s.u64(bytes_);
+    s.u64(rejections_);
+    s.u64(now_);
+}
+
+void Mfc::load_state(sim::StateSource& s) {
+    sim::load_seq(s, queue_, load_command);
+    sim::load_seq(s, queue_times_,
+                  [](sim::StateSource& k, sim::Cycle& c) { c = k.u64(); });
+    decoding_ = s.flag();
+    decode_done_at_ = s.u64();
+    load_command(s, decode_cmd_);
+    decode_cmd_enq_at_ = s.u64();
+    sim::load_seq(s, active_, [](sim::StateSource& k, ActiveCommand& ac) {
+        load_command(k, ac.cmd);
+        ac.enqueued_at = k.u64();
+        ac.lines_total = k.u32();
+        ac.lines_emitted = k.u32();
+        ac.lines_finished = k.u32();
+    });
+    sim::load_seq(s, free_slots_,
+                  [](sim::StateSource& k, std::size_t& idx) { idx = k.u64(); });
+    sim::load_seq(s, ready_lines_,
+                  [](sim::StateSource& k, MfcLineRequest& ln) {
+                      ln.line_id = k.u64();
+                      ln.op = static_cast<MfcOp>(k.u8());
+                      ln.mem_addr = k.u64();
+                      ln.bytes = k.u32();
+                      ln.data.resize(k.u64());
+                      k.blob(ln.data.data(), ln.data.size());
+                  });
+    next_line_id_ = s.u64();
+    sim::load_seq(s, line_table_, [](sim::StateSource& k, auto& e) {
+        e.first = k.u64();
+        e.second.active_idx = k.u64();
+        e.second.ls_addr = k.u32();
+        e.second.bytes = k.u32();
+    });
+    lines_in_flight_ = s.u32();
+    sim::load_seq(s, completions_,
+                  [](sim::StateSource& k, MfcCompletion& c) {
+                      c.tag = k.u32();
+                      c.owner = k.u64();
+                  });
+    commands_completed_ = s.u64();
+    bytes_ = s.u64();
+    rejections_ = s.u64();
+    now_ = s.u64();
 }
 
 bool Mfc::quiescent() const {

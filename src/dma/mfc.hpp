@@ -175,6 +175,14 @@ public:
     /// Commands anywhere in the engine: queued, decoding, or transferring.
     [[nodiscard]] std::size_t commands_in_flight() const;
 
+    // --- checkpoint/restore -------------------------------------------------
+    /// Serializes the command queue, the decode in progress, every active
+    /// command's line ledger, emitted-but-unfetched lines, the in-flight
+    /// line table, completions, and statistics — a snapshot taken mid-DMA
+    /// restores with the transfer still in flight.
+    void save_state(sim::StateSink& s) const override;
+    void load_state(sim::StateSource& s) override;
+
 private:
     struct ActiveCommand {
         MfcCommand cmd;

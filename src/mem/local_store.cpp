@@ -3,8 +3,33 @@
 #include <cstring>
 
 #include "sim/check.hpp"
+#include "sim/snapshot.hpp"
 
 namespace dta::mem {
+
+namespace {
+
+void save_ls_request(sim::StateSink& s, const LsRequest& r) {
+    s.u64(r.id);
+    s.flag(r.is_write);
+    s.u32(r.addr);
+    s.u32(r.size);
+    sim::save_seq(s, r.data,
+                  [](sim::StateSink& k, std::uint8_t b) { k.u8(b); });
+    s.u64(r.meta);
+}
+
+void load_ls_request(sim::StateSource& s, LsRequest& r) {
+    r.id = s.u64();
+    r.is_write = s.flag();
+    r.addr = s.u32();
+    r.size = s.u32();
+    sim::load_seq(s, r.data,
+                  [](sim::StateSource& k, std::uint8_t& b) { b = k.u8(); });
+    r.meta = s.u64();
+}
+
+}  // namespace
 
 LocalStore::LocalStore(const LocalStoreConfig& cfg) : cfg_(cfg) {
     DTA_SIM_REQUIRE(cfg.size_bytes > 0, "local store size must be non-zero");
@@ -128,6 +153,62 @@ bool LocalStore::pop_response(LsClient client, LsResponse& out) {
     out = std::move(q.front());
     q.pop_front();
     return true;
+}
+
+void LocalStore::save_state(sim::StateSink& s) const {
+    s.blob(bytes_.data(), bytes_.size());
+    for (const auto& q : queues_) {
+        sim::save_seq(s, q, save_ls_request);
+    }
+    sim::save_seq(s, in_flight_, [](sim::StateSink& k, const InFlight& fl) {
+        k.u64(fl.done_at);
+        k.u8(static_cast<std::uint8_t>(fl.client));
+        save_ls_request(k, fl.req);
+    });
+    for (const auto& q : responses_) {
+        sim::save_seq(s, q, [](sim::StateSink& k, const LsResponse& r) {
+            k.u64(r.id);
+            k.flag(r.is_write);
+            k.u32(r.addr);
+            sim::save_seq(k, r.data,
+                          [](sim::StateSink& j, std::uint8_t b) { j.u8(b); });
+            k.u64(r.meta);
+        });
+    }
+    s.u64(rr_next_);
+    for (const std::uint64_t v : served_) {
+        s.u64(v);
+    }
+    s.u64(contended_);
+}
+
+void LocalStore::load_state(sim::StateSource& s) {
+    s.blob(bytes_.data(), bytes_.size());
+    for (auto& q : queues_) {
+        sim::load_seq(s, q, load_ls_request);
+    }
+    sim::load_seq(s, in_flight_, [](sim::StateSource& k, InFlight& fl) {
+        fl.done_at = k.u64();
+        fl.client = static_cast<LsClient>(k.u8());
+        load_ls_request(k, fl.req);
+    });
+    for (auto& q : responses_) {
+        sim::load_seq(s, q, [](sim::StateSource& k, LsResponse& r) {
+            r.id = k.u64();
+            r.is_write = k.flag();
+            r.addr = k.u32();
+            sim::load_seq(k, r.data,
+                          [](sim::StateSource& j, std::uint8_t& b) {
+                              b = j.u8();
+                          });
+            r.meta = k.u64();
+        });
+    }
+    rr_next_ = s.u64();
+    for (std::uint64_t& v : served_) {
+        v = s.u64();
+    }
+    contended_ = s.u64();
 }
 
 bool LocalStore::quiescent() const {

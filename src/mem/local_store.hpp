@@ -20,6 +20,11 @@
 
 #include "sim/types.hpp"
 
+namespace dta::sim {
+class StateSink;
+class StateSource;
+}  // namespace dta::sim
+
 namespace dta::mem {
 
 /// Who issued a local-store request (used for port arbitration & routing).
@@ -105,6 +110,10 @@ public:
     }
     /// Cycles in which all ports were busy and work was still queued.
     [[nodiscard]] std::uint64_t contended_cycles() const { return contended_; }
+
+    // --- checkpoint/restore (driven by the owning PE's save_state) ----------
+    void save_state(sim::StateSink& s) const;
+    void load_state(sim::StateSource& s);
 
 private:
     struct InFlight {

@@ -4,8 +4,33 @@
 #include <cstring>
 
 #include "sim/check.hpp"
+#include "sim/snapshot.hpp"
 
 namespace dta::mem {
+
+namespace {
+
+void save_request(sim::StateSink& s, const MemRequest& r) {
+    s.u64(r.id);
+    s.u8(static_cast<std::uint8_t>(r.op));
+    s.u64(r.addr);
+    s.u32(r.size);
+    sim::save_seq(s, r.data,
+                  [](sim::StateSink& k, std::uint8_t b) { k.u8(b); });
+    s.u64(r.meta);
+}
+
+void load_request(sim::StateSource& s, MemRequest& r) {
+    r.id = s.u64();
+    r.op = static_cast<MemOp>(s.u8());
+    r.addr = s.u64();
+    r.size = s.u32();
+    sim::load_seq(s, r.data,
+                  [](sim::StateSource& k, std::uint8_t& b) { b = k.u8(); });
+    r.meta = s.u64();
+}
+
+}  // namespace
 
 MainMemory::MainMemory(const MainMemoryConfig& cfg) : cfg_(cfg) {
     DTA_SIM_REQUIRE(cfg.size_bytes > 0, "main memory size must be non-zero");
@@ -148,6 +173,70 @@ void MainMemory::tick(sim::Cycle now) {
     if (started > 0) {
         port_free_at_ = now + cfg_.bank_busy;
     }
+}
+
+void MainMemory::save_state(sim::StateSink& s) const {
+    // Backing store: only allocated pages, keyed by page index (ascending,
+    // so the section is canonical).
+    std::uint64_t live = 0;
+    for (const auto& page : pages_) {
+        live += page.empty() ? 0 : 1;
+    }
+    s.u64(live);
+    for (std::size_t i = 0; i < pages_.size(); ++i) {
+        if (!pages_[i].empty()) {
+            s.u64(i);
+            s.blob(pages_[i].data(), kPageBytes);
+        }
+    }
+    sim::save_seq(s, queue_, save_request);
+    sim::save_seq(s, in_flight_, [](sim::StateSink& k, const InFlight& fl) {
+        k.u64(fl.done_at);
+        save_request(k, fl.req);
+    });
+    sim::save_seq(s, responses_, [](sim::StateSink& k, const MemResponse& r) {
+        k.u64(r.id);
+        k.u8(static_cast<std::uint8_t>(r.op));
+        k.u64(r.addr);
+        sim::save_seq(k, r.data,
+                      [](sim::StateSink& j, std::uint8_t b) { j.u8(b); });
+        k.u64(r.meta);
+    });
+    s.u64(port_free_at_);
+    s.u64(reads_served_);
+    s.u64(writes_served_);
+    s.u64(bytes_read_);
+    s.u64(bytes_written_);
+    s.u64(peak_queue_);
+}
+
+void MainMemory::load_state(sim::StateSource& s) {
+    const std::uint64_t live = s.u64();
+    for (std::uint64_t i = 0; i < live; ++i) {
+        const std::uint64_t idx = s.u64();
+        DTA_CHECK(idx < pages_.size());
+        pages_[idx].resize(kPageBytes);
+        s.blob(pages_[idx].data(), kPageBytes);
+    }
+    sim::load_seq(s, queue_, load_request);
+    sim::load_seq(s, in_flight_, [](sim::StateSource& k, InFlight& fl) {
+        fl.done_at = k.u64();
+        load_request(k, fl.req);
+    });
+    sim::load_seq(s, responses_, [](sim::StateSource& k, MemResponse& r) {
+        r.id = k.u64();
+        r.op = static_cast<MemOp>(k.u8());
+        r.addr = k.u64();
+        sim::load_seq(k, r.data,
+                      [](sim::StateSource& j, std::uint8_t& b) { b = j.u8(); });
+        r.meta = k.u64();
+    });
+    port_free_at_ = s.u64();
+    reads_served_ = s.u64();
+    writes_served_ = s.u64();
+    bytes_read_ = s.u64();
+    bytes_written_ = s.u64();
+    peak_queue_ = s.u64();
 }
 
 bool MainMemory::pop_response(MemResponse& out) {

@@ -123,6 +123,12 @@ public:
         return in_flight_.size();
     }
 
+    // --- checkpoint/restore -------------------------------------------------
+    /// Serializes the backing store (allocated pages only), both timed
+    /// queues, in-flight accesses, and statistics.
+    void save_state(sim::StateSink& s) const override;
+    void load_state(sim::StateSource& s) override;
+
 private:
     struct InFlight {
         sim::Cycle done_at = 0;

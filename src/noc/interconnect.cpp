@@ -159,6 +159,66 @@ void Interconnect::audit(const sim::AuditCtx& ctx) const {
     }
 }
 
+void Interconnect::save_state(sim::StateSink& s) const {
+    for (const auto& q : inject_) {
+        sim::save_seq(s, q, save_packet);
+    }
+    for (const sim::Cycle free_at : bus_free_at_) {
+        s.u64(free_at);
+    }
+    // Drain a copy of the priority queue: entries come out in (deliver_at,
+    // seq) order, which load_state re-pushes verbatim.
+    auto pq = in_transit_;
+    s.u64(pq.size());
+    while (!pq.empty()) {
+        const InTransit& it = pq.top();
+        s.u64(it.deliver_at);
+        s.u64(it.seq);
+        save_packet(s, it.pkt);
+        pq.pop();
+    }
+    for (const auto& q : inbox_) {
+        sim::save_seq(s, q, save_packet);
+    }
+    s.u64(rr_next_);
+    s.u64(seq_);
+    s.u64(stats_.packets_injected);
+    s.u64(stats_.packets_delivered);
+    s.u64(stats_.bytes_transferred);
+    s.u64(stats_.bus_busy_cycles);
+    s.u64(stats_.inject_stall_events);
+}
+
+void Interconnect::load_state(sim::StateSource& s) {
+    inject_pending_ = 0;
+    for (auto& q : inject_) {
+        sim::load_seq(s, q, load_packet);
+        inject_pending_ += q.size();
+    }
+    for (sim::Cycle& free_at : bus_free_at_) {
+        free_at = s.u64();
+    }
+    DTA_CHECK(in_transit_.empty());
+    const std::uint64_t n = s.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        InTransit it;
+        it.deliver_at = s.u64();
+        it.seq = s.u64();
+        load_packet(s, it.pkt);
+        in_transit_.push(std::move(it));
+    }
+    for (auto& q : inbox_) {
+        sim::load_seq(s, q, load_packet);
+    }
+    rr_next_ = s.u64();
+    seq_ = s.u64();
+    stats_.packets_injected = s.u64();
+    stats_.packets_delivered = s.u64();
+    stats_.bytes_transferred = s.u64();
+    stats_.bus_busy_cycles = s.u64();
+    stats_.inject_stall_events = s.u64();
+}
+
 bool Interconnect::quiescent() const {
     if (!in_transit_.empty() || inject_pending_ != 0) {
         return false;

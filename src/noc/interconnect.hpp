@@ -110,6 +110,13 @@ public:
         pkt_latency_ = reg.histogram("noc.packet_latency");
     }
 
+    // --- checkpoint/restore -------------------------------------------------
+    /// Serializes queued, on-bus, and delivered-but-unfetched packets plus
+    /// arbitration cursors and statistics.  The priority queue is drained
+    /// in (deliver_at, seq) order, so the section is canonical.
+    void save_state(sim::StateSink& s) const override;
+    void load_state(sim::StateSource& s) override;
+
 private:
     struct InTransit {
         sim::Cycle deliver_at = 0;

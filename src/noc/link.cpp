@@ -58,6 +58,34 @@ void Link::tick(sim::Cycle now) {
     in_transit_.push_back(InTransit{deliver_at, std::move(pkt)});
 }
 
+void Link::save_state(sim::StateSink& s) const {
+    sim::save_seq(s, queue_, save_packet);
+    sim::save_seq(s, in_transit_, [](sim::StateSink& k, const InTransit& it) {
+        k.u64(it.deliver_at);
+        save_packet(k, it.pkt);
+    });
+    sim::save_seq(s, delivered_, save_packet);
+    sim::save_seq(s, tx_pending_,
+                  [](sim::StateSink& k, sim::Cycle c) { k.u64(c); });
+    s.u64(wire_free_at_);
+    s.u64(carried_);
+    s.u64(bytes_);
+}
+
+void Link::load_state(sim::StateSource& s) {
+    sim::load_seq(s, queue_, load_packet);
+    sim::load_seq(s, in_transit_, [](sim::StateSource& k, InTransit& it) {
+        it.deliver_at = k.u64();
+        load_packet(k, it.pkt);
+    });
+    sim::load_seq(s, delivered_, load_packet);
+    sim::load_seq(s, tx_pending_,
+                  [](sim::StateSource& k, sim::Cycle& c) { c = k.u64(); });
+    wire_free_at_ = s.u64();
+    carried_ = s.u64();
+    bytes_ = s.u64();
+}
+
 bool Link::pop_delivered(Packet& out) {
     if (delivered_.empty()) {
         return false;

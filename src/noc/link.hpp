@@ -105,6 +105,13 @@ public:
     [[nodiscard]] std::uint64_t bytes_carried() const { return bytes_; }
     [[nodiscard]] const LinkConfig& config() const { return cfg_; }
 
+    // --- checkpoint/restore -------------------------------------------------
+    /// Serializes sender queue, on-wire packets (port mode) or their
+    /// deliver_at stamps (channel mode; the channel body is its own
+    /// section), delivered-but-unpopped packets, and statistics.
+    void save_state(sim::StateSink& s) const override;
+    void load_state(sim::StateSource& s) override;
+
 private:
     struct InTransit {
         sim::Cycle deliver_at = 0;

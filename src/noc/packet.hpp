@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/snapshot.hpp"
+
 namespace dta::noc {
 
 /// Index of an endpoint attached to one Interconnect (bus-local).
@@ -36,5 +38,37 @@ struct Packet {
     std::uint64_t enq_at = 0;     ///< fabric-internal: injection cycle
     std::vector<std::uint8_t> data;  ///< bulk payload (DMA lines)
 };
+
+/// Checkpoint serialization of a packet (field by field; every layer that
+/// carries packets — fabrics, links, routers, channels — shares these).
+inline void save_packet(sim::StateSink& s, const Packet& p) {
+    s.u32(p.src);
+    s.u32(p.dst);
+    s.u16(p.dst_node);
+    s.u32(p.dst_final);
+    s.u16(p.kind);
+    s.u32(p.size_bytes);
+    s.u64(p.a);
+    s.u64(p.b);
+    s.u64(p.c);
+    s.u64(p.enq_at);
+    s.u64(p.data.size());
+    s.blob(p.data.data(), p.data.size());
+}
+
+inline void load_packet(sim::StateSource& s, Packet& p) {
+    p.src = s.u32();
+    p.dst = s.u32();
+    p.dst_node = s.u16();
+    p.dst_final = s.u32();
+    p.kind = s.u16();
+    p.size_bytes = s.u32();
+    p.a = s.u64();
+    p.b = s.u64();
+    p.c = s.u64();
+    p.enq_at = s.u64();
+    p.data.resize(s.u64());
+    s.blob(p.data.data(), p.data.size());
+}
 
 }  // namespace dta::noc

@@ -118,4 +118,42 @@ bool Dse::pop_outgoing(SchedMsg& out) {
     return true;
 }
 
+void Dse::save_state(sim::StateSink& s) const {
+    rx_.save_state(s, noc::save_packet);
+    sim::save_seq(s, free_,
+                  [](sim::StateSink& k, std::uint32_t n) { k.u32(n); });
+    sim::save_seq(s, pending_, [](sim::StateSink& k, const Pending& p) {
+        k.u64(p.code);
+        k.u32(p.sc);
+        k.u64(p.ctx.pack());
+        k.u64(p.queued_at);
+    });
+    outbox_.save_state(s, save_sched_msg);
+    s.u16(rr_next_);
+    s.u64(stats_.requests);
+    s.u64(stats_.granted_local);
+    s.u64(stats_.forwarded);
+    s.u64(stats_.queued);
+    s.u64(stats_.peak_pending);
+}
+
+void Dse::load_state(sim::StateSource& s) {
+    rx_.load_state(s, noc::load_packet);
+    sim::load_seq(s, free_,
+                  [](sim::StateSource& k, std::uint32_t& n) { n = k.u32(); });
+    sim::load_seq(s, pending_, [](sim::StateSource& k, Pending& p) {
+        p.code = k.u64();
+        p.sc = k.u32();
+        p.ctx = FallocCtx::unpack(k.u64());
+        p.queued_at = k.u64();
+    });
+    outbox_.load_state(s, load_sched_msg);
+    rr_next_ = s.u16();
+    stats_.requests = s.u64();
+    stats_.granted_local = s.u64();
+    stats_.forwarded = s.u64();
+    stats_.queued = s.u64();
+    stats_.peak_pending = s.u64();
+}
+
 }  // namespace dta::sched

@@ -101,6 +101,12 @@ public:
         return free_[local_pe];
     }
 
+    // --- checkpoint/restore -------------------------------------------------
+    /// Serializes undrained rx packets, the frame ledger, parked requests,
+    /// outgoing messages, the round-robin cursor, and statistics.
+    void save_state(sim::StateSink& s) const override;
+    void load_state(sim::StateSource& s) override;
+
 private:
     struct Pending {
         std::uint64_t code = 0;  ///< code id | parent uid << 16, opaque here

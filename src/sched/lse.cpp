@@ -794,4 +794,158 @@ void Lse::audit(const sim::AuditCtx& ctx) const {
     }
 }
 
+void Lse::save_state(sim::StateSink& s) const {
+    s.u64(frames_.size());
+    for (const Frame& f : frames_) {
+        s.u8(static_cast<std::uint8_t>(f.state));
+        s.u32(f.code);
+        s.u64(f.uid);
+        s.u32(f.sc);
+        s.u32(f.dma_pending);
+        s.u32(f.resume_ip);
+        s.flag(f.has_snapshot);
+        save_thread_snapshot(s, f.snapshot);
+        s.u32(f.stores_in_flight);
+        s.u64(f.ready_at);
+        s.u64(f.suspend_at);
+    }
+    sim::save_seq(s, free_slots_,
+                  [](sim::StateSink& k, std::uint32_t v) { k.u32(v); });
+    sim::save_seq(s, ready_,
+                  [](sim::StateSink& k, std::uint32_t v) { k.u32(v); });
+    sim::save_seq(s, outbox_, save_sched_msg);
+    sim::save_seq(s, falloc_done_, [](sim::StateSink& k, const FallocDone& d) {
+        k.u8(d.rd);
+        k.u64(d.handle.pack());
+    });
+    s.flag(dispatch_pending_);
+    s.u64(dispatch_ready_at_);
+    s.u32(live_frames_);
+    s.u32(waitdma_count_);
+    s.u64(ls_write_seq_);
+    s.u64(uid_seq_);
+    // Virtual-frame table in ascending-id order for canonical bytes (the
+    // unordered_map's iteration order is not deterministic across runs).
+    std::vector<std::uint32_t> vids;
+    vids.reserve(virtual_.size());
+    for (const auto& [vid, vf] : virtual_) {
+        vids.push_back(vid);
+    }
+    std::sort(vids.begin(), vids.end());
+    s.u64(vids.size());
+    for (const std::uint32_t vid : vids) {
+        const VirtualFrame& vf = virtual_.at(vid);
+        s.u32(vid);
+        s.u32(vf.code);
+        s.u64(vf.uid);
+        s.u32(vf.sc);
+        sim::save_seq(s, vf.stores,
+                      [](sim::StateSink& k, const BufferedStore& b) {
+                          k.u32(b.word_off);
+                          k.u64(b.value);
+                          k.u64(b.producer);
+                      });
+        s.flag(vf.complete);
+    }
+    sim::save_seq(s, materialize_queue_,
+                  [](sim::StateSink& k, std::uint32_t v) { k.u32(v); });
+    s.u32(next_virtual_id_);
+    s.u64(stats_.frames_allocated);
+    s.u64(stats_.frames_freed);
+    s.u64(stats_.local_stores);
+    s.u64(stats_.remote_stores_in);
+    s.u64(stats_.remote_stores_out);
+    s.u64(stats_.dispatches);
+    s.u64(stats_.dma_suspends);
+    s.u64(stats_.dma_immediate);
+    s.u32(stats_.peak_live_frames);
+    s.u64(stats_.virtual_allocations);
+    s.u32(stats_.peak_virtual_frames);
+    s.u64(now_);
+    sim::save_seq(s, write_producers_,
+                  [](sim::StateSink& k, std::uint64_t v) { k.u64(v); });
+    s.u64(falloc_issue_.size());
+    for (const auto& [rd, issues] : falloc_issue_) {
+        s.u8(rd);
+        sim::save_seq(s, issues,
+                      [](sim::StateSink& k, sim::Cycle c) { k.u64(c); });
+    }
+}
+
+void Lse::load_state(sim::StateSource& s) {
+    const std::uint64_t nframes = s.u64();
+    DTA_CHECK_MSG(nframes == frames_.size(),
+                  "snapshot frame count does not match the configuration");
+    for (Frame& f : frames_) {
+        f.state = static_cast<FrameState>(s.u8());
+        f.code = s.u32();
+        f.uid = s.u64();
+        f.sc = s.u32();
+        f.dma_pending = s.u32();
+        f.resume_ip = s.u32();
+        f.has_snapshot = s.flag();
+        load_thread_snapshot(s, f.snapshot);
+        f.stores_in_flight = s.u32();
+        f.ready_at = s.u64();
+        f.suspend_at = s.u64();
+    }
+    sim::load_seq(s, free_slots_,
+                  [](sim::StateSource& k, std::uint32_t& v) { v = k.u32(); });
+    sim::load_seq(s, ready_,
+                  [](sim::StateSource& k, std::uint32_t& v) { v = k.u32(); });
+    sim::load_seq(s, outbox_, load_sched_msg);
+    sim::load_seq(s, falloc_done_, [](sim::StateSource& k, FallocDone& d) {
+        d.rd = k.u8();
+        d.handle = sim::FrameHandle::unpack(k.u64());
+    });
+    dispatch_pending_ = s.flag();
+    dispatch_ready_at_ = s.u64();
+    live_frames_ = s.u32();
+    waitdma_count_ = s.u32();
+    ls_write_seq_ = s.u64();
+    uid_seq_ = s.u64();
+    virtual_.clear();
+    const std::uint64_t nvirtual = s.u64();
+    for (std::uint64_t i = 0; i < nvirtual; ++i) {
+        const std::uint32_t vid = s.u32();
+        VirtualFrame vf;
+        vf.code = s.u32();
+        vf.uid = s.u64();
+        vf.sc = s.u32();
+        sim::load_seq(s, vf.stores,
+                      [](sim::StateSource& k, BufferedStore& b) {
+                          b.word_off = k.u32();
+                          b.value = k.u64();
+                          b.producer = k.u64();
+                      });
+        vf.complete = s.flag();
+        virtual_.emplace(vid, std::move(vf));
+    }
+    sim::load_seq(s, materialize_queue_,
+                  [](sim::StateSource& k, std::uint32_t& v) { v = k.u32(); });
+    next_virtual_id_ = s.u32();
+    stats_.frames_allocated = s.u64();
+    stats_.frames_freed = s.u64();
+    stats_.local_stores = s.u64();
+    stats_.remote_stores_in = s.u64();
+    stats_.remote_stores_out = s.u64();
+    stats_.dispatches = s.u64();
+    stats_.dma_suspends = s.u64();
+    stats_.dma_immediate = s.u64();
+    stats_.peak_live_frames = s.u32();
+    stats_.virtual_allocations = s.u64();
+    stats_.peak_virtual_frames = s.u32();
+    now_ = s.u64();
+    sim::load_seq(s, write_producers_,
+                  [](sim::StateSource& k, std::uint64_t& v) { v = k.u64(); });
+    falloc_issue_.clear();
+    const std::uint64_t nissue = s.u64();
+    for (std::uint64_t i = 0; i < nissue; ++i) {
+        const std::uint8_t rd = s.u8();
+        std::deque<sim::Cycle>& issues = falloc_issue_[rd];
+        sim::load_seq(s, issues,
+                      [](sim::StateSource& k, sim::Cycle& c) { c = k.u64(); });
+    }
+}
+
 }  // namespace dta::sched

@@ -64,6 +64,44 @@ struct ThreadSnapshot {
     std::array<RegionEntry, kNumRegions> regions{};
 };
 
+/// Checkpoint serialization of a region-table entry (shared by the LSE's
+/// suspended-thread snapshots and the SPU's live region table).
+inline void save_region(sim::StateSink& s, const RegionEntry& r) {
+    s.flag(r.valid);
+    s.u64(r.mem_base);
+    s.u32(r.mem_stride);
+    s.u32(r.mem_elem_bytes);
+    s.u32(r.ls_base);
+    s.u32(r.bytes);
+}
+
+inline void load_region(sim::StateSource& s, RegionEntry& r) {
+    r.valid = s.flag();
+    r.mem_base = s.u64();
+    r.mem_stride = s.u32();
+    r.mem_elem_bytes = s.u32();
+    r.ls_base = s.u32();
+    r.bytes = s.u32();
+}
+
+inline void save_thread_snapshot(sim::StateSink& s, const ThreadSnapshot& t) {
+    for (const std::uint64_t v : t.regs) {
+        s.u64(v);
+    }
+    for (const RegionEntry& r : t.regions) {
+        save_region(s, r);
+    }
+}
+
+inline void load_thread_snapshot(sim::StateSource& s, ThreadSnapshot& t) {
+    for (std::uint64_t& v : t.regs) {
+        v = s.u64();
+    }
+    for (RegionEntry& r : t.regions) {
+        load_region(s, r);
+    }
+}
+
 /// Configuration of one LSE / frame memory (per PE).
 struct LseConfig {
     std::uint32_t frames = 16;          ///< frame slots per PE
@@ -265,6 +303,13 @@ public:
     /// virtual-frame bookkeeping, and the allocation ledger.  Read-only;
     /// reports violations through \p ctx.
     void audit(const sim::AuditCtx& ctx) const;
+
+    // --- checkpoint/restore (driven by the owning PE's save_state) ----------
+    /// Serializes every frame (including suspended-thread snapshots),
+    /// queues, the virtual-frame table (sorted by id for canonical bytes),
+    /// uid sequencing, and statistics.
+    void save_state(sim::StateSink& s) const;
+    void load_state(sim::StateSource& s);
 
 private:
     struct Frame {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "sim/snapshot.hpp"
 #include "sim/types.hpp"
 
 namespace dta::sched {
@@ -135,5 +136,26 @@ struct SchedMsg {
     std::uint64_t b = 0;
     std::uint64_t c = 0;
 };
+
+/// Checkpoint serialization of a queued scheduler message.
+inline void save_sched_msg(sim::StateSink& s, const SchedMsg& m) {
+    s.u16(static_cast<std::uint16_t>(m.kind));
+    s.u16(m.dst_node);
+    s.flag(m.dst_is_dse);
+    s.u16(m.dst_pe);
+    s.u64(m.a);
+    s.u64(m.b);
+    s.u64(m.c);
+}
+
+inline void load_sched_msg(sim::StateSource& s, SchedMsg& m) {
+    m.kind = static_cast<MsgKind>(s.u16());
+    m.dst_node = s.u16();
+    m.dst_is_dse = s.flag();
+    m.dst_pe = s.u16();
+    m.a = s.u64();
+    m.b = s.u64();
+    m.c = s.u64();
+}
 
 }  // namespace dta::sched

@@ -27,6 +27,9 @@
 
 namespace dta::sim {
 
+class StateSink;
+class StateSource;
+
 /// Type-erased view of a channel: what the epoch coordinator needs in order
 /// to decide wake-up and termination (all shard threads are parked at the
 /// barrier when it runs, so these reads are race-free by construction).
@@ -107,6 +110,34 @@ public:
                head_.load(std::memory_order_acquire);
     }
     [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+    /// Snapshot in-flight entries oldest-first. Only called while every
+    /// shard thread is parked at the epoch barrier, so the plain reads of
+    /// both cursors are race-free.
+    template <typename F>
+    void save_state(StateSink& s, F&& f) const {
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        s.u64(tail - head);
+        for (std::size_t i = head; i != tail; ++i) {
+            const Entry& e = ring_[i & mask_];
+            s.u64(e.drain_at);
+            f(s, e.value);
+        }
+    }
+
+    /// Inverse of save_state on a freshly constructed (empty) channel.
+    template <typename F>
+    void load_state(StateSource& s, F&& f) {
+        DTA_CHECK(empty());
+        const std::uint64_t n = s.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const Cycle drain_at = s.u64();
+            T value{};
+            f(s, value);
+            DTA_CHECK(try_push(drain_at, std::move(value)));
+        }
+    }
 
 private:
     struct Entry {

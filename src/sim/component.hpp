@@ -59,6 +59,28 @@
 ///     must therefore be safe mid-run on *any* quiescent-between-events
 ///     state, not only the globally-frozen states the dense fast-forward
 ///     produces.
+///
+/// ## The serialization contract (checkpoint/restore)
+///
+/// The third pillar next to tick/quiescence/horizon: `save_state()` /
+/// `load_state()` capture and reinstate *everything* a component carries
+/// between cycles — queues, in-flight requests, pipeline registers,
+/// statistics counters — through the byte streams in sim/snapshot.hpp.
+/// The Machine snapshots only at consistent points (between cycles, with
+/// all skip-accounting settled), so implementations never see a
+/// mid-cycle state. Rules:
+///
+///  1. Round trip is exact: save at cycle N, load into a freshly
+///     constructed twin, and every subsequent tick must be bit-identical
+///     to the original run — including statistics, event-log output, and
+///     deadlock diagnostics. Wiring (pointers to peers, config) is NOT
+///     serialized; it comes from construction.
+///  2. Serialize field by field, never by memcpy of structs (padding),
+///     and iterate unordered containers in a canonical sorted order so
+///     saving twice yields byte-identical snapshots.
+///  3. Loaders consume their section exactly; the caller verifies with
+///     StateSource::finish(), turning any layout drift into a clean
+///     error instead of silent corruption.
 #pragma once
 
 #include <string>
@@ -69,6 +91,9 @@ namespace dta::sim {
 
 /// Sentinel horizon: no internally-scheduled activity, ever.
 inline constexpr Cycle kIdleForever = kCycleNever;
+
+class StateSink;
+class StateSource;
 
 class Component {
  public:
@@ -98,6 +123,14 @@ class Component {
         (void)from;
         (void)to;
     }
+
+    /// Serialize all inter-cycle state into \p s (see the serialization
+    /// contract above). Default: stateless between cycles.
+    virtual void save_state(StateSink& s) const { (void)s; }
+
+    /// Inverse of save_state() on a freshly constructed, fully wired
+    /// component. Must consume the section exactly.
+    virtual void load_state(StateSource& s) { (void)s; }
 
     /// Diagnostic label, e.g. "pe3", "noc0", "mem". Used in deadlock
     /// reports to say *which* components were non-quiescent.

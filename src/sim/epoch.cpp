@@ -16,6 +16,19 @@ EpochRunner::EpochRunner(std::vector<Shard*> shards, Config cfg, FailFn fail)
     DTA_SIM_REQUIRE(static_cast<bool>(fail_), "epoch runner needs a fail hook");
 }
 
+Cycle EpochRunner::next_bound(Cycle from, Cycle target) const {
+    Cycle nb = std::min(target, cfg_.max_cycles);
+    if (cfg_.checkpoint_every > 0) {
+        const Cycle cut =
+            (from / cfg_.checkpoint_every + 1) * cfg_.checkpoint_every;
+        nb = std::min(nb, cut);
+    }
+    if (cfg_.stop_at > from) {
+        nb = std::min(nb, cfg_.stop_at);
+    }
+    return nb;
+}
+
 void EpochRunner::record_error() noexcept {
     const std::lock_guard<std::mutex> lock(err_mu_);
     if (!error_) {
@@ -94,6 +107,23 @@ void EpochRunner::coordinate() noexcept {
             phase_ = Phase::kCatchUp;
             return;
         }
+        if (cfg_.stop_at > 0 && bound_ >= cfg_.stop_at) {
+            // An early-stop run (snapshot-and-exit): the bound was clamped
+            // so this barrier landed exactly on stop_at.  Settle every
+            // shard's accounting to it and end the run there.
+            end_ = cfg_.stop_at;
+            phase_ = Phase::kCatchUp;
+            return;
+        }
+        if (cfg_.on_cut && cfg_.checkpoint_every > 0 &&
+            bound_ % cfg_.checkpoint_every == 0) {
+            // A checkpoint cut: every participant is parked in the barrier,
+            // so the machine sees a globally-consistent state.  The machine
+            // was not quiescent at any cycle <= bound_ (the branch above
+            // would have ended the run), so catching lagging shards up to
+            // the cut cannot move the eventual end cycle.
+            cfg_.on_cut(bound_);
+        }
         for (Shard* s : shards_) {
             if (s->paused() && !s->inbound_empty()) {
                 s->wake();
@@ -133,7 +163,7 @@ void EpochRunner::coordinate() noexcept {
         if (lookahead != kCycleNever) {
             target = std::max(target, std::min(lookahead, cfg_.max_cycles));
         }
-        bound_ = std::min(target + cfg_.epoch, cfg_.max_cycles);
+        bound_ = next_bound(bound_, target + cfg_.epoch);
     } catch (...) {
         record_error();
         phase_ = Phase::kExit;
@@ -146,7 +176,8 @@ Cycle EpochRunner::run() {
         void operator()() noexcept { runner->coordinate(); }
     };
 
-    bound_ = std::min(cfg_.epoch, cfg_.max_cycles);
+    bound_ = next_bound(cfg_.start, cfg_.start + cfg_.epoch);
+    last_progress_ = cfg_.start;
     std::barrier<Coordinate> barrier(
         static_cast<std::ptrdiff_t>(shards_.size()), Coordinate{this});
 

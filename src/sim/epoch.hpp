@@ -48,6 +48,21 @@ public:
         Cycle epoch = 1;  ///< conservative lookahead (link latency + 1)
         Cycle max_cycles = 0;
         Cycle no_progress_limit = 0;
+        /// First cycle of the run (non-zero after a snapshot restore; the
+        /// shards' clocks must already sit at it).
+        Cycle start = 0;
+        /// Stop the run at this exact barrier even though the machine is
+        /// not quiescent (0 = run to quiescence).  Epoch bounds are clamped
+        /// so a barrier lands exactly on it.
+        Cycle stop_at = 0;
+        /// Clamp epoch bounds so a barrier lands on every multiple of this
+        /// interval (0 = none) and invoke on_cut there, with every
+        /// participant parked in the barrier — the machine checkpoints the
+        /// globally-consistent state.  The hook may catch shards up to the
+        /// cut cycle; by the epoch lookahead bound no in-flight channel
+        /// entry drains before it, so accounting stays exact.
+        Cycle checkpoint_every = 0;
+        std::function<void(Cycle)> on_cut;
     };
 
     EpochRunner(std::vector<Shard*> shards, Config cfg, FailFn fail);
@@ -67,6 +82,9 @@ private:
     void participate(std::size_t index, Barrier& barrier);
     void coordinate() noexcept;
     void record_error() noexcept;
+    /// The next epoch boundary after \p from towards \p target, clamped to
+    /// max_cycles, the next checkpoint cut, and stop_at.
+    [[nodiscard]] Cycle next_bound(Cycle from, Cycle target) const;
 
     std::vector<Shard*> shards_;
     Config cfg_;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "sim/check.hpp"
+#include "sim/snapshot.hpp"
 
 namespace dta::sim {
 
@@ -55,6 +56,37 @@ void EventLog::canonicalize() {
     chunks_.clear();
     chunks_.push_back(std::move(all));
     size_ = chunks_.back().size();
+}
+
+void EventLog::save_state(StateSink& s) const {
+    s.u64(size_);
+    for_each([&](const Event& e) {
+        s.u64(e.cycle);
+        s.u64(e.thread);
+        s.u64(e.other);
+        s.u64(e.arg);
+        s.u64(e.stall);
+        s.u32(e.ordinal);
+        s.u8(static_cast<std::uint8_t>(e.kind));
+        s.u8(e.aux);
+    });
+}
+
+void EventLog::load_state(StateSource& s) {
+    DTA_CHECK(empty());
+    const std::uint64_t n = s.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Event e;
+        e.cycle = s.u64();
+        e.thread = s.u64();
+        e.other = s.u64();
+        e.arg = s.u64();
+        e.stall = s.u64();
+        e.ordinal = s.u32();
+        e.kind = static_cast<EventKind>(s.u8());
+        e.aux = s.u8();
+        push(e);
+    }
 }
 
 void write_events(std::ostream& out, const EventLog& log, Cycle cycles,

@@ -43,6 +43,9 @@
 
 namespace dta::sim {
 
+class StateSink;
+class StateSource;
+
 /// What happened.  One enumerator per lifecycle transition; the payload
 /// convention for `thread` / `other` / `arg` / `aux` is documented per kind.
 enum class EventKind : std::uint8_t {
@@ -179,6 +182,12 @@ public:
     /// appending every shard's log, this reproduces the single-threaded
     /// emission order exactly (see file comment).
     void canonicalize();
+
+    /// Snapshot every event in push order, field by field (Event has
+    /// padding, so no struct memcpy).
+    void save_state(StateSink& s) const;
+    /// Inverse of save_state into an empty log.
+    void load_state(StateSource& s);
 
 private:
     std::vector<std::vector<Event>> chunks_;

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "sim/check.hpp"
+#include "sim/snapshot.hpp"
 
 namespace dta::sim {
 
@@ -81,6 +82,79 @@ void GaugeSeries::merge_add(const GaugeSeries& other) {
                       "gauge merge: shard series sampled at different cycles");
         samples_[i].value += other.samples_[i].value;
         max_ = std::max(max_, samples_[i].value);
+    }
+}
+
+void Histogram::save_state(StateSink& s) const {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        s.u64(buckets_[b]);
+    }
+    s.u64(count_);
+    s.u64(sum_);
+    s.u64(min_);
+    s.u64(max_);
+}
+
+void Histogram::load_state(StateSource& s) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        buckets_[b] = s.u64();
+    }
+    count_ = s.u64();
+    sum_ = s.u64();
+    min_ = s.u64();
+    max_ = s.u64();
+}
+
+void GaugeSeries::save_state(StateSink& s) const {
+    save_seq(s, samples_, [](StateSink& k, const GaugeSample& g) {
+        k.u64(g.cycle);
+        k.i64(g.value);
+    });
+    s.i64(max_);
+}
+
+void GaugeSeries::load_state(StateSource& s) {
+    load_seq(s, samples_, [](StateSource& k, GaugeSample& g) {
+        g.cycle = k.u64();
+        g.value = k.i64();
+    });
+    max_ = s.i64();
+}
+
+void MetricsRegistry::save_state(StateSink& s) const {
+    save_seq(s, counters_, [](StateSink& k, const auto& e) {
+        k.str(e.first);
+        k.u64(e.second.value);
+    });
+    s.u64(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+        s.str(name);
+        h.save_state(s);
+    }
+    s.u64(gauges_.size());
+    for (const auto& [name, g] : gauges_) {
+        s.str(name);
+        g.save_state(s);
+    }
+}
+
+void MetricsRegistry::load_state(StateSource& s) {
+    // In-place find-or-create: components resolved instrument pointers at
+    // attach time, and node-based map storage keeps them valid.
+    const std::uint64_t nc = s.u64();
+    for (std::uint64_t i = 0; i < nc; ++i) {
+        const std::string name = s.str();
+        counters_[name].value = s.u64();
+    }
+    const std::uint64_t nh = s.u64();
+    for (std::uint64_t i = 0; i < nh; ++i) {
+        const std::string name = s.str();
+        histograms_[name].load_state(s);
+    }
+    const std::uint64_t ng = s.u64();
+    for (std::uint64_t i = 0; i < ng; ++i) {
+        const std::string name = s.str();
+        gauges_[name].load_state(s);
     }
 }
 

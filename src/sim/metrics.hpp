@@ -25,6 +25,9 @@
 
 namespace dta::sim {
 
+class StateSink;
+class StateSource;
+
 /// A monotonically increasing named count.
 struct Counter {
     std::uint64_t value = 0;
@@ -70,6 +73,9 @@ public:
     /// Bucket index a value lands in (its bit width).
     [[nodiscard]] static std::size_t bucket_of(std::uint64_t v);
 
+    void save_state(StateSink& s) const;
+    void load_state(StateSource& s);
+
 private:
     std::array<std::uint64_t, kBuckets> buckets_{};
     std::uint64_t count_ = 0;
@@ -109,6 +115,9 @@ public:
     /// equal length unless one side is empty; max_ is recomputed from the
     /// summed values, matching what sampling the sums would have produced.
     void merge_add(const GaugeSeries& other);
+
+    void save_state(StateSink& s) const;
+    void load_state(StateSource& s);
 
 private:
     std::vector<GaugeSample> samples_;
@@ -150,6 +159,12 @@ public:
     [[nodiscard]] const std::map<std::string, GaugeSeries>& gauges() const {
         return gauges_;
     }
+
+    /// Serialize every instrument (sorted map order keeps it canonical).
+    void save_state(StateSink& s) const;
+    /// Loads instruments *in place* (find-or-create, never clears the
+    /// maps), so pointers components resolved at attach time stay valid.
+    void load_state(StateSource& s);
 
 private:
     bool enabled_ = false;

@@ -22,6 +22,9 @@
 
 namespace dta::sim {
 
+class StateSink;
+class StateSource;
+
 /// Wake sink for the event-driven scheduler (sim/wheel.hpp): a `Port<T>`
 /// with a waker bound reports every push so the scheduler can re-arm the
 /// sleeping consumer.  The dense loop binds no wakers and pays one
@@ -71,6 +74,22 @@ class Port {
     [[nodiscard]] bool empty() const { return q_.empty(); }
     [[nodiscard]] std::size_t size() const { return q_.size(); }
 
+    /// Snapshot the queued elements in FIFO order; \p f serialises one
+    /// element. The waker binding is wiring and is not saved.
+    template <typename F>
+    void save_state(StateSink& s, F&& f) const {
+        save_seq(s, q_, f);
+    }
+
+    /// Inverse of save_state; requires the port to be freshly constructed
+    /// (or empty). Loading bypasses the waker on purpose: restore happens
+    /// before the scheduler starts, and start() arms every component.
+    template <typename F>
+    void load_state(StateSource& s, F&& f) {
+        DTA_CHECK(q_.empty());
+        load_seq(s, q_, f);
+    }
+
  private:
     std::deque<T> q_;
     Waker* waker_ = nullptr;
@@ -113,6 +132,35 @@ class Pool {
     }
 
     [[nodiscard]] std::uint64_t outstanding() const { return outstanding_; }
+
+    /// Snapshot slots (flag + value when live) and the LIFO free list
+    /// verbatim, so restored alloc() hands out the same indices the
+    /// original run would have.
+    template <typename F>
+    void save_state(StateSink& s, F&& f) const {
+        save_seq(s, slots_, [&](StateSink& k, const Slot& slot) {
+            k.flag(slot.in_use);
+            if (slot.in_use) {
+                f(k, slot.value);
+            }
+        });
+        save_seq(s, free_,
+                 [](StateSink& k, std::uint64_t idx) { k.u64(idx); });
+    }
+
+    template <typename F>
+    void load_state(StateSource& s, F&& f) {
+        DTA_CHECK(slots_.empty() && outstanding_ == 0);
+        load_seq(s, slots_, [&](StateSource& k, Slot& slot) {
+            slot.in_use = k.flag();
+            if (slot.in_use) {
+                f(k, slot.value);
+                ++outstanding_;
+            }
+        });
+        load_seq(s, free_,
+                 [](StateSource& k, std::uint64_t& idx) { idx = k.u64(); });
+    }
 
  private:
     struct Slot {

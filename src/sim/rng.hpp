@@ -14,6 +14,9 @@
 
 namespace dta::sim {
 
+class StateSink;
+class StateSource;
+
 /// SplitMix64 — used to seed xoshiro and for cheap one-off streams.
 class SplitMix64 {
 public:
@@ -24,6 +27,17 @@ public:
         z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
         z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
         return z ^ (z >> 31);
+    }
+
+    /// Checkpoint/restore of the generator position (sim/snapshot.hpp);
+    /// template so this header stays standalone.
+    template <typename Sink>
+    void save_state(Sink& s) const {
+        s.u64(state_);
+    }
+    template <typename Source>
+    void load_state(Source& s) {
+        state_ = s.u64();
     }
 
 private:
@@ -57,6 +71,20 @@ public:
 
     /// Uniform 32-bit value.
     std::uint32_t next_u32() { return static_cast<std::uint32_t>(next() >> 32); }
+
+    /// Checkpoint/restore of the generator position (sim/snapshot.hpp).
+    template <typename Sink>
+    void save_state(Sink& s) const {
+        for (const std::uint64_t v : state_) {
+            s.u64(v);
+        }
+    }
+    template <typename Source>
+    void load_state(Source& s) {
+        for (std::uint64_t& v : state_) {
+            v = s.u64();
+        }
+    }
 
 private:
     static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

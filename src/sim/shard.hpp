@@ -109,6 +109,19 @@ public:
     [[nodiscard]] bool stuck() const { return stuck_; }
     void wake() { paused_ = false; }
 
+    /// Resets the private clock after a snapshot restore: \p at is the next
+    /// unaccounted cycle, \p ticked / \p skipped the host-effort split so
+    /// far (restored so merged RunResult counters stay exact).  The
+    /// fingerprint gate re-arms, exactly as at the start of a fresh run.
+    void restore_clock(Cycle at, Cycle ticked, Cycle skipped) {
+        acct_next_ = at;
+        ticked_ = ticked;
+        skipped_ = skipped;
+        paused_ = false;
+        stuck_ = false;
+        prev_fp_ = ~0ull;
+    }
+
     [[nodiscard]] bool inbound_empty() const {
         for (const ChannelBase* ch : inbound_) {
             if (!ch->empty()) {

@@ -1,0 +1,157 @@
+#include "sim/snapshot.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace dta::sim {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'T', 'A', 'S', 'N', 'A', 'P', '1'};
+
+std::array<std::uint32_t, 256> make_crc_table() {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        }
+        t[i] = c;
+    }
+    return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+    static const std::array<std::uint32_t, 256> table = make_crc_table();
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i) {
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    }
+    return c ^ 0xffffffffu;
+}
+
+std::uint64_t fnv1a64(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+StateSink& SnapshotWriter::section(const std::string& name) {
+    for (const auto& [n, sink] : sections_) {
+        DTA_SIM_REQUIRE(n != name,
+                        "duplicate snapshot section '" + name + "'");
+    }
+    sections_.emplace_back(name, StateSink{});
+    return sections_.back().second;
+}
+
+void SnapshotWriter::write(const std::string& path) const {
+    StateSink out;
+    out.blob(kMagic, sizeof(kMagic));
+    out.u32(kSnapshotFormatVersion);
+    out.u64(fingerprint_);
+    out.u64(cycle_);
+    out.u32(static_cast<std::uint32_t>(sections_.size()));
+    for (const auto& [name, sink] : sections_) {
+        out.str(name);
+        out.u64(sink.size());
+        out.u32(crc32(sink.data().data(), sink.size()));
+        out.blob(sink.data().data(), sink.size());
+    }
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    DTA_SIM_REQUIRE(f != nullptr,
+                    "cannot open '" + tmp + "' for snapshot write");
+    const std::size_t wrote =
+        std::fwrite(out.data().data(), 1, out.size(), f);
+    const bool ok = wrote == out.size() && std::fclose(f) == 0;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        DTA_SIM_ERROR("short write while saving snapshot '" + path + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        DTA_SIM_ERROR("cannot move snapshot into place at '" + path + "'");
+    }
+}
+
+SnapshotReader::SnapshotReader(const std::string& path) : path_(path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    DTA_SIM_REQUIRE(f != nullptr, "cannot open snapshot '" + path + "'");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size > 0) {
+        file_.resize(static_cast<std::size_t>(size));
+        if (std::fread(file_.data(), 1, file_.size(), f) != file_.size()) {
+            std::fclose(f);
+            DTA_SIM_ERROR("cannot read snapshot '" + path + "'");
+        }
+    }
+    std::fclose(f);
+
+    StateSource s(file_.data(), file_.size());
+    DTA_SIM_REQUIRE(s.remaining() >= sizeof(kMagic),
+                    "'" + path + "' is not a DTA snapshot (too short)");
+    char magic[8];
+    s.blob(magic, sizeof(magic));
+    DTA_SIM_REQUIRE(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                    "'" + path + "' is not a DTA snapshot (bad magic)");
+    version_ = s.u32();
+    DTA_SIM_REQUIRE(
+        version_ == kSnapshotFormatVersion,
+        "snapshot '" + path + "' has format version " +
+            std::to_string(version_) + " but this build reads version " +
+            std::to_string(kSnapshotFormatVersion));
+    fingerprint_ = s.u64();
+    cycle_ = s.u64();
+    const std::uint32_t count = s.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::string name = s.str();
+        const std::uint64_t len = s.u64();
+        const std::uint32_t crc = s.u32();
+        DTA_SIM_REQUIRE(s.remaining() >= len,
+                        "snapshot '" + path + "' truncated in section '" +
+                            name + "'");
+        const std::size_t off = file_.size() - s.remaining();
+        DTA_SIM_REQUIRE(
+            crc32(file_.data() + off, static_cast<std::size_t>(len)) == crc,
+            "snapshot '" + path + "' section '" + name +
+                "' fails its CRC check (corrupted file)");
+        const bool fresh =
+            sections_
+                .emplace(name,
+                         std::make_pair(off, static_cast<std::size_t>(len)))
+                .second;
+        DTA_SIM_REQUIRE(fresh, "snapshot '" + path +
+                                   "' has duplicate section '" + name + "'");
+        s.skip(static_cast<std::size_t>(len));
+    }
+    s.finish();
+}
+
+StateSource SnapshotReader::section(const std::string& name) const {
+    const auto it = sections_.find(name);
+    DTA_SIM_REQUIRE(it != sections_.end(),
+                    "snapshot '" + path_ + "' has no section '" + name +
+                        "' (machine layout mismatch)");
+    return StateSource(file_.data() + it->second.first, it->second.second);
+}
+
+std::vector<std::string> SnapshotReader::section_names() const {
+    std::vector<std::string> names;
+    names.reserve(sections_.size());
+    for (const auto& [name, span] : sections_) {
+        names.push_back(name);
+    }
+    return names;
+}
+
+}  // namespace dta::sim

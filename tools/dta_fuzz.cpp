@@ -21,12 +21,21 @@
 ///     --no-wheel        run the dense loop only (also disables the
 ///                       wheel/dense differential)
 ///     --no-shrink       report the first failure without minimising it
+///     --bisect          (replay mode) time-travel bisect: re-run the
+///                       failing cell with periodic snapshots, then refine
+///                       from the newest pre-failure snapshot with smaller
+///                       intervals; prints one copy-pasteable --restore
+///                       command landing just before the failure
+///     --restore FILE    (replay mode) resume the machine leg from a
+///                       snapshot written by a --bisect pass instead of
+///                       launching fresh (see docs/CHECKPOINT.md)
 ///     -v                print one line per run instead of one per shape
 ///
 /// On failure the harness shrinks the reproducer (smaller program, then
 /// simpler machine) while the failure persists and prints a single replay
 /// line of the form
 ///   replay: dta_fuzz --seed S --config "nodes=1,spes=2,..."
+/// plus a bisect line that appends --bisect to the same command.
 /// Exit status: 0 when every run passed, 1 on any failure, 2 on bad usage.
 
 #include <cstdio>
@@ -227,12 +236,26 @@ workloads::DataflowGenParams gen_params(const FuzzConfig& c,
     return gp;
 }
 
+/// Snapshot plumbing for the bisect loop: restore the machine leg from a
+/// snapshot and/or write periodic checkpoints during it, reporting the
+/// newest snapshot that existed before a failure.
+struct SnapshotKnobs {
+    std::string restore;              ///< resume from here (empty = launch)
+    sim::Cycle checkpoint_every = 0;  ///< 0 = no periodic snapshots
+    std::string checkpoint_prefix;
+    sim::Cycle last_cycle = 0;  ///< out: newest snapshot written (0 = none)
+    std::string last_path;      ///< out
+};
+
 /// Runs one (config, seed) point: generator -> Interpreter oracle ->
 /// audited Machine (event-driven scheduler) -> dense-loop differential ->
 /// word-for-word memory comparison.  Returns true when everything agreed;
-/// otherwise fills \p why.
+/// otherwise fills \p why.  With \p snap, the machine leg restores and/or
+/// checkpoints (the dense differential is skipped — the bisect loop studies
+/// the one failing leg).
 bool run_one(const FuzzConfig& c, std::uint64_t seed, bool inject_failure,
-             bool no_wheel, std::string& why) {
+             bool no_wheel, std::string& why,
+             SnapshotKnobs* snap = nullptr) {
     try {
         const workloads::DataflowGen gen(gen_params(c, seed));
         const std::vector<std::uint64_t> args = gen.entry_args();
@@ -259,9 +282,30 @@ bool run_one(const FuzzConfig& c, std::uint64_t seed, bool inject_failure,
                          "deliberate failure to validate the report path");
             });
         }
-        gen.init_memory(machine.memory());
-        machine.launch(args);
-        const core::RunResult res = machine.run();
+        if (snap != nullptr && snap->checkpoint_every > 0) {
+            machine.set_checkpoints(snap->checkpoint_every,
+                                    snap->checkpoint_prefix);
+        }
+        if (snap != nullptr && !snap->restore.empty()) {
+            machine.restore(snap->restore);
+        } else {
+            gen.init_memory(machine.memory());
+            machine.launch(args);
+        }
+        core::RunResult res;
+        try {
+            res = machine.run();
+        } catch (...) {
+            if (snap != nullptr) {
+                snap->last_cycle = machine.last_checkpoint_cycle();
+                snap->last_path = machine.last_checkpoint_path();
+            }
+            throw;
+        }
+        if (snap != nullptr) {
+            snap->last_cycle = machine.last_checkpoint_cycle();
+            snap->last_path = machine.last_checkpoint_path();
+        }
 
         if (std::string w; !gen.check(machine.memory(), &w)) {
             why = "machine diverged from host replica: " + w;
@@ -284,7 +328,8 @@ bool run_one(const FuzzConfig& c, std::uint64_t seed, bool inject_failure,
         // identical output memory.  Skipped when the wheel is off anyway
         // (--no-wheel here, or DTA_NO_WHEEL in the environment — both runs
         // would be the same dense loop).
-        if (!no_wheel && std::getenv("DTA_NO_WHEEL") == nullptr) {
+        if (snap == nullptr && !no_wheel &&
+            std::getenv("DTA_NO_WHEEL") == nullptr) {
             auto dense_cfg = machine_config(c);
             dense_cfg.use_wheel = false;
             core::Machine dense(dense_cfg, prog);
@@ -386,13 +431,74 @@ void report_failure(const FuzzConfig& c, std::uint64_t seed,
     std::fprintf(stderr, "replay: dta_fuzz --seed %llu --config \"%s\"%s\n",
                  static_cast<unsigned long long>(seed), encode(c).c_str(),
                  injected ? " --inject-failure" : "");
+    if (!injected) {
+        std::fprintf(stderr,
+                     "bisect: dta_fuzz --seed %llu --config \"%s\" --bisect\n",
+                     static_cast<unsigned long long>(seed), encode(c).c_str());
+    }
+}
+
+/// Time-travel bisect of one failing (config, seed) cell: a coarse pass
+/// writes snapshots every 64 Kcycles, then each refinement restores from
+/// the newest pre-failure snapshot and quarters the interval, homing in on
+/// a snapshot a few Kcycles before the failure.  Prints one copy-pasteable
+/// --restore command.  Returns the process exit status.
+int bisect(const FuzzConfig& c, std::uint64_t seed, bool no_wheel) {
+    const std::string prefix = "dta_fuzz_s" + std::to_string(seed);
+    sim::Cycle interval = 65536;
+    SnapshotKnobs snap;
+    snap.checkpoint_every = interval;
+    snap.checkpoint_prefix = prefix;
+    std::string why;
+    if (run_one(c, seed, false, no_wheel, why, &snap)) {
+        std::printf("bisect: seed %llu passes on \"%s\"; nothing to bisect\n",
+                    static_cast<unsigned long long>(seed), encode(c).c_str());
+        return 0;
+    }
+    std::fprintf(stderr, "failure (seed %llu): %s\n",
+                 static_cast<unsigned long long>(seed), why.c_str());
+    while (snap.last_cycle > 0 && interval > 4096) {
+        interval /= 4;
+        SnapshotKnobs finer;
+        finer.restore = snap.last_path;
+        finer.checkpoint_every = interval;
+        finer.checkpoint_prefix = prefix;
+        std::string w;
+        if (run_one(c, seed, false, no_wheel, w, &finer)) {
+            // The failure did not reproduce from the restore — it depends
+            // on earlier history; keep the coarser snapshot.
+            break;
+        }
+        why = w;
+        if (finer.last_path.empty() || finer.last_path == snap.last_path) {
+            break;  // no snapshot newer than the restore point
+        }
+        snap = finer;
+    }
+    if (snap.last_cycle == 0) {
+        std::fprintf(stderr,
+                     "bisect: failure is within the first %llu cycles (no "
+                     "snapshot precedes it); replay from the start\n",
+                     static_cast<unsigned long long>(snap.checkpoint_every));
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "bisect: failure reproduces from %s (cycle %llu)\n",
+                 snap.last_path.c_str(),
+                 static_cast<unsigned long long>(snap.last_cycle));
+    std::fprintf(
+        stderr, "replay: dta_fuzz --seed %llu --config \"%s\" --restore=%s\n",
+        static_cast<unsigned long long>(seed), encode(c).c_str(),
+        snap.last_path.c_str());
+    return 1;
 }
 
 [[noreturn]] void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--seeds N] [--start-seed S] [--shapes a,b|all]\n"
                  "       [--seed S] [--config \"k=v,...\"] [--inject-failure]\n"
-                 "       [--no-wheel] [--no-shrink] [--list-shapes] [-v]\n",
+                 "       [--no-wheel] [--no-shrink] [--bisect] "
+                 "[--restore FILE] [--list-shapes] [-v]\n",
                  argv0);
     std::exit(2);
 }
@@ -406,6 +512,8 @@ struct Options {
     bool inject_failure = false;
     bool no_wheel = false;
     bool no_shrink = false;
+    bool bisect = false;
+    std::string restore_path;
     bool list_shapes = false;
     bool verbose = false;
 };
@@ -453,6 +561,12 @@ Options parse_options(int argc, char** argv) {
             opt.no_wheel = true;
         } else if (a == "--no-shrink") {
             opt.no_shrink = true;
+        } else if (a == "--bisect") {
+            opt.bisect = true;
+        } else if (a == "--restore") {
+            opt.restore_path = next();
+        } else if (a.rfind("--restore=", 0) == 0) {
+            opt.restore_path = a.substr(std::strlen("--restore="));
         } else if (a == "--list-shapes") {
             opt.list_shapes = true;
         } else if (a == "-v") {
@@ -485,7 +599,23 @@ int main(int argc, char** argv) {
             usage(argv[0]);
         }
         const FuzzConfig c = opt.config.value_or(shapes[0]);
+        if (opt.bisect) {
+            return bisect(c, *opt.one_seed, opt.no_wheel);
+        }
         std::string why;
+        if (!opt.restore_path.empty()) {
+            SnapshotKnobs snap;
+            snap.restore = opt.restore_path;
+            if (run_one(c, *opt.one_seed, opt.inject_failure, opt.no_wheel,
+                        why, &snap)) {
+                std::printf("seed %llu ok on \"%s\" (restored from %s)\n",
+                            static_cast<unsigned long long>(*opt.one_seed),
+                            encode(c).c_str(), opt.restore_path.c_str());
+                return 0;
+            }
+            report_failure(c, *opt.one_seed, why, opt.inject_failure);
+            return 1;
+        }
         if (run_one(c, *opt.one_seed, opt.inject_failure, opt.no_wheel,
                     why)) {
             std::printf("seed %llu ok on \"%s\"\n",

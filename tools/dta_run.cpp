@@ -48,6 +48,19 @@
 ///     --log-level L     stderr simulator log: info, debug or trace
 ///     --disasm          print the disassembly and exit
 ///     --dump ADDR N     after the run, print N 32-bit words at ADDR
+///     --checkpoint-every N   write a snapshot at every multiple of N
+///                       cycles (to PREFIX.c<cycle>.dtasnap; see
+///                       docs/CHECKPOINT.md)
+///     --checkpoint-prefix P  snapshot path prefix (default: the program
+///                       path)
+///     --restore FILE    resume from a snapshot instead of launching; the
+///                       machine shape flags must match the snapshot's
+///                       config fingerprint, observer flags (--audit,
+///                       --no-wheel, --prof, ...) are free — time-travel
+///                       debugging
+///     --stop-at M       end the run at exactly cycle M with the machine
+///                       state as of that cut (partial statistics; no
+///                       quiescence audit)
 
 #include <chrono>
 #include <cstdio>
@@ -103,6 +116,10 @@ struct Options {
     sim::LogLevel log_level = sim::LogLevel::kOff;
     std::vector<std::uint64_t> args;
     std::vector<std::pair<std::uint64_t, std::uint32_t>> dumps;
+    sim::Cycle checkpoint_every = 0;  ///< 0 = periodic snapshots off
+    std::string checkpoint_prefix;    ///< empty = program path
+    std::string restore_path;         ///< empty = fresh launch
+    sim::Cycle stop_at = 0;           ///< 0 = run to quiescence
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -117,7 +134,9 @@ struct Options {
                  "[--metrics FILE]\n"
                  "       [--events FILE] [--progress[=N]]\n"
                  "       [--log-level info|debug|trace] [--disasm] "
-                 "[--dump ADDR N]...\n",
+                 "[--dump ADDR N]...\n"
+                 "       [--checkpoint-every N] [--checkpoint-prefix P] "
+                 "[--restore FILE] [--stop-at M]\n",
                  argv0);
     std::exit(2);
 }
@@ -207,6 +226,34 @@ Options parse_options(int argc, char** argv) {
                 opt.log_level = sim::LogLevel::kTrace;
             } else {
                 std::fprintf(stderr, "unknown log level '%s'\n", lvl.c_str());
+                usage(argv[0]);
+            }
+        } else if (a == "--checkpoint-every") {
+            opt.checkpoint_every = std::strtoull(next(), nullptr, 0);
+            if (opt.checkpoint_every == 0) {
+                usage(argv[0]);
+            }
+        } else if (a.rfind("--checkpoint-every=", 0) == 0) {
+            opt.checkpoint_every = std::strtoull(
+                a.c_str() + std::strlen("--checkpoint-every="), nullptr, 0);
+            if (opt.checkpoint_every == 0) {
+                usage(argv[0]);
+            }
+        } else if (a == "--checkpoint-prefix") {
+            opt.checkpoint_prefix = next();
+        } else if (a == "--restore") {
+            opt.restore_path = next();
+        } else if (a.rfind("--restore=", 0) == 0) {
+            opt.restore_path = a.substr(std::strlen("--restore="));
+        } else if (a == "--stop-at") {
+            opt.stop_at = std::strtoull(next(), nullptr, 0);
+            if (opt.stop_at == 0) {
+                usage(argv[0]);
+            }
+        } else if (a.rfind("--stop-at=", 0) == 0) {
+            opt.stop_at = std::strtoull(a.c_str() + std::strlen("--stop-at="),
+                                        nullptr, 0);
+            if (opt.stop_at == 0) {
                 usage(argv[0]);
             }
         } else if (a == "--arg") {
@@ -360,7 +407,24 @@ int main(int argc, char** argv) {
                              static_cast<int>(line.size()), line.data());
             });
         }
-        machine.launch(opt.args);
+        if (opt.checkpoint_every > 0) {
+            machine.set_checkpoints(opt.checkpoint_every,
+                                    opt.checkpoint_prefix.empty()
+                                        ? opt.program_path
+                                        : opt.checkpoint_prefix);
+        }
+        if (opt.stop_at > 0) {
+            machine.set_stop_at(opt.stop_at);
+        }
+        if (!opt.restore_path.empty()) {
+            machine.restore(opt.restore_path);
+            std::printf("restored %s at cycle %llu\n",
+                        opt.restore_path.c_str(),
+                        static_cast<unsigned long long>(
+                            machine.start_cycle()));
+        } else {
+            machine.launch(opt.args);
+        }
         const auto t0 = std::chrono::steady_clock::now();
         const core::RunResult res = machine.run();
         const auto t1 = std::chrono::steady_clock::now();
@@ -381,6 +445,12 @@ int main(int argc, char** argv) {
                         : 0.0,
                     static_cast<unsigned long long>(
                         machine.cycles_fast_forwarded()));
+        if (!machine.last_checkpoint_path().empty()) {
+            std::printf("last checkpoint: %s (cycle %llu)\n",
+                        machine.last_checkpoint_path().c_str(),
+                        static_cast<unsigned long long>(
+                            machine.last_checkpoint_cycle()));
+        }
         if (machine.shard_count() > 1) {
             std::printf("host: %u shards:", machine.shard_count());
             for (const auto& s : machine.shard_stats()) {
