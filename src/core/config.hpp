@@ -12,6 +12,7 @@
 #include "sched/lse.hpp"
 #include "sim/audit.hpp"
 #include "sim/log.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/types.hpp"
 
 namespace dta::core {
@@ -93,6 +94,13 @@ struct MachineConfig {
     /// quiescence.  Off by default; a violation raises sim::SimError naming
     /// the component, invariant, cycle, and thread uid.
     sim::AuditConfig audit;
+    /// Live telemetry (sim/telemetry.hpp): periodic machine-wide occupancy
+    /// frames into RunResult::telemetry (+ an optional NDJSON stream for
+    /// tools/dta_top, + the progress/stall watchdog).  Off by default; when
+    /// off the run loop pays one null check per cycle.  An observer knob:
+    /// excluded from the structural config echo / snapshot fingerprint, so
+    /// a snapshot may be replayed with telemetry turned on.
+    sim::TelemetryConfig telemetry;
     /// Host-time profiler (sim/prof.hpp): attribute host nanoseconds per
     /// (shard, component, phase) into RunResult::host_profile.  Off by
     /// default; when off every instrumentation site costs one null check.

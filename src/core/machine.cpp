@@ -299,6 +299,16 @@ Machine::Machine(MachineConfig cfg, isa::Program prog)
         }
     }
 
+    if (cfg_.telemetry.enabled) {
+        telemetry_ = std::make_unique<sim::TelemetrySampler>(cfg_.telemetry);
+        telemetry_->set_stall_info([this](sim::TelemetryStall& s) {
+            s.components = non_quiescent_names(s.cycle);
+            if (!last_ckpt_path_.empty()) {
+                s.replay = replay_hint_ + " --restore " + last_ckpt_path_;
+            }
+        });
+    }
+
     if (cfg_.profile) {
         // One buffer per shard, sized once: shards, links and routers keep
         // pointers into prof_ for the machine's lifetime.
@@ -995,6 +1005,13 @@ void Machine::tick_cycle(sim::Cycle now, std::uint64_t& t) {
                         sim::ProfPhase::kSample);
         }
     }
+    if (telemetry_ != nullptr && now == telemetry_next_) {
+        capture_telemetry(now);
+        if (pb != nullptr) {
+            prof_charge(pb, t, sim::ProfBuffer::kShardSlot,
+                        sim::ProfPhase::kSample);
+        }
+    }
     if (audit_interval_ != 0 && now % audit_interval_ == 0) {
         auditor_.run(now);
         if (pb != nullptr) {
@@ -1002,6 +1019,46 @@ void Machine::tick_cycle(sim::Cycle now, std::uint64_t& t) {
                         sim::ProfPhase::kAudit);
         }
     }
+}
+
+void Machine::capture_telemetry(sim::Cycle now) {
+    if (telemetry_ == nullptr) {
+        return;
+    }
+    sim::TelemetryFrame f;
+    f.cycle = now;
+    for (const auto& pe : pes_) {
+        f.pes_running += pe->spu_bound() ? 1u : 0u;
+        f.threads_ready += pe->lse().ready_count();
+        f.threads_waitdma += pe->lse().waitdma_count();
+        f.frames_live +=
+            pe->lse().live_frames() + pe->lse().virtual_frames_live();
+        f.mfc_commands +=
+            static_cast<std::uint32_t>(pe->mfc().commands_in_flight());
+        f.dma_bytes += static_cast<std::uint64_t>(pe->mfc().lines_in_flight()) *
+                       cfg_.mfc.line_bytes;
+        f.instrs_retired += pe->instr_stats().total();
+    }
+    f.mem_queue = static_cast<std::uint32_t>(mem_.queue_depth());
+    for (const auto& fab : fabrics_) {
+        f.noc_pending += static_cast<std::uint32_t>(fab.pending());
+    }
+    f.activity_fp = fingerprint();
+    telemetry_next_ = now + cfg_.telemetry.interval;
+    // Host-side tail (NDJSON stream / Perfetto only; never the JSON report).
+    f.host_ns = sim::prof_now_ns();
+    if (!shards_.empty()) {
+        for (const auto& s : shards_) {
+            if (s->wheel() != nullptr && s->wheel()->started()) {
+                f.wheel_armed += s->wheel()->armed();
+                f.wheel_pops += s->wheel()->stats().pops;
+            }
+        }
+    } else if (wheel_.started()) {
+        f.wheel_armed = wheel_.armed();
+        f.wheel_pops = wheel_.stats().pops;
+    }
+    telemetry_->record(f, check_quiescent());
 }
 
 void Machine::sample_gauges(sim::Cycle now) {
@@ -1122,6 +1179,13 @@ void Machine::fast_forward_span(sim::Cycle from, sim::Cycle to,
             sample_gauges(c);
         }
     }
+    // Telemetry frames follow the same replay rule: state is frozen across
+    // the span, so each missed sample cycle reads the current values.
+    if (telemetry_ != nullptr) {
+        while (telemetry_next_ < to) {
+            capture_telemetry(telemetry_next_);
+        }
+    }
     // Replay the deadlock checkpoints (cycles ending in 0xfff).  The
     // fingerprint is frozen across the span for the same reason.
     const std::uint64_t fp = fingerprint();
@@ -1139,6 +1203,12 @@ RunResult Machine::run() {
     DTA_SIM_REQUIRE(launched_, "run() before launch()");
     DTA_SIM_REQUIRE(!ran_, "run() called twice");
     ran_ = true;
+    if (telemetry_ != nullptr) {
+        // First owed frame: the first interval multiple at or after the
+        // starting cycle (cycle 0 on a fresh run, mirroring `% == 0`).
+        const sim::Cycle step = cfg_.telemetry.interval;
+        telemetry_next_ = ((restore_cycle_ + step - 1) / step) * step;
+    }
     if (shard_count_ > 1) {
         return run_sharded();
     }
@@ -1279,6 +1349,13 @@ RunResult Machine::run_wheel() {
                             sim::ProfPhase::kSample);
             }
         }
+        if (telemetry_ != nullptr && now == telemetry_next_) {
+            capture_telemetry(now);
+            if (pb != nullptr) {
+                prof_charge(pb, t, sim::ProfBuffer::kShardSlot,
+                            sim::ProfPhase::kSample);
+            }
+        }
         if (audit_interval_ != 0 && now % audit_interval_ == 0) {
             auditor_.run(now);
             if (pb != nullptr) {
@@ -1351,6 +1428,11 @@ RunResult Machine::run_wheel() {
                     sample_gauges(c);
                 }
             }
+            if (telemetry_ != nullptr) {
+                while (telemetry_next_ < next) {
+                    capture_telemetry(telemetry_next_);
+                }
+            }
             for (sim::Cycle c = (now + 1) | 0xfff; c < next; c += 0x1000) {
                 if (fp != last_fp) {
                     last_fp = fp;
@@ -1417,6 +1499,15 @@ RunResult Machine::run_sharded() {
     ec.start = restore_cycle_;
     ec.stop_at = stop_at_;
     ec.checkpoint_every = checkpoint_every_;
+    if (telemetry_ != nullptr) {
+        // Telemetry cuts: epoch bounds land one past each sample cycle, so
+        // the coordinator captures a machine-wide frame — post-tick state of
+        // the sample cycle, every shard parked in the barrier — at exactly
+        // the cycles the single-threaded loops sample.  Result-neutral like
+        // checkpoint cuts: bound clamping only changes where barriers land.
+        ec.sample_every = cfg_.telemetry.interval;
+        ec.on_sample = [this](sim::Cycle cycle) { capture_telemetry(cycle); };
+    }
     if (checkpoint_every_ != 0) {
         ec.on_cut = [this](sim::Cycle cut) {
             // All shard threads are parked in the barrier.  Settle every
@@ -1583,6 +1674,9 @@ RunResult Machine::gather(sim::Cycle cycles) const {
             r.wheel = wheel_.stats();
         }
     }
+    if (telemetry_ != nullptr) {
+        r.telemetry = telemetry_->result();
+    }
     return r;
 }
 
@@ -1607,6 +1701,28 @@ void Machine::report_progress(sim::Cycle now, std::uint32_t pe_lo,
     } else {
         p.ticked = now > skipped_ ? now - skipped_ : 0;
         p.skipped = skipped_;
+    }
+    if (telemetry_ != nullptr) {
+        // Live-telemetry summary: the latest frame was written either by
+        // this thread or by the epoch coordinator with every shard parked,
+        // so the barrier's ordering makes this read race-free.
+        const sim::TelemetryFrame& f = telemetry_->latest();
+        p.instrs_retired = f.instrs_retired;
+        p.sample_cycle = f.cycle;
+        // Busiest component over the PEs this thread may read (shard 0's
+        // range mid-run; everything in single-threaded mode): the deepest
+        // combined scheduler + DMA queue.
+        std::uint64_t best = 0;
+        for (std::uint32_t id = pe_lo; id < pe_hi; ++id) {
+            const auto& pe = *pes_[id];
+            const std::uint64_t score = pe.lse().ready_count() +
+                                        pe.lse().waitdma_count() +
+                                        pe.mfc().commands_in_flight();
+            if (score > best) {
+                best = score;
+                p.busiest = pe.name();
+            }
+        }
     }
     progress_(p);
     next_progress_ = (now / progress_interval_ + 1) * progress_interval_;

@@ -35,6 +35,7 @@
 #include "sim/log.hpp"
 #include "sim/metrics.hpp"
 #include "sim/shard.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/wheel.hpp"
 
 namespace dta::core {
@@ -91,6 +92,13 @@ struct RunResult {
     /// excluded from the JSON run report and every byte-identity comparison
     /// — the simulated results are byte-identical with the wheel on or off.
     sim::WheelStats wheel;
+    /// Live-telemetry timeline (only when MachineConfig::telemetry.enabled;
+    /// otherwise disabled and empty).  The frames' simulated fields are
+    /// deterministic — byte-identical across host thread counts and wheel
+    /// on/off — and are serialised into the JSON report's `telemetry`
+    /// section; the host-side frame tail (host_ns, wheel_*) rides only the
+    /// NDJSON stream, exactly like RunResult::wheel.
+    sim::TelemetryResult telemetry;
 
     [[nodiscard]] Breakdown total_breakdown() const;
     [[nodiscard]] InstrStats total_instrs() const;
@@ -133,6 +141,12 @@ public:
         std::uint64_t live_threads = 0;
         sim::Cycle ticked = 0;   ///< cycles advanced by per-cycle ticking
         sim::Cycle skipped = 0;  ///< cycles advanced by idle fast-forward
+        /// Live-telemetry summary (zero / empty unless telemetry is on and
+        /// a frame has been captured): cumulative retired instructions at
+        /// the latest sample, its cycle, and the busiest component's name.
+        std::uint64_t instrs_retired = 0;
+        sim::Cycle sample_cycle = 0;
+        std::string busiest;
     };
     /// Periodic progress callback: invoked at most once per \p interval
     /// simulated cycles.  In sharded runs the callback fires on the thread
@@ -141,6 +155,25 @@ public:
     void set_progress(sim::Cycle interval, ProgressFn fn) {
         progress_interval_ = interval;
         progress_ = std::move(fn);
+    }
+
+    /// Command prefix for the telemetry watchdog's `--restore` replay hint
+    /// (e.g. "dta_run prog.dta --spes 4"); the nearest pre-stall snapshot
+    /// path is appended when the watchdog fires.  Default "dta_run".
+    void set_replay_hint(std::string prefix) {
+        replay_hint_ = std::move(prefix);
+    }
+    /// The live-telemetry sampler, or nullptr when telemetry is off (for
+    /// tools that stream or inspect mid-run state).
+    [[nodiscard]] const sim::TelemetrySampler* telemetry() const {
+        return telemetry_.get();
+    }
+    /// Redirects the telemetry watchdog's diagnostic away from stderr
+    /// (tests capture and assert on it).  No-op when telemetry is off.
+    void set_telemetry_diag(std::FILE* f) {
+        if (telemetry_ != nullptr) {
+            telemetry_->set_diag_stream(f);
+        }
     }
 
     /// Runs the simulation to completion and returns the statistics.
@@ -273,6 +306,12 @@ private:
     }
     void build_shards();
     void sample_shard_gauges(std::uint32_t shard, sim::Cycle now);
+    /// Captures one machine-wide telemetry frame at \p now (post-tick
+    /// state).  No-op unless cfg_.telemetry.enabled.  Called from the
+    /// single-threaded loops at sample cycles (and replayed over
+    /// fast-forwarded spans), and from the epoch coordinator's completion
+    /// step — with every shard parked — under the sharded loop.
+    void capture_telemetry(sim::Cycle now);
     [[nodiscard]] RunResult run_sharded();
     /// Fires progress_ if \p now crossed the next reporting threshold; the
     /// live-thread count covers PEs [pe_lo, pe_hi).
@@ -327,6 +366,17 @@ private:
     // construction — components and shards hold pointers into it.
     std::vector<sim::ProfBuffer> prof_;
 
+    // live telemetry (live only when cfg_.telemetry.enabled; off = one
+    // null check at the run loops' sample sites)
+    std::unique_ptr<sim::TelemetrySampler> telemetry_;
+    // Next cycle owed a telemetry frame (always a multiple of the
+    // interval).  capture_telemetry advances it, so the hot sample sites
+    // test equality instead of a per-cycle 64-bit modulo, and the
+    // fast-forward replay loops walk it directly with no alignment
+    // division.  The sharded loop samples on epoch bounds instead and
+    // never consults it.
+    sim::Cycle telemetry_next_ = 0;
+
     // metrics (live only when cfg_.collect_metrics)
     sim::MetricsRegistry metrics_;
     std::vector<dma::DmaSpan> dma_spans_;
@@ -363,6 +413,9 @@ private:
     sim::Cycle stop_at_ = 0;            ///< 0 = run to quiescence
     sim::Cycle last_ckpt_cycle_ = 0;
     std::string last_ckpt_path_;
+    /// Command prefix for the telemetry watchdog's replay hint; the
+    /// nearest pre-stall snapshot path is appended at stall time.
+    std::string replay_hint_ = "dta_run";
 };
 
 }  // namespace dta::core

@@ -110,6 +110,18 @@ std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
                               const std::vector<TraceFlow>& flows,
                               const sim::HostProfile& host,
                               const sim::WheelStats& wheel) {
+    return chrome_trace_json(spans, code_names, metrics, dma_spans, flows,
+                             host, wheel, sim::TelemetryResult{});
+}
+
+std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
+                              const std::vector<std::string>& code_names,
+                              const sim::MetricsRegistry& metrics,
+                              const std::vector<dma::DmaSpan>& dma_spans,
+                              const std::vector<TraceFlow>& flows,
+                              const sim::HostProfile& host,
+                              const sim::WheelStats& wheel,
+                              const sim::TelemetryResult& telemetry) {
     std::ostringstream os;
     EventWriter w(os);
     emit_process_name(w, 0, "SPUs");
@@ -120,6 +132,9 @@ std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
     }
     if (wheel.enabled && !wheel.samples.empty()) {
         emit_process_name(w, 4, "wheel");
+    }
+    if (telemetry.enabled && !telemetry.frames.empty()) {
+        emit_process_name(w, 5, "telemetry");
     }
     emit_spu_track_names(w, spans);
     emit_thread_slices(w, spans, code_names);
@@ -224,6 +239,33 @@ std::string chrome_trace_json(const std::vector<ThreadSpan>& spans,
                      << s.inserts - p.inserts << "}}";
             p.pops = s.pops;
             p.inserts = s.inserts;
+        }
+    }
+    // Live-telemetry tracks: machine-wide occupancy and queue-depth gauges
+    // at the sampler's cadence, plus the retired-instruction count as a
+    // per-interval delta (the frames carry cumulative totals).  Only
+    // simulated-state fields are drawn — host_ns and the wheel counters
+    // stay out so traces remain comparable across wheel modes.
+    if (telemetry.enabled && !telemetry.frames.empty()) {
+        const auto counter = [&w](const char* name, sim::Cycle ts,
+                                  std::uint64_t value) {
+            w.next() << R"(  {"name": ")" << name
+                     << R"(", "cat": "telemetry", "ph": "C", "ts": )" << ts
+                     << R"(, "pid": 5, "args": {"value": )" << value << "}}";
+        };
+        std::uint64_t prev_retired = 0;
+        for (const sim::TelemetryFrame& f : telemetry.frames) {
+            counter("spus_running", f.cycle, f.pes_running);
+            counter("threads_ready", f.cycle, f.threads_ready);
+            counter("threads_waitdma", f.cycle, f.threads_waitdma);
+            counter("frames_live", f.cycle, f.frames_live);
+            counter("mfc_commands", f.cycle, f.mfc_commands);
+            counter("dma_bytes_in_flight", f.cycle, f.dma_bytes);
+            counter("mem_queue", f.cycle, f.mem_queue);
+            counter("noc_pending", f.cycle, f.noc_pending);
+            counter("instrs_retired/interval", f.cycle,
+                    f.instrs_retired - prev_retired);
+            prev_retired = f.instrs_retired;
         }
     }
     w.finish();

@@ -10,6 +10,7 @@
 #include "dma/mfc.hpp"
 #include "sim/metrics.hpp"
 #include "sim/prof.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/types.hpp"
 #include "sim/wheel.hpp"
 
@@ -101,5 +102,20 @@ struct CodeProfile {
     const std::vector<dma::DmaSpan>& dma_spans,
     const std::vector<TraceFlow>& flows, const sim::HostProfile& host,
     const sim::WheelStats& wheel);
+
+/// Like the wheel variant, and additionally renders the live-telemetry
+/// timeline (pid 5, "telemetry") as counter tracks at the sampler's
+/// cadence: SPU occupancy, ready / wait-DMA thread counts, live frames,
+/// MFC queue depth, in-flight DMA bytes, memory queue depth, NoC backlog,
+/// and the per-interval retired-instruction rate.  Only simulated-state
+/// fields are drawn; \p telemetry disabled or without frames adds nothing
+/// (the output is then byte-identical to the wheel variant).
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<ThreadSpan>& spans,
+    const std::vector<std::string>& code_names,
+    const sim::MetricsRegistry& metrics,
+    const std::vector<dma::DmaSpan>& dma_spans,
+    const std::vector<TraceFlow>& flows, const sim::HostProfile& host,
+    const sim::WheelStats& wheel, const sim::TelemetryResult& telemetry);
 
 }  // namespace dta::core

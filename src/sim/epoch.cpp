@@ -23,6 +23,15 @@ Cycle EpochRunner::next_bound(Cycle from, Cycle target) const {
             (from / cfg_.checkpoint_every + 1) * cfg_.checkpoint_every;
         nb = std::min(nb, cut);
     }
+    if (cfg_.sample_every > 0) {
+        // Sample cuts land at k * sample_every + 1: the barrier then sees
+        // the post-tick state of sample cycle k * sample_every.
+        const Cycle cut =
+            ((from + cfg_.sample_every - 1) / cfg_.sample_every) *
+                cfg_.sample_every +
+            1;
+        nb = std::min(nb, cut);
+    }
     if (cfg_.stop_at > from) {
         nb = std::min(nb, cfg_.stop_at);
     }
@@ -98,12 +107,24 @@ void EpochRunner::coordinate() noexcept {
             channels_clear = channels_clear && s->inbound_empty();
             max_next = std::max(max_next, s->acct_next());
         }
+        // A sample cut whose bound coincides with the run's final cycle
+        // count still owes its frame: the single-threaded loops sample
+        // inside the tick of the last cycle, before quiescence ends the
+        // run.  (Sample cuts strictly before the end fire further below,
+        // while the run is live.)
+        const auto sample_at_end = [this](Cycle end) {
+            if (cfg_.on_sample && cfg_.sample_every > 0 && end == bound_ &&
+                end >= 1 && (end - 1) % cfg_.sample_every == 0) {
+                cfg_.on_sample(end - 1);
+            }
+        };
         if (all_paused && channels_clear) {
             // Global quiescence.  max_next - 1 is the first cycle at which
             // every component was quiescent at once — exactly the cycle the
             // single-threaded loop would have stopped at; shards behind it
             // catch up so every component accounts the same cycle range.
             end_ = max_next;
+            sample_at_end(end_);
             phase_ = Phase::kCatchUp;
             return;
         }
@@ -112,8 +133,16 @@ void EpochRunner::coordinate() noexcept {
             // so this barrier landed exactly on stop_at.  Settle every
             // shard's accounting to it and end the run there.
             end_ = cfg_.stop_at;
+            sample_at_end(end_);
             phase_ = Phase::kCatchUp;
             return;
+        }
+        if (cfg_.on_sample && cfg_.sample_every > 0 && bound_ >= 1 &&
+            (bound_ - 1) % cfg_.sample_every == 0) {
+            // A telemetry sample cut: every participant is parked, so the
+            // hook reads the globally-consistent post-tick state of cycle
+            // bound_ - 1 — the same state the single-threaded loops sample.
+            cfg_.on_sample(bound_ - 1);
         }
         if (cfg_.on_cut && cfg_.checkpoint_every > 0 &&
             bound_ % cfg_.checkpoint_every == 0) {

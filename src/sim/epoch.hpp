@@ -63,6 +63,14 @@ public:
         /// entry drains before it, so accounting stays exact.
         Cycle checkpoint_every = 0;
         std::function<void(Cycle)> on_cut;
+        /// Clamp epoch bounds so a barrier lands one past every multiple of
+        /// this interval (0 = none) and invoke on_sample(bound - 1) there —
+        /// the post-tick state of the sample cycle, with every participant
+        /// parked.  The machine's live-telemetry capture rides this: frames
+        /// read the same globally-consistent state the single-threaded
+        /// loops sample at `cycle % interval == 0` after the tick.
+        Cycle sample_every = 0;
+        std::function<void(Cycle)> on_sample;
     };
 
     EpochRunner(std::vector<Shard*> shards, Config cfg, FailFn fail);

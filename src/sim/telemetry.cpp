@@ -1,0 +1,157 @@
+#include "sim/telemetry.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace dta::sim {
+
+TelemetrySampler::TelemetrySampler(const TelemetryConfig& cfg) : cfg_(cfg) {
+    DTA_SIM_REQUIRE(cfg_.interval > 0, "telemetry interval must be positive");
+    DTA_SIM_REQUIRE(cfg_.ring_capacity > 0,
+                    "telemetry ring capacity must be positive");
+    ring_.resize(cfg_.ring_capacity);
+    if (!cfg_.stream_path.empty()) {
+        // A FIFO open blocks until the reader side opens — exactly the
+        // hand-off `dta_run --telemetry-fifo p & dta_top p` wants.
+        stream_ = std::fopen(cfg_.stream_path.c_str(), "w");
+        DTA_SIM_REQUIRE(stream_ != nullptr, "cannot open telemetry stream '" +
+                                                cfg_.stream_path + "'");
+    }
+}
+
+TelemetrySampler::~TelemetrySampler() {
+    if (stream_ != nullptr) {
+        std::fclose(stream_);
+    }
+}
+
+void TelemetrySampler::record(const TelemetryFrame& frame, bool quiescent) {
+    latest_ = frame;
+    ++captured_;
+    if (size_ == ring_.size()) {
+        ring_[head_] = frame;  // overwrite the oldest
+        head_ = (head_ + 1) % ring_.size();
+        ++dropped_;
+    } else {
+        ring_[(head_ + size_) % ring_.size()] = frame;
+        ++size_;
+    }
+    if (cfg_.watchdog_samples != 0 && !stalled_) {
+        watchdog(frame, quiescent);
+    }
+    if (stream_ != nullptr) {
+        const std::string line = ndjson_line(frame);
+        std::fwrite(line.data(), 1, line.size(), stream_);
+        std::fflush(stream_);  // the reader tails a live run
+    }
+}
+
+void TelemetrySampler::watchdog(const TelemetryFrame& frame, bool quiescent) {
+    if (frame.activity_fp != last_fp_ || quiescent) {
+        last_fp_ = frame.activity_fp;
+        last_progress_cycle_ = frame.cycle;
+        frozen_samples_ = 0;
+        return;
+    }
+    ++frozen_samples_;
+    if (frozen_samples_ < cfg_.watchdog_samples) {
+        return;
+    }
+    stalled_ = true;
+    stall_.cycle = frame.cycle;
+    stall_.samples = frozen_samples_;
+    stall_.stalled_cycles = frame.cycle - last_progress_cycle_;
+    if (stall_info_) {
+        stall_info_(stall_);
+    }
+    std::FILE* out = diag_ != nullptr ? diag_ : stderr;
+    std::fprintf(out,
+                 "telemetry watchdog: no retirement progress for %" PRIu32
+                 " samples (%" PRIu64 " cycles) at cycle %" PRIu64
+                 "; stuck: %s; queues: mfc=%" PRIu32 " mem=%" PRIu32
+                 " noc=%" PRIu32 " ready=%" PRIu32 " waitdma=%" PRIu32 "%s%s\n",
+                 stall_.samples, stall_.stalled_cycles, stall_.cycle,
+                 stall_.components.empty() ? "(none)"
+                                          : stall_.components.c_str(),
+                 frame.mfc_commands, frame.mem_queue, frame.noc_pending,
+                 frame.threads_ready, frame.threads_waitdma,
+                 stall_.replay.empty() ? "" : "\nreplay: ",
+                 stall_.replay.c_str());
+    std::fflush(out);
+    if (stream_ != nullptr) {
+        const std::string line = ndjson_stall_line(stall_);
+        std::fwrite(line.data(), 1, line.size(), stream_);
+        std::fflush(stream_);
+    }
+}
+
+TelemetryResult TelemetrySampler::result() const {
+    TelemetryResult r;
+    r.enabled = true;
+    r.interval = cfg_.interval;
+    r.frames.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) {
+        r.frames.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    r.captured = captured_;
+    r.dropped = dropped_;
+    r.stalled = stalled_;
+    r.stall = stall_;
+    return r;
+}
+
+std::string TelemetrySampler::ndjson_line(const TelemetryFrame& f) {
+    char buf[512];
+    const int n = std::snprintf(
+        buf, sizeof buf,
+        "{\"type\":\"frame\",\"cycle\":%" PRIu64 ",\"running\":%" PRIu32
+        ",\"ready\":%" PRIu32 ",\"waitdma\":%" PRIu32
+        ",\"frames_live\":%" PRIu32 ",\"mfc_commands\":%" PRIu32
+        ",\"dma_bytes\":%" PRIu64 ",\"mem_queue\":%" PRIu32
+        ",\"noc_pending\":%" PRIu32 ",\"instrs_retired\":%" PRIu64
+        ",\"host_ns\":%" PRIu64 ",\"wheel_armed\":%" PRIu64
+        ",\"wheel_pops\":%" PRIu64 "}\n",
+        f.cycle, f.pes_running, f.threads_ready, f.threads_waitdma,
+        f.frames_live, f.mfc_commands, f.dma_bytes, f.mem_queue,
+        f.noc_pending, f.instrs_retired, f.host_ns, f.wheel_armed,
+        f.wheel_pops);
+    DTA_CHECK(n > 0 && static_cast<std::size_t>(n) < sizeof buf);
+    return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::string TelemetrySampler::ndjson_stall_line(const TelemetryStall& s) {
+    // Component names and the replay hint are free-form text: escape the
+    // characters JSON cares about.
+    const auto esc = [](const std::string& in) {
+        std::string out;
+        out.reserve(in.size());
+        for (const char c : in) {
+            if (c == '"' || c == '\\') {
+                out += '\\';
+                out += c;
+            } else if (c == '\n') {
+                out += "\\n";
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    };
+    std::string line = "{\"type\":\"stall\",\"cycle\":";
+    line += std::to_string(s.cycle);
+    line += ",\"samples\":";
+    line += std::to_string(s.samples);
+    line += ",\"stalled_cycles\":";
+    line += std::to_string(s.stalled_cycles);
+    line += ",\"components\":\"";
+    line += esc(s.components);
+    line += "\",\"replay\":\"";
+    line += esc(s.replay);
+    line += "\"}\n";
+    return line;
+}
+
+}  // namespace dta::sim

@@ -169,6 +169,10 @@ public:
     /// ghosts can keep the wheel non-empty after the last live entry died.
     [[nodiscard]] bool idle() const { return armed_ == 0; }
 
+    /// Components currently armed at a finite cycle (the live-telemetry
+    /// occupancy feed; same counter the sample() series records).
+    [[nodiscard]] std::uint64_t armed() const { return armed_; }
+
     /// Earliest cycle at which any component is scheduled, given the run
     /// loop just finished cycle \p now; now + 1 in dense mode.  May name a
     /// cycle whose entries are all stale (the visit then pops nothing and

@@ -80,7 +80,16 @@ std::string serialize_bench_file(const BenchFile& f) {
         }
         os << "],\n     \"min_s\": " << dbl(c.min_s())
            << ", \"median_s\": " << dbl(c.median_s())
-           << ", \"mad_s\": " << dbl(c.mad_s()) << "}";
+           << ", \"mad_s\": " << dbl(c.mad_s());
+        // Host-side wheel counters ride an optional "host" sub-object so
+        // dense-only sessions (and older readers) see the original shape.
+        if (c.wheel_pops > 0 || c.wheel_inserts > 0) {
+            os << ",\n     \"host\": {\"wheel_pops\": " << c.wheel_pops
+               << ", \"wheel_inserts\": " << c.wheel_inserts
+               << ", \"wheel_dense_cycles\": " << c.wheel_dense_cycles
+               << "}";
+        }
+        os << "}";
         first = false;
     }
     os << (first ? "" : "\n  ") << "]\n}\n";
@@ -174,6 +183,26 @@ bool parse_bench_file(std::string_view text, BenchFile& out,
                 return false;
             }
             c.host_seconds.push_back(s.as_number());
+        }
+        // Optional host-side counters (absent in dense-only or older
+        // files; never gated on, so parse is lenient).
+        if (const JsonValue* h = jc.find("host");
+            h != nullptr && h->is_object()) {
+            if (const JsonValue* v =
+                    h->find("wheel_pops", JsonValue::Kind::kNumber);
+                v != nullptr) {
+                c.wheel_pops = v->as_u64();
+            }
+            if (const JsonValue* v =
+                    h->find("wheel_inserts", JsonValue::Kind::kNumber);
+                v != nullptr) {
+                c.wheel_inserts = v->as_u64();
+            }
+            if (const JsonValue* v =
+                    h->find("wheel_dense_cycles", JsonValue::Kind::kNumber);
+                v != nullptr) {
+                c.wheel_dense_cycles = v->as_u64();
+            }
         }
         out.cases.push_back(std::move(c));
     }

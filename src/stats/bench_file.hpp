@@ -32,6 +32,15 @@ struct BenchCase {
     std::uint64_t cycles = 0;    ///< simulated cycles (identical per repeat)
     std::vector<double> host_seconds;  ///< one wall-clock sample per repeat
 
+    /// Host-side scheduler counters from one wheel-on run of the case
+    /// (all zero when every sample ran dense, or for pre-existing files).
+    /// Trend data only — like RunResult::wheel these describe the
+    /// simulator, not the machine, so the dta_benchdiff regression gate
+    /// never reads them.
+    std::uint64_t wheel_pops = 0;
+    std::uint64_t wheel_inserts = 0;
+    std::uint64_t wheel_dense_cycles = 0;
+
     [[nodiscard]] double min_s() const;
     [[nodiscard]] double median_s() const;
     /// Median absolute deviation of the samples around their median — the

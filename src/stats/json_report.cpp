@@ -125,7 +125,8 @@ std::string metrics_json(const sim::MetricsRegistry& reg, int indent) {
 }
 
 std::string run_report_json(const core::RunResult& r,
-                            std::string_view benchmark) {
+                            std::string_view benchmark,
+                            bool include_host) {
     std::ostringstream os;
     os << "{\n";
     if (!benchmark.empty()) {
@@ -215,6 +216,61 @@ std::string run_report_json(const core::RunResult& r,
             first = false;
         }
         os << (first ? "" : "\n    ") << "]\n  },\n";
+    }
+
+    // Live-telemetry timeline: present only when the sampler ran, so
+    // telemetry-off reports are byte-identical to pre-telemetry ones (the
+    // neutrality guarantee telemetry_neutrality_test pins down).  Only
+    // simulated-state fields are serialised — host_ns and the wheel
+    // counters, like RunResult::wheel itself, are host-rate and would break
+    // byte-identity across wheel modes and thread counts.  The stall record
+    // likewise carries only its deterministic scalars: the component list
+    // and replay hint embed shard annotations that depend on the thread
+    // count, so they go to the diagnostic stream and NDJSON only.
+    if (r.telemetry.enabled) {
+        os << "  \"telemetry\": {\n    \"interval\": " << r.telemetry.interval
+           << ",\n    \"captured\": " << r.telemetry.captured
+           << ",\n    \"dropped\": " << r.telemetry.dropped
+           << ",\n    \"frames\": [";
+        first = true;
+        for (const sim::TelemetryFrame& f : r.telemetry.frames) {
+            os << (first ? "\n" : ",\n") << "      {\"cycle\": " << f.cycle
+               << ", \"running\": " << f.pes_running
+               << ", \"ready\": " << f.threads_ready
+               << ", \"waitdma\": " << f.threads_waitdma
+               << ", \"frames_live\": " << f.frames_live
+               << ", \"mfc_commands\": " << f.mfc_commands
+               << ", \"dma_bytes\": " << f.dma_bytes
+               << ", \"mem_queue\": " << f.mem_queue
+               << ", \"noc_pending\": " << f.noc_pending
+               << ", \"instrs_retired\": " << f.instrs_retired << "}";
+            first = false;
+        }
+        os << (first ? "" : "\n    ") << "],\n    \"stalled\": "
+           << (r.telemetry.stalled ? "true" : "false");
+        if (r.telemetry.stalled) {
+            os << ",\n    \"stall\": {\"cycle\": " << r.telemetry.stall.cycle
+               << ", \"samples\": " << r.telemetry.stall.samples
+               << ", \"stalled_cycles\": " << r.telemetry.stall.stalled_cycles
+               << "}";
+        }
+        os << "\n  },\n";
+    }
+
+    // Host-side scheduler counters: opt-in (dta_run/dta_bench trend
+    // tracking) and, like host_profile, never part of any byte-identity
+    // comparison — the wheel stats differ between wheel and dense runs of
+    // the same machine.
+    if (include_host) {
+        const sim::WheelStats& w = r.wheel;
+        os << "  \"host\": {\"wheel\": {\"enabled\": "
+           << (w.enabled ? "true" : "false") << ", \"pops\": " << w.pops
+           << ", \"inserts\": " << w.inserts << ", \"rearms\": " << w.rearms
+           << ", \"wakes\": " << w.wakes
+           << ", \"active_cycles\": " << w.active_cycles
+           << ", \"dense_cycles\": " << w.dense_cycles
+           << ", \"dense_entries\": " << w.dense_entries
+           << ", \"peak_occupancy\": " << w.peak_occupancy << "}},\n";
     }
 
     os << "  \"metrics\": " << metrics_json(r.metrics, 2) << "\n}\n";

@@ -2,9 +2,13 @@
 // distribution, frame lifecycle, error detection.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "core/machine.hpp"
 #include "isa/builder.hpp"
 #include "sim/check.hpp"
+#include "sim/telemetry.hpp"
 #include "test_util.hpp"
 
 namespace dta::core {
@@ -259,6 +263,72 @@ TEST(Machine, DeadlockDetectedWhenFramesExhausted) {
     } catch (const sim::SimError& e) {
         EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
     }
+}
+
+TEST(Machine, TelemetryWatchdogFlagsInjectedStall) {
+    // Same wedged program as above, but with the telemetry watchdog armed
+    // at a cadence well inside the no-progress limit: the watchdog must
+    // emit exactly one diagnostic naming the stuck components before the
+    // deadlock detector aborts the run.
+    isa::Program prog;
+    isa::CodeBuilder w("waiter", 1);
+    w.block(CodeBlock::kPl).load(r(1), 0);
+    w.block(CodeBlock::kPs).ffree().stop();
+    const auto waiter = prog.add(std::move(w).build());
+    isa::CodeBuilder p("main", 0);
+    p.block(CodeBlock::kPs).movi(r(2), 0);
+    for (int i = 0; i < 6; ++i) {
+        p.falloc(r(3), waiter);
+    }
+    p.ffree().stop();
+    prog.entry = prog.add(std::move(p).build());
+
+    auto cfg = tiny_config(1);
+    cfg.lse = sched::LseConfig::with(4, 512);
+    cfg.no_progress_limit = 20'000;
+    // The horizon scan would flag this wedge as idle-forever on the very
+    // first quiet cycle; force the per-cycle loop so the stall persists
+    // long enough for the sampling watchdog to see it — the scenario the
+    // watchdog exists for (stalls the horizon fast-path cannot prove).
+    cfg.fast_forward = false;
+    cfg.use_wheel = false;
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.interval = 256;
+    cfg.telemetry.watchdog_samples = 4;
+    core::Machine m(cfg, prog);
+    std::FILE* diag = std::tmpfile();
+    ASSERT_NE(diag, nullptr);
+    m.set_telemetry_diag(diag);
+    m.launch({});
+    try {
+        (void)m.run();
+        FAIL() << "expected deadlock";
+    } catch (const sim::SimError& e) {
+        EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
+    }
+    ASSERT_NE(m.telemetry(), nullptr);
+    EXPECT_TRUE(m.telemetry()->stalled());
+    const sim::TelemetryResult tr = m.telemetry()->result();
+    EXPECT_TRUE(tr.stalled);
+    EXPECT_EQ(tr.stall.samples, 4u);
+    EXPECT_FALSE(tr.stall.components.empty())
+        << "diagnostic must name the stuck components";
+
+    std::rewind(diag);
+    std::string text;
+    char buf[256];
+    while (std::fgets(buf, sizeof buf, diag) != nullptr) {
+        text += buf;
+    }
+    std::fclose(diag);
+    std::size_t hits = 0;
+    for (std::size_t at = text.find("telemetry watchdog:");
+         at != std::string::npos;
+         at = text.find("telemetry watchdog:", at + 1)) {
+        ++hits;
+    }
+    EXPECT_EQ(hits, 1u) << "exactly one diagnostic, got:\n" << text;
+    EXPECT_NE(text.find("stuck:"), std::string::npos) << text;
 }
 
 TEST(Machine, StatsArePopulated) {

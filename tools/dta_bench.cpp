@@ -403,6 +403,13 @@ int main(int argc, char** argv) {
             }
             bc.cycles = out.result.cycles;
             bc_b.cycles = out.result.cycles;
+            if (wheel_on && out.result.wheel.enabled) {
+                // Scheduler trend counters (deterministic per case, so any
+                // wheel-on repeat's values are the values).
+                bc.wheel_pops = out.result.wheel.pops;
+                bc.wheel_inserts = out.result.wheel.inserts;
+                bc.wheel_dense_cycles = out.result.wheel.dense_cycles;
+            }
             const double s = out.host_seconds * opt.scale_time;
             if (split && (r % 2) == 1) {
                 bc_b.host_seconds.push_back(s);

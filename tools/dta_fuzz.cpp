@@ -5,7 +5,11 @@
 ///        functional Interpreter oracle and the generator's host-side
 ///        replica — and, per run, the event-driven scheduler's run report
 ///        is byte-compared against the dense loop's (the wheel/dense
-///        differential).
+///        differential).  A quarter of the corpus additionally runs with
+///        live telemetry and the stall watchdog armed; a passing run that
+///        trips the watchdog is reported as a failure (no spurious stall
+///        diagnostics), and the report comparison then covers the telemetry
+///        timeline too.
 ///
 /// Usage:
 ///   dta_fuzz [options]
@@ -275,6 +279,17 @@ bool run_one(const FuzzConfig& c, std::uint64_t seed, bool inject_failure,
             c.prefetch ? gen.prefetch_program(c.staging) : gen.program();
         auto cfg = machine_config(c);
         cfg.use_wheel = !no_wheel;
+        // A quarter of the corpus also runs with live telemetry and the
+        // stall watchdog armed, at a cadence tight enough that short fuzz
+        // programs still capture frames.  Passing runs must never trip the
+        // watchdog (checked below), and the wheel/dense report comparison
+        // then also byte-compares the telemetry timeline across run-loop
+        // modes.
+        const bool telem = seed % 4 == 0;
+        if (telem) {
+            cfg.telemetry.enabled = true;
+            cfg.telemetry.interval = 1024;
+        }
         core::Machine machine(cfg, prog);
         if (inject_failure) {
             machine.auditor().add("fuzz", [](const sim::AuditCtx& ctx) {
@@ -307,6 +322,13 @@ bool run_one(const FuzzConfig& c, std::uint64_t seed, bool inject_failure,
             snap->last_path = machine.last_checkpoint_path();
         }
 
+        if (res.telemetry.stalled) {
+            why = "spurious telemetry stall diagnostic: watchdog fired at "
+                  "cycle " +
+                  std::to_string(res.telemetry.stall.cycle) +
+                  " on a run that completed";
+            return false;
+        }
         if (std::string w; !gen.check(machine.memory(), &w)) {
             why = "machine diverged from host replica: " + w;
             return false;
@@ -332,6 +354,10 @@ bool run_one(const FuzzConfig& c, std::uint64_t seed, bool inject_failure,
             std::getenv("DTA_NO_WHEEL") == nullptr) {
             auto dense_cfg = machine_config(c);
             dense_cfg.use_wheel = false;
+            if (telem) {
+                dense_cfg.telemetry.enabled = true;
+                dense_cfg.telemetry.interval = 1024;
+            }
             core::Machine dense(dense_cfg, prog);
             gen.init_memory(dense.memory());
             dense.launch(args);

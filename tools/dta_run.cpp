@@ -42,9 +42,21 @@
 ///     --events FILE     write the thread-lifecycle event log (DTAEV1) to
 ///                       FILE; feed it to dta_analyze
 ///     --progress[=N]    heartbeat to stderr every N simulated cycles
-///                       (default 1000000): cycle, live threads, simulated
-///                       Mcycles/s with the host tick rate and fast-forward
-///                       share, and (with --max-cycles) an ETA bound
+///                       (default 1000000, rounded to a multiple of the
+///                       telemetry cadence when --telemetry is on): cycle,
+///                       live threads, simulated Mcycles/s with the host
+///                       tick rate and fast-forward share, the telemetry
+///                       retire rate and busiest component, and (with
+///                       --max-cycles) an ETA bound
+///     --telemetry[=N]   live telemetry: sample a machine-wide frame every
+///                       N cycles (default 8192) into a bounded ring; adds
+///                       a telemetry section to --metrics, counter tracks
+///                       to --trace, and arms the progress/stall watchdog
+///                       (see docs/OBSERVABILITY.md).  Simulated results
+///                       are byte-identical with or without it.
+///     --telemetry-fifo PATH  also stream each frame as one NDJSON line to
+///                       PATH (a FIFO or file); `dta_top PATH` renders it
+///                       live.  Implies --telemetry.
 ///     --log-level L     stderr simulator log: info, debug or trace
 ///     --disasm          print the disassembly and exit
 ///     --dump ADDR N     after the run, print N 32-bit words at ADDR
@@ -113,6 +125,9 @@ struct Options {
     std::string metrics_path;
     std::string events_path;
     sim::Cycle progress_interval = 0;  ///< 0 = no heartbeat
+    bool progress_default = false;     ///< interval came from the default
+    sim::Cycle telemetry_interval = 0;  ///< 0 = telemetry off
+    std::string telemetry_fifo;         ///< empty = no NDJSON stream
     sim::LogLevel log_level = sim::LogLevel::kOff;
     std::vector<std::uint64_t> args;
     std::vector<std::pair<std::uint64_t, std::uint32_t>> dumps;
@@ -132,7 +147,8 @@ struct Options {
                  "       [--arg V]... [--max-cycles N] [--interp]\n"
                  "       [--profile] [--prof] [--breakdown] [--trace FILE] "
                  "[--metrics FILE]\n"
-                 "       [--events FILE] [--progress[=N]]\n"
+                 "       [--events FILE] [--progress[=N]] [--telemetry[=N]] "
+                 "[--telemetry-fifo PATH]\n"
                  "       [--log-level info|debug|trace] [--disasm] "
                  "[--dump ADDR N]...\n"
                  "       [--checkpoint-every N] [--checkpoint-prefix P] "
@@ -209,6 +225,19 @@ Options parse_options(int argc, char** argv) {
             opt.events_path = next();
         } else if (a == "--progress") {
             opt.progress_interval = 1000000;
+            opt.progress_default = true;
+        } else if (a == "--telemetry") {
+            opt.telemetry_interval = sim::TelemetryConfig{}.interval;
+        } else if (a.rfind("--telemetry=", 0) == 0) {
+            opt.telemetry_interval = std::strtoull(
+                a.c_str() + std::strlen("--telemetry="), nullptr, 0);
+            if (opt.telemetry_interval == 0) {
+                usage(argv[0]);
+            }
+        } else if (a == "--telemetry-fifo") {
+            opt.telemetry_fifo = next();
+        } else if (a.rfind("--telemetry-fifo=", 0) == 0) {
+            opt.telemetry_fifo = a.substr(std::strlen("--telemetry-fifo="));
         } else if (a.rfind("--progress=", 0) == 0) {
             opt.progress_interval =
                 std::strtoull(a.c_str() + std::strlen("--progress="),
@@ -337,12 +366,44 @@ int main(int argc, char** argv) {
         cfg.audit.enabled = opt.audit;
         cfg.audit.interval = opt.audit_interval;
         cfg.profile = opt.prof;
+        if (opt.telemetry_interval > 0 || !opt.telemetry_fifo.empty()) {
+            cfg.telemetry.enabled = true;
+            if (opt.telemetry_interval > 0) {
+                cfg.telemetry.interval = opt.telemetry_interval;
+            }
+            cfg.telemetry.stream_path = opt.telemetry_fifo;
+        }
         if (opt.max_cycles > 0) {
             cfg.max_cycles = opt.max_cycles;
         }
 
         core::Machine machine(cfg, prog);
-        if (opt.progress_interval > 0) {
+        if (cfg.telemetry.enabled) {
+            // The watchdog's replay hint reproduces this invocation minus
+            // any --restore (the diagnostic appends its own).
+            std::string hint;
+            for (int i = 0; i < argc; ++i) {
+                const std::string a = argv[i];
+                if (a == "--restore") {
+                    ++i;
+                    continue;
+                }
+                if (a.rfind("--restore=", 0) == 0) {
+                    continue;
+                }
+                hint += (hint.empty() ? "" : " ") + a;
+            }
+            machine.set_replay_hint(hint);
+        }
+        sim::Cycle progress_interval = opt.progress_interval;
+        if (opt.progress_default && cfg.telemetry.enabled) {
+            // Round the default heartbeat up to a multiple of the telemetry
+            // cadence so every heartbeat lands just after a fresh frame.
+            const sim::Cycle step = cfg.telemetry.interval;
+            progress_interval =
+                ((progress_interval + step - 1) / step) * step;
+        }
+        if (progress_interval > 0) {
             // Rates come from deltas between heartbeats (the cumulative
             // average would smear startup over the whole run); the ticked /
             // fast-forwarded split separates honest host throughput from
@@ -353,13 +414,16 @@ int main(int argc, char** argv) {
                 std::chrono::steady_clock::time_point last;
                 sim::Cycle last_cycle = 0;
                 sim::Cycle last_ticked = 0;
+                std::uint64_t last_retired = 0;
+                sim::Cycle last_sample = 0;
             };
             auto st = std::make_shared<ProgressState>();
             st->last = std::chrono::steady_clock::now();
             const sim::Cycle eta_horizon = opt.max_cycles;
+            const bool telem = cfg.telemetry.enabled;
             machine.set_progress(
-                opt.progress_interval,
-                [st, eta_horizon](const core::Machine::Progress& p) {
+                progress_interval,
+                [st, eta_horizon, telem](const core::Machine::Progress& p) {
                     const auto now = std::chrono::steady_clock::now();
                     const double dt =
                         std::chrono::duration<double>(now - st->last).count();
@@ -390,15 +454,34 @@ int main(int argc, char** argv) {
                                 cyc_rate);
                         eta = buf;
                     }
+                    // Telemetry summary: instruction retire rate between
+                    // heartbeats (per simulated cycle, from the latest
+                    // frame's cumulative count) and the busiest component.
+                    std::string telem_note;
+                    if (telem && p.sample_cycle > st->last_sample) {
+                        const double retire =
+                            static_cast<double>(p.instrs_retired -
+                                                st->last_retired) /
+                            static_cast<double>(p.sample_cycle -
+                                                st->last_sample);
+                        st->last_retired = p.instrs_retired;
+                        st->last_sample = p.sample_cycle;
+                        char buf[96];
+                        std::snprintf(buf, sizeof buf,
+                                      ", %.3f instrs/cycle%s%s", retire,
+                                      p.busiest.empty() ? "" : ", busiest ",
+                                      p.busiest.c_str());
+                        telem_note = buf;
+                    }
                     std::fprintf(
                         stderr,
                         "progress: cycle %llu, %llu live threads, "
                         "%.2f Mcycles/s (%.2f Mticks/s host, %.0f%% "
-                        "fast-forwarded)%s\n",
+                        "fast-forwarded)%s%s\n",
                         static_cast<unsigned long long>(p.cycle),
                         static_cast<unsigned long long>(p.live_threads),
                         cyc_rate / 1e6, tick_rate / 1e6, ff_share,
-                        eta.c_str());
+                        telem_note.c_str(), eta.c_str());
                 });
         }
         if (opt.log_level != sim::LogLevel::kOff) {
@@ -474,6 +557,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(res.wheel.dense_cycles),
                 static_cast<unsigned long long>(res.wheel.dense_entries));
         }
+        if (res.telemetry.enabled) {
+            std::printf(
+                "telemetry: %llu frames captured (interval %llu, "
+                "%llu dropped)%s\n",
+                static_cast<unsigned long long>(res.telemetry.captured),
+                static_cast<unsigned long long>(res.telemetry.interval),
+                static_cast<unsigned long long>(res.telemetry.dropped),
+                res.telemetry.stalled ? "; WATCHDOG STALL — see stderr"
+                                      : "");
+        }
         if (opt.breakdown) {
             std::fputs(
                 stats::breakdown_table({{prog.name, res.total_breakdown()}})
@@ -519,7 +612,8 @@ int main(int argc, char** argv) {
             }
             out << core::chrome_trace_json(res.spans, res.code_names,
                                            res.metrics, res.dma_spans, flows,
-                                           res.host_profile, res.wheel);
+                                           res.host_profile, res.wheel,
+                                           res.telemetry);
             std::printf("wrote %zu spans, %zu counter tracks, %zu DMA "
                         "slices, %zu flows to %s\n",
                         res.spans.size(), res.metrics.gauges().size(),
@@ -533,7 +627,8 @@ int main(int argc, char** argv) {
                              opt.metrics_path.c_str());
                 return 1;
             }
-            out << stats::run_report_json(res, prog.name);
+            out << stats::run_report_json(res, prog.name,
+                                          /*include_host=*/true);
             std::size_t live = 0;
             for (const auto& [name, h] : res.metrics.histograms()) {
                 live += h.count() > 0 ? 1 : 0;
