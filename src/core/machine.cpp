@@ -705,7 +705,9 @@ void load_dma_span(sim::StateSource& s, dma::DmaSpan& d) {
 
 }  // namespace
 
-void Machine::config_echo(sim::StateSink& s) const {
+void structural_config_echo(sim::StateSink& s, const MachineConfig& cfg,
+                            std::uint32_t shard_count,
+                            const isa::Program& prog) {
     // Structural knobs only: everything that shapes what the machine *is*
     // (and therefore the snapshot's section layout and semantics).  Observer
     // knobs — audit, log_level, profile, fast_forward, use_wheel — are
@@ -713,62 +715,62 @@ void Machine::config_echo(sim::StateSink& s) const {
     // instrumentation (the time-travel use case).  Note collect_metrics /
     // collect_events / capture_spans ARE structural: they decide whether
     // the corresponding state exists at all.
-    s.u16(cfg_.nodes);
-    s.u16(cfg_.spes_per_node);
-    s.u64(cfg_.memory.size_bytes);
-    s.u32(cfg_.memory.latency);
-    s.u32(cfg_.memory.ports);
-    s.u32(cfg_.memory.bank_busy);
-    s.u32(cfg_.memory.max_request_bytes);
-    s.u32(cfg_.local_store.size_bytes);
-    s.u32(cfg_.local_store.latency);
-    s.u32(cfg_.local_store.ports);
-    s.u32(cfg_.local_store.max_request_bytes);
-    s.u32(cfg_.noc.num_buses);
-    s.u32(cfg_.noc.bytes_per_cycle);
-    s.u32(cfg_.noc.hop_latency);
-    s.u32(cfg_.noc.inject_queue_depth);
-    s.u32(cfg_.link.latency);
-    s.u32(cfg_.link.bytes_per_cycle);
-    s.u32(cfg_.link.queue_depth);
-    s.u32(cfg_.mfc.queue_depth);
-    s.u32(cfg_.mfc.command_latency);
-    s.u32(cfg_.mfc.line_bytes);
-    s.u32(cfg_.mfc.max_outstanding_lines);
-    s.u32(cfg_.lse.frames);
-    s.u32(cfg_.lse.frame_words);
-    s.u32(cfg_.lse.dispatch_latency);
-    s.u32(cfg_.lse.frame_area_base);
-    s.u32(cfg_.lse.staging_base);
-    s.u32(cfg_.lse.staging_bytes_per_frame);
-    s.flag(cfg_.lse.virtual_frames);
-    s.u32(cfg_.lse.max_virtual_frames);
-    s.u32(cfg_.spu.alu_latency);
-    s.u32(cfg_.spu.mul_latency);
-    s.u32(cfg_.spu.div_latency);
-    s.u32(cfg_.spu.branch_penalty);
-    s.u32(cfg_.spu.thread_start_overhead);
-    s.u32(cfg_.spu.dma_program_cycles);
-    s.u32(cfg_.spu.outbox_depth);
-    s.u32(cfg_.spu.max_outstanding_reads);
-    s.flag(cfg_.spu.non_blocking_dma);
-    s.flag(cfg_.spu.count_dma_idle_as_prefetch);
-    s.u64(cfg_.max_cycles);
-    s.u64(cfg_.no_progress_limit);
-    s.flag(cfg_.capture_spans);
-    s.flag(cfg_.collect_metrics);
-    s.u32(cfg_.metrics_sample_interval);
-    s.flag(cfg_.collect_events);
+    s.u16(cfg.nodes);
+    s.u16(cfg.spes_per_node);
+    s.u64(cfg.memory.size_bytes);
+    s.u32(cfg.memory.latency);
+    s.u32(cfg.memory.ports);
+    s.u32(cfg.memory.bank_busy);
+    s.u32(cfg.memory.max_request_bytes);
+    s.u32(cfg.local_store.size_bytes);
+    s.u32(cfg.local_store.latency);
+    s.u32(cfg.local_store.ports);
+    s.u32(cfg.local_store.max_request_bytes);
+    s.u32(cfg.noc.num_buses);
+    s.u32(cfg.noc.bytes_per_cycle);
+    s.u32(cfg.noc.hop_latency);
+    s.u32(cfg.noc.inject_queue_depth);
+    s.u32(cfg.link.latency);
+    s.u32(cfg.link.bytes_per_cycle);
+    s.u32(cfg.link.queue_depth);
+    s.u32(cfg.mfc.queue_depth);
+    s.u32(cfg.mfc.command_latency);
+    s.u32(cfg.mfc.line_bytes);
+    s.u32(cfg.mfc.max_outstanding_lines);
+    s.u32(cfg.lse.frames);
+    s.u32(cfg.lse.frame_words);
+    s.u32(cfg.lse.dispatch_latency);
+    s.u32(cfg.lse.frame_area_base);
+    s.u32(cfg.lse.staging_base);
+    s.u32(cfg.lse.staging_bytes_per_frame);
+    s.flag(cfg.lse.virtual_frames);
+    s.u32(cfg.lse.max_virtual_frames);
+    s.u32(cfg.spu.alu_latency);
+    s.u32(cfg.spu.mul_latency);
+    s.u32(cfg.spu.div_latency);
+    s.u32(cfg.spu.branch_penalty);
+    s.u32(cfg.spu.thread_start_overhead);
+    s.u32(cfg.spu.dma_program_cycles);
+    s.u32(cfg.spu.outbox_depth);
+    s.u32(cfg.spu.max_outstanding_reads);
+    s.flag(cfg.spu.non_blocking_dma);
+    s.flag(cfg.spu.count_dma_idle_as_prefetch);
+    s.u64(cfg.max_cycles);
+    s.u64(cfg.no_progress_limit);
+    s.flag(cfg.capture_spans);
+    s.flag(cfg.collect_metrics);
+    s.u32(cfg.metrics_sample_interval);
+    s.flag(cfg.collect_events);
     // The *resolved* shard count, not the raw host_threads request:
     // host_threads == 0 resolves per host, and only the resolved count
     // changes the schedule.
-    s.u32(shard_count_);
+    s.u32(shard_count);
     // Program digest: a snapshot must never be resumed under a different
     // program (thread state embeds instruction pointers).
-    s.str(prog_.name);
-    s.u32(prog_.entry);
-    s.u64(static_cast<std::uint64_t>(prog_.codes.size()));
-    for (const isa::ThreadCode& tc : prog_.codes) {
+    s.str(prog.name);
+    s.u32(prog.entry);
+    s.u64(static_cast<std::uint64_t>(prog.codes.size()));
+    for (const isa::ThreadCode& tc : prog.codes) {
         s.str(tc.name);
         s.u32(tc.num_inputs);
         s.u32(tc.pl_begin);
@@ -776,6 +778,18 @@ void Machine::config_echo(sim::StateSink& s) const {
         s.u32(tc.ps_begin);
         sim::save_seq(s, tc.code, save_instruction);
     }
+}
+
+std::uint64_t structural_fingerprint(const MachineConfig& cfg,
+                                     std::uint32_t shard_count,
+                                     const isa::Program& prog) {
+    sim::StateSink s;
+    structural_config_echo(s, cfg, shard_count, prog);
+    return sim::fnv1a64(s.data().data(), s.size());
+}
+
+void Machine::config_echo(sim::StateSink& s) const {
+    structural_config_echo(s, cfg_, shard_count_, prog_);
 }
 
 std::uint64_t Machine::config_fingerprint() const {

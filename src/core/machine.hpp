@@ -108,6 +108,24 @@ struct RunResult {
     [[nodiscard]] double slot_utilisation() const;
 };
 
+/// Serialises the structural parts of a machine description — everything
+/// that shapes what the machine *is* (shape, latencies, engine layouts, the
+/// resolved shard count) plus a digest of the loaded program — into \p s.
+/// Shared by Machine snapshots (the snapshot's `config` section and its
+/// fingerprint) and the serve result cache (docs/SERVING.md), which keys
+/// memoized runs on the same bytes.  Observer knobs (log level, audits,
+/// profiling, fast-forward, the wheel) are deliberately excluded.
+void structural_config_echo(sim::StateSink& s, const MachineConfig& cfg,
+                            std::uint32_t shard_count,
+                            const isa::Program& prog);
+
+/// FNV-1a 64 over structural_config_echo's bytes.  Equals
+/// Machine::config_fingerprint() for a machine built from (cfg, prog) whose
+/// resolved host-thread count is \p shard_count.
+[[nodiscard]] std::uint64_t structural_fingerprint(const MachineConfig& cfg,
+                                                   std::uint32_t shard_count,
+                                                   const isa::Program& prog);
+
 /// A complete DTA machine.
 class Machine {
 public:

@@ -1,0 +1,126 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace dta::serve {
+
+namespace {
+
+/// Reads exactly \p n bytes; 1 = ok, 0 = clean EOF before any byte,
+/// -1 = error or EOF mid-read.
+int read_exact(int fd, void* buf, std::size_t n) {
+    auto* p = static_cast<std::uint8_t*>(buf);
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, p + got, n - got);
+        if (r == 0) {
+            return got == 0 ? 0 : -1;
+        }
+        if (r < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return -1;
+        }
+        got += static_cast<std::size_t>(r);
+    }
+    return 1;
+}
+
+bool write_exact(int fd, const void* buf, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(buf);
+    std::size_t put = 0;
+    while (put < n) {
+        const ssize_t r = ::write(fd, p + put, n - put);
+        if (r < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return false;
+        }
+        put += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+}  // namespace
+
+FrameStatus read_frame(int fd, std::string& out) {
+    std::uint8_t hdr[4];
+    const int h = read_exact(fd, hdr, sizeof hdr);
+    if (h == 0) {
+        return FrameStatus::kEof;
+    }
+    if (h < 0) {
+        return FrameStatus::kError;
+    }
+    const std::uint32_t len = static_cast<std::uint32_t>(hdr[0]) |
+                              (static_cast<std::uint32_t>(hdr[1]) << 8) |
+                              (static_cast<std::uint32_t>(hdr[2]) << 16) |
+                              (static_cast<std::uint32_t>(hdr[3]) << 24);
+    if (len > kMaxFrameBytes) {
+        return FrameStatus::kOversized;
+    }
+    out.resize(len);
+    if (len > 0 && read_exact(fd, out.data(), len) != 1) {
+        return FrameStatus::kError;
+    }
+    return FrameStatus::kOk;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+    if (payload.size() > kMaxFrameBytes) {
+        return false;
+    }
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    const std::uint8_t hdr[4] = {
+        static_cast<std::uint8_t>(len),
+        static_cast<std::uint8_t>(len >> 8),
+        static_cast<std::uint8_t>(len >> 16),
+        static_cast<std::uint8_t>(len >> 24),
+    };
+    return write_exact(fd, hdr, sizeof hdr) &&
+           write_exact(fd, payload.data(), payload.size());
+}
+
+int connect_unix(const std::string& path, int retry_ms, std::string& error) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error = "socket path too long (" + std::to_string(path.size()) +
+                " bytes, max " + std::to_string(sizeof(addr.sun_path) - 1) +
+                ")";
+        return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(retry_ms);
+    int last_errno = 0;
+    do {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            error = std::string("socket: ") + std::strerror(errno);
+            return -1;
+        }
+        if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr) == 0) {
+            return fd;
+        }
+        last_errno = errno;
+        ::close(fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    } while (std::chrono::steady_clock::now() < deadline);
+    error = "cannot connect to '" + path +
+            "': " + std::strerror(last_errno);
+    return -1;
+}
+
+}  // namespace dta::serve

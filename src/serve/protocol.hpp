@@ -1,0 +1,48 @@
+/// \file protocol.hpp
+/// \brief Wire framing for the sweep server (docs/SERVING.md): every
+///        message is one length-prefixed frame — a u32 little-endian
+///        payload length followed by that many bytes.
+///
+/// The payload of a request or reply *meta* frame is one JSON document
+/// (parsed with the strict stats/json_value parser); a reply's *report*
+/// frame is raw bytes, passed through untouched so a cached result can be
+/// byte-compared against a fresh run with plain memcmp/cmp.
+///
+/// Framing is defined over plain file descriptors, not sockets, so the
+/// protocol tests can drive it through a pipe.  All reads and writes are
+/// EINTR-safe and handle short transfers.  A frame longer than
+/// kMaxFrameBytes is refused before any allocation: the reader drains
+/// nothing and reports kOversized, and the server drops the connection
+/// (length-prefixed protocols must bound the prefix or a 4-byte header
+/// becomes a 4 GiB allocation request).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dta::serve {
+
+/// Hard ceiling on one frame's payload (requests and reports alike).
+inline constexpr std::uint32_t kMaxFrameBytes = 16u * 1024 * 1024;
+
+enum class FrameStatus : std::uint8_t {
+    kOk,         ///< one complete frame read
+    kEof,        ///< clean end of stream at a frame boundary
+    kError,      ///< I/O error or truncated frame (EOF mid-frame)
+    kOversized,  ///< declared length exceeds kMaxFrameBytes
+};
+
+/// Reads one frame from \p fd into \p out (replacing its contents).
+[[nodiscard]] FrameStatus read_frame(int fd, std::string& out);
+
+/// Writes one frame to \p fd; false on I/O error or oversized payload.
+[[nodiscard]] bool write_frame(int fd, std::string_view payload);
+
+/// Connects to a Unix-domain socket at \p path, retrying for up to
+/// \p retry_ms milliseconds (covers the daemon's startup window).
+/// Returns the connected fd, or -1 with a one-line reason in \p error.
+[[nodiscard]] int connect_unix(const std::string& path, int retry_ms,
+                               std::string& error);
+
+}  // namespace dta::serve

@@ -1,0 +1,119 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.hpp"
+#include "sim/check.hpp"
+
+namespace dta::serve {
+
+Server::Server(std::string socket_path, const EngineConfig& cfg)
+    : path_(std::move(socket_path)), engine_(cfg) {
+    // A client disconnecting mid-reply must not kill the daemon with
+    // SIGPIPE; write() then fails with EPIPE and the connection thread
+    // exits cleanly.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    DTA_SIM_REQUIRE(path_.size() < sizeof(addr.sun_path),
+                    "socket path '" + path_ + "' too long (max " +
+                        std::to_string(sizeof(addr.sun_path) - 1) +
+                        " bytes)");
+    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+    ::unlink(path_.c_str());  // stale socket from a crashed daemon
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    DTA_SIM_REQUIRE(listen_fd_ >= 0,
+                    std::string("socket: ") + std::strerror(errno));
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        DTA_SIM_ERROR("cannot listen on '" + path_ + "': " + why);
+    }
+}
+
+Server::~Server() {
+    stop();
+    for (std::thread& t : connections_) {
+        if (t.joinable()) {
+            t.join();
+        }
+    }
+    ::unlink(path_.c_str());
+}
+
+void Server::stop() {
+    if (!stopping_.exchange(true)) {
+        // shutdown() unblocks a blocked accept(); close() alone does not
+        // on every platform.
+        ::shutdown(listen_fd_, SHUT_RDWR);
+        ::close(listen_fd_);
+    }
+}
+
+void Server::serve_forever() {
+    while (!stopping_.load()) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            break;  // listening socket closed by stop()
+        }
+        connections_.emplace_back([this, fd] { handle_connection(fd); });
+    }
+    for (std::thread& t : connections_) {
+        if (t.joinable()) {
+            t.join();
+        }
+    }
+    connections_.clear();
+}
+
+void Server::handle_connection(int fd) {
+    std::string payload;
+    while (true) {
+        const FrameStatus st = read_frame(fd, payload);
+        if (st != FrameStatus::kOk) {
+            if (st == FrameStatus::kOversized) {
+                // Tell the peer why before dropping the stream.
+                (void)write_frame(
+                    fd,
+                    "{\"ok\":false,\"error\":\"frame exceeds " +
+                        std::to_string(kMaxFrameBytes) + " bytes\"}");
+            }
+            break;
+        }
+        bool shutdown = false;
+        const std::vector<std::string> replies =
+            engine_.handle_request(payload, shutdown);
+        bool write_ok = true;
+        for (const std::string& r : replies) {
+            if (!write_frame(fd, r)) {
+                write_ok = false;
+                break;
+            }
+        }
+        if (shutdown) {
+            stop();
+            break;
+        }
+        if (!write_ok) {
+            break;
+        }
+    }
+    ::close(fd);
+}
+
+}  // namespace dta::serve

@@ -1,0 +1,53 @@
+/// \file server.hpp
+/// \brief Unix-domain-socket transport around serve::Engine: bind, listen,
+///        one thread per connection, frame in / frames out, orderly
+///        shutdown on request or signal.
+///
+/// A connection is a sequence of request frames; each gets its reply
+/// frames written back in order.  A malformed JSON payload earns an error
+/// frame and the connection survives; a framing violation (oversized or
+/// truncated frame) drops the connection — once the byte stream is
+/// desynchronised there is no safe way to find the next frame boundary.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace dta::serve {
+
+class Server {
+public:
+    /// Binds and listens on \p socket_path (removing a stale socket file
+    /// first).  Throws sim::SimError when the path is too long or the
+    /// bind fails.
+    Server(std::string socket_path, const EngineConfig& cfg);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Accept loop; returns after a shutdown request (or stop()).  Joins
+    /// every connection thread before returning.
+    void serve_forever();
+
+    /// Signal-safe stop: closes the listening socket, which unblocks
+    /// accept().  Connections finish their in-flight request.
+    void stop();
+
+    [[nodiscard]] Engine& engine() { return engine_; }
+
+private:
+    void handle_connection(int fd);
+
+    std::string path_;
+    Engine engine_;
+    int listen_fd_ = -1;
+    std::atomic<bool> stopping_{false};
+    std::vector<std::thread> connections_;
+};
+
+}  // namespace dta::serve

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace dta::stats {
@@ -182,28 +183,41 @@ private:
         return fail("unterminated string");
     }
 
-    bool number(double& out) {
+    /// Consumes a digit run; returns how many digits it saw.
+    std::size_t digits() {
         const std::size_t start = pos_;
-        (void)eat('-');
         while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
             ++pos_;
         }
-        if (eat('.')) {
-            while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
-                ++pos_;
-            }
+        return pos_ - start;
+    }
+
+    bool number(double& out) {
+        const std::size_t start = pos_;
+        (void)eat('-');
+        // Strict JSON grammar: at least one integer digit, no leading
+        // zeros, and a digit after '.' and after the exponent marker —
+        // ".5", "01", "1.", "-" and "1e" are errors, not whatever strtod
+        // makes of them.
+        const std::size_t int_start = pos_;
+        const std::size_t int_digits = digits();
+        if (int_digits == 0) {
+            return fail("malformed number");
+        }
+        if (int_digits > 1 && text_[int_start] == '0') {
+            return fail("malformed number");
+        }
+        if (eat('.') && digits() == 0) {
+            return fail("malformed number");
         }
         if (peek() == 'e' || peek() == 'E') {
             ++pos_;
             if (peek() == '+' || peek() == '-') {
                 ++pos_;
             }
-            while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
-                ++pos_;
+            if (digits() == 0) {
+                return fail("malformed number");
             }
-        }
-        if (pos_ == start || text_[pos_ - 1] == '-') {
-            return fail("malformed number");
         }
         const std::string tok(text_.substr(start, pos_ - start));
         char* end = nullptr;
@@ -280,6 +294,16 @@ private:
             if (!value(v)) {
                 return false;
             }
+            // Reject duplicate keys outright: with this parser fronting the
+            // serve wire protocol, "last key silently wins" would let a
+            // request smuggle a second "op"/"job" past any validator that
+            // looked at the first.  O(n^2) per object is fine at the small
+            // member counts our documents carry.
+            for (const JsonValue::Member& m : members) {
+                if (m.first == key) {
+                    return fail("duplicate object key");
+                }
+            }
             members.emplace_back(std::move(key), std::move(v));
             skip_ws();
             if (eat('}')) {
@@ -329,6 +353,95 @@ private:
 
 JsonParseResult parse_json(std::string_view text) {
     return Parser(text).run();
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void dump_into(std::string& out, const JsonValue& v) {
+    switch (v.kind()) {
+        case JsonValue::Kind::kNull: out += "null"; break;
+        case JsonValue::Kind::kBool: out += v.as_bool() ? "true" : "false";
+            break;
+        case JsonValue::Kind::kNumber: {
+            const double d = v.as_number();
+            char buf[40];
+            // Integer-valued doubles inside the exact-integer range print
+            // as integers (cycle counts, byte sizes); the rest round-trip
+            // through %.17g.
+            if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
+                d >= -9.0e15 && d <= 9.0e15) {
+                std::snprintf(buf, sizeof buf, "%lld",
+                              static_cast<long long>(d));
+            } else {
+                std::snprintf(buf, sizeof buf, "%.17g", d);
+            }
+            out += buf;
+            break;
+        }
+        case JsonValue::Kind::kString: escape_into(out, v.as_string()); break;
+        case JsonValue::Kind::kArray: {
+            out += '[';
+            bool first = true;
+            for (const JsonValue& item : v.items()) {
+                if (!first) {
+                    out += ',';
+                }
+                first = false;
+                dump_into(out, item);
+            }
+            out += ']';
+            break;
+        }
+        case JsonValue::Kind::kObject: {
+            out += '{';
+            bool first = true;
+            for (const JsonValue::Member& m : v.members()) {
+                if (!first) {
+                    out += ',';
+                }
+                first = false;
+                escape_into(out, m.first);
+                out += ':';
+                dump_into(out, m.second);
+            }
+            out += '}';
+            break;
+        }
+    }
+}
+
+}  // namespace
+
+std::string dump_json(const JsonValue& v) {
+    std::string out;
+    dump_into(out, v);
+    return out;
 }
 
 }  // namespace dta::stats

@@ -5,9 +5,14 @@
 ///
 /// Scope is deliberately narrow: UTF-8 pass-through, numbers as double
 /// (with the exact integer range of double, plenty for ns counts and
-/// cycle totals), objects as ordered key/value vectors (preserving input
-/// order and admitting duplicate keys, which lookup resolves to the first
-/// occurrence — the behaviour of most JSON readers).
+/// cycle totals), objects as ordered key/value vectors preserving input
+/// order.
+///
+/// The parser is strict — it now also fronts the serve wire protocol
+/// (src/serve/), which makes its input attacker-adjacent for the first
+/// time: trailing garbage after the top-level value, duplicate object
+/// keys (previously resolved to the first occurrence, silently), and
+/// non-grammar numbers (".5", "1.", "1e") are all hard errors.
 #pragma once
 
 #include <cstdint>
@@ -91,5 +96,12 @@ struct JsonParseResult {
 /// Parses one complete JSON document (trailing whitespace allowed,
 /// trailing garbage is an error).
 [[nodiscard]] JsonParseResult parse_json(std::string_view text);
+
+/// Serialises \p v back to compact JSON (no whitespace).  Integer-valued
+/// numbers print without a decimal point; everything else uses shortest
+/// round-trip formatting.  dump(parse_json(x).value) is parseable by
+/// parse_json — the serve client uses this to embed user-supplied job
+/// specs into request frames.
+[[nodiscard]] std::string dump_json(const JsonValue& v);
 
 }  // namespace dta::stats

@@ -1,0 +1,96 @@
+// The strict JSON parser behind bench files and the serve wire protocol:
+// hardened grammar (trailing garbage, duplicate keys, non-grammar
+// numbers are hard errors) and the dump_json round trip the serve client
+// relies on to canonicalise user job specs.
+#include "stats/json_value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dta::stats {
+namespace {
+
+TEST(JsonParse, AcceptsCompleteDocuments) {
+    EXPECT_TRUE(parse_json("null").ok);
+    EXPECT_TRUE(parse_json("true").ok);
+    EXPECT_TRUE(parse_json("[1,2,3]").ok);
+    EXPECT_TRUE(parse_json("  {\"a\": 1}  ").ok);
+    EXPECT_TRUE(parse_json("-0.5e3").ok);
+    EXPECT_TRUE(parse_json("\"\\u0041\\n\"").ok);
+}
+
+TEST(JsonParse, TrailingGarbageIsAnError) {
+    const JsonParseResult r = parse_json("{\"op\":\"ping\"}x");
+    EXPECT_FALSE(r.ok);
+    // The offset points at the offending byte so wire-protocol error
+    // frames can name it.
+    EXPECT_EQ(r.offset, 13u);
+
+    EXPECT_FALSE(parse_json("1 2").ok);
+    EXPECT_FALSE(parse_json("[] []").ok);
+    // Trailing whitespace alone stays fine.
+    EXPECT_TRUE(parse_json("1 \n\t ").ok);
+}
+
+TEST(JsonParse, DuplicateObjectKeysAreAnError) {
+    EXPECT_FALSE(parse_json("{\"op\":\"ping\",\"op\":\"stats\"}").ok);
+    // Same key at different nesting levels is fine.
+    EXPECT_TRUE(parse_json("{\"a\":{\"a\":1},\"b\":{\"a\":2}}").ok);
+}
+
+TEST(JsonParse, NonGrammarNumbersAreErrors) {
+    EXPECT_FALSE(parse_json(".5").ok);
+    EXPECT_FALSE(parse_json("1.").ok);
+    EXPECT_FALSE(parse_json("1e").ok);
+    EXPECT_FALSE(parse_json("+1").ok);
+    EXPECT_FALSE(parse_json("01").ok);
+    EXPECT_FALSE(parse_json("-").ok);
+    EXPECT_TRUE(parse_json("0").ok);
+    EXPECT_TRUE(parse_json("-0").ok);
+    EXPECT_TRUE(parse_json("1e+9").ok);
+}
+
+TEST(JsonParse, TruncatedDocumentsAreErrors) {
+    EXPECT_FALSE(parse_json("").ok);
+    EXPECT_FALSE(parse_json("{\"a\":").ok);
+    EXPECT_FALSE(parse_json("[1,").ok);
+    EXPECT_FALSE(parse_json("\"unterminated").ok);
+}
+
+TEST(JsonDump, RoundTripsThroughTheParser) {
+    const std::string doc =
+        "{\"name\":\"ci/mmul/orig\",\"cycles\":91513,\"ok\":true,"
+        "\"ratio\":0.25,\"tags\":[\"a\",\"b\"],\"none\":null}";
+    const JsonParseResult first = parse_json(doc);
+    ASSERT_TRUE(first.ok);
+    const std::string dumped = dump_json(first.value);
+    const JsonParseResult second = parse_json(dumped);
+    ASSERT_TRUE(second.ok) << second.error;
+    // Compact form is already canonical: dumping again is a fixed point.
+    EXPECT_EQ(dump_json(second.value), dumped);
+    // Integer-valued numbers keep their integer spelling.
+    EXPECT_NE(dumped.find("\"cycles\":91513"), std::string::npos);
+}
+
+TEST(JsonDump, EscapesControlCharactersAndQuotes) {
+    const std::string dumped =
+        dump_json(JsonValue::make_string("a\"b\\c\n\x01"));
+    const JsonParseResult back = parse_json(dumped);
+    ASSERT_TRUE(back.ok) << back.error;
+    EXPECT_EQ(back.value.as_string(), "a\"b\\c\n\x01");
+}
+
+TEST(JsonFind, KindFilteredLookup) {
+    const JsonParseResult r = parse_json("{\"n\":3,\"s\":\"x\"}");
+    ASSERT_TRUE(r.ok);
+    EXPECT_NE(r.value.find("n", JsonValue::Kind::kNumber), nullptr);
+    EXPECT_EQ(r.value.find("n", JsonValue::Kind::kString), nullptr);
+    EXPECT_EQ(r.value.find("missing"), nullptr);
+    // find() on a non-object returns null instead of asserting, so
+    // lookups chain without intermediate checks.
+    EXPECT_EQ(JsonValue::make_number(1).find("x"), nullptr);
+}
+
+}  // namespace
+}  // namespace dta::stats

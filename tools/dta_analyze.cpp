@@ -19,6 +19,7 @@
 #include <fstream>
 #include <string>
 
+#include "cli_util.hpp"
 #include "sim/check.hpp"
 #include "stats/critpath.hpp"
 
@@ -61,7 +62,8 @@ Options parse_options(int argc, char** argv) {
         } else if (a == "--benchmark") {
             opt.benchmark = next();
         } else if (a == "--top") {
-            opt.top_k = static_cast<std::size_t>(std::atoi(next()));
+            opt.top_k =
+                cli::parse_uint<std::size_t>(argv[0], "--top", next(), 1);
         } else if (a == "--quiet") {
             opt.quiet = true;
         } else {

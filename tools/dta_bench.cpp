@@ -10,6 +10,15 @@
 ///   dta_bench [--label L] [--out FILE] [--warmup N] [--repeats N]
 ///             [--filter SUBSTR] [--threads N] [--scale paper|ci]
 ///             [--scale-time X] [--no-wheel] [--ab-wheel] [--list]
+///             [--serve SOCKET]
+///
+/// `--serve SOCKET` runs the sweep against a dta_serve daemon instead of
+/// in-process: each timed repeat is one run request over the Unix socket,
+/// and host seconds measure the round trip (queue + simulate — or a cache
+/// hit, docs/SERVING.md).  Against a warm cache the same sweep completes
+/// orders of magnitude faster, byte-identical.  Warmup runs are skipped
+/// (they would pre-populate the cache and hide the cold/warm contrast);
+/// the A/B and rescale modes conflict with --serve.
 ///
 /// Determinism is enforced, not assumed: every repeat of a case must
 /// produce the same simulated cycle count, or the driver exits non-zero.
@@ -31,6 +40,7 @@
 /// window.  The per-case determinism check then doubles as a wheel/dense
 /// cycle-count differential.  `--no-wheel` alone runs everything dense.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,8 +51,13 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
+#include "cli_util.hpp"
+#include "serve/protocol.hpp"
 #include "stats/bench_file.hpp"
 #include "stats/json_report.hpp"
+#include "stats/json_value.hpp"
 #include "workloads/bitcnt.hpp"
 #include "workloads/harness.hpp"
 #include "workloads/mmul.hpp"
@@ -66,6 +81,7 @@ struct Options {
     bool no_wheel = false;  // dense run loop for every sample
     bool ab_wheel = false;  // --split-out B samples run dense
     bool list = false;
+    std::string serve_socket;  // run the sweep via a dta_serve daemon
 };
 
 void usage(const char* argv0) {
@@ -92,6 +108,8 @@ void usage(const char* argv0) {
         "                   scheduler (cycle counts are identical)\n"
         "  --ab-wheel       with --split-out: A samples run the wheel, B\n"
         "                   samples run dense (wheel-on/off A/B)\n"
+        "  --serve SOCKET   submit cases to a dta_serve daemon at SOCKET\n"
+        "                   instead of simulating in-process\n"
         "  --list           print case names and exit\n",
         argv0);
 }
@@ -209,11 +227,13 @@ bool parse_args(int argc, char** argv, Options& opt) {
         } else if (a == "--warmup") {
             const char* v = next("--warmup");
             if (v == nullptr) return false;
-            opt.warmup = static_cast<std::uint32_t>(std::atoi(v));
+            opt.warmup =
+                cli::parse_uint<std::uint32_t>(argv[0], "--warmup", v);
         } else if (a == "--repeats") {
             const char* v = next("--repeats");
             if (v == nullptr) return false;
-            opt.repeats = static_cast<std::uint32_t>(std::atoi(v));
+            opt.repeats =
+                cli::parse_uint<std::uint32_t>(argv[0], "--repeats", v, 1);
         } else if (a == "--filter") {
             const char* v = next("--filter");
             if (v == nullptr) return false;
@@ -221,7 +241,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
         } else if (a == "--threads") {
             const char* v = next("--threads");
             if (v == nullptr) return false;
-            opt.threads = static_cast<std::uint32_t>(std::atoi(v));
+            opt.threads = cli::parse_uint<std::uint32_t>(argv[0], "--threads",
+                                                         v, 0, 4096);
         } else if (a == "--scale") {
             const char* v = next("--scale");
             if (v == nullptr) return false;
@@ -234,12 +255,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
         } else if (a == "--scale-time") {
             const char* v = next("--scale-time");
             if (v == nullptr) return false;
-            opt.scale_time = std::atof(v);
-            if (opt.scale_time < 1.0) {
-                std::fprintf(stderr, "%s: --scale-time must be >= 1\n",
-                             argv[0]);
-                return false;
-            }
+            opt.scale_time =
+                cli::parse_double(argv[0], "--scale-time", v, 1.0, 1e9);
         } else if (a == "--from") {
             const char* v = next("--from");
             if (v == nullptr) return false;
@@ -252,6 +269,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
             opt.no_wheel = true;
         } else if (a == "--ab-wheel") {
             opt.ab_wheel = true;
+        } else if (a == "--serve") {
+            const char* v = next("--serve");
+            if (v == nullptr) return false;
+            opt.serve_socket = v;
         } else if (a == "--list") {
             opt.list = true;
         } else if (a == "--help" || a == "-h") {
@@ -274,6 +295,15 @@ bool parse_args(int argc, char** argv, Options& opt) {
     }
     if (opt.ab_wheel && opt.no_wheel) {
         std::fprintf(stderr, "%s: --ab-wheel conflicts with --no-wheel\n",
+                     argv[0]);
+        return false;
+    }
+    if (!opt.serve_socket.empty() &&
+        (opt.ab_wheel || opt.no_wheel || !opt.split_out.empty() ||
+         !opt.from.empty() || opt.scale_time != 1.0)) {
+        std::fprintf(stderr,
+                     "%s: --serve conflicts with --ab-wheel, --no-wheel, "
+                     "--split-out, --from and --scale-time\n",
                      argv[0]);
         return false;
     }
@@ -307,6 +337,113 @@ bool validate_and_write(const char* argv0, const stats::BenchFile& file,
                 file.cases.size(), file.label.c_str(),
                 file.env.git_sha.c_str());
     return true;
+}
+
+/// `--serve` mode: one run request per timed repeat against a dta_serve
+/// daemon; host seconds are the round trip.  The job specs mirror
+/// build_registry exactly (same scale presets, spes = 8), so the daemon's
+/// cache key matches what any other client of the same sweep computes.
+int serve_mode(const char* argv0, const Options& opt) {
+    struct ServeCase {
+        std::string name;
+        std::string payload;
+    };
+    std::vector<ServeCase> cases;
+    for (const char* wl : {"mmul", "zoom", "bitcnt"}) {
+        for (const bool pf : {false, true}) {
+            ServeCase c;
+            c.name = opt.scale + "/" + wl + (pf ? "/pf" : "/orig");
+            if (!opt.filter.empty() &&
+                c.name.find(opt.filter) == std::string::npos) {
+                continue;
+            }
+            c.payload = "{\"op\":\"run\",\"jobs\":[{\"id\":\"" + c.name +
+                        "\",\"workload\":\"" + wl + "\",\"scale\":\"" +
+                        opt.scale + "\",\"prefetch\":" +
+                        (pf ? "true" : "false") + ",\"threads\":" +
+                        std::to_string(opt.threads) + "}]}";
+            cases.push_back(std::move(c));
+        }
+    }
+    if (cases.empty()) {
+        std::fprintf(stderr, "%s: no cases matched --filter \"%s\"\n",
+                     argv0, opt.filter.c_str());
+        return 2;
+    }
+
+    stats::BenchFile file;
+    file.label = opt.label;
+    file.env = capture_env();
+    for (const ServeCase& c : cases) {
+        stats::BenchCase bc;
+        bc.name = c.name;
+        for (std::uint32_t r = 0; r < opt.repeats; ++r) {
+            std::string err;
+            const auto t0 = std::chrono::steady_clock::now();
+            const int fd =
+                serve::connect_unix(opt.serve_socket, 2000, err);
+            if (fd < 0) {
+                std::fprintf(stderr, "%s: %s\n", argv0, err.c_str());
+                return 1;
+            }
+            std::string header;
+            std::string meta;
+            std::string report;
+            const bool io_ok =
+                serve::write_frame(fd, c.payload) &&
+                serve::read_frame(fd, header) ==
+                    serve::FrameStatus::kOk &&
+                serve::read_frame(fd, meta) == serve::FrameStatus::kOk;
+            std::uint64_t cycles = 0;
+            bool job_ok = false;
+            if (io_ok) {
+                const stats::JsonParseResult m = stats::parse_json(meta);
+                const stats::JsonValue* ok =
+                    m.ok ? m.value.find("ok",
+                                        stats::JsonValue::Kind::kBool)
+                         : nullptr;
+                job_ok = ok != nullptr && ok->as_bool();
+                if (job_ok) {
+                    job_ok = serve::read_frame(fd, report) ==
+                             serve::FrameStatus::kOk;
+                    const stats::JsonValue* cy = m.value.find(
+                        "cycles", stats::JsonValue::Kind::kNumber);
+                    cycles = cy != nullptr ? cy->as_u64() : 0;
+                }
+            }
+            ::close(fd);
+            const double dt = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+            if (!io_ok || !job_ok) {
+                std::fprintf(stderr, "%s: %s failed via %s: %s\n", argv0,
+                             c.name.c_str(), opt.serve_socket.c_str(),
+                             meta.empty() ? "no reply" : meta.c_str());
+                return 1;
+            }
+            if (bc.cycles != 0 && cycles != bc.cycles) {
+                std::fprintf(
+                    stderr,
+                    "%s: %s is non-deterministic via serve: %llu vs "
+                    "%llu cycles\n",
+                    argv0, c.name.c_str(),
+                    static_cast<unsigned long long>(cycles),
+                    static_cast<unsigned long long>(bc.cycles));
+                return 1;
+            }
+            bc.cycles = cycles;
+            bc.host_seconds.push_back(dt);
+        }
+        std::printf("%-20s %10llu cycles  min %.4f s  median %.4f s  "
+                    "mad %.5f s  (%u repeats, via serve)\n",
+                    bc.name.c_str(),
+                    static_cast<unsigned long long>(bc.cycles), bc.min_s(),
+                    bc.median_s(), bc.mad_s(), opt.repeats);
+        file.cases.push_back(std::move(bc));
+    }
+    const std::string path =
+        opt.out.empty() ? "BENCH_" + opt.label + ".json" : opt.out;
+    return validate_and_write(argv0, file, path) ? 0 : 1;
 }
 
 /// `--from` mode: rescale an existing file's samples, run nothing.
@@ -353,6 +490,9 @@ int main(int argc, char** argv) {
             std::printf("%s\n", c.name.c_str());
         }
         return 0;
+    }
+    if (!opt.serve_socket.empty()) {
+        return serve_mode(argv[0], opt);
     }
 
     stats::BenchFile file;

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hpp"
 #include "stats/bench_file.hpp"
 
 namespace {
@@ -80,12 +81,8 @@ int main(int argc, char** argv) {
                 usage(argv[0]);
                 return 2;
             }
-            opt.threshold = std::atof(argv[++i]);
-            if (opt.threshold <= 0.0) {
-                std::fprintf(stderr, "%s: --threshold must be > 0\n",
-                             argv[0]);
-                return 2;
-            }
+            opt.threshold = cli::parse_double(argv[0], "--threshold",
+                                              argv[++i], 1e-9, 1e9);
         } else if (a == "--warn-only") {
             opt.warn_only = true;
         } else if (a == "--help" || a == "-h") {

@@ -1,0 +1,349 @@
+/// \file dta_client.cpp
+/// \brief Command-line client for the dta_serve daemon (docs/SERVING.md).
+///
+/// Usage:
+///   dta_client --socket PATH [--retry-ms N] COMMAND
+///     ping                     liveness check
+///     stats                    print the server's stats JSON
+///     shutdown                 orderly daemon shutdown
+///     run JOBFILE              submit a batch; JOBFILE is a JSON array of
+///                              job objects, or {"jobs":[...]}
+///       --out-dir DIR          write each job's raw report frame to
+///                              DIR/<id>.json, byte-exact (cmp-able
+///                              against a dta_run --metrics report of the
+///                              same job)
+///     fuzz                     protocol robustness smoke: throw a corpus
+///                              of malformed frames at the server, then
+///                              prove it still answers ping
+///
+/// Exit status: 0 success, 1 any job/request failed or the server is
+/// unreachable, 2 bad usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "cli_util.hpp"
+#include "serve/protocol.hpp"
+#include "stats/json_value.hpp"
+
+namespace {
+
+using namespace dta;
+using serve::FrameStatus;
+using stats::JsonValue;
+
+struct Options {
+    std::string socket;
+    int retry_ms = 2000;
+    std::string command;
+    std::string job_file;
+    std::string out_dir;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s --socket PATH [--retry-ms N] "
+                 "ping|stats|shutdown|fuzz|run JOBFILE [--out-dir DIR]\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        if (a == "--socket") {
+            opt.socket = next();
+        } else if (a == "--retry-ms") {
+            opt.retry_ms = static_cast<int>(
+                cli::parse_u64(argv[0], "--retry-ms", next(), 0, 600000));
+        } else if (a == "--out-dir") {
+            opt.out_dir = next();
+        } else if (a == "ping" || a == "stats" || a == "shutdown" ||
+                   a == "fuzz") {
+            if (!opt.command.empty()) {
+                usage(argv[0]);
+            }
+            opt.command = a;
+        } else if (a == "run") {
+            if (!opt.command.empty()) {
+                usage(argv[0]);
+            }
+            opt.command = a;
+            opt.job_file = next();
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", a.c_str());
+            usage(argv[0]);
+        }
+    }
+    if (opt.socket.empty() || opt.command.empty()) {
+        usage(argv[0]);
+    }
+    return opt;
+}
+
+int connect_or_die(const Options& opt) {
+    std::string err;
+    const int fd = serve::connect_unix(opt.socket, opt.retry_ms, err);
+    if (fd < 0) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        std::exit(1);
+    }
+    return fd;
+}
+
+/// One request frame out, one reply frame back.
+bool request(int fd, const std::string& payload, std::string& reply) {
+    return serve::write_frame(fd, payload) &&
+           serve::read_frame(fd, reply) == FrameStatus::kOk;
+}
+
+int simple_command(const Options& opt, const std::string& op) {
+    const int fd = connect_or_die(opt);
+    std::string reply;
+    if (!request(fd, "{\"op\":\"" + op + "\"}", reply)) {
+        std::fprintf(stderr, "error: no reply from server\n");
+        ::close(fd);
+        return 1;
+    }
+    ::close(fd);
+    std::printf("%s\n", reply.c_str());
+    const stats::JsonParseResult r = stats::parse_json(reply);
+    const JsonValue* ok =
+        r.ok ? r.value.find("ok", JsonValue::Kind::kBool) : nullptr;
+    return ok != nullptr && ok->as_bool() ? 0 : 1;
+}
+
+int run_command(const Options& opt) {
+    std::ifstream in(opt.job_file);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot open '%s'\n",
+                     opt.job_file.c_str());
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const stats::JsonParseResult parsed = stats::parse_json(buf.str());
+    if (!parsed.ok) {
+        std::fprintf(stderr, "error: %s: %s at byte %zu\n",
+                     opt.job_file.c_str(), parsed.error.c_str(),
+                     parsed.offset);
+        return 1;
+    }
+    const JsonValue* jobs = &parsed.value;
+    if (parsed.value.is_object()) {
+        jobs = parsed.value.find("jobs", JsonValue::Kind::kArray);
+        if (jobs == nullptr) {
+            std::fprintf(stderr,
+                         "error: %s: expected a job array or "
+                         "{\"jobs\":[...]}\n",
+                         opt.job_file.c_str());
+            return 1;
+        }
+    } else if (!parsed.value.is_array()) {
+        std::fprintf(stderr, "error: %s: expected a JSON array\n",
+                     opt.job_file.c_str());
+        return 1;
+    }
+    // Re-serialise through the strict model: the wire carries exactly one
+    // canonical encoding of the user's spec.
+    const std::string payload =
+        "{\"op\":\"run\",\"jobs\":" + stats::dump_json(*jobs) + "}";
+
+    const int fd = connect_or_die(opt);
+    std::string header;
+    if (!request(fd, payload, header)) {
+        std::fprintf(stderr, "error: no reply from server\n");
+        ::close(fd);
+        return 1;
+    }
+    const stats::JsonParseResult h = stats::parse_json(header);
+    const JsonValue* hok =
+        h.ok ? h.value.find("ok", JsonValue::Kind::kBool) : nullptr;
+    if (hok == nullptr || !hok->as_bool()) {
+        std::fprintf(stderr, "error: %s\n", header.c_str());
+        ::close(fd);
+        return 1;
+    }
+    const JsonValue* count =
+        h.value.find("jobs", JsonValue::Kind::kNumber);
+    const std::uint64_t n = count != nullptr ? count->as_u64() : 0;
+
+    int failures = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::string meta;
+        if (serve::read_frame(fd, meta) != FrameStatus::kOk) {
+            std::fprintf(stderr, "error: stream ended mid-batch\n");
+            ::close(fd);
+            return 1;
+        }
+        const stats::JsonParseResult m = stats::parse_json(meta);
+        if (!m.ok) {
+            std::fprintf(stderr, "error: bad meta frame: %s\n",
+                         m.error.c_str());
+            ::close(fd);
+            return 1;
+        }
+        const JsonValue* ok = m.value.find("ok", JsonValue::Kind::kBool);
+        const JsonValue* id = m.value.find("id", JsonValue::Kind::kString);
+        const std::string job_id =
+            id != nullptr ? id->as_string() : "job" + std::to_string(i);
+        if (ok == nullptr || !ok->as_bool()) {
+            const JsonValue* err =
+                m.value.find("error", JsonValue::Kind::kString);
+            const JsonValue* busy =
+                m.value.find("busy", JsonValue::Kind::kBool);
+            std::printf("%-24s FAILED%s: %s\n", job_id.c_str(),
+                        busy != nullptr && busy->as_bool() ? " (busy)" : "",
+                        err != nullptr ? err->as_string().c_str()
+                                       : "unknown error");
+            ++failures;
+            continue;
+        }
+        std::string report;
+        if (serve::read_frame(fd, report) != FrameStatus::kOk) {
+            std::fprintf(stderr, "error: missing report frame for %s\n",
+                         job_id.c_str());
+            ::close(fd);
+            return 1;
+        }
+        const JsonValue* cached =
+            m.value.find("cached", JsonValue::Kind::kBool);
+        const JsonValue* verified =
+            m.value.find("verified", JsonValue::Kind::kBool);
+        const JsonValue* cycles =
+            m.value.find("cycles", JsonValue::Kind::kNumber);
+        std::printf("%-24s ok  %10llu cycles  %s%s\n", job_id.c_str(),
+                    static_cast<unsigned long long>(
+                        cycles != nullptr ? cycles->as_u64() : 0),
+                    cached != nullptr && cached->as_bool() ? "cached"
+                                                           : "fresh",
+                    verified != nullptr && verified->as_bool()
+                        ? " (verified)"
+                        : "");
+        if (!opt.out_dir.empty()) {
+            // Ids may carry '/' (canonical names like ci/mmul/orig);
+            // flatten them into one filename component.
+            std::string flat = job_id;
+            for (char& c : flat) {
+                if (c == '/' || c == '\\') {
+                    c = '_';
+                }
+            }
+            const std::string path = opt.out_dir + "/" + flat + ".json";
+            std::ofstream out(path, std::ios::binary);
+            if (!out) {
+                std::fprintf(stderr, "error: cannot write '%s'\n",
+                             path.c_str());
+                ::close(fd);
+                return 1;
+            }
+            out.write(report.data(),
+                      static_cast<std::streamsize>(report.size()));
+        }
+    }
+    ::close(fd);
+    return failures == 0 ? 0 : 1;
+}
+
+/// Raw bytes straight onto the socket — deliberately bypasses
+/// write_frame so the corpus can lie in the length prefix.
+bool send_raw(int fd, const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::size_t put = 0;
+    while (put < n) {
+        const ssize_t r = ::write(fd, p + put, n - put);
+        if (r <= 0) {
+            return false;
+        }
+        put += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+int fuzz_command(const Options& opt) {
+    // Each corpus entry abuses the protocol one way; after every entry the
+    // server must still answer a fresh ping on a fresh connection.
+    struct Abuse {
+        const char* what;
+        std::string payload;  ///< framed normally; empty = use raw
+        std::string raw;      ///< pre-framed bytes (can lie in the header)
+    };
+    std::vector<Abuse> corpus;
+    corpus.push_back({"non-JSON payload", "this is not json", ""});
+    corpus.push_back({"trailing garbage", "{\"op\":\"ping\"}x", ""});
+    corpus.push_back(
+        {"duplicate keys", "{\"op\":\"ping\",\"op\":\"stats\"}", ""});
+    corpus.push_back({"empty payload", "", ""});
+    corpus.push_back({"bad number", "{\"op\":\"run\",\"jobs\":[.5]}", ""});
+    corpus.push_back({"deep nesting",
+                      std::string(200, '[') + std::string(200, ']'), ""});
+    // Header claims 17 MiB (over kMaxFrameBytes) with 4 bytes behind it.
+    corpus.push_back(
+        {"oversized frame", "",
+         std::string("\x00\x00\x10\x01", 4) + std::string("liar", 4)});
+    // Header claims 100 bytes, connection closes after 4: truncated frame.
+    corpus.push_back({"truncated frame", "",
+                      std::string("\x64\x00\x00\x00", 4) +
+                          std::string("oops", 4)});
+
+    for (const Abuse& abuse : corpus) {
+        const int fd = connect_or_die(opt);
+        if (abuse.raw.empty()) {
+            (void)serve::write_frame(fd, abuse.payload);
+        } else {
+            (void)send_raw(fd, abuse.raw.data(), abuse.raw.size());
+        }
+        // Half-close the write side: a truncated frame leaves the server
+        // waiting for bytes that will never come, and without the EOF both
+        // sides would block forever (us in read_frame, it in read_exact).
+        ::shutdown(fd, SHUT_WR);
+        // Read whatever error reply the server sends (it may also just
+        // drop the connection); either way the stream ends for us here.
+        std::string reply;
+        (void)serve::read_frame(fd, reply);
+        ::close(fd);
+
+        const int check = connect_or_die(opt);
+        std::string pong;
+        const bool alive =
+            request(check, "{\"op\":\"ping\"}", pong) &&
+            pong.find("\"ok\":true") != std::string::npos;
+        ::close(check);
+        std::printf("fuzz: %-18s -> server %s\n", abuse.what,
+                    alive ? "alive" : "DEAD");
+        if (!alive) {
+            return 1;
+        }
+    }
+    std::printf("fuzz: server survived %zu malformed frames\n",
+                corpus.size());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_options(argc, argv);
+    if (opt.command == "run") {
+        return run_command(opt);
+    }
+    if (opt.command == "fuzz") {
+        return fuzz_command(opt);
+    }
+    return simple_command(opt, opt.command);
+}

@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hpp"
 #include "core/interpreter.hpp"
 #include "core/machine.hpp"
 #include "sim/check.hpp"
@@ -555,17 +556,22 @@ Options parse_options(int argc, char** argv) {
             return argv[++i];
         };
         if (a == "--seeds") {
-            opt.seeds = static_cast<std::uint32_t>(std::atoi(next()));
+            opt.seeds = cli::parse_uint<std::uint32_t>(argv[0], "--seeds",
+                                                       next(), 1);
         } else if (a == "--start-seed") {
-            opt.start_seed = std::strtoull(next(), nullptr, 0);
+            opt.start_seed = cli::parse_u64(argv[0], "--start-seed", next());
         } else if (a == "--shapes") {
             const std::string list = next();
             if (list != "all") {
                 std::size_t pos = 0;
-                while (pos < list.size()) {
-                    opt.shapes.push_back(static_cast<std::uint32_t>(
-                        std::strtoul(list.c_str() + pos, nullptr, 10)));
+                while (true) {
                     const std::size_t comma = list.find(',', pos);
+                    const std::string tok =
+                        list.substr(pos, comma == std::string::npos
+                                             ? std::string::npos
+                                             : comma - pos);
+                    opt.shapes.push_back(cli::parse_uint<std::uint32_t>(
+                        argv[0], "--shapes", tok.c_str()));
                     if (comma == std::string::npos) {
                         break;
                     }
@@ -573,7 +579,7 @@ Options parse_options(int argc, char** argv) {
                 }
             }
         } else if (a == "--seed") {
-            opt.one_seed = std::strtoull(next(), nullptr, 0);
+            opt.one_seed = cli::parse_u64(argv[0], "--seed", next());
         } else if (a == "--config") {
             FuzzConfig c;
             if (!decode(next(), c)) {

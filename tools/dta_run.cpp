@@ -84,6 +84,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hpp"
 #include "core/interpreter.hpp"
 #include "core/machine.hpp"
 #include "core/trace.hpp"
@@ -172,18 +173,26 @@ Options parse_options(int argc, char** argv) {
             return argv[++i];
         };
         if (a == "--spes") {
-            opt.spes = static_cast<std::uint16_t>(std::atoi(next()));
+            opt.spes = cli::parse_uint<std::uint16_t>(argv[0], "--spes",
+                                                      next(), 1);
         } else if (a == "--nodes") {
-            opt.nodes = static_cast<std::uint16_t>(std::atoi(next()));
+            opt.nodes = cli::parse_uint<std::uint16_t>(argv[0], "--nodes",
+                                                       next(), 1);
         } else if (a == "--threads") {
-            opt.threads = static_cast<std::uint32_t>(std::atoi(next()));
+            opt.threads = cli::parse_uint<std::uint32_t>(argv[0], "--threads",
+                                                         next(), 0, 4096);
         } else if (a == "--mem-latency") {
-            opt.mem_latency = static_cast<std::uint32_t>(std::atoi(next()));
+            opt.mem_latency = cli::parse_uint<std::uint32_t>(
+                argv[0], "--mem-latency", next());
             opt.mem_latency_set = true;
         } else if (a == "--frames") {
-            opt.frames = static_cast<std::uint32_t>(std::atoi(next()));
+            // lo stays 0: an impossible frame count must still reach the
+            // Machine so its SimError diagnostic path is exercised.
+            opt.frames = cli::parse_uint<std::uint32_t>(argv[0], "--frames",
+                                                        next());
         } else if (a == "--staging") {
-            opt.staging = static_cast<std::uint32_t>(std::atoi(next()));
+            opt.staging = cli::parse_uint<std::uint32_t>(argv[0], "--staging",
+                                                         next());
         } else if (a == "--vfp") {
             opt.vfp = true;
         } else if (a == "--perfect-cache") {
@@ -196,12 +205,8 @@ Options parse_options(int argc, char** argv) {
             opt.audit = true;
         } else if (a.rfind("--audit=", 0) == 0) {
             opt.audit = true;
-            opt.audit_interval =
-                std::strtoull(a.c_str() + std::strlen("--audit="), nullptr,
-                              0);
-            if (opt.audit_interval == 0) {
-                usage(argv[0]);
-            }
+            opt.audit_interval = cli::parse_u64(
+                argv[0], "--audit", a.c_str() + std::strlen("--audit="), 1);
         } else if (a == "--interp") {
             opt.interp = true;
         } else if (a == "--profile") {
@@ -209,10 +214,8 @@ Options parse_options(int argc, char** argv) {
         } else if (a == "--prof") {
             opt.prof = true;
         } else if (a == "--max-cycles") {
-            opt.max_cycles = std::strtoull(next(), nullptr, 0);
-            if (opt.max_cycles == 0) {
-                usage(argv[0]);
-            }
+            opt.max_cycles = cli::parse_u64(argv[0], "--max-cycles", next(),
+                                            1);
         } else if (a == "--breakdown") {
             opt.breakdown = true;
         } else if (a == "--disasm") {
@@ -229,22 +232,17 @@ Options parse_options(int argc, char** argv) {
         } else if (a == "--telemetry") {
             opt.telemetry_interval = sim::TelemetryConfig{}.interval;
         } else if (a.rfind("--telemetry=", 0) == 0) {
-            opt.telemetry_interval = std::strtoull(
-                a.c_str() + std::strlen("--telemetry="), nullptr, 0);
-            if (opt.telemetry_interval == 0) {
-                usage(argv[0]);
-            }
+            opt.telemetry_interval = cli::parse_u64(
+                argv[0], "--telemetry",
+                a.c_str() + std::strlen("--telemetry="), 1);
         } else if (a == "--telemetry-fifo") {
             opt.telemetry_fifo = next();
         } else if (a.rfind("--telemetry-fifo=", 0) == 0) {
             opt.telemetry_fifo = a.substr(std::strlen("--telemetry-fifo="));
         } else if (a.rfind("--progress=", 0) == 0) {
-            opt.progress_interval =
-                std::strtoull(a.c_str() + std::strlen("--progress="),
-                              nullptr, 0);
-            if (opt.progress_interval == 0) {
-                usage(argv[0]);
-            }
+            opt.progress_interval = cli::parse_u64(
+                argv[0], "--progress",
+                a.c_str() + std::strlen("--progress="), 1);
         } else if (a == "--log-level") {
             const std::string lvl = next();
             if (lvl == "info") {
@@ -258,16 +256,12 @@ Options parse_options(int argc, char** argv) {
                 usage(argv[0]);
             }
         } else if (a == "--checkpoint-every") {
-            opt.checkpoint_every = std::strtoull(next(), nullptr, 0);
-            if (opt.checkpoint_every == 0) {
-                usage(argv[0]);
-            }
+            opt.checkpoint_every =
+                cli::parse_u64(argv[0], "--checkpoint-every", next(), 1);
         } else if (a.rfind("--checkpoint-every=", 0) == 0) {
-            opt.checkpoint_every = std::strtoull(
-                a.c_str() + std::strlen("--checkpoint-every="), nullptr, 0);
-            if (opt.checkpoint_every == 0) {
-                usage(argv[0]);
-            }
+            opt.checkpoint_every = cli::parse_u64(
+                argv[0], "--checkpoint-every",
+                a.c_str() + std::strlen("--checkpoint-every="), 1);
         } else if (a == "--checkpoint-prefix") {
             opt.checkpoint_prefix = next();
         } else if (a == "--restore") {
@@ -275,21 +269,18 @@ Options parse_options(int argc, char** argv) {
         } else if (a.rfind("--restore=", 0) == 0) {
             opt.restore_path = a.substr(std::strlen("--restore="));
         } else if (a == "--stop-at") {
-            opt.stop_at = std::strtoull(next(), nullptr, 0);
-            if (opt.stop_at == 0) {
-                usage(argv[0]);
-            }
+            opt.stop_at = cli::parse_u64(argv[0], "--stop-at", next(), 1);
         } else if (a.rfind("--stop-at=", 0) == 0) {
-            opt.stop_at = std::strtoull(a.c_str() + std::strlen("--stop-at="),
-                                        nullptr, 0);
-            if (opt.stop_at == 0) {
-                usage(argv[0]);
-            }
+            opt.stop_at =
+                cli::parse_u64(argv[0], "--stop-at",
+                               a.c_str() + std::strlen("--stop-at="), 1);
         } else if (a == "--arg") {
-            opt.args.push_back(std::strtoull(next(), nullptr, 0));
+            opt.args.push_back(cli::parse_u64(argv[0], "--arg", next()));
         } else if (a == "--dump") {
-            const std::uint64_t addr = std::strtoull(next(), nullptr, 0);
-            const auto words = static_cast<std::uint32_t>(std::atoi(next()));
+            const std::uint64_t addr =
+                cli::parse_u64(argv[0], "--dump ADDR", next());
+            const auto words = cli::parse_uint<std::uint32_t>(
+                argv[0], "--dump N", next(), 1);
             opt.dumps.emplace_back(addr, words);
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hpp"
+
 namespace {
 
 struct Options {
@@ -59,9 +61,11 @@ Options parse_options(int argc, char** argv) {
         if (a == "--once") {
             opt.once = true;
         } else if (a == "--horizon") {
-            opt.horizon = std::strtoull(next(), nullptr, 0);
+            opt.horizon =
+                dta::cli::parse_u64(argv[0], "--horizon", next(), 1);
         } else if (a == "--top") {
-            opt.top = static_cast<std::size_t>(std::atoi(next()));
+            opt.top = dta::cli::parse_uint<std::size_t>(argv[0], "--top",
+                                                        next(), 1);
         } else if (!a.empty() && a[0] == '-' && a != "-") {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             usage(argv[0]);
